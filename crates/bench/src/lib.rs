@@ -1,0 +1,24 @@
+//! Workloads, baselines, and experiment harnesses for the evaluation.
+//!
+//! Table 1 measured two programs: BSD/OSF `ls` (tiny, libc-bound) and
+//! `codegen` from the Alpha_1 modeling system (5,240 lines across 32
+//! files, six libraries, ~1,000 functions, 289 KB debuggable text). We
+//! cannot run those binaries on a synthetic ISA, so [`workload`]
+//! *synthesizes* programs with the same link-time shape (symbol,
+//! relocation, and library fan-out counts) and run-time shape (syscall
+//! and library-call mix), and [`world`] wires each one up twice — once
+//! through the native dynamic-linking baseline and once through OMOS —
+//! so the harness binaries can produce Table 1, the reordering
+//! experiment, and the memory-use comparison.
+
+pub mod memshare;
+pub mod reorder;
+pub mod report;
+pub mod workload;
+pub mod world;
+
+pub use reorder::{run_reorder_experiment, ReorderConfig, ReorderResult};
+pub use workload::{
+    codegen_workload, libc_objects, ls_object, populate_fs, LsVariant, WorkloadSizes,
+};
+pub use world::{Scenario, SchemeTimes, PROGRAMS};

@@ -1,0 +1,332 @@
+//! The memory-use comparison behind §2.1/§4.1's citation of \[11\]:
+//! "Initial measurements of the SunOS implementation have shown that for
+//! small programs (e.g. ls) and libraries (libc), more memory is used
+//! for dispatch tables than is saved in library code."
+//!
+//! Three configurations of the same `ls`:
+//!
+//! * **static** — archive semantics: only the libc modules `ls` actually
+//!   references are linked in (that is why static small programs are
+//!   memory-cheap);
+//! * **native dynamic** — whole libc mapped shared + per-process PLT/GOT
+//!   dispatch tables + pages privatized by eager relocation;
+//! * **OMOS self-contained** — whole libc mapped shared, no dispatch
+//!   tables, no run-time relocation.
+//!
+//! [`measure_static`]/[`measure_native`]/[`measure_omos`] spawn N
+//! concurrent processes per scheme, run them to completion, and measure
+//! real page-level residency with [`MemoryAccounting`].
+
+use omos_core::{exec_bootstrap, Omos, OmosBinder};
+use omos_isa::StopReason;
+use omos_link::{build_dyn_executable, build_dyn_library, link, LinkOptions};
+use omos_obj::ObjectFile;
+use omos_os::ipc::{IpcStats, Transport};
+use omos_os::process::{run_process, NoBinder, Process};
+use omos_os::{
+    exec_native, CostModel, ImageFrames, InMemFs, MemoryAccounting, NativeWorld, SimClock,
+};
+
+use crate::workload::{libc_objects, ls_object, populate_fs, LsVariant, WorkloadSizes};
+
+/// Archive-style selection: returns the subset of `archive` needed to
+/// close the undefined references of `roots` (iterating, like `ld`
+/// scanning `libc.a`).
+#[must_use]
+pub fn select_objects(roots: &[ObjectFile], archive: &[ObjectFile]) -> Vec<ObjectFile> {
+    let mut selected: Vec<ObjectFile> = roots.to_vec();
+    let mut used = vec![false; archive.len()];
+    loop {
+        let undefined = match omos_link::undefined_after(&selected) {
+            Ok(u) => u,
+            Err(_) => return selected, // duplicate errors surface at link
+        };
+        if undefined.is_empty() {
+            return selected;
+        }
+        let mut progressed = false;
+        for (i, member) in archive.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let provides = member
+                .symbols
+                .definitions()
+                .any(|s| undefined.contains(&s.name));
+            if provides {
+                used[i] = true;
+                selected.push(member.clone());
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return selected; // remaining undefineds are genuine errors
+        }
+    }
+}
+
+/// Memory measurement of one scheme at one concurrency level.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeMemory {
+    /// Concurrent processes measured.
+    pub processes: usize,
+    /// Sum of all processes' mapped pages × 4 KB.
+    pub mapped_kb: u64,
+    /// Distinct physical frames × 4 KB.
+    pub resident_kb: u64,
+    /// Per-process dispatch-table bytes (PLT text + GOT cells); zero for
+    /// schemes without dispatch tables.
+    pub dispatch_bytes: u64,
+}
+
+impl SchemeMemory {
+    /// KB saved by sharing.
+    #[must_use]
+    pub fn saved_kb(&self) -> u64 {
+        self.mapped_kb - self.resident_kb
+    }
+}
+
+fn account(procs: &[Process], dispatch_bytes: u64) -> SchemeMemory {
+    let spaces: Vec<&omos_os::AddressSpace> = procs.iter().map(|p| &p.space).collect();
+    let acc = MemoryAccounting::measure(&spaces);
+    SchemeMemory {
+        processes: procs.len(),
+        mapped_kb: acc.mapped_pages * 4,
+        resident_kb: acc.resident_frames * 4,
+        dispatch_bytes,
+    }
+}
+
+/// Measures `n` concurrent static `ls` processes.
+pub fn measure_static(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
+    let archive: Vec<ObjectFile> = libc_objects(sizes).into_iter().map(|(_, o)| o).collect();
+    let selected = select_objects(&[ls_object(LsVariant::Plain, sizes)], &archive);
+    let out = link(&selected, &LinkOptions::program("ls-static")).map_err(|e| e.to_string())?;
+    let frames = ImageFrames::from_image(&out.image);
+    let cost = CostModel::hpux();
+    let mut procs = Vec::new();
+    for _ in 0..n {
+        let mut clock = SimClock::new();
+        let mut fs = InMemFs::new();
+        populate_fs(&mut fs, sizes);
+        let mut p = Process::spawn(&frames, &mut clock, &cost)?;
+        let run = run_process(
+            &mut p,
+            &mut clock,
+            &cost,
+            &mut fs,
+            &mut NoBinder,
+            10_000_000,
+        );
+        if !matches!(run.stop, StopReason::Exited(0)) {
+            return Err(format!("static ls failed: {:?}", run.stop));
+        }
+        procs.push(p);
+    }
+    Ok(account(&procs, 0))
+}
+
+/// Measures `n` concurrent native-dynamic `ls` processes.
+pub fn measure_native(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
+    let archive: Vec<ObjectFile> = libc_objects(sizes).into_iter().map(|(_, o)| o).collect();
+    let libc = build_dyn_library(&archive, "libc", 0x0200_0000, 0x4400_0000, &[])
+        .map_err(|e| e.to_string())?;
+    let exe = build_dyn_executable(&[ls_object(LsVariant::Plain, sizes)], "ls", &[&libc])
+        .map_err(|e| e.to_string())?;
+    // Dispatch: 5-instruction stubs (40 bytes) + one 4-byte GOT cell per
+    // imported routine.
+    let dispatch = exe.plt.len() as u64 * (5 * 8 + 4);
+    let frames = ImageFrames::from_image(&exe.image);
+    let world = NativeWorld::new(vec![libc]);
+    let cost = CostModel::hpux();
+    let mut procs = Vec::new();
+    for _ in 0..n {
+        let mut clock = SimClock::new();
+        let mut fs = InMemFs::new();
+        populate_fs(&mut fs, sizes);
+        let (mut p, mut binder) = exec_native(&world, &exe, &frames, &mut clock, &cost)?;
+        let run = run_process(&mut p, &mut clock, &cost, &mut fs, &mut binder, 10_000_000);
+        if !matches!(run.stop, StopReason::Exited(0)) {
+            return Err(format!("native ls failed: {:?}", run.stop));
+        }
+        procs.push(p);
+    }
+    Ok(account(&procs, dispatch))
+}
+
+/// Measures `n` concurrent OMOS self-contained `ls` processes.
+pub fn measure_omos(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
+    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    for (path, obj) in libc_objects(sizes) {
+        server.namespace.bind_object(&path, obj);
+    }
+    server
+        .namespace
+        .bind_object("/obj/ls.o", ls_object(LsVariant::Plain, sizes));
+    let merge: String = crate::workload::LIBC_MODULES
+        .iter()
+        .map(|m| format!(" /libc/{m}"))
+        .collect();
+    server
+        .namespace
+        .bind_blueprint(
+            "/lib/libc",
+            &format!("(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge{merge})"),
+        )
+        .map_err(|e| e.to_string())?;
+    server
+        .namespace
+        .bind_blueprint("/bin/ls", "(merge /obj/ls.o /lib/libc)")
+        .map_err(|e| e.to_string())?;
+
+    let cost = CostModel::hpux();
+    let mut procs = Vec::new();
+    for _ in 0..n {
+        let mut clock = SimClock::new();
+        let mut fs = InMemFs::new();
+        populate_fs(&mut fs, sizes);
+        let mut ipc = IpcStats::default();
+        let mut p = exec_bootstrap(&mut server, "/bin/ls", &mut clock, &cost, &mut ipc)
+            .map_err(|e| e.to_string())?;
+        let mut binder = OmosBinder::new(&mut server);
+        let run = run_process(&mut p, &mut clock, &cost, &mut fs, &mut binder, 10_000_000);
+        if !matches!(run.stop, StopReason::Exited(0)) {
+            return Err(format!("omos ls failed: {:?}", run.stop));
+        }
+        procs.push(p);
+    }
+    Ok(account(&procs, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_selection_pulls_only_needed_modules() {
+        let sizes = WorkloadSizes::small();
+        let archive: Vec<ObjectFile> = libc_objects(&sizes).into_iter().map(|(_, o)| o).collect();
+        let selected = select_objects(&[ls_object(LsVariant::Plain, &sizes)], &archive);
+        assert!(
+            selected.len() < 1 + archive.len(),
+            "selection must drop unused modules"
+        );
+        let out = link(&selected, &LinkOptions::program("t")).expect("selected set links");
+        assert!(out.image.entry.is_some());
+    }
+
+    #[test]
+    fn static_uses_least_memory_at_one_process() {
+        let sizes = WorkloadSizes::small();
+        let st = measure_static(1, &sizes).unwrap();
+        let na = measure_native(1, &sizes).unwrap();
+        let om = measure_omos(1, &sizes).unwrap();
+        // With one process nothing is shared: whole-libc schemes map more.
+        assert!(st.resident_kb < na.resident_kb);
+        assert!(st.resident_kb < om.resident_kb);
+        // The [11] claim's mechanism: native pays dispatch tables on top.
+        assert!(na.dispatch_bytes > 0);
+        assert!(om.dispatch_bytes == 0);
+    }
+
+    #[test]
+    fn sharing_grows_with_concurrency_for_shared_schemes() {
+        let sizes = WorkloadSizes::small();
+        let na1 = measure_native(1, &sizes).unwrap();
+        let na8 = measure_native(8, &sizes).unwrap();
+        assert!(na8.saved_kb() > na1.saved_kb());
+        let om8 = measure_omos(8, &sizes).unwrap();
+        // OMOS resident ≤ native resident at equal concurrency (no GOT
+        // copies, no eagerly patched private pages).
+        assert!(om8.resident_kb <= na8.resident_kb);
+        let st8 = measure_static(8, &sizes).unwrap();
+        assert!(st8.mapped_kb < na8.mapped_kb);
+    }
+}
+
+/// Measures a *mixed* population — `n` `ls` plus `n` `ls -laF`
+/// processes — under static linking. Different static binaries duplicate
+/// their libc subsets, which is where shared libraries earn their keep.
+pub fn measure_static_mixed(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
+    let archive: Vec<ObjectFile> = libc_objects(sizes).into_iter().map(|(_, o)| o).collect();
+    let cost = CostModel::hpux();
+    let mut procs = Vec::new();
+    for variant in [LsVariant::Plain, LsVariant::LongAll] {
+        let selected = select_objects(&[ls_object(variant, sizes)], &archive);
+        let out = link(&selected, &LinkOptions::program("ls-static")).map_err(|e| e.to_string())?;
+        let frames = ImageFrames::from_image(&out.image);
+        for _ in 0..n {
+            let mut clock = SimClock::new();
+            let mut fs = InMemFs::new();
+            populate_fs(&mut fs, sizes);
+            let mut p = Process::spawn(&frames, &mut clock, &cost)?;
+            let run = run_process(
+                &mut p,
+                &mut clock,
+                &cost,
+                &mut fs,
+                &mut NoBinder,
+                10_000_000,
+            );
+            if !matches!(run.stop, StopReason::Exited(0)) {
+                return Err(format!("static {variant:?} failed: {:?}", run.stop));
+            }
+            procs.push(p);
+        }
+    }
+    Ok(account(&procs, 0))
+}
+
+/// Mixed population under OMOS: one shared libc instance serves both
+/// programs.
+pub fn measure_omos_mixed(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
+    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    for (path, obj) in libc_objects(sizes) {
+        server.namespace.bind_object(&path, obj);
+    }
+    server
+        .namespace
+        .bind_object("/obj/ls.o", ls_object(LsVariant::Plain, sizes));
+    server
+        .namespace
+        .bind_object("/obj/laF.o", ls_object(LsVariant::LongAll, sizes));
+    let merge: String = crate::workload::LIBC_MODULES
+        .iter()
+        .map(|m| format!(" /libc/{m}"))
+        .collect();
+    server
+        .namespace
+        .bind_blueprint(
+            "/lib/libc",
+            &format!("(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge{merge})"),
+        )
+        .map_err(|e| e.to_string())?;
+    server
+        .namespace
+        .bind_blueprint("/bin/ls", "(merge /obj/ls.o /lib/libc)")
+        .map_err(|e| e.to_string())?;
+    server
+        .namespace
+        .bind_blueprint("/bin/laF", "(merge /obj/laF.o /lib/libc)")
+        .map_err(|e| e.to_string())?;
+    let cost = CostModel::hpux();
+    let mut procs = Vec::new();
+    for prog in ["/bin/ls", "/bin/laF"] {
+        for _ in 0..n {
+            let mut clock = SimClock::new();
+            let mut fs = InMemFs::new();
+            populate_fs(&mut fs, sizes);
+            let mut ipc = IpcStats::default();
+            let mut p = exec_bootstrap(&mut server, prog, &mut clock, &cost, &mut ipc)
+                .map_err(|e| e.to_string())?;
+            let mut binder = OmosBinder::new(&mut server);
+            let run = run_process(&mut p, &mut clock, &cost, &mut fs, &mut binder, 10_000_000);
+            if !matches!(run.stop, StopReason::Exited(0)) {
+                return Err(format!("omos {prog} failed: {:?}", run.stop));
+            }
+            procs.push(p);
+        }
+    }
+    Ok(account(&procs, 0))
+}

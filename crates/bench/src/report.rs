@@ -1,0 +1,128 @@
+//! Table formatting for the harness binaries, in the paper's layout.
+
+use omos_os::Times;
+
+/// One row of a Table-1-style block.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration label (e.g. "HP-UX Shared Lib").
+    pub label: String,
+    /// Accumulated times over all iterations.
+    pub times: Times,
+    /// Elapsed ratio vs the first row, if not the baseline.
+    pub ratio: Option<f64>,
+}
+
+/// A Table-1-style block: platform, test name, iterations, rows.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Platform line (e.g. "HP-UX").
+    pub platform: String,
+    /// Test line (e.g. "ls -laF").
+    pub test: String,
+    /// Iteration count the times cover.
+    pub iterations: u64,
+    /// The measured rows (baseline first).
+    pub rows: Vec<Row>,
+}
+
+impl Block {
+    /// Starts a block with a baseline row.
+    #[must_use]
+    pub fn new(platform: &str, test: &str, iterations: u64) -> Block {
+        Block {
+            platform: platform.to_string(),
+            test: test.to_string(),
+            iterations,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row; ratio is computed against the first row.
+    pub fn push(&mut self, label: &str, times: Times) {
+        let ratio = self
+            .rows
+            .first()
+            .map(|base| times.elapsed_ns as f64 / base.times.elapsed_ns as f64);
+        self.rows.push(Row {
+            label: label.to_string(),
+            times,
+            ratio,
+        });
+    }
+
+    /// Renders the block in the paper's column layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.platform));
+        out.push_str(&format!(
+            "Test: {}  ({} iterations)\n",
+            self.test, self.iterations
+        ));
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>8} {:>9} {:>7}\n",
+            "", "User", "System", "Elapsed", "Ratio"
+        ));
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>8} {:>9} {:>7}\n",
+            "", "Time", "Time", "Time", ""
+        ));
+        for r in &self.rows {
+            let ratio = match r.ratio {
+                Some(v) => format!("{v:.2}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{:<26} {:>8.2} {:>8.2} {:>9.2} {:>7}\n",
+                r.label,
+                r.times.user_s(),
+                r.times.system_s(),
+                r.times.elapsed_s(),
+                ratio
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: u64, s: u64, e: u64) -> Times {
+        Times {
+            user_ns: u,
+            system_ns: s,
+            elapsed_ns: e,
+        }
+    }
+
+    #[test]
+    fn ratio_against_baseline() {
+        let mut b = Block::new("HP-UX", "ls", 1000);
+        b.push("HP-UX Shared Lib", t(0, 0, 10_000_000_000));
+        b.push("OMOS bootstrap exec", t(0, 0, 9_300_000_000));
+        assert!(b.rows[0].ratio.is_none());
+        let r = b.rows[1].ratio.unwrap();
+        assert!((r - 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_columns_and_rows() {
+        let mut b = Block::new("Mach 3.0 with OSF/1 Server", "ls", 300);
+        b.push(
+            "OSF/1 Shared Lib",
+            t(890_000_000, 4_460_000_000, 38_000_000_000),
+        );
+        b.push(
+            "OMOS integrated exec",
+            t(890_000_000, 4_490_000_000, 17_000_000_000),
+        );
+        let s = b.render();
+        assert!(s.contains("Mach 3.0 with OSF/1 Server"));
+        assert!(s.contains("Elapsed"));
+        assert!(s.contains("OMOS integrated exec"));
+        assert!(s.contains("0.45"));
+    }
+}

@@ -1,0 +1,772 @@
+//! Synthetic workloads matching the paper's measured programs.
+//!
+//! The synthetic libc is built from the same eight modules as Figure 1
+//! (`gen stdio string stdlib hppa net quad rpc`); real entry points
+//! (string routines, stdio, a bump allocator, syscall wrappers) are
+//! spread across them, padded with filler routines so the library has
+//! realistic page count and symbol density. `ls` lists a directory
+//! through that libc; `ls -laF` additionally stats every entry and
+//! formats long lines. `codegen` is a 32-file client with ~1,000
+//! functions over six libraries, reading three input files and writing
+//! one output — the shape §8.2 describes.
+
+use omos_isa::assemble;
+use omos_obj::ObjectFile;
+use omos_os::InMemFs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Size knobs for the synthetic workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSizes {
+    /// Filler routines per libc module.
+    pub libc_fillers_per_module: usize,
+    /// Client files in codegen (paper: 32).
+    pub codegen_files: usize,
+    /// Functions per codegen file (32 × 31 ≈ 1,000 functions).
+    pub codegen_fns_per_file: usize,
+    /// Functions per codegen library.
+    pub lib_fns: usize,
+    /// Work-loop iterations inside codegen's compute phases.
+    pub codegen_iters: u32,
+    /// Files in the `ls -laF` test directory.
+    pub ls_dir_entries: usize,
+}
+
+impl Default for WorkloadSizes {
+    fn default() -> Self {
+        WorkloadSizes {
+            libc_fillers_per_module: 40,
+            codegen_files: 32,
+            codegen_fns_per_file: 31,
+            lib_fns: 60,
+            codegen_iters: 105,
+            ls_dir_entries: 42,
+        }
+    }
+}
+
+impl WorkloadSizes {
+    /// A reduced configuration for fast unit tests.
+    #[must_use]
+    pub fn small() -> WorkloadSizes {
+        WorkloadSizes {
+            libc_fillers_per_module: 6,
+            codegen_files: 4,
+            codegen_fns_per_file: 6,
+            lib_fns: 8,
+            codegen_iters: 3,
+            ls_dir_entries: 5,
+        }
+    }
+}
+
+/// The eight libc modules of Figure 1.
+pub const LIBC_MODULES: [&str; 8] = [
+    "gen", "stdio", "string", "stdlib", "hppa", "net", "quad", "rpc",
+];
+
+/// Which `ls` the harness runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsVariant {
+    /// Plain `ls` of a single-entry directory (the paper's first row).
+    Plain,
+    /// `ls -laF`: stat + long-format every entry of a populated
+    /// directory (the paper's second row).
+    LongAll,
+}
+
+impl LsVariant {
+    /// The directory each variant lists.
+    #[must_use]
+    pub fn dir(self) -> &'static str {
+        match self {
+            LsVariant::Plain => "/tiny",
+            LsVariant::LongAll => "/big",
+        }
+    }
+}
+
+/// Populates the simulated filesystem with the workloads' directories
+/// and codegen's input files.
+pub fn populate_fs(fs: &mut InMemFs, sizes: &WorkloadSizes) {
+    fs.mkdir("/tiny");
+    fs.put("/tiny/only-file", vec![0x41; 64]);
+    fs.mkdir("/big");
+    for i in 0..sizes.ls_dir_entries {
+        fs.put(&format!("/big/file{i:02}"), vec![0x42; 100 + i * 37]);
+    }
+    fs.put(
+        "/in/geom.dat",
+        (0..400u32).flat_map(|v| v.to_le_bytes()).collect(),
+    );
+    fs.put("/in/params.dat", vec![7; 256]);
+    fs.put("/in/mesh.dat", vec![9; 512]);
+}
+
+// --- libc ---------------------------------------------------------------------
+
+/// Builds the eight libc module objects.
+#[must_use]
+pub fn libc_objects(sizes: &WorkloadSizes) -> Vec<(String, ObjectFile)> {
+    LIBC_MODULES
+        .iter()
+        .map(|m| {
+            let src = libc_module_source(m, sizes);
+            let name = format!("/libc/{m}");
+            let obj = assemble(&name, &src)
+                .unwrap_or_else(|e| unreachable!("generated libc module {m} must assemble: {e}"));
+            (name, obj)
+        })
+        .collect()
+}
+
+fn filler_fns(out: &mut String, module: &str, n: usize) {
+    for i in 0..n {
+        let next = (i + 1) % n.max(1);
+        // A small distinct body; every third filler calls a sibling so
+        // the module has internal references.
+        let _ = write!(
+            out,
+            r#"
+            .global _libc_{module}_{i}
+_libc_{module}_{i}:
+            li r9, {k}
+            add r1, r1, r9
+            shl r9, r9, r9
+            xor r1, r1, r9
+"#,
+            k = i + 1,
+        );
+        if i % 3 == 0 && n > 1 {
+            // A real stack frame: these chains can nest arbitrarily.
+            let _ = write!(
+                out,
+                "            addi r14, r14, -4\n            st r15, [r14]\n            call _libc_{module}_{next}\n            ld r15, [r14]\n            addi r14, r14, 4\n"
+            );
+        }
+        out.push_str("            ret\n");
+    }
+}
+
+fn libc_module_source(module: &str, sizes: &WorkloadSizes) -> String {
+    let mut s = String::from(".text\n");
+    match module {
+        "gen" => {
+            s.push_str(
+                r#"
+            .global _exit, _abort, _getpid
+_exit:      sys 0
+_abort:     halt
+_getpid:    li r1, 42
+            ret
+"#,
+            );
+        }
+        "stdio" => {
+            s.push_str(
+                r#"
+            .global _puts, _printf, _fflush, _putchar
+            .extern _strlen, _write
+; puts(s): write s and a newline to stdout
+_puts:      mov r7, r15
+            mov r6, r1          ; save s
+            call _strlen        ; len in r1
+            mov r3, r1
+            mov r2, r6
+            li r1, 1
+            call _write
+            li r2, _nl
+            li r3, 1
+            li r1, 1
+            call _write
+            mov r15, r7
+            ret
+; printf(fmt): no formatting, behaves as puts(fmt)
+_printf:    mov r11, r15
+            call _puts
+            mov r15, r11
+            ret
+_putchar:   mov r7, r15
+            li r2, _chbuf
+            st8 r1, [r2]
+            li r1, 1
+            li r3, 1
+            call _write
+            mov r15, r7
+            ret
+_fflush:    ret
+            .data
+_nl:        .ascii "\n"
+_chbuf:     .space 4
+            .text
+"#,
+            );
+        }
+        "string" => {
+            s.push_str(
+                r#"
+            .global _strlen, _strcpy, _strcat, _memcpy, _strcmp
+_strlen:    mov r2, r1
+            li r1, 0
+_sl:        ld8 r3, [r2]
+            beq r3, r0, _sld
+            addi r1, r1, 1
+            addi r2, r2, 1
+            beq r0, r0, _sl
+_sld:       ret
+; strcpy(dst, src) -> dst
+_strcpy:    mov r4, r1
+_sc:        ld8 r3, [r2]
+            st8 r3, [r1]
+            addi r1, r1, 1
+            addi r2, r2, 1
+            bne r3, r0, _sc
+            mov r1, r4
+            ret
+; strcat(dst, src) -> dst
+_strcat:    mov r4, r1
+_sa:        ld8 r3, [r1]
+            beq r3, r0, _saf
+            addi r1, r1, 1
+            beq r0, r0, _sa
+_saf:       ld8 r3, [r2]
+            st8 r3, [r1]
+            addi r1, r1, 1
+            addi r2, r2, 1
+            bne r3, r0, _saf
+            mov r1, r4
+            ret
+; memcpy(dst, src, n)
+_memcpy:    beq r3, r0, _mcd
+            ld8 r4, [r2]
+            st8 r4, [r1]
+            addi r1, r1, 1
+            addi r2, r2, 1
+            addi r3, r3, -1
+            beq r0, r0, _memcpy
+_mcd:       ret
+; strcmp(a, b): 0 if equal
+_strcmp:    ld8 r3, [r1]
+            ld8 r4, [r2]
+            bne r3, r4, _scd
+            beq r3, r0, _sceq
+            addi r1, r1, 1
+            addi r2, r2, 1
+            beq r0, r0, _strcmp
+_sceq:      li r1, 0
+            ret
+_scd:       sub r1, r3, r4
+            ret
+"#,
+            );
+        }
+        "stdlib" => {
+            s.push_str(
+                r#"
+            .global _malloc, _free, _atoi, _itoa, _qsort_ish
+; malloc(n): bump allocation via brk
+_malloc:    sys 7
+            ret
+_free:      ret
+; atoi(s)
+_atoi:      li r4, 0
+            li r5, 10
+_ai:        ld8 r3, [r1]
+            beq r3, r0, _aid
+            addi r3, r3, -48
+            mul r4, r4, r5
+            add r4, r4, r3
+            addi r1, r1, 1
+            beq r0, r0, _ai
+_aid:       mov r1, r4
+            ret
+; itoa(n, buf): decimal into buf, returns length
+_itoa:      li r5, 10
+            li r6, 0            ; digit count
+            mov r7, r2
+_it_digits: divu r3, r1, r5
+            mul r4, r3, r5
+            sub r4, r1, r4      ; n % 10
+            addi r4, r4, 48
+            addi r14, r14, -4
+            st r4, [r14]
+            addi r6, r6, 1
+            mov r1, r3
+            bne r1, r0, _it_digits
+            mov r1, r6          ; return length
+_it_pop:    beq r6, r0, _it_end
+            ld r4, [r14]
+            addi r14, r14, 4
+            st8 r4, [r7]
+            addi r7, r7, 1
+            addi r6, r6, -1
+            beq r0, r0, _it_pop
+_it_end:    li r4, 0
+            st8 r4, [r7]
+            ret
+; qsort_ish(buf, n): insertion sort on bytes, for user time
+_qsort_ish: li r4, 1
+_qo:        bge r4, r2, _qdone
+            mov r5, r4
+_qi:        beq r5, r0, _qnext
+            add r6, r1, r5
+            ld8 r7, [r6]
+            ld8 r8, [r6-1]
+            bge r7, r8, _qnext
+            st8 r8, [r6]
+            st8 r7, [r6-1]
+            addi r5, r5, -1
+            beq r0, r0, _qi
+_qnext:     addi r4, r4, 1
+            beq r0, r0, _qo
+_qdone:     ret
+"#,
+            );
+        }
+        "hppa" => {
+            s.push_str(
+                r#"
+            .global _write, _read, _open, _close, _stat, _readdir, _ioctl
+_write:     sys 1
+            ret
+_read:      sys 2
+            ret
+; open(path) -> fd
+_open:      mov r2, r1
+            sys 3
+            ret
+_close:     sys 4
+            ret
+; stat(path, buf)
+_stat:      mov r3, r2
+            mov r2, r1
+            sys 5
+            ret
+; readdir(fd, buf) -> 1 while entries remain
+_readdir:   sys 6
+            ret
+_ioctl:     sys 11
+            ret
+"#,
+            );
+        }
+        "quad" => {
+            s.push_str(
+                r#"
+            .global _umod, _udiv10
+_umod:      divu r3, r1, r2
+            mul r4, r3, r2
+            sub r1, r1, r4
+            ret
+_udiv10:    li r2, 10
+            divu r1, r1, r2
+            ret
+"#,
+            );
+        }
+        _ => {}
+    }
+    filler_fns(&mut s, module, sizes.libc_fillers_per_module);
+    // Every module exports a data word too (symbol density in .data).
+    let _ = write!(
+        s,
+        "\n            .data\n            .global _libc_{module}_tab\n_libc_{module}_tab: .word 1, 2, 3, 4\n"
+    );
+    s
+}
+
+// --- ls -----------------------------------------------------------------------
+
+/// Builds the `ls` client object for a variant.
+///
+/// The `-laF` variant begins with a "startup" sequence calling a few
+/// dozen additional libc routines once (locale tables, pwd/grp and time
+/// formatting setup in a real `ls -laF`) — these are exactly the extra
+/// first-references whose per-invocation lazy binding costs Table 1
+/// attributes to the native scheme.
+#[must_use]
+pub fn ls_object(variant: LsVariant, sizes: &WorkloadSizes) -> ObjectFile {
+    let dir = variant.dir();
+    let mut s = String::from(
+        r#"
+            .text
+            .global _start
+            .extern _open, _readdir, _puts, _strlen, _write, _exit, _stat, _strcpy, _strcat, _itoa, _ioctl
+"#,
+    );
+    s.push_str(
+        r#"
+_start:     li r1, _dirpath
+            call _open
+            mov r12, r1          ; fd
+"#,
+    );
+    if variant == LsVariant::LongAll {
+        // `-F` consults the terminal.
+        s.push_str("            li r1, 1\n            call _ioctl\n");
+        // Locale / pwd / time-formatting setup: first-references into
+        // many more libc routines.
+        let per_module = sizes.libc_fillers_per_module.min(20);
+        for m in ["net", "rpc"] {
+            for i in 0..per_module {
+                let _ = write!(s, "            call _libc_{m}_{i}\n");
+                let _ = write!(s, "            .extern _libc_{m}_{i}\n");
+            }
+        }
+    }
+    s.push_str(
+        r#"
+_loop:      mov r1, r12
+            li r2, _entbuf
+            call _readdir
+            beq r1, r0, _done
+"#,
+    );
+    match variant {
+        LsVariant::Plain => {
+            s.push_str(
+                r#"
+            li r1, _entbuf
+            call _puts
+"#,
+            );
+        }
+        LsVariant::LongAll => {
+            s.push_str(
+                r#"
+            ; build "<dir>/<name>" in _pathbuf
+            li r1, _pathbuf
+            li r2, _dirpath
+            call _strcpy
+            li r1, _pathbuf
+            li r2, _slash
+            call _strcat
+            li r1, _pathbuf
+            li r2, _entbuf
+            call _strcat
+            li r1, _pathbuf
+            li r2, _statbuf
+            call _stat
+            ; line = name + " " + itoa(size)
+            li r1, _linebuf
+            li r2, _entbuf
+            call _strcpy
+            li r1, _linebuf
+            li r2, _spacef
+            call _strcat
+            li r2, _statbuf
+            ld r1, [r2]          ; size
+            li r2, _numbuf
+            call _itoa
+            li r1, _linebuf
+            li r2, _numbuf
+            call _strcat
+            li r1, _linebuf
+            call _puts
+"#,
+            );
+        }
+    }
+    s.push_str(
+        r#"
+            beq r0, r0, _loop
+_done:      li r1, 0
+            call _exit
+            .data
+"#,
+    );
+    let _ = write!(s, "_dirpath:   .asciz \"{dir}\"\n");
+    s.push_str(
+        r#"
+_slash:     .asciz "/"
+_spacef:    .asciz " "
+_entbuf:    .space 32
+_pathbuf:   .space 64
+_statbuf:   .space 16
+_linebuf:   .space 64
+_numbuf:    .space 16
+"#,
+    );
+    assemble("/obj/ls.o", &s).unwrap_or_else(|e| unreachable!("generated ls must assemble: {e}"))
+}
+
+// --- codegen ---------------------------------------------------------------------
+
+/// The six libraries codegen links against (paper §8.2: "two Alpha_1
+/// libraries as well as libm, libl, libC, and libc").
+pub const CODEGEN_LIBS: [&str; 5] = ["alpha1_geom", "alpha1_util", "libm", "libl", "libC"];
+
+/// A complete codegen workload: client objects and per-library objects
+/// (libc is shared with the `ls` workload and not regenerated here).
+#[derive(Debug)]
+pub struct CodegenWorkload {
+    /// 32 client "files".
+    pub client_objects: Vec<(String, ObjectFile)>,
+    /// The five non-libc libraries, each one object.
+    pub lib_objects: Vec<(String, ObjectFile)>,
+}
+
+/// Generates the codegen workload. Deterministic for a given size
+/// configuration (fixed RNG seed).
+#[must_use]
+pub fn codegen_workload(sizes: &WorkloadSizes) -> CodegenWorkload {
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    // Libraries first: each exports `_<lib>_fn<i>`, some calling siblings.
+    let mut lib_objects = Vec::new();
+    for lib in CODEGEN_LIBS {
+        let mut s = String::from(".text\n");
+        for i in 0..sizes.lib_fns {
+            let _ = write!(
+                s,
+                r#"
+            .global _{lib}_fn{i}
+_{lib}_fn{i}:
+            li r9, {seed}
+            add r1, r1, r9
+            mul r9, r9, r9
+            xor r1, r1, r9
+            shr r1, r1, r0
+"#,
+                seed = (i * 7 + 3) % 97,
+            );
+            if i % 4 == 1 && i + 1 < sizes.lib_fns {
+                let j = i + 1;
+                let _ = write!(
+                    s,
+                    "            addi r14, r14, -4\n            st r15, [r14]\n            call _{lib}_fn{j}\n            ld r15, [r14]\n            addi r14, r14, 4\n"
+                );
+            }
+            s.push_str("            ret\n");
+        }
+        let _ = write!(
+            s,
+            "            .data\n            .global _{lib}_state\n_{lib}_state: .word 0, 0, 0, 0\n"
+        );
+        let name = format!("/lib/{lib}");
+        let obj = assemble(&name, &s).unwrap_or_else(|e| unreachable!("lib {lib} assembles: {e}"));
+        lib_objects.push((name, obj));
+    }
+
+    // Client files: each file has fns calling within the file, across
+    // files, and into the libraries. C++-flavored: every file has one
+    // static initializer (`_sti_*`).
+    let files = sizes.codegen_files;
+    let fpf = sizes.codegen_fns_per_file;
+    let mut client_objects = Vec::new();
+    for f in 0..files {
+        let mut s = String::from(".text\n");
+        for i in 0..fpf {
+            let _ = write!(
+                s,
+                r#"
+            .global _cg_{f}_{i}
+_cg_{f}_{i}:
+            addi r14, r14, -4
+            st r15, [r14]
+            li r9, {seed}
+            add r1, r1, r9
+            mul r10, r9, r9
+            xor r1, r1, r10
+            li r11, 13
+            and r10, r10, r11
+            or r1, r1, r10
+            sub r1, r1, r11
+            add r1, r1, r11
+            shl r10, r9, r0
+"#,
+                seed = (f * 31 + i) % 113,
+            );
+            // Call into another client function (chain within the file or
+            // into the next file).
+            if i + 1 < fpf {
+                let _ = write!(s, "            call _cg_{f}_{next}\n", next = i + 1);
+            } else if f + 1 < files {
+                let _ = write!(s, "            call _cg_{nf}_0\n", nf = f + 1);
+            }
+            // Calls into one or two library routines.
+            let lib = CODEGEN_LIBS[rng.gen_range(0..CODEGEN_LIBS.len())];
+            let lf = rng.gen_range(0..sizes.lib_fns);
+            let _ = write!(s, "            call _{lib}_fn{lf}\n");
+            if rng.gen_bool(0.3) {
+                let _ = write!(
+                    s,
+                    "            call _libc_{m}_{k}\n",
+                    m = LIBC_MODULES[rng.gen_range(0..LIBC_MODULES.len())],
+                    k = rng.gen_range(0..1usize.max(1)),
+                );
+            }
+            s.push_str(
+                "            ld r15, [r14]\n            addi r14, r14, 4\n            ret\n",
+            );
+        }
+        // One static initializer per file (cfront-style).
+        let _ = write!(
+            s,
+            r#"
+            .global _sti_file{f}
+_sti_file{f}:
+            li r9, _cg_state_{f}
+            li r10, {f}
+            st r10, [r9]
+            ret
+            .data
+            .global _cg_state_{f}
+_cg_state_{f}: .word 0
+"#,
+        );
+        let name = format!("/obj/codegen/file{f:02}.o");
+        let obj =
+            assemble(&name, &s).unwrap_or_else(|e| unreachable!("codegen file assembles: {e}"));
+        client_objects.push((name, obj));
+    }
+
+    // The main file: reads three inputs, runs phases, writes an output.
+    let main_src = format!(
+        r#"
+            .text
+            .global _start
+            .extern _open, _read, _close, _write, _exit, _malloc, _qsort_ish, _strlen
+_start:     call __static_init
+            ; read the three input files
+            li r1, _in1
+            call _readfile
+            li r1, _in2
+            call _readfile
+            li r1, _in3
+            call _readfile
+            ; compute phases
+            li r12, {iters}
+_phase:     li r1, 1
+            call _cg_0_0
+            call _qsort_pass
+            addi r12, r12, -1
+            bne r12, r0, _phase
+            call _writeresult
+            li r1, 0
+            call _exit
+
+; readfile(path): open, read 256 bytes into _iobuf, close
+_readfile:  mov r11, r15
+            call _open
+            mov r4, r1
+            li r2, _iobuf
+            li r3, 256
+            call _read
+            mov r1, r4
+            call _close
+            mov r15, r11
+            ret
+
+_qsort_pass:
+            mov r11, r15
+            li r1, _iobuf
+            li r2, 64
+            call _qsort_ish
+            mov r15, r11
+            ret
+
+; writeresult(path): stdout summary line
+_writeresult:
+            mov r11, r15
+            li r1, 1
+            li r2, _donemsg
+            li r3, 5
+            call _write
+            mov r15, r11
+            ret
+
+            .data
+_in1:       .asciz "/in/geom.dat"
+_in2:       .asciz "/in/params.dat"
+_in3:       .asciz "/in/mesh.dat"
+_outpath:   .asciz "/out/result"
+_donemsg:   .ascii "done\n"
+            .bss
+_iobuf:     .space 512
+"#,
+        iters = sizes.codegen_iters,
+    );
+    let main_obj = assemble("/obj/codegen/main.o", &main_src)
+        .unwrap_or_else(|e| unreachable!("codegen main assembles: {e}"));
+    client_objects.insert(0, ("/obj/codegen/main.o".to_string(), main_obj));
+
+    CodegenWorkload {
+        client_objects,
+        lib_objects,
+    }
+}
+
+/// Fixed RNG seed: the workloads are deterministic across runs.
+const SEED: u64 = 0x0601_1993;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_link::undefined_after;
+
+    #[test]
+    fn libc_modules_assemble_and_export() {
+        let objs = libc_objects(&WorkloadSizes::small());
+        assert_eq!(objs.len(), 8);
+        let all: Vec<ObjectFile> = objs.into_iter().map(|(_, o)| o).collect();
+        // Whole libc resolves internally.
+        let undef = undefined_after(&all).unwrap();
+        assert!(undef.is_empty(), "libc has unresolved internals: {undef:?}");
+    }
+
+    #[test]
+    fn ls_plus_libc_fully_resolves() {
+        for v in [LsVariant::Plain, LsVariant::LongAll] {
+            let sizes = WorkloadSizes::small();
+            let mut objs: Vec<ObjectFile> =
+                libc_objects(&sizes).into_iter().map(|(_, o)| o).collect();
+            objs.push(ls_object(v, &sizes));
+            let undef = undefined_after(&objs).unwrap();
+            assert!(undef.is_empty(), "{v:?} unresolved: {undef:?}");
+        }
+    }
+
+    #[test]
+    fn codegen_resolves_against_its_libraries() {
+        let sizes = WorkloadSizes::small();
+        let cg = codegen_workload(&sizes);
+        let mut objs: Vec<ObjectFile> = cg.client_objects.iter().map(|(_, o)| o.clone()).collect();
+        objs.extend(cg.lib_objects.iter().map(|(_, o)| o.clone()));
+        objs.extend(libc_objects(&sizes).into_iter().map(|(_, o)| o));
+        // __static_init comes from the initializers operator; everything
+        // else must resolve.
+        let undef = undefined_after(&objs).unwrap();
+        assert_eq!(undef, vec!["__static_init".to_string()]);
+    }
+
+    #[test]
+    fn codegen_is_deterministic() {
+        let sizes = WorkloadSizes::small();
+        let a = codegen_workload(&sizes);
+        let b = codegen_workload(&sizes);
+        for ((_, oa), (_, ob)) in a.client_objects.iter().zip(&b.client_objects) {
+            assert_eq!(oa.content_hash(), ob.content_hash());
+        }
+    }
+
+    #[test]
+    fn full_size_codegen_matches_paper_scale() {
+        let sizes = WorkloadSizes::default();
+        let cg = codegen_workload(&sizes);
+        assert_eq!(cg.client_objects.len(), 33, "main + 32 files");
+        let fns: usize = sizes.codegen_files * sizes.codegen_fns_per_file;
+        assert!(fns >= 900, "≈1,000 client functions, got {fns}");
+        let text: u64 = cg
+            .client_objects
+            .iter()
+            .map(|(_, o)| o.size_of_kind(omos_obj::SectionKind::Text))
+            .sum();
+        assert!(
+            text > 100_000,
+            "client text should be ~100s of KB, got {text}"
+        );
+    }
+}

@@ -1,0 +1,642 @@
+//! The m-graph: blueprints parsed into executable operation graphs.
+
+use std::fmt;
+
+use omos_constraint::RegionClass;
+use omos_obj::view::RenameTarget;
+use omos_obj::ContentHash;
+
+use crate::sexpr::{parse_sexprs, Sexpr};
+
+/// A blueprint syntax/shape error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlueprintError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for BlueprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blueprint error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for BlueprintError {}
+
+fn berr<T>(msg: impl Into<String>) -> Result<T, BlueprintError> {
+    Err(BlueprintError { msg: msg.into() })
+}
+
+/// Specialization kinds (§3.4, §4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecKind {
+    /// `lib-static`: link the operand directly into the client.
+    Static,
+    /// `lib-constrained`: a self-contained shared library whose segments
+    /// prefer the given addresses.
+    Constrained(Vec<(RegionClass, u64)>),
+    /// `lib-dynamic`: replace the operand with generated partial-image
+    /// stubs; the implementation loads on first call.
+    Dynamic,
+    /// `lib-dynamic-impl`: the loadable implementation of a dynamic
+    /// library (what the stubs fetch).
+    DynamicImpl,
+}
+
+/// One node of the m-graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MNode {
+    /// A namespace path: an object file or another meta-object.
+    Leaf(String),
+    /// `merge`: n-ary strict merge.
+    Merge(Vec<MNode>),
+    /// `override`: conflicts resolve in favor of the second operand.
+    Override(Box<MNode>, Box<MNode>),
+    /// `rename` (and the ref/def-only variants).
+    Rename {
+        /// Symbol selector.
+        pattern: String,
+        /// Replacement for the matched span.
+        replacement: String,
+        /// Which roles to rename.
+        target: RenameTarget,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `hide`.
+    Hide {
+        /// Symbol selector.
+        pattern: String,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `show`.
+    Show {
+        /// Symbol selector.
+        pattern: String,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `restrict`.
+    Restrict {
+        /// Symbol selector.
+        pattern: String,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `project`.
+    Project {
+        /// Symbol selector.
+        pattern: String,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `copy_as`.
+    CopyAs {
+        /// Symbol selector.
+        pattern: String,
+        /// Replacement producing the copy's name.
+        replacement: String,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `freeze`.
+    Freeze {
+        /// Symbol selector.
+        pattern: String,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+    /// `initializers`.
+    Initializers(Box<MNode>),
+    /// `source`: compile source text into a fragment.
+    Source {
+        /// Language: `"c"` or `"asm"`.
+        lang: String,
+        /// Source text.
+        code: String,
+    },
+    /// `specialize`.
+    Specialize {
+        /// The specialization to apply.
+        kind: SpecKind,
+        /// Operand.
+        operand: Box<MNode>,
+    },
+}
+
+impl MNode {
+    /// Structural hash — the cache key for evaluated sub-graphs.
+    #[must_use]
+    pub fn hash(&self) -> ContentHash {
+        self.hash_into(ContentHash::EMPTY)
+    }
+
+    fn hash_into(&self, h: ContentHash) -> ContentHash {
+        match self {
+            MNode::Leaf(p) => h.with_str("leaf").with_str(p),
+            MNode::Merge(items) => {
+                let mut h = h.with_str("merge").with_u64(items.len() as u64);
+                for i in items {
+                    h = i.hash_into(h);
+                }
+                h
+            }
+            MNode::Override(a, b) => b.hash_into(a.hash_into(h.with_str("override"))),
+            MNode::Rename {
+                pattern,
+                replacement,
+                target,
+                operand,
+            } => operand.hash_into(
+                h.with_str("rename")
+                    .with_str(pattern)
+                    .with_str(replacement)
+                    .with_u64(match target {
+                        RenameTarget::Defs => 0,
+                        RenameTarget::Refs => 1,
+                        RenameTarget::Both => 2,
+                    }),
+            ),
+            MNode::Hide { pattern, operand } => {
+                operand.hash_into(h.with_str("hide").with_str(pattern))
+            }
+            MNode::Show { pattern, operand } => {
+                operand.hash_into(h.with_str("show").with_str(pattern))
+            }
+            MNode::Restrict { pattern, operand } => {
+                operand.hash_into(h.with_str("restrict").with_str(pattern))
+            }
+            MNode::Project { pattern, operand } => {
+                operand.hash_into(h.with_str("project").with_str(pattern))
+            }
+            MNode::CopyAs {
+                pattern,
+                replacement,
+                operand,
+            } => operand.hash_into(
+                h.with_str("copy-as")
+                    .with_str(pattern)
+                    .with_str(replacement),
+            ),
+            MNode::Freeze { pattern, operand } => {
+                operand.hash_into(h.with_str("freeze").with_str(pattern))
+            }
+            MNode::Initializers(o) => o.hash_into(h.with_str("initializers")),
+            MNode::Source { lang, code } => h.with_str("source").with_str(lang).with_str(code),
+            MNode::Specialize { kind, operand } => {
+                let h = match kind {
+                    SpecKind::Static => h.with_str("spec-static"),
+                    SpecKind::Dynamic => h.with_str("spec-dynamic"),
+                    SpecKind::DynamicImpl => h.with_str("spec-dynamic-impl"),
+                    SpecKind::Constrained(cs) => {
+                        let mut h = h.with_str("spec-constrained");
+                        for (c, a) in cs {
+                            h = h
+                                .with_str(match c {
+                                    RegionClass::Text => "T",
+                                    RegionClass::Data => "D",
+                                })
+                                .with_u64(*a);
+                        }
+                        h
+                    }
+                };
+                operand.hash_into(h)
+            }
+        }
+    }
+
+    /// Parses one m-graph expression from an s-expression.
+    pub fn from_sexpr(s: &Sexpr) -> Result<MNode, BlueprintError> {
+        match s {
+            Sexpr::Sym(path) => Ok(MNode::Leaf(path.clone())),
+            Sexpr::Str(_) | Sexpr::Num(_) => {
+                berr(format!("expected an m-graph expression, found `{s}`"))
+            }
+            Sexpr::List(items) => {
+                let Some(op) = items.first().and_then(Sexpr::as_sym) else {
+                    return berr("operation list must start with an operator symbol");
+                };
+                let args = &items[1..];
+                match op {
+                    "merge" => {
+                        if args.is_empty() {
+                            return berr("merge needs at least one operand");
+                        }
+                        Ok(MNode::Merge(
+                            args.iter()
+                                .map(MNode::from_sexpr)
+                                .collect::<Result<_, _>>()?,
+                        ))
+                    }
+                    "override" => {
+                        if args.len() != 2 {
+                            return berr("override needs exactly two operands");
+                        }
+                        Ok(MNode::Override(
+                            Box::new(MNode::from_sexpr(&args[0])?),
+                            Box::new(MNode::from_sexpr(&args[1])?),
+                        ))
+                    }
+                    "rename" | "rename-refs" | "rename-defs" => {
+                        let (pattern, replacement, operand) = str_str_node(op, args)?;
+                        let target = match op {
+                            "rename-refs" => RenameTarget::Refs,
+                            "rename-defs" => RenameTarget::Defs,
+                            _ => RenameTarget::Both,
+                        };
+                        Ok(MNode::Rename {
+                            pattern,
+                            replacement,
+                            target,
+                            operand,
+                        })
+                    }
+                    "hide" | "show" | "restrict" | "project" | "freeze" => {
+                        let (pattern, operand) = str_node(op, args)?;
+                        Ok(match op {
+                            "hide" => MNode::Hide { pattern, operand },
+                            "show" => MNode::Show { pattern, operand },
+                            "restrict" => MNode::Restrict { pattern, operand },
+                            "project" => MNode::Project { pattern, operand },
+                            _ => MNode::Freeze { pattern, operand },
+                        })
+                    }
+                    "copy_as" | "copy-as" => {
+                        let (pattern, replacement, operand) = str_str_node(op, args)?;
+                        Ok(MNode::CopyAs {
+                            pattern,
+                            replacement,
+                            operand,
+                        })
+                    }
+                    "initializers" => {
+                        if args.len() != 1 {
+                            return berr("initializers needs exactly one operand");
+                        }
+                        Ok(MNode::Initializers(Box::new(MNode::from_sexpr(&args[0])?)))
+                    }
+                    "source" => {
+                        let lang =
+                            args.first()
+                                .and_then(Sexpr::as_str)
+                                .ok_or_else(|| BlueprintError {
+                                    msg: "source needs a language string".into(),
+                                })?;
+                        let code =
+                            args.get(1)
+                                .and_then(Sexpr::as_str)
+                                .ok_or_else(|| BlueprintError {
+                                    msg: "source needs a code string".into(),
+                                })?;
+                        Ok(MNode::Source {
+                            lang: lang.to_string(),
+                            code: code.to_string(),
+                        })
+                    }
+                    "specialize" => parse_specialize(args),
+                    "constrain" => {
+                        // (constrain "T" 0x1000000 m): sugar for a
+                        // single-region constrained specialization.
+                        if args.len() != 3 {
+                            return berr("constrain needs TAG ADDR OPERAND");
+                        }
+                        let cs = parse_constraint_pairs(&args[..2])?;
+                        Ok(MNode::Specialize {
+                            kind: SpecKind::Constrained(cs),
+                            operand: Box::new(MNode::from_sexpr(&args[2])?),
+                        })
+                    }
+                    other => berr(format!("unknown operator `{other}`")),
+                }
+            }
+        }
+    }
+}
+
+fn str_node(op: &str, args: &[Sexpr]) -> Result<(String, Box<MNode>), BlueprintError> {
+    if args.len() != 2 {
+        return berr(format!("{op} needs PATTERN OPERAND"));
+    }
+    let pattern = args[0].as_str().ok_or_else(|| BlueprintError {
+        msg: format!("{op}: pattern must be a string"),
+    })?;
+    Ok((pattern.to_string(), Box::new(MNode::from_sexpr(&args[1])?)))
+}
+
+fn str_str_node(op: &str, args: &[Sexpr]) -> Result<(String, String, Box<MNode>), BlueprintError> {
+    if args.len() != 3 {
+        return berr(format!("{op} needs PATTERN REPLACEMENT OPERAND"));
+    }
+    let pattern = args[0].as_str().ok_or_else(|| BlueprintError {
+        msg: format!("{op}: pattern must be a string"),
+    })?;
+    let replacement = args[1].as_str().ok_or_else(|| BlueprintError {
+        msg: format!("{op}: replacement must be a string"),
+    })?;
+    Ok((
+        pattern.to_string(),
+        replacement.to_string(),
+        Box::new(MNode::from_sexpr(&args[2])?),
+    ))
+}
+
+fn parse_specialize(args: &[Sexpr]) -> Result<MNode, BlueprintError> {
+    let kind_name = args
+        .first()
+        .and_then(Sexpr::as_str)
+        .ok_or_else(|| BlueprintError {
+            msg: "specialize needs a kind string".into(),
+        })?;
+    match kind_name {
+        "lib-static" => {
+            if args.len() != 2 {
+                return berr("specialize lib-static needs one operand");
+            }
+            Ok(MNode::Specialize {
+                kind: SpecKind::Static,
+                operand: Box::new(MNode::from_sexpr(&args[1])?),
+            })
+        }
+        "lib-dynamic" => {
+            if args.len() != 2 {
+                return berr("specialize lib-dynamic needs one operand");
+            }
+            Ok(MNode::Specialize {
+                kind: SpecKind::Dynamic,
+                operand: Box::new(MNode::from_sexpr(&args[1])?),
+            })
+        }
+        "lib-dynamic-impl" => {
+            if args.len() != 2 {
+                return berr("specialize lib-dynamic-impl needs one operand");
+            }
+            Ok(MNode::Specialize {
+                kind: SpecKind::DynamicImpl,
+                operand: Box::new(MNode::from_sexpr(&args[1])?),
+            })
+        }
+        "lib-constrained" => {
+            // (specialize "lib-constrained" (list "T" 0x1000000) /lib/libc)
+            if args.len() != 3 {
+                return berr("specialize lib-constrained needs (list ...) and an operand");
+            }
+            let list = args[1]
+                .as_list()
+                .filter(|l| l.first().and_then(Sexpr::as_sym) == Some("list"))
+                .ok_or_else(|| BlueprintError {
+                    msg: "lib-constrained constraints must be a (list ...)".into(),
+                })?;
+            let cs = parse_constraint_pairs(&list[1..])?;
+            Ok(MNode::Specialize {
+                kind: SpecKind::Constrained(cs),
+                operand: Box::new(MNode::from_sexpr(&args[2])?),
+            })
+        }
+        other => berr(format!("unknown specialization `{other}`")),
+    }
+}
+
+fn parse_constraint_pairs(items: &[Sexpr]) -> Result<Vec<(RegionClass, u64)>, BlueprintError> {
+    if items.len() % 2 != 0 {
+        return berr("constraints must be TAG ADDR pairs");
+    }
+    let mut out = Vec::new();
+    for pair in items.chunks(2) {
+        let tag = pair[0].as_str().ok_or_else(|| BlueprintError {
+            msg: "constraint tag must be a string".into(),
+        })?;
+        let class = RegionClass::from_tag(tag).ok_or_else(|| BlueprintError {
+            msg: format!("unknown constraint tag `{tag}`"),
+        })?;
+        let addr = pair[1].as_num().ok_or_else(|| BlueprintError {
+            msg: "constraint address must be a number".into(),
+        })?;
+        out.push((class, addr as u64));
+    }
+    Ok(out)
+}
+
+/// A parsed blueprint: optional default constraints plus the root m-graph.
+///
+/// # Examples
+///
+/// Figure 1's library meta-object shape:
+///
+/// ```
+/// use omos_blueprint::{Blueprint, MNode};
+///
+/// let bp = Blueprint::parse(
+///     "(constraint-list \"T\" 0x100000)\n(merge /libc/gen /libc/stdio)",
+/// )?;
+/// assert_eq!(bp.constraints.len(), 1);
+/// assert!(matches!(bp.root, MNode::Merge(ref items) if items.len() == 2));
+/// # Ok::<(), omos_blueprint::ast::BlueprintError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blueprint {
+    /// Default placement constraints (`constraint-list` forms).
+    pub constraints: Vec<(RegionClass, u64)>,
+    /// The root operation.
+    pub root: MNode,
+}
+
+impl Blueprint {
+    /// Parses blueprint text: any number of `constraint-list` forms and
+    /// exactly one m-graph expression.
+    pub fn parse(src: &str) -> Result<Blueprint, BlueprintError> {
+        let forms = parse_sexprs(src).map_err(|e| BlueprintError { msg: e.to_string() })?;
+        let mut constraints = Vec::new();
+        let mut root = None;
+        for f in &forms {
+            if let Some(l) = f.as_list() {
+                if l.first().and_then(Sexpr::as_sym) == Some("constraint-list") {
+                    constraints.extend(parse_constraint_pairs(&l[1..])?);
+                    continue;
+                }
+            }
+            if root.is_some() {
+                return berr("blueprint has more than one root expression");
+            }
+            root = Some(MNode::from_sexpr(f)?);
+        }
+        match root {
+            Some(root) => Ok(Blueprint { constraints, root }),
+            None => berr("blueprint has no root expression"),
+        }
+    }
+
+    /// Structural hash including constraints.
+    #[must_use]
+    pub fn hash(&self) -> ContentHash {
+        let mut h = ContentHash::EMPTY.with_str("blueprint");
+        for (c, a) in &self.constraints {
+            h = h
+                .with_str(match c {
+                    RegionClass::Text => "T",
+                    RegionClass::Data => "D",
+                })
+                .with_u64(*a);
+        }
+        self.root.hash_into(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_blueprint_parses() {
+        let bp = Blueprint::parse(
+            r#"
+            (constraint-list "T" 0x100000 "D" 0x40200000)
+            (merge /libc/gen /libc/stdio /libc/string /libc/stdlib
+                   /libc/hppa /libc/net /libc/quad /libc/rpc)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            bp.constraints,
+            vec![
+                (RegionClass::Text, 0x10_0000),
+                (RegionClass::Data, 0x4020_0000)
+            ]
+        );
+        match &bp.root {
+            MNode::Merge(items) => assert_eq!(items.len(), 8),
+            other => panic!("expected merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_blueprint_parses() {
+        let bp = Blueprint::parse(
+            r#"
+            (hide "_REAL_malloc"
+              (merge
+                (restrict "^_malloc$"
+                  (copy_as "^_malloc$" "_REAL_malloc"
+                    (merge /bin/ls.o /lib/libc.o)))
+                /lib/test_malloc.o))
+            "#,
+        )
+        .unwrap();
+        let MNode::Hide { pattern, operand } = &bp.root else {
+            panic!("expected hide at root");
+        };
+        assert_eq!(pattern, "_REAL_malloc");
+        let MNode::Merge(items) = operand.as_ref() else {
+            panic!("expected merge under hide");
+        };
+        assert!(matches!(items[1], MNode::Leaf(ref p) if p == "/lib/test_malloc.o"));
+    }
+
+    #[test]
+    fn figure3_blueprint_parses() {
+        let bp = Blueprint::parse(
+            r#"
+            (merge
+              (source "c" "int undef_var = 0;\n")
+              (rename "^_undefined_routine$" "_abort"
+                /lib/lib-with-problems))
+            "#,
+        )
+        .unwrap();
+        let MNode::Merge(items) = &bp.root else {
+            panic!("root should be merge")
+        };
+        assert!(matches!(items[0], MNode::Source { ref lang, .. } if lang == "c"));
+        assert!(
+            matches!(items[1], MNode::Rename { ref target, .. } if *target == RenameTarget::Both)
+        );
+    }
+
+    #[test]
+    fn specializations_parse() {
+        let d = Blueprint::parse(r#"(specialize "lib-dynamic" /lib/libc)"#).unwrap();
+        assert!(matches!(
+            d.root,
+            MNode::Specialize {
+                kind: SpecKind::Dynamic,
+                ..
+            }
+        ));
+
+        let c =
+            Blueprint::parse(r#"(specialize "lib-constrained" (list "T" 0x1000000) /lib/libc)"#)
+                .unwrap();
+        match c.root {
+            MNode::Specialize {
+                kind: SpecKind::Constrained(cs),
+                ..
+            } => {
+                assert_eq!(cs, vec![(RegionClass::Text, 0x100_0000)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constrain_sugar() {
+        let b = Blueprint::parse(r#"(constrain "T" 0x2000000 /lib/libm)"#).unwrap();
+        assert!(matches!(
+            b.root,
+            MNode::Specialize {
+                kind: SpecKind::Constrained(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn hash_distinguishes_structure() {
+        let a = Blueprint::parse("(merge /a /b)").unwrap();
+        let b = Blueprint::parse("(merge /b /a)").unwrap();
+        let a2 = Blueprint::parse("(merge /a /b)").unwrap();
+        assert_ne!(a.hash(), b.hash());
+        assert_eq!(a.hash(), a2.hash());
+        let c = Blueprint::parse("(constraint-list \"T\" 0x1000)\n(merge /a /b)").unwrap();
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn rename_variants() {
+        let refs = Blueprint::parse(r#"(rename-refs "a" "b" /x)"#).unwrap();
+        assert!(matches!(
+            refs.root,
+            MNode::Rename {
+                target: RenameTarget::Refs,
+                ..
+            }
+        ));
+        let defs = Blueprint::parse(r#"(rename-defs "a" "b" /x)"#).unwrap();
+        assert!(matches!(
+            defs.root,
+            MNode::Rename {
+                target: RenameTarget::Defs,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Blueprint::parse("(merge)").is_err());
+        assert!(Blueprint::parse("(override /a)").is_err());
+        assert!(Blueprint::parse("(hide /x /y)").is_err());
+        assert!(Blueprint::parse("(bogus /x)").is_err());
+        assert!(Blueprint::parse("(specialize \"wat\" /x)").is_err());
+        assert!(Blueprint::parse("/a /b").is_err(), "two roots");
+        assert!(Blueprint::parse("").is_err(), "no root");
+        assert!(
+            Blueprint::parse("(constraint-list \"T\")\n/a").is_err(),
+            "odd pairs"
+        );
+        assert!(
+            Blueprint::parse("(constraint-list \"Q\" 1)\n/a").is_err(),
+            "bad tag"
+        );
+    }
+}

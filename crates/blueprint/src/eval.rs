@@ -1,0 +1,648 @@
+//! M-graph evaluation.
+//!
+//! Executing an m-graph "may result in OMOS compiling source code,
+//! performing symbol translations, and combining and relocating
+//! fragments". The evaluator is deliberately *server-agnostic*: namespace
+//! resolution, sub-result caching, and dynamic-library registration come
+//! through the [`EvalContext`] trait, which the OMOS server implements.
+//!
+//! The output separates the *client module* (everything merged inline)
+//! from the *shared libraries* it references ([`LibraryUse`]): a leaf that
+//! resolves to a library-class meta-object (one carrying a
+//! `constraint-list`, like Figure 1's libc) or an explicit
+//! `lib-constrained` specialization is not merged into the client — the
+//! server places it with the constraint system and binds the client to
+//! its exports, which is precisely the self-contained scheme. A
+//! `lib-dynamic` specialization instead *is* merged, as generated stubs.
+
+use std::fmt;
+
+use omos_constraint::RegionClass;
+use omos_link::make_partial_stubs;
+use omos_module::Module;
+use omos_obj::{ContentHash, ObjError};
+
+use crate::ast::{Blueprint, BlueprintError, MNode, SpecKind};
+use crate::source::{compile_source, SourceError};
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Blueprint shape problem discovered during evaluation.
+    Blueprint(BlueprintError),
+    /// Module/object operation failure (duplicate symbols, bad regex...).
+    Obj(ObjError),
+    /// `source` operator failure.
+    Source(SourceError),
+    /// A namespace path did not resolve.
+    Resolve(String),
+    /// Meta-objects reference each other in a cycle.
+    Cycle(String),
+    /// An operation appeared somewhere it cannot (e.g. constrained
+    /// library under `hide`).
+    Misplaced(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Blueprint(e) => write!(f, "{e}"),
+            EvalError::Obj(e) => write!(f, "{e}"),
+            EvalError::Source(e) => write!(f, "{e}"),
+            EvalError::Resolve(p) => write!(f, "cannot resolve `{p}`"),
+            EvalError::Cycle(p) => write!(f, "meta-object cycle through `{p}`"),
+            EvalError::Misplaced(m) => write!(f, "misplaced operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ObjError> for EvalError {
+    fn from(e: ObjError) -> EvalError {
+        EvalError::Obj(e)
+    }
+}
+
+impl From<BlueprintError> for EvalError {
+    fn from(e: BlueprintError) -> EvalError {
+        EvalError::Blueprint(e)
+    }
+}
+
+impl From<SourceError> for EvalError {
+    fn from(e: SourceError) -> EvalError {
+        EvalError::Source(e)
+    }
+}
+
+/// What a namespace path resolves to.
+#[derive(Debug, Clone)]
+pub enum ResolvedNode {
+    /// A relocatable object file (a leaf fragment).
+    Object(std::sync::Arc<omos_obj::ObjectFile>),
+    /// Another meta-object (its blueprint).
+    Meta(Blueprint),
+}
+
+/// Server services the evaluator needs.
+pub trait EvalContext {
+    /// Resolves a namespace path.
+    fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError>;
+
+    /// Looks up a cached evaluation result by structural key.
+    fn cache_get(&mut self, key: ContentHash) -> Option<Module>;
+
+    /// Stores an evaluation result.
+    fn cache_put(&mut self, key: ContentHash, module: &Module);
+
+    /// Registers a `lib-dynamic` implementation module, returning the
+    /// library id the generated stubs will pass to `OMOS_LOOKUP`.
+    fn register_dynamic_impl(
+        &mut self,
+        key: ContentHash,
+        module: &Module,
+    ) -> Result<u32, EvalError>;
+}
+
+/// Work counters for one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// m-graph nodes visited.
+    pub nodes: u64,
+    /// Sub-results served from the cache.
+    pub cache_hits: u64,
+    /// Merge/override operations actually performed.
+    pub merges: u64,
+    /// `source` compilations performed.
+    pub source_compiles: u64,
+    /// Leaf objects loaded through the resolver.
+    pub leaves: u64,
+}
+
+/// A shared library the evaluated client references.
+#[derive(Debug, Clone)]
+pub struct LibraryUse {
+    /// Namespace name (or a synthetic name for inline specializations).
+    pub name: String,
+    /// Structural identity of the library's graph.
+    pub key: ContentHash,
+    /// The library's (un-placed) module.
+    pub module: Module,
+    /// Placement preferences, strongest first.
+    pub constraints: Vec<(RegionClass, u64)>,
+}
+
+/// The result of evaluating a blueprint.
+#[derive(Debug)]
+pub struct EvalOutput {
+    /// The client module: every inline-merged fragment (including
+    /// generated dynamic stubs).
+    pub module: Module,
+    /// Self-contained shared libraries referenced, to be placed and bound
+    /// by the server.
+    pub libraries: Vec<LibraryUse>,
+    /// Blueprint-level default constraints (for the client itself).
+    pub constraints: Vec<(RegionClass, u64)>,
+    /// Work counters.
+    pub stats: EvalStats,
+}
+
+struct Evaluator<'a> {
+    ctx: &'a mut dyn EvalContext,
+    stats: EvalStats,
+    libraries: Vec<LibraryUse>,
+    visiting: Vec<String>,
+}
+
+/// Evaluates a blueprint to a client module plus its library uses.
+pub fn eval_blueprint(bp: &Blueprint, ctx: &mut dyn EvalContext) -> Result<EvalOutput, EvalError> {
+    let mut ev = Evaluator {
+        ctx,
+        stats: EvalStats::default(),
+        libraries: Vec::new(),
+        visiting: Vec::new(),
+    };
+    let module = ev.node(&bp.root)?;
+    Ok(EvalOutput {
+        module,
+        libraries: ev.libraries,
+        constraints: bp.constraints.clone(),
+        stats: ev.stats,
+    })
+}
+
+impl Evaluator<'_> {
+    fn node(&mut self, n: &MNode) -> Result<Module, EvalError> {
+        self.stats.nodes += 1;
+        let key = n.hash();
+        if let Some(m) = self.ctx.cache_get(key) {
+            self.stats.cache_hits += 1;
+            // Cached result for a subtree: library uses under it were
+            // recorded when it was first evaluated and are re-declared by
+            // re-walking only the library-introducing nodes.
+            self.collect_library_uses(n)?;
+            return Ok(m);
+        }
+        let m = self.node_uncached(n)?;
+        self.ctx.cache_put(key, &m);
+        Ok(m)
+    }
+
+    fn node_uncached(&mut self, n: &MNode) -> Result<Module, EvalError> {
+        match n {
+            MNode::Leaf(path) => self.leaf(path),
+            MNode::Merge(items) => {
+                let mut acc: Option<Module> = None;
+                for it in items {
+                    let m = match self.library_candidate(it)? {
+                        Some(()) => continue, // recorded as a library use
+                        None => self.node(it)?,
+                    };
+                    acc = Some(match acc {
+                        None => m,
+                        Some(a) => {
+                            self.stats.merges += 1;
+                            a.merge_with(&m)?
+                        }
+                    });
+                }
+                match acc {
+                    Some(a) => Ok(a),
+                    None => {
+                        // Every operand was a shared library: the "client"
+                        // is empty, which is a blueprint bug.
+                        Err(EvalError::Misplaced(
+                            "merge of only shared libraries produces an empty client".into(),
+                        ))
+                    }
+                }
+            }
+            MNode::Override(a, b) => {
+                let ma = self.node(a)?;
+                let mb = self.node(b)?;
+                self.stats.merges += 1;
+                Ok(ma.override_with(&mb)?)
+            }
+            MNode::Rename {
+                pattern,
+                replacement,
+                target,
+                operand,
+            } => Ok(self.node(operand)?.rename(pattern, replacement, *target)?),
+            MNode::Hide { pattern, operand } => Ok(self.node(operand)?.hide(pattern)?),
+            MNode::Show { pattern, operand } => Ok(self.node(operand)?.show(pattern)?),
+            MNode::Restrict { pattern, operand } => Ok(self.node(operand)?.restrict(pattern)?),
+            MNode::Project { pattern, operand } => Ok(self.node(operand)?.project(pattern)?),
+            MNode::CopyAs {
+                pattern,
+                replacement,
+                operand,
+            } => Ok(self.node(operand)?.copy_as(pattern, replacement)?),
+            MNode::Freeze { pattern, operand } => Ok(self.node(operand)?.freeze(pattern)?),
+            MNode::Initializers(o) => Ok(self.node(o)?.initializers()?),
+            MNode::Source { lang, code } => {
+                self.stats.source_compiles += 1;
+                let obj = compile_source(lang, code, "<source>")?;
+                Ok(Module::from_object(obj))
+            }
+            MNode::Specialize { kind, operand } => match kind {
+                SpecKind::Static | SpecKind::DynamicImpl => self.node(operand),
+                SpecKind::Dynamic => {
+                    let impl_module = self.node(operand)?;
+                    let key = impl_module.content_hash().with_str("dynamic-impl");
+                    let lib_id = self.ctx.register_dynamic_impl(key, &impl_module)?;
+                    let mut exports = impl_module.exports()?;
+                    exports.sort();
+                    Ok(Module::from_object(make_partial_stubs(lib_id, &exports)))
+                }
+                SpecKind::Constrained(cs) => {
+                    // A constrained specialization evaluated in a position
+                    // where its module is demanded directly (not under a
+                    // merge): produce the module; the constraints apply
+                    // when the server instantiates it standalone.
+                    let m = self.node(operand)?;
+                    let _ = cs;
+                    Ok(m)
+                }
+            },
+        }
+    }
+
+    /// If `n` introduces a self-contained shared library inside a merge,
+    /// records the library use and returns `Some(())`.
+    fn library_candidate(&mut self, n: &MNode) -> Result<Option<()>, EvalError> {
+        match n {
+            MNode::Specialize {
+                kind: SpecKind::Constrained(cs),
+                operand,
+            } => {
+                let module = self.node(operand)?;
+                self.libraries.push(LibraryUse {
+                    name: leaf_name(operand),
+                    // Content-derived: rebuilding the library's fragments
+                    // must produce a new key even under an unchanged graph.
+                    key: module.content_hash(),
+                    module,
+                    constraints: cs.clone(),
+                });
+                Ok(Some(()))
+            }
+            MNode::Leaf(path) => {
+                // A leaf naming a library-class meta-object (one with a
+                // constraint-list) is a self-contained library reference.
+                match self.ctx.resolve(path)? {
+                    ResolvedNode::Meta(bp) if !bp.constraints.is_empty() => {
+                        let module = self.meta(path, &bp)?;
+                        self.libraries.push(LibraryUse {
+                            name: path.clone(),
+                            key: module.content_hash(),
+                            module,
+                            constraints: bp.constraints.clone(),
+                        });
+                        Ok(Some(()))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Re-declares library uses under an already-cached subtree without
+    /// re-evaluating the expensive parts (modules come from the cache).
+    fn collect_library_uses(&mut self, n: &MNode) -> Result<(), EvalError> {
+        match n {
+            MNode::Merge(items) => {
+                for it in items {
+                    if self.library_candidate(it)?.is_none() {
+                        self.collect_library_uses(it)?;
+                    }
+                }
+                Ok(())
+            }
+            MNode::Override(a, b) => {
+                self.collect_library_uses(a)?;
+                self.collect_library_uses(b)
+            }
+            MNode::Rename { operand, .. }
+            | MNode::Hide { operand, .. }
+            | MNode::Show { operand, .. }
+            | MNode::Restrict { operand, .. }
+            | MNode::Project { operand, .. }
+            | MNode::CopyAs { operand, .. }
+            | MNode::Freeze { operand, .. }
+            | MNode::Specialize { operand, .. } => self.collect_library_uses(operand),
+            MNode::Initializers(o) => self.collect_library_uses(o),
+            MNode::Leaf(_) | MNode::Source { .. } => Ok(()),
+        }
+    }
+
+    fn leaf(&mut self, path: &str) -> Result<Module, EvalError> {
+        match self.ctx.resolve(path)? {
+            ResolvedNode::Object(obj) => {
+                self.stats.leaves += 1;
+                Ok(Module::from_arc(obj))
+            }
+            ResolvedNode::Meta(bp) => self.meta(path, &bp),
+        }
+    }
+
+    fn meta(&mut self, path: &str, bp: &Blueprint) -> Result<Module, EvalError> {
+        if self.visiting.iter().any(|p| p == path) {
+            return Err(EvalError::Cycle(path.to_string()));
+        }
+        self.visiting.push(path.to_string());
+        let result = self.node(&bp.root);
+        self.visiting.pop();
+        result
+    }
+}
+
+fn leaf_name(n: &MNode) -> String {
+    match n {
+        MNode::Leaf(p) => p.clone(),
+        other => format!("<inline:{}>", other.hash()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::assemble;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// A test context: a flat namespace of objects and metas plus a real
+    /// cache.
+    #[derive(Default)]
+    struct TestCtx {
+        objects: HashMap<String, Arc<omos_obj::ObjectFile>>,
+        metas: HashMap<String, Blueprint>,
+        cache: HashMap<ContentHash, Module>,
+        dynamic: Vec<(ContentHash, Module)>,
+        resolve_calls: u64,
+    }
+
+    impl TestCtx {
+        fn add_asm(&mut self, path: &str, src: &str) {
+            self.objects.insert(
+                path.to_string(),
+                Arc::new(assemble(path, src).expect("assembles")),
+            );
+        }
+
+        fn add_meta(&mut self, path: &str, src: &str) {
+            self.metas
+                .insert(path.to_string(), Blueprint::parse(src).expect("parses"));
+        }
+    }
+
+    impl EvalContext for TestCtx {
+        fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
+            self.resolve_calls += 1;
+            if let Some(o) = self.objects.get(path) {
+                return Ok(ResolvedNode::Object(Arc::clone(o)));
+            }
+            if let Some(m) = self.metas.get(path) {
+                return Ok(ResolvedNode::Meta(m.clone()));
+            }
+            Err(EvalError::Resolve(path.to_string()))
+        }
+
+        fn cache_get(&mut self, key: ContentHash) -> Option<Module> {
+            self.cache.get(&key).cloned()
+        }
+
+        fn cache_put(&mut self, key: ContentHash, module: &Module) {
+            self.cache.insert(key, module.clone());
+        }
+
+        fn register_dynamic_impl(
+            &mut self,
+            key: ContentHash,
+            module: &Module,
+        ) -> Result<u32, EvalError> {
+            if let Some(i) = self.dynamic.iter().position(|(k, _)| *k == key) {
+                return Ok(i as u32);
+            }
+            self.dynamic.push((key, module.clone()));
+            Ok(self.dynamic.len() as u32 - 1)
+        }
+    }
+
+    fn ls_world() -> TestCtx {
+        let mut ctx = TestCtx::default();
+        ctx.add_asm(
+            "/obj/ls.o",
+            ".text\n.global _start\n_start: call _puts\n sys 0\n",
+        );
+        ctx.add_asm(
+            "/libc/stdio.o",
+            ".text\n.global _puts\n_puts: li r1, 0\n ret\n",
+        );
+        ctx
+    }
+
+    #[test]
+    fn simple_merge_evaluates() {
+        let mut ctx = ls_world();
+        let bp = Blueprint::parse("(merge /obj/ls.o /libc/stdio.o)").unwrap();
+        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert!(out.module.free_references().unwrap().is_empty());
+        assert!(out.libraries.is_empty());
+        assert_eq!(out.stats.merges, 1);
+        assert_eq!(out.stats.leaves, 2);
+    }
+
+    #[test]
+    fn second_evaluation_hits_cache() {
+        let mut ctx = ls_world();
+        let bp = Blueprint::parse("(merge /obj/ls.o /libc/stdio.o)").unwrap();
+        let first = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert_eq!(second.stats.cache_hits, 1, "root served from cache");
+        assert_eq!(second.stats.merges, 0, "no merge redone");
+        assert_eq!(first.module.content_hash(), second.module.content_hash());
+    }
+
+    #[test]
+    fn library_class_meta_object_becomes_library_use() {
+        let mut ctx = ls_world();
+        ctx.add_meta(
+            "/lib/libc",
+            r#"
+            (constraint-list "T" 0x1000000 "D" 0x41000000)
+            (merge /libc/stdio.o)
+            "#,
+        );
+        let bp = Blueprint::parse("(merge /obj/ls.o /lib/libc)").unwrap();
+        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        // The client still references _puts (unbound) — the server binds
+        // it against the placed library.
+        assert!(out
+            .module
+            .free_references()
+            .unwrap()
+            .contains(&"_puts".to_string()));
+        assert_eq!(out.libraries.len(), 1);
+        let lib = &out.libraries[0];
+        assert_eq!(lib.name, "/lib/libc");
+        assert_eq!(lib.constraints[0], (RegionClass::Text, 0x100_0000));
+        assert!(lib.module.exports().unwrap().contains(&"_puts".to_string()));
+    }
+
+    #[test]
+    fn explicit_constrained_specialization_in_merge() {
+        let mut ctx = ls_world();
+        let bp = Blueprint::parse(
+            r#"(merge /obj/ls.o
+                 (specialize "lib-constrained" (list "T" 0x2000000) /libc/stdio.o))"#,
+        )
+        .unwrap();
+        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert_eq!(out.libraries.len(), 1);
+        assert_eq!(
+            out.libraries[0].constraints,
+            vec![(RegionClass::Text, 0x200_0000)]
+        );
+    }
+
+    #[test]
+    fn dynamic_specialization_generates_stubs() {
+        let mut ctx = ls_world();
+        let bp = Blueprint::parse(r#"(merge /obj/ls.o (specialize "lib-dynamic" /libc/stdio.o))"#)
+            .unwrap();
+        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        // Stubs define _puts, so the client is fully bound statically.
+        assert!(out.module.free_references().unwrap().is_empty());
+        assert!(
+            out.libraries.is_empty(),
+            "dynamic libs are not placement requests"
+        );
+        assert_eq!(ctx.dynamic.len(), 1, "implementation registered");
+        // Re-evaluating registers nothing new.
+        let _ = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert_eq!(ctx.dynamic.len(), 1);
+    }
+
+    #[test]
+    fn figure2_blueprint_evaluates() {
+        let mut ctx = TestCtx::default();
+        ctx.add_asm(
+            "/bin/ls.o",
+            ".text\n.global _start\n_start: call _malloc\n sys 0\n",
+        );
+        ctx.add_asm(
+            "/lib/libc.o",
+            ".text\n.global _malloc\n_malloc: li r1, 0x1000\n ret\n",
+        );
+        ctx.add_asm(
+            "/lib/test_malloc.o",
+            r#"
+            .text
+            .global _malloc
+            .extern _REAL_malloc
+_malloc:    mov r8, r15
+            call _REAL_malloc
+            mov r15, r8
+            ret
+            "#,
+        );
+        let bp = Blueprint::parse(
+            r#"
+            (hide "_REAL_malloc"
+              (merge
+                (restrict "^_malloc$"
+                  (copy_as "^_malloc$" "_REAL_malloc"
+                    (merge /bin/ls.o /lib/libc.o)))
+                /lib/test_malloc.o))
+            "#,
+        )
+        .unwrap();
+        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let exports = out.module.exports().unwrap();
+        assert!(exports.contains(&"_malloc".to_string()));
+        assert!(!exports.contains(&"_REAL_malloc".to_string()));
+        assert!(out.module.free_references().unwrap().is_empty());
+    }
+
+    #[test]
+    fn figure3_blueprint_evaluates() {
+        let mut ctx = TestCtx::default();
+        ctx.add_asm(
+            "/lib/lib-with-problems",
+            r#"
+            .text
+            .global _entry
+_entry:     call _undefined_routine
+            li r2, _undef_var
+            ld r1, [r2]
+            ret
+            "#,
+        );
+        ctx.add_asm("/lib/abort.o", ".text\n.global _abort\n_abort: halt\n");
+        let bp = Blueprint::parse(
+            r#"
+            (merge
+              (source "c" "int undef_var = 0;\n")
+              (rename "^_undefined_routine$" "_abort" /lib/lib-with-problems)
+              /lib/abort.o)
+            "#,
+        )
+        .unwrap();
+        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert!(out.module.free_references().unwrap().is_empty());
+        assert_eq!(out.stats.source_compiles, 1);
+    }
+
+    #[test]
+    fn meta_object_cycles_detected() {
+        let mut ctx = TestCtx::default();
+        ctx.add_meta("/meta/a", "(merge /meta/b /meta/b)");
+        ctx.add_meta("/meta/b", "(merge /meta/a /meta/a)");
+        let bp = Blueprint::parse("(merge /meta/a /meta/a)").unwrap();
+        let err = eval_blueprint(&bp, &mut ctx).unwrap_err();
+        assert!(matches!(err, EvalError::Cycle(_)));
+    }
+
+    #[test]
+    fn unresolved_path_errors() {
+        let mut ctx = TestCtx::default();
+        let bp = Blueprint::parse("(merge /nope /alsono)").unwrap();
+        assert!(matches!(
+            eval_blueprint(&bp, &mut ctx),
+            Err(EvalError::Resolve(_))
+        ));
+    }
+
+    #[test]
+    fn merge_of_only_libraries_rejected() {
+        let mut ctx = ls_world();
+        ctx.add_meta(
+            "/lib/libc",
+            "(constraint-list \"T\" 0x1000000)\n(merge /libc/stdio.o)",
+        );
+        let bp = Blueprint::parse("(merge /lib/libc)").unwrap();
+        assert!(matches!(
+            eval_blueprint(&bp, &mut ctx),
+            Err(EvalError::Misplaced(_))
+        ));
+    }
+
+    #[test]
+    fn cached_subtree_still_declares_libraries() {
+        let mut ctx = ls_world();
+        ctx.add_meta(
+            "/lib/libc",
+            "(constraint-list \"T\" 0x1000000)\n(merge /libc/stdio.o)",
+        );
+        let bp = Blueprint::parse("(merge /obj/ls.o /lib/libc)").unwrap();
+        let first = eval_blueprint(&bp, &mut ctx).unwrap();
+        let second = eval_blueprint(&bp, &mut ctx).unwrap();
+        assert_eq!(first.libraries.len(), 1);
+        assert_eq!(second.libraries.len(), 1, "library uses survive caching");
+        assert_eq!(first.libraries[0].key, second.libraries[0].key);
+    }
+}

@@ -1,0 +1,26 @@
+//! The OMOS blueprint language and m-graph evaluator.
+//!
+//! §3.2–3.4: "Meta-objects contain a specification, known as a blueprint,
+//! which describes how to combine objects and other meta-objects to
+//! produce an instance of the class. These rules map into a graph of
+//! operations, the m-graph. ... Before executing the m-graph, OMOS
+//! applies any user-specified specializations to it."
+//!
+//! * [`sexpr`] — the "simple Lisp-like syntax" parser;
+//! * [`ast`] — the m-graph ([`ast::MNode`]) and blueprint representation,
+//!   with structural hashing for the server caches;
+//! * [`source`] — the `source` operator: assembles U32 assembly or
+//!   compiles the mini-C subset the paper's Figure 3 uses;
+//! * [`eval`] — m-graph execution against a pluggable [`eval::EvalContext`]
+//!   (namespace resolution, sub-result caching, dynamic-library
+//!   registration), producing a linked-ready [`omos_module::Module`].
+
+pub mod ast;
+pub mod eval;
+pub mod sexpr;
+pub mod source;
+
+pub use ast::{Blueprint, MNode, SpecKind};
+pub use eval::{eval_blueprint, EvalContext, EvalError, EvalOutput, EvalStats, ResolvedNode};
+pub use sexpr::{parse_sexprs, Sexpr};
+pub use source::{compile_source, SourceError};

@@ -1,0 +1,528 @@
+//! The `source` operator: fragments from source text.
+//!
+//! §3.3 lists `Source: produces a fragment from a C, C++, or assembly
+//! language source object`, and §6 shows it filling in "missing variable
+//! or routine definitions with default values" (Figure 3's
+//! `int undef_var = 0;`). We support two languages:
+//!
+//! * `"asm"` — U32 assembly, passed straight to the assembler;
+//! * `"c"` — a deliberately small C subset sufficient for default values
+//!   and wrapper routines: global `int` definitions, zero/one-argument
+//!   `int` functions, assignments, calls, `return`, and `+`/`-`
+//!   arithmetic. C names are mangled with a leading underscore, matching
+//!   the paper's symbol style (`malloc` ⇒ `_malloc`).
+
+use std::fmt;
+
+use omos_isa::assemble;
+use omos_obj::ObjectFile;
+
+/// A source-compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "source error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+fn serr<T>(msg: impl Into<String>) -> Result<T, SourceError> {
+    Err(SourceError { msg: msg.into() })
+}
+
+/// Compiles `code` in `lang` (`"c"` or `"asm"`) into an object file.
+pub fn compile_source(lang: &str, code: &str, name: &str) -> Result<ObjectFile, SourceError> {
+    match lang {
+        "asm" | "s" => assemble(name, code).map_err(|e| SourceError { msg: e.to_string() }),
+        "c" => {
+            let asm = compile_c(code)?;
+            assemble(name, &asm).map_err(|e| SourceError {
+                msg: format!("internal: {e}"),
+            })
+        }
+        other => serr(format!("unsupported source language `{other}`")),
+    }
+}
+
+// --- The mini-C compiler. ---------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(char),
+    KwInt,
+    KwReturn,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, SourceError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut id = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    id.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(match id.as_str() {
+                "int" => Tok::KwInt,
+                "return" => Tok::KwReturn,
+                _ => Tok::Ident(id),
+            });
+        } else if c.is_ascii_digit() {
+            let mut n = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() {
+                    n.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let v = if let Some(h) = n.strip_prefix("0x").or_else(|| n.strip_prefix("0X")) {
+                i64::from_str_radix(h, 16)
+            } else {
+                n.parse()
+            }
+            .map_err(|_| SourceError {
+                msg: format!("bad number `{n}`"),
+            })?;
+            out.push(Tok::Num(v));
+        } else if "(){};=+-,".contains(c) {
+            chars.next();
+            out.push(Tok::Punct(c));
+        } else if c == '/' {
+            chars.next();
+            if chars.peek() == Some(&'/') {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                return serr("unexpected `/`");
+            }
+        } else {
+            return serr(format!("unexpected character `{c}`"));
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug)]
+enum Expr {
+    Num(i64),
+    Var(String),
+    Call(String, Option<Box<Expr>>),
+    Bin(char, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug)]
+enum Stmt {
+    Return(Expr),
+    Assign(String, Expr),
+    Expr(Expr),
+}
+
+#[derive(Debug)]
+enum Decl {
+    Var {
+        name: String,
+        init: i64,
+    },
+    Func {
+        name: String,
+        param: Option<String>,
+        body: Vec<Stmt>,
+    },
+}
+
+struct CParser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl CParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), SourceError> {
+        match self.bump() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => serr(format!("expected `{c}`, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SourceError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => serr(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn decls(&mut self) -> Result<Vec<Decl>, SourceError> {
+        let mut out = Vec::new();
+        while self.peek().is_some() {
+            match self.bump() {
+                Some(Tok::KwInt) => {}
+                other => return serr(format!("expected `int`, found {other:?}")),
+            }
+            let name = self.ident()?;
+            match self.peek() {
+                Some(Tok::Punct('(')) => {
+                    self.bump();
+                    let mut param = None;
+                    if self.peek() == Some(&Tok::KwInt) {
+                        self.bump();
+                        param = Some(self.ident()?);
+                    }
+                    self.expect_punct(')')?;
+                    self.expect_punct('{')?;
+                    let mut body = Vec::new();
+                    while self.peek() != Some(&Tok::Punct('}')) {
+                        body.push(self.stmt()?);
+                    }
+                    self.expect_punct('}')?;
+                    out.push(Decl::Func { name, param, body });
+                }
+                Some(Tok::Punct('=')) => {
+                    self.bump();
+                    let neg = if self.peek() == Some(&Tok::Punct('-')) {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    let v = match self.bump() {
+                        Some(Tok::Num(n)) => n,
+                        other => {
+                            return serr(format!(
+                                "global initializer must be a constant, found {other:?}"
+                            ))
+                        }
+                    };
+                    self.expect_punct(';')?;
+                    out.push(Decl::Var {
+                        name,
+                        init: if neg { -v } else { v },
+                    });
+                }
+                Some(Tok::Punct(';')) => {
+                    self.bump();
+                    out.push(Decl::Var { name, init: 0 });
+                }
+                other => return serr(format!("unexpected token after name: {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, SourceError> {
+        if self.peek() == Some(&Tok::KwReturn) {
+            self.bump();
+            let e = self.expr()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::Return(e));
+        }
+        // Assignment or expression statement.
+        if let (Some(Tok::Ident(name)), Some(Tok::Punct('='))) =
+            (self.toks.get(self.pos), self.toks.get(self.pos + 1))
+        {
+            let name = name.clone();
+            self.pos += 2;
+            let e = self.expr()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::Assign(name, e));
+        }
+        let e = self.expr()?;
+        self.expect_punct(';')?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, SourceError> {
+        let mut lhs = self.atom()?;
+        while let Some(Tok::Punct(op @ ('+' | '-'))) = self.peek() {
+            let op = *op;
+            self.bump();
+            let rhs = self.atom()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<Expr, SourceError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Punct('-')) => match self.bump() {
+                Some(Tok::Num(n)) => Ok(Expr::Num(-n)),
+                other => serr(format!("expected number after `-`, found {other:?}")),
+            },
+            Some(Tok::Punct('(')) => {
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::Punct('(')) {
+                    self.bump();
+                    let arg = if self.peek() == Some(&Tok::Punct(')')) {
+                        None
+                    } else {
+                        Some(Box::new(self.expr()?))
+                    };
+                    self.expect_punct(')')?;
+                    Ok(Expr::Call(name, arg))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => serr(format!("unexpected token in expression: {other:?}")),
+        }
+    }
+}
+
+struct Codegen {
+    asm: String,
+    /// Words currently pushed for expression temporaries; parameter
+    /// frame-slot addressing must account for them.
+    depth: u32,
+}
+
+impl Codegen {
+    fn line(&mut self, s: &str) {
+        self.asm.push_str("    ");
+        self.asm.push_str(s);
+        self.asm.push('\n');
+    }
+
+    /// Evaluates `e` into r1. Uses the stack for temporaries so calls
+    /// inside compound expressions are safe; `self.depth` tracks pushed
+    /// words so the parameter frame slot stays addressable.
+    fn expr(&mut self, e: &Expr, param: Option<&str>) -> Result<(), SourceError> {
+        match e {
+            Expr::Num(n) => self.line(&format!("li r1, {n}")),
+            Expr::Var(name) => {
+                if param == Some(name.as_str()) {
+                    // The parameter was saved to the frame in the prologue,
+                    // above any live expression temporaries.
+                    let off = 4 + self.depth * 4;
+                    self.line(&format!("ld r1, [r14+{off}]"));
+                } else {
+                    self.line(&format!("li r10, _{name}"));
+                    self.line("ld r1, [r10]");
+                }
+            }
+            Expr::Call(name, arg) => {
+                if let Some(a) = arg {
+                    self.expr(a, param)?;
+                }
+                self.line(&format!("call _{name}"));
+            }
+            Expr::Bin(op, a, b) => {
+                self.expr(a, param)?;
+                self.line("addi r14, r14, -4");
+                self.line("st r1, [r14]");
+                self.depth += 1;
+                self.expr(b, param)?;
+                self.line("ld r10, [r14]");
+                self.line("addi r14, r14, 4");
+                self.depth -= 1;
+                match op {
+                    '+' => self.line("add r1, r10, r1"),
+                    '-' => self.line("sub r1, r10, r1"),
+                    other => return serr(format!("bad operator {other}")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn epilogue(&mut self) {
+        self.line("ld r15, [r14]");
+        self.line("addi r14, r14, 8");
+        self.line("ret");
+    }
+}
+
+/// Compiles the mini-C subset to U32 assembly text.
+pub fn compile_c(src: &str) -> Result<String, SourceError> {
+    let toks = lex(src)?;
+    let decls = CParser { toks, pos: 0 }.decls()?;
+    let mut cg = Codegen {
+        asm: String::new(),
+        depth: 0,
+    };
+    let mut data = String::new();
+
+    cg.asm.push_str(".text\n");
+    for d in &decls {
+        match d {
+            Decl::Var { name, init } => {
+                data.push_str(&format!(".global _{name}\n_{name}: .word {init}\n"));
+            }
+            Decl::Func { name, param, body } => {
+                cg.asm.push_str(&format!(".global _{name}\n_{name}:\n"));
+                // Frame: [r14] = saved lr, [r14+4] = saved parameter.
+                cg.line("addi r14, r14, -8");
+                cg.line("st r15, [r14]");
+                if param.is_some() {
+                    cg.line("st r1, [r14+4]");
+                }
+                let mut returned = false;
+                for s in body {
+                    match s {
+                        Stmt::Return(e) => {
+                            cg.expr(e, param.as_deref())?;
+                            cg.epilogue();
+                            returned = true;
+                        }
+                        Stmt::Assign(name, e) => {
+                            cg.expr(e, param.as_deref())?;
+                            cg.line(&format!("li r10, _{name}"));
+                            cg.line("st r1, [r10]");
+                        }
+                        Stmt::Expr(e) => cg.expr(e, param.as_deref())?,
+                    }
+                }
+                if !returned {
+                    cg.line("li r1, 0");
+                    cg.epilogue();
+                }
+            }
+        }
+    }
+    if !data.is_empty() {
+        cg.asm.push_str(".data\n");
+        cg.asm.push_str(&data);
+    }
+    Ok(cg.asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::vm::{ExitOnly, FlatMemory, Vm};
+    use omos_isa::StopReason;
+    use omos_link::{link, LinkOptions};
+
+    fn run_c(main_body: &str, extra: &str) -> u32 {
+        let c = compile_source(
+            "c",
+            &format!("{extra}\nint cmain() {{ {main_body} }}"),
+            "t.o",
+        )
+        .expect("compiles");
+        let start = omos_isa::assemble(
+            "start.o",
+            ".text\n.global _start\n_start: call _cmain\n sys 0\n",
+        )
+        .unwrap();
+        let out = link(&[start, c], &LinkOptions::program("t")).expect("links");
+        let lo = out.image.segments.iter().map(|s| s.vaddr).min().unwrap();
+        let hi = out.image.segments.iter().map(|s| s.end()).max().unwrap();
+        let mut mem = FlatMemory::new(lo, (hi - u64::from(lo)) as usize + 65536);
+        for s in &out.image.segments {
+            mem.load(s.vaddr, &s.bytes);
+        }
+        let mut vm = Vm::new(out.image.entry.unwrap());
+        vm.regs[14] = hi as u32 + 65000;
+        match vm.run(&mut mem, &mut ExitOnly, 1_000_000) {
+            StopReason::Exited(code) => code,
+            other => panic!("program did not exit cleanly: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_default_value() {
+        let obj = compile_source("c", "int undef_var = 0;\n", "defaults.o").unwrap();
+        let s = obj.symbols.get("_undef_var").expect("exported");
+        assert!(s.def.is_definition());
+    }
+
+    #[test]
+    fn constants_and_arithmetic() {
+        assert_eq!(run_c("return 40 + 2;", ""), 42);
+        assert_eq!(run_c("return 50 - 8;", ""), 42);
+        assert_eq!(run_c("return 1 + 2 + 3 - 4;", ""), 2);
+        assert_eq!(run_c("return (10 - 2) - 3;", ""), 5);
+    }
+
+    #[test]
+    fn globals_read_and_write() {
+        assert_eq!(
+            run_c(
+                "counter = counter + 5; return counter;",
+                "int counter = 10;"
+            ),
+            15
+        );
+        assert_eq!(run_c("return uninit;", "int uninit;"), 0);
+        assert_eq!(run_c("return neg;", "int neg = -7;") as i32, -7);
+    }
+
+    #[test]
+    fn calls_with_and_without_args() {
+        let extra = "int seven() { return 7; }\nint double_it(int x) { return x + x; }";
+        assert_eq!(run_c("return seven();", extra), 7);
+        assert_eq!(run_c("return double_it(21);", extra), 42);
+        assert_eq!(run_c("return double_it(seven()) + 1;", extra), 15);
+    }
+
+    #[test]
+    fn call_inside_compound_expression_is_safe() {
+        // The stack discipline must protect temporaries across the call.
+        let extra = "int five() { return 5; }";
+        assert_eq!(run_c("return 100 - five();", extra), 95);
+        assert_eq!(run_c("return five() + five() + five();", extra), 15);
+    }
+
+    #[test]
+    fn undefined_references_stay_symbolic() {
+        // A wrapper calling an undefined routine: the call becomes a
+        // relocation to `_other`, resolvable by a later merge.
+        let obj = compile_source("c", "int wrapper() { return other(); }", "w.o").unwrap();
+        assert!(obj.relocs.iter().any(|r| r.symbol == "_other"));
+    }
+
+    #[test]
+    fn asm_passthrough() {
+        let obj = compile_source("asm", ".text\n.global _f\n_f: ret\n", "f.o").unwrap();
+        assert!(obj.symbols.get("_f").is_some());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(compile_source("fortran", "x", "t.o").is_err());
+        assert!(compile_source("c", "float x;", "t.o").is_err());
+        assert!(compile_source("c", "int f() { return $; }", "t.o").is_err());
+        assert!(compile_source("c", "int x = y;", "t.o").is_err());
+        assert!(compile_source("c", "int f() { return 1 }", "t.o").is_err());
+    }
+
+    #[test]
+    fn implicit_return_zero() {
+        assert_eq!(run_c("g = 3;", "int g;"), 0);
+    }
+}

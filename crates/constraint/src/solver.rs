@@ -1,0 +1,688 @@
+//! The prioritized address-space placement solver.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Priority levels of §3.5, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// "No two objects may overlap" — never violated.
+    Required,
+    /// "Existing implementations be reused" — violated only when reuse is
+    /// impossible without overlap.
+    Strong,
+    /// User-supplied placement preference; larger value = weaker.
+    Weak(u8),
+}
+
+/// The two address-region classes a segment can live in, named after the
+/// paper's constraint tags (`"T" 0x100000 "D" 0x40200000` in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionClass {
+    /// Text (shareable, low addresses).
+    Text,
+    /// Data (private, high addresses).
+    Data,
+}
+
+impl RegionClass {
+    /// Parses the paper's one-letter tag.
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<RegionClass> {
+        match tag {
+            "T" => Some(RegionClass::Text),
+            "D" => Some(RegionClass::Data),
+            _ => None,
+        }
+    }
+
+    /// The default placement window `[lo, hi)` for this class.
+    #[must_use]
+    pub fn default_window(self) -> (u64, u64) {
+        match self {
+            RegionClass::Text => (0x0010_0000, 0x4000_0000),
+            RegionClass::Data => (0x4000_0000, 0xf000_0000),
+        }
+    }
+}
+
+/// One segment of a placement request.
+#[derive(Debug, Clone)]
+pub struct SegmentRequest {
+    /// Which region class the segment must live in.
+    pub class: RegionClass,
+    /// Size in bytes (already rounded as the caller wishes).
+    pub size: u64,
+    /// Alignment (power of two).
+    pub align: u64,
+    /// Weak preference: place at or as close above this address as
+    /// possible.
+    pub preferred: Option<u64>,
+}
+
+/// A placement request for one object (library or program).
+#[derive(Debug, Clone)]
+pub struct PlacementRequest {
+    /// Object name (e.g. `/lib/libc`).
+    pub name: String,
+    /// Content identity; same name + same key ⇒ reusable placement.
+    pub key: u64,
+    /// Segments to place, in order.
+    pub segments: Vec<SegmentRequest>,
+}
+
+/// Where one segment landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base address.
+    pub base: u64,
+    /// Size.
+    pub size: u64,
+}
+
+/// The solver's answer for a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// One allocation per requested segment, in request order.
+    pub allocations: Vec<Allocation>,
+    /// True if this placement was reused from the table (a cache hit for
+    /// the whole bound image).
+    pub reused: bool,
+    /// Version number: 0 for the first implementation of this (name, key),
+    /// incremented each time a conflicting context forces an alternate.
+    pub version: u32,
+}
+
+/// A recorded constraint conflict — the raw material for the §4.1
+/// "system manager could feed that data into OMOS' constraint system"
+/// loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// Requesting object.
+    pub name: String,
+    /// Weak preference that could not be honored, if that was the
+    /// conflict.
+    pub preferred: Option<u64>,
+    /// Name of the object occupying the contested range, when known.
+    pub occupant: Option<String>,
+}
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// No window had a large-enough aligned hole.
+    NoSpace {
+        /// The request that failed.
+        name: String,
+        /// Bytes requested.
+        size: u64,
+    },
+    /// A request was malformed (zero alignment, empty, ...).
+    BadRequest(String),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::NoSpace { name, size } => {
+                write!(f, "no address space for `{name}` ({size} bytes)")
+            }
+            PlaceError::BadRequest(s) => write!(f, "bad placement request: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+#[derive(Debug, Clone)]
+struct Booked {
+    name: String,
+    alloc: Allocation,
+}
+
+/// The solver: tracks live allocations, remembers placements per
+/// `(name, key)`, and logs conflicts.
+///
+/// # Examples
+///
+/// ```
+/// use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentRequest};
+///
+/// let mut solver = PlacementSolver::new();
+/// let req = PlacementRequest {
+///     name: "libc".into(),
+///     key: 1,
+///     segments: vec![SegmentRequest {
+///         class: RegionClass::Text,
+///         size: 0x8000,
+///         align: 4096,
+///         preferred: Some(0x0100_0000),
+///     }],
+/// };
+/// let first = solver.place(&req, &[]).unwrap();
+/// assert_eq!(first.allocations[0].base, 0x0100_0000);
+/// // The same content is reused, not re-placed.
+/// assert!(solver.place(&req, &[]).unwrap().reused);
+/// ```
+#[derive(Debug, Default)]
+pub struct PlacementSolver {
+    /// Live allocations, ordered by base address.
+    booked: BTreeMap<u64, Booked>,
+    /// Reuse table: (name, key) -> list of known-good placements
+    /// (alternate versions, in creation order).
+    known: HashMap<(String, u64), Vec<Placement>>,
+    /// Conflict log.
+    conflicts: Vec<ConflictRecord>,
+}
+
+impl PlacementSolver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> PlacementSolver {
+        PlacementSolver::default()
+    }
+
+    /// Live allocations, for inspection.
+    pub fn allocations(&self) -> impl Iterator<Item = (&str, Allocation)> {
+        self.booked.values().map(|b| (b.name.as_str(), b.alloc))
+    }
+
+    /// The conflict log so far.
+    #[must_use]
+    pub fn conflicts(&self) -> &[ConflictRecord] {
+        &self.conflicts
+    }
+
+    /// Places (or reuses a placement for) `req`.
+    ///
+    /// Resolution order mirrors §3.5's priorities: try to **reuse** an
+    /// existing version of this exact content whose ranges are free or
+    /// already booked by this very object (Strong); then try the **weak**
+    /// preferences; then fall back to first-fit. Overlap (Required) is
+    /// never violated. The `avoid` list excludes version numbers the
+    /// caller already rejected.
+    pub fn place(
+        &mut self,
+        req: &PlacementRequest,
+        avoid: &[u32],
+    ) -> Result<Placement, PlaceError> {
+        if req.segments.is_empty() {
+            return Err(PlaceError::BadRequest(format!(
+                "`{}` has no segments",
+                req.name
+            )));
+        }
+        for s in &req.segments {
+            if !s.align.is_power_of_two() {
+                return Err(PlaceError::BadRequest(format!(
+                    "`{}`: alignment {} not a power of two",
+                    req.name, s.align
+                )));
+            }
+        }
+
+        // Strong: reuse a known version whose ranges are available.
+        let key = (req.name.clone(), req.key);
+        if let Some(versions) = self.known.get(&key) {
+            for p in versions {
+                if avoid.contains(&p.version) {
+                    continue;
+                }
+                if self.ranges_available(&req.name, &p.allocations) {
+                    let mut reused = p.clone();
+                    reused.reused = true;
+                    // (Re)book in case the ranges were released.
+                    for a in &reused.allocations {
+                        self.booked.insert(
+                            a.base,
+                            Booked {
+                                name: req.name.clone(),
+                                alloc: *a,
+                            },
+                        );
+                    }
+                    return Ok(reused);
+                }
+                // Reuse blocked: log who is in the way.
+                let occupant = p
+                    .allocations
+                    .iter()
+                    .find_map(|a| self.occupant_of(a.base, a.size))
+                    .map(str::to_string);
+                self.conflicts.push(ConflictRecord {
+                    name: req.name.clone(),
+                    preferred: Some(p.allocations[0].base),
+                    occupant,
+                });
+            }
+        }
+
+        // Weak preferences, then first-fit.
+        let mut allocations = Vec::with_capacity(req.segments.len());
+        for seg in &req.segments {
+            let base = match self.try_preferred(seg, &allocations) {
+                Some(b) => b,
+                None => {
+                    if seg.preferred.is_some() {
+                        let occupant = seg
+                            .preferred
+                            .and_then(|p| self.occupant_of(p, seg.size.max(1)))
+                            .map(str::to_string);
+                        self.conflicts.push(ConflictRecord {
+                            name: req.name.clone(),
+                            preferred: seg.preferred,
+                            occupant,
+                        });
+                    }
+                    self.first_fit(seg, &allocations)
+                        .ok_or(PlaceError::NoSpace {
+                            name: req.name.clone(),
+                            size: seg.size,
+                        })?
+                }
+            };
+            allocations.push(Allocation {
+                base,
+                size: seg.size,
+            });
+        }
+
+        for a in &allocations {
+            self.booked.insert(
+                a.base,
+                Booked {
+                    name: req.name.clone(),
+                    alloc: *a,
+                },
+            );
+        }
+        let version = self.known.get(&key).map_or(0, |v| v.len() as u32);
+        let placement = Placement {
+            allocations,
+            reused: false,
+            version,
+        };
+        self.known.entry(key).or_default().push(placement.clone());
+        Ok(placement)
+    }
+
+    /// Releases all live allocations owned by `name` (the object's ranges
+    /// stay in the reuse table and will be preferred next time).
+    pub fn release(&mut self, name: &str) {
+        self.booked.retain(|_, b| b.name != name);
+    }
+
+    /// Number of distinct versions generated for `(name, key)`.
+    #[must_use]
+    pub fn version_count(&self, name: &str, key: u64) -> usize {
+        self.known.get(&(name.to_string(), key)).map_or(0, Vec::len)
+    }
+
+    fn ranges_available(&self, owner: &str, allocs: &[Allocation]) -> bool {
+        allocs
+            .iter()
+            .all(|a| match self.overlapping(a.base, a.size) {
+                None => true,
+                Some(b) => b.name == owner && b.alloc == *a,
+            })
+    }
+
+    fn occupant_of(&self, base: u64, size: u64) -> Option<&str> {
+        self.overlapping(base, size).map(|b| b.name.as_str())
+    }
+
+    fn overlapping(&self, base: u64, size: u64) -> Option<&Booked> {
+        let end = base + size;
+        // Check the allocation at or before `base`, and any starting within.
+        if let Some((_, b)) = self.booked.range(..=base).next_back() {
+            if b.alloc.base + b.alloc.size > base {
+                return Some(b);
+            }
+        }
+        self.booked.range(base..end).next().map(|(_, b)| b)
+    }
+
+    fn is_free(&self, base: u64, size: u64, pending: &[Allocation]) -> bool {
+        if self.overlapping(base, size).is_some() {
+            return false;
+        }
+        let end = base + size;
+        pending
+            .iter()
+            .all(|p| p.base + p.size <= base || p.base >= end)
+    }
+
+    fn try_preferred(&self, seg: &SegmentRequest, pending: &[Allocation]) -> Option<u64> {
+        let p = seg.preferred?;
+        let base = align_up(p, seg.align);
+        let (_, hi) = seg.class.default_window();
+        if base + seg.size <= hi && self.is_free(base, seg.size.max(1), pending) {
+            Some(base)
+        } else {
+            None
+        }
+    }
+
+    fn first_fit(&self, seg: &SegmentRequest, pending: &[Allocation]) -> Option<u64> {
+        let (lo, hi) = seg.class.default_window();
+        let mut cursor = align_up(lo, seg.align);
+        let size = seg.size.max(1);
+        while cursor + size <= hi {
+            // Find the next obstruction at or after cursor.
+            let obstruction = self
+                .booked
+                .values()
+                .map(|b| (b.alloc.base, b.alloc.base + b.alloc.size))
+                .chain(pending.iter().map(|a| (a.base, a.base + a.size)))
+                .filter(|&(b, e)| e > cursor && b < cursor + size)
+                .min_by_key(|&(b, _)| b);
+            match obstruction {
+                None => return Some(cursor),
+                Some((_, end)) => cursor = align_up(end, seg.align),
+            }
+        }
+        None
+    }
+}
+
+fn align_up(v: u64, a: u64) -> u64 {
+    debug_assert!(a.is_power_of_two());
+    (v + a - 1) & !(a - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(class: RegionClass, size: u64, preferred: Option<u64>) -> SegmentRequest {
+        SegmentRequest {
+            class,
+            size,
+            align: 4096,
+            preferred,
+        }
+    }
+
+    fn req(name: &str, key: u64, segments: Vec<SegmentRequest>) -> PlacementRequest {
+        PlacementRequest {
+            name: name.into(),
+            key,
+            segments,
+        }
+    }
+
+    #[test]
+    fn preferred_address_honored_when_free() {
+        let mut s = PlacementSolver::new();
+        let p = s
+            .place(
+                &req(
+                    "libc",
+                    1,
+                    vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(p.allocations[0].base, 0x0100_0000);
+        assert!(!p.reused);
+        assert_eq!(p.version, 0);
+        assert!(s.conflicts().is_empty());
+    }
+
+    #[test]
+    fn exact_reuse_on_second_request() {
+        let mut s = PlacementSolver::new();
+        let r = req(
+            "libc",
+            1,
+            vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+        );
+        let p1 = s.place(&r, &[]).unwrap();
+        let p2 = s.place(&r, &[]).unwrap();
+        assert!(p2.reused, "same content must reuse the placement");
+        assert_eq!(p1.allocations, p2.allocations);
+        assert_eq!(p2.version, 0);
+    }
+
+    #[test]
+    fn changed_content_gets_new_placement() {
+        let mut s = PlacementSolver::new();
+        let p1 = s
+            .place(
+                &req(
+                    "libc",
+                    1,
+                    vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        // Same name, new key (library was rebuilt): old version still
+        // booked, so the new one must land elsewhere.
+        let p2 = s
+            .place(
+                &req(
+                    "libc",
+                    2,
+                    vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        assert!(!p2.reused);
+        assert_ne!(p1.allocations[0].base, p2.allocations[0].base);
+        // The unsatisfiable weak preference was logged.
+        assert_eq!(s.conflicts().len(), 1);
+        assert_eq!(s.conflicts()[0].occupant.as_deref(), Some("libc"));
+    }
+
+    #[test]
+    fn required_no_overlap_beats_weak_preference() {
+        let mut s = PlacementSolver::new();
+        s.place(
+            &req(
+                "liba",
+                1,
+                vec![seg(RegionClass::Text, 0x10000, Some(0x0200_0000))],
+            ),
+            &[],
+        )
+        .unwrap();
+        let p = s
+            .place(
+                &req(
+                    "libb",
+                    2,
+                    vec![seg(RegionClass::Text, 0x10000, Some(0x0200_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        let a = 0x0200_0000u64;
+        assert!(p.allocations[0].base >= a + 0x10000 || p.allocations[0].base + 0x10000 <= a);
+        assert_eq!(s.conflicts().len(), 1);
+        assert_eq!(s.conflicts()[0].name, "libb");
+        assert_eq!(s.conflicts()[0].occupant.as_deref(), Some("liba"));
+    }
+
+    #[test]
+    fn multi_segment_requests_place_text_and_data() {
+        let mut s = PlacementSolver::new();
+        let p = s
+            .place(
+                &req(
+                    "libc",
+                    1,
+                    vec![
+                        seg(RegionClass::Text, 0x8000, Some(0x0010_0000)),
+                        seg(RegionClass::Data, 0x2000, Some(0x4020_0000)),
+                    ],
+                ),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(p.allocations.len(), 2);
+        assert_eq!(p.allocations[0].base, 0x0010_0000);
+        assert_eq!(p.allocations[1].base, 0x4020_0000);
+    }
+
+    #[test]
+    fn first_fit_skips_over_bookings() {
+        let mut s = PlacementSolver::new();
+        // Fill the start of the text window.
+        let (lo, _) = RegionClass::Text.default_window();
+        s.place(
+            &req("a", 1, vec![seg(RegionClass::Text, 0x3000, Some(lo))]),
+            &[],
+        )
+        .unwrap();
+        let p = s
+            .place(
+                &req("b", 2, vec![seg(RegionClass::Text, 0x1000, None)]),
+                &[],
+            )
+            .unwrap();
+        assert!(p.allocations[0].base >= lo + 0x3000);
+    }
+
+    #[test]
+    fn avoid_list_forces_alternate_version() {
+        let mut s = PlacementSolver::new();
+        let r = req(
+            "libc",
+            1,
+            vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+        );
+        let p0 = s.place(&r, &[]).unwrap();
+        // A client whose address space can't take version 0 (e.g. it put
+        // its own text there) asks for an alternate.
+        let p1 = s.place(&r, &[p0.version]).unwrap();
+        assert_eq!(p1.version, 1);
+        assert_ne!(p0.allocations[0].base, p1.allocations[0].base);
+        assert_eq!(s.version_count("libc", 1), 2);
+        // Both versions now reusable: a later default request reuses v0.
+        let p2 = s.place(&r, &[]).unwrap();
+        assert!(p2.reused);
+        assert_eq!(p2.version, 0);
+    }
+
+    #[test]
+    fn release_frees_ranges_and_reuse_restores_them() {
+        let mut s = PlacementSolver::new();
+        let r = req(
+            "libc",
+            1,
+            vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+        );
+        let p0 = s.place(&r, &[]).unwrap();
+        s.release("libc");
+        // Someone else may now take the hole...
+        let other = s
+            .place(
+                &req(
+                    "intruder",
+                    9,
+                    vec![seg(RegionClass::Text, 0x1000, Some(0x0100_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(other.allocations[0].base, 0x0100_0000);
+        // ...and libc's reuse is blocked, producing version 1 + a conflict.
+        let p1 = s.place(&r, &[]).unwrap();
+        assert!(!p1.reused);
+        assert_eq!(p1.version, 1);
+        assert_ne!(p1.allocations[0].base, p0.allocations[0].base);
+        assert!(s
+            .conflicts()
+            .iter()
+            .any(|c| c.occupant.as_deref() == Some("intruder")));
+    }
+
+    #[test]
+    fn no_space_error() {
+        let mut s = PlacementSolver::new();
+        let (lo, hi) = RegionClass::Text.default_window();
+        let err = s
+            .place(
+                &req("huge", 1, vec![seg(RegionClass::Text, hi - lo + 1, None)]),
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::NoSpace { .. }));
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let mut s = PlacementSolver::new();
+        assert!(matches!(
+            s.place(&req("empty", 1, vec![]), &[]),
+            Err(PlaceError::BadRequest(_))
+        ));
+        let bad_align = PlacementRequest {
+            name: "x".into(),
+            key: 1,
+            segments: vec![SegmentRequest {
+                class: RegionClass::Text,
+                size: 16,
+                align: 3,
+                preferred: None,
+            }],
+        };
+        assert!(matches!(
+            s.place(&bad_align, &[]),
+            Err(PlaceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut s = PlacementSolver::new();
+        let r = PlacementRequest {
+            name: "a".into(),
+            key: 1,
+            segments: vec![SegmentRequest {
+                class: RegionClass::Text,
+                size: 100,
+                align: 0x10000,
+                preferred: Some(0x0100_0001),
+            }],
+        };
+        let p = s.place(&r, &[]).unwrap();
+        assert_eq!(p.allocations[0].base % 0x10000, 0);
+        assert!(p.allocations[0].base >= 0x0100_0001);
+    }
+
+    #[test]
+    fn region_tags_parse() {
+        assert_eq!(RegionClass::from_tag("T"), Some(RegionClass::Text));
+        assert_eq!(RegionClass::from_tag("D"), Some(RegionClass::Data));
+        assert_eq!(RegionClass::from_tag("Z"), None);
+    }
+
+    #[test]
+    fn common_case_generates_one_version_per_library() {
+        // §4.1: "In the common case only one implementation of each
+        // library will ever be generated." Simulate 50 programs sharing
+        // three libraries with compatible preferences.
+        let mut s = PlacementSolver::new();
+        let libs = [
+            ("libc", 0x0100_0000u64),
+            ("libm", 0x0140_0000),
+            ("libX", 0x0180_0000),
+        ];
+        for _program in 0..50 {
+            for (name, pref) in libs {
+                let r = req(name, 7, vec![seg(RegionClass::Text, 0x20000, Some(pref))]);
+                let p = s.place(&r, &[]).unwrap();
+                assert_eq!(p.version, 0);
+            }
+        }
+        for (name, _) in libs {
+            assert_eq!(s.version_count(name, 7), 1);
+        }
+        assert!(s.conflicts().is_empty());
+    }
+}

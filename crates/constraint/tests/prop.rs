@@ -1,0 +1,121 @@
+//! Property tests for the placement solver and DeltaBlue.
+
+use proptest::prelude::*;
+
+use omos_constraint::deltablue::{ChainLayout, Planner, Strength};
+use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentRequest};
+
+fn arb_request(i: usize) -> impl Strategy<Value = PlacementRequest> {
+    let classes = prop_oneof![Just(RegionClass::Text), Just(RegionClass::Data)];
+    let name = prop_oneof![Just("libA"), Just("libB"), Just("libC"), Just("libD")];
+    (
+        name,
+        0u64..4,
+        classes,
+        1u64..0x40000,
+        prop_oneof![Just(None), (0u64..0x100).prop_map(Some)],
+    )
+        .prop_map(move |(name, key, class, size, pref_page)| {
+            let (lo, _) = class.default_window();
+            PlacementRequest {
+                name: name.to_string(),
+                key,
+                segments: vec![SegmentRequest {
+                    class,
+                    size,
+                    align: 4096,
+                    preferred: pref_page.map(|p| lo + p * 0x10000),
+                }],
+            }
+        })
+        .prop_map(move |r| {
+            let _ = i;
+            r
+        })
+}
+
+proptest! {
+    /// The Required constraint: whatever sequence of placements happens,
+    /// no two live allocations ever overlap.
+    #[test]
+    fn no_two_allocations_ever_overlap(
+        reqs in proptest::collection::vec(arb_request(0), 1..40),
+    ) {
+        let mut solver = PlacementSolver::new();
+        for r in &reqs {
+            // Placement may legitimately fail only for lack of space.
+            let _ = solver.place(r, &[]);
+            let mut spans: Vec<(u64, u64)> = solver
+                .allocations()
+                .map(|(_, a)| (a.base, a.base + a.size))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+        }
+    }
+
+    /// The Strong constraint: re-requesting identical content reuses the
+    /// identical placement.
+    #[test]
+    fn identical_rerequest_reuses(req in arb_request(0)) {
+        let mut solver = PlacementSolver::new();
+        let first = solver.place(&req, &[]);
+        if let Ok(first) = first {
+            let second = solver.place(&req, &[]).expect("reuse cannot fail");
+            prop_assert!(second.reused);
+            prop_assert_eq!(first.allocations, second.allocations);
+        }
+    }
+
+    /// Alignment is always honored.
+    #[test]
+    fn placements_are_aligned(reqs in proptest::collection::vec(arb_request(0), 1..20)) {
+        let mut solver = PlacementSolver::new();
+        for r in &reqs {
+            if let Ok(p) = solver.place(r, &[]) {
+                for a in &p.allocations {
+                    prop_assert_eq!(a.base % 4096, 0);
+                }
+            }
+        }
+    }
+
+    /// DeltaBlue chain layouts satisfy their defining equation at every
+    /// origin, and moves are exact.
+    #[test]
+    fn chain_invariant_holds(
+        sizes in proptest::collection::vec(1i64..0x10000, 1..32),
+        origins in proptest::collection::vec(0i64..0x1000_0000, 1..5),
+        gap in 0i64..0x1000,
+    ) {
+        let mut chain = ChainLayout::new(origins[0], &sizes, gap).expect("solvable");
+        for &o in &origins {
+            chain.move_origin(o);
+            let bases = chain.bases();
+            prop_assert_eq!(bases[0], o);
+            for i in 1..bases.len() {
+                prop_assert_eq!(bases[i], bases[i - 1] + sizes[i - 1] + gap);
+            }
+        }
+    }
+
+    /// Planner: an edit constraint propagates through a random chain of
+    /// equalities regardless of where the stay sits.
+    #[test]
+    fn equality_chain_propagates(n in 2usize..30, value in any::<i32>(), stay_at in any::<u16>()) {
+        let mut p = Planner::new();
+        let vars: Vec<_> = (0..n).map(|_| p.variable(0)).collect();
+        for i in 0..n - 1 {
+            p.equality(vars[i], vars[i + 1], Strength::Required).expect("satisfiable");
+        }
+        let stay = vars[stay_at as usize % n];
+        p.stay(stay, Strength::WeakDefault).expect("satisfiable");
+        let e = p.edit(vars[0], Strength::Preferred).expect("satisfiable");
+        p.set_and_propagate(e, i64::from(value));
+        for &v in &vars {
+            prop_assert_eq!(p.value(v), i64::from(value));
+        }
+    }
+}

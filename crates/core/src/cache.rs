@@ -1,0 +1,225 @@
+//! The image cache.
+//!
+//! "By treating executables as a cache, OMOS avoids unnecessary
+//! repetition of work." Bound, relocated, page-framed images are stored
+//! here keyed by content + placement; repeated instantiations are pure
+//! hits. A byte budget with LRU eviction models the paper's caveat that
+//! "disk space for caching multiple versions of large libraries could be
+//! significant".
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use omos_link::{LinkStats, LinkedImage};
+use omos_obj::ContentHash;
+use omos_os::ImageFrames;
+
+/// A fully bound, framed, ready-to-map image.
+#[derive(Debug)]
+pub struct CachedImage {
+    /// Cache key (content + specialization + placement).
+    pub key: ContentHash,
+    /// The linked image (symbol map, segments).
+    pub image: LinkedImage,
+    /// Page frames shared by every client that maps this image.
+    pub frames: ImageFrames,
+    /// Work that produced it (for server-time accounting).
+    pub link_stats: LinkStats,
+}
+
+impl CachedImage {
+    /// Cached bytes this image occupies.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.image.loaded_bytes()
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the byte budget.
+    pub evictions: u64,
+}
+
+/// LRU image cache with a byte budget.
+#[derive(Debug)]
+pub struct ImageCache {
+    map: HashMap<ContentHash, Arc<CachedImage>>,
+    lru: VecDeque<ContentHash>,
+    bytes: u64,
+    budget: u64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl ImageCache {
+    /// A cache with the given byte budget (use `u64::MAX` for unbounded).
+    #[must_use]
+    pub fn new(budget: u64) -> ImageCache {
+        ImageCache {
+            map: HashMap::new(),
+            lru: VecDeque::new(),
+            bytes: 0,
+            budget,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current cached bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of cached images.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up an image, refreshing its LRU position.
+    pub fn get(&mut self, key: ContentHash) -> Option<Arc<CachedImage>> {
+        match self.map.get(&key) {
+            Some(img) => {
+                self.stats.hits += 1;
+                if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+                    self.lru.remove(pos);
+                }
+                self.lru.push_back(key);
+                Some(Arc::clone(img))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an image, evicting least-recently-used entries if the
+    /// budget is exceeded. Returns the shared handle.
+    pub fn insert(&mut self, img: CachedImage) -> Arc<CachedImage> {
+        let key = img.key;
+        let size = img.size_bytes();
+        let arc = Arc::new(img);
+        if let Some(old) = self.map.insert(key, Arc::clone(&arc)) {
+            self.bytes -= old.size_bytes();
+            if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+                self.lru.remove(pos);
+            }
+        }
+        self.bytes += size;
+        self.lru.push_back(key);
+        self.stats.insertions += 1;
+        while self.bytes > self.budget && self.lru.len() > 1 {
+            // Never evict the entry we just inserted (the back).
+            let victim = self.lru.pop_front().expect("len > 1");
+            if let Some(old) = self.map.remove(&victim) {
+                self.bytes -= old.size_bytes();
+                self.stats.evictions += 1;
+            }
+        }
+        arc
+    }
+
+    /// Drops everything (namespace rebinding invalidates images).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_link::Segment;
+    use omos_obj::SectionKind;
+
+    fn fake(key: u64, bytes: usize) -> CachedImage {
+        let image = LinkedImage {
+            name: format!("img{key}"),
+            segments: vec![Segment {
+                name: ".text".into(),
+                kind: SectionKind::Text,
+                vaddr: 0x1000,
+                bytes: vec![0; bytes],
+                zero: 0,
+            }],
+            symbols: HashMap::new(),
+            entry: None,
+        };
+        let frames = ImageFrames::from_image(&image);
+        CachedImage {
+            key: ContentHash(key),
+            image,
+            frames,
+            link_stats: LinkStats::default(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = ImageCache::new(u64::MAX);
+        assert!(c.get(ContentHash(1)).is_none());
+        c.insert(fake(1, 100));
+        assert!(c.get(ContentHash(1)).is_some());
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn budget_evicts_lru() {
+        let mut c = ImageCache::new(250);
+        c.insert(fake(1, 100));
+        c.insert(fake(2, 100));
+        // Touch 1 so 2 becomes LRU.
+        c.get(ContentHash(1));
+        c.insert(fake(3, 100)); // 300 bytes > 250: evict 2
+        assert!(c.get(ContentHash(2)).is_none());
+        assert!(c.get(ContentHash(1)).is_some());
+        assert!(c.get(ContentHash(3)).is_some());
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_insert_keeps_newest() {
+        let mut c = ImageCache::new(50);
+        c.insert(fake(1, 100));
+        assert_eq!(c.len(), 1, "budget never evicts the just-inserted entry");
+        c.insert(fake(2, 100));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(ContentHash(2)).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces() {
+        let mut c = ImageCache::new(u64::MAX);
+        c.insert(fake(1, 100));
+        c.insert(fake(1, 200));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 200);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = ImageCache::new(u64::MAX);
+        c.insert(fake(1, 10));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+}

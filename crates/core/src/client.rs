@@ -1,0 +1,360 @@
+//! The client side of OMOS: exec paths and the per-process binder.
+//!
+//! §5 describes two ways into the server: the **bootstrap loader**
+//! (`#! /bin/omos` — "the bootstrap loader contacts OMOS via IPC, loads
+//! in the executable image(s) for a given meta-object, and jumps to its
+//! entry point, subsuming the functionality of exec()") and **integrated
+//! exec** ("exec sets up an empty task and calls OMOS with handles to the
+//! task and the OMOS object"), which skips loading the bootstrap binary
+//! and parsing executable headers.
+
+use std::collections::HashSet;
+
+use omos_os::ipc::{charge_roundtrip, IpcStats};
+use omos_os::process::{Binder, FirstLoad, OmosLookup, PltBind, Process};
+use omos_os::{CostModel, InMemFs, RunOutcome, SimClock};
+
+use crate::error::OmosError;
+use crate::server::{InstantiateReply, Omos};
+
+/// The per-process OMOS binder: services partial-image stub lookups,
+/// remembering which libraries this process already mapped.
+#[derive(Debug)]
+pub struct OmosBinder<'a> {
+    server: &'a mut Omos,
+    loaded: HashSet<u32>,
+}
+
+impl<'a> OmosBinder<'a> {
+    /// Creates a binder for one process.
+    #[must_use]
+    pub fn new(server: &'a mut Omos) -> OmosBinder<'a> {
+        OmosBinder {
+            server,
+            loaded: HashSet::new(),
+        }
+    }
+}
+
+impl Binder for OmosBinder<'_> {
+    fn bind_plt(&mut self, index: u32) -> Result<PltBind, String> {
+        Err(format!("OMOS clients have no PLT (bind of index {index})"))
+    }
+
+    fn omos_lookup(&mut self, lib_id: u32, name: &str) -> Result<OmosLookup, String> {
+        let reply = self
+            .server
+            .dyn_lookup(lib_id, name)
+            .map_err(|e| e.to_string())?;
+        let load = if self.loaded.insert(lib_id) {
+            Some(FirstLoad {
+                frames: reply.frames,
+                transport: self.server.transport,
+                server_ns: reply
+                    .server_ns
+                    .max(self.server.cost().server_cached_request_ns),
+            })
+        } else {
+            None
+        };
+        Ok(OmosLookup {
+            target: reply.target,
+            probes: reply.probes,
+            load,
+        })
+    }
+}
+
+/// Maps an instantiation reply into a fresh process.
+fn build_process(
+    reply: &InstantiateReply,
+    clock: &mut SimClock,
+    cost: &CostModel,
+) -> Result<Process, OmosError> {
+    let mut proc = Process::spawn(&reply.program.frames, clock, cost).map_err(OmosError::Client)?;
+    for lib in &reply.libraries {
+        proc.map_more(&lib.frames, clock, cost)
+            .map_err(OmosError::Client)?;
+    }
+    Ok(proc)
+}
+
+/// Executes `path` through the bootstrap loader: kernel exec of the small
+/// bootstrap binary, an IPC round trip to OMOS, then mapping the cached
+/// segments.
+pub fn exec_bootstrap(
+    server: &mut Omos,
+    path: &str,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    ipc_stats: &mut IpcStats,
+) -> Result<Process, OmosError> {
+    clock.charge_system(cost.exec_overhead_ns);
+    clock.charge_system(cost.bootstrap_load_ns);
+    let reply = server.instantiate(path)?;
+    charge_roundtrip(
+        clock,
+        cost,
+        server.transport,
+        128,
+        256 + 32 * reply.total_pages(), // handles, not contents
+        reply.server_ns,
+        ipc_stats,
+    );
+    build_process(&reply, clock, cost)
+}
+
+/// Executes `path` through integrated exec: the kernel hands OMOS an
+/// empty task; no bootstrap binary, no header parsing, one (cheap) kernel
+/// IPC.
+pub fn exec_integrated(
+    server: &mut Omos,
+    path: &str,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    ipc_stats: &mut IpcStats,
+) -> Result<Process, OmosError> {
+    clock.charge_system(cost.exec_overhead_ns);
+    let reply = server.instantiate(path)?;
+    charge_roundtrip(
+        clock,
+        cost,
+        omos_os::ipc::Transport::MachIpc, // the in-kernel path
+        128,
+        256,
+        reply.server_ns,
+        ipc_stats,
+    );
+    build_process(&reply, clock, cost)
+}
+
+/// Convenience: exec (bootstrap or integrated) and run to completion
+/// under an [`OmosBinder`].
+pub fn run_under_omos(
+    server: &mut Omos,
+    path: &str,
+    integrated: bool,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    fs: &mut InMemFs,
+    fuel: u64,
+) -> Result<RunOutcome, OmosError> {
+    let mut ipc = IpcStats::default();
+    let mut proc = if integrated {
+        exec_integrated(server, path, clock, cost, &mut ipc)?
+    } else {
+        exec_bootstrap(server, path, clock, cost, &mut ipc)?
+    };
+    let mut binder = OmosBinder::new(server);
+    Ok(omos_os::run_process(
+        &mut proc,
+        clock,
+        cost,
+        fs,
+        &mut binder,
+        fuel,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::{assemble, StopReason};
+    use omos_os::ipc::Transport;
+
+    fn world() -> (Omos, SimClock, CostModel, InMemFs) {
+        let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        s.namespace.bind_object(
+            "/obj/app.o",
+            assemble(
+                "app.o",
+                r#"
+                .text
+                .global _start
+_start:         li r1, 5
+                call _triple
+                sys 0
+                "#,
+            )
+            .unwrap(),
+        );
+        s.namespace.bind_object(
+            "/libc/impl.o",
+            assemble(
+                "impl.o",
+                ".text\n.global _triple\n_triple: add r2, r1, r1\n add r1, r2, r1\n ret\n",
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                "/lib/libc",
+                "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge /libc/impl.o)",
+            )
+            .unwrap();
+        s.namespace
+            .bind_blueprint("/bin/app", "(merge /obj/app.o /lib/libc)")
+            .unwrap();
+        (s, SimClock::new(), CostModel::hpux(), InMemFs::new())
+    }
+
+    #[test]
+    fn bootstrap_exec_runs_self_contained_program() {
+        let (mut s, mut clock, cost, mut fs) = world();
+        let out = run_under_omos(
+            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        assert_eq!(out.stop, StopReason::Exited(15));
+        assert!(clock.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn integrated_exec_is_cheaper_than_bootstrap() {
+        let (mut s, mut clock, cost, mut fs) = world();
+        // Warm the cache first.
+        run_under_omos(
+            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        let t0 = clock.times();
+        run_under_omos(
+            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        let boot = clock.since(t0);
+        let t1 = clock.times();
+        run_under_omos(
+            &mut s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        let integ = clock.since(t1);
+        assert!(
+            integ.elapsed_ns < boot.elapsed_ns,
+            "integrated ({}) must beat bootstrap ({})",
+            integ.elapsed_ns,
+            boot.elapsed_ns
+        );
+    }
+
+    #[test]
+    fn warm_exec_is_cheaper_than_cold() {
+        let (mut s, mut clock, cost, mut fs) = world();
+        let t0 = clock.times();
+        run_under_omos(
+            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        let cold = clock.since(t0);
+        let t1 = clock.times();
+        run_under_omos(
+            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        let warm = clock.since(t1);
+        assert!(warm.elapsed_ns < cold.elapsed_ns);
+    }
+
+    #[test]
+    fn partial_image_scheme_lazy_loads_once() {
+        let (mut s, mut clock, cost, mut fs) = world();
+        s.namespace
+            .bind_blueprint(
+                "/bin/dyn",
+                r#"(merge /obj/app.o (specialize "lib-dynamic" /libc/impl.o))"#,
+            )
+            .unwrap();
+        let out = run_under_omos(
+            &mut s, "/bin/dyn", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        assert_eq!(out.stop, StopReason::Exited(15), "stub resolved and jumped");
+        // Two IPC messages for instantiation + two for the first lookup.
+        assert_eq!(out.ipc.messages, 2);
+    }
+
+    #[test]
+    fn partial_image_second_call_uses_branch_table() {
+        let (mut s, mut clock, cost, mut fs) = world();
+        s.namespace.bind_object(
+            "/obj/twice.o",
+            assemble(
+                "twice.o",
+                r#"
+                .text
+                .global _start
+_start:         li r1, 1
+                call _triple
+                call _triple
+                sys 0
+                "#,
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                "/bin/dyn2",
+                r#"(merge /obj/twice.o (specialize "lib-dynamic" /libc/impl.o))"#,
+            )
+            .unwrap();
+        let out = run_under_omos(
+            &mut s,
+            "/bin/dyn2",
+            false,
+            &mut clock,
+            &cost,
+            &mut fs,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(out.stop, StopReason::Exited(9));
+        // Only ONE omos lookup syscall should have gone through the
+        // binder with a load; the second call hit the branch table. The
+        // stub still issues the syscall only on the slow path, so total
+        // syscalls = exit + 1 lookup = 2.
+        assert_eq!(out.stats.syscalls, 2);
+    }
+}
+
+/// Executes a Unix file through the `#!` interpreter feature (§5):
+/// "In Unix, we normally invoke this loader via the 'interpreter'
+/// feature (`#! /bin/omos`). This allows us to export entries from the
+/// OMOS namespace into the Unix namespace, in a portable fashion (as a
+/// parameter in the file)."
+///
+/// Reads `file` from the simulated filesystem; it must begin with
+/// `#! /bin/omos <namespace-path>`; the named meta-object is then
+/// executed through the bootstrap loader.
+pub fn exec_file(
+    server: &mut Omos,
+    fs: &mut InMemFs,
+    file: &str,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    ipc_stats: &mut IpcStats,
+) -> Result<Process, OmosError> {
+    fs.open(file, clock, cost)
+        .map_err(|e| OmosError::Client(e.to_string()))?;
+    let bytes = fs
+        .read(file, 0, 256, clock, cost)
+        .map_err(|e| OmosError::Client(e.to_string()))?;
+    let text = String::from_utf8_lossy(&bytes);
+    let first = text.lines().next().unwrap_or("");
+    let rest = first
+        .strip_prefix("#!")
+        .map(str::trim)
+        .ok_or_else(|| OmosError::Client(format!("{file}: not an OMOS script")))?;
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("/bin/omos") => {}
+        other => {
+            return Err(OmosError::Client(format!(
+                "{file}: interpreter {other:?} is not /bin/omos"
+            )))
+        }
+    }
+    let target = parts
+        .next()
+        .ok_or_else(|| OmosError::Client(format!("{file}: missing meta-object parameter")))?;
+    exec_bootstrap(server, target, clock, cost, ipc_stats)
+}

@@ -1,0 +1,84 @@
+//! Server error type.
+
+use std::fmt;
+
+use omos_blueprint::EvalError;
+use omos_constraint::PlaceError;
+use omos_link::LinkError;
+use omos_obj::ObjError;
+
+/// Errors the OMOS server reports to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmosError {
+    /// A namespace path does not exist.
+    NoSuchName(String),
+    /// A namespace path exists but has the wrong kind (e.g. asked to
+    /// instantiate a directory).
+    WrongKind(String),
+    /// Blueprint evaluation failed.
+    Eval(EvalError),
+    /// Linking failed.
+    Link(LinkError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// An object-level failure.
+    Obj(ObjError),
+    /// Mapping or client-side failure.
+    Client(String),
+    /// The requested dynamic library id is unknown.
+    NoSuchLibrary(u32),
+}
+
+impl fmt::Display for OmosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmosError::NoSuchName(p) => write!(f, "no such name: {p}"),
+            OmosError::WrongKind(p) => write!(f, "not instantiable: {p}"),
+            OmosError::Eval(e) => write!(f, "{e}"),
+            OmosError::Link(e) => write!(f, "{e}"),
+            OmosError::Place(e) => write!(f, "{e}"),
+            OmosError::Obj(e) => write!(f, "{e}"),
+            OmosError::Client(s) => write!(f, "client error: {s}"),
+            OmosError::NoSuchLibrary(id) => write!(f, "no dynamic library with id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for OmosError {}
+
+impl From<EvalError> for OmosError {
+    fn from(e: EvalError) -> OmosError {
+        OmosError::Eval(e)
+    }
+}
+
+impl From<LinkError> for OmosError {
+    fn from(e: LinkError) -> OmosError {
+        OmosError::Link(e)
+    }
+}
+
+impl From<PlaceError> for OmosError {
+    fn from(e: PlaceError) -> OmosError {
+        OmosError::Place(e)
+    }
+}
+
+impl From<ObjError> for OmosError {
+    fn from(e: ObjError) -> OmosError {
+        OmosError::Obj(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OmosError = ObjError::UndefinedSymbol("_x".into()).into();
+        assert!(e.to_string().contains("_x"));
+        let e = OmosError::NoSuchName("/bin/zz".into());
+        assert_eq!(e.to_string(), "no such name: /bin/zz");
+    }
+}

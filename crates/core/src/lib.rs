@@ -1,0 +1,30 @@
+//! The OMOS object/meta-object server.
+//!
+//! This crate is the paper's primary contribution: "a shared library
+//! implementation based on OMOS, an Object/Meta-Object Server, which
+//! provides program linking and loading facilities as a special case of
+//! generic object instantiation."
+//!
+//! * [`namespace`] — the "hierarchical namespace, whose names represent
+//!   meta-objects, executable code fragments, or directories";
+//! * [`cache`] — the multi-level cache: OMOS "treats executable images as
+//!   a cache, translating from more expressive forms as necessary";
+//! * [`server`] — the [`server::Omos`] server: blueprint instantiation,
+//!   constraint-driven library placement, the self-contained and
+//!   partial-image schemes, and dynamic loading into running programs;
+//! * [`client`] — the client side: the bootstrap loader (`#!/bin/omos`),
+//!   integrated exec, and the per-process [`client::OmosBinder`];
+//! * [`monitor`] — monitoring-driven procedure reordering (§4.1/§6).
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod monitor;
+pub mod namespace;
+pub mod server;
+
+pub use cache::{CacheStats, CachedImage};
+pub use client::{exec_bootstrap, exec_file, exec_integrated, run_under_omos, OmosBinder};
+pub use error::OmosError;
+pub use namespace::{Entry, Namespace};
+pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};

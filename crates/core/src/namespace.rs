@@ -1,0 +1,208 @@
+//! The server's hierarchical namespace.
+//!
+//! "OMOS maintains and exports a hierarchical namespace, whose names
+//! represent meta-objects, executable code fragments, or directories of
+//! other objects." Binding a name invalidates downstream caches (the
+//! server handles that; the namespace reports a generation number that
+//! bumps on every mutation).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use omos_blueprint::Blueprint;
+use omos_obj::ObjectFile;
+
+use crate::error::OmosError;
+
+/// What a namespace path names.
+#[derive(Debug, Clone)]
+pub enum Entry {
+    /// A relocatable code/data fragment.
+    Object(Arc<ObjectFile>),
+    /// A meta-object: a blueprint describing how to build instances.
+    Meta(Arc<Blueprint>),
+}
+
+/// The namespace: a path-keyed map with directory listing.
+///
+/// Directories are implicit (every path component). Paths are
+/// `/`-separated and normalized.
+#[derive(Debug, Default)]
+pub struct Namespace {
+    entries: BTreeMap<String, Entry>,
+    generation: u64,
+}
+
+fn normalize(path: &str) -> String {
+    let mut out = String::from("/");
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        if !out.ends_with('/') {
+            out.push('/');
+        }
+        out.push_str(comp);
+    }
+    out
+}
+
+impl Namespace {
+    /// An empty namespace.
+    #[must_use]
+    pub fn new() -> Namespace {
+        Namespace::default()
+    }
+
+    /// Monotonic generation, bumped on every mutation. Cache layers key
+    /// on it to notice rebinding.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Binds an object fragment at `path` (replacing any existing entry).
+    pub fn bind_object(&mut self, path: &str, obj: ObjectFile) {
+        self.entries
+            .insert(normalize(path), Entry::Object(Arc::new(obj)));
+        self.generation += 1;
+    }
+
+    /// Binds a meta-object at `path`.
+    pub fn bind_meta(&mut self, path: &str, bp: Blueprint) {
+        self.entries
+            .insert(normalize(path), Entry::Meta(Arc::new(bp)));
+        self.generation += 1;
+    }
+
+    /// Parses and binds blueprint text at `path`.
+    pub fn bind_blueprint(&mut self, path: &str, src: &str) -> Result<(), OmosError> {
+        let bp = Blueprint::parse(src)
+            .map_err(|e| OmosError::Client(format!("blueprint at {path}: {e}")))?;
+        self.bind_meta(path, bp);
+        Ok(())
+    }
+
+    /// Removes a binding. Returns true if something was removed.
+    pub fn unbind(&mut self, path: &str) -> bool {
+        let removed = self.entries.remove(&normalize(path)).is_some();
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Looks a path up.
+    #[must_use]
+    pub fn lookup(&self, path: &str) -> Option<&Entry> {
+        self.entries.get(&normalize(path))
+    }
+
+    /// Lists the immediate children of a directory path, with a marker
+    /// for entry kind (`obj`, `meta`, `dir`).
+    #[must_use]
+    pub fn list(&self, path: &str) -> Vec<(String, &'static str)> {
+        let p = normalize(path);
+        let prefix = if p == "/" {
+            "/".to_string()
+        } else {
+            format!("{p}/")
+        };
+        let mut out: Vec<(String, &'static str)> = Vec::new();
+        for (k, v) in self.entries.range(prefix.clone()..) {
+            if !k.starts_with(&prefix) {
+                break;
+            }
+            let rest = &k[prefix.len()..];
+            if rest.is_empty() {
+                continue;
+            }
+            match rest.find('/') {
+                Some(i) => {
+                    let dir = rest[..i].to_string();
+                    if out.last().map(|(n, _)| n.as_str()) != Some(dir.as_str()) {
+                        out.push((dir, "dir"));
+                    }
+                }
+                None => {
+                    let kind = match v {
+                        Entry::Object(_) => "obj",
+                        Entry::Meta(_) => "meta",
+                    };
+                    out.push((rest.to_string(), kind));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of bound names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::assemble;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let mut ns = Namespace::new();
+        ns.bind_object("/obj/ls.o", assemble("ls.o", ".text\nnop\n").unwrap());
+        ns.bind_blueprint("/bin/ls", "(merge /obj/ls.o)").unwrap();
+        assert!(matches!(ns.lookup("/obj/ls.o"), Some(Entry::Object(_))));
+        assert!(matches!(ns.lookup("/bin/ls"), Some(Entry::Meta(_))));
+        assert!(ns.lookup("/bin/missing").is_none());
+        assert!(ns.unbind("/bin/ls"));
+        assert!(!ns.unbind("/bin/ls"));
+        assert!(ns.lookup("/bin/ls").is_none());
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation() {
+        let mut ns = Namespace::new();
+        let g0 = ns.generation();
+        ns.bind_object("/a", assemble("a", ".text\nnop\n").unwrap());
+        assert!(ns.generation() > g0);
+        let g1 = ns.generation();
+        ns.unbind("/a");
+        assert!(ns.generation() > g1);
+    }
+
+    #[test]
+    fn bad_blueprint_rejected() {
+        let mut ns = Namespace::new();
+        assert!(ns.bind_blueprint("/bin/x", "(merge").is_err());
+    }
+
+    #[test]
+    fn listing_shows_dirs_and_kinds() {
+        let mut ns = Namespace::new();
+        ns.bind_object("/lib/crt0.o", assemble("crt0", ".text\nnop\n").unwrap());
+        ns.bind_blueprint("/lib/libc", "(merge /libc/gen)").unwrap();
+        ns.bind_object("/libc/gen", assemble("gen", ".text\nnop\n").unwrap());
+        let root = ns.list("/");
+        assert_eq!(
+            root,
+            vec![("lib".to_string(), "dir"), ("libc".to_string(), "dir")]
+        );
+        let lib = ns.list("/lib");
+        assert_eq!(
+            lib,
+            vec![("crt0.o".to_string(), "obj"), ("libc".to_string(), "meta")]
+        );
+    }
+
+    #[test]
+    fn paths_normalize() {
+        let mut ns = Namespace::new();
+        ns.bind_object("lib//x.o", assemble("x", ".text\nnop\n").unwrap());
+        assert!(ns.lookup("/lib/x.o").is_some());
+    }
+}

@@ -1,0 +1,833 @@
+//! The OMOS server.
+//!
+//! "Modern operating systems provide the primitives needed to make the
+//! dynamic linker and loader a persistent server which lives across
+//! program invocations. ... The speed is gained primarily through caching
+//! of previous work, i.e., bound and relocated executable images and
+//! libraries."
+//!
+//! [`Omos`] owns the namespace, the multi-level caches (evaluated
+//! modules, bound images, full instantiation replies), the address
+//! constraint solver, and the registry of `lib-dynamic` implementations.
+//! Server-side CPU work is metered in nanoseconds and reported per
+//! request; clients charge it as I/O wait (the server is another
+//! process on the same machine).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use omos_blueprint::eval::LibraryUse;
+use omos_blueprint::{
+    eval_blueprint, Blueprint, EvalContext, EvalError, EvalStats, MNode, ResolvedNode,
+};
+use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentRequest};
+use omos_link::{link, FunctionHashTable, LinkOptions, LinkStats};
+use omos_module::Module;
+use omos_obj::{ContentHash, SectionKind};
+use omos_os::ipc::Transport;
+use omos_os::{CostModel, ImageFrames};
+
+use crate::cache::{CachedImage, ImageCache};
+use crate::error::OmosError;
+use crate::namespace::{Entry, Namespace};
+
+/// Default client text base (programs overlap freely across tasks; only
+/// libraries need globally consistent placement).
+pub const CLIENT_TEXT_BASE: u32 = 0x0001_0000;
+/// Default client data base, kept below the library data window.
+pub const CLIENT_DATA_BASE: u32 = 0x3000_0000;
+
+/// Server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Instantiation requests served.
+    pub requests: u64,
+    /// Requests answered entirely from the reply cache.
+    pub reply_cache_hits: u64,
+    /// Library images built (should stay near the number of distinct
+    /// libraries in "the common case").
+    pub libraries_built: u64,
+    /// Program images built.
+    pub programs_built: u64,
+    /// Total server CPU spent, ns.
+    pub cpu_ns: u64,
+}
+
+/// What the server hands back for an instantiation request: everything
+/// the client must map.
+#[derive(Debug, Clone)]
+pub struct InstantiateReply {
+    /// The program image.
+    pub program: Arc<CachedImage>,
+    /// Self-contained shared libraries to map alongside it.
+    pub libraries: Vec<Arc<CachedImage>>,
+    /// Server CPU consumed by this request (client waits this long).
+    pub server_ns: u64,
+    /// True if the whole reply came from cache.
+    pub cache_hit: bool,
+}
+
+impl InstantiateReply {
+    /// Total pages the client will map.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.program.frames.total_pages()
+            + self
+                .libraries
+                .iter()
+                .map(|l| l.frames.total_pages())
+                .sum::<u64>()
+    }
+}
+
+/// One registered `lib-dynamic` implementation.
+#[derive(Debug)]
+struct DynamicLib {
+    key: ContentHash,
+    module: Module,
+    /// Placed + linked on first demand.
+    instance: Option<Arc<CachedImage>>,
+    htab: Option<FunctionHashTable>,
+}
+
+/// Reply to a partial-image lookup.
+#[derive(Debug)]
+pub struct DynLookupReply {
+    /// Resolved entry address.
+    pub target: u32,
+    /// Hash probes the lookup took.
+    pub probes: u64,
+    /// Frames to map if this is the process's first call into the
+    /// library.
+    pub frames: ImageFrames,
+    /// Server CPU consumed (nonzero only when the instance had to be
+    /// built).
+    pub server_ns: u64,
+}
+
+/// The persistent linker/loader server.
+///
+/// # Examples
+///
+/// ```
+/// use omos_core::Omos;
+/// use omos_isa::assemble;
+/// use omos_os::ipc::Transport;
+/// use omos_os::CostModel;
+///
+/// let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+/// server.namespace.bind_object(
+///     "/obj/hello.o",
+///     assemble("hello.o", ".text\n.global _start\n_start: sys 0\n")?,
+/// );
+/// server
+///     .namespace
+///     .bind_blueprint("/bin/hello", "(merge /obj/hello.o)")?;
+///
+/// let first = server.instantiate("/bin/hello")?;
+/// let second = server.instantiate("/bin/hello")?;
+/// assert!(!first.cache_hit);
+/// assert!(second.cache_hit, "bound images are a cache");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Omos {
+    /// The exported hierarchical namespace.
+    pub namespace: Namespace,
+    /// The global address-space constraint solver.
+    pub solver: PlacementSolver,
+    /// Bound-image cache.
+    pub images: ImageCache,
+    /// Counters.
+    pub stats: ServerStats,
+    /// Transport clients use to reach this server.
+    pub transport: Transport,
+    cost: CostModel,
+    eval_cache: HashMap<ContentHash, Module>,
+    reply_cache: HashMap<ContentHash, InstantiateReply>,
+    dynamic: Vec<DynamicLib>,
+    dynamic_keys: HashMap<ContentHash, u32>,
+    last_generation: u64,
+}
+
+impl Omos {
+    /// Starts a server with the given machine cost profile and client
+    /// transport.
+    #[must_use]
+    pub fn new(cost: CostModel, transport: Transport) -> Omos {
+        Omos {
+            namespace: Namespace::new(),
+            solver: PlacementSolver::new(),
+            images: ImageCache::new(u64::MAX),
+            stats: ServerStats::default(),
+            transport,
+            cost,
+            eval_cache: HashMap::new(),
+            reply_cache: HashMap::new(),
+            dynamic: Vec::new(),
+            dynamic_keys: HashMap::new(),
+            last_generation: 0,
+        }
+    }
+
+    /// The server's cost model.
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Invalidates derivation caches if the namespace changed. OMOS is
+    /// "an active entity, capable of ... modifying its cached state":
+    /// rebinding a name must not serve stale images.
+    fn revalidate(&mut self) {
+        if self.namespace.generation() != self.last_generation {
+            self.eval_cache.clear();
+            self.reply_cache.clear();
+            self.last_generation = self.namespace.generation();
+        }
+    }
+
+    /// Instantiates the meta-object (or bare fragment) at `path`.
+    pub fn instantiate(&mut self, path: &str) -> Result<InstantiateReply, OmosError> {
+        self.revalidate();
+        self.stats.requests += 1;
+        let bp = match self.namespace.lookup(path) {
+            Some(Entry::Meta(bp)) => (**bp).clone(),
+            Some(Entry::Object(_)) => Blueprint {
+                constraints: Vec::new(),
+                root: MNode::Leaf(path.to_string()),
+            },
+            None => return Err(OmosError::NoSuchName(path.to_string())),
+        };
+        self.instantiate_blueprint(&bp)
+    }
+
+    /// Instantiates an arbitrary blueprint (the paper's "execution of
+    /// arbitrary blueprints" dynamic-loading interface).
+    pub fn instantiate_blueprint(&mut self, bp: &Blueprint) -> Result<InstantiateReply, OmosError> {
+        self.revalidate();
+        let key = bp.hash();
+        if let Some(hit) = self.reply_cache.get(&key) {
+            self.stats.reply_cache_hits += 1;
+            let server_ns = self.cost.server_cached_request_ns;
+            self.stats.cpu_ns += server_ns;
+            let mut reply = hit.clone();
+            reply.server_ns = server_ns;
+            reply.cache_hit = true;
+            return Ok(reply);
+        }
+
+        let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
+        let out = eval_blueprint(bp, self)?;
+        server_ns += eval_work_ns(&out.stats, &self.cost);
+
+        // Build (or reuse) each referenced library, resolving
+        // inter-library references left to right ("all definitions of
+        // variables must be made in the library furthest downstream").
+        let mut externs: HashMap<String, u32> = HashMap::new();
+        let mut libraries = Vec::with_capacity(out.libraries.len());
+        for lib in &out.libraries {
+            let (img, ns) = self.instantiate_library(lib, &externs)?;
+            server_ns += ns;
+            for (s, a) in &img.image.symbols {
+                externs.entry(s.clone()).or_insert(*a);
+            }
+            libraries.push(img);
+        }
+
+        // Link the client against the placed libraries.
+        let (text_base, data_base) = client_bases(&out.constraints);
+        let image_key = {
+            // Content-derived, so rebound fragments produce fresh images.
+            let mut k = out.module.content_hash().with_str("program");
+            for l in &libraries {
+                k = k.combine(l.key);
+            }
+            k.with_u64(u64::from(text_base))
+                .with_u64(u64::from(data_base))
+        };
+        let program = match self.images.get(image_key) {
+            Some(img) => img,
+            None => {
+                let obj = out.module.materialize().map_err(OmosError::Obj)?;
+                let mut opts = LinkOptions::program("program");
+                opts.name = format!("<program:{key}>");
+                opts.text_base = text_base;
+                opts.data_base = data_base;
+                opts.externs = externs;
+                let linked = link(&[obj], &opts)?;
+                server_ns += link_work_ns(&linked.stats, &self.cost);
+                self.stats.programs_built += 1;
+                self.images.insert(CachedImage {
+                    key: image_key,
+                    frames: ImageFrames::from_image(&linked.image),
+                    image: linked.image,
+                    link_stats: linked.stats,
+                })
+            }
+        };
+
+        self.stats.cpu_ns += server_ns;
+        let reply = InstantiateReply {
+            program,
+            libraries,
+            server_ns,
+            cache_hit: false,
+        };
+        self.reply_cache.insert(key, reply.clone());
+        Ok(reply)
+    }
+
+    /// Builds (or reuses) one self-contained shared library: place with
+    /// the constraint solver, link at the chosen fixed addresses, frame,
+    /// and cache.
+    fn instantiate_library(
+        &mut self,
+        lib: &LibraryUse,
+        externs: &HashMap<String, u32>,
+    ) -> Result<(Arc<CachedImage>, u64), OmosError> {
+        let obj = lib.module.materialize().map_err(OmosError::Obj)?;
+        let text_size = obj.size_of_kind(SectionKind::Text) + obj.size_of_kind(SectionKind::RoData);
+        let data_size = obj.size_of_kind(SectionKind::Data) + obj.size_of_kind(SectionKind::Bss);
+
+        let mut segments = Vec::new();
+        let text_pref = pref_for(&lib.constraints, RegionClass::Text);
+        let data_pref = pref_for(&lib.constraints, RegionClass::Data);
+        segments.push(SegmentRequest {
+            class: RegionClass::Text,
+            size: round_page(text_size.max(1)),
+            align: 4096,
+            preferred: text_pref,
+        });
+        segments.push(SegmentRequest {
+            class: RegionClass::Data,
+            size: round_page(data_size.max(1)),
+            align: 4096,
+            preferred: data_pref,
+        });
+        let placement = self.solver.place(
+            &PlacementRequest {
+                name: lib.name.clone(),
+                key: lib.key.0,
+                segments,
+            },
+            &[],
+        )?;
+        let text_base = placement.allocations[0].base as u32;
+        let data_base = placement.allocations[1].base as u32;
+
+        // The key covers content, placement, AND the extern bindings the
+        // library links against: if a dependency moved or was rebuilt,
+        // this library's bound image is stale even though its own bytes
+        // and base are unchanged.
+        let mut image_key = lib
+            .key
+            .with_str("library")
+            .with_u64(u64::from(text_base))
+            .with_u64(u64::from(data_base));
+        {
+            let mut ext: Vec<(&String, &u32)> = externs.iter().collect();
+            ext.sort();
+            for (name, addr) in ext {
+                image_key = image_key.with_str(name).with_u64(u64::from(*addr));
+            }
+        }
+        if let Some(img) = self.images.get(image_key) {
+            return Ok((img, 0));
+        }
+
+        let mut opts = LinkOptions::library(&lib.name, text_base, data_base);
+        opts.externs = externs.clone();
+        let linked = link(&[obj], &opts)?;
+        let server_ns = link_work_ns(&linked.stats, &self.cost);
+        self.stats.libraries_built += 1;
+        let img = self.images.insert(CachedImage {
+            key: image_key,
+            frames: ImageFrames::from_image(&linked.image),
+            image: linked.image,
+            link_stats: linked.stats,
+        });
+        Ok((img, server_ns))
+    }
+
+    /// Number of registered `lib-dynamic` implementations.
+    #[must_use]
+    pub fn dynamic_lib_count(&self) -> usize {
+        self.dynamic.len()
+    }
+
+    /// Serves a partial-image stub's `OMOS_LOOKUP`: builds the library
+    /// instance on first demand, then resolves `name` through the
+    /// function hash table.
+    pub fn dyn_lookup(&mut self, lib_id: u32, name: &str) -> Result<DynLookupReply, OmosError> {
+        let idx = lib_id as usize;
+        if idx >= self.dynamic.len() {
+            return Err(OmosError::NoSuchLibrary(lib_id));
+        }
+        let mut server_ns = 0;
+        if self.dynamic[idx].instance.is_none() {
+            let (module, key) = (self.dynamic[idx].module.clone(), self.dynamic[idx].key);
+            let lib_use = LibraryUse {
+                name: format!("<dynamic:{lib_id}>"),
+                key,
+                module,
+                constraints: Vec::new(),
+            };
+            let (img, ns) = self.instantiate_library(&lib_use, &HashMap::new())?;
+            server_ns += ns;
+            let entries: Vec<(String, u32)> = img
+                .image
+                .symbols
+                .iter()
+                .map(|(s, a)| (s.clone(), *a))
+                .collect();
+            self.dynamic[idx].htab = Some(FunctionHashTable::build(&entries));
+            self.dynamic[idx].instance = Some(img);
+            self.stats.cpu_ns += server_ns;
+        }
+        let lib = &self.dynamic[idx];
+        let htab = lib.htab.as_ref().expect("built above");
+        let (target, probes) = htab
+            .lookup(name)
+            .ok_or_else(|| OmosError::Client(format!("`{name}` not in dynamic lib {lib_id}")))?;
+        let instance = lib.instance.as_ref().expect("built above");
+        Ok(DynLookupReply {
+            target,
+            probes: u64::from(probes),
+            frames: instance.frames.clone(),
+            server_ns,
+        })
+    }
+}
+
+impl EvalContext for Omos {
+    fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
+        match self.namespace.lookup(path) {
+            Some(Entry::Object(o)) => Ok(ResolvedNode::Object(Arc::clone(o))),
+            Some(Entry::Meta(m)) => Ok(ResolvedNode::Meta((**m).clone())),
+            None => Err(EvalError::Resolve(path.to_string())),
+        }
+    }
+
+    fn cache_get(&mut self, key: ContentHash) -> Option<Module> {
+        self.eval_cache.get(&key).cloned()
+    }
+
+    fn cache_put(&mut self, key: ContentHash, module: &Module) {
+        self.eval_cache.insert(key, module.clone());
+    }
+
+    fn register_dynamic_impl(
+        &mut self,
+        key: ContentHash,
+        module: &Module,
+    ) -> Result<u32, EvalError> {
+        if let Some(&id) = self.dynamic_keys.get(&key) {
+            return Ok(id);
+        }
+        let id = self.dynamic.len() as u32;
+        self.dynamic.push(DynamicLib {
+            key,
+            module: module.clone(),
+            instance: None,
+            htab: None,
+        });
+        self.dynamic_keys.insert(key, id);
+        Ok(id)
+    }
+}
+
+fn round_page(v: u64) -> u64 {
+    (v + 4095) & !4095
+}
+
+fn pref_for(cs: &[(RegionClass, u64)], class: RegionClass) -> Option<u64> {
+    cs.iter().find(|(c, _)| *c == class).map(|(_, a)| *a)
+}
+
+fn client_bases(cs: &[(RegionClass, u64)]) -> (u32, u32) {
+    (
+        pref_for(cs, RegionClass::Text).map_or(CLIENT_TEXT_BASE, |a| a as u32),
+        pref_for(cs, RegionClass::Data).map_or(CLIENT_DATA_BASE, |a| a as u32),
+    )
+}
+
+fn link_work_ns(s: &LinkStats, cost: &CostModel) -> u64 {
+    s.symbols_resolved * cost.lookup_ns
+        + s.relocs_applied * cost.reloc_ns
+        + s.bytes_copied * cost.link_byte_ns
+        + s.externs_bound * cost.lookup_ns
+}
+
+fn eval_work_ns(s: &EvalStats, cost: &CostModel) -> u64 {
+    s.nodes * cost.lookup_ns
+        + s.merges * cost.server_merge_ns
+        + s.source_compiles * cost.server_compile_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::assemble;
+
+    fn server() -> Omos {
+        let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        s.namespace.bind_object(
+            "/obj/hello.o",
+            assemble(
+                "hello.o",
+                ".text\n.global _start\n_start: call _puts\n sys 0\n",
+            )
+            .unwrap(),
+        );
+        s.namespace.bind_object(
+            "/libc/stdio.o",
+            assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 7\n ret\n").unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                "/lib/libc",
+                "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge /libc/stdio.o)",
+            )
+            .unwrap();
+        s.namespace
+            .bind_blueprint("/bin/hello", "(merge /obj/hello.o /lib/libc)")
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn instantiate_builds_program_and_library() {
+        let mut s = server();
+        let reply = s.instantiate("/bin/hello").unwrap();
+        assert!(!reply.cache_hit);
+        assert_eq!(reply.libraries.len(), 1);
+        assert!(reply.program.image.entry.is_some());
+        // The library landed at its preferred address.
+        let lib_text = reply.libraries[0]
+            .image
+            .segments
+            .iter()
+            .find(|seg| seg.kind == SectionKind::Text)
+            .unwrap();
+        assert_eq!(lib_text.vaddr, 0x0100_0000);
+        // The client's call to _puts is bound into the library.
+        assert_eq!(reply.libraries[0].image.find("_puts"), Some(0x0100_0000));
+        assert_eq!(s.stats.libraries_built, 1);
+        assert_eq!(s.stats.programs_built, 1);
+    }
+
+    #[test]
+    fn second_instantiation_is_a_cache_hit() {
+        let mut s = server();
+        let first = s.instantiate("/bin/hello").unwrap();
+        let second = s.instantiate("/bin/hello").unwrap();
+        assert!(second.cache_hit);
+        assert!(second.server_ns < first.server_ns);
+        assert_eq!(s.stats.reply_cache_hits, 1);
+        assert_eq!(s.stats.libraries_built, 1, "library built once");
+        assert!(
+            Arc::ptr_eq(&first.program, &second.program),
+            "same physical frames"
+        );
+    }
+
+    #[test]
+    fn two_programs_share_one_library_instance() {
+        let mut s = server();
+        s.namespace.bind_object(
+            "/obj/other.o",
+            assemble(
+                "other.o",
+                ".text\n.global _start\n_start: call _puts\n call _puts\n sys 0\n",
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint("/bin/other", "(merge /obj/other.o /lib/libc)")
+            .unwrap();
+        let a = s.instantiate("/bin/hello").unwrap();
+        let b = s.instantiate("/bin/other").unwrap();
+        assert!(Arc::ptr_eq(&a.libraries[0], &b.libraries[0]));
+        assert_eq!(s.stats.libraries_built, 1);
+    }
+
+    #[test]
+    fn rebinding_invalidates_replies() {
+        let mut s = server();
+        let first = s.instantiate("/bin/hello").unwrap();
+        // Rebind the libc fragment: _puts now returns 9.
+        s.namespace.bind_object(
+            "/libc/stdio.o",
+            assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 9\n ret\n").unwrap(),
+        );
+        let second = s.instantiate("/bin/hello").unwrap();
+        assert!(!second.cache_hit, "stale reply must not be served");
+        assert_ne!(
+            first.libraries[0].image.content_hash(),
+            second.libraries[0].image.content_hash()
+        );
+    }
+
+    #[test]
+    fn missing_name_and_bad_reference() {
+        let mut s = server();
+        assert!(matches!(
+            s.instantiate("/bin/nope"),
+            Err(OmosError::NoSuchName(_))
+        ));
+        s.namespace
+            .bind_blueprint("/bin/broken", "(merge /no/such.o)")
+            .unwrap();
+        assert!(matches!(
+            s.instantiate("/bin/broken"),
+            Err(OmosError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn instantiate_bare_object() {
+        let mut s = server();
+        s.namespace.bind_object(
+            "/obj/solo.o",
+            assemble("solo.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+        );
+        let reply = s.instantiate("/obj/solo.o").unwrap();
+        assert!(reply.program.image.entry.is_some());
+        assert!(reply.libraries.is_empty());
+    }
+
+    #[test]
+    fn dyn_lookup_builds_once_then_resolves() {
+        let mut s = server();
+        s.namespace
+            .bind_blueprint(
+                "/bin/dyn",
+                r#"(merge /obj/hello.o (specialize "lib-dynamic" /libc/stdio.o))"#,
+            )
+            .unwrap();
+        let _ = s.instantiate("/bin/dyn").unwrap();
+        assert_eq!(s.dynamic_lib_count(), 1);
+        let r1 = s.dyn_lookup(0, "_puts").unwrap();
+        assert!(r1.server_ns > 0, "first lookup builds the instance");
+        let r2 = s.dyn_lookup(0, "_puts").unwrap();
+        assert_eq!(r2.server_ns, 0, "instance cached");
+        assert_eq!(r1.target, r2.target);
+        assert!(s.dyn_lookup(0, "_missing").is_err());
+        assert!(matches!(
+            s.dyn_lookup(9, "_puts"),
+            Err(OmosError::NoSuchLibrary(9))
+        ));
+    }
+
+    #[test]
+    fn program_with_undefined_reference_fails_to_link() {
+        let mut s = server();
+        s.namespace.bind_object(
+            "/obj/bad.o",
+            assemble(
+                "bad.o",
+                ".text\n.global _start\n_start: call _nowhere\n sys 0\n",
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint("/bin/bad", "(merge /obj/bad.o)")
+            .unwrap();
+        assert!(matches!(s.instantiate("/bin/bad"), Err(OmosError::Link(_))));
+    }
+}
+
+/// Reply to a dynamic-load request (§5's dld-like interface).
+#[derive(Debug)]
+pub struct DynamicLoadReply {
+    /// The new class's mappable frames.
+    pub frames: ImageFrames,
+    /// "a list of symbols whose bound values are to be returned from
+    /// OMOS" — resolved addresses for the names the client asked for.
+    pub values: HashMap<String, u32>,
+    /// Server CPU consumed.
+    pub server_ns: u64,
+}
+
+impl Omos {
+    /// Dynamically loads a class into a running program (§5): "a client
+    /// program specifies the class to be loaded, any specializations to
+    /// apply to the meta-object, and a list of symbols whose bound
+    /// values are to be returned from OMOS. ... allowing the new classes
+    /// to refer to procedures and data structures within the client."
+    ///
+    /// `client_exports` are the running program's own symbols; the new
+    /// class's free references bind against them (the dld-style merge).
+    /// The class is placed by the constraint solver so its segments
+    /// cannot collide with any placed library.
+    pub fn dynamic_load(
+        &mut self,
+        bp: &Blueprint,
+        wanted: &[&str],
+        client_exports: &HashMap<String, u32>,
+    ) -> Result<DynamicLoadReply, OmosError> {
+        self.revalidate();
+        self.stats.requests += 1;
+        let mut server_ns = self.cost.server_cached_request_ns;
+        let out = eval_blueprint(bp, self)?;
+        server_ns += eval_work_ns(&out.stats, &self.cost);
+
+        // Resolve any referenced self-contained libraries first, then
+        // bind the class against libraries + the client's own exports.
+        let mut externs = client_exports.clone();
+        for lib in &out.libraries {
+            let (img, ns) = self.instantiate_library(lib, &externs)?;
+            server_ns += ns;
+            for (s, a) in &img.image.symbols {
+                externs.entry(s.clone()).or_insert(*a);
+            }
+        }
+        let lib_use = LibraryUse {
+            name: format!("<dynload:{}>", bp.hash()),
+            key: out.module.content_hash().with_str("dynload"),
+            module: out.module,
+            constraints: out.constraints.clone(),
+        };
+        let (img, ns) = self.instantiate_library(&lib_use, &externs)?;
+        server_ns += ns;
+
+        let mut values = HashMap::new();
+        for name in wanted {
+            let addr = img
+                .image
+                .find(name)
+                .ok_or_else(|| OmosError::Client(format!("`{name}` not defined by the class")))?;
+            values.insert((*name).to_string(), addr);
+        }
+        self.stats.cpu_ns += server_ns;
+        Ok(DynamicLoadReply {
+            frames: img.frames.clone(),
+            values,
+            server_ns,
+        })
+    }
+
+    /// §7 "Implications for Other Programs": serves `nm`-style symbol
+    /// listings directly from the server — "requesting only those
+    /// portions of interest" instead of shipping a whole byte stream.
+    pub fn query_symbols(&mut self, path: &str) -> Result<Vec<(String, bool)>, OmosError> {
+        match self.namespace.lookup(path) {
+            Some(Entry::Object(o)) => Ok(o
+                .symbols
+                .iter()
+                .map(|s| (s.name.clone(), s.def.is_definition()))
+                .collect()),
+            Some(Entry::Meta(_)) => {
+                let reply = self.instantiate(path)?;
+                let mut v: Vec<(String, bool)> = reply
+                    .program
+                    .image
+                    .symbols
+                    .keys()
+                    .map(|k| (k.clone(), true))
+                    .collect();
+                v.sort();
+                Ok(v)
+            }
+            None => Err(OmosError::NoSuchName(path.to_string())),
+        }
+    }
+
+    /// §7: `size`-style section totals without shipping contents.
+    pub fn query_size(&mut self, path: &str) -> Result<(u64, u64, u64), OmosError> {
+        match self.namespace.lookup(path) {
+            Some(Entry::Object(o)) => Ok((
+                o.size_of_kind(SectionKind::Text) + o.size_of_kind(SectionKind::RoData),
+                o.size_of_kind(SectionKind::Data),
+                o.size_of_kind(SectionKind::Bss),
+            )),
+            Some(Entry::Meta(_)) => {
+                let reply = self.instantiate(path)?;
+                let mut text = 0;
+                let mut data = 0;
+                let mut bss = 0;
+                for seg in &reply.program.image.segments {
+                    match seg.kind {
+                        SectionKind::Text | SectionKind::RoData => text += seg.size(),
+                        SectionKind::Data => data += seg.size(),
+                        SectionKind::Bss => bss += seg.size(),
+                    }
+                }
+                Ok((text, data, bss))
+            }
+            None => Err(OmosError::NoSuchName(path.to_string())),
+        }
+    }
+}
+
+impl Omos {
+    /// Instantiates `path` with monitoring wrappers interposed around
+    /// every routine matching `pattern` (§4.1/§6: "OMOS can
+    /// transparently modify program executables to provide monitoring
+    /// data"). The instrumented image is built outside the normal reply
+    /// cache (it is a specialization, not the base instance) and the
+    /// id→routine table is returned for decoding `MONLOG` events.
+    pub fn instantiate_monitored(
+        &mut self,
+        path: &str,
+        pattern: &str,
+    ) -> Result<(InstantiateReply, Vec<String>), OmosError> {
+        self.revalidate();
+        self.stats.requests += 1;
+        let bp = match self.namespace.lookup(path) {
+            Some(Entry::Meta(bp)) => (**bp).clone(),
+            Some(Entry::Object(_)) => Blueprint {
+                constraints: Vec::new(),
+                root: MNode::Leaf(path.to_string()),
+            },
+            None => return Err(OmosError::NoSuchName(path.to_string())),
+        };
+        let mut server_ns = self.cost.server_cached_request_ns;
+        let out = eval_blueprint(&bp, self)?;
+        server_ns += eval_work_ns(&out.stats, &self.cost);
+
+        let mut externs: HashMap<String, u32> = HashMap::new();
+        let mut libraries = Vec::with_capacity(out.libraries.len());
+        for lib in &out.libraries {
+            let (img, ns) = self.instantiate_library(lib, &externs)?;
+            server_ns += ns;
+            for (s, a) in &img.image.symbols {
+                externs.entry(s.clone()).or_insert(*a);
+            }
+            libraries.push(img);
+        }
+
+        let (instrumented, id_names) =
+            crate::monitor::instrument(&out.module, pattern).map_err(OmosError::Obj)?;
+        let obj = instrumented.materialize().map_err(OmosError::Obj)?;
+        let (text_base, data_base) = client_bases(&out.constraints);
+        let mut opts = LinkOptions::program("monitored");
+        opts.name = format!("<monitored:{path}>");
+        opts.text_base = text_base;
+        opts.data_base = data_base;
+        opts.externs = externs;
+        let linked = link(&[obj], &opts)?;
+        server_ns += link_work_ns(&linked.stats, &self.cost);
+        let image_key = instrumented
+            .content_hash()
+            .with_str("monitored")
+            .with_u64(u64::from(text_base));
+        let program = self.images.insert(CachedImage {
+            key: image_key,
+            frames: ImageFrames::from_image(&linked.image),
+            image: linked.image,
+            link_stats: linked.stats,
+        });
+        self.stats.cpu_ns += server_ns;
+        Ok((
+            InstantiateReply {
+                program,
+                libraries,
+                server_ns,
+                cache_hit: false,
+            },
+            id_names,
+        ))
+    }
+}

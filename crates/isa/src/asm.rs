@@ -1,0 +1,866 @@
+//! A two-pass assembler from U32 assembly text to relocatable object files.
+//!
+//! The workload generator, the `source` blueprint operator, and the tests
+//! all produce object files through this assembler, the same way the
+//! paper's fragments came out of `cc`/`gcc`.
+//!
+//! Syntax (one statement per line; `;` or `#` start a comment):
+//!
+//! ```text
+//! .text | .data | .rodata | .bss      select the current section
+//! .global NAME                        export NAME
+//! .extern NAME                        (optional) declare an external
+//! .word V[, V...]                     emit 32-bit words (V: number or SYM[+N])
+//! .quad V[, V...]                     emit 64-bit words
+//! .ascii "..." | .asciz "..."         emit bytes
+//! .space N                            emit N zero bytes (reserve in .bss)
+//! .align N                            pad to N-byte alignment
+//! .comm NAME, SIZE                    declare a common symbol
+//! label:                              define a label at the current offset
+//! op operands                         one instruction (see [`crate::inst`])
+//! ```
+//!
+//! Branches to labels in the *same section* are resolved directly (they are
+//! link-invariant); everything else symbolic becomes a relocation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use omos_obj::{ObjectFile, RelocKind, Relocation, Section, SectionKind, Symbol};
+
+use crate::inst::{Inst, Opcode, INST_BYTES, NUM_REGS};
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+/// Assembles `source` into an object file named `name`.
+pub fn assemble(name: &str, source: &str) -> Result<ObjectFile> {
+    let mut a = Assembler::new(name);
+    a.run(source)?;
+    a.finish()
+}
+
+/// A symbolic or numeric operand value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Num(i64),
+    Sym { name: String, addend: i64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    Text,
+    RoData,
+    Data,
+    Bss,
+}
+
+impl Seg {
+    fn kind(self) -> SectionKind {
+        match self {
+            Seg::Text => SectionKind::Text,
+            Seg::RoData => SectionKind::RoData,
+            Seg::Data => SectionKind::Data,
+            Seg::Bss => SectionKind::Bss,
+        }
+    }
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+const SEGS: [Seg; 4] = [Seg::Text, Seg::RoData, Seg::Data, Seg::Bss];
+
+#[derive(Debug, Clone)]
+struct PendingReloc {
+    seg: Seg,
+    offset: u64,
+    kind: RelocKind,
+    symbol: String,
+    addend: i64,
+}
+
+struct Assembler {
+    name: String,
+    bytes: [Vec<u8>; 4],
+    bss_size: u64,
+    labels: HashMap<String, (Seg, u64)>,
+    globals: Vec<String>,
+    externs: Vec<String>,
+    commons: Vec<(String, u64)>,
+    relocs: Vec<PendingReloc>,
+    /// Same-section branch fixups resolved after pass completion:
+    /// `(seg, inst_offset, label, line)`.
+    branch_fixups: Vec<(Seg, u64, String, usize)>,
+    seg: Seg,
+}
+
+impl Assembler {
+    fn new(name: &str) -> Assembler {
+        Assembler {
+            name: name.to_string(),
+            bytes: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            bss_size: 0,
+            labels: HashMap::new(),
+            globals: Vec::new(),
+            externs: Vec::new(),
+            commons: Vec::new(),
+            relocs: Vec::new(),
+            branch_fixups: Vec::new(),
+            seg: Seg::Text,
+        }
+    }
+
+    fn offset(&self) -> u64 {
+        if self.seg == Seg::Bss {
+            self.bss_size
+        } else {
+            self.bytes[self.seg.index()].len() as u64
+        }
+    }
+
+    fn emit(&mut self, b: &[u8], line: usize) -> Result<()> {
+        if self.seg == Seg::Bss {
+            return Err(err(line, "cannot emit initialized bytes into .bss"));
+        }
+        self.bytes[self.seg.index()].extend_from_slice(b);
+        Ok(())
+    }
+
+    fn run(&mut self, source: &str) -> Result<()> {
+        for (i, raw) in source.lines().enumerate() {
+            let line = i + 1;
+            let mut text = raw;
+            if let Some(p) = text.find([';', '#']) {
+                text = &text[..p];
+            }
+            let mut text = text.trim();
+            // Leading labels (possibly several).
+            while let Some(colon) = find_label(text) {
+                let label = text[..colon].trim();
+                if !is_ident(label) {
+                    return Err(err(line, &format!("bad label `{label}`")));
+                }
+                if self.labels.contains_key(label) {
+                    return Err(err(line, &format!("duplicate label `{label}`")));
+                }
+                self.labels
+                    .insert(label.to_string(), (self.seg, self.offset()));
+                text = text[colon + 1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix('.') {
+                self.directive(rest, line)?;
+            } else {
+                self.instruction(text, line)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, text: &str, line: usize) -> Result<()> {
+        let (word, rest) = split_word(text);
+        let rest = rest.trim();
+        match word {
+            "text" => self.seg = Seg::Text,
+            "rodata" => self.seg = Seg::RoData,
+            "data" => self.seg = Seg::Data,
+            "bss" => self.seg = Seg::Bss,
+            "global" | "globl" => {
+                for n in rest.split(',') {
+                    let n = n.trim();
+                    if !is_ident(n) {
+                        return Err(err(line, &format!("bad symbol `{n}` in .global")));
+                    }
+                    self.globals.push(n.to_string());
+                }
+            }
+            "extern" => {
+                for n in rest.split(',') {
+                    let n = n.trim();
+                    if !is_ident(n) {
+                        return Err(err(line, &format!("bad symbol `{n}` in .extern")));
+                    }
+                    self.externs.push(n.to_string());
+                }
+            }
+            "word" => {
+                for v in split_args(rest) {
+                    match parse_value(&v, line)? {
+                        Value::Num(n) => self.emit(&(n as u32).to_le_bytes(), line)?,
+                        Value::Sym { name, addend } => {
+                            let off = self.offset();
+                            self.relocs.push(PendingReloc {
+                                seg: self.seg,
+                                offset: off,
+                                kind: RelocKind::Abs32,
+                                symbol: name,
+                                addend,
+                            });
+                            self.emit(&[0; 4], line)?;
+                        }
+                    }
+                }
+            }
+            "quad" => {
+                for v in split_args(rest) {
+                    match parse_value(&v, line)? {
+                        Value::Num(n) => self.emit(&(n as u64).to_le_bytes(), line)?,
+                        Value::Sym { name, addend } => {
+                            let off = self.offset();
+                            self.relocs.push(PendingReloc {
+                                seg: self.seg,
+                                offset: off,
+                                kind: RelocKind::Abs64,
+                                symbol: name,
+                                addend,
+                            });
+                            self.emit(&[0; 8], line)?;
+                        }
+                    }
+                }
+            }
+            "ascii" | "asciz" => {
+                let s = parse_string(rest, line)?;
+                self.emit(s.as_bytes(), line)?;
+                if word == "asciz" {
+                    self.emit(&[0], line)?;
+                }
+            }
+            "space" => {
+                let n = parse_number(rest, line)? as u64;
+                if self.seg == Seg::Bss {
+                    self.bss_size += n;
+                } else {
+                    let zeros = vec![0u8; n as usize];
+                    self.emit(&zeros, line)?;
+                }
+            }
+            "align" => {
+                let n = parse_number(rest, line)? as u64;
+                if n == 0 || !n.is_power_of_two() {
+                    return Err(err(line, ".align needs a power of two"));
+                }
+                let cur = self.offset();
+                let pad = (n - cur % n) % n;
+                if self.seg == Seg::Bss {
+                    self.bss_size += pad;
+                } else {
+                    let zeros = vec![0u8; pad as usize];
+                    self.emit(&zeros, line)?;
+                }
+            }
+            "comm" => {
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return Err(err(line, ".comm needs NAME, SIZE"));
+                }
+                let size = parse_number(&args[1], line)? as u64;
+                if !is_ident(&args[0]) {
+                    return Err(err(line, &format!("bad symbol `{}` in .comm", args[0])));
+                }
+                self.commons.push((args[0].clone(), size));
+            }
+            other => return Err(err(line, &format!("unknown directive .{other}"))),
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, text: &str, line: usize) -> Result<()> {
+        let (m, rest) = split_word(text);
+        let op = Opcode::from_mnemonic(m)
+            .ok_or_else(|| err(line, &format!("unknown mnemonic `{m}`")))?;
+        if self.seg != Seg::Text {
+            return Err(err(line, "instructions outside .text"));
+        }
+        let args = split_args(rest.trim());
+        let inst_off = self.offset();
+        use Opcode::*;
+        let inst = match op {
+            Nop | Halt | Ret => {
+                expect_args(&args, 0, line)?;
+                Inst::new(op)
+            }
+            Li => {
+                expect_args(&args, 2, line)?;
+                let ra = parse_reg(&args[0], line)?;
+                match parse_value(&args[1], line)? {
+                    Value::Num(n) => Inst::new(op).ra(ra).imm(n as u32),
+                    Value::Sym { name, addend } => {
+                        self.relocs.push(PendingReloc {
+                            seg: self.seg,
+                            offset: inst_off + 4,
+                            kind: RelocKind::Abs32,
+                            symbol: name,
+                            addend,
+                        });
+                        Inst::new(op).ra(ra)
+                    }
+                }
+            }
+            Mov => {
+                expect_args(&args, 2, line)?;
+                Inst::new(op)
+                    .ra(parse_reg(&args[0], line)?)
+                    .rb(parse_reg(&args[1], line)?)
+            }
+            Add | Sub | Mul | Divu | And | Or | Xor | Shl | Shr => {
+                expect_args(&args, 3, line)?;
+                Inst::new(op)
+                    .ra(parse_reg(&args[0], line)?)
+                    .rb(parse_reg(&args[1], line)?)
+                    .rc(parse_reg(&args[2], line)?)
+            }
+            Addi => {
+                expect_args(&args, 3, line)?;
+                Inst::new(op)
+                    .ra(parse_reg(&args[0], line)?)
+                    .rb(parse_reg(&args[1], line)?)
+                    .simm(parse_number(&args[2], line)? as i32)
+            }
+            Ld | St | Ld8 | St8 => {
+                expect_args(&args, 2, line)?;
+                let ra = parse_reg(&args[0], line)?;
+                let (rb, disp) = parse_mem(&args[1], line)?;
+                Inst::new(op).ra(ra).rb(rb).simm(disp)
+            }
+            Call | Jmp => {
+                expect_args(&args, 1, line)?;
+                match parse_value(&args[0], line)? {
+                    Value::Num(n) => Inst::new(op).imm(n as u32),
+                    Value::Sym { name, addend } => {
+                        self.relocs.push(PendingReloc {
+                            seg: self.seg,
+                            offset: inst_off + 4,
+                            kind: RelocKind::Abs32,
+                            symbol: name,
+                            addend,
+                        });
+                        Inst::new(op)
+                    }
+                }
+            }
+            Callr | Jmpr => {
+                expect_args(&args, 1, line)?;
+                Inst::new(op).rb(parse_reg(&args[0], line)?)
+            }
+            Beq | Bne | Blt | Bge => {
+                expect_args(&args, 3, line)?;
+                let ra = parse_reg(&args[0], line)?;
+                let rb = parse_reg(&args[1], line)?;
+                match parse_value(&args[2], line)? {
+                    Value::Num(n) => Inst::new(op).ra(ra).rb(rb).simm(n as i32),
+                    Value::Sym { name, addend } => {
+                        if addend != 0 {
+                            return Err(err(line, "branch targets take no addend"));
+                        }
+                        // Defer: same-section labels resolve directly, others
+                        // become Pcrel32 relocations.
+                        self.branch_fixups.push((self.seg, inst_off, name, line));
+                        Inst::new(op).ra(ra).rb(rb)
+                    }
+                }
+            }
+            Sys => {
+                expect_args(&args, 1, line)?;
+                Inst::new(op).imm(parse_number(&args[0], line)? as u32)
+            }
+        };
+        self.emit(&inst.encode(), line)
+    }
+
+    fn finish(mut self) -> Result<ObjectFile> {
+        // Resolve branch fixups.
+        let fixups = std::mem::take(&mut self.branch_fixups);
+        for (seg, inst_off, label, _line) in fixups {
+            match self.labels.get(&label) {
+                Some(&(lseg, loff)) if lseg == seg => {
+                    // Same-section: patch the displacement directly.
+                    let disp = loff as i64 - (inst_off as i64 + INST_BYTES as i64);
+                    let site = (inst_off + 4) as usize;
+                    self.bytes[seg.index()][site..site + 4]
+                        .copy_from_slice(&(disp as i32 as u32).to_le_bytes());
+                }
+                _ => {
+                    // Cross-section or external: a PC-relative relocation.
+                    self.relocs.push(PendingReloc {
+                        seg,
+                        offset: inst_off + 4,
+                        kind: RelocKind::Pcrel32,
+                        symbol: label,
+                        addend: 0,
+                    });
+                }
+            }
+        }
+
+        let mut obj = ObjectFile::new(&self.name);
+        // Create sections (even empty ones keep indices stable and simple).
+        let mut indices = [usize::MAX; 4];
+        for seg in SEGS {
+            let idx = match seg {
+                Seg::Bss => obj.add_section(Section::bss(".bss", self.bss_size, 8)),
+                _ => obj.add_section(Section::with_bytes(
+                    seg.kind().default_name(),
+                    seg.kind(),
+                    std::mem::take(&mut self.bytes[seg.index()]),
+                    8,
+                )),
+            };
+            indices[seg.index()] = idx;
+        }
+
+        // Labels become symbols: global if exported, local otherwise.
+        let mut names: Vec<&String> = self.labels.keys().collect();
+        names.sort(); // deterministic symbol order
+        for name in names {
+            let (seg, off) = self.labels[name];
+            let mut sym = Symbol::defined(name, indices[seg.index()], off);
+            if !self.globals.contains(name) {
+                sym = sym.local();
+            }
+            obj.define(sym).map_err(|e| err(0, &e.to_string()))?;
+        }
+        for (name, size) in &self.commons {
+            obj.define(Symbol::common(name, *size))
+                .map_err(|e| err(0, &e.to_string()))?;
+        }
+        for name in &self.externs {
+            if obj.symbols.get(name).is_none() {
+                obj.define(Symbol::undefined(name))
+                    .map_err(|e| err(0, &e.to_string()))?;
+            }
+        }
+        for r in &self.relocs {
+            if let Some(g) = self.globals.iter().find(|g| *g == &r.symbol) {
+                // Exported but undefined here is fine; nothing to do.
+                let _ = g;
+            }
+            obj.relocate(Relocation {
+                section: indices[r.seg.index()],
+                offset: r.offset,
+                kind: r.kind,
+                symbol: r.symbol.clone(),
+                addend: r.addend,
+            });
+        }
+        obj.validate()
+            .map_err(|e| err(0, &format!("internal: {e}")))?;
+        Ok(obj)
+    }
+}
+
+fn err(line: usize, msg: &str) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.to_string(),
+    }
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside strings.
+fn find_label(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b':' => return Some(i),
+            b'"' | b' ' | b'\t' | b',' | b'[' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn split_word(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], &text[i..]),
+        None => (text, ""),
+    }
+}
+
+/// Splits comma-separated arguments, respecting double quotes.
+fn split_args(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_str {
+            cur.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            ',' => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn expect_args(args: &[String], n: usize, line: usize) -> Result<()> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            &format!("expected {n} operands, found {}", args.len()),
+        ))
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || "_$.".contains(c))
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || "_$.".contains(c))
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u8> {
+    let rest = s
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, &format!("expected register, found `{s}`")))?;
+    let n: usize = rest
+        .parse()
+        .map_err(|_| err(line, &format!("expected register, found `{s}`")))?;
+    if n >= NUM_REGS {
+        return Err(err(line, &format!("register r{n} out of range")));
+    }
+    Ok(n as u8)
+}
+
+fn parse_number(s: &str, line: usize) -> Result<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, &format!("bad number `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `NUMBER`, `SYMBOL`, `SYMBOL+N`, or `SYMBOL-N`.
+fn parse_value(s: &str, line: usize) -> Result<Value> {
+    let s = s.trim();
+    if s.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+        return Ok(Value::Num(parse_number(s, line)?));
+    }
+    let split = s.find(['+', '-']);
+    let (name, addend) = match split {
+        Some(i) => {
+            let a = parse_number(&s[i..], line)?;
+            (&s[..i], a)
+        }
+        None => (s, 0),
+    };
+    if !is_ident(name) {
+        return Err(err(line, &format!("bad operand `{s}`")));
+    }
+    Ok(Value::Sym {
+        name: name.to_string(),
+        addend,
+    })
+}
+
+/// Parses `[rN]`, `[rN+D]`, or `[rN-D]`.
+fn parse_mem(s: &str, line: usize) -> Result<(u8, i32)> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| {
+            err(
+                line,
+                &format!("expected memory operand `[rN+D]`, found `{s}`"),
+            )
+        })?;
+    match inner.find(['+', '-']) {
+        Some(i) => {
+            let r = parse_reg(inner[..i].trim(), line)?;
+            let d = parse_number(&inner[i..], line)?;
+            Ok((r, d as i32))
+        }
+        None => Ok((parse_reg(inner.trim(), line)?, 0)),
+    }
+}
+
+fn parse_string(s: &str, line: usize) -> Result<String> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| err(line, &format!("expected quoted string, found `{s}`")))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some(other) => return Err(err(line, &format!("bad escape `\\{other}`"))),
+                None => return Err(err(line, "dangling escape")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_obj::SymbolDef;
+
+    #[test]
+    fn minimal_program_assembles() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .text
+            .global _main
+_main:      li r1, 42
+            sys 0
+            "#,
+        )
+        .unwrap();
+        let text = &obj.sections[obj.section_index(".text").unwrap()];
+        assert_eq!(text.size, 16);
+        let main = obj.symbols.get("_main").unwrap();
+        assert_eq!(
+            main.def,
+            SymbolDef::Defined {
+                section: 0,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn call_to_external_emits_abs32_reloc() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .text
+            .global _main
+_main:      call _printf
+            ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.relocs.len(), 1);
+        let r = &obj.relocs[0];
+        assert_eq!(r.kind, RelocKind::Abs32);
+        assert_eq!(r.symbol, "_printf");
+        assert_eq!(r.offset, 4); // imm field of the first instruction
+        assert!(!obj.symbols.get("_printf").unwrap().def.is_definition());
+    }
+
+    #[test]
+    fn same_section_branch_resolved_directly() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .text
+_loop:      addi r1, r1, -1
+            bne r1, r0, _loop
+            ret
+            "#,
+        )
+        .unwrap();
+        assert!(obj.relocs.is_empty(), "no relocation for a local branch");
+        let text = &obj.sections[0].bytes;
+        let inst: [u8; 8] = text[8..16].try_into().unwrap();
+        let decoded = Inst::decode(&inst).unwrap();
+        // Branch displacement: target 0 - (site 8 + 8) = -16.
+        assert_eq!(decoded.imm as i32, -16);
+    }
+
+    #[test]
+    fn cross_section_branch_becomes_pcrel_reloc() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .text
+            beq r0, r0, _elsewhere
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.relocs.len(), 1);
+        assert_eq!(obj.relocs[0].kind, RelocKind::Pcrel32);
+        assert_eq!(obj.relocs[0].symbol, "_elsewhere");
+    }
+
+    #[test]
+    fn data_words_and_symbols() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .data
+_tab:       .word 1, 2, _func+8
+            .quad _func
+            .asciz "hi"
+            .align 4
+            .space 4
+            "#,
+        )
+        .unwrap();
+        let data = &obj.sections[obj.section_index(".data").unwrap()];
+        assert_eq!(data.size, 12 + 8 + 3 + 1 + 4);
+        assert_eq!(obj.relocs.len(), 2);
+        assert_eq!(obj.relocs[0].kind, RelocKind::Abs32);
+        assert_eq!(obj.relocs[0].addend, 8);
+        assert_eq!(obj.relocs[1].kind, RelocKind::Abs64);
+        assert_eq!(&data.bytes[0..4], &1u32.to_le_bytes());
+        assert_eq!(&data.bytes[20..23], b"hi\0");
+    }
+
+    #[test]
+    fn bss_and_comm() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .bss
+            .global _heap
+_heap:      .space 4096
+            .comm _shared_buf, 256
+            "#,
+        )
+        .unwrap();
+        let bss = &obj.sections[obj.section_index(".bss").unwrap()];
+        assert_eq!(bss.size, 4096);
+        assert_eq!(
+            obj.symbols.get("_shared_buf").unwrap().def,
+            SymbolDef::Common { size: 256 }
+        );
+        assert_eq!(
+            obj.symbols.get("_heap").unwrap().def,
+            SymbolDef::Defined {
+                section: obj.section_index(".bss").unwrap(),
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn local_labels_are_local_symbols() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .text
+            .global _f
+_f:         ret
+_helper:    ret
+            "#,
+        )
+        .unwrap();
+        use omos_obj::SymbolBinding;
+        assert_eq!(
+            obj.symbols.get("_f").unwrap().binding,
+            SymbolBinding::Global
+        );
+        assert_eq!(
+            obj.symbols.get("_helper").unwrap().binding,
+            SymbolBinding::Local
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("t.o", ".text\n  bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("t.o", "  li r99, 0\n").unwrap_err();
+        assert!(e.msg.contains("register"));
+        let e = assemble("t.o", ".data\n  li r1, 0\n").unwrap_err();
+        assert!(e.msg.contains("outside .text"));
+        let e = assemble("t.o", "x:\nx:\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        let e = assemble("t.o", ".align 3\n").unwrap_err();
+        assert!(e.msg.contains("power of two"));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let obj = assemble(
+            "t.o",
+            r#"
+            .text
+            ld r1, [r14+8]
+            st r2, [r14-4]
+            ld8 r3, [r4]
+            "#,
+        )
+        .unwrap();
+        let b = &obj.sections[0].bytes;
+        let i0 = Inst::decode(b[0..8].try_into().unwrap()).unwrap();
+        assert_eq!((i0.op, i0.ra, i0.rb, i0.imm as i32), (Opcode::Ld, 1, 14, 8));
+        let i1 = Inst::decode(b[8..16].try_into().unwrap()).unwrap();
+        assert_eq!(
+            (i1.op, i1.ra, i1.rb, i1.imm as i32),
+            (Opcode::St, 2, 14, -4)
+        );
+        let i2 = Inst::decode(b[16..24].try_into().unwrap()).unwrap();
+        assert_eq!((i2.op, i2.ra, i2.rb, i2.imm as i32), (Opcode::Ld8, 3, 4, 0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let obj = assemble(
+            "t.o",
+            "; full comment\n\n.text ; trailing\n nop # other style\n",
+        )
+        .unwrap();
+        assert_eq!(obj.sections[0].size, 8);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let obj = assemble("t.o", ".data\n.ascii \"a\\n\\t\\\"b\\\\\"\n").unwrap();
+        let d = &obj.sections[obj.section_index(".data").unwrap()].bytes;
+        assert_eq!(d, b"a\n\t\"b\\");
+    }
+}

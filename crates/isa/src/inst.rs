@@ -1,0 +1,391 @@
+//! U32 instruction encoding.
+//!
+//! Every instruction is exactly [`INST_BYTES`] = 8 bytes:
+//!
+//! ```text
+//! byte 0: opcode
+//! byte 1: ra
+//! byte 2: rb
+//! byte 3: rc
+//! bytes 4..8: imm (little-endian u32)
+//! ```
+//!
+//! The immediate always sits at offset +4, so an `Abs32`/`Pcrel32`
+//! relocation against an instruction patches `inst_offset + 4`.
+
+/// Size of every instruction, in bytes.
+pub const INST_BYTES: u64 = 8;
+
+/// Number of general-purpose registers. `r0` is hardwired to zero.
+pub const NUM_REGS: usize = 16;
+
+/// Stack-pointer register, by convention.
+pub const REG_SP: u8 = 14;
+/// Link register (return address), by convention.
+pub const REG_LR: u8 = 15;
+
+/// U32 opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// Stop the machine.
+    Halt = 1,
+    /// `ra = imm` (also the target of absolute-address relocations).
+    Li = 2,
+    /// `ra = rb`.
+    Mov = 3,
+    /// `ra = rb + rc`.
+    Add = 4,
+    /// `ra = rb - rc`.
+    Sub = 5,
+    /// `ra = rb * rc` (wrapping).
+    Mul = 6,
+    /// `ra = rb / rc` (unsigned; faults on zero divisor).
+    Divu = 7,
+    /// `ra = rb & rc`.
+    And = 8,
+    /// `ra = rb | rc`.
+    Or = 9,
+    /// `ra = rb ^ rc`.
+    Xor = 10,
+    /// `ra = rb << (rc & 31)`.
+    Shl = 11,
+    /// `ra = rb >> (rc & 31)` (logical).
+    Shr = 12,
+    /// `ra = rb + sext(imm)`.
+    Addi = 13,
+    /// `ra = mem32[rb + sext(imm)]`.
+    Ld = 14,
+    /// `mem32[rb + sext(imm)] = ra`.
+    St = 15,
+    /// `ra = mem8[rb + sext(imm)]` (zero-extended).
+    Ld8 = 16,
+    /// `mem8[rb + sext(imm)] = ra & 0xff`.
+    St8 = 17,
+    /// `lr = pc + 8; pc = imm` (absolute call; `Abs32` reloc site).
+    Call = 18,
+    /// `lr = pc + 8; pc = rb` (indirect call through a register).
+    Callr = 19,
+    /// `pc = lr`.
+    Ret = 20,
+    /// `pc = imm` (absolute jump; `Abs32` reloc site).
+    Jmp = 21,
+    /// `if ra == rb: pc = pc + 8 + sext(imm)` (`Pcrel32` reloc site).
+    Beq = 22,
+    /// `if ra != rb: pc = pc + 8 + sext(imm)`.
+    Bne = 23,
+    /// `if (i32)ra < (i32)rb: pc = pc + 8 + sext(imm)`.
+    Blt = 24,
+    /// `if (i32)ra >= (i32)rb: pc = pc + 8 + sext(imm)`.
+    Bge = 25,
+    /// System call `imm`; arguments in `r1..r4`, result in `r1`.
+    Sys = 26,
+    /// `pc = rb` (indirect jump; dispatch tables use this).
+    Jmpr = 27,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    #[must_use]
+    pub fn from_code(c: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match c {
+            0 => Nop,
+            1 => Halt,
+            2 => Li,
+            3 => Mov,
+            4 => Add,
+            5 => Sub,
+            6 => Mul,
+            7 => Divu,
+            8 => And,
+            9 => Or,
+            10 => Xor,
+            11 => Shl,
+            12 => Shr,
+            13 => Addi,
+            14 => Ld,
+            15 => St,
+            16 => Ld8,
+            17 => St8,
+            18 => Call,
+            19 => Callr,
+            20 => Ret,
+            21 => Jmp,
+            22 => Beq,
+            23 => Bne,
+            24 => Blt,
+            25 => Bge,
+            26 => Sys,
+            27 => Jmpr,
+            _ => return None,
+        })
+    }
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Nop => "nop",
+            Halt => "halt",
+            Li => "li",
+            Mov => "mov",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Divu => "divu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Addi => "addi",
+            Ld => "ld",
+            St => "st",
+            Ld8 => "ld8",
+            St8 => "st8",
+            Call => "call",
+            Callr => "callr",
+            Ret => "ret",
+            Jmp => "jmp",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Sys => "sys",
+            Jmpr => "jmpr",
+        }
+    }
+
+    /// Looks an opcode up by mnemonic.
+    #[must_use]
+    pub fn from_mnemonic(m: &str) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match m {
+            "nop" => Nop,
+            "halt" => Halt,
+            "li" => Li,
+            "mov" => Mov,
+            "add" => Add,
+            "sub" => Sub,
+            "mul" => Mul,
+            "divu" => Divu,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "shl" => Shl,
+            "shr" => Shr,
+            "addi" => Addi,
+            "ld" => Ld,
+            "st" => St,
+            "ld8" => Ld8,
+            "st8" => St8,
+            "call" => Call,
+            "callr" => Callr,
+            "ret" => Ret,
+            "jmp" => Jmp,
+            "beq" => Beq,
+            "bne" => Bne,
+            "blt" => Blt,
+            "bge" => Bge,
+            "sys" => Sys,
+            "jmpr" => Jmpr,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// First register operand (usually the destination).
+    pub ra: u8,
+    /// Second register operand.
+    pub rb: u8,
+    /// Third register operand.
+    pub rc: u8,
+    /// 32-bit immediate (the relocation site).
+    pub imm: u32,
+}
+
+impl Inst {
+    /// Builds an instruction; unused fields are zero.
+    #[must_use]
+    pub fn new(op: Opcode) -> Inst {
+        Inst {
+            op,
+            ra: 0,
+            rb: 0,
+            rc: 0,
+            imm: 0,
+        }
+    }
+
+    /// Sets `ra`.
+    #[must_use]
+    pub fn ra(mut self, r: u8) -> Inst {
+        self.ra = r;
+        self
+    }
+
+    /// Sets `rb`.
+    #[must_use]
+    pub fn rb(mut self, r: u8) -> Inst {
+        self.rb = r;
+        self
+    }
+
+    /// Sets `rc`.
+    #[must_use]
+    pub fn rc(mut self, r: u8) -> Inst {
+        self.rc = r;
+        self
+    }
+
+    /// Sets the immediate.
+    #[must_use]
+    pub fn imm(mut self, v: u32) -> Inst {
+        self.imm = v;
+        self
+    }
+
+    /// Sets the immediate from a signed value.
+    #[must_use]
+    pub fn simm(mut self, v: i32) -> Inst {
+        self.imm = v as u32;
+        self
+    }
+
+    /// Encodes into 8 bytes.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.op as u8;
+        b[1] = self.ra;
+        b[2] = self.rb;
+        b[3] = self.rc;
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes from 8 bytes. Returns `None` on an unknown opcode or an
+    /// out-of-range register field (so malformed code faults the guest
+    /// as an illegal instruction instead of corrupting the machine).
+    #[must_use]
+    pub fn decode(b: &[u8; 8]) -> Option<Inst> {
+        if b[1] as usize >= NUM_REGS || b[2] as usize >= NUM_REGS || b[3] as usize >= NUM_REGS {
+            return None;
+        }
+        Some(Inst {
+            op: Opcode::from_code(b[0])?,
+            ra: b[1],
+            rb: b[2],
+            rc: b[3],
+            imm: u32::from_le_bytes(b[4..8].try_into().expect("slice length 4")),
+        })
+    }
+
+    /// Renders assembler-compatible text.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use Opcode::*;
+        let m = self.op.mnemonic();
+        match self.op {
+            Nop | Halt | Ret => m.to_string(),
+            Li => format!("{m} r{}, {:#x}", self.ra, self.imm),
+            Mov => format!("{m} r{}, r{}", self.ra, self.rb),
+            Add | Sub | Mul | Divu | And | Or | Xor | Shl | Shr => {
+                format!("{m} r{}, r{}, r{}", self.ra, self.rb, self.rc)
+            }
+            Addi => format!("{m} r{}, r{}, {}", self.ra, self.rb, self.imm as i32),
+            Ld | Ld8 => format!("{m} r{}, [r{}{:+}]", self.ra, self.rb, self.imm as i32),
+            St | St8 => format!("{m} r{}, [r{}{:+}]", self.ra, self.rb, self.imm as i32),
+            Call | Jmp => format!("{m} {:#x}", self.imm),
+            Callr | Jmpr => format!("{m} r{}", self.rb),
+            Beq | Bne | Blt | Bge => {
+                format!("{m} r{}, r{}, {}", self.ra, self.rb, self.imm as i32)
+            }
+            Sys => format!("{m} {}", self.imm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_opcodes() {
+        for code in 0..=27u8 {
+            let op = Opcode::from_code(code).expect("valid opcode");
+            let inst = Inst {
+                op,
+                ra: 1,
+                rb: 2,
+                rc: 3,
+                imm: 0xdead_beef,
+            };
+            let bytes = inst.encode();
+            assert_eq!(Inst::decode(&bytes), Some(inst));
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_decodes_to_none() {
+        let mut b = [0u8; 8];
+        b[0] = 0xff;
+        assert_eq!(Inst::decode(&b), None);
+    }
+
+    #[test]
+    fn out_of_range_registers_decode_to_none() {
+        // A register field >= NUM_REGS must be an illegal instruction,
+        // not a host-side index-out-of-bounds.
+        for field in 1..=3 {
+            let mut b = Inst::new(Opcode::Add).encode();
+            b[field] = 16;
+            assert_eq!(Inst::decode(&b), None, "field {field}");
+        }
+    }
+
+    #[test]
+    fn imm_lives_at_offset_4() {
+        let inst = Inst::new(Opcode::Call).imm(0x1122_3344);
+        let b = inst.encode();
+        assert_eq!(&b[4..8], &0x1122_3344u32.to_le_bytes());
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for code in 0..=27u8 {
+            let op = Opcode::from_code(code).unwrap();
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn simm_wraps_correctly() {
+        let i = Inst::new(Opcode::Addi).simm(-8);
+        assert_eq!(i.imm as i32, -8);
+    }
+
+    #[test]
+    fn disassemble_smoke() {
+        assert_eq!(Inst::new(Opcode::Ret).disassemble(), "ret");
+        assert_eq!(
+            Inst::new(Opcode::Li).ra(3).imm(0x10).disassemble(),
+            "li r3, 0x10"
+        );
+        assert_eq!(
+            Inst::new(Opcode::Ld).ra(1).rb(14).simm(-4).disassemble(),
+            "ld r1, [r14-4]"
+        );
+        assert_eq!(Inst::new(Opcode::Sys).imm(1).disassemble(), "sys 1");
+    }
+}

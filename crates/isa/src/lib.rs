@@ -1,0 +1,64 @@
+//! U32 — the synthetic RISC instruction set the reproduction executes.
+//!
+//! The paper's machines were PA-RISC and ix86; linked programs there are
+//! real machine code whose call stubs, dispatch tables, and relocation
+//! sites get patched by the linker and dynamic loader. To reproduce those
+//! mechanisms faithfully we need an ISA the linker can patch and a machine
+//! that actually runs the result — so a mis-applied relocation crashes the
+//! program instead of silently passing a test.
+//!
+//! * [`inst`] — fixed 8-byte instructions with a 32-bit immediate field
+//!   (the universal relocation site), encode/decode/disassemble;
+//! * [`asm`] — a two-pass assembler from U32 assembly text to
+//!   [`omos_obj::ObjectFile`]s with symbols and relocations;
+//! * [`vm`] — the interpreting virtual machine: memory via a trait (the
+//!   simulated OS plugs in its address spaces), syscalls via a trait, and
+//!   execution statistics;
+//! * [`locality`] — the instruction-side locality model (i-cache + paging)
+//!   behind the procedure-reordering experiment of §4.1.
+
+pub mod asm;
+pub mod inst;
+pub mod locality;
+pub mod vm;
+
+pub use asm::assemble;
+pub use inst::{Inst, Opcode, INST_BYTES};
+pub use vm::{ExecStats, Memory, StopReason, SysResult, SyscallHandler, Vm, VmFault};
+
+/// Syscall numbers shared between generated code and the simulated OS.
+///
+/// Generated stubs (PLT binders, partial-image library stubs) hard-code
+/// these numbers, and the OS's syscall dispatcher implements them.
+pub mod sysno {
+    /// Terminate with the code in `r1`.
+    pub const EXIT: u32 = 0;
+    /// Write `r3` bytes at `r2` to file descriptor `r1`.
+    pub const WRITE: u32 = 1;
+    /// Read up to `r3` bytes into `r2` from file descriptor `r1`.
+    pub const READ: u32 = 2;
+    /// Open the NUL-terminated path at `r2`; returns an fd in `r1`.
+    pub const OPEN: u32 = 3;
+    /// Close file descriptor `r1`.
+    pub const CLOSE: u32 = 4;
+    /// Stat the NUL-terminated path at `r2`; fills a stat record at `r3`.
+    pub const STAT: u32 = 5;
+    /// Read directory entries of the open directory fd `r1`.
+    pub const GETDENTS: u32 = 6;
+    /// Grow the heap by `r1` bytes; returns the old break in `r1`.
+    pub const BRK: u32 = 7;
+    /// Lazy PLT bind: resolve PLT entry `r6`, write its GOT slot, return
+    /// the target in `r5`. Issued only by generated binder stubs.
+    pub const BIND: u32 = 8;
+    /// Partial-image stub: ensure library `r5` is loaded and look up the
+    /// NUL-terminated name at `r6` in its hash table; returns the entry
+    /// point in `r5`. Issued only by generated OMOS stubs.
+    pub const OMOS_LOOKUP: u32 = 9;
+    /// Current simulated time (ns) in `r1`.
+    pub const TIME: u32 = 10;
+    /// Terminal/file ioctl-ish call (used by `ls -laF` workloads).
+    pub const IOCTL: u32 = 11;
+    /// Monitoring probe: record the routine id in `r5` (injected by
+    /// OMOS's monitoring wrappers, §4.1/§6).
+    pub const MONLOG: u32 = 12;
+}

@@ -1,0 +1,256 @@
+//! The instruction-side locality model behind the reordering experiment.
+//!
+//! §4.1: "One such optimization is reordering code based on function usage
+//! in order to improve locality of reference. ... This reordering benefits
+//! both cache performance and paging behavior. We have performed this
+//! experiment and achieved average speedups in excess of 10%."
+//!
+//! The [`Tracker`] watches the PC stream and models two effects:
+//!
+//! * a direct-mapped instruction cache (hit/miss counts);
+//! * a small resident set of code pages with LRU replacement (fault counts
+//!   and the peak working set).
+//!
+//! The cost model then prices misses and faults, so a layout that scatters
+//! hot functions across pages measurably slows the simulated program —
+//! exactly the effect OMOS's monitored reordering removes.
+
+use std::collections::VecDeque;
+
+/// Page size used by the paging model (matches the paper's HP730: 4 KB).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Configuration of the locality model.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalityConfig {
+    /// Number of direct-mapped i-cache lines.
+    pub cache_lines: usize,
+    /// Bytes per line (power of two).
+    pub line_bytes: u32,
+    /// Code pages that fit in the resident set before LRU eviction.
+    pub resident_pages: usize,
+}
+
+impl Default for LocalityConfig {
+    /// A deliberately small machine — 4 KB i-cache, 16-page code residency —
+    /// so layout effects show up at benchmark scale.
+    fn default() -> Self {
+        LocalityConfig {
+            cache_lines: 64,
+            line_bytes: 64,
+            resident_pages: 16,
+        }
+    }
+}
+
+/// Aggregated locality counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalityReport {
+    /// I-cache hits.
+    pub cache_hits: u64,
+    /// I-cache misses.
+    pub cache_misses: u64,
+    /// Page faults (first touch or post-eviction re-touch).
+    pub page_faults: u64,
+    /// Transitions between different code pages.
+    pub page_switches: u64,
+    /// Largest number of distinct pages ever resident.
+    pub peak_resident: usize,
+    /// Total distinct pages touched over the run.
+    pub distinct_pages: usize,
+}
+
+impl LocalityReport {
+    /// Cache miss ratio in `[0, 1]`; zero when nothing ran.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / total as f64
+        }
+    }
+}
+
+/// Watches a PC stream and accumulates a [`LocalityReport`].
+#[derive(Debug)]
+pub struct Tracker {
+    config: LocalityConfig,
+    /// Tag per cache line; `u32::MAX` = invalid.
+    tags: Vec<u32>,
+    /// LRU queue of resident pages, most recent at the back.
+    resident: VecDeque<u32>,
+    /// All pages ever touched (sorted, deduplicated lazily).
+    touched: Vec<u32>,
+    last_page: Option<u32>,
+    report: LocalityReport,
+}
+
+impl Tracker {
+    /// Creates a tracker with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two or `cache_lines` is zero
+    /// (configuration bugs).
+    #[must_use]
+    pub fn new(config: LocalityConfig) -> Tracker {
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.cache_lines > 0, "cache must have lines");
+        assert!(config.resident_pages > 0, "resident set must hold pages");
+        Tracker {
+            tags: vec![u32::MAX; config.cache_lines],
+            resident: VecDeque::with_capacity(config.resident_pages),
+            touched: Vec::new(),
+            last_page: None,
+            config,
+            report: LocalityReport::default(),
+        }
+    }
+
+    /// Records one instruction fetch at `pc`.
+    pub fn touch(&mut self, pc: u32) {
+        // I-cache: direct-mapped on line address.
+        let line_addr = pc / self.config.line_bytes;
+        let idx = (line_addr as usize) % self.config.cache_lines;
+        if self.tags[idx] == line_addr {
+            self.report.cache_hits += 1;
+        } else {
+            self.report.cache_misses += 1;
+            self.tags[idx] = line_addr;
+        }
+
+        // Paging: LRU resident set.
+        let page = pc >> PAGE_SHIFT;
+        if self.last_page != Some(page) {
+            if self.last_page.is_some() {
+                self.report.page_switches += 1;
+            }
+            self.last_page = Some(page);
+        }
+        if let Some(pos) = self.resident.iter().position(|&p| p == page) {
+            // Move to MRU position.
+            self.resident.remove(pos);
+            self.resident.push_back(page);
+        } else {
+            self.report.page_faults += 1;
+            if self.resident.len() == self.config.resident_pages {
+                self.resident.pop_front();
+            }
+            self.resident.push_back(page);
+            self.report.peak_resident = self.report.peak_resident.max(self.resident.len());
+            self.touched.push(page);
+        }
+    }
+
+    /// Finalizes and returns the report.
+    #[must_use]
+    pub fn report(&mut self) -> LocalityReport {
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        self.report.distinct_pages = self.touched.len();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lines: usize, line_bytes: u32, pages: usize) -> LocalityConfig {
+        LocalityConfig {
+            cache_lines: lines,
+            line_bytes,
+            resident_pages: pages,
+        }
+    }
+
+    #[test]
+    fn sequential_code_hits_cache() {
+        let mut t = Tracker::new(cfg(64, 64, 16));
+        for pc in (0..4096u32).step_by(8) {
+            t.touch(pc);
+        }
+        let r = t.report();
+        // 4096/64 = 64 lines, each missed once then hit 7 times.
+        assert_eq!(r.cache_misses, 64);
+        assert_eq!(r.cache_hits, 512 - 64);
+        assert_eq!(r.page_faults, 1);
+        assert_eq!(r.distinct_pages, 1);
+        assert_eq!(r.page_switches, 0);
+    }
+
+    #[test]
+    fn conflicting_lines_thrash() {
+        // Two addresses mapping to the same line (stride = cache span).
+        let mut t = Tracker::new(cfg(4, 64, 16));
+        let span = 4 * 64;
+        for _ in 0..100 {
+            t.touch(0);
+            t.touch(span);
+        }
+        let r = t.report();
+        assert_eq!(r.cache_hits, 0);
+        assert_eq!(r.cache_misses, 200);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_page() {
+        let mut t = Tracker::new(cfg(64, 64, 2));
+        t.touch(0 << PAGE_SHIFT);
+        t.touch(1 << PAGE_SHIFT);
+        t.touch(0 << PAGE_SHIFT); // refresh page 0
+        t.touch(2 << PAGE_SHIFT); // evicts page 1 (LRU)
+        t.touch(0 << PAGE_SHIFT); // still resident: no fault
+        t.touch(1 << PAGE_SHIFT); // faulted back in
+        let r = t.report();
+        assert_eq!(r.page_faults, 4);
+        assert_eq!(r.distinct_pages, 3);
+        assert_eq!(r.peak_resident, 2);
+    }
+
+    #[test]
+    fn page_switches_counted() {
+        let mut t = Tracker::new(cfg(64, 64, 16));
+        t.touch(0);
+        t.touch(8);
+        t.touch(1 << PAGE_SHIFT);
+        t.touch(0);
+        let r = t.report();
+        assert_eq!(r.page_switches, 2);
+    }
+
+    #[test]
+    fn packed_layout_beats_scattered_layout() {
+        // The reordering experiment in miniature: ping-pong between two hot
+        // functions. Packed: both on one page. Scattered: 20 pages apart
+        // with a tiny resident set, so every switch faults.
+        let hot_a_packed = 0u32;
+        let hot_b_packed = 512u32;
+        let hot_a_scat = 0u32;
+        let hot_b_scat = 20 << PAGE_SHIFT;
+
+        let mut packed = Tracker::new(cfg(16, 64, 1));
+        let mut scattered = Tracker::new(cfg(16, 64, 1));
+        for _ in 0..1000 {
+            packed.touch(hot_a_packed);
+            packed.touch(hot_b_packed);
+            scattered.touch(hot_a_scat);
+            scattered.touch(hot_b_scat);
+        }
+        let rp = packed.report();
+        let rs = scattered.report();
+        assert!(rp.page_faults < rs.page_faults / 100);
+        assert!(rp.miss_ratio() <= rs.miss_ratio());
+    }
+
+    #[test]
+    fn miss_ratio_of_empty_run_is_zero() {
+        let mut t = Tracker::new(LocalityConfig::default());
+        assert_eq!(t.report().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Linker error type.
+
+use std::fmt;
+
+use omos_obj::ObjError;
+
+/// Convenience alias.
+pub type LinkResult<T> = std::result::Result<T, LinkError>;
+
+/// Errors produced during linking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A symbol was referenced but never defined (and undefineds were not
+    /// allowed by the options).
+    Undefined(Vec<String>),
+    /// A symbol was defined more than once across input objects.
+    Duplicate(String),
+    /// No entry symbol was found although one was requested.
+    NoEntry(String),
+    /// A layout constraint could not be met (e.g. overlapping bases).
+    Layout(String),
+    /// An underlying object-file error.
+    Obj(ObjError),
+    /// A relocation could not be applied.
+    Reloc(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined(syms) => {
+                write!(f, "undefined symbols: {}", syms.join(", "))
+            }
+            LinkError::Duplicate(s) => write!(f, "multiple definitions of `{s}`"),
+            LinkError::NoEntry(s) => write!(f, "entry symbol `{s}` not found"),
+            LinkError::Layout(s) => write!(f, "layout error: {s}"),
+            LinkError::Obj(e) => write!(f, "object error: {e}"),
+            LinkError::Reloc(s) => write!(f, "relocation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<ObjError> for LinkError {
+    fn from(e: ObjError) -> LinkError {
+        match e {
+            ObjError::DuplicateSymbol(s) => LinkError::Duplicate(s),
+            other => LinkError::Obj(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_obj_error_converts() {
+        let e: LinkError = ObjError::DuplicateSymbol("_x".into()).into();
+        assert_eq!(e, LinkError::Duplicate("_x".into()));
+    }
+
+    #[test]
+    fn display() {
+        let e = LinkError::Undefined(vec!["_a".into(), "_b".into()]);
+        assert_eq!(e.to_string(), "undefined symbols: _a, _b");
+    }
+}

@@ -1,0 +1,222 @@
+//! Stub generation for the partial-image shared library scheme.
+//!
+//! §4.2: "The partial-image application contains stub routines for each
+//! library entry point. On the first invocation of a routine in a library,
+//! the client stub contacts OMOS and loads in the library, returning the
+//! address of a hash table containing the addresses of all library
+//! routines. The first time a function ... is accessed, its name is looked
+//! up in the function hash table and the value of its entry point is
+//! stored in an indirect branch table. Subsequent invocations of the
+//! function are made through the pointer in that table."
+//!
+//! [`make_partial_stubs`] generates exactly that machinery as a synthetic
+//! object file: one global stub per entry point (so client references bind
+//! to the stub), a branch-table slot per entry point, and the routine name
+//! as a NUL-terminated string for the hash-table lookup.
+
+use omos_isa::{sysno, Inst, Opcode, INST_BYTES};
+use omos_obj::{ObjectFile, RelocKind, Relocation, Section, SectionKind, Symbol};
+
+/// Instructions per generated stub.
+pub const STUB_INSTS: u64 = 7;
+
+/// Bytes of stub text per library entry point.
+pub const STUB_TEXT_BYTES: u64 = STUB_INSTS * INST_BYTES;
+
+/// Builds the stub object for a partial-image client of library `lib_id`.
+///
+/// For every entry point `f` the object defines a **global** `f` (the stub
+/// itself — client call sites resolve to it at static link time), a
+/// branch-table slot `f$slot`, and a name string `f$name`:
+///
+/// ```text
+/// f:      ld   r5, [f$slot]     ; cached binding
+///         bne  r5, r0, +32     ; bound? go
+///         li   r5, LIB_ID
+///         li   r6, f$name      ; NUL-terminated routine name
+///         sys  OMOS_LOOKUP     ; OMOS loads the library + hash lookup
+///         st   r5, [f$slot]    ; cache in the indirect branch table
+/// go:     jmpr r5
+/// ```
+#[must_use]
+pub fn make_partial_stubs(lib_id: u32, entry_points: &[String]) -> ObjectFile {
+    let mut obj = ObjectFile::new("<omos-stubs>");
+    let text = obj.add_section(Section::with_bytes(
+        ".text",
+        SectionKind::Text,
+        Vec::new(),
+        8,
+    ));
+    let ro = obj.add_section(Section::with_bytes(
+        ".rodata",
+        SectionKind::RoData,
+        Vec::new(),
+        8,
+    ));
+    let data = obj.add_section(Section::with_bytes(
+        ".data",
+        SectionKind::Data,
+        Vec::new(),
+        8,
+    ));
+
+    for name in entry_points {
+        let stub_off = obj.sections[text].size;
+        let slot_off = obj.sections[data].size;
+        let name_off = obj.sections[ro].size;
+
+        // Branch displacement from the `bne` (2nd instruction) to the
+        // `jmpr` (7th): target - (site + 8) = 48 - 16 = 32.
+        let insts = [
+            Inst::new(Opcode::Ld).ra(5).rb(0), // imm → f$slot (reloc)
+            Inst::new(Opcode::Bne).ra(5).rb(0).simm(32),
+            Inst::new(Opcode::Li).ra(5).imm(lib_id),
+            Inst::new(Opcode::Li).ra(6), // imm → f$name (reloc)
+            Inst::new(Opcode::Sys).imm(sysno::OMOS_LOOKUP),
+            Inst::new(Opcode::St).ra(5).rb(0), // imm → f$slot (reloc)
+            Inst::new(Opcode::Jmpr).rb(5),
+        ];
+        for i in &insts {
+            obj.sections[text].append(&i.encode());
+        }
+        obj.sections[data].append(&0u32.to_le_bytes());
+        obj.sections[ro].append(name.as_bytes());
+        obj.sections[ro].append(&[0]);
+
+        // Fresh names in a fresh object: inserts cannot collide.
+        let _ = obj.define(Symbol::defined(name, text, stub_off));
+        let _ = obj.define(Symbol::defined(&format!("{name}$slot"), data, slot_off).local());
+        let _ = obj.define(Symbol::defined(&format!("{name}$name"), ro, name_off).local());
+        let slot_sym = format!("{name}$slot");
+        let name_sym = format!("{name}$name");
+        obj.relocate(Relocation::new(
+            text,
+            stub_off + 4,
+            RelocKind::Abs32,
+            &slot_sym,
+        ));
+        obj.relocate(Relocation::new(
+            text,
+            stub_off + 3 * INST_BYTES + 4,
+            RelocKind::Abs32,
+            &name_sym,
+        ));
+        obj.relocate(Relocation::new(
+            text,
+            stub_off + 5 * INST_BYTES + 4,
+            RelocKind::Abs32,
+            &slot_sym,
+        ));
+    }
+    obj
+}
+
+/// The deterministic hash table OMOS returns on first library load: maps
+/// routine names to entry addresses with open addressing, mirroring "a
+/// hash table containing the addresses of all library routines".
+///
+/// The table itself lives server-side in this reproduction; clients reach
+/// it through the `OMOS_LOOKUP` syscall, and the lookup cost charged is
+/// proportional to the probe count this structure reports.
+#[derive(Debug, Clone)]
+pub struct FunctionHashTable {
+    slots: Vec<Option<(String, u32)>>,
+}
+
+impl FunctionHashTable {
+    /// Builds a table from `(name, address)` pairs at ~50% load factor.
+    #[must_use]
+    pub fn build(entries: &[(String, u32)]) -> FunctionHashTable {
+        let cap = (entries.len() * 2 + 1).next_power_of_two();
+        let mut slots = vec![None; cap];
+        for (name, addr) in entries {
+            let mut i = (omos_obj::fnv1a(name.as_bytes()).0 as usize) & (cap - 1);
+            while slots[i].is_some() {
+                i = (i + 1) & (cap - 1);
+            }
+            slots[i] = Some((name.clone(), *addr));
+        }
+        FunctionHashTable { slots }
+    }
+
+    /// Looks up a routine, returning `(address, probes)`.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<(u32, u32)> {
+        let cap = self.slots.len();
+        let mut i = (omos_obj::fnv1a(name.as_bytes()).0 as usize) & (cap - 1);
+        let mut probes = 1u32;
+        loop {
+            match &self.slots[i] {
+                Some((n, a)) if n == name => return Some((*a, probes)),
+                Some(_) => {
+                    i = (i + 1) & (cap - 1);
+                    probes += 1;
+                    if probes as usize > cap {
+                        return None;
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Number of slots (memory footprint of the table).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_object_validates_and_exports() {
+        let obj = make_partial_stubs(3, &["_malloc".into(), "_free".into()]);
+        obj.validate().unwrap();
+        assert!(obj.symbols.get("_malloc").unwrap().def.is_definition());
+        assert!(obj.symbols.get("_free").unwrap().def.is_definition());
+        // 7 instructions per stub, 3 relocations per stub.
+        assert_eq!(obj.sections[0].size, 2 * STUB_TEXT_BYTES);
+        assert_eq!(obj.relocs.len(), 6);
+    }
+
+    #[test]
+    fn stub_embeds_lib_id_and_syscall() {
+        let obj = make_partial_stubs(7, &["_f".into()]);
+        let b = &obj.sections[0].bytes;
+        let li_lib = Inst::decode(b[16..24].try_into().unwrap()).unwrap();
+        assert_eq!((li_lib.op, li_lib.ra, li_lib.imm), (Opcode::Li, 5, 7));
+        let sys = Inst::decode(b[32..40].try_into().unwrap()).unwrap();
+        assert_eq!((sys.op, sys.imm), (Opcode::Sys, sysno::OMOS_LOOKUP));
+    }
+
+    #[test]
+    fn name_strings_are_nul_terminated() {
+        let obj = make_partial_stubs(0, &["_puts".into()]);
+        let ro = obj.section_index(".rodata").unwrap();
+        assert_eq!(&obj.sections[ro].bytes, b"_puts\0");
+    }
+
+    #[test]
+    fn hash_table_finds_all_and_rejects_missing() {
+        let entries: Vec<(String, u32)> = (0..100)
+            .map(|i| (format!("_fn{i}"), 0x1000 + i * 8))
+            .collect();
+        let t = FunctionHashTable::build(&entries);
+        for (n, a) in &entries {
+            let (addr, probes) = t.lookup(n).expect("present");
+            assert_eq!(addr, *a);
+            assert!(probes >= 1);
+        }
+        assert_eq!(t.lookup("_missing"), None);
+        assert!(t.capacity() >= 200);
+    }
+
+    #[test]
+    fn empty_table_lookup() {
+        let t = FunctionHashTable::build(&[]);
+        assert_eq!(t.lookup("_x"), None);
+    }
+}

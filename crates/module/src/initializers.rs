@@ -1,0 +1,191 @@
+//! The `initializers` operator: C++ static-initializer synthesis.
+//!
+//! The paper lists `Initializers: generates C++ static initializers for
+//! the C++ objects found in the file` — the cfront-era problem of
+//! collecting per-file `__sti`-style routines into one startup call (see
+//! also Sabatella's "Lazy evaluation of C++ static constructors", cited as
+//! [16]).
+//!
+//! Our convention mirrors cfront's: any exported routine whose name starts
+//! with `_sti_` is a static initializer, and `_std_`-prefixed routines are
+//! static destructors. [`generate_initializers`] emits a fragment defining
+//! `__static_init` (calls every `_sti_*` in deterministic name order) and
+//! `__static_fini` (calls every `_std_*` in reverse order), which `crt0`
+//! invokes around `main`.
+
+use omos_isa::{Inst, Opcode, INST_BYTES};
+use omos_obj::{
+    ObjectFile, RelocKind, Relocation, Result, Section, SectionKind, Symbol, SymbolBinding,
+};
+
+/// Prefix marking a static initializer routine.
+pub const STI_PREFIX: &str = "_sti_";
+/// Prefix marking a static destructor routine.
+pub const STD_PREFIX: &str = "_std_";
+
+/// Generates the `__static_init` / `__static_fini` fragment for `obj`.
+///
+/// Both routines preserve the caller's return address in `r13` (a register
+/// the generated initializers must treat as reserved, like a real ABI's
+/// static chain).
+pub fn generate_initializers(obj: &ObjectFile) -> Result<ObjectFile> {
+    let mut stis: Vec<String> = Vec::new();
+    let mut stds: Vec<String> = Vec::new();
+    for s in obj.symbols.iter() {
+        if s.binding == SymbolBinding::Local || !s.def.is_definition() {
+            continue;
+        }
+        if s.name.starts_with(STI_PREFIX) {
+            stis.push(s.name.clone());
+        } else if s.name.starts_with(STD_PREFIX) {
+            stds.push(s.name.clone());
+        }
+    }
+    stis.sort();
+    stds.sort();
+    stds.reverse(); // destructors run in reverse construction order
+
+    let mut out = ObjectFile::new("<initializers>");
+    let text = out.add_section(Section::with_bytes(
+        ".text",
+        SectionKind::Text,
+        Vec::new(),
+        8,
+    ));
+    emit_caller(&mut out, text, "__static_init", &stis);
+    emit_caller(&mut out, text, "__static_fini", &stds);
+    out.validate()?;
+    Ok(out)
+}
+
+/// Emits `name:` — save lr, call each target, restore lr, ret.
+fn emit_caller(out: &mut ObjectFile, text: usize, name: &str, targets: &[String]) {
+    let start = out.sections[text].size;
+    out.sections[text].append(&Inst::new(Opcode::Mov).ra(13).rb(15).encode());
+    for t in targets {
+        let off = out.sections[text].size;
+        out.sections[text].append(&Inst::new(Opcode::Call).encode());
+        out.relocate(Relocation::new(text, off + 4, RelocKind::Abs32, t));
+    }
+    out.sections[text].append(&Inst::new(Opcode::Mov).ra(15).rb(13).encode());
+    out.sections[text].append(&Inst::new(Opcode::Ret).encode());
+    // Fresh names in a fresh object cannot collide.
+    let _ = out.define(Symbol::defined(name, text, start));
+}
+
+/// Number of instructions `generate_initializers` emits for `n` targets.
+#[must_use]
+pub fn emitted_insts(n_init: u64, n_fini: u64) -> u64 {
+    (3 + n_init) + (3 + n_fini)
+}
+
+/// Bytes of text emitted.
+#[must_use]
+pub fn emitted_bytes(n_init: u64, n_fini: u64) -> u64 {
+    emitted_insts(n_init, n_fini) * INST_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::assemble;
+
+    #[test]
+    fn collects_initializers_in_name_order() {
+        let obj = assemble(
+            "cxx.o",
+            r#"
+            .text
+            .global _sti_b, _sti_a, _std_a, _regular
+_sti_b:     ret
+_sti_a:     ret
+_std_a:     ret
+_regular:   ret
+            "#,
+        )
+        .unwrap();
+        let init = generate_initializers(&obj).unwrap();
+        assert!(init.symbols.get("__static_init").is_some());
+        assert!(init.symbols.get("__static_fini").is_some());
+        // Relocation order encodes call order: _sti_a before _sti_b.
+        let targets: Vec<&str> = init.relocs.iter().map(|r| r.symbol.as_str()).collect();
+        assert_eq!(targets, vec!["_sti_a", "_sti_b", "_std_a"]);
+        assert_eq!(init.sections[0].size, emitted_bytes(2, 1));
+    }
+
+    #[test]
+    fn no_initializers_yields_empty_callers() {
+        let obj = assemble("c.o", ".text\n.global _f\n_f: ret\n").unwrap();
+        let init = generate_initializers(&obj).unwrap();
+        assert!(init.relocs.is_empty());
+        assert_eq!(init.sections[0].size, emitted_bytes(0, 0));
+    }
+
+    #[test]
+    fn destructors_run_in_reverse() {
+        let obj = assemble(
+            "cxx.o",
+            ".text\n.global _std_a, _std_b\n_std_a: ret\n_std_b: ret\n",
+        )
+        .unwrap();
+        let init = generate_initializers(&obj).unwrap();
+        let targets: Vec<&str> = init.relocs.iter().map(|r| r.symbol.as_str()).collect();
+        assert_eq!(targets, vec!["_std_b", "_std_a"]);
+    }
+
+    #[test]
+    fn local_sti_symbols_ignored() {
+        let mut obj = assemble("c.o", ".text\n_x: ret\n").unwrap();
+        obj.define(Symbol::defined("_sti_local", 0, 0).local())
+            .unwrap();
+        let init = generate_initializers(&obj).unwrap();
+        assert!(init.relocs.is_empty());
+    }
+
+    #[test]
+    fn initializers_module_runs_end_to_end() {
+        use crate::Module;
+        // Two static initializers set two globals; main sums them.
+        let prog = assemble(
+            "cxx.o",
+            r#"
+            .text
+            .global _start, _sti_one, _sti_two
+_start:     call __static_init
+            li r2, _ga
+            ld r1, [r2]
+            li r2, _gb
+            ld r3, [r2]
+            add r1, r1, r3
+            sys 0
+_sti_one:   li r5, _ga
+            li r6, 40
+            st r6, [r5]
+            ret
+_sti_two:   li r5, _gb
+            li r6, 2
+            st r6, [r5]
+            ret
+            .bss
+            .global _ga, _gb
+_ga:        .space 4
+_gb:        .space 4
+            "#,
+        )
+        .unwrap();
+        let m = Module::from_object(prog).initializers().unwrap();
+        let obj = m.materialize().unwrap();
+        let out = omos_link::link(&[obj], &omos_link::LinkOptions::program("t")).unwrap();
+
+        use omos_isa::vm::{ExitOnly, FlatMemory, Vm};
+        let lo = out.image.segments.iter().map(|s| s.vaddr).min().unwrap();
+        let hi = out.image.segments.iter().map(|s| s.end()).max().unwrap();
+        let mut mem = FlatMemory::new(lo, (hi - u64::from(lo)) as usize + 4096);
+        for s in &out.image.segments {
+            mem.load(s.vaddr, &s.bytes);
+        }
+        let mut vm = Vm::new(out.image.entry.unwrap());
+        let stop = vm.run(&mut mem, &mut ExitOnly, 100_000);
+        assert_eq!(stop, omos_isa::StopReason::Exited(42));
+    }
+}

@@ -1,0 +1,627 @@
+//! The Jigsaw module operators.
+//!
+//! §3.3: "A subset of the graph operations comprise module operations, as
+//! defined by Bracha and Lindstrom in the language Jigsaw... Conceptually,
+//! a module is a self-referential naming scope. Module operations operate
+//! on and modify the symbol bindings in modules. The modified bindings
+//! define the inheritance relationships between the component objects."
+//!
+//! A [`Module`] wraps a symbol [`View`] over shared object bytes. Every
+//! operator except [`Module::merge_with`], [`Module::override_with`], and
+//! [`Module::freeze`] is O(1) in section bytes — it derives a new view, per
+//! the paper: "Execution of a module operation (with the exceptions of
+//! merge and freeze) results in the production of a new view of the
+//! operand."
+
+use std::sync::Arc;
+
+use omos_obj::view::{RenameTarget, View, ViewOp};
+use omos_obj::{
+    ContentHash, ObjError, ObjectFile, Regex, Relocation, Result, Section, SectionKind, Symbol,
+    SymbolBinding, SymbolDef,
+};
+
+mod initializers;
+
+pub use initializers::{emitted_bytes, emitted_insts, generate_initializers};
+
+/// How a merge resolves conflicting definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Multiple definitions of a symbol are an error (`merge`).
+    Strict,
+    /// Conflicts resolve in favor of the *second* operand (`override`).
+    Override,
+}
+
+/// A module: a self-referential naming scope over executable fragments.
+///
+/// # Examples
+///
+/// The Figure 2 interposition idiom — stash the original definition,
+/// virtualize the name, merge a replacement:
+///
+/// ```
+/// use omos_isa::assemble;
+/// use omos_module::Module;
+///
+/// let libc = Module::from_object(assemble(
+///     "libc.o",
+///     ".text\n.global _malloc\n_malloc: li r1, 1\n ret\n",
+/// )?);
+/// let tracer = Module::from_object(assemble(
+///     "trace.o",
+///     ".text\n.global _malloc\n.extern _REAL_malloc\n_malloc: jmp _REAL_malloc\n",
+/// )?);
+/// let traced = libc
+///     .copy_as("^_malloc$", "_REAL_malloc")?
+///     .restrict("^_malloc$")?
+///     .merge_with(&tracer)?
+///     .hide("^_REAL_malloc$")?;
+/// assert_eq!(traced.exports()?, vec!["_malloc".to_string()]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Module {
+    view: View,
+}
+
+impl Module {
+    /// Wraps an object file.
+    #[must_use]
+    pub fn from_object(obj: ObjectFile) -> Module {
+        Module {
+            view: View::from_object(obj),
+        }
+    }
+
+    /// Wraps a shared object file.
+    #[must_use]
+    pub fn from_arc(obj: Arc<ObjectFile>) -> Module {
+        Module {
+            view: View::of(obj),
+        }
+    }
+
+    /// Wraps an existing view.
+    #[must_use]
+    pub fn from_view(view: View) -> Module {
+        Module { view }
+    }
+
+    /// The underlying view.
+    #[must_use]
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Deterministic identity for caching.
+    #[must_use]
+    pub fn content_hash(&self) -> ContentHash {
+        self.view.content_hash()
+    }
+
+    /// Materializes into a concrete object file (applies all pending view
+    /// operations).
+    pub fn materialize(&self) -> Result<ObjectFile> {
+        self.view.materialize()
+    }
+
+    /// Names this module exports.
+    pub fn exports(&self) -> Result<Vec<String>> {
+        self.view.exported_definitions()
+    }
+
+    /// Names this module references but does not define.
+    pub fn free_references(&self) -> Result<Vec<String>> {
+        let m = self.materialize()?;
+        Ok(m.symbols.undefined().map(|s| s.name.clone()).collect())
+    }
+
+    // --- View-producing operators (cheap). --------------------------------
+
+    /// `rename`: systematically changes names matching `pattern`,
+    /// substituting the matched span with `replacement`. `target` selects
+    /// references, definitions, or both — the paper: "Names may be
+    /// references, definitions, or both."
+    pub fn rename(&self, pattern: &str, replacement: &str, target: RenameTarget) -> Result<Module> {
+        Ok(Module {
+            view: self.view.derive(ViewOp::Rename {
+                pattern: Regex::new(pattern)?,
+                replacement: replacement.to_string(),
+                target,
+            }),
+        })
+    }
+
+    /// `hide`: removes matching definitions from the exported namespace,
+    /// freezing internal references to them.
+    pub fn hide(&self, pattern: &str) -> Result<Module> {
+        Ok(Module {
+            view: self.view.derive(ViewOp::Hide {
+                pattern: Regex::new(pattern)?,
+            }),
+        })
+    }
+
+    /// `show`: hides all definitions *except* those matching.
+    pub fn show(&self, pattern: &str) -> Result<Module> {
+        Ok(Module {
+            view: self.view.derive(ViewOp::Show {
+                pattern: Regex::new(pattern)?,
+            }),
+        })
+    }
+
+    /// `restrict`: virtualizes matching bindings — definitions are removed
+    /// and existing bindings become unbound references.
+    pub fn restrict(&self, pattern: &str) -> Result<Module> {
+        Ok(Module {
+            view: self.view.derive(ViewOp::Restrict {
+                pattern: Regex::new(pattern)?,
+            }),
+        })
+    }
+
+    /// `project`: virtualizes all bindings *except* those matching.
+    pub fn project(&self, pattern: &str) -> Result<Module> {
+        Ok(Module {
+            view: self.view.derive(ViewOp::Project {
+                pattern: Regex::new(pattern)?,
+            }),
+        })
+    }
+
+    /// `copy-as`: duplicates matching definitions under new names derived
+    /// by substituting the matched span with `replacement`.
+    pub fn copy_as(&self, pattern: &str, replacement: &str) -> Result<Module> {
+        Ok(Module {
+            view: self.view.derive(ViewOp::CopyAs {
+                pattern: Regex::new(pattern)?,
+                replacement: replacement.to_string(),
+            }),
+        })
+    }
+
+    // --- Materializing operators. ------------------------------------------
+
+    /// `freeze`: makes matching bindings permanent. Materializes (one of
+    /// the two operators the paper says does not produce a view).
+    pub fn freeze(&self, pattern: &str) -> Result<Module> {
+        let obj = self
+            .view
+            .derive(ViewOp::Freeze {
+                pattern: Regex::new(pattern)?,
+            })
+            .materialize()?;
+        Ok(Module::from_object(obj))
+    }
+
+    /// `merge`: binds definitions in one operand to references in the
+    /// other. Duplicate definitions are an error.
+    pub fn merge_with(&self, other: &Module) -> Result<Module> {
+        combine(self, other, MergeMode::Strict)
+    }
+
+    /// `override`: merge resolving conflicts in favor of `other`.
+    pub fn override_with(&self, other: &Module) -> Result<Module> {
+        combine(self, other, MergeMode::Override)
+    }
+
+    /// n-ary `merge` — folds [`Module::merge_with`] left to right.
+    pub fn merge_all(modules: &[Module]) -> Result<Module> {
+        let mut it = modules.iter();
+        let first = it
+            .next()
+            .ok_or_else(|| ObjError::Invalid("merge of zero modules".into()))?;
+        let mut acc = first.clone();
+        for m in it {
+            acc = acc.merge_with(m)?;
+        }
+        Ok(acc)
+    }
+
+    /// `initializers`: synthesizes a `__static_init` routine calling every
+    /// static-initializer symbol (see [`generate_initializers`]) and merges
+    /// it into this module.
+    pub fn initializers(&self) -> Result<Module> {
+        let obj = self.materialize()?;
+        let init = generate_initializers(&obj)?;
+        self.merge_with(&Module::from_object(init))
+    }
+}
+
+/// Combines two modules into one concrete object.
+fn combine(a: &Module, b: &Module, mode: MergeMode) -> Result<Module> {
+    let oa = a.materialize()?;
+    let ob = b.materialize()?;
+    let mut out = ObjectFile::new(&format!("{}+{}", oa.name, ob.name));
+
+    let mut uniq = 0usize;
+    append_object(&mut out, oa, MergeMode::Strict, &mut uniq)?;
+    append_object(&mut out, ob, mode, &mut uniq)?;
+    out.validate()?;
+    Ok(Module::from_object(out))
+}
+
+/// Appends `src`'s sections, symbols, and relocations into `dst`,
+/// uniquifying local symbols and remapping section indices.
+fn append_object(
+    dst: &mut ObjectFile,
+    src: ObjectFile,
+    mode: MergeMode,
+    uniq: &mut usize,
+) -> Result<()> {
+    let base = dst.sections.len();
+
+    // Uniquify local symbol names to keep per-object scoping after the
+    // tables fuse. References inside `src` follow the rename.
+    let mut local_rename: Vec<(String, String)> = Vec::new();
+    for sym in src.symbols.iter() {
+        if sym.binding == SymbolBinding::Local {
+            let fresh = loop {
+                let candidate = format!("{}$u{}", sym.name, *uniq);
+                *uniq += 1;
+                if dst.symbols.get(&candidate).is_none() && src.symbols.get(&candidate).is_none() {
+                    break candidate;
+                }
+            };
+            local_rename.push((sym.name.clone(), fresh));
+        }
+    }
+
+    for sec in src.sections {
+        dst.add_section(Section { ..sec });
+    }
+    for sym in src.symbols.iter() {
+        let mut s = sym.clone();
+        if let Some((_, fresh)) = local_rename.iter().find(|(o, _)| o == &s.name) {
+            s.name = fresh.clone();
+        }
+        if let SymbolDef::Defined { section, offset } = s.def {
+            s.def = SymbolDef::Defined {
+                section: section + base,
+                offset,
+            };
+        }
+        match mode {
+            MergeMode::Strict => dst.symbols.insert(s)?,
+            MergeMode::Override => {
+                // Paper: "merges two operands, resolving conflicting
+                // bindings (multiple definitions) in favor of the second
+                // operand." Only a genuine def-def conflict overrides;
+                // ordinary upgrades (undef→def etc.) keep merge rules.
+                let conflict = matches!(
+                    (
+                        dst.symbols.get(&s.name).map(|e| e.def.is_definition()),
+                        s.def.is_definition()
+                    ),
+                    (Some(true), true)
+                );
+                if conflict {
+                    dst.symbols.insert_override(s);
+                } else {
+                    dst.symbols.insert(s)?;
+                }
+            }
+        }
+    }
+    for r in src.relocs {
+        let symbol = match local_rename.iter().find(|(o, _)| o == &r.symbol) {
+            Some((_, fresh)) => fresh.clone(),
+            None => r.symbol,
+        };
+        dst.relocs.push(Relocation {
+            section: r.section + base,
+            symbol,
+            ..r
+        });
+    }
+    Ok(())
+}
+
+/// Returns the total text size of a module, a convenience for memory
+/// accounting in the benchmarks.
+pub fn text_size(m: &Module) -> Result<u64> {
+    Ok(m.materialize()?.size_of_kind(SectionKind::Text))
+}
+
+/// Builds a one-definition module around raw bytes — a tiny helper used by
+/// tests and the `source` operator's fallback paths.
+#[must_use]
+pub fn fragment(name: &str, symbol: &str, kind: SectionKind, bytes: Vec<u8>) -> Module {
+    let mut obj = ObjectFile::new(name);
+    let s = obj.add_section(Section::with_bytes(kind.default_name(), kind, bytes, 8));
+    // Fresh object, fresh name: cannot collide.
+    let _ = obj.define(Symbol::defined(symbol, s, 0));
+    Module::from_object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::assemble;
+
+    fn module(src: &str) -> Module {
+        Module::from_object(assemble("t.o", src).expect("assembles"))
+    }
+
+    fn libc_like() -> Module {
+        module(
+            r#"
+            .text
+            .global _malloc, _free
+_malloc:    li r1, 0x1000
+            ret
+_free:      call _malloc        ; internal reference
+            ret
+            "#,
+        )
+    }
+
+    fn client() -> Module {
+        module(
+            r#"
+            .text
+            .global _start
+_start:     call _malloc
+            sys 0
+            "#,
+        )
+    }
+
+    #[test]
+    fn merge_binds_references() {
+        let merged = client().merge_with(&libc_like()).unwrap();
+        let obj = merged.materialize().unwrap();
+        assert!(obj.symbols.get("_malloc").unwrap().def.is_definition());
+        assert!(obj.symbols.get("_start").unwrap().def.is_definition());
+        assert!(merged.free_references().unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_rejects_duplicates() {
+        let a = module(".text\n.global _f\n_f: ret\n");
+        let b = module(".text\n.global _f\n_f: ret\n");
+        let err = a.merge_with(&b).unwrap_err();
+        assert_eq!(err, ObjError::DuplicateSymbol("_f".into()));
+    }
+
+    #[test]
+    fn merge_of_zero_modules_is_an_error() {
+        assert!(Module::merge_all(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_all_folds() {
+        let a = module(".text\n.global _a\n_a: call _b\n ret\n");
+        let b = module(".text\n.global _b\n_b: call _c\n ret\n");
+        let c = module(".text\n.global _c\n_c: ret\n");
+        let m = Module::merge_all(&[a, b, c]).unwrap();
+        assert!(m.free_references().unwrap().is_empty());
+        let mut exports = m.exports().unwrap();
+        exports.sort();
+        assert_eq!(exports, vec!["_a", "_b", "_c"]);
+    }
+
+    #[test]
+    fn override_prefers_second() {
+        let base = module(".text\n.global _draw\n_draw: li r1, 1\n ret\n");
+        let derived = module(".text\n.global _draw\n_draw: li r1, 2\n ret\n");
+        let m = base.override_with(&derived).unwrap();
+        let obj = m.materialize().unwrap();
+        let def = obj.symbols.get("_draw").unwrap();
+        // The winning definition must live in the second operand's section
+        // (index >= number of sections in the first operand).
+        match def.def {
+            SymbolDef::Defined { section, .. } => assert!(section >= 4),
+            other => panic!("unexpected def {other:?}"),
+        }
+    }
+
+    #[test]
+    fn override_rebinds_first_operands_internal_calls() {
+        // Inheritance: base's `_area` calls `_side`; derived overrides
+        // `_side`. After override, base's internal call reaches derived's
+        // `_side` — "the modified bindings define the inheritance
+        // relationships".
+        let base = module(
+            r#"
+            .text
+            .global _area, _side
+_area:      call _side
+            mul r1, r1, r1
+            sys 0
+_side:      li r1, 3
+            ret
+            "#,
+        );
+        let derived = module(".text\n.global _side\n_side: li r1, 5\n ret\n");
+        let m = base.override_with(&derived).unwrap();
+        // Link and run: should square the *derived* side.
+        let obj = m.materialize().unwrap();
+        let mut opts = omos_link::LinkOptions::program("t");
+        opts.entry = Some("_area".into());
+        let out = omos_link::link(&[obj], &opts).unwrap();
+        let stop = run(&out.image);
+        assert_eq!(stop, omos_isa::StopReason::Exited(25));
+    }
+
+    fn run(img: &omos_link::LinkedImage) -> omos_isa::StopReason {
+        use omos_isa::vm::{ExitOnly, FlatMemory, Vm};
+        let lo = img.segments.iter().map(|s| s.vaddr).min().unwrap();
+        let hi = img.segments.iter().map(|s| s.end()).max().unwrap();
+        let mut mem = FlatMemory::new(lo, (hi - u64::from(lo)) as usize + 65536);
+        for s in &img.segments {
+            mem.load(s.vaddr, &s.bytes);
+        }
+        let mut vm = Vm::new(img.entry.expect("entry"));
+        vm.regs[14] = hi as u32 + 65000;
+        vm.run(&mut mem, &mut ExitOnly, 1_000_000)
+    }
+
+    #[test]
+    fn figure2_interposition_end_to_end() {
+        // Figure 2: produce a libc where a tracing `_malloc` wraps the
+        // original, with `_REAL_malloc` preserving access to it.
+        let base = client().merge_with(&libc_like()).unwrap();
+        let prepared = base
+            .copy_as("^_malloc$", "_REAL_malloc")
+            .unwrap()
+            .restrict("^_malloc$")
+            .unwrap();
+        // The new definition: count the call, then delegate.
+        let test_malloc = module(
+            r#"
+            .text
+            .global _malloc
+            .extern _REAL_malloc
+_malloc:    li r7, _malloc_count
+            ld r6, [r7]
+            addi r6, r6, 1
+            st r6, [r7]
+            mov r8, r15          ; save return address around the call
+            call _REAL_malloc
+            mov r15, r8
+            ret
+            .data
+            .global _malloc_count
+_malloc_count: .word 0
+            "#,
+        );
+        let together = prepared
+            .merge_with(&test_malloc)
+            .unwrap()
+            .hide("^_REAL_malloc$")
+            .unwrap();
+        // Drive it: _start calls _malloc once; exit code = malloc result.
+        let obj = together.materialize().unwrap();
+        let out = omos_link::link(&[obj], &omos_link::LinkOptions::program("t")).unwrap();
+        assert_eq!(run(&out.image), omos_isa::StopReason::Exited(0x1000));
+        // And `_REAL_malloc` is not exported.
+        assert!(out.image.find("_REAL_malloc").is_none());
+        assert!(out.image.find("_malloc").is_some());
+    }
+
+    #[test]
+    fn figure3_rename_reroutes_to_abort() {
+        // Figure 3: reroute references to a routine that should never be
+        // called to `_abort`.
+        let broken = module(
+            r#"
+            .text
+            .global _entry
+_entry:     call _undefined_routine
+            ret
+            "#,
+        );
+        let fixed = broken
+            .rename("^_undefined_routine$", "_abort", RenameTarget::Refs)
+            .unwrap();
+        let refs = fixed.free_references().unwrap();
+        assert!(refs.contains(&"_abort".to_string()));
+        assert!(!refs.contains(&"_undefined_routine".to_string()));
+    }
+
+    #[test]
+    fn hide_keeps_internal_binding_but_removes_export() {
+        let lib = libc_like().hide("^_malloc$").unwrap();
+        let exports = lib.exports().unwrap();
+        assert_eq!(exports, vec!["_free".to_string()]);
+        // _free's internal call still resolves after materialization.
+        let obj = lib.materialize().unwrap();
+        for r in &obj.relocs {
+            assert!(
+                obj.symbols.get(&r.symbol).is_some(),
+                "dangling reloc to {}",
+                r.symbol
+            );
+        }
+    }
+
+    #[test]
+    fn show_is_hide_complement() {
+        let lib = libc_like().show("^_malloc$").unwrap();
+        assert_eq!(lib.exports().unwrap(), vec!["_malloc".to_string()]);
+    }
+
+    #[test]
+    fn restrict_then_merge_rebinds() {
+        // Virtualize `_malloc`, then merge a replacement: old references
+        // now reach the replacement (late binding).
+        let lib = libc_like().restrict("^_malloc$").unwrap();
+        assert!(lib
+            .free_references()
+            .unwrap()
+            .contains(&"_malloc".to_string()));
+        let replacement = module(".text\n.global _malloc\n_malloc: li r1, 0x2000\n ret\n");
+        let rebound = lib.merge_with(&replacement).unwrap();
+        assert!(rebound.free_references().unwrap().is_empty());
+    }
+
+    #[test]
+    fn project_keeps_selected_only() {
+        let m = libc_like().project("^_free$").unwrap();
+        let exports = m.exports().unwrap();
+        assert_eq!(exports, vec!["_free".to_string()]);
+    }
+
+    #[test]
+    fn freeze_materializes_and_protects() {
+        let frozen = libc_like().freeze("^_malloc$").unwrap();
+        // A later restrict must not unbind the frozen symbol.
+        let after = frozen.restrict("^_malloc$").unwrap();
+        assert!(after.exports().unwrap().contains(&"_malloc".to_string()));
+    }
+
+    #[test]
+    fn locals_do_not_clash_across_merge() {
+        let a = module(".text\n.global _fa\n_fa: li r2, _msg\n ret\n.rodata\n_msg: .ascii \"A\"\n");
+        let b = module(".text\n.global _fb\n_fb: li r2, _msg\n ret\n.rodata\n_msg: .ascii \"B\"\n");
+        let m = a.merge_with(&b).unwrap();
+        let obj = m.materialize().unwrap();
+        obj.validate().unwrap();
+        // Both local `_msg`s survive under distinct names, each reloc
+        // bound to its own.
+        let locals: Vec<_> = obj
+            .symbols
+            .iter()
+            .filter(|s| s.binding == SymbolBinding::Local)
+            .collect();
+        assert_eq!(locals.len(), 2);
+        let targets: Vec<&String> = obj.relocs.iter().map(|r| &r.symbol).collect();
+        assert_ne!(targets[0], targets[1]);
+    }
+
+    #[test]
+    fn copy_as_package_scheme_composes_with_restrict() {
+        // "By invoking copy-as on all definitions ... using some well-known
+        // scheme (e.g., prepending a package name), then using restrict to
+        // virtualize the original bindings, new values for the symbols in
+        // question can be inserted transparently."
+        let m = libc_like()
+            .copy_as("^_", "_PKG_")
+            .unwrap()
+            .restrict("^_(malloc|free)$")
+            .unwrap();
+        let exports = m.exports().unwrap();
+        assert!(exports.contains(&"_PKG_malloc".to_string()));
+        assert!(exports.contains(&"_PKG_free".to_string()));
+        assert!(!exports.contains(&"_malloc".to_string()));
+    }
+
+    #[test]
+    fn fragment_helper() {
+        let f = fragment("frag.o", "_blob", SectionKind::RoData, vec![1, 2, 3]);
+        assert_eq!(f.exports().unwrap(), vec!["_blob".to_string()]);
+    }
+
+    #[test]
+    fn content_hash_stable_across_identical_pipelines() {
+        let m1 = libc_like().hide("^_malloc$").unwrap();
+        let m2 = libc_like().hide("^_malloc$").unwrap();
+        assert_eq!(m1.content_hash(), m2.content_hash());
+        let m3 = libc_like().hide("^_free$").unwrap();
+        assert_ne!(m1.content_hash(), m3.content_hash());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by every XOF operation.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ObjError>;
+
+/// Errors produced while building, transforming, or (de)serializing object
+/// files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// A symbol was defined more than once during a merge.
+    DuplicateSymbol(String),
+    /// A symbol required by an operation does not exist.
+    UndefinedSymbol(String),
+    /// A section index or name was invalid.
+    BadSection(String),
+    /// A relocation referenced an offset outside its section.
+    RelocOutOfRange {
+        /// Section the relocation targets.
+        section: String,
+        /// Byte offset of the relocation site.
+        offset: u64,
+    },
+    /// A regular expression failed to compile.
+    BadRegex(String),
+    /// The wire image was malformed (bad magic, truncated, etc.).
+    Malformed(String),
+    /// The requested encoding backend is unknown.
+    UnknownFormat(String),
+    /// An operation's preconditions were violated (free-form description).
+    Invalid(String),
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::DuplicateSymbol(s) => write!(f, "multiple definitions of symbol `{s}`"),
+            ObjError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            ObjError::BadSection(s) => write!(f, "bad section `{s}`"),
+            ObjError::RelocOutOfRange { section, offset } => {
+                write!(f, "relocation at {section}+{offset:#x} out of range")
+            }
+            ObjError::BadRegex(s) => write!(f, "bad regular expression: {s}"),
+            ObjError::Malformed(s) => write!(f, "malformed object image: {s}"),
+            ObjError::UnknownFormat(s) => write!(f, "unknown object format `{s}`"),
+            ObjError::Invalid(s) => write!(f, "invalid operation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ObjError::DuplicateSymbol("_malloc".into());
+        assert!(e.to_string().contains("_malloc"));
+        let e = ObjError::RelocOutOfRange {
+            section: ".text".into(),
+            offset: 0x40,
+        };
+        assert!(e.to_string().contains(".text+0x40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ObjError>();
+    }
+}

@@ -1,0 +1,208 @@
+//! Sections: named, typed byte containers within an object file.
+
+use crate::hash::{ContentHash, Fnv64};
+
+/// The kind of a section, which determines how the linker lays it out and
+/// which permissions its pages get when mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SectionKind {
+    /// Executable instructions (read + execute, shareable).
+    Text,
+    /// Read-only data (read, shareable).
+    RoData,
+    /// Initialized writable data (read + write, copy-on-write).
+    Data,
+    /// Zero-initialized data; occupies no bytes in the object file.
+    Bss,
+}
+
+impl SectionKind {
+    /// The conventional section name for this kind.
+    #[must_use]
+    pub fn default_name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::RoData => ".rodata",
+            SectionKind::Data => ".data",
+            SectionKind::Bss => ".bss",
+        }
+    }
+
+    /// True if pages of this kind may be shared read-only between tasks.
+    #[must_use]
+    pub fn is_shareable(self) -> bool {
+        matches!(self, SectionKind::Text | SectionKind::RoData)
+    }
+
+    /// All kinds, in canonical layout order.
+    pub const ALL: [SectionKind; 4] = [
+        SectionKind::Text,
+        SectionKind::RoData,
+        SectionKind::Data,
+        SectionKind::Bss,
+    ];
+
+    /// Stable small integer for serialization.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            SectionKind::Text => 0,
+            SectionKind::RoData => 1,
+            SectionKind::Data => 2,
+            SectionKind::Bss => 3,
+        }
+    }
+
+    /// Inverse of [`SectionKind::code`].
+    #[must_use]
+    pub fn from_code(c: u8) -> Option<SectionKind> {
+        match c {
+            0 => Some(SectionKind::Text),
+            1 => Some(SectionKind::RoData),
+            2 => Some(SectionKind::Data),
+            3 => Some(SectionKind::Bss),
+            _ => None,
+        }
+    }
+}
+
+/// A section: a run of bytes (or, for BSS, a size) plus alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (e.g. `.text`).
+    pub name: String,
+    /// What the bytes are.
+    pub kind: SectionKind,
+    /// Contents. Empty for BSS.
+    pub bytes: Vec<u8>,
+    /// Size in bytes. Equals `bytes.len()` except for BSS, where it is the
+    /// zero-fill size.
+    pub size: u64,
+    /// Required alignment (power of two).
+    pub align: u64,
+}
+
+impl Section {
+    /// Creates a section with contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two (a construction bug, not a
+    /// runtime condition).
+    #[must_use]
+    pub fn with_bytes(name: &str, kind: SectionKind, bytes: Vec<u8>, align: u64) -> Section {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let size = bytes.len() as u64;
+        Section {
+            name: name.to_string(),
+            kind,
+            bytes,
+            size,
+            align,
+        }
+    }
+
+    /// Creates a BSS section of `size` zero bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[must_use]
+    pub fn bss(name: &str, size: u64, align: u64) -> Section {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Section {
+            name: name.to_string(),
+            kind: SectionKind::Bss,
+            bytes: Vec::new(),
+            size,
+            align,
+        }
+    }
+
+    /// Appends bytes, returning the offset where they begin.
+    pub fn append(&mut self, bytes: &[u8]) -> u64 {
+        let off = self.bytes.len() as u64;
+        self.bytes.extend_from_slice(bytes);
+        self.size = self.bytes.len() as u64;
+        off
+    }
+
+    /// Extends a BSS section by `n` bytes, returning the prior size.
+    pub fn extend_bss(&mut self, n: u64) -> u64 {
+        debug_assert_eq!(self.kind, SectionKind::Bss);
+        let off = self.size;
+        self.size += n;
+        off
+    }
+
+    /// Feeds this section's identity and contents into a hasher.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write(self.name.as_bytes());
+        h.write(&[self.kind.code()]);
+        h.write(&self.size.to_le_bytes());
+        h.write(&self.align.to_le_bytes());
+        h.write(&self.bytes);
+    }
+
+    /// Content hash of this section alone.
+    #[must_use]
+    pub fn content_hash(&self) -> ContentHash {
+        let mut h = Fnv64::new();
+        self.hash_into(&mut h);
+        ContentHash(h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_tracks_size() {
+        let mut s = Section::with_bytes(".data", SectionKind::Data, vec![1, 2], 4);
+        assert_eq!(s.size, 2);
+        let off = s.append(&[3, 4, 5]);
+        assert_eq!(off, 2);
+        assert_eq!(s.size, 5);
+        assert_eq!(s.bytes, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bss_has_size_but_no_bytes() {
+        let mut s = Section::bss(".bss", 128, 8);
+        assert_eq!(s.size, 128);
+        assert!(s.bytes.is_empty());
+        let off = s.extend_bss(64);
+        assert_eq!(off, 128);
+        assert_eq!(s.size, 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_alignment_panics() {
+        let _ = Section::with_bytes(".text", SectionKind::Text, vec![], 3);
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in SectionKind::ALL {
+            assert_eq!(SectionKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(SectionKind::from_code(9), None);
+    }
+
+    #[test]
+    fn shareability() {
+        assert!(SectionKind::Text.is_shareable());
+        assert!(SectionKind::RoData.is_shareable());
+        assert!(!SectionKind::Data.is_shareable());
+        assert!(!SectionKind::Bss.is_shareable());
+    }
+
+    #[test]
+    fn hash_differs_on_content() {
+        let a = Section::with_bytes(".text", SectionKind::Text, vec![1], 4);
+        let b = Section::with_bytes(".text", SectionKind::Text, vec![2], 4);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+}

@@ -1,0 +1,414 @@
+//! OFE — the Object File Editor.
+//!
+//! §8.1: "We also have a non-server version of OMOS, called the Object
+//! File Editor (OFE). It offers a traditional command interface and
+//! manipulates files in the normal Unix file namespace. OFE has proven
+//! very useful for manipulating object files in a traditional
+//! environment."
+//!
+//! ```text
+//! ofe info FILE                     headers, sections, counts
+//! ofe nm FILE                      symbol table
+//! ofe size FILE                    text/data/bss sizes
+//! ofe strings FILE                 printable strings in data sections
+//! ofe dis FILE                     disassemble text sections
+//! ofe asm IN.s OUT.o               assemble U32 source
+//! ofe convert FORMAT IN OUT        re-encode (aout|som)
+//! ofe merge OUT IN...              strict Jigsaw merge
+//! ofe override OUT BASE OVERLAY    merge, overlay wins conflicts
+//! ofe rename RE REPL IN OUT        rename defs+refs (also: rename-refs,
+//!                                  rename-defs)
+//! ofe hide RE IN OUT               and: show, restrict, project, freeze
+//! ofe copy-as RE REPL IN OUT       duplicate definitions
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use omos_isa::{assemble, Inst, INST_BYTES};
+use omos_module::Module;
+use omos_obj::encode::{read_any, write, Format};
+use omos_obj::view::RenameTarget;
+use omos_obj::{ObjectFile, SectionKind, SymbolBinding, SymbolDef};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            if !output.is_empty() {
+                print!("{output}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ofe: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as> ...";
+
+/// Executes one OFE command; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().ok_or(USAGE)?;
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "info" => one_file(rest).map(|o| info(&o)),
+        "nm" => one_file(rest).map(|o| nm(&o)),
+        "size" => one_file(rest).map(|o| size(&o)),
+        "strings" => one_file(rest).map(|o| strings(&o)),
+        "dis" => one_file(rest).map(|o| dis(&o)),
+        "asm" => {
+            let [input, output] = two(rest)?;
+            let src = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+            let obj = assemble(output, &src).map_err(|e| format!("{input}: {e}"))?;
+            save(&obj, output, Format::Aout)?;
+            Ok(String::new())
+        }
+        "convert" => {
+            let [fmt, input, output] = three(rest)?;
+            let format = Format::parse(fmt).map_err(|e| e.to_string())?;
+            let obj = load(input)?;
+            save(&obj, output, format)?;
+            Ok(String::new())
+        }
+        "merge" | "override" => {
+            if rest.len() < 3 {
+                return Err(format!("{cmd} OUT IN IN..."));
+            }
+            let output = &rest[0];
+            let inputs: Vec<Module> = rest[1..]
+                .iter()
+                .map(|p| load(p).map(Module::from_object))
+                .collect::<Result<_, _>>()?;
+            let merged = if cmd == "merge" {
+                Module::merge_all(&inputs).map_err(|e| e.to_string())?
+            } else {
+                if inputs.len() != 2 {
+                    return Err("override takes exactly BASE and OVERLAY".into());
+                }
+                inputs[0]
+                    .override_with(&inputs[1])
+                    .map_err(|e| e.to_string())?
+            };
+            save(
+                &merged.materialize().map_err(|e| e.to_string())?,
+                output,
+                Format::Aout,
+            )?;
+            Ok(String::new())
+        }
+        "rename" | "rename-refs" | "rename-defs" | "copy-as" => {
+            if rest.len() != 4 {
+                return Err(format!("{cmd} PATTERN REPLACEMENT IN OUT"));
+            }
+            let (pattern, replacement, input, output) = (&rest[0], &rest[1], &rest[2], &rest[3]);
+            let m = Module::from_object(load(input)?);
+            let m = match cmd.as_str() {
+                "copy-as" => m.copy_as(pattern, replacement),
+                "rename-refs" => m.rename(pattern, replacement, RenameTarget::Refs),
+                "rename-defs" => m.rename(pattern, replacement, RenameTarget::Defs),
+                _ => m.rename(pattern, replacement, RenameTarget::Both),
+            }
+            .map_err(|e| e.to_string())?;
+            save(
+                &m.materialize().map_err(|e| e.to_string())?,
+                output,
+                Format::Aout,
+            )?;
+            Ok(String::new())
+        }
+        "hide" | "show" | "restrict" | "project" | "freeze" => {
+            if rest.len() != 3 {
+                return Err(format!("{cmd} PATTERN IN OUT"));
+            }
+            let (pattern, input, output) = (&rest[0], &rest[1], &rest[2]);
+            let m = Module::from_object(load(input)?);
+            let m = match cmd.as_str() {
+                "hide" => m.hide(pattern),
+                "show" => m.show(pattern),
+                "restrict" => m.restrict(pattern),
+                "project" => m.project(pattern),
+                _ => m.freeze(pattern),
+            }
+            .map_err(|e| e.to_string())?;
+            save(
+                &m.materialize().map_err(|e| e.to_string())?,
+                output,
+                Format::Aout,
+            )?;
+            Ok(String::new())
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn one_file(rest: &[String]) -> Result<ObjectFile, String> {
+    match rest {
+        [path] => load(path),
+        _ => Err("expected exactly one FILE".into()),
+    }
+}
+
+fn two(rest: &[String]) -> Result<[&String; 2], String> {
+    match rest {
+        [a, b] => Ok([a, b]),
+        _ => Err("expected IN OUT".into()),
+    }
+}
+
+fn three(rest: &[String]) -> Result<[&String; 3], String> {
+    match rest {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err("expected FORMAT IN OUT".into()),
+    }
+}
+
+fn load(path: &str) -> Result<ObjectFile, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    read_any(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(obj: &ObjectFile, path: &str, format: Format) -> Result<(), String> {
+    std::fs::write(path, write(format, obj)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn info(o: &ObjectFile) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "name: {}", o.name);
+    let _ = writeln!(
+        s,
+        "sections: {}  symbols: {}  relocations: {}",
+        o.sections.len(),
+        o.symbols.len(),
+        o.relocs.len()
+    );
+    for sec in &o.sections {
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>8} bytes  align {:<4} {:?}",
+            sec.name, sec.size, sec.align, sec.kind
+        );
+    }
+    s
+}
+
+fn nm(o: &ObjectFile) -> String {
+    let mut s = String::new();
+    for sym in o.symbols.iter() {
+        let kind = match (&sym.def, sym.binding) {
+            (SymbolDef::Undefined, _) => "U",
+            (SymbolDef::Common { .. }, _) => "C",
+            (SymbolDef::Absolute { .. }, _) => "A",
+            (SymbolDef::Defined { section, .. }, b) => {
+                let upper = match o.sections.get(*section).map(|x| x.kind) {
+                    Some(SectionKind::Text) => "T",
+                    Some(SectionKind::Data) => "D",
+                    Some(SectionKind::RoData) => "R",
+                    Some(SectionKind::Bss) => "B",
+                    None => "?",
+                };
+                if b == SymbolBinding::Local {
+                    // Locals print lowercase, like Unix nm.
+                    match upper {
+                        "T" => "t",
+                        "D" => "d",
+                        "R" => "r",
+                        "B" => "b",
+                        _ => "?",
+                    }
+                } else {
+                    upper
+                }
+            }
+        };
+        let addr = match sym.def {
+            SymbolDef::Defined { offset, .. } => format!("{offset:08x}"),
+            SymbolDef::Absolute { value } => format!("{value:08x}"),
+            SymbolDef::Common { size } => format!("{size:08x}"),
+            SymbolDef::Undefined => "        ".to_string(),
+        };
+        let _ = writeln!(s, "{addr} {kind} {}", sym.name);
+    }
+    s
+}
+
+fn size(o: &ObjectFile) -> String {
+    let text = o.size_of_kind(SectionKind::Text) + o.size_of_kind(SectionKind::RoData);
+    let data = o.size_of_kind(SectionKind::Data);
+    let bss = o.size_of_kind(SectionKind::Bss);
+    format!(
+        "text\tdata\tbss\ttotal\n{text}\t{data}\t{bss}\t{}\n",
+        text + data + bss
+    )
+}
+
+fn strings(o: &ObjectFile) -> String {
+    let mut s = String::new();
+    for sec in &o.sections {
+        if sec.kind == SectionKind::Text {
+            continue;
+        }
+        let mut cur = String::new();
+        for &b in sec.bytes.iter().chain(std::iter::once(&0)) {
+            if (0x20..0x7f).contains(&b) {
+                cur.push(b as char);
+            } else {
+                if cur.len() >= 4 {
+                    let _ = writeln!(s, "{cur}");
+                }
+                cur.clear();
+            }
+        }
+    }
+    s
+}
+
+fn dis(o: &ObjectFile) -> String {
+    let mut s = String::new();
+    for (si, sec) in o.sections.iter().enumerate() {
+        if sec.kind != SectionKind::Text || sec.bytes.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "{}:", sec.name);
+        let mut off = 0usize;
+        while off + INST_BYTES as usize <= sec.bytes.len() {
+            // Label any symbol defined here.
+            for sym in o.symbols.iter() {
+                if let SymbolDef::Defined { section, offset } = sym.def {
+                    if section == si && offset == off as u64 {
+                        let _ = writeln!(s, "{}:", sym.name);
+                    }
+                }
+            }
+            let raw: [u8; 8] = sec.bytes[off..off + 8].try_into().expect("bounds checked");
+            let text = match Inst::decode(&raw) {
+                Some(i) => i.disassemble(),
+                None => format!(
+                    ".word {:#010x}, {:#010x}",
+                    u32::from_le_bytes(raw[0..4].try_into().expect("len")),
+                    u32::from_le_bytes(raw[4..8].try_into().expect("len"))
+                ),
+            };
+            // Annotate relocation targets.
+            let annot = o
+                .relocs
+                .iter()
+                .find(|r| r.section == si && r.offset == off as u64 + 4)
+                .map(|r| format!("\t; -> {}", r.symbol))
+                .unwrap_or_default();
+            let _ = writeln!(s, "  {off:6x}: {text}{annot}");
+            off += INST_BYTES as usize;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_obj::encode::sniff;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("ofe-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_sample(name: &str) -> String {
+        let path = tmp(name);
+        let obj = assemble(
+            name,
+            r#"
+            .text
+            .global _malloc, _free
+_malloc:    li r1, 0x100
+            ret
+_free:      call _malloc
+            ret
+            .data
+_msg:       .asciz "hello-world"
+            "#,
+        )
+        .unwrap();
+        std::fs::write(&path, write(Format::Aout, &obj)).unwrap();
+        path
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn info_nm_size_strings_dis() {
+        let p = write_sample("a.o");
+        let out = run(&args(&["info", &p])).unwrap();
+        assert!(out.contains("sections: 4"));
+        let out = run(&args(&["nm", &p])).unwrap();
+        assert!(out.contains("T _malloc"));
+        assert!(out.contains("d _msg"));
+        let out = run(&args(&["size", &p])).unwrap();
+        assert!(out.starts_with("text\tdata"));
+        let out = run(&args(&["strings", &p])).unwrap();
+        assert!(out.contains("hello-world"));
+        let out = run(&args(&["dis", &p])).unwrap();
+        assert!(out.contains("_malloc:"));
+        assert!(out.contains("; -> _malloc"), "call site annotated: {out}");
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let p = write_sample("b.o");
+        let q = tmp("b.som");
+        run(&args(&["convert", "som", &p, &q])).unwrap();
+        let bytes = std::fs::read(&q).unwrap();
+        assert_eq!(sniff(&bytes), Some(Format::Som));
+        let r = tmp("b2.o");
+        run(&args(&["convert", "aout", &q, &r])).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), std::fs::read(&r).unwrap());
+    }
+
+    #[test]
+    fn rename_and_hide_pipeline() {
+        let p = write_sample("c.o");
+        let q = tmp("c-ren.o");
+        run(&args(&["copy-as", "^_malloc$", "_REAL_malloc", &p, &q])).unwrap();
+        let r = tmp("c-hid.o");
+        run(&args(&["hide", "^_REAL_malloc$", &q, &r])).unwrap();
+        let out = run(&args(&["nm", &r])).unwrap();
+        assert!(out.contains("_malloc"));
+        assert!(!out.contains(" T _REAL_malloc"));
+    }
+
+    #[test]
+    fn merge_two_files() {
+        let a = write_sample("d.o");
+        let bpath = tmp("e.o");
+        let obj = assemble("e.o", ".text\n.global _other\n_other: ret\n").unwrap();
+        std::fs::write(&bpath, write(Format::Aout, &obj)).unwrap();
+        let out = tmp("merged.o");
+        run(&args(&["merge", &out, &a, &bpath])).unwrap();
+        let listing = run(&args(&["nm", &out])).unwrap();
+        assert!(listing.contains("_malloc"));
+        assert!(listing.contains("_other"));
+    }
+
+    #[test]
+    fn asm_command() {
+        let src = tmp("f.s");
+        std::fs::write(&src, ".text\n.global _f\n_f: ret\n").unwrap();
+        let out = tmp("f.o");
+        run(&args(&["asm", &src, &out])).unwrap();
+        let listing = run(&args(&["nm", &out])).unwrap();
+        assert!(listing.contains("T _f"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&args(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["nm", "/no/such/file"])).is_err());
+        assert!(run(&args(&["convert", "elf", "a", "b"])).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The simulated clock: user, system, and elapsed time.
+//!
+//! These are exactly the three columns of the paper's Table 1 (as
+//! reported by GNU `time` / csh `time`). User and system time both
+//! advance elapsed time; I/O waits advance elapsed time only.
+
+use std::fmt;
+
+/// Accumulated simulated times, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use omos_os::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.charge_user(1_000);
+/// clock.charge_system(2_000);
+/// clock.charge_io_wait(5_000);
+/// assert_eq!(clock.user_ns, 1_000);
+/// assert_eq!(clock.system_ns, 2_000);
+/// assert_eq!(clock.elapsed_ns, 8_000);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    /// Time spent executing user-mode instructions.
+    pub user_ns: u64,
+    /// Time spent in the kernel (syscalls, mapping, relocation, IPC).
+    pub system_ns: u64,
+    /// Wall-clock time (user + system + I/O waits).
+    pub elapsed_ns: u64,
+}
+
+impl SimClock {
+    /// A zeroed clock.
+    #[must_use]
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Charges user-mode CPU time.
+    pub fn charge_user(&mut self, ns: u64) {
+        self.user_ns += ns;
+        self.elapsed_ns += ns;
+    }
+
+    /// Charges kernel CPU time.
+    pub fn charge_system(&mut self, ns: u64) {
+        self.system_ns += ns;
+        self.elapsed_ns += ns;
+    }
+
+    /// Charges an I/O wait (elapsed only — the CPU is idle).
+    pub fn charge_io_wait(&mut self, ns: u64) {
+        self.elapsed_ns += ns;
+    }
+
+    /// Snapshot of the current totals.
+    #[must_use]
+    pub fn times(&self) -> Times {
+        Times {
+            user_ns: self.user_ns,
+            system_ns: self.system_ns,
+            elapsed_ns: self.elapsed_ns,
+        }
+    }
+
+    /// Times accumulated since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: Times) -> Times {
+        Times {
+            user_ns: self.user_ns - earlier.user_ns,
+            system_ns: self.system_ns - earlier.system_ns,
+            elapsed_ns: self.elapsed_ns - earlier.elapsed_ns,
+        }
+    }
+}
+
+/// An immutable time snapshot or interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Times {
+    /// User-mode nanoseconds.
+    pub user_ns: u64,
+    /// Kernel nanoseconds.
+    pub system_ns: u64,
+    /// Wall-clock nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl Times {
+    /// User time in (fractional) seconds.
+    #[must_use]
+    pub fn user_s(&self) -> f64 {
+        self.user_ns as f64 / 1e9
+    }
+
+    /// System time in seconds.
+    #[must_use]
+    pub fn system_s(&self) -> f64 {
+        self.system_ns as f64 / 1e9
+    }
+
+    /// Elapsed time in seconds.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_ns as f64 / 1e9
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: Times) -> Times {
+        Times {
+            user_ns: self.user_ns + other.user_ns,
+            system_ns: self.system_ns + other.system_ns,
+            elapsed_ns: self.elapsed_ns + other.elapsed_ns,
+        }
+    }
+
+    /// Scales all components by an integer factor (e.g. iteration count).
+    #[must_use]
+    pub fn scaled(&self, n: u64) -> Times {
+        Times {
+            user_ns: self.user_ns * n,
+            system_ns: self.system_ns * n,
+            elapsed_ns: self.elapsed_ns * n,
+        }
+    }
+}
+
+impl fmt::Display for Times {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "user {:.2}s sys {:.2}s elapsed {:.2}s",
+            self.user_s(),
+            self.system_s(),
+            self.elapsed_s()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_and_system_advance_elapsed() {
+        let mut c = SimClock::new();
+        c.charge_user(100);
+        c.charge_system(50);
+        c.charge_io_wait(1000);
+        assert_eq!(c.user_ns, 100);
+        assert_eq!(c.system_ns, 50);
+        assert_eq!(c.elapsed_ns, 1150);
+    }
+
+    #[test]
+    fn since_computes_interval() {
+        let mut c = SimClock::new();
+        c.charge_user(100);
+        let snap = c.times();
+        c.charge_system(40);
+        let d = c.since(snap);
+        assert_eq!(
+            d,
+            Times {
+                user_ns: 0,
+                system_ns: 40,
+                elapsed_ns: 40
+            }
+        );
+    }
+
+    #[test]
+    fn times_arithmetic() {
+        let a = Times {
+            user_ns: 1,
+            system_ns: 2,
+            elapsed_ns: 3,
+        };
+        let b = a.plus(a).scaled(10);
+        assert_eq!(
+            b,
+            Times {
+                user_ns: 20,
+                system_ns: 40,
+                elapsed_ns: 60
+            }
+        );
+        assert!((b.elapsed_s() - 6e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        let t = Times {
+            user_ns: 1_500_000_000,
+            system_ns: 0,
+            elapsed_ns: 1_500_000_000,
+        };
+        assert_eq!(t.to_string(), "user 1.50s sys 0.00s elapsed 1.50s");
+    }
+}

@@ -1,0 +1,407 @@
+//! The in-memory filesystem with priced operations.
+//!
+//! Holds the workloads' directories and files (what `ls` lists), the
+//! executables and object files, and charges the simulated clock for
+//! opens, reads, writes, stats, and directory scans. First access to a
+//! file pays a disk latency; afterwards it is "in the buffer cache",
+//! matching the paper's warm-cache methodology ("Each run was repeated at
+//! least three times, with very little variance").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::clock::SimClock;
+use crate::cost::CostModel;
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Tried to read/write a directory.
+    IsADirectory(String),
+    /// Tried to list a regular file.
+    NotADirectory(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Stat record returned to programs (16 bytes on the wire: size, mode,
+/// mtime, flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// File size in bytes (0 for directories).
+    pub size: u32,
+    /// 1 = directory, 0 = regular file.
+    pub mode: u32,
+    /// Modification time (simulated, constant).
+    pub mtime: u32,
+}
+
+impl FileStat {
+    /// Serializes to the 16-byte wire form programs read.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..4].copy_from_slice(&self.size.to_le_bytes());
+        b[4..8].copy_from_slice(&self.mode.to_le_bytes());
+        b[8..12].copy_from_slice(&self.mtime.to_le_bytes());
+        b
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    File { bytes: Vec<u8>, cached: bool },
+    Dir,
+}
+
+/// The in-memory filesystem.
+#[derive(Debug, Default)]
+pub struct InMemFs {
+    nodes: BTreeMap<String, Node>,
+    /// When true, writes pay [`CostModel::sync_write_mult`] (the NFS
+    /// synchronous-write regime of §2.1).
+    pub sync_writes: bool,
+    /// Total bytes written (for the static-link I/O experiment).
+    pub bytes_written: u64,
+}
+
+fn normalize(path: &str) -> String {
+    let mut out = String::from("/");
+    for comp in path.split('/').filter(|c| !c.is_empty() && *c != ".") {
+        if !out.ends_with('/') {
+            out.push('/');
+        }
+        out.push_str(comp);
+    }
+    out
+}
+
+impl InMemFs {
+    /// An empty filesystem with a root directory.
+    #[must_use]
+    pub fn new() -> InMemFs {
+        let mut fs = InMemFs::default();
+        fs.nodes.insert("/".into(), Node::Dir);
+        fs
+    }
+
+    /// Creates a directory (and parents). Free: setup, not simulation.
+    pub fn mkdir(&mut self, path: &str) {
+        let p = normalize(path);
+        let mut cur = String::new();
+        for comp in p.split('/').filter(|c| !c.is_empty()) {
+            cur.push('/');
+            cur.push_str(comp);
+            self.nodes.entry(cur.clone()).or_insert(Node::Dir);
+        }
+        self.nodes.entry("/".into()).or_insert(Node::Dir);
+    }
+
+    /// Creates or replaces a file (and parent directories). Free: setup.
+    pub fn put(&mut self, path: &str, bytes: Vec<u8>) {
+        let p = normalize(path);
+        if let Some(parent) = p.rfind('/') {
+            if parent > 0 {
+                self.mkdir(&p[..parent]);
+            }
+        }
+        self.nodes.insert(
+            p,
+            Node::File {
+                bytes,
+                cached: false,
+            },
+        );
+    }
+
+    /// True if the path exists.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(&normalize(path))
+    }
+
+    /// Opens a path, charging open cost plus first-touch disk latency.
+    pub fn open(
+        &mut self,
+        path: &str,
+        clock: &mut SimClock,
+        cost: &CostModel,
+    ) -> Result<FileStat, FsError> {
+        let p = normalize(path);
+        clock.charge_system(cost.open_ns);
+        match self.nodes.get_mut(&p) {
+            None => Err(FsError::NotFound(p)),
+            Some(Node::Dir) => Ok(FileStat {
+                size: 0,
+                mode: 1,
+                mtime: 700_000_000,
+            }),
+            Some(Node::File { bytes, cached }) => {
+                if !*cached {
+                    clock.charge_io_wait(cost.disk_latency_ns);
+                    *cached = true;
+                }
+                Ok(FileStat {
+                    size: bytes.len() as u32,
+                    mode: 0,
+                    mtime: 700_000_000,
+                })
+            }
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`, charging per byte.
+    pub fn read(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        clock: &mut SimClock,
+        cost: &CostModel,
+    ) -> Result<Vec<u8>, FsError> {
+        let p = normalize(path);
+        match self.nodes.get(&p) {
+            None => Err(FsError::NotFound(p)),
+            Some(Node::Dir) => Err(FsError::IsADirectory(p)),
+            Some(Node::File { bytes, .. }) => {
+                let start = (offset as usize).min(bytes.len());
+                let end = (start + len as usize).min(bytes.len());
+                let out = bytes[start..end].to_vec();
+                clock.charge_system(out.len() as u64 * cost.read_byte_ns);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Appends to (or creates) a file, charging per byte with the
+    /// synchronous-write multiplier when enabled.
+    pub fn write(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        clock: &mut SimClock,
+        cost: &CostModel,
+    ) -> Result<(), FsError> {
+        let p = normalize(path);
+        match self.nodes.get_mut(&p) {
+            Some(Node::Dir) => return Err(FsError::IsADirectory(p)),
+            Some(Node::File { bytes, .. }) => bytes.extend_from_slice(data),
+            None => {
+                self.put(&p, data.to_vec());
+            }
+        }
+        let mult = if self.sync_writes {
+            cost.sync_write_mult.max(1)
+        } else {
+            1
+        };
+        let base = data.len() as u64 * cost.write_byte_ns;
+        clock.charge_system(base);
+        if mult > 1 {
+            // Synchronous writes wait on the disk per operation.
+            clock.charge_io_wait(base * (mult - 1) + cost.disk_latency_ns);
+        }
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Stats a path.
+    pub fn stat(
+        &mut self,
+        path: &str,
+        clock: &mut SimClock,
+        cost: &CostModel,
+    ) -> Result<FileStat, FsError> {
+        let p = normalize(path);
+        clock.charge_system(cost.stat_ns);
+        match self.nodes.get(&p) {
+            None => Err(FsError::NotFound(p)),
+            Some(Node::Dir) => Ok(FileStat {
+                size: 0,
+                mode: 1,
+                mtime: 700_000_000,
+            }),
+            Some(Node::File { bytes, .. }) => Ok(FileStat {
+                size: bytes.len() as u32,
+                mode: 0,
+                mtime: 700_000_000,
+            }),
+        }
+    }
+
+    /// Lists the immediate children of a directory, charging per entry.
+    pub fn list_dir(
+        &mut self,
+        path: &str,
+        clock: &mut SimClock,
+        cost: &CostModel,
+    ) -> Result<Vec<(String, FileStat)>, FsError> {
+        let p = normalize(path);
+        match self.nodes.get(&p) {
+            None => return Err(FsError::NotFound(p)),
+            Some(Node::File { .. }) => return Err(FsError::NotADirectory(p)),
+            Some(Node::Dir) => {}
+        }
+        let prefix = if p == "/" {
+            "/".to_string()
+        } else {
+            format!("{p}/")
+        };
+        let mut out = Vec::new();
+        for (k, v) in self.nodes.range(prefix.clone()..) {
+            if !k.starts_with(&prefix) {
+                break;
+            }
+            let rest = &k[prefix.len()..];
+            if rest.is_empty() || rest.contains('/') {
+                continue;
+            }
+            let stat = match v {
+                Node::Dir => FileStat {
+                    size: 0,
+                    mode: 1,
+                    mtime: 700_000_000,
+                },
+                Node::File { bytes, .. } => FileStat {
+                    size: bytes.len() as u32,
+                    mode: 0,
+                    mtime: 700_000_000,
+                },
+            };
+            out.push((rest.to_string(), stat));
+        }
+        clock.charge_system(out.len() as u64 * cost.dirent_ns);
+        Ok(out)
+    }
+
+    /// Raw (uncharged) access to a file's bytes — for loaders that have
+    /// their own parse-cost accounting.
+    pub fn peek(&self, path: &str) -> Result<&[u8], FsError> {
+        let p = normalize(path);
+        match self.nodes.get(&p) {
+            Some(Node::File { bytes, .. }) => Ok(bytes),
+            Some(Node::Dir) => Err(FsError::IsADirectory(p)),
+            None => Err(FsError::NotFound(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (InMemFs, SimClock, CostModel) {
+        (InMemFs::new(), SimClock::new(), CostModel::hpux())
+    }
+
+    #[test]
+    fn paths_normalize() {
+        assert_eq!(normalize("/a//b/./c"), "/a/b/c");
+        assert_eq!(normalize("a/b"), "/a/b");
+        assert_eq!(normalize("/"), "/");
+    }
+
+    #[test]
+    fn first_open_pays_disk_latency_then_cached() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/bin/ls", vec![1, 2, 3]);
+        fs.open("/bin/ls", &mut clock, &cost).unwrap();
+        let first = clock.elapsed_ns;
+        assert!(first >= cost.disk_latency_ns);
+        fs.open("/bin/ls", &mut clock, &cost).unwrap();
+        assert_eq!(clock.elapsed_ns - first, cost.open_ns);
+    }
+
+    #[test]
+    fn read_returns_range_and_charges() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/f", (0..100u8).collect());
+        let got = fs.read("/f", 10, 5, &mut clock, &cost).unwrap();
+        assert_eq!(got, vec![10, 11, 12, 13, 14]);
+        assert_eq!(clock.system_ns, 5 * cost.read_byte_ns);
+        // Past-end read is empty, not an error.
+        assert!(fs
+            .read("/f", 1000, 10, &mut clock, &cost)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn sync_writes_cost_more() {
+        let (mut fs, mut clock, mut cost) = setup();
+        cost.sync_write_mult = 3;
+        fs.write("/out", &[0; 1000], &mut clock, &cost).unwrap();
+        let async_elapsed = clock.elapsed_ns;
+        fs.sync_writes = true;
+        let before = clock.elapsed_ns;
+        fs.write("/out", &[0; 1000], &mut clock, &cost).unwrap();
+        assert!(clock.elapsed_ns - before > 2 * async_elapsed);
+        assert_eq!(fs.bytes_written, 2000);
+    }
+
+    #[test]
+    fn stat_files_and_dirs() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/d/file", vec![0; 42]);
+        let s = fs.stat("/d/file", &mut clock, &cost).unwrap();
+        assert_eq!((s.size, s.mode), (42, 0));
+        let d = fs.stat("/d", &mut clock, &cost).unwrap();
+        assert_eq!(d.mode, 1);
+        assert!(fs.stat("/nope", &mut clock, &cost).is_err());
+        let wire = s.to_bytes();
+        assert_eq!(u32::from_le_bytes(wire[0..4].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn list_dir_immediate_children_only() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/dir/a", vec![1]);
+        fs.put("/dir/b", vec![2, 2]);
+        fs.put("/dir/sub/c", vec![3]);
+        fs.mkdir("/dir/empty");
+        let entries = fs.list_dir("/dir", &mut clock, &cost).unwrap();
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "empty", "sub"]);
+        assert_eq!(clock.system_ns, 4 * cost.dirent_ns);
+        assert!(fs.list_dir("/dir/a", &mut clock, &cost).is_err());
+        assert!(fs.list_dir("/missing", &mut clock, &cost).is_err());
+    }
+
+    #[test]
+    fn root_listing() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/top", vec![]);
+        fs.mkdir("/bin");
+        let entries = fs.list_dir("/", &mut clock, &cost).unwrap();
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["bin", "top"]);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/f", vec![]);
+        assert!(matches!(
+            fs.read("/", 0, 1, &mut clock, &cost),
+            Err(FsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.open("/zzz", &mut clock, &cost),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(fs.peek("/zzz"), Err(FsError::NotFound(_))));
+        assert_eq!(fs.peek("/f").unwrap(), &[] as &[u8]);
+    }
+}

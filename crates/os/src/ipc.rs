@@ -1,0 +1,113 @@
+//! IPC transports.
+//!
+//! §8.1: "OMOS supports communication via Mach IPC, Sun RPC, and System V
+//! messages." The HP-UX timings in Table 1 used System V messages; the
+//! transport choice is one of the ablation axes, because for tiny
+//! programs the IPC round trip is what eats OMOS's relocation savings
+//! ("the OMOS bootstrap program must do some IPC that HP-UX does not").
+
+use crate::clock::SimClock;
+use crate::cost::CostModel;
+
+/// Message transports between clients and the OMOS server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Mach IPC ports (cheapest; used on OSF/1-MK).
+    MachIpc,
+    /// System V message queues (used for the HP-UX timings).
+    SysVMsg,
+    /// Sun RPC over the loopback.
+    SunRpc,
+}
+
+impl Transport {
+    /// All transports, for sweeps.
+    pub const ALL: [Transport; 3] = [Transport::MachIpc, Transport::SysVMsg, Transport::SunRpc];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::MachIpc => "mach-ipc",
+            Transport::SysVMsg => "sysv-msg",
+            Transport::SunRpc => "sun-rpc",
+        }
+    }
+}
+
+/// Accumulated IPC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpcStats {
+    /// Messages sent (each direction counts one).
+    pub messages: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+/// Charges one client→server→client round trip.
+///
+/// The kernel message work is system time; the time the server spends
+/// producing the reply (`server_ns`) is an I/O wait for the client.
+pub fn charge_roundtrip(
+    clock: &mut SimClock,
+    cost: &CostModel,
+    transport: Transport,
+    request_bytes: u64,
+    reply_bytes: u64,
+    server_ns: u64,
+    stats: &mut IpcStats,
+) {
+    let msg = cost.ipc_msg_ns(transport);
+    clock.charge_system(msg + request_bytes * cost.ipc_byte_ns);
+    clock.charge_io_wait(server_ns);
+    clock.charge_system(msg + reply_bytes * cost.ipc_byte_ns);
+    stats.messages += 2;
+    stats.bytes += request_bytes + reply_bytes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_charges_both_directions() {
+        let mut clock = SimClock::new();
+        let cost = CostModel::hpux();
+        let mut stats = IpcStats::default();
+        charge_roundtrip(
+            &mut clock,
+            &cost,
+            Transport::SysVMsg,
+            100,
+            300,
+            50_000,
+            &mut stats,
+        );
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.bytes, 400);
+        assert_eq!(
+            clock.system_ns,
+            2 * cost.sysv_msg_ns + 400 * cost.ipc_byte_ns
+        );
+        assert_eq!(clock.elapsed_ns, clock.system_ns + 50_000);
+        assert_eq!(clock.user_ns, 0);
+    }
+
+    #[test]
+    fn mach_is_cheaper_than_sysv() {
+        let cost = CostModel::hpux();
+        let mut mach = SimClock::new();
+        let mut sysv = SimClock::new();
+        let mut s = IpcStats::default();
+        charge_roundtrip(&mut mach, &cost, Transport::MachIpc, 64, 64, 0, &mut s);
+        charge_roundtrip(&mut sysv, &cost, Transport::SysVMsg, 64, 64, 0, &mut s);
+        assert!(mach.elapsed_ns < sysv.elapsed_ns);
+    }
+
+    #[test]
+    fn names() {
+        for t in Transport::ALL {
+            assert!(!t.name().is_empty());
+        }
+    }
+}

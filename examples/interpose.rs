@@ -1,0 +1,138 @@
+//! Figure 2: transparent interposition of a counting `malloc` around the
+//! original, expressed as a blueprint the server evaluates.
+//!
+//! ```text
+//! (hide "_REAL_malloc"
+//!   (merge
+//!     (restrict "^_malloc$"
+//!       (copy_as "^_malloc$" "_REAL_malloc"
+//!         (merge /bin/ls.o /lib/libc.o)))
+//!     /lib/test_malloc.o))
+//! ```
+//!
+//! The program's behavior is preserved (it still gets real allocations),
+//! while every call is counted — "new values for the symbols in question
+//! can be inserted transparently in the original application."
+//!
+//! ```sh
+//! cargo run --example interpose
+//! ```
+
+use omos::core::{run_under_omos, Omos};
+use omos::isa::assemble;
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+fn main() {
+    let mut server = Omos::new(CostModel::hpux(), Transport::MachIpc);
+
+    // The application: allocates three buffers, exits with the sum of
+    // the (distinct) addresses' low bits as a checksum.
+    server.namespace.bind_object(
+        "/bin/ls.o",
+        assemble(
+            "/bin/ls.o",
+            r#"
+            .text
+            .global _start
+_start:     li r1, 64
+            call _malloc
+            mov r11, r1
+            li r1, 128
+            call _malloc
+            add r11, r11, r1
+            li r1, 32
+            call _malloc
+            add r11, r11, r1
+            ; exit code: how many times malloc was observed
+            li r2, _malloc_count
+            ld r1, [r2]
+            sys 0
+            "#,
+        )
+        .expect("app assembles"),
+    );
+
+    // The original library malloc: a brk-based bump allocator.
+    server.namespace.bind_object(
+        "/lib/libc.o",
+        assemble(
+            "/lib/libc.o",
+            ".text\n.global _malloc\n_malloc: sys 7\n ret\n",
+        )
+        .expect("libc assembles"),
+    );
+
+    // The interposer: counts, then delegates to the preserved original.
+    server.namespace.bind_object(
+        "/lib/test_malloc.o",
+        assemble(
+            "/lib/test_malloc.o",
+            r#"
+            .text
+            .global _malloc
+            .extern _REAL_malloc
+_malloc:    li r7, _malloc_count
+            ld r6, [r7]
+            addi r6, r6, 1
+            st r6, [r7]
+            mov r8, r15
+            call _REAL_malloc
+            mov r15, r8
+            ret
+            .data
+            .global _malloc_count
+_malloc_count: .word 0
+            "#,
+        )
+        .expect("interposer assembles"),
+    );
+
+    // Figure 2, verbatim modulo names.
+    server
+        .namespace
+        .bind_blueprint(
+            "/bin/ls-traced",
+            r#"
+            ;; malloc() -> malloc'()
+            (hide "_REAL_malloc"
+              (merge
+                ;; Get rid of the old definition
+                (restrict "^_malloc$"
+                  ;; stash a copy of _malloc() for later use
+                  (copy_as "^_malloc$" "_REAL_malloc"
+                    (merge /bin/ls.o /lib/libc.o)))
+                ;; Merge in a new definition
+                /lib/test_malloc.o))
+            "#,
+        )
+        .expect("figure 2 blueprint parses");
+
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let out = run_under_omos(
+        &mut server,
+        "/bin/ls-traced",
+        true,
+        &mut clock,
+        &cost,
+        &mut fs,
+        100_000,
+    )
+    .expect("traced program runs");
+
+    match out.stop {
+        omos::isa::StopReason::Exited(count) => {
+            println!("the interposed malloc observed {count} calls");
+            assert_eq!(count, 3, "three allocations were counted");
+        }
+        other => panic!("unexpected stop: {other:?}"),
+    }
+
+    // `_REAL_malloc` is hidden: it is not in the program's export map.
+    let reply = server.instantiate("/bin/ls-traced").expect("cached");
+    assert!(reply.program.image.find("_REAL_malloc").is_none());
+    assert!(reply.program.image.find("_malloc").is_some());
+    println!("`_REAL_malloc` is hidden from the namespace; `_malloc` is the wrapper.");
+}

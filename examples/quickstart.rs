@@ -1,0 +1,137 @@
+//! Quickstart: the Figure 1 workflow end to end.
+//!
+//! Builds a tiny world — a libc made of fragments, a library meta-object
+//! with a `constraint-list` (Figure 1), and a program blueprint — then
+//! executes the program twice through the OMOS bootstrap loader to show
+//! the cache doing its job.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use omos::core::{run_under_omos, Omos};
+use omos::isa::assemble;
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+fn main() {
+    // 1. Start a persistent server (HP-UX cost profile, SysV messages —
+    //    the paper's HP-UX configuration).
+    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+
+    // 2. Bind fragments into the namespace. In the paper these are .o
+    //    files; here they come from the built-in U32 assembler.
+    server.namespace.bind_object(
+        "/libc/stdio",
+        assemble(
+            "/libc/stdio",
+            r#"
+            .text
+            .global _puts
+            .extern _write
+; puts(s in r1): write the NUL-terminated string + newline to stdout
+_puts:      mov r7, r15
+            mov r6, r1
+            li r1, 0
+_len:       ld8 r3, [r6+0]
+            beq r3, r0, _go
+            addi r6, r6, 1
+            addi r1, r1, 1
+            beq r0, r0, _len
+_go:        mov r3, r1
+            sub r2, r6, r3
+            li r1, 1
+            call _write
+            li r2, _nl
+            li r3, 1
+            li r1, 1
+            call _write
+            mov r15, r7
+            ret
+            .data
+_nl:        .ascii "\n"
+            "#,
+        )
+        .expect("stdio assembles"),
+    );
+    server.namespace.bind_object(
+        "/libc/sys",
+        assemble(
+            "/libc/sys",
+            ".text\n.global _write, _exit\n_write: sys 1\n ret\n_exit: sys 0\n",
+        )
+        .expect("sys assembles"),
+    );
+    server.namespace.bind_object(
+        "/obj/hello.o",
+        assemble(
+            "/obj/hello.o",
+            r#"
+            .text
+            .global _start
+_start:     li r1, _msg
+            call _puts
+            li r1, 0
+            call _exit
+            .rodata
+_msg:       .asciz "hello from OMOS"
+            "#,
+        )
+        .expect("hello assembles"),
+    );
+
+    // 3. A library meta-object, exactly Figure 1's shape: a default
+    //    address constraint plus a merge of fragments.
+    server
+        .namespace
+        .bind_blueprint(
+            "/lib/libc",
+            r#"
+            (constraint-list "T" 0x1000000 "D" 0x41000000) ; default address constraint
+            (merge /libc/stdio /libc/sys)
+            "#,
+        )
+        .expect("libc blueprint parses");
+
+    // 4. The program meta-object: merge the client with the library.
+    server
+        .namespace
+        .bind_blueprint("/bin/hello", "(merge /obj/hello.o /lib/libc)")
+        .expect("hello blueprint parses");
+
+    // 5. Execute twice via the bootstrap loader (`#! /bin/omos`).
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    for attempt in 1..=2 {
+        let mut clock = SimClock::new();
+        let out = run_under_omos(
+            &mut server,
+            "/bin/hello",
+            false,
+            &mut clock,
+            &cost,
+            &mut fs,
+            100_000,
+        )
+        .expect("program runs");
+        println!(
+            "run {attempt}: output {:?}, simulated {}",
+            String::from_utf8_lossy(&out.console),
+            clock.times()
+        );
+    }
+
+    // 6. The second run was served from cache: same image, less server work.
+    let stats = server.stats;
+    println!(
+        "server: {} requests, {} reply-cache hits, {} libraries built, {} programs built",
+        stats.requests, stats.reply_cache_hits, stats.libraries_built, stats.programs_built
+    );
+    println!(
+        "image cache: {} images, {} bytes cached",
+        server.images.len(),
+        server.images.bytes()
+    );
+    assert_eq!(stats.reply_cache_hits, 1);
+    assert_eq!(stats.libraries_built, 1, "one libc implementation, shared");
+}

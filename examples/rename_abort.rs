@@ -1,0 +1,136 @@
+//! Figure 3: symbol renaming and resolution with the `source` operator.
+//!
+//! ```text
+//! (merge
+//!   ;; resolve an undefined data reference and
+//!   ;; reroute undefined routines to "abort()"
+//!   (source "c" "int undef_var = 0;\n")
+//!   (rename "^_undefined_routine$" "_abort"
+//!     /lib/lib-with-problems))
+//! ```
+//!
+//! The broken library references a variable nobody defines (fixed with a
+//! `source`-compiled default) and a routine that must never be called
+//! (rerouted to `_abort`, "which will produce notable behavior if called
+//! unintentionally").
+//!
+//! ```sh
+//! cargo run --example rename_abort
+//! ```
+
+use omos::core::{run_under_omos, Omos};
+use omos::isa::{assemble, StopReason};
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+fn main() {
+    let mut server = Omos::new(CostModel::hpux(), Transport::MachIpc);
+
+    // A library with two problems: it reads `_undef_var` (undefined) and
+    // calls `_undefined_routine` (undefined, and should never run).
+    server.namespace.bind_object(
+        "/lib/lib-with-problems",
+        assemble(
+            "/lib/lib-with-problems",
+            r#"
+            .text
+            .global _start
+_start:     li r2, _undef_var
+            ld r1, [r2]
+            bne r1, r0, _bad       ; only call the bad path if var != 0
+            sys 0                  ; exit(undef_var)
+_bad:       call _undefined_routine
+            sys 0
+            "#,
+        )
+        .expect("library assembles"),
+    );
+    // An abort implementation (gen module of libc would provide this).
+    server.namespace.bind_object(
+        "/lib/abort.o",
+        assemble("/lib/abort.o", ".text\n.global _abort\n_abort: halt\n").expect("assembles"),
+    );
+
+    // Without the fix, instantiation fails: the references are undefined.
+    server
+        .namespace
+        .bind_blueprint("/bin/broken", "(merge /lib/lib-with-problems /lib/abort.o)")
+        .expect("parses");
+    let err = server
+        .instantiate("/bin/broken")
+        .expect_err("must fail to link");
+    println!("unfixed library: {err}");
+
+    // Figure 3, verbatim modulo names: the mini-C compiler supplies the
+    // default value and the rename reroutes the call.
+    server
+        .namespace
+        .bind_blueprint(
+            "/bin/fixed",
+            r#"
+            (merge
+              ;; resolve an undefined data reference and
+              ;; reroute undefined routines to "abort()"
+              (source "c" "int undef_var = 0;\n")
+              (rename "^_undefined_routine$" "_abort"
+                /lib/lib-with-problems)
+              /lib/abort.o)
+            "#,
+        )
+        .expect("figure 3 blueprint parses");
+
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let out = run_under_omos(
+        &mut server,
+        "/bin/fixed",
+        true,
+        &mut clock,
+        &cost,
+        &mut fs,
+        100_000,
+    )
+    .expect("fixed program runs");
+    println!(
+        "fixed library ran: {:?} (undef_var defaulted to 0)",
+        out.stop
+    );
+    assert_eq!(out.stop, StopReason::Exited(0));
+
+    // Prove the reroute: flip the variable's default to non-zero and the
+    // "never call this" path now reaches _abort -> halt.
+    server
+        .namespace
+        .bind_blueprint(
+            "/bin/fixed-hot",
+            r#"
+            (merge
+              (source "c" "int undef_var = 1;\n")
+              (rename "^_undefined_routine$" "_abort"
+                /lib/lib-with-problems)
+              /lib/abort.o)
+            "#,
+        )
+        .expect("parses");
+    let mut clock = SimClock::new();
+    let out = run_under_omos(
+        &mut server,
+        "/bin/fixed-hot",
+        true,
+        &mut clock,
+        &cost,
+        &mut fs,
+        100_000,
+    )
+    .expect("program starts");
+    println!(
+        "with undef_var = 1 the rerouted call aborts: {:?}",
+        out.stop
+    );
+    assert_eq!(
+        out.stop,
+        StopReason::Halted,
+        "_abort produced notable behavior"
+    );
+}

@@ -1,0 +1,248 @@
+//! Golden tests for the paper's three figures: the blueprint texts parse
+//! to the expected graphs, evaluate, and the resulting programs behave
+//! as the paper describes.
+
+use omos::blueprint::{Blueprint, MNode};
+use omos::constraint::RegionClass;
+use omos::core::{run_under_omos, Omos};
+use omos::isa::{assemble, StopReason};
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+/// Figure 1, verbatim (with `/libc/...` fragments bound in the test
+/// namespace).
+const FIGURE_1: &str = r#"
+(constraint-list "T" 0x100000 "D" 0x40200000) ; default address constraint
+(merge
+  /libc/gen /libc/stdio /libc/string /libc/stdlib
+  /libc/hppa /libc/net /libc/quad /libc/rpc)
+"#;
+
+/// Figure 2, verbatim.
+const FIGURE_2: &str = r#"
+;;
+;; malloc() -> malloc'()
+;;
+(hide "_REAL_malloc"
+  (merge
+    ;; Get rid of the old definition
+    (restrict "^_malloc$"
+      ;; stash a copy of _malloc() for later use
+      (copy_as "^_malloc$" "_REAL_malloc"
+        (merge /bin/ls.o /lib/libc.o)
+      )
+    )
+    ;; Merge in a new definition
+    /lib/test_malloc.o
+  )
+)
+"#;
+
+/// Figure 3, verbatim.
+const FIGURE_3: &str = r#"
+(merge
+  ;; resolve an undefined data reference and
+  ;; reroute undefined routines to "abort()"
+  (source "c" "int undef_var = 0;\n")
+  (rename "^_undefined_routine$" "_abort"
+    /lib/lib-with-problems))
+"#;
+
+#[test]
+fn figure1_parses_to_constraint_list_plus_merge_of_eight() {
+    let bp = Blueprint::parse(FIGURE_1).unwrap();
+    assert_eq!(
+        bp.constraints,
+        vec![
+            (RegionClass::Text, 0x10_0000),
+            (RegionClass::Data, 0x4020_0000)
+        ]
+    );
+    match &bp.root {
+        MNode::Merge(items) => {
+            assert_eq!(items.len(), 8);
+            assert_eq!(items[0], MNode::Leaf("/libc/gen".into()));
+            assert_eq!(items[7], MNode::Leaf("/libc/rpc".into()));
+        }
+        other => panic!("figure 1 root should be merge, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure1_acts_as_a_self_contained_library() {
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    for m in [
+        "gen", "stdio", "string", "stdlib", "hppa", "net", "quad", "rpc",
+    ] {
+        s.namespace.bind_object(
+            &format!("/libc/{m}"),
+            assemble(
+                m,
+                &format!(".text\n.global _{m}_fn\n_{m}_fn: li r1, 1\n ret\n"),
+            )
+            .unwrap(),
+        );
+    }
+    s.namespace.bind_blueprint("/lib/libc", FIGURE_1).unwrap();
+    s.namespace.bind_object(
+        "/obj/use.o",
+        assemble(
+            "use.o",
+            ".text\n.global _start\n_start: call _stdio_fn\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/use", "(merge /obj/use.o /lib/libc)")
+        .unwrap();
+    let reply = s.instantiate("/bin/use").unwrap();
+    assert_eq!(
+        reply.libraries.len(),
+        1,
+        "figure 1 libc is a placement request"
+    );
+    let lib = &reply.libraries[0];
+    let text_base = lib
+        .image
+        .segments
+        .iter()
+        .map(|seg| seg.vaddr)
+        .min()
+        .unwrap();
+    assert_eq!(
+        text_base, 0x10_0000,
+        "the constraint-list address was honored"
+    );
+}
+
+#[test]
+fn figure2_traces_malloc_transparently() {
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/bin/ls.o",
+        assemble(
+            "ls.o",
+            r#"
+            .text
+            .global _start
+_start:     li r1, 48
+            call _malloc
+            mov r10, r1          ; the pointer from the REAL malloc
+            li r2, _malloc_count
+            ld r3, [r2]
+            ; exit code: count * 1000 + (ptr != 0)
+            li r4, 1000
+            mul r1, r3, r4
+            beq r10, r0, _z
+            addi r1, r1, 1
+_z:         sys 0
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace.bind_object(
+        "/lib/libc.o",
+        assemble("libc.o", ".text\n.global _malloc\n_malloc: sys 7\n ret\n").unwrap(),
+    );
+    s.namespace.bind_object(
+        "/lib/test_malloc.o",
+        assemble(
+            "tm.o",
+            r#"
+            .text
+            .global _malloc
+            .extern _REAL_malloc
+_malloc:    li r7, _malloc_count
+            ld r6, [r7]
+            addi r6, r6, 1
+            st r6, [r7]
+            mov r8, r15
+            call _REAL_malloc
+            mov r15, r8
+            ret
+            .data
+            .global _malloc_count
+_malloc_count: .word 0
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/ls-traced", FIGURE_2)
+        .unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let out = run_under_omos(
+        &mut s,
+        "/bin/ls-traced",
+        true,
+        &mut clock,
+        &cost,
+        &mut fs,
+        100_000,
+    )
+    .unwrap();
+    // One counted call AND a real (non-null) allocation: 1 * 1000 + 1.
+    assert_eq!(out.stop, StopReason::Exited(1001));
+    // References to the native routine in the new routine are preserved,
+    // but the name is hidden from the result.
+    let reply = s.instantiate("/bin/ls-traced").unwrap();
+    assert!(reply.program.image.find("_REAL_malloc").is_none());
+}
+
+#[test]
+fn figure3_fills_defaults_and_reroutes() {
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/lib/lib-with-problems",
+        assemble(
+            "lwp.o",
+            r#"
+            .text
+            .global _start, _abort
+_start:     li r2, _undef_var
+            ld r1, [r2]
+            bne r1, r0, _trouble
+            sys 0
+_trouble:   call _undefined_routine
+            sys 0
+_abort:     halt
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace.bind_blueprint("/bin/fixed", FIGURE_3).unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let out = run_under_omos(
+        &mut s,
+        "/bin/fixed",
+        true,
+        &mut clock,
+        &cost,
+        &mut fs,
+        100_000,
+    )
+    .unwrap();
+    // `undef_var` defaulted to 0 by the source operator, so the program
+    // exits 0 without touching the rerouted routine.
+    assert_eq!(out.stop, StopReason::Exited(0));
+    // And the reroute really points at _abort: no `_undefined_routine`
+    // remains anywhere in the program's namespace.
+    let reply = s.instantiate("/bin/fixed").unwrap();
+    assert!(reply.program.image.find("_undefined_routine").is_none());
+    assert!(reply.program.image.find("_undef_var").is_some());
+}
+
+#[test]
+fn figure_blueprints_hash_stably() {
+    // The server's caches key on these hashes; they must be stable
+    // across parses.
+    for src in [FIGURE_1, FIGURE_2, FIGURE_3] {
+        let a = Blueprint::parse(src).unwrap().hash();
+        let b = Blueprint::parse(src).unwrap().hash();
+        assert_eq!(a, b);
+    }
+}

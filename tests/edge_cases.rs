@@ -1,0 +1,192 @@
+//! Edge cases across layer boundaries: empty inputs, degenerate
+//! programs, deep blueprint nesting, and boundary addresses.
+
+use omos::blueprint::Blueprint;
+use omos::core::{run_under_omos, Omos};
+use omos::isa::{assemble, StopReason};
+use omos::link::{link, LinkOptions};
+use omos::module::Module;
+use omos::obj::ObjectFile;
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+#[test]
+fn empty_object_participates_in_merges() {
+    let empty = Module::from_object(ObjectFile::new("empty.o"));
+    let real = Module::from_object(assemble("r.o", ".text\n.global _f\n_f: ret\n").unwrap());
+    let merged = empty.merge_with(&real).unwrap();
+    assert_eq!(merged.exports().unwrap(), vec!["_f".to_string()]);
+    let other_way = real.merge_with(&empty).unwrap();
+    assert_eq!(other_way.exports().unwrap(), vec!["_f".to_string()]);
+}
+
+#[test]
+fn zero_object_link_yields_empty_library() {
+    let out = link(
+        &[],
+        &LinkOptions::library("nothing", 0x10_0000, 0x4000_0000),
+    )
+    .unwrap();
+    assert!(out.image.segments.is_empty());
+    assert!(out.image.symbols.is_empty());
+}
+
+#[test]
+fn minimal_program_is_one_instruction() {
+    // `sys 0` with r1 = 0 by reset: the smallest valid program.
+    let obj = assemble("min.o", ".text\n.global _start\n_start: sys 0\n").unwrap();
+    let out = link(&[obj], &LinkOptions::program("min")).unwrap();
+    assert_eq!(out.image.loaded_bytes(), 8);
+    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    s.namespace.bind_object(
+        "/obj/min.o",
+        assemble("min.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/min", "(merge /obj/min.o)")
+        .unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let run = run_under_omos(&mut s, "/bin/min", true, &mut clock, &cost, &mut fs, 10).unwrap();
+    assert_eq!(run.stop, StopReason::Exited(0));
+    assert_eq!(run.stats.instructions, 1);
+}
+
+#[test]
+fn deeply_nested_blueprints_evaluate() {
+    // 32 nested hide operations over one fragment.
+    let mut src = String::new();
+    for i in 0..32 {
+        src.push_str(&format!("(hide \"^_never_{i}$\" "));
+    }
+    src.push_str("/obj/base.o");
+    src.push_str(&")".repeat(32));
+    let bp = Blueprint::parse(&src).unwrap();
+    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    s.namespace.bind_object(
+        "/obj/base.o",
+        assemble("base.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+    );
+    let reply = s.instantiate_blueprint(&bp).unwrap();
+    assert!(reply.program.image.entry.is_some());
+}
+
+#[test]
+fn meta_object_chains_resolve_transitively() {
+    // /bin/a -> /meta/b -> /meta/c -> fragment.
+    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    s.namespace.bind_object(
+        "/obj/leaf.o",
+        assemble(
+            "leaf.o",
+            ".text\n.global _start\n_start: li r1, 3\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/meta/c", "(merge /obj/leaf.o)")
+        .unwrap();
+    s.namespace
+        .bind_blueprint("/meta/b", "(show \"^_start$\" /meta/c)")
+        .unwrap();
+    s.namespace
+        .bind_blueprint("/bin/a", "(merge /meta/b)")
+        .unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let run = run_under_omos(&mut s, "/bin/a", true, &mut clock, &cost, &mut fs, 100).unwrap();
+    assert_eq!(run.stop, StopReason::Exited(3));
+}
+
+#[test]
+fn library_data_at_region_boundaries() {
+    // A library whose BSS crosses several page boundaries still maps and
+    // reads back as zero.
+    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    s.namespace.bind_object(
+        "/libc/bigbss.o",
+        assemble(
+            "bigbss.o",
+            r#"
+            .text
+            .global _peek
+_peek:      li r2, _arena
+            add r2, r2, r1
+            ld r1, [r2]
+            ret
+            .bss
+            .global _arena
+_arena:     .space 20000
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint(
+            "/lib/bigbss",
+            "(constraint-list \"T\" 0x2000000 \"D\" 0x42000000)\n(merge /libc/bigbss.o)",
+        )
+        .unwrap();
+    s.namespace.bind_object(
+        "/obj/probe.o",
+        assemble(
+            "probe.o",
+            r#"
+            .text
+            .global _start
+_start:     li r1, 19996       ; the last word of the arena
+            call _peek
+            sys 0
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/probe", "(merge /obj/probe.o /lib/bigbss)")
+        .unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let run = run_under_omos(&mut s, "/bin/probe", true, &mut clock, &cost, &mut fs, 1000).unwrap();
+    assert_eq!(run.stop, StopReason::Exited(0), "BSS reads back zero");
+}
+
+#[test]
+fn console_output_across_page_boundary() {
+    // A single write larger than one page must arrive intact.
+    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let big = 5000;
+    s.namespace.bind_object(
+        "/obj/big.o",
+        assemble(
+            "big.o",
+            &format!(
+                r#"
+            .text
+            .global _start
+_start:     li r1, 1
+            li r2, _blob
+            li r3, {big}
+            sys 1
+            li r1, 0
+            sys 0
+            .data
+_blob:      .space {big}
+            "#
+            ),
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/big", "(merge /obj/big.o)")
+        .unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let run = run_under_omos(&mut s, "/bin/big", true, &mut clock, &cost, &mut fs, 100).unwrap();
+    assert_eq!(run.stop, StopReason::Exited(0));
+    assert_eq!(run.console.len(), big as usize);
+    assert!(run.console.iter().all(|&b| b == 0));
+}

@@ -1,0 +1,135 @@
+//! Algebraic laws of the Jigsaw module operators, property-tested over
+//! generated modules. Bracha & Lindstrom's operators have equational
+//! structure; these pin the parts our implementation relies on.
+
+use proptest::prelude::*;
+
+use omos::isa::assemble;
+use omos::module::Module;
+use omos::obj::view::RenameTarget;
+
+/// A generated module: distinct exported functions, some calling a free
+/// reference.
+fn arb_module(tag: &'static str) -> impl Strategy<Value = Module> {
+    (1usize..6, proptest::collection::vec(any::<bool>(), 1..6)).prop_map(move |(n, call_flags)| {
+        let mut src = String::from(".text\n");
+        for i in 0..n {
+            let calls = call_flags.get(i).copied().unwrap_or(false);
+            src.push_str(&format!(".global _{tag}{i}\n_{tag}{i}:\n"));
+            if calls {
+                src.push_str(&format!("    call _free_ref_{tag}\n"));
+            }
+            src.push_str(&format!("    li r1, {i}\n    ret\n"));
+        }
+        Module::from_object(assemble(&format!("{tag}.o"), &src).expect("assembles"))
+    })
+}
+
+fn exports_sorted(m: &Module) -> Vec<String> {
+    let mut e = m.exports().expect("exports");
+    e.sort();
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// merge is commutative up to the exported interface.
+    #[test]
+    fn merge_commutes_on_exports(a in arb_module("a"), b in arb_module("b")) {
+        let ab = a.merge_with(&b).expect("disjoint");
+        let ba = b.merge_with(&a).expect("disjoint");
+        prop_assert_eq!(exports_sorted(&ab), exports_sorted(&ba));
+    }
+
+    /// merge is associative up to the exported interface.
+    #[test]
+    fn merge_associates_on_exports(
+        a in arb_module("a"),
+        b in arb_module("b"),
+        c in arb_module("c"),
+    ) {
+        let left = a.merge_with(&b).expect("ok").merge_with(&c).expect("ok");
+        let right = a.merge_with(&b.merge_with(&c).expect("ok")).expect("ok");
+        prop_assert_eq!(exports_sorted(&left), exports_sorted(&right));
+    }
+
+    /// hide and show with the same pattern partition the exports.
+    #[test]
+    fn hide_show_partition(m in arb_module("a"), pick in any::<u8>()) {
+        let all = exports_sorted(&m);
+        let target = &all[pick as usize % all.len()];
+        let pattern = format!("^{}$", target.replace('$', "\\$"));
+        let hidden = exports_sorted(&m.hide(&pattern).expect("ok"));
+        let shown = exports_sorted(&m.show(&pattern).expect("ok"));
+        // hidden ∪ shown = all, hidden ∩ shown = ∅.
+        let mut union: Vec<String> = hidden.iter().chain(shown.iter()).cloned().collect();
+        union.sort();
+        prop_assert_eq!(union, all);
+        prop_assert!(hidden.iter().all(|h| !shown.contains(h)));
+    }
+
+    /// restrict is idempotent.
+    #[test]
+    fn restrict_is_idempotent(m in arb_module("a")) {
+        let once = m.restrict("^_a[0-9]+$").expect("ok");
+        let twice = once.restrict("^_a[0-9]+$").expect("ok");
+        prop_assert_eq!(
+            once.materialize().expect("ok").content_hash(),
+            twice.materialize().expect("ok").content_hash()
+        );
+    }
+
+    /// override with self is a no-op on the interface.
+    #[test]
+    fn override_after_restrict_rebinds(m in arb_module("a")) {
+        // restrict everything, then merge the original back: the result
+        // exports exactly what the original did.
+        let restricted = m.restrict("^_a[0-9]+$").expect("ok");
+        let rebound = restricted
+            .rename("^_a", "_b", RenameTarget::Refs)
+            .expect("ok"); // just to exercise the pipeline further
+        let _ = rebound;
+        let remerged = restricted.merge_with(&m).expect("restricted defs are gone");
+        prop_assert_eq!(exports_sorted(&remerged), exports_sorted(&m));
+    }
+
+    /// rename with an identity replacement is a no-op.
+    #[test]
+    fn identity_rename_is_noop(m in arb_module("a")) {
+        // `^_a` -> `_a` replaces the matched span with itself.
+        let renamed = m.rename("^_a", "_a", RenameTarget::Both).expect("ok");
+        prop_assert_eq!(
+            m.materialize().expect("ok").content_hash(),
+            renamed.materialize().expect("ok").content_hash()
+        );
+    }
+
+    /// copy-as then restrict of the original leaves exactly the copies
+    /// (the interposition preparation step).
+    #[test]
+    fn copy_then_restrict_leaves_copies(m in arb_module("a")) {
+        let prepared = m
+            .copy_as("^_a", "_SAVED_a")
+            .expect("ok")
+            .restrict("^_a[0-9]+$")
+            .expect("ok");
+        let exports = exports_sorted(&prepared);
+        for e in &exports {
+            prop_assert!(e.starts_with("_SAVED_a"), "unexpected survivor {e}");
+        }
+        prop_assert_eq!(exports.len(), exports_sorted(&m).len());
+    }
+
+    /// freeze really is permanent across arbitrary later pipelines.
+    #[test]
+    fn freeze_is_permanent(m in arb_module("a"), later in 0u8..3) {
+        let frozen = m.freeze("^_a0$").expect("ok");
+        let attacked = match later {
+            0 => frozen.restrict("^_a0$").expect("ok"),
+            1 => frozen.hide("^_a0$").expect("ok"),
+            _ => frozen.rename("^_a0$", "_gone", RenameTarget::Both).expect("ok"),
+        };
+        prop_assert!(exports_sorted(&attacked).contains(&"_a0".to_string()));
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use omos::link::{link, LinkOptions};
+use omos::obj::encode::{read, read_any, write, Format};
+use omos::obj::view::{RenameTarget, View, ViewOp};
+use omos::obj::{fnv1a, ObjectFile, Regex, RelocKind, Relocation, Section, SectionKind, Symbol};
+
+// --- Strategies -----------------------------------------------------------------
+
+fn arb_symbol_name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,12}".prop_map(|s| format!("_{s}"))
+}
+
+fn arb_reloc_kind() -> impl Strategy<Value = RelocKind> {
+    prop_oneof![
+        Just(RelocKind::Abs32),
+        Just(RelocKind::Pcrel32),
+        Just(RelocKind::Abs64),
+        Just(RelocKind::Hi16),
+        Just(RelocKind::Lo16),
+    ]
+}
+
+prop_compose! {
+    /// A structurally valid object file: one text section with room for
+    /// relocations, a data section, unique global symbols, and in-range
+    /// relocation sites.
+    fn arb_object()(
+        text_words in 4usize..64,
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        names in proptest::collection::btree_set(arb_symbol_name(), 1..8),
+        reloc_spec in proptest::collection::vec((any::<u16>(), arb_reloc_kind(), any::<i32>()), 0..8),
+        bss in 0u64..256,
+    ) -> ObjectFile {
+        let mut o = ObjectFile::new("prop.o");
+        let t = o.add_section(Section::with_bytes(
+            ".text", SectionKind::Text, vec![0; text_words * 8], 8));
+        let d = o.add_section(Section::with_bytes(".data", SectionKind::Data, data, 8));
+        o.add_section(Section::bss(".bss", bss, 8));
+        let names: Vec<String> = names.into_iter().collect();
+        for (i, n) in names.iter().enumerate() {
+            let sym = if i % 3 == 2 {
+                Symbol::common(n, (i as u64 + 1) * 8)
+            } else {
+                Symbol::defined(n, t, (i as u64 * 8) % (text_words as u64 * 8))
+            };
+            o.define(sym).expect("unique names");
+        }
+        for (j, (site, kind, addend)) in reloc_spec.iter().enumerate() {
+            let width = kind.width();
+            let limit = text_words as u64 * 8 - width;
+            let offset = u64::from(*site) % (limit + 1);
+            let sym = &names[j % names.len()];
+            o.relocate(Relocation::new(t, offset, *kind, sym).with_addend(i64::from(*addend)));
+        }
+        let _ = d;
+        o
+    }
+}
+
+// --- Encoding properties ---------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn encode_roundtrip_aout(obj in arb_object()) {
+        let bytes = write(Format::Aout, &obj);
+        let back = read(Format::Aout, &bytes).expect("decodes");
+        prop_assert_eq!(&back, &obj);
+        prop_assert_eq!(back.content_hash(), obj.content_hash());
+    }
+
+    #[test]
+    fn encode_roundtrip_som(obj in arb_object()) {
+        let bytes = write(Format::Som, &obj);
+        let back = read(Format::Som, &bytes).expect("decodes");
+        prop_assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn sniffing_always_identifies_own_format(obj in arb_object()) {
+        for fmt in [Format::Aout, Format::Som] {
+            let bytes = write(fmt, &obj);
+            prop_assert_eq!(read_any(&bytes).expect("dispatches"), obj.clone());
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(obj in arb_object(), cut in 0usize..100) {
+        let bytes = write(Format::Aout, &obj);
+        if cut < bytes.len() {
+            // Must error (truncated), never panic.
+            prop_assert!(read(Format::Aout, &bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics(obj in arb_object(), pos in any::<u16>(), val in any::<u8>()) {
+        let mut bytes = write(Format::Som, &obj);
+        let p = pos as usize % bytes.len();
+        bytes[p] = val;
+        // Decoding may succeed (benign byte) or fail, but must not panic.
+        let _ = read(Format::Som, &bytes);
+    }
+}
+
+// --- View properties --------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn materialized_view_always_validates(obj in arb_object(), which in 0u8..6) {
+        let v = View::from_object(obj);
+        let pattern = Regex::new("^_[a-m]").expect("compiles");
+        let op = match which {
+            0 => ViewOp::Hide { pattern },
+            1 => ViewOp::Show { pattern },
+            2 => ViewOp::Restrict { pattern },
+            3 => ViewOp::Project { pattern },
+            4 => ViewOp::CopyAs { pattern, replacement: "_X".into() },
+            _ => ViewOp::Rename { pattern, replacement: "_Y".into(), target: RenameTarget::Both },
+        };
+        // Many-to-one copy-as/rename collisions are a legitimate, typed
+        // operator error; anything that *does* materialize must be
+        // structurally valid with no dangling relocations.
+        match v.derive(op).materialize() {
+            Err(omos::obj::ObjError::DuplicateSymbol(_)) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+            Ok(m) => {
+                prop_assert!(m.validate().is_ok());
+                for r in &m.relocs {
+                    prop_assert!(
+                        m.symbols.get(&r.symbol).is_some(),
+                        "dangling reloc to {}",
+                        r.symbol
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_hash_is_deterministic(obj in arb_object()) {
+        let v1 = View::from_object(obj.clone());
+        let v2 = View::from_object(obj);
+        let p = || Regex::new("^_").expect("compiles");
+        let a = v1.derive(ViewOp::Hide { pattern: p() });
+        let b = v2.derive(ViewOp::Hide { pattern: p() });
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.materialize().expect("ok").content_hash(),
+                        b.materialize().expect("ok").content_hash());
+    }
+
+    #[test]
+    fn restrict_then_project_leaves_nothing_bound(obj in arb_object()) {
+        let v = View::from_object(obj)
+            .derive(ViewOp::Restrict { pattern: Regex::new("").expect("compiles") });
+        let m = v.materialize().expect("ok");
+        use omos::obj::SymbolBinding;
+        for s in m.symbols.iter() {
+            if s.binding != SymbolBinding::Local && !s.frozen {
+                // Commons and absolutes are definitions too; restrict
+                // virtualizes them as well.
+                prop_assert!(!s.def.is_definition(), "{} still bound", s.name);
+            }
+        }
+    }
+}
+
+// --- Linker properties ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linked_image_has_no_overlaps_and_all_symbols_inside(obj in arb_object()) {
+        let mut opts = LinkOptions::library("prop", 0x0040_0000, 0x4000_0000);
+        opts.allow_undefined = true;
+        let out = link(&[obj], &opts).expect("links");
+        prop_assert!(out.image.no_overlap());
+        for (&addr, seg_found) in out.image.symbols.values().zip(std::iter::repeat(true)) {
+            // Absolute symbols may point anywhere; defined ones must be
+            // inside some segment or at a segment end (zero-size tail).
+            let inside = out.image.segment_at(addr).is_some()
+                || out.image.segments.iter().any(|s| s.end() == u64::from(addr));
+            prop_assert!(inside || addr < 0x0040_0000, "symbol at {addr:#x} floats");
+            let _ = seg_found;
+        }
+    }
+
+    #[test]
+    fn linking_is_deterministic(obj in arb_object()) {
+        let mut opts = LinkOptions::library("prop", 0x0040_0000, 0x4000_0000);
+        opts.allow_undefined = true;
+        let a = link(&[obj.clone()], &opts).expect("links");
+        let b = link(&[obj], &opts).expect("links");
+        prop_assert_eq!(a.image.content_hash(), b.image.content_hash());
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}
+
+// --- Hash properties ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fnv_collision_free_on_small_distinct_inputs(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        if a != b {
+            prop_assert_ne!(fnv1a(a.as_bytes()), fnv1a(b.as_bytes()));
+        }
+    }
+}
+
+// --- Regex engine vs a reference matcher for literal patterns -----------------------------
+
+proptest! {
+    #[test]
+    fn regex_literal_agrees_with_contains(needle in "[a-z]{1,6}", hay in "[a-z]{0,20}") {
+        let re = Regex::new(&needle).expect("literal compiles");
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn regex_anchored_literal_agrees_with_eq(needle in "[a-z]{1,6}", hay in "[a-z]{0,8}") {
+        let re = Regex::new(&format!("^{needle}$")).expect("compiles");
+        prop_assert_eq!(re.is_match(&hay), hay == needle);
+    }
+
+    #[test]
+    fn regex_replace_preserves_remainder(prefix in "[a-z]{1,4}", rest in "[a-z]{0,6}") {
+        let re = Regex::new(&format!("^{prefix}")).expect("compiles");
+        let input = format!("{prefix}{rest}");
+        prop_assert_eq!(re.replace(&input, "X"), format!("X{rest}"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-scheme equivalence and scheme-specific behavior on the full
+//! workloads: the same program must produce byte-identical output under
+//! native dynamic linking, OMOS bootstrap, and OMOS integrated exec —
+//! and the partial-image scheme must agree too.
+
+use omos::bench::workload::WorkloadSizes;
+use omos::bench::Scenario;
+use omos::core::{run_under_omos, Omos};
+use omos::isa::{assemble, StopReason};
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+#[test]
+fn all_three_programs_agree_across_all_three_schemes() {
+    let mut s = Scenario::build(
+        WorkloadSizes::small(),
+        CostModel::hpux(),
+        Transport::SysVMsg,
+    );
+    s.warm_up().expect("byte-identical output everywhere");
+}
+
+#[test]
+fn osf_profile_agrees_too() {
+    let mut s = Scenario::build(
+        WorkloadSizes::small(),
+        CostModel::osf1(),
+        Transport::MachIpc,
+    );
+    s.warm_up()
+        .expect("byte-identical output under the OSF/1 profile");
+}
+
+#[test]
+fn table1_shape_holds_on_the_small_workload() {
+    // Shapes, not calibrated values: OMOS integrated < bootstrap, and
+    // the OSF native path is the slowest thing measured.
+    let mut s = Scenario::build(
+        WorkloadSizes::small(),
+        CostModel::osf1(),
+        Transport::MachIpc,
+    );
+    s.warm_up().unwrap();
+    let t = s.measure("ls").unwrap();
+    assert!(t.integrated.elapsed_ns < t.bootstrap.elapsed_ns);
+    assert!(t.bootstrap.elapsed_ns < t.native.elapsed_ns);
+}
+
+#[test]
+fn self_contained_and_partial_image_agree() {
+    // The same client + library under the two OMOS schemes (§4.1 vs
+    // §4.2) must compute the same answer; only invocation differs.
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/libc/impl.o",
+        assemble(
+            "impl.o",
+            r#"
+            .text
+            .global _mix
+_mix:       mul r1, r1, r1
+            addi r1, r1, 17
+            ret
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace.bind_object(
+        "/obj/app.o",
+        assemble(
+            "app.o",
+            ".text\n.global _start\n_start: li r1, 7\n call _mix\n call _mix\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint(
+            "/lib/libimpl",
+            "(constraint-list \"T\" 0x1200000 \"D\" 0x41200000)\n(merge /libc/impl.o)",
+        )
+        .unwrap();
+    s.namespace
+        .bind_blueprint("/bin/self-contained", "(merge /obj/app.o /lib/libimpl)")
+        .unwrap();
+    s.namespace
+        .bind_blueprint(
+            "/bin/partial",
+            r#"(merge /obj/app.o (specialize "lib-dynamic" /libc/impl.o))"#,
+        )
+        .unwrap();
+
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let run = |s: &mut Omos, fs: &mut InMemFs, path: &str| {
+        let mut clock = SimClock::new();
+        let out = run_under_omos(s, path, false, &mut clock, &cost, fs, 100_000).unwrap();
+        (out.stop, clock.times())
+    };
+    let (stop_sc, t_sc) = run(&mut s, &mut fs, "/bin/self-contained");
+    let (stop_pi, t_pi) = run(&mut s, &mut fs, "/bin/partial");
+    assert_eq!(stop_sc, stop_pi, "schemes must agree on the answer");
+    assert_eq!(
+        stop_sc,
+        StopReason::Exited((7 * 7 + 17) * (7 * 7 + 17) + 17)
+    );
+    // The partial-image run pays the extra IPC + lookups on first use.
+    assert!(t_pi.elapsed_ns > t_sc.elapsed_ns);
+}
+
+#[test]
+fn partial_image_per_process_loading() {
+    // Each process lazily loads the library once; the server builds the
+    // instance once *globally*.
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/libc/impl.o",
+        assemble("impl.o", ".text\n.global _f\n_f: addi r1, r1, 1\n ret\n").unwrap(),
+    );
+    s.namespace.bind_object(
+        "/obj/app.o",
+        assemble(
+            "app.o",
+            ".text\n.global _start\n_start: li r1, 0\n call _f\n call _f\n call _f\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint(
+            "/bin/app",
+            r#"(merge /obj/app.o (specialize "lib-dynamic" /libc/impl.o))"#,
+        )
+        .unwrap();
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    for _process in 0..3 {
+        let mut clock = SimClock::new();
+        let out = run_under_omos(
+            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
+        )
+        .unwrap();
+        assert_eq!(out.stop, StopReason::Exited(3));
+        // One first-load round trip per process, even across repeated
+        // calls inside the process.
+        assert_eq!(out.ipc.messages, 2);
+    }
+    assert_eq!(s.dynamic_lib_count(), 1);
+}
+
+#[test]
+fn scheme_times_scale_with_iterations_linearly() {
+    // The table harness scales one warm run by the iteration count; that
+    // is only valid if warm runs are deterministic, which this pins.
+    let mut s = Scenario::build(
+        WorkloadSizes::small(),
+        CostModel::hpux(),
+        Transport::SysVMsg,
+    );
+    s.warm_up().unwrap();
+    let a = s.measure("ls-laF").unwrap();
+    let b = s.measure("ls-laF").unwrap();
+    assert_eq!(a.native.elapsed_ns, b.native.elapsed_ns);
+    assert_eq!(a.bootstrap.elapsed_ns, b.bootstrap.elapsed_ns);
+    assert_eq!(a.integrated.elapsed_ns, b.integrated.elapsed_ns);
+    let scaled = a.native.scaled(1000);
+    assert_eq!(scaled.elapsed_ns, a.native.elapsed_ns * 1000);
+}

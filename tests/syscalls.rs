@@ -1,0 +1,290 @@
+//! The simulated OS's syscall surface, exercised by real U32 programs:
+//! files, directories, the heap, and the clock — everything the
+//! workloads rely on.
+
+use omos::isa::{assemble, StopReason};
+use omos::link::{link, LinkOptions};
+use omos::os::process::{run_process, NoBinder, Process};
+use omos::os::{CostModel, ImageFrames, InMemFs, SimClock};
+
+fn run(src: &str, fs: &mut InMemFs) -> (StopReason, Vec<u8>, SimClock) {
+    let obj = assemble("t.o", src).expect("assembles");
+    let out = link(&[obj], &LinkOptions::program("t")).expect("links");
+    let frames = ImageFrames::from_image(&out.image);
+    let cost = CostModel::hpux();
+    let mut clock = SimClock::new();
+    let mut proc = Process::spawn(&frames, &mut clock, &cost).expect("spawns");
+    let run = run_process(&mut proc, &mut clock, &cost, fs, &mut NoBinder, 1_000_000);
+    (run.stop, run.console, clock)
+}
+
+#[test]
+fn write_to_stdout_reaches_console() {
+    let mut fs = InMemFs::new();
+    let (stop, console, clock) = run(
+        r#"
+        .text
+        .global _start
+_start: li r1, 1
+        li r2, _msg
+        li r3, 5
+        sys 1
+        li r1, 0
+        sys 0
+        .rodata
+_msg:   .ascii "hola!"
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(0));
+    assert_eq!(console, b"hola!");
+    assert!(clock.system_ns > 0, "syscalls charge system time");
+    assert!(clock.user_ns > 0, "instructions charge user time");
+}
+
+#[test]
+fn open_read_close_roundtrip() {
+    let mut fs = InMemFs::new();
+    fs.put("/data/in.txt", b"abcdef".to_vec());
+    let (stop, console, _) = run(
+        r#"
+        .text
+        .global _start
+_start: li r2, _path
+        sys 3               ; open -> fd in r1
+        mov r12, r1
+        li r2, _buf
+        li r3, 4
+        sys 2               ; read 4 bytes
+        mov r3, r1          ; bytes read
+        li r1, 1
+        li r2, _buf
+        sys 1               ; echo them
+        mov r1, r12
+        sys 4               ; close
+        li r1, 0
+        sys 0
+        .rodata
+_path:  .asciz "/data/in.txt"
+        .bss
+_buf:   .space 16
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(0));
+    assert_eq!(console, b"abcd");
+}
+
+#[test]
+fn open_missing_file_returns_minus_one() {
+    let mut fs = InMemFs::new();
+    let (stop, _, _) = run(
+        r#"
+        .text
+        .global _start
+_start: li r2, _path
+        sys 3
+        li r2, -1
+        bne r1, r2, _bad
+        li r1, 0
+        sys 0
+_bad:   li r1, 1
+        sys 0
+        .rodata
+_path:  .asciz "/missing"
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(0));
+}
+
+#[test]
+fn write_creates_file_in_fs() {
+    let mut fs = InMemFs::new();
+    fs.put("/out/log", Vec::new());
+    let (stop, _, _) = run(
+        r#"
+        .text
+        .global _start
+_start: li r2, _path
+        sys 3               ; open the (empty) file
+        li r2, _msg
+        li r3, 3
+        sys 1               ; write to its fd
+        li r1, 0
+        sys 0
+        .rodata
+_path:  .asciz "/out/log"
+_msg:   .ascii "abc"
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(0));
+    assert_eq!(fs.peek("/out/log").unwrap(), b"abc");
+}
+
+#[test]
+fn stat_fills_sixteen_byte_record() {
+    let mut fs = InMemFs::new();
+    fs.put("/f", vec![0; 321]);
+    let (stop, _, _) = run(
+        r#"
+        .text
+        .global _start
+_start: li r2, _path
+        li r3, _buf
+        sys 5
+        li r2, _buf
+        ld r1, [r2]          ; size field
+        sys 0
+        .rodata
+_path:  .asciz "/f"
+        .bss
+_buf:   .space 16
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(321));
+}
+
+#[test]
+fn getdents_iterates_and_terminates() {
+    let mut fs = InMemFs::new();
+    fs.put("/d/a", vec![1]);
+    fs.put("/d/b", vec![2]);
+    fs.put("/d/c", vec![3]);
+    let (stop, _, _) = run(
+        r#"
+        .text
+        .global _start
+_start: li r2, _path
+        sys 3
+        mov r12, r1
+        li r11, 0            ; entry count
+_loop:  mov r1, r12
+        li r2, _ent
+        sys 6
+        beq r1, r0, _done
+        addi r11, r11, 1
+        beq r0, r0, _loop
+_done:  mov r1, r11
+        sys 0
+        .rodata
+_path:  .asciz "/d"
+        .bss
+_ent:   .space 32
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(3));
+}
+
+#[test]
+fn brk_grows_heap_and_memory_is_usable() {
+    let mut fs = InMemFs::new();
+    let (stop, _, _) = run(
+        r#"
+        .text
+        .global _start
+_start: li r1, 8192
+        sys 7                ; brk(8192) -> old break
+        mov r12, r1
+        li r2, 0xabcd
+        st r2, [r12+4096]   ; touch deep into the new heap
+        ld r1, [r12+4096]
+        li r2, 0xabcd
+        bne r1, r2, _bad
+        li r1, 0
+        sys 0
+_bad:   li r1, 1
+        sys 0
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(0));
+}
+
+#[test]
+fn time_syscall_advances() {
+    let mut fs = InMemFs::new();
+    let (stop, _, _) = run(
+        r#"
+        .text
+        .global _start
+_start: sys 10
+        mov r12, r1
+        nop
+        nop
+        sys 10
+        sub r1, r1, r12      ; later - earlier
+        blt r1, r0, _bad     ; must be non-negative
+        li r1, 0
+        sys 0
+_bad:   li r1, 1
+        sys 0
+        "#,
+        &mut fs,
+    );
+    assert_eq!(stop, StopReason::Exited(0));
+}
+
+#[test]
+fn bad_fd_faults_with_message() {
+    let mut fs = InMemFs::new();
+    let (stop, _, _) = run(
+        ".text\n.global _start\n_start: li r1, 99\n li r2, 0\n li r3, 1\n sys 2\n sys 0\n",
+        &mut fs,
+    );
+    assert!(
+        matches!(
+            stop,
+            StopReason::Fault(omos::isa::VmFault::BadSyscall { .. })
+        ),
+        "got {stop:?}"
+    );
+}
+
+#[test]
+fn sync_write_mode_slows_program_writes() {
+    let cost = {
+        let mut c = CostModel::hpux();
+        c.sync_write_mult = 3;
+        c
+    };
+    let src = r#"
+        .text
+        .global _start
+_start: li r2, _path
+        sys 3
+        li r2, _msg
+        li r3, 4
+        sys 1
+        li r1, 0
+        sys 0
+        .rodata
+_path:  .asciz "/out"
+_msg:   .ascii "data"
+        "#;
+    let obj = assemble("t.o", src).unwrap();
+    let out = link(&[obj], &LinkOptions::program("t")).unwrap();
+    let frames = ImageFrames::from_image(&out.image);
+    let mut elapsed = Vec::new();
+    for sync in [false, true] {
+        let mut fs = InMemFs::new();
+        fs.put("/out", Vec::new());
+        fs.sync_writes = sync;
+        let mut clock = SimClock::new();
+        let mut proc = Process::spawn(&frames, &mut clock, &cost).unwrap();
+        let r = run_process(
+            &mut proc,
+            &mut clock,
+            &cost,
+            &mut fs,
+            &mut NoBinder,
+            100_000,
+        );
+        assert_eq!(r.stop, StopReason::Exited(0));
+        elapsed.push(clock.elapsed_ns);
+    }
+    assert!(elapsed[1] > elapsed[0], "sync writes must cost more");
+}
