@@ -12,8 +12,10 @@ use omos_os::ipc::Transport;
 use omos_os::CostModel;
 
 fn table1_cells(c: &mut Criterion) {
-    let mut sizes = WorkloadSizes::default();
-    sizes.codegen_iters = 10; // keep per-iteration host time reasonable
+    let sizes = WorkloadSizes {
+        codegen_iters: 10, // keep per-iteration host time reasonable
+        ..WorkloadSizes::default()
+    };
     let mut hp = Scenario::build(sizes, CostModel::hpux(), Transport::SysVMsg);
     hp.warm_up().expect("schemes agree");
 

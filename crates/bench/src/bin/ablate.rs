@@ -47,8 +47,10 @@ fn transport_sweep() {
 
 fn cold_vs_warm() {
     println!("2. Cache ablation (HP-UX codegen, bootstrap exec):");
-    let mut sizes = WorkloadSizes::default();
-    sizes.codegen_iters = 5;
+    let sizes = WorkloadSizes {
+        codegen_iters: 5,
+        ..WorkloadSizes::default()
+    };
     let mut s = Scenario::build(sizes, CostModel::hpux(), Transport::SysVMsg);
     let (cold, _) = s.run_omos("codegen", false).expect("cold run");
     let (warm, _) = s.run_omos("codegen", false).expect("warm run");

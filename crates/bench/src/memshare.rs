@@ -199,52 +199,6 @@ pub fn measure_omos(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, Str
     Ok(account(&procs, 0))
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn archive_selection_pulls_only_needed_modules() {
-        let sizes = WorkloadSizes::small();
-        let archive: Vec<ObjectFile> = libc_objects(&sizes).into_iter().map(|(_, o)| o).collect();
-        let selected = select_objects(&[ls_object(LsVariant::Plain, &sizes)], &archive);
-        assert!(
-            selected.len() < 1 + archive.len(),
-            "selection must drop unused modules"
-        );
-        let out = link(&selected, &LinkOptions::program("t")).expect("selected set links");
-        assert!(out.image.entry.is_some());
-    }
-
-    #[test]
-    fn static_uses_least_memory_at_one_process() {
-        let sizes = WorkloadSizes::small();
-        let st = measure_static(1, &sizes).unwrap();
-        let na = measure_native(1, &sizes).unwrap();
-        let om = measure_omos(1, &sizes).unwrap();
-        // With one process nothing is shared: whole-libc schemes map more.
-        assert!(st.resident_kb < na.resident_kb);
-        assert!(st.resident_kb < om.resident_kb);
-        // The [11] claim's mechanism: native pays dispatch tables on top.
-        assert!(na.dispatch_bytes > 0);
-        assert!(om.dispatch_bytes == 0);
-    }
-
-    #[test]
-    fn sharing_grows_with_concurrency_for_shared_schemes() {
-        let sizes = WorkloadSizes::small();
-        let na1 = measure_native(1, &sizes).unwrap();
-        let na8 = measure_native(8, &sizes).unwrap();
-        assert!(na8.saved_kb() > na1.saved_kb());
-        let om8 = measure_omos(8, &sizes).unwrap();
-        // OMOS resident ≤ native resident at equal concurrency (no GOT
-        // copies, no eagerly patched private pages).
-        assert!(om8.resident_kb <= na8.resident_kb);
-        let st8 = measure_static(8, &sizes).unwrap();
-        assert!(st8.mapped_kb < na8.mapped_kb);
-    }
-}
-
 /// Measures a *mixed* population — `n` `ls` plus `n` `ls -laF`
 /// processes — under static linking. Different static binaries duplicate
 /// their libc subsets, which is where shared libraries earn their keep.
@@ -329,4 +283,50 @@ pub fn measure_omos_mixed(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemor
         }
     }
     Ok(account(&procs, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_selection_pulls_only_needed_modules() {
+        let sizes = WorkloadSizes::small();
+        let archive: Vec<ObjectFile> = libc_objects(&sizes).into_iter().map(|(_, o)| o).collect();
+        let selected = select_objects(&[ls_object(LsVariant::Plain, &sizes)], &archive);
+        assert!(
+            selected.len() < 1 + archive.len(),
+            "selection must drop unused modules"
+        );
+        let out = link(&selected, &LinkOptions::program("t")).expect("selected set links");
+        assert!(out.image.entry.is_some());
+    }
+
+    #[test]
+    fn static_uses_least_memory_at_one_process() {
+        let sizes = WorkloadSizes::small();
+        let st = measure_static(1, &sizes).unwrap();
+        let na = measure_native(1, &sizes).unwrap();
+        let om = measure_omos(1, &sizes).unwrap();
+        // With one process nothing is shared: whole-libc schemes map more.
+        assert!(st.resident_kb < na.resident_kb);
+        assert!(st.resident_kb < om.resident_kb);
+        // The [11] claim's mechanism: native pays dispatch tables on top.
+        assert!(na.dispatch_bytes > 0);
+        assert!(om.dispatch_bytes == 0);
+    }
+
+    #[test]
+    fn sharing_grows_with_concurrency_for_shared_schemes() {
+        let sizes = WorkloadSizes::small();
+        let na1 = measure_native(1, &sizes).unwrap();
+        let na8 = measure_native(8, &sizes).unwrap();
+        assert!(na8.saved_kb() > na1.saved_kb());
+        let om8 = measure_omos(8, &sizes).unwrap();
+        // OMOS resident ≤ native resident at equal concurrency (no GOT
+        // copies, no eagerly patched private pages).
+        assert!(om8.resident_kb <= na8.resident_kb);
+        let st8 = measure_static(8, &sizes).unwrap();
+        assert!(st8.mapped_kb < na8.mapped_kb);
+    }
 }

@@ -411,8 +411,8 @@ _start:     li r1, _dirpath
         let per_module = sizes.libc_fillers_per_module.min(20);
         for m in ["net", "rpc"] {
             for i in 0..per_module {
-                let _ = write!(s, "            call _libc_{m}_{i}\n");
-                let _ = write!(s, "            .extern _libc_{m}_{i}\n");
+                let _ = writeln!(s, "            call _libc_{m}_{i}");
+                let _ = writeln!(s, "            .extern _libc_{m}_{i}");
             }
         }
     }
@@ -477,7 +477,7 @@ _done:      li r1, 0
             .data
 "#,
     );
-    let _ = write!(s, "_dirpath:   .asciz \"{dir}\"\n");
+    let _ = writeln!(s, "_dirpath:   .asciz \"{dir}\"");
     s.push_str(
         r#"
 _slash:     .asciz "/"
@@ -582,20 +582,20 @@ _cg_{f}_{i}:
             // Call into another client function (chain within the file or
             // into the next file).
             if i + 1 < fpf {
-                let _ = write!(s, "            call _cg_{f}_{next}\n", next = i + 1);
+                let _ = writeln!(s, "            call _cg_{f}_{next}", next = i + 1);
             } else if f + 1 < files {
-                let _ = write!(s, "            call _cg_{nf}_0\n", nf = f + 1);
+                let _ = writeln!(s, "            call _cg_{nf}_0", nf = f + 1);
             }
             // Calls into one or two library routines.
             let lib = CODEGEN_LIBS[rng.gen_range(0..CODEGEN_LIBS.len())];
             let lf = rng.gen_range(0..sizes.lib_fns);
-            let _ = write!(s, "            call _{lib}_fn{lf}\n");
+            let _ = writeln!(s, "            call _{lib}_fn{lf}");
             if rng.gen_bool(0.3) {
-                let _ = write!(
+                let _ = writeln!(
                     s,
-                    "            call _libc_{m}_{k}\n",
+                    "            call _libc_{m}_{k}",
                     m = LIBC_MODULES[rng.gen_range(0..LIBC_MODULES.len())],
-                    k = rng.gen_range(0..1usize.max(1)),
+                    k = rng.gen_range(0..1),
                 );
             }
             s.push_str(

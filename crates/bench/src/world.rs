@@ -100,7 +100,7 @@ impl Scenario {
             let (t, d) = NATIVE_BASES[i + 1];
             let short = name.rsplit('/').next().expect("non-empty path");
             let deps: Vec<&DynLibrary> = native_libs.iter().collect();
-            let lib = build_dyn_library(&[obj.clone()], short, t, d, &deps)
+            let lib = build_dyn_library(std::slice::from_ref(obj), short, t, d, &deps)
                 .expect("codegen library builds");
             native_libs.push(lib);
         }
@@ -108,13 +108,12 @@ impl Scenario {
         let mut exes = HashMap::new();
         {
             let libs: Vec<&DynLibrary> = native_libs.iter().collect();
-            let ls =
-                build_dyn_executable(&[ls_object(LsVariant::Plain, &sizes)], "ls", &[&libs[0]])
-                    .expect("ls links");
+            let ls = build_dyn_executable(&[ls_object(LsVariant::Plain, &sizes)], "ls", &[libs[0]])
+                .expect("ls links");
             let laf = build_dyn_executable(
                 &[ls_object(LsVariant::LongAll, &sizes)],
                 "ls-laF",
-                &[&libs[0]],
+                &[libs[0]],
             )
             .expect("ls -laF links");
             // codegen client: merge the 33 files, synthesize initializers.
@@ -366,8 +365,10 @@ mod tests {
         // The Table 1 codegen row: many relocations redone per native
         // exec ⇒ OMOS wins. Needs the full-size workload — the effect is
         // proportional to symbol/relocation counts.
-        let mut sizes = WorkloadSizes::default();
-        sizes.codegen_iters = 5; // keep VM time down; startup is the point
+        let sizes = WorkloadSizes {
+            codegen_iters: 5, // keep VM time down; startup is the point
+            ..WorkloadSizes::default()
+        };
         let mut s = Scenario::build(sizes, CostModel::hpux(), Transport::SysVMsg);
         s.warm_up().unwrap();
         let t = s.measure("codegen").unwrap();

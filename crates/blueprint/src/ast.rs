@@ -1,30 +1,106 @@
 //! The m-graph: blueprints parsed into executable operation graphs.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use omos_constraint::RegionClass;
 use omos_obj::view::RenameTarget;
 use omos_obj::ContentHash;
 
-use crate::sexpr::{parse_sexprs, Sexpr};
+use crate::sexpr::{parse_sexprs, Sexpr, Span};
 
-/// A blueprint syntax/shape error.
+/// A blueprint syntax/shape error, pointing at the offending form when
+/// the source location is known.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlueprintError {
     /// Description.
     pub msg: String,
+    /// Byte span of the offending form in the blueprint source.
+    pub span: Option<Span>,
+}
+
+impl BlueprintError {
+    /// An error without location information.
+    pub fn new(msg: impl Into<String>) -> BlueprintError {
+        BlueprintError {
+            msg: msg.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span.
+    #[must_use]
+    pub fn at(mut self, span: Span) -> BlueprintError {
+        self.span = Some(span);
+        self
+    }
 }
 
 impl fmt::Display for BlueprintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blueprint error: {}", self.msg)
+        match self.span {
+            Some(span) => write!(f, "blueprint error at {span}: {}", self.msg),
+            None => write!(f, "blueprint error: {}", self.msg),
+        }
     }
 }
 
 impl std::error::Error for BlueprintError {}
 
 fn berr<T>(msg: impl Into<String>) -> Result<T, BlueprintError> {
-    Err(BlueprintError { msg: msg.into() })
+    Err(BlueprintError::new(msg))
+}
+
+fn berr_at<T>(msg: impl Into<String>, span: Span) -> Result<T, BlueprintError> {
+    Err(BlueprintError::new(msg).at(span))
+}
+
+/// The path of one m-graph node from the root: the sequence of operand
+/// indices taken to reach it. The root is the empty path; `merge`'s
+/// operands are children `0..n`; `override`'s are `0` and `1`; every
+/// unary operator's operand is child `0`.
+pub type NodePath = Vec<u32>;
+
+/// Source spans for m-graph nodes, keyed by [`NodePath`].
+///
+/// This is *location metadata*, deliberately excluded from equality (two
+/// structurally identical blueprints compare equal regardless of
+/// layout) and from [`Blueprint::hash`] (cache keys must not depend on
+/// whitespace).
+#[derive(Debug, Clone, Default, Eq)]
+pub struct SpanMap {
+    map: HashMap<NodePath, Span>,
+}
+
+impl PartialEq for SpanMap {
+    fn eq(&self, _other: &SpanMap) -> bool {
+        true // metadata: never participates in structural equality
+    }
+}
+
+impl SpanMap {
+    /// Records the span of the node at `path`.
+    pub fn insert(&mut self, path: NodePath, span: Span) {
+        self.map.insert(path, span);
+    }
+
+    /// The span of the node at `path`, if recorded.
+    #[must_use]
+    pub fn get(&self, path: &[u32]) -> Option<Span> {
+        self.map.get(path).copied()
+    }
+
+    /// Number of nodes with recorded spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether any spans are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Specialization kinds (§3.4, §4.2).
@@ -209,209 +285,260 @@ impl MNode {
 
     /// Parses one m-graph expression from an s-expression.
     pub fn from_sexpr(s: &Sexpr) -> Result<MNode, BlueprintError> {
-        match s {
-            Sexpr::Sym(path) => Ok(MNode::Leaf(path.clone())),
-            Sexpr::Str(_) | Sexpr::Num(_) => {
-                berr(format!("expected an m-graph expression, found `{s}`"))
-            }
-            Sexpr::List(items) => {
-                let Some(op) = items.first().and_then(Sexpr::as_sym) else {
-                    return berr("operation list must start with an operator symbol");
-                };
-                let args = &items[1..];
-                match op {
-                    "merge" => {
-                        if args.is_empty() {
-                            return berr("merge needs at least one operand");
-                        }
-                        Ok(MNode::Merge(
-                            args.iter()
-                                .map(MNode::from_sexpr)
-                                .collect::<Result<_, _>>()?,
-                        ))
-                    }
-                    "override" => {
-                        if args.len() != 2 {
-                            return berr("override needs exactly two operands");
-                        }
-                        Ok(MNode::Override(
-                            Box::new(MNode::from_sexpr(&args[0])?),
-                            Box::new(MNode::from_sexpr(&args[1])?),
-                        ))
-                    }
-                    "rename" | "rename-refs" | "rename-defs" => {
-                        let (pattern, replacement, operand) = str_str_node(op, args)?;
-                        let target = match op {
-                            "rename-refs" => RenameTarget::Refs,
-                            "rename-defs" => RenameTarget::Defs,
-                            _ => RenameTarget::Both,
-                        };
-                        Ok(MNode::Rename {
-                            pattern,
-                            replacement,
-                            target,
-                            operand,
-                        })
-                    }
-                    "hide" | "show" | "restrict" | "project" | "freeze" => {
-                        let (pattern, operand) = str_node(op, args)?;
-                        Ok(match op {
-                            "hide" => MNode::Hide { pattern, operand },
-                            "show" => MNode::Show { pattern, operand },
-                            "restrict" => MNode::Restrict { pattern, operand },
-                            "project" => MNode::Project { pattern, operand },
-                            _ => MNode::Freeze { pattern, operand },
-                        })
-                    }
-                    "copy_as" | "copy-as" => {
-                        let (pattern, replacement, operand) = str_str_node(op, args)?;
-                        Ok(MNode::CopyAs {
-                            pattern,
-                            replacement,
-                            operand,
-                        })
-                    }
-                    "initializers" => {
-                        if args.len() != 1 {
-                            return berr("initializers needs exactly one operand");
-                        }
-                        Ok(MNode::Initializers(Box::new(MNode::from_sexpr(&args[0])?)))
-                    }
-                    "source" => {
-                        let lang =
-                            args.first()
-                                .and_then(Sexpr::as_str)
-                                .ok_or_else(|| BlueprintError {
-                                    msg: "source needs a language string".into(),
-                                })?;
-                        let code =
-                            args.get(1)
-                                .and_then(Sexpr::as_str)
-                                .ok_or_else(|| BlueprintError {
-                                    msg: "source needs a code string".into(),
-                                })?;
-                        Ok(MNode::Source {
-                            lang: lang.to_string(),
-                            code: code.to_string(),
-                        })
-                    }
-                    "specialize" => parse_specialize(args),
-                    "constrain" => {
-                        // (constrain "T" 0x1000000 m): sugar for a
-                        // single-region constrained specialization.
-                        if args.len() != 3 {
-                            return berr("constrain needs TAG ADDR OPERAND");
-                        }
-                        let cs = parse_constraint_pairs(&args[..2])?;
-                        Ok(MNode::Specialize {
-                            kind: SpecKind::Constrained(cs),
-                            operand: Box::new(MNode::from_sexpr(&args[2])?),
-                        })
-                    }
-                    other => berr(format!("unknown operator `{other}`")),
+        let mut spans = SpanMap::default();
+        MNode::from_sexpr_spanned(s, Vec::new(), &mut spans)
+    }
+
+    /// Parses one m-graph expression, recording each node's source span
+    /// into `spans` under its [`NodePath`] (`path` is this node's path).
+    pub fn from_sexpr_spanned(
+        s: &Sexpr,
+        path: NodePath,
+        spans: &mut SpanMap,
+    ) -> Result<MNode, BlueprintError> {
+        spans.insert(path.clone(), s.span);
+        let child = |i: u32| -> NodePath {
+            let mut p = path.clone();
+            p.push(i);
+            p
+        };
+        if let Some(p) = s.as_sym() {
+            return Ok(MNode::Leaf(p.to_string()));
+        }
+        let Some(items) = s.as_list() else {
+            return berr_at(
+                format!("expected an m-graph expression, found `{s}`"),
+                s.span,
+            );
+        };
+        let Some(op) = items.first().and_then(Sexpr::as_sym) else {
+            return berr_at("operation list must start with an operator symbol", s.span);
+        };
+        let args = &items[1..];
+        match op {
+            "merge" => {
+                if args.is_empty() {
+                    return berr_at("merge needs at least one operand", s.span);
                 }
+                Ok(MNode::Merge(
+                    args.iter()
+                        .enumerate()
+                        .map(|(i, a)| MNode::from_sexpr_spanned(a, child(i as u32), spans))
+                        .collect::<Result<_, _>>()?,
+                ))
             }
+            "override" => {
+                if args.len() != 2 {
+                    return berr_at("override needs exactly two operands", s.span);
+                }
+                Ok(MNode::Override(
+                    Box::new(MNode::from_sexpr_spanned(&args[0], child(0), spans)?),
+                    Box::new(MNode::from_sexpr_spanned(&args[1], child(1), spans)?),
+                ))
+            }
+            "rename" | "rename-refs" | "rename-defs" => {
+                let (pattern, replacement, operand) = str_str_node(op, s, args, &path, spans)?;
+                let target = match op {
+                    "rename-refs" => RenameTarget::Refs,
+                    "rename-defs" => RenameTarget::Defs,
+                    _ => RenameTarget::Both,
+                };
+                Ok(MNode::Rename {
+                    pattern,
+                    replacement,
+                    target,
+                    operand,
+                })
+            }
+            "hide" | "show" | "restrict" | "project" | "freeze" => {
+                let (pattern, operand) = str_node(op, s, args, &path, spans)?;
+                Ok(match op {
+                    "hide" => MNode::Hide { pattern, operand },
+                    "show" => MNode::Show { pattern, operand },
+                    "restrict" => MNode::Restrict { pattern, operand },
+                    "project" => MNode::Project { pattern, operand },
+                    _ => MNode::Freeze { pattern, operand },
+                })
+            }
+            "copy_as" | "copy-as" => {
+                let (pattern, replacement, operand) = str_str_node(op, s, args, &path, spans)?;
+                Ok(MNode::CopyAs {
+                    pattern,
+                    replacement,
+                    operand,
+                })
+            }
+            "initializers" => {
+                if args.len() != 1 {
+                    return berr_at("initializers needs exactly one operand", s.span);
+                }
+                Ok(MNode::Initializers(Box::new(MNode::from_sexpr_spanned(
+                    &args[0],
+                    child(0),
+                    spans,
+                )?)))
+            }
+            "source" => {
+                let lang = args.first().and_then(Sexpr::as_str).ok_or_else(|| {
+                    BlueprintError::new("source needs a language string").at(s.span)
+                })?;
+                let code = args
+                    .get(1)
+                    .and_then(Sexpr::as_str)
+                    .ok_or_else(|| BlueprintError::new("source needs a code string").at(s.span))?;
+                Ok(MNode::Source {
+                    lang: lang.to_string(),
+                    code: code.to_string(),
+                })
+            }
+            "specialize" => parse_specialize(s, args, &path, spans),
+            "constrain" => {
+                // (constrain "T" 0x1000000 m): sugar for a
+                // single-region constrained specialization.
+                if args.len() != 3 {
+                    return berr_at("constrain needs TAG ADDR OPERAND", s.span);
+                }
+                let cs = parse_constraint_pairs(&args[..2])?;
+                Ok(MNode::Specialize {
+                    kind: SpecKind::Constrained(cs),
+                    operand: Box::new(MNode::from_sexpr_spanned(&args[2], child(0), spans)?),
+                })
+            }
+            other => berr_at(format!("unknown operator `{other}`"), s.span),
         }
     }
 }
 
-fn str_node(op: &str, args: &[Sexpr]) -> Result<(String, Box<MNode>), BlueprintError> {
+fn str_node(
+    op: &str,
+    form: &Sexpr,
+    args: &[Sexpr],
+    path: &[u32],
+    spans: &mut SpanMap,
+) -> Result<(String, Box<MNode>), BlueprintError> {
     if args.len() != 2 {
-        return berr(format!("{op} needs PATTERN OPERAND"));
+        return berr_at(format!("{op} needs PATTERN OPERAND"), form.span);
     }
-    let pattern = args[0].as_str().ok_or_else(|| BlueprintError {
-        msg: format!("{op}: pattern must be a string"),
+    let pattern = args[0].as_str().ok_or_else(|| {
+        BlueprintError::new(format!("{op}: pattern must be a string")).at(form.span)
     })?;
-    Ok((pattern.to_string(), Box::new(MNode::from_sexpr(&args[1])?)))
-}
-
-fn str_str_node(op: &str, args: &[Sexpr]) -> Result<(String, String, Box<MNode>), BlueprintError> {
-    if args.len() != 3 {
-        return berr(format!("{op} needs PATTERN REPLACEMENT OPERAND"));
-    }
-    let pattern = args[0].as_str().ok_or_else(|| BlueprintError {
-        msg: format!("{op}: pattern must be a string"),
-    })?;
-    let replacement = args[1].as_str().ok_or_else(|| BlueprintError {
-        msg: format!("{op}: replacement must be a string"),
-    })?;
+    let mut child = path.to_vec();
+    child.push(0);
     Ok((
         pattern.to_string(),
-        replacement.to_string(),
-        Box::new(MNode::from_sexpr(&args[2])?),
+        Box::new(MNode::from_sexpr_spanned(&args[1], child, spans)?),
     ))
 }
 
-fn parse_specialize(args: &[Sexpr]) -> Result<MNode, BlueprintError> {
+fn str_str_node(
+    op: &str,
+    form: &Sexpr,
+    args: &[Sexpr],
+    path: &[u32],
+    spans: &mut SpanMap,
+) -> Result<(String, String, Box<MNode>), BlueprintError> {
+    if args.len() != 3 {
+        return berr_at(format!("{op} needs PATTERN REPLACEMENT OPERAND"), form.span);
+    }
+    let pattern = args[0].as_str().ok_or_else(|| {
+        BlueprintError::new(format!("{op}: pattern must be a string")).at(form.span)
+    })?;
+    let replacement = args[1].as_str().ok_or_else(|| {
+        BlueprintError::new(format!("{op}: replacement must be a string")).at(form.span)
+    })?;
+    let mut child = path.to_vec();
+    child.push(0);
+    Ok((
+        pattern.to_string(),
+        replacement.to_string(),
+        Box::new(MNode::from_sexpr_spanned(&args[2], child, spans)?),
+    ))
+}
+
+fn parse_specialize(
+    form: &Sexpr,
+    args: &[Sexpr],
+    path: &[u32],
+    spans: &mut SpanMap,
+) -> Result<MNode, BlueprintError> {
     let kind_name = args
         .first()
         .and_then(Sexpr::as_str)
-        .ok_or_else(|| BlueprintError {
-            msg: "specialize needs a kind string".into(),
-        })?;
+        .ok_or_else(|| BlueprintError::new("specialize needs a kind string").at(form.span))?;
+    let mut child = path.to_vec();
+    child.push(0);
     match kind_name {
         "lib-static" => {
             if args.len() != 2 {
-                return berr("specialize lib-static needs one operand");
+                return berr_at("specialize lib-static needs one operand", form.span);
             }
             Ok(MNode::Specialize {
                 kind: SpecKind::Static,
-                operand: Box::new(MNode::from_sexpr(&args[1])?),
+                operand: Box::new(MNode::from_sexpr_spanned(&args[1], child, spans)?),
             })
         }
         "lib-dynamic" => {
             if args.len() != 2 {
-                return berr("specialize lib-dynamic needs one operand");
+                return berr_at("specialize lib-dynamic needs one operand", form.span);
             }
             Ok(MNode::Specialize {
                 kind: SpecKind::Dynamic,
-                operand: Box::new(MNode::from_sexpr(&args[1])?),
+                operand: Box::new(MNode::from_sexpr_spanned(&args[1], child, spans)?),
             })
         }
         "lib-dynamic-impl" => {
             if args.len() != 2 {
-                return berr("specialize lib-dynamic-impl needs one operand");
+                return berr_at("specialize lib-dynamic-impl needs one operand", form.span);
             }
             Ok(MNode::Specialize {
                 kind: SpecKind::DynamicImpl,
-                operand: Box::new(MNode::from_sexpr(&args[1])?),
+                operand: Box::new(MNode::from_sexpr_spanned(&args[1], child, spans)?),
             })
         }
         "lib-constrained" => {
             // (specialize "lib-constrained" (list "T" 0x1000000) /lib/libc)
             if args.len() != 3 {
-                return berr("specialize lib-constrained needs (list ...) and an operand");
+                return berr_at(
+                    "specialize lib-constrained needs (list ...) and an operand",
+                    form.span,
+                );
             }
             let list = args[1]
                 .as_list()
                 .filter(|l| l.first().and_then(Sexpr::as_sym) == Some("list"))
-                .ok_or_else(|| BlueprintError {
-                    msg: "lib-constrained constraints must be a (list ...)".into(),
+                .ok_or_else(|| {
+                    BlueprintError::new("lib-constrained constraints must be a (list ...)")
+                        .at(args[1].span)
                 })?;
             let cs = parse_constraint_pairs(&list[1..])?;
             Ok(MNode::Specialize {
                 kind: SpecKind::Constrained(cs),
-                operand: Box::new(MNode::from_sexpr(&args[2])?),
+                operand: Box::new(MNode::from_sexpr_spanned(&args[2], child, spans)?),
             })
         }
-        other => berr(format!("unknown specialization `{other}`")),
+        other => berr_at(format!("unknown specialization `{other}`"), form.span),
     }
 }
 
 fn parse_constraint_pairs(items: &[Sexpr]) -> Result<Vec<(RegionClass, u64)>, BlueprintError> {
-    if items.len() % 2 != 0 {
-        return berr("constraints must be TAG ADDR pairs");
+    if !items.len().is_multiple_of(2) {
+        let span = items.first().map(|s| s.span);
+        let mut e = BlueprintError::new("constraints must be TAG ADDR pairs");
+        if let Some(span) = span {
+            e = e.at(span);
+        }
+        return Err(e);
     }
     let mut out = Vec::new();
     for pair in items.chunks(2) {
-        let tag = pair[0].as_str().ok_or_else(|| BlueprintError {
-            msg: "constraint tag must be a string".into(),
+        let tag = pair[0].as_str().ok_or_else(|| {
+            BlueprintError::new("constraint tag must be a string").at(pair[0].span)
         })?;
-        let class = RegionClass::from_tag(tag).ok_or_else(|| BlueprintError {
-            msg: format!("unknown constraint tag `{tag}`"),
+        let class = RegionClass::from_tag(tag).ok_or_else(|| {
+            BlueprintError::new(format!("unknown constraint tag `{tag}`")).at(pair[0].span)
         })?;
-        let addr = pair[1].as_num().ok_or_else(|| BlueprintError {
-            msg: "constraint address must be a number".into(),
+        let addr = pair[1].as_num().ok_or_else(|| {
+            BlueprintError::new("constraint address must be a number").at(pair[1].span)
         })?;
         out.push((class, addr as u64));
     }
@@ -440,30 +567,62 @@ pub struct Blueprint {
     pub constraints: Vec<(RegionClass, u64)>,
     /// The root operation.
     pub root: MNode,
+    /// Source spans of the m-graph nodes, keyed by [`NodePath`]
+    /// (metadata: excluded from equality and [`Blueprint::hash`]).
+    pub spans: SpanMap,
+    /// Source spans of each `constraints` entry, parallel to it (empty
+    /// when the blueprint was built programmatically).
+    pub constraint_spans: Vec<Span>,
 }
 
 impl Blueprint {
     /// Parses blueprint text: any number of `constraint-list` forms and
     /// exactly one m-graph expression.
     pub fn parse(src: &str) -> Result<Blueprint, BlueprintError> {
-        let forms = parse_sexprs(src).map_err(|e| BlueprintError { msg: e.to_string() })?;
+        let forms = parse_sexprs(src)
+            .map_err(|e| BlueprintError::new(e.msg).at(Span::new(e.offset, e.offset)))?;
         let mut constraints = Vec::new();
+        let mut constraint_spans = Vec::new();
+        let mut spans = SpanMap::default();
         let mut root = None;
         for f in &forms {
             if let Some(l) = f.as_list() {
                 if l.first().and_then(Sexpr::as_sym) == Some("constraint-list") {
-                    constraints.extend(parse_constraint_pairs(&l[1..])?);
+                    let pairs = parse_constraint_pairs(&l[1..])?;
+                    for (i, _) in pairs.iter().enumerate() {
+                        // Span of the TAG ADDR pair itself.
+                        let tag = &l[1 + 2 * i];
+                        let addr = &l[2 + 2 * i];
+                        constraint_spans.push(Span::new(tag.span.start, addr.span.end));
+                    }
+                    constraints.extend(pairs);
                     continue;
                 }
             }
             if root.is_some() {
-                return berr("blueprint has more than one root expression");
+                return berr_at("blueprint has more than one root expression", f.span);
             }
-            root = Some(MNode::from_sexpr(f)?);
+            root = Some(MNode::from_sexpr_spanned(f, Vec::new(), &mut spans)?);
         }
         match root {
-            Some(root) => Ok(Blueprint { constraints, root }),
+            Some(root) => Ok(Blueprint {
+                constraints,
+                root,
+                spans,
+                constraint_spans,
+            }),
             None => berr("blueprint has no root expression"),
+        }
+    }
+
+    /// Wraps a programmatically-built m-graph (no source spans).
+    #[must_use]
+    pub fn from_root(root: MNode) -> Blueprint {
+        Blueprint {
+            constraints: Vec::new(),
+            root,
+            spans: SpanMap::default(),
+            constraint_spans: Vec::new(),
         }
     }
 
@@ -508,6 +667,7 @@ mod tests {
             MNode::Merge(items) => assert_eq!(items.len(), 8),
             other => panic!("expected merge, got {other:?}"),
         }
+        assert_eq!(bp.constraint_spans.len(), 2);
     }
 
     #[test]
@@ -602,6 +762,14 @@ mod tests {
     }
 
     #[test]
+    fn hash_and_equality_ignore_layout() {
+        let a = Blueprint::parse("(merge /a /b)").unwrap();
+        let b = Blueprint::parse("(merge\n    /a\n    /b)").unwrap();
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn rename_variants() {
         let refs = Blueprint::parse(r#"(rename-refs "a" "b" /x)"#).unwrap();
         assert!(matches!(
@@ -619,6 +787,30 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn node_paths_map_to_source_spans() {
+        let src = r#"(hide "x" (merge /a (rename "p" "q" /b)))"#;
+        let bp = Blueprint::parse(src).unwrap();
+        let span_text = |path: &[u32]| {
+            let s = bp.spans.get(path).expect("span recorded");
+            &src[s.start..s.end]
+        };
+        assert_eq!(span_text(&[]), src);
+        assert_eq!(span_text(&[0]), r#"(merge /a (rename "p" "q" /b))"#);
+        assert_eq!(span_text(&[0, 0]), "/a");
+        assert_eq!(span_text(&[0, 1]), r#"(rename "p" "q" /b)"#);
+        assert_eq!(span_text(&[0, 1, 0]), "/b");
+    }
+
+    #[test]
+    fn shape_errors_carry_spans() {
+        let err = Blueprint::parse("(merge /a (bogus /x))").unwrap_err();
+        let span = err.span.expect("shape error is located");
+        assert_eq!(span.start, 10);
+        let err = Blueprint::parse("(override /a)").unwrap_err();
+        assert!(err.span.is_some());
     }
 
     #[test]

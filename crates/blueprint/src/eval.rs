@@ -23,6 +23,7 @@ use omos_module::Module;
 use omos_obj::{ContentHash, ObjError};
 
 use crate::ast::{Blueprint, BlueprintError, MNode, SpecKind};
+use crate::sexpr::Span;
 use crate::source::{compile_source, SourceError};
 
 /// Evaluation errors.
@@ -163,7 +164,7 @@ pub fn eval_blueprint(bp: &Blueprint, ctx: &mut dyn EvalContext) -> Result<EvalO
         libraries: Vec::new(),
         visiting: Vec::new(),
     };
-    let module = ev.node(&bp.root)?;
+    let module = ev.node(&bp.root).map_err(|e| locate_error(e, bp))?;
     Ok(EvalOutput {
         module,
         libraries: ev.libraries,
@@ -363,6 +364,56 @@ fn leaf_name(n: &MNode) -> String {
     match n {
         MNode::Leaf(p) => p.clone(),
         other => format!("<inline:{}>", other.hash()),
+    }
+}
+
+/// Attaches the blueprint source location of the failing leaf to
+/// `Resolve`/`Cycle` errors (the variant stays a plain `String`; the
+/// location is folded into the message). Errors raised from inside a
+/// *referenced* meta-object have no span in this blueprint and pass
+/// through unchanged.
+fn locate_error(e: EvalError, bp: &Blueprint) -> EvalError {
+    let locate = |name: &str| -> Option<Span> {
+        let mut path = Vec::new();
+        find_leaf_span(&bp.root, name, &mut path, bp)
+    };
+    match e {
+        EvalError::Resolve(p) => match locate(&p) {
+            Some(span) => EvalError::Resolve(format!("{p} (at {span})")),
+            None => EvalError::Resolve(p),
+        },
+        EvalError::Cycle(p) => match locate(&p) {
+            Some(span) => EvalError::Cycle(format!("{p} (at {span})")),
+            None => EvalError::Cycle(p),
+        },
+        other => other,
+    }
+}
+
+fn find_leaf_span(n: &MNode, target: &str, path: &mut Vec<u32>, bp: &Blueprint) -> Option<Span> {
+    let mut descend = |i: u32, c: &MNode| -> Option<Span> {
+        path.push(i);
+        let found = find_leaf_span(c, target, path, bp);
+        path.pop();
+        found
+    };
+    match n {
+        MNode::Leaf(p) if p == target => bp.spans.get(path),
+        MNode::Leaf(_) | MNode::Source { .. } => None,
+        MNode::Merge(items) => items
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| descend(i as u32, c)),
+        MNode::Override(a, b) => descend(0, a).or_else(|| descend(1, b)),
+        MNode::Rename { operand, .. }
+        | MNode::Hide { operand, .. }
+        | MNode::Show { operand, .. }
+        | MNode::Restrict { operand, .. }
+        | MNode::Project { operand, .. }
+        | MNode::CopyAs { operand, .. }
+        | MNode::Freeze { operand, .. }
+        | MNode::Specialize { operand, .. } => descend(0, operand),
+        MNode::Initializers(o) => descend(0, o),
     }
 }
 
@@ -615,6 +666,26 @@ _entry:     call _undefined_routine
             eval_blueprint(&bp, &mut ctx),
             Err(EvalError::Resolve(_))
         ));
+    }
+
+    #[test]
+    fn resolve_and_cycle_errors_name_blueprint_location() {
+        let mut ctx = ls_world();
+        let src = "(merge /obj/ls.o /nope)";
+        let bp = Blueprint::parse(src).unwrap();
+        let Err(EvalError::Resolve(msg)) = eval_blueprint(&bp, &mut ctx) else {
+            panic!("expected resolve error");
+        };
+        let leaf = src.find("/nope").unwrap();
+        assert_eq!(msg, format!("/nope (at bytes {}..{})", leaf, leaf + 5));
+
+        let mut ctx = TestCtx::default();
+        ctx.add_meta("/meta/a", "(merge /meta/a /meta/a)");
+        let bp = Blueprint::parse("(merge /meta/a /meta/a)").unwrap();
+        let Err(EvalError::Cycle(msg)) = eval_blueprint(&bp, &mut ctx) else {
+            panic!("expected cycle error");
+        };
+        assert!(msg.contains("/meta/a (at bytes "), "got {msg}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod eval;
 pub mod sexpr;
 pub mod source;
 
-pub use ast::{Blueprint, MNode, SpecKind};
+pub use ast::{Blueprint, BlueprintError, MNode, NodePath, SpanMap, SpecKind};
 pub use eval::{eval_blueprint, EvalContext, EvalError, EvalOutput, EvalStats, ResolvedNode};
-pub use sexpr::{parse_sexprs, Sexpr};
+pub use sexpr::{parse_sexprs, Sexpr, SexprKind, Span};
 pub use source::{compile_source, SourceError};

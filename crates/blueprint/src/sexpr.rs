@@ -2,12 +2,65 @@
 //!
 //! Atoms are symbols (`/lib/libc`, `merge`), double-quoted strings, or
 //! integers (decimal or `0x` hex); `;` comments run to end of line.
+//!
+//! Every parsed node carries the byte [`Span`] it was read from, so
+//! diagnostics (parse errors, evaluator errors, and the static
+//! analyzer's lints) can point at the offending operator in the
+//! blueprint source.
 
 use std::fmt;
 
-/// A parsed s-expression.
+/// A half-open byte range `[start, end)` in the blueprint source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte of the spanned text.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The 1-based line and column of the span's start within `src`.
+    #[must_use]
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map_or(self.start + 1, |nl| self.start - nl);
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
+/// A parsed s-expression with its source span.
+///
+/// Equality and hashing compare *structure only* (the [`SexprKind`]
+/// tree), never spans: two parses of the same text laid out differently
+/// are equal, which the server's structural blueprint hashing relies
+/// on.
+#[derive(Debug, Clone, Eq)]
+pub struct Sexpr {
+    /// What was parsed.
+    pub kind: SexprKind,
+    /// Where it was parsed from.
+    pub span: Span,
+}
+
+/// The shape of one s-expression node.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Sexpr {
+pub enum SexprKind {
     /// A bare symbol (operator names, namespace paths).
     Sym(String),
     /// A quoted string (regular expressions, source text).
@@ -18,12 +71,18 @@ pub enum Sexpr {
     List(Vec<Sexpr>),
 }
 
+impl PartialEq for Sexpr {
+    fn eq(&self, other: &Sexpr) -> bool {
+        self.kind == other.kind
+    }
+}
+
 impl Sexpr {
     /// The symbol text, if this is a symbol.
     #[must_use]
     pub fn as_sym(&self) -> Option<&str> {
-        match self {
-            Sexpr::Sym(s) => Some(s),
+        match &self.kind {
+            SexprKind::Sym(s) => Some(s),
             _ => None,
         }
     }
@@ -31,8 +90,8 @@ impl Sexpr {
     /// The string text, if this is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Sexpr::Str(s) => Some(s),
+        match &self.kind {
+            SexprKind::Str(s) => Some(s),
             _ => None,
         }
     }
@@ -40,8 +99,8 @@ impl Sexpr {
     /// The number, if this is a number.
     #[must_use]
     pub fn as_num(&self) -> Option<i64> {
-        match self {
-            Sexpr::Num(n) => Some(*n),
+        match &self.kind {
+            SexprKind::Num(n) => Some(*n),
             _ => None,
         }
     }
@@ -49,8 +108,8 @@ impl Sexpr {
     /// The element list, if this is a list.
     #[must_use]
     pub fn as_list(&self) -> Option<&[Sexpr]> {
-        match self {
-            Sexpr::List(l) => Some(l),
+        match &self.kind {
+            SexprKind::List(l) => Some(l),
             _ => None,
         }
     }
@@ -58,11 +117,11 @@ impl Sexpr {
 
 impl fmt::Display for Sexpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Sexpr::Sym(s) => write!(f, "{s}"),
-            Sexpr::Str(s) => write!(f, "{s:?}"),
-            Sexpr::Num(n) => write!(f, "{n}"),
-            Sexpr::List(items) => {
+        match &self.kind {
+            SexprKind::Sym(s) => write!(f, "{s}"),
+            SexprKind::Str(s) => write!(f, "{s:?}"),
+            SexprKind::Num(n) => write!(f, "{n}"),
+            SexprKind::List(items) => {
                 write!(f, "(")?;
                 for (i, it) in items.iter().enumerate() {
                     if i > 0 {
@@ -165,6 +224,7 @@ impl Parser {
 
     fn expr(&mut self) -> Result<Sexpr, ParseError> {
         self.skip_ws();
+        let start = self.offset();
         match self.peek() {
             None => Err(self.err("unexpected end of input")),
             Some('(') => {
@@ -176,25 +236,33 @@ impl Parser {
                         None => return Err(self.err("unterminated `(`")),
                         Some(')') => {
                             self.bump();
-                            return Ok(Sexpr::List(items));
+                            return Ok(Sexpr {
+                                kind: SexprKind::List(items),
+                                span: Span::new(start, self.offset()),
+                            });
                         }
                         _ => items.push(self.expr()?),
                     }
                 }
             }
             Some(')') => Err(self.err("unexpected `)`")),
-            Some('"') => self.string(),
-            _ => self.atom(),
+            Some('"') => self.string(start),
+            _ => self.atom(start),
         }
     }
 
-    fn string(&mut self) -> Result<Sexpr, ParseError> {
+    fn string(&mut self, start: usize) -> Result<Sexpr, ParseError> {
         self.bump(); // opening quote
         let mut out = String::new();
         loop {
             match self.bump() {
                 None => return Err(self.err("unterminated string")),
-                Some('"') => return Ok(Sexpr::Str(out)),
+                Some('"') => {
+                    return Ok(Sexpr {
+                        kind: SexprKind::Str(out),
+                        span: Span::new(start, self.offset()),
+                    })
+                }
                 Some('\\') => match self.bump() {
                     Some('n') => out.push('\n'),
                     Some('t') => out.push('\t'),
@@ -210,7 +278,7 @@ impl Parser {
         }
     }
 
-    fn atom(&mut self) -> Result<Sexpr, ParseError> {
+    fn atom(&mut self, start: usize) -> Result<Sexpr, ParseError> {
         let mut text = String::new();
         while let Some(c) = self.peek() {
             if c.is_whitespace() || c == '(' || c == ')' || c == ';' || c == '"' {
@@ -222,6 +290,7 @@ impl Parser {
         if text.is_empty() {
             return Err(self.err("empty atom"));
         }
+        let span = Span::new(start, self.offset());
         // Numbers: decimal or hex, optionally negative.
         let body = text.strip_prefix('-').unwrap_or(&text);
         let parsed = if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
@@ -231,11 +300,12 @@ impl Parser {
         } else {
             None
         };
-        match parsed {
-            Some(n) if text.starts_with('-') => Ok(Sexpr::Num(-n)),
-            Some(n) => Ok(Sexpr::Num(n)),
-            None => Ok(Sexpr::Sym(text)),
-        }
+        let kind = match parsed {
+            Some(n) if text.starts_with('-') => SexprKind::Num(-n),
+            Some(n) => SexprKind::Num(n),
+            None => SexprKind::Sym(text),
+        };
+        Ok(Sexpr { kind, span })
     }
 }
 
@@ -316,5 +386,29 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         assert!(parse_sexprs("  ; just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spans_cover_their_source_text() {
+        let src = r#"(merge /a (hide "x" /b) 0x10)"#;
+        let forms = parse_sexprs(src).unwrap();
+        let top = &forms[0];
+        assert_eq!(&src[top.span.start..top.span.end], src);
+        let items = top.as_list().unwrap();
+        assert_eq!(&src[items[1].span.start..items[1].span.end], "/a");
+        let hide = &items[2];
+        assert_eq!(&src[hide.span.start..hide.span.end], r#"(hide "x" /b)"#);
+        let pat = &hide.as_list().unwrap()[1];
+        assert_eq!(&src[pat.span.start..pat.span.end], r#""x""#);
+        assert_eq!(&src[items[3].span.start..items[3].span.end], "0x10");
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "(a\n  (b))";
+        let forms = parse_sexprs(src).unwrap();
+        let inner = &forms[0].as_list().unwrap()[1];
+        assert_eq!(inner.span.line_col(src), (2, 3));
+        assert_eq!(forms[0].span.line_col(src), (1, 1));
     }
 }

@@ -602,8 +602,8 @@ mod tests {
             srcs.push(s);
             dsts.push(d);
         }
-        for i in 0..n {
-            assert_eq!(p.value(dsts[i]), i as i64 * 10 + 1000);
+        for (i, d) in dsts.iter().enumerate().take(n) {
+            assert_eq!(p.value(*d), i as i64 * 10 + 1000);
         }
         // Edit a source: its projection follows.
         let e = p.edit(srcs[7], Strength::Preferred).unwrap();

@@ -10,6 +10,7 @@
 
 use std::collections::HashSet;
 
+use omos_analysis::Diagnostic;
 use omos_os::ipc::{charge_roundtrip, IpcStats};
 use omos_os::process::{Binder, FirstLoad, OmosLookup, PltBind, Process};
 use omos_os::{CostModel, InMemFs, RunOutcome, SimClock};
@@ -63,6 +64,33 @@ impl Binder for OmosBinder<'_> {
             load,
         })
     }
+}
+
+/// Asks the server to lint the meta-object at `path` without
+/// instantiating it: one IPC round trip, no evaluation, no pages mapped.
+/// This is the client surface of the static analyzer (the other two are
+/// `ofe lint` over the filesystem and the server's opt-in pre-flight
+/// gate, see [`Omos::set_preflight`]).
+pub fn lint_request(
+    server: &mut Omos,
+    path: &str,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    ipc_stats: &mut IpcStats,
+) -> Result<Vec<Diagnostic>, OmosError> {
+    let diags = server.lint(path)?;
+    // The reply marshals one fixed header plus each rendered finding.
+    let reply_bytes: u64 = 64 + diags.iter().map(|d| d.render().len() as u64).sum::<u64>();
+    charge_roundtrip(
+        clock,
+        cost,
+        server.transport,
+        128,
+        reply_bytes,
+        cost.server_cached_request_ns,
+        ipc_stats,
+    );
+    Ok(diags)
 }
 
 /// Maps an instantiation reply into a fresh process.
@@ -154,6 +182,49 @@ pub fn run_under_omos(
         &mut binder,
         fuel,
     ))
+}
+
+/// Executes a Unix file through the `#!` interpreter feature (§5):
+/// "In Unix, we normally invoke this loader via the 'interpreter'
+/// feature (`#! /bin/omos`). This allows us to export entries from the
+/// OMOS namespace into the Unix namespace, in a portable fashion (as a
+/// parameter in the file)."
+///
+/// Reads `file` from the simulated filesystem; it must begin with
+/// `#! /bin/omos <namespace-path>`; the named meta-object is then
+/// executed through the bootstrap loader.
+pub fn exec_file(
+    server: &mut Omos,
+    fs: &mut InMemFs,
+    file: &str,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    ipc_stats: &mut IpcStats,
+) -> Result<Process, OmosError> {
+    fs.open(file, clock, cost)
+        .map_err(|e| OmosError::Client(e.to_string()))?;
+    let bytes = fs
+        .read(file, 0, 256, clock, cost)
+        .map_err(|e| OmosError::Client(e.to_string()))?;
+    let text = String::from_utf8_lossy(&bytes);
+    let first = text.lines().next().unwrap_or("");
+    let rest = first
+        .strip_prefix("#!")
+        .map(str::trim)
+        .ok_or_else(|| OmosError::Client(format!("{file}: not an OMOS script")))?;
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("/bin/omos") => {}
+        other => {
+            return Err(OmosError::Client(format!(
+                "{file}: interpreter {other:?} is not /bin/omos"
+            )))
+        }
+    }
+    let target = parts
+        .next()
+        .ok_or_else(|| OmosError::Client(format!("{file}: missing meta-object parameter")))?;
+    exec_bootstrap(server, target, clock, cost, ipc_stats)
 }
 
 #[cfg(test)]
@@ -256,6 +327,22 @@ _start:         li r1, 5
     }
 
     #[test]
+    fn lint_request_is_one_roundtrip_and_builds_nothing() {
+        let (mut s, mut clock, cost, _fs) = world();
+        let mut ipc = IpcStats::default();
+        let diags = lint_request(&mut s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+        assert_eq!(ipc.messages, 2);
+        s.namespace
+            .bind_blueprint("/bin/dangling", "(merge /obj/app.o)")
+            .unwrap();
+        let diags = lint_request(&mut s, "/bin/dangling", &mut clock, &cost, &mut ipc).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "OM002");
+        assert_eq!(s.stats.programs_built, 0, "lint instantiates nothing");
+    }
+
+    #[test]
     fn partial_image_scheme_lazy_loads_once() {
         let (mut s, mut clock, cost, mut fs) = world();
         s.namespace
@@ -314,47 +401,4 @@ _start:         li r1, 1
         // syscalls = exit + 1 lookup = 2.
         assert_eq!(out.stats.syscalls, 2);
     }
-}
-
-/// Executes a Unix file through the `#!` interpreter feature (§5):
-/// "In Unix, we normally invoke this loader via the 'interpreter'
-/// feature (`#! /bin/omos`). This allows us to export entries from the
-/// OMOS namespace into the Unix namespace, in a portable fashion (as a
-/// parameter in the file)."
-///
-/// Reads `file` from the simulated filesystem; it must begin with
-/// `#! /bin/omos <namespace-path>`; the named meta-object is then
-/// executed through the bootstrap loader.
-pub fn exec_file(
-    server: &mut Omos,
-    fs: &mut InMemFs,
-    file: &str,
-    clock: &mut SimClock,
-    cost: &CostModel,
-    ipc_stats: &mut IpcStats,
-) -> Result<Process, OmosError> {
-    fs.open(file, clock, cost)
-        .map_err(|e| OmosError::Client(e.to_string()))?;
-    let bytes = fs
-        .read(file, 0, 256, clock, cost)
-        .map_err(|e| OmosError::Client(e.to_string()))?;
-    let text = String::from_utf8_lossy(&bytes);
-    let first = text.lines().next().unwrap_or("");
-    let rest = first
-        .strip_prefix("#!")
-        .map(str::trim)
-        .ok_or_else(|| OmosError::Client(format!("{file}: not an OMOS script")))?;
-    let mut parts = rest.split_whitespace();
-    match parts.next() {
-        Some("/bin/omos") => {}
-        other => {
-            return Err(OmosError::Client(format!(
-                "{file}: interpreter {other:?} is not /bin/omos"
-            )))
-        }
-    }
-    let target = parts
-        .next()
-        .ok_or_else(|| OmosError::Client(format!("{file}: missing meta-object parameter")))?;
-    exec_bootstrap(server, target, clock, cost, ipc_stats)
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use omos_analysis::Diagnostic;
 use omos_blueprint::EvalError;
 use omos_constraint::PlaceError;
 use omos_link::LinkError;
@@ -27,6 +28,9 @@ pub enum OmosError {
     Client(String),
     /// The requested dynamic library id is unknown.
     NoSuchLibrary(u32),
+    /// Pre-flight static analysis found errors (only when the server's
+    /// opt-in preflight mode is enabled); warnings are not included.
+    Preflight(Vec<Diagnostic>),
 }
 
 impl fmt::Display for OmosError {
@@ -40,6 +44,13 @@ impl fmt::Display for OmosError {
             OmosError::Obj(e) => write!(f, "{e}"),
             OmosError::Client(s) => write!(f, "client error: {s}"),
             OmosError::NoSuchLibrary(id) => write!(f, "no dynamic library with id {id}"),
+            OmosError::Preflight(diags) => {
+                write!(f, "preflight analysis rejected the blueprint:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -24,7 +24,9 @@ pub mod namespace;
 pub mod server;
 
 pub use cache::{CacheStats, CachedImage};
-pub use client::{exec_bootstrap, exec_file, exec_integrated, run_under_omos, OmosBinder};
+pub use client::{
+    exec_bootstrap, exec_file, exec_integrated, lint_request, run_under_omos, OmosBinder,
+};
 pub use error::OmosError;
 pub use namespace::{Entry, Namespace};
 pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};

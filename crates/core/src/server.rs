@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use omos_analysis::{analyze_blueprint, Diagnostic, LintContext, LintResolved, Severity};
 use omos_blueprint::eval::LibraryUse;
 use omos_blueprint::{
     eval_blueprint, Blueprint, EvalContext, EvalError, EvalStats, MNode, ResolvedNode,
@@ -148,6 +149,7 @@ pub struct Omos {
     dynamic: Vec<DynamicLib>,
     dynamic_keys: HashMap<ContentHash, u32>,
     last_generation: u64,
+    preflight: bool,
 }
 
 impl Omos {
@@ -167,7 +169,41 @@ impl Omos {
             dynamic: Vec::new(),
             dynamic_keys: HashMap::new(),
             last_generation: 0,
+            preflight: false,
         }
+    }
+
+    /// Enables (or disables) opt-in pre-flight analysis: every
+    /// cache-missing instantiation is linted first, and analysis
+    /// *errors* reject the request as [`OmosError::Preflight`] before
+    /// any evaluation or linking work is spent. Warnings never block.
+    ///
+    /// Pre-flight lives here in the server rather than inside the
+    /// evaluator because of crate layering: the analyzer consumes the
+    /// blueprint crate's m-graph types, so the evaluator (in that same
+    /// crate) cannot call back into it without a dependency cycle. The
+    /// server sits above both and is the natural gate.
+    pub fn set_preflight(&mut self, enabled: bool) {
+        self.preflight = enabled;
+    }
+
+    /// Lints the meta-object (or bare fragment) at `path` without
+    /// instantiating anything.
+    pub fn lint(&mut self, path: &str) -> Result<Vec<Diagnostic>, OmosError> {
+        let bp = match self.namespace.lookup(path) {
+            Some(Entry::Meta(bp)) => (**bp).clone(),
+            Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
+            None => return Err(OmosError::NoSuchName(path.to_string())),
+        };
+        Ok(self.lint_blueprint(&bp))
+    }
+
+    /// Statically analyzes an arbitrary blueprint against this server's
+    /// namespace. Never materializes views, never touches the caches.
+    #[must_use]
+    pub fn lint_blueprint(&mut self, bp: &Blueprint) -> Vec<Diagnostic> {
+        let mut ctx = NamespaceLint(&self.namespace);
+        analyze_blueprint(bp, &mut ctx)
     }
 
     /// The server's cost model.
@@ -193,10 +229,7 @@ impl Omos {
         self.stats.requests += 1;
         let bp = match self.namespace.lookup(path) {
             Some(Entry::Meta(bp)) => (**bp).clone(),
-            Some(Entry::Object(_)) => Blueprint {
-                constraints: Vec::new(),
-                root: MNode::Leaf(path.to_string()),
-            },
+            Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
             None => return Err(OmosError::NoSuchName(path.to_string())),
         };
         self.instantiate_blueprint(&bp)
@@ -215,6 +248,17 @@ impl Omos {
             reply.server_ns = server_ns;
             reply.cache_hit = true;
             return Ok(reply);
+        }
+
+        if self.preflight {
+            let errors: Vec<Diagnostic> = self
+                .lint_blueprint(bp)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            if !errors.is_empty() {
+                return Err(OmosError::Preflight(errors));
+            }
         }
 
         let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
@@ -400,6 +444,20 @@ impl Omos {
     }
 }
 
+/// [`LintContext`] over the server namespace: read-only resolution, a
+/// missing name is a finding rather than an abort.
+struct NamespaceLint<'a>(&'a Namespace);
+
+impl LintContext for NamespaceLint<'_> {
+    fn resolve(&mut self, path: &str) -> LintResolved {
+        match self.0.lookup(path) {
+            Some(Entry::Object(o)) => LintResolved::Object(Arc::clone(o)),
+            Some(Entry::Meta(m)) => LintResolved::Meta((**m).clone()),
+            None => LintResolved::Missing,
+        }
+    }
+}
+
 impl EvalContext for Omos {
     fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
         match self.namespace.lookup(path) {
@@ -515,6 +573,42 @@ mod tests {
         assert_eq!(reply.libraries[0].image.find("_puts"), Some(0x0100_0000));
         assert_eq!(s.stats.libraries_built, 1);
         assert_eq!(s.stats.programs_built, 1);
+    }
+
+    #[test]
+    fn lint_walks_the_namespace_without_instantiating() {
+        let mut s = server();
+        assert!(s.lint("/bin/hello").unwrap().is_empty());
+        s.namespace
+            .bind_blueprint("/bin/broken", "(merge /obj/hello.o /nope)")
+            .unwrap();
+        let diags = s.lint("/bin/broken").unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "OM001");
+        assert_eq!(s.stats.programs_built, 0, "lint builds nothing");
+        assert!(matches!(
+            s.lint("/no/such/path"),
+            Err(OmosError::NoSuchName(_))
+        ));
+    }
+
+    #[test]
+    fn preflight_rejects_errors_before_any_work() {
+        let mut s = server();
+        s.set_preflight(true);
+        s.namespace
+            .bind_blueprint("/bin/broken", "(merge /obj/hello.o /nope)")
+            .unwrap();
+        match s.instantiate("/bin/broken") {
+            Err(OmosError::Preflight(diags)) => {
+                assert_eq!(diags.len(), 1);
+                assert_eq!(diags[0].code, "OM001");
+            }
+            other => panic!("expected preflight rejection, got {other:?}"),
+        }
+        assert_eq!(s.stats.programs_built, 0, "rejected before eval/link");
+        // Clean blueprints still instantiate, warnings don't block.
+        assert!(s.instantiate("/bin/hello").is_ok());
     }
 
     #[test]
@@ -777,10 +871,7 @@ impl Omos {
         self.stats.requests += 1;
         let bp = match self.namespace.lookup(path) {
             Some(Entry::Meta(bp)) => (**bp).clone(),
-            Some(Entry::Object(_)) => Blueprint {
-                constraints: Vec::new(),
-                root: MNode::Leaf(path.to_string()),
-            },
+            Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
             None => return Err(OmosError::NoSuchName(path.to_string())),
         };
         let mut server_ns = self.cost.server_cached_request_ns;

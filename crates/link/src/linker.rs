@@ -734,7 +734,7 @@ _triple:    add r2, r1, r1
         let a = assemble("a.o", ".text\n.global _f\n_f: call _g\n ret\n").unwrap();
         let b = assemble("b.o", ".text\n.global _g\n_g: call _h\n ret\n").unwrap();
         assert_eq!(
-            undefined_after(&[a.clone()]).unwrap(),
+            undefined_after(std::slice::from_ref(&a)).unwrap(),
             vec!["_g".to_string()]
         );
         assert_eq!(undefined_after(&[a, b]).unwrap(), vec!["_h".to_string()]);

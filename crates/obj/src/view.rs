@@ -11,6 +11,7 @@
 //! [`View::materialize`] (called by `merge`, `freeze`, and the linker) pays
 //! to apply the transformations to a concrete [`ObjectFile`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::{ObjError, Result};
@@ -176,6 +177,7 @@ impl View {
     /// This is the expensive path that `merge` and `freeze` take; every
     /// other operator just derives a new view.
     pub fn materialize(&self) -> Result<ObjectFile> {
+        MATERIALIZE_COUNT.fetch_add(1, Ordering::Relaxed);
         let mut obj = (*self.base).clone();
         let mut hidden_counter = 0usize;
         for op in &self.ops {
@@ -209,6 +211,28 @@ impl View {
             .map(|s| s.name.clone())
             .collect())
     }
+}
+
+/// Process-wide count of [`View::materialize`] calls.
+///
+/// Materialization is the *expensive* path (it clones section bytes);
+/// code that promises to stay on the cheap name-only path — notably the
+/// static analyzer's lint pass — asserts this counter does not move.
+static MATERIALIZE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// The number of [`View::materialize`] calls made by this process so far.
+#[must_use]
+pub fn materialize_count() -> u64 {
+    MATERIALIZE_COUNT.load(Ordering::Relaxed)
+}
+
+/// Applies one view operation to a concrete object file.
+///
+/// Public so name-only consumers (the static analyzer) can run the *real*
+/// operator semantics over a byte-free skeleton object instead of
+/// re-implementing (and drifting from) the rules in this module.
+pub fn apply_view_op(obj: &mut ObjectFile, op: &ViewOp, hidden_counter: &mut usize) -> Result<()> {
+    apply_op(obj, op, hidden_counter)
 }
 
 /// Applies one operation to a concrete object file.

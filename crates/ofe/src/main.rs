@@ -20,11 +20,17 @@
 //!                                  rename-defs)
 //! ofe hide RE IN OUT               and: show, restrict, project, freeze
 //! ofe copy-as RE REPL IN OUT       duplicate definitions
+//! ofe lint BLUEPRINT               static analysis, no linking; operand
+//!                                  paths resolve as files relative to
+//!                                  the blueprint's directory
 //! ```
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use omos_analysis::{analyze_blueprint, LintContext, LintResolved, Severity};
+use omos_blueprint::Blueprint;
 use omos_isa::{assemble, Inst, INST_BYTES};
 use omos_module::Module;
 use omos_obj::encode::{read_any, write, Format};
@@ -47,7 +53,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as> ...";
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint> ...";
 
 /// Executes one OFE command; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, String> {
@@ -140,7 +146,88 @@ pub fn run(args: &[String]) -> Result<String, String> {
             )?;
             Ok(String::new())
         }
+        "lint" => match rest {
+            [file] => lint(file),
+            _ => Err("lint BLUEPRINT".into()),
+        },
         _ => Err(USAGE.to_string()),
+    }
+}
+
+/// `ofe lint`: parses a blueprint file and runs the pre-link static
+/// analyzer over it, resolving operand paths in the Unix filesystem.
+/// Warnings go to stdout (exit 0); any error makes the command fail.
+fn lint(file: &str) -> Result<String, String> {
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
+    let base = std::path::Path::new(file)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf();
+    let mut ctx = FsLintCtx { base };
+    let diags = analyze_blueprint(&bp, &mut ctx);
+    let mut report = String::new();
+    let mut errors = 0usize;
+    for d in &diags {
+        if d.severity == Severity::Error {
+            errors += 1;
+        }
+        match d.span {
+            Some(s) => {
+                let (line, col) = s.line_col(&src);
+                let _ = writeln!(
+                    report,
+                    "{file}:{line}:{col}: {}[{}]: {}",
+                    d.severity, d.code, d.message
+                );
+            }
+            None => {
+                let _ = writeln!(report, "{file}: {}[{}]: {}", d.severity, d.code, d.message);
+            }
+        }
+    }
+    if errors > 0 {
+        let _ = write!(
+            report,
+            "{errors} error{} found",
+            if errors == 1 { "" } else { "s" }
+        );
+        Err(report)
+    } else {
+        Ok(report)
+    }
+}
+
+/// [`LintContext`] over the Unix filesystem: a leaf path is tried
+/// verbatim, then relative to the blueprint's directory (with the OMOS
+/// namespace's leading `/` stripped). Object files are recognized by
+/// their encoding; anything else that parses as a blueprint is a
+/// meta-object.
+struct FsLintCtx {
+    base: std::path::PathBuf,
+}
+
+impl LintContext for FsLintCtx {
+    fn resolve(&mut self, path: &str) -> LintResolved {
+        let candidates = [
+            std::path::PathBuf::from(path),
+            self.base.join(path.trim_start_matches('/')),
+        ];
+        for p in candidates {
+            let Ok(bytes) = std::fs::read(&p) else {
+                continue;
+            };
+            if let Ok(obj) = read_any(&bytes) {
+                return LintResolved::Object(Arc::new(obj));
+            }
+            if let Ok(text) = String::from_utf8(bytes) {
+                if let Ok(bp) = Blueprint::parse(&text) {
+                    return LintResolved::Meta(bp);
+                }
+            }
+            return LintResolved::Missing;
+        }
+        LintResolved::Missing
     }
 }
 
@@ -338,6 +425,53 @@ _msg:       .asciz "hello-world"
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn lint_reports_findings_with_line_and_column() {
+        let caller = tmp("caller.o");
+        let obj = assemble(
+            "caller.o",
+            ".text\n.global _start\n_start: call _malloc\n sys 0\n",
+        )
+        .unwrap();
+        std::fs::write(&caller, write(Format::Aout, &obj)).unwrap();
+        let lib = write_sample("alloc.o");
+
+        // Clean: every reference binds.
+        let good = tmp("good.bp");
+        std::fs::write(&good, format!("(merge {caller} {lib})")).unwrap();
+        assert_eq!(run(&args(&["lint", &good])).unwrap(), "");
+
+        // Dead pattern: warning on stdout, exit still success.
+        let warn = tmp("warn.bp");
+        std::fs::write(
+            &warn,
+            format!("(rename \"^_none$\" \"_x\" (merge {caller} {lib}))"),
+        )
+        .unwrap();
+        let out = run(&args(&["lint", &warn])).unwrap();
+        assert!(out.contains("warning[OM005]"), "{out}");
+        assert!(out.contains(":1:1:"), "{out}");
+
+        // Unresolved operand: error, command fails.
+        let bad = tmp("bad.bp");
+        std::fs::write(&bad, format!("(merge {caller}\n       /no/such.o)")).unwrap();
+        let err = run(&args(&["lint", &bad])).unwrap_err();
+        assert!(err.contains("error[OM001]"), "{err}");
+        assert!(err.contains(":2:8:"), "{err}");
+        assert!(err.contains("1 error found"), "{err}");
+
+        // A sibling blueprint file works as a meta-object operand.
+        let meta = tmp("libm.bp");
+        std::fs::write(
+            &meta,
+            format!("(constraint-list \"T\" 0x1000000)\n(merge {lib})"),
+        )
+        .unwrap();
+        let uses_meta = tmp("uses-meta.bp");
+        std::fs::write(&uses_meta, format!("(merge {caller} {meta})")).unwrap();
+        assert_eq!(run(&args(&["lint", &uses_meta])).unwrap(), "");
     }
 
     #[test]

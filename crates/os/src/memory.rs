@@ -92,7 +92,7 @@ impl AddressSpace {
         frames: &[Arc<Frame>],
         writable: bool,
     ) -> Result<MapWork, String> {
-        if vaddr % PAGE_SIZE != 0 {
+        if !vaddr.is_multiple_of(PAGE_SIZE) {
             return Err(format!("segment base {vaddr:#x} not page aligned"));
         }
         let first = vaddr / PAGE_SIZE;
@@ -131,7 +131,7 @@ impl AddressSpace {
 
     /// Maps `pages` fresh private zero pages at `vaddr` (stack, heap).
     pub fn map_private_zero(&mut self, vaddr: u32, pages: u32) -> Result<MapWork, String> {
-        if vaddr % PAGE_SIZE != 0 {
+        if !vaddr.is_multiple_of(PAGE_SIZE) {
             return Err(format!("base {vaddr:#x} not page aligned"));
         }
         let first = vaddr / PAGE_SIZE;

@@ -335,7 +335,7 @@ impl SyscallHandler for Runtime<'_> {
                 if let Some((name, stat)) = entries.get(f.pos as usize).cloned() {
                     f.pos += 1;
                     let mut rec = [0u8; 32];
-                    let n = name.as_bytes().len().min(23);
+                    let n = name.len().min(23);
                     rec[..n].copy_from_slice(&name.as_bytes()[..n]);
                     rec[24..28].copy_from_slice(&stat.size.to_le_bytes());
                     rec[28..32].copy_from_slice(&stat.mode.to_le_bytes());

@@ -56,6 +56,11 @@ _bad:       call _undefined_routine
         .namespace
         .bind_blueprint("/bin/broken", "(merge /lib/lib-with-problems /lib/abort.o)")
         .expect("parses");
+    // The static analyzer sees the dangling references without linking
+    // (or even evaluating) anything:
+    for d in server.lint("/bin/broken").expect("lints") {
+        println!("lint: {d}");
+    }
     let err = server
         .instantiate("/bin/broken")
         .expect_err("must fail to link");

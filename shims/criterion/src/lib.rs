@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crates registry, so the
+//! workspace vendors the subset of criterion 0.5 its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of statistics-grade sampling it times a small fixed number
+//! of iterations and prints mean wall-clock time per iteration — enough
+//! to eyeball hot-path regressions and, more importantly, to keep the
+//! bench targets compiling and runnable under `cargo test` / `cargo
+//! bench` with no external dependencies. Set `CRITERION_ITERS` to raise
+//! the iteration count for steadier numbers.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+fn iterations() -> u64 {
+    std::env::var("CRITERION_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Runs one benchmark body a fixed number of times.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Bencher {
+        Bencher {
+            iters,
+            total_ns: 0,
+            timed_iters: 0,
+        }
+    }
+
+    /// Times `routine` over the configured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            let out = routine();
+            self.total_ns += t0.elapsed().as_nanos();
+            self.timed_iters += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.total_ns += t0.elapsed().as_nanos();
+            self.timed_iters += 1;
+            drop(out);
+        }
+    }
+}
+
+fn run_one(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(iters);
+    f(&mut b);
+    let mean = if b.timed_iters > 0 {
+        b.total_ns / u128::from(b.timed_iters)
+    } else {
+        0
+    };
+    println!(
+        "bench {name:<40} {mean:>12} ns/iter ({} iters)",
+        b.timed_iters
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(name, iterations(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            iters: iterations(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; also caps this group's iteration
+    /// count (real criterion uses it as the statistical sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = self.iters.min(n as u64).max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.iters, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn batched_setup_feeds_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut total = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| total += v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(total >= 42);
+    }
+}

@@ -1,0 +1,181 @@
+//! String generation from the regex subset used as `&str` strategies:
+//! literal characters, `\`-escapes, character classes with ranges, and
+//! the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Flattened class alternatives.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \-, \], \$ …
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut options = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        let hi = if chars[i + 1] == '\\' {
+                            i += 1;
+                            unescape(chars[i + 1])
+                        } else {
+                            chars[i + 1]
+                        };
+                        i += 2;
+                        for c in lo..=hi {
+                            options.push(c);
+                        }
+                    } else {
+                        options.push(lo);
+                    }
+                }
+                i += 1; // consume ']'
+                assert!(!options.is_empty(), "empty class in pattern `{pattern}`");
+                Atom::Class(options)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Literal(c)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                        None => {
+                            let n = body.trim().parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(options) => {
+                    out.push(options[rng.below(options.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_count() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn leading_class_then_tail() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            let s = generate("[a-z_][a-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let c0 = s.chars().next().unwrap();
+            assert!(c0.is_ascii_lowercase() || c0 == '_');
+        }
+    }
+
+    #[test]
+    fn printable_with_newline() {
+        let mut rng = TestRng::new(8);
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = generate("[ -~\n]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            saw_newline |= s.contains('\n');
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        assert!(saw_newline, "newline alternative never sampled");
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::new(9);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("a{3}", &mut rng), "aaa");
+        let s = generate("x?", &mut rng);
+        assert!(s.is_empty() || s == "x");
+    }
+}

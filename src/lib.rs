@@ -8,6 +8,7 @@
 //! * [`link`] — the linker core (layout, resolution, relocation, PIC/PLT);
 //! * [`module`] — the Jigsaw module operators;
 //! * [`blueprint`] — the blueprint language and m-graph evaluator;
+//! * [`analysis`] — the pre-link static analyzer behind `ofe lint`;
 //! * [`constraint`] — address placement and the DeltaBlue solver;
 //! * [`os`] — the simulated operating system (clock, fs, vm, ipc, exec);
 //! * [`core`] — the OMOS server itself;
@@ -16,6 +17,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
 
+pub use omos_analysis as analysis;
 pub use omos_bench as bench;
 pub use omos_blueprint as blueprint;
 pub use omos_constraint as constraint;

@@ -236,6 +236,202 @@ _abort:     halt
     assert!(reply.program.image.find("_undef_var").is_some());
 }
 
+// --- Static analysis over the figures --------------------------------------
+//
+// The paper's own blueprints must lint clean (zero diagnostics), and a
+// seeded defect in each must be caught by exactly the right detector,
+// pointing at the right source bytes.
+
+fn figure1_world() -> Omos {
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    for m in [
+        "gen", "stdio", "string", "stdlib", "hppa", "net", "quad", "rpc",
+    ] {
+        s.namespace.bind_object(
+            &format!("/libc/{m}"),
+            assemble(
+                m,
+                &format!(".text\n.global _{m}_fn\n_{m}_fn: li r1, 1\n ret\n"),
+            )
+            .unwrap(),
+        );
+    }
+    s.namespace.bind_blueprint("/lib/libc", FIGURE_1).unwrap();
+    s.namespace.bind_object(
+        "/obj/use.o",
+        assemble(
+            "use.o",
+            ".text\n.global _start\n_start: call _stdio_fn\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/use", "(merge /obj/use.o /lib/libc)")
+        .unwrap();
+    s
+}
+
+fn figure2_world() -> Omos {
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/bin/ls.o",
+        assemble(
+            "ls.o",
+            ".text\n.global _start\n_start: li r1, 48\n call _malloc\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace.bind_object(
+        "/lib/libc.o",
+        assemble("libc.o", ".text\n.global _malloc\n_malloc: sys 7\n ret\n").unwrap(),
+    );
+    s.namespace.bind_object(
+        "/lib/test_malloc.o",
+        assemble(
+            "tm.o",
+            r#"
+            .text
+            .global _malloc
+            .extern _REAL_malloc
+_malloc:    call _REAL_malloc
+            ret
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/ls-traced", FIGURE_2)
+        .unwrap();
+    s
+}
+
+fn figure3_world() -> Omos {
+    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/lib/lib-with-problems",
+        assemble(
+            "lwp.o",
+            r#"
+            .text
+            .global _start, _abort
+_start:     li r2, _undef_var
+            ld r1, [r2]
+            sys 0
+_abort:     halt
+            .extern _undefined_routine
+            "#,
+        )
+        .unwrap(),
+    );
+    s.namespace.bind_blueprint("/bin/fixed", FIGURE_3).unwrap();
+    s
+}
+
+#[test]
+fn figure_blueprints_lint_clean() {
+    // Zero diagnostics — not merely zero errors — on the paper's own
+    // blueprints and every auxiliary blueprint these worlds bind.
+    let mut s = figure1_world();
+    for path in ["/lib/libc", "/bin/use"] {
+        let diags = s.lint(path).unwrap();
+        assert!(diags.is_empty(), "{path}: {diags:?}");
+    }
+    let mut s = figure2_world();
+    let diags = s.lint("/bin/ls-traced").unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+    let mut s = figure3_world();
+    let diags = s.lint("/bin/fixed").unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn seeded_unresolved_operand_is_caught_with_its_span() {
+    let mut s = figure1_world();
+    let defective = FIGURE_1.replace("/libc/rpc)", "/libc/rpc /libc/bogus)");
+    s.namespace
+        .bind_blueprint("/lib/libc-bad", &defective)
+        .unwrap();
+    let diags = s.lint("/lib/libc-bad").unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "OM001");
+    let span = diags[0].span.expect("span");
+    let at = defective.find("/libc/bogus").unwrap();
+    assert_eq!((span.start, span.end), (at, at + "/libc/bogus".len()));
+}
+
+#[test]
+fn seeded_duplicate_definition_is_caught() {
+    // Figure 2 without the `restrict` step: the old _malloc definition
+    // survives and collides with the replacement.
+    let mut s = figure2_world();
+    let defective = r#"
+(hide "_REAL_malloc"
+  (merge
+    (copy_as "^_malloc$" "_REAL_malloc"
+      (merge /bin/ls.o /lib/libc.o))
+    /lib/test_malloc.o))
+"#;
+    s.namespace
+        .bind_blueprint("/bin/ls-traced-bad", defective)
+        .unwrap();
+    let diags = s.lint("/bin/ls-traced-bad").unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "OM003");
+    assert!(diags[0].message.contains("_malloc"), "{diags:?}");
+    let span = diags[0].span.expect("span");
+    let at = defective.find("/lib/test_malloc.o").unwrap();
+    assert_eq!(
+        (span.start, span.end),
+        (at, at + "/lib/test_malloc.o".len())
+    );
+}
+
+#[test]
+fn seeded_dead_pattern_is_caught() {
+    // Figure 2 with a typo in the final hide: nothing matches, the
+    // stashed copy leaks into the exported namespace.
+    let mut s = figure2_world();
+    let defective = FIGURE_2.replace("(hide \"_REAL_malloc\"", "(hide \"_REALLY_malloc\"");
+    s.namespace
+        .bind_blueprint("/bin/ls-traced-bad", &defective)
+        .unwrap();
+    let diags = s.lint("/bin/ls-traced-bad").unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "OM005");
+    let span = diags[0].span.expect("span");
+    let at = defective.find("(hide").unwrap();
+    assert_eq!(span.start, at, "span starts at the dead hide form");
+}
+
+#[test]
+fn seeded_unresolved_reference_is_caught() {
+    // Figure 3 rerouting to a routine that doesn't exist.
+    let mut s = figure3_world();
+    let defective = FIGURE_3.replace("\"_abort\"", "\"_abort_misspelled\"");
+    s.namespace
+        .bind_blueprint("/bin/fixed-bad", &defective)
+        .unwrap();
+    let diags = s.lint("/bin/fixed-bad").unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "OM002");
+    assert!(diags[0].message.contains("_abort_misspelled"), "{diags:?}");
+    assert!(diags[0].span.is_some());
+}
+
+#[test]
+fn seeded_constraint_overlap_is_caught() {
+    // A client pinning itself on top of figure 1's library text window.
+    let mut s = figure1_world();
+    let defective = "(constraint-list \"T\" 0x100000)\n(merge /obj/use.o /lib/libc)";
+    s.namespace
+        .bind_blueprint("/bin/use-overlap", defective)
+        .unwrap();
+    let diags = s.lint("/bin/use-overlap").unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "OM008");
+    assert!(diags[0].message.contains("/lib/libc"), "{diags:?}");
+}
+
 #[test]
 fn figure_blueprints_hash_stably() {
     // The server's caches key on these hashes; they must be stable

@@ -83,6 +83,9 @@ _start:     li r1, 12
 #[test]
 fn program_spanning_two_libraries_runs_under_both_exec_paths() {
     let mut s = world();
+    // Pre-flight analysis is on for the whole pipeline: a false-positive
+    // lint error on any of these blueprints would break instantiation.
+    s.set_preflight(true);
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     for integrated in [false, true] {

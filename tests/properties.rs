@@ -192,7 +192,7 @@ proptest! {
     fn linking_is_deterministic(obj in arb_object()) {
         let mut opts = LinkOptions::library("prop", 0x0040_0000, 0x4000_0000);
         opts.allow_undefined = true;
-        let a = link(&[obj.clone()], &opts).expect("links");
+        let a = link(std::slice::from_ref(&obj), &opts).expect("links");
         let b = link(&[obj], &opts).expect("links");
         prop_assert_eq!(a.image.content_hash(), b.image.content_hash());
         prop_assert_eq!(a.stats, b.stats);
