@@ -63,7 +63,7 @@ fn cold_vs_warm() {
         warm.elapsed_ns as f64 / 1e6,
         cold.elapsed_ns as f64 / warm.elapsed_ns as f64
     );
-    let st = s.server.stats;
+    let st = s.server.stats();
     println!(
         "  server: {} requests, {} reply-cache hits, {} libraries built, {} programs built\n",
         st.requests, st.reply_cache_hits, st.libraries_built, st.programs_built

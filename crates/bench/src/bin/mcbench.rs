@@ -1,0 +1,54 @@
+//! `mcbench` — the multi-client throughput benchmark.
+//!
+//! Sweeps 1/2/4/8 client threads against one shared OMOS server, cold
+//! and warm, and writes `BENCH_CONCURRENCY.json` (or the path given as
+//! the first argument). See `omos_bench::mcbench` for methodology.
+
+use omos_bench::mcbench::{run_multiclient, to_json};
+use omos_bench::workload::WorkloadSizes;
+use omos_os::ipc::Transport;
+use omos_os::CostModel;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_CONCURRENCY.json".to_string());
+    let result = run_multiclient(
+        &WorkloadSizes::small(),
+        CostModel::hpux(),
+        Transport::SysVMsg,
+        &[1, 2, 4, 8],
+        25,
+    );
+    eprintln!(
+        "{:>6} {:>5} {:>9} {:>14} {:>14}  builds (replies/programs/libs)",
+        "phase", "thr", "requests", "makespan_ms", "req/s"
+    );
+    for (phase, p) in result
+        .cold
+        .iter()
+        .map(|p| ("cold", p))
+        .chain(result.warm.iter().map(|p| ("warm", p)))
+    {
+        eprintln!(
+            "{:>6} {:>5} {:>9} {:>14.3} {:>14.0}  {}/{}/{}",
+            phase,
+            p.threads,
+            p.requests,
+            p.makespan_ns as f64 / 1e6,
+            p.throughput_rps,
+            p.stats.replies_built,
+            p.stats.programs_built,
+            p.stats.libraries_built,
+        );
+    }
+    if let Some(s) = result.warm_scaling(1, 4) {
+        eprintln!("warm scaling 1 -> 4 threads: {s:.2}x");
+    }
+    let json = to_json(&result);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("mcbench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

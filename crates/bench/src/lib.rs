@@ -11,12 +11,14 @@
 //! so the harness binaries can produce Table 1, the reordering
 //! experiment, and the memory-use comparison.
 
+pub mod mcbench;
 pub mod memshare;
 pub mod reorder;
 pub mod report;
 pub mod workload;
 pub mod world;
 
+pub use mcbench::{run_multiclient, McResult, PhaseResult};
 pub use reorder::{run_reorder_experiment, ReorderConfig, ReorderResult};
 pub use workload::{
     codegen_workload, libc_objects, ls_object, populate_fs, LsVariant, WorkloadSizes,

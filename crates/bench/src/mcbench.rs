@@ -1,0 +1,304 @@
+//! Multi-client throughput benchmark.
+//!
+//! The ROADMAP north-star is a server under "heavy traffic": many
+//! clients hitting one persistent OMOS at once. This harness spawns
+//! 1/2/4/8 client threads against a shared [`Omos`] and measures
+//! request throughput in two phases:
+//!
+//! * **cold** — a fresh server; concurrent cold-starts of the same
+//!   program must coalesce through the single-flight table (the stats
+//!   deltas in the report show how many builds actually ran);
+//! * **warm** — the same server again; every request is a reply-cache
+//!   hit and throughput should scale with the thread count.
+//!
+//! Time is measured in the *simulation* domain: each client thread owns
+//! a [`SimClock`] and charges the usual IPC round trip plus the server
+//! CPU its replies report, exactly like the exec paths do. The phase
+//! *makespan* is the maximum per-thread simulated elapsed time (threads
+//! model independent CPUs); throughput is total requests over that
+//! makespan. Wall-clock per phase is recorded for reference but is not
+//! meaningful on a single-CPU host — the simulated numbers are the
+//! deterministic, asserted ones.
+
+use std::sync::Barrier;
+
+use omos_core::{Omos, ServerStats};
+use omos_os::ipc::{charge_roundtrip, IpcStats};
+use omos_os::{CostModel, SimClock};
+
+use crate::workload::WorkloadSizes;
+use crate::world::{Scenario, PROGRAMS};
+
+/// One measured phase (one thread count, cold or warm).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// Client threads.
+    pub threads: usize,
+    /// Total requests issued across all threads.
+    pub requests: u64,
+    /// Max per-thread simulated elapsed time.
+    pub makespan_ns: u64,
+    /// `requests / makespan` in requests per simulated second.
+    pub throughput_rps: f64,
+    /// Host wall-clock for the phase, for reference only.
+    pub wall_ms: f64,
+    /// Server counter deltas over the phase.
+    pub stats: ServerStats,
+    /// IPC traffic summed over all clients.
+    pub ipc: IpcStats,
+}
+
+/// The full sweep: cold and warm phases per thread count.
+#[derive(Debug)]
+pub struct McResult {
+    /// Requests each thread issues per phase.
+    pub requests_per_thread: usize,
+    /// Cold-phase results, one per thread count.
+    pub cold: Vec<PhaseResult>,
+    /// Warm-phase results, one per thread count.
+    pub warm: Vec<PhaseResult>,
+}
+
+impl McResult {
+    /// Warm throughput ratio between the `a`-thread and `b`-thread runs.
+    #[must_use]
+    pub fn warm_scaling(&self, a: usize, b: usize) -> Option<f64> {
+        let at = self.warm.iter().find(|p| p.threads == a)?;
+        let bt = self.warm.iter().find(|p| p.threads == b)?;
+        Some(bt.throughput_rps / at.throughput_rps)
+    }
+}
+
+fn delta(after: ServerStats, before: ServerStats) -> ServerStats {
+    ServerStats {
+        requests: after.requests - before.requests,
+        reply_cache_hits: after.reply_cache_hits - before.reply_cache_hits,
+        coalesced: after.coalesced - before.coalesced,
+        replies_built: after.replies_built - before.replies_built,
+        libraries_built: after.libraries_built - before.libraries_built,
+        programs_built: after.programs_built - before.programs_built,
+        cpu_ns: after.cpu_ns - before.cpu_ns,
+    }
+}
+
+/// Runs one phase: `threads` clients, each issuing `per_thread`
+/// requests round-robin over the scenario programs, all released
+/// together by a barrier.
+fn run_phase(server: &Omos, threads: usize, per_thread: usize, cost: &CostModel) -> PhaseResult {
+    let before = server.stats();
+    let barrier = Barrier::new(threads);
+    let wall_start = std::time::Instant::now();
+    let per_client: Vec<(u64, IpcStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut clock = SimClock::new();
+                    let mut ipc = IpcStats::default();
+                    barrier.wait();
+                    for i in 0..per_thread {
+                        // Offset by thread id so cold-start collisions
+                        // happen on every program, not just the first.
+                        let program = PROGRAMS[(t + i) % PROGRAMS.len()];
+                        let reply = server
+                            .instantiate(&format!("/bin/{program}"))
+                            .expect("benchmark programs instantiate");
+                        charge_roundtrip(
+                            &mut clock,
+                            cost,
+                            server.transport,
+                            128,
+                            256 + 32 * reply.total_pages(),
+                            reply.server_ns,
+                            &mut ipc,
+                        );
+                    }
+                    (clock.elapsed_ns, ipc)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    let makespan_ns = per_client.iter().map(|(ns, _)| *ns).max().unwrap_or(0);
+    let mut ipc = IpcStats::default();
+    for (_, i) in &per_client {
+        ipc += *i;
+    }
+    let requests = (threads * per_thread) as u64;
+    PhaseResult {
+        threads,
+        requests,
+        makespan_ns,
+        throughput_rps: if makespan_ns == 0 {
+            0.0
+        } else {
+            requests as f64 * 1e9 / makespan_ns as f64
+        },
+        wall_ms,
+        stats: delta(server.stats(), before),
+        ipc,
+    }
+}
+
+/// Runs the full sweep. Each thread count gets a *fresh* server for its
+/// cold phase; the warm phase reuses that same (now fully cached)
+/// server.
+#[must_use]
+pub fn run_multiclient(
+    sizes: &WorkloadSizes,
+    cost: CostModel,
+    transport: omos_os::ipc::Transport,
+    thread_counts: &[usize],
+    per_thread: usize,
+) -> McResult {
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for &threads in thread_counts {
+        let scenario = Scenario::build(*sizes, cost, transport);
+        let server = scenario.server;
+        cold.push(run_phase(&server, threads, per_thread, &cost));
+        warm.push(run_phase(&server, threads, per_thread, &cost));
+    }
+    McResult {
+        requests_per_thread: per_thread,
+        cold,
+        warm,
+    }
+}
+
+fn phase_json(out: &mut String, phase: &str, p: &PhaseResult) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        concat!(
+            "    {{\"phase\": \"{}\", \"threads\": {}, \"requests\": {}, ",
+            "\"makespan_ns\": {}, \"throughput_rps\": {:.1}, \"wall_ms\": {:.3}, ",
+            "\"replies_built\": {}, \"reply_cache_hits\": {}, \"coalesced\": {}, ",
+            "\"programs_built\": {}, \"libraries_built\": {}, ",
+            "\"ipc_messages\": {}, \"ipc_bytes\": {}}}"
+        ),
+        phase,
+        p.threads,
+        p.requests,
+        p.makespan_ns,
+        p.throughput_rps,
+        p.wall_ms,
+        p.stats.replies_built,
+        p.stats.reply_cache_hits,
+        p.stats.coalesced,
+        p.stats.programs_built,
+        p.stats.libraries_built,
+        p.ipc.messages,
+        p.ipc.bytes,
+    );
+}
+
+/// Renders the sweep as a JSON document (no serde in the workspace; the
+/// schema is flat enough to emit by hand).
+#[must_use]
+pub fn to_json(r: &McResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"multiclient-throughput\",");
+    let _ = writeln!(
+        out,
+        "  \"programs\": [{}],",
+        PROGRAMS
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  \"requests_per_thread\": {},", r.requests_per_thread);
+    let _ = writeln!(out, "  \"phases\": [");
+    let total = r.cold.len() + r.warm.len();
+    for (i, (phase, p)) in r
+        .cold
+        .iter()
+        .map(|p| ("cold", p))
+        .chain(r.warm.iter().map(|p| ("warm", p)))
+        .enumerate()
+    {
+        phase_json(&mut out, phase, p);
+        let _ = writeln!(out, "{}", if i + 1 < total { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"warm_scaling_1_to_4\": {:.2}",
+        r.warm_scaling(1, 4).unwrap_or(0.0)
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_os::ipc::Transport;
+
+    #[test]
+    fn warm_throughput_scales_at_least_2x_from_1_to_4_threads() {
+        let r = run_multiclient(
+            &WorkloadSizes::small(),
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &[1, 4],
+            12,
+        );
+        let scaling = r.warm_scaling(1, 4).expect("both thread counts ran");
+        assert!(
+            scaling >= 2.0,
+            "warm throughput must scale >= 2x from 1 to 4 threads, got {scaling:.2}x"
+        );
+        // Warm phases never build: every request is a hit (or coalesces
+        // with a concurrent one).
+        for p in &r.warm {
+            assert_eq!(p.stats.replies_built, 0, "warm phase rebuilt something");
+            assert_eq!(
+                p.stats.reply_cache_hits + p.stats.coalesced,
+                p.stats.requests
+            );
+        }
+    }
+
+    #[test]
+    fn cold_phase_builds_each_program_once() {
+        let r = run_multiclient(
+            &WorkloadSizes::small(),
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &[8],
+            6,
+        );
+        let cold = &r.cold[0];
+        assert_eq!(cold.stats.replies_built, PROGRAMS.len() as u64);
+        assert_eq!(cold.stats.programs_built, PROGRAMS.len() as u64);
+        assert_eq!(
+            cold.stats.requests,
+            cold.stats.reply_cache_hits + cold.stats.coalesced + cold.stats.replies_built
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = run_multiclient(
+            &WorkloadSizes::small(),
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &[1],
+            3,
+        );
+        let j = to_json(&r);
+        assert!(j.contains("\"bench\": \"multiclient-throughput\""));
+        assert!(j.contains("\"phase\": \"cold\""));
+        assert!(j.contains("\"phase\": \"warm\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

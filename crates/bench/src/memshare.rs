@@ -157,7 +157,7 @@ pub fn measure_native(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, S
 
 /// Measures `n` concurrent OMOS self-contained `ls` processes.
 pub fn measure_omos(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
-    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     for (path, obj) in libc_objects(sizes) {
         server.namespace.bind_object(&path, obj);
     }
@@ -187,9 +187,9 @@ pub fn measure_omos(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, Str
         let mut fs = InMemFs::new();
         populate_fs(&mut fs, sizes);
         let mut ipc = IpcStats::default();
-        let mut p = exec_bootstrap(&mut server, "/bin/ls", &mut clock, &cost, &mut ipc)
+        let mut p = exec_bootstrap(&server, "/bin/ls", &mut clock, &cost, &mut ipc)
             .map_err(|e| e.to_string())?;
-        let mut binder = OmosBinder::new(&mut server);
+        let mut binder = OmosBinder::new(&server);
         let run = run_process(&mut p, &mut clock, &cost, &mut fs, &mut binder, 10_000_000);
         if !matches!(run.stop, StopReason::Exited(0)) {
             return Err(format!("omos ls failed: {:?}", run.stop));
@@ -235,7 +235,7 @@ pub fn measure_static_mixed(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMem
 /// Mixed population under OMOS: one shared libc instance serves both
 /// programs.
 pub fn measure_omos_mixed(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemory, String> {
-    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     for (path, obj) in libc_objects(sizes) {
         server.namespace.bind_object(&path, obj);
     }
@@ -272,9 +272,9 @@ pub fn measure_omos_mixed(n: usize, sizes: &WorkloadSizes) -> Result<SchemeMemor
             let mut fs = InMemFs::new();
             populate_fs(&mut fs, sizes);
             let mut ipc = IpcStats::default();
-            let mut p = exec_bootstrap(&mut server, prog, &mut clock, &cost, &mut ipc)
+            let mut p = exec_bootstrap(&server, prog, &mut clock, &cost, &mut ipc)
                 .map_err(|e| e.to_string())?;
-            let mut binder = OmosBinder::new(&mut server);
+            let mut binder = OmosBinder::new(&server);
             let run = run_process(&mut p, &mut clock, &cost, &mut fs, &mut binder, 10_000_000);
             if !matches!(run.stop, StopReason::Exited(0)) {
                 return Err(format!("omos {prog} failed: {:?}", run.stop));

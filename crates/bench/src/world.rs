@@ -137,7 +137,7 @@ impl Scenario {
         let native = NativeWorld::new(native_libs);
 
         // --- OMOS world. -----------------------------------------------------
-        let mut server = Omos::new(cost, transport);
+        let server = Omos::new(cost, transport);
         for (path, obj) in &libc {
             server.namespace.bind_object(path, obj.clone());
         }
@@ -248,7 +248,7 @@ impl Scenario {
         // The measuring loop's own fork of each iteration.
         clock.charge_system(self.cost.fork_ns);
         let out = run_under_omos(
-            &mut self.server,
+            &self.server,
             &format!("/bin/{program}"),
             integrated,
             &mut clock,

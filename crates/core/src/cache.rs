@@ -6,13 +6,23 @@
 //! hits. A byte budget with LRU eviction models the paper's caveat that
 //! "disk space for caching multiple versions of large libraries could be
 //! significant".
+//!
+//! The cache is internally synchronized and sharded by key so many
+//! server threads can hit it concurrently: each shard has its own lock
+//! and LRU list; the byte total and the hit/miss counters are atomics.
+//! Eviction only ever drops the cache's *reference* — images are held as
+//! `Arc<CachedImage>`, so a client that still maps an evicted image
+//! keeps its frames alive until it unmaps.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use omos_link::{LinkStats, LinkedImage};
 use omos_obj::ContentHash;
 use omos_os::ImageFrames;
+
+use crate::sync::lock;
 
 /// A fully bound, framed, ready-to-map image.
 #[derive(Debug)]
@@ -35,7 +45,7 @@ impl CachedImage {
     }
 }
 
-/// Hit/miss counters.
+/// Hit/miss counters (a snapshot; see [`ImageCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found an entry.
@@ -48,97 +58,192 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// LRU image cache with a byte budget.
-#[derive(Debug)]
-pub struct ImageCache {
+/// One shard: its own map and LRU queue under one lock.
+#[derive(Debug, Default)]
+struct Shard {
     map: HashMap<ContentHash, Arc<CachedImage>>,
     lru: VecDeque<ContentHash>,
-    bytes: u64,
-    budget: u64,
-    /// Counters.
-    pub stats: CacheStats,
 }
 
+impl Shard {
+    /// Removes `victim` from this shard, returning its size.
+    fn evict(&mut self, victim: ContentHash) -> Option<u64> {
+        let old = self.map.remove(&victim)?;
+        if let Some(pos) = self.lru.iter().position(|&k| k == victim) {
+            self.lru.remove(pos);
+        }
+        Some(old.size_bytes())
+    }
+
+    /// Oldest key that is not `protect`, if any.
+    fn lru_victim(&self, protect: ContentHash) -> Option<ContentHash> {
+        self.lru.iter().copied().find(|&k| k != protect)
+    }
+}
+
+/// Sharded LRU image cache with a global byte budget.
+#[derive(Debug)]
+pub struct ImageCache {
+    shards: Vec<Mutex<Shard>>,
+    bytes: AtomicU64,
+    budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count: enough that eight clients rarely collide, small
+/// enough that the cross-shard eviction sweep stays cheap.
+const DEFAULT_SHARDS: usize = 8;
+
 impl ImageCache {
-    /// A cache with the given byte budget (use `u64::MAX` for unbounded).
+    /// A cache with the given byte budget (use `u64::MAX` for unbounded)
+    /// and the default shard count.
     #[must_use]
     pub fn new(budget: u64) -> ImageCache {
+        ImageCache::with_shards(budget, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count. One shard gives globally
+    /// exact LRU order (useful for deterministic tests); more shards
+    /// approximate LRU per shard but scale.
+    #[must_use]
+    pub fn with_shards(budget: u64, shards: usize) -> ImageCache {
         ImageCache {
-            map: HashMap::new(),
-            lru: VecDeque::new(),
-            bytes: 0,
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            bytes: AtomicU64::new(0),
             budget,
-            stats: CacheStats::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, key: ContentHash) -> usize {
+        // ContentHash is already a mixed 64-bit digest; the low bits
+        // pick the shard.
+        (key.0 as usize) % self.shards.len()
+    }
+
+    /// A consistent snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Current cached bytes.
     #[must_use]
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// The byte budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
     }
 
     /// Number of cached images.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
     }
 
     /// True if empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shards.iter().all(|s| lock(s).map.is_empty())
     }
 
     /// Looks up an image, refreshing its LRU position.
-    pub fn get(&mut self, key: ContentHash) -> Option<Arc<CachedImage>> {
-        match self.map.get(&key) {
+    pub fn get(&self, key: ContentHash) -> Option<Arc<CachedImage>> {
+        let mut shard = lock(&self.shards[self.shard_index(key)]);
+        match shard.map.get(&key) {
             Some(img) => {
-                self.stats.hits += 1;
-                if let Some(pos) = self.lru.iter().position(|&k| k == key) {
-                    self.lru.remove(pos);
+                let img = Arc::clone(img);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(pos) = shard.lru.iter().position(|&k| k == key) {
+                    shard.lru.remove(pos);
                 }
-                self.lru.push_back(key);
-                Some(Arc::clone(img))
+                shard.lru.push_back(key);
+                Some(img)
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts an image, evicting least-recently-used entries if the
-    /// budget is exceeded. Returns the shared handle.
-    pub fn insert(&mut self, img: CachedImage) -> Arc<CachedImage> {
+    /// Inserts an image, evicting least-recently-used entries while the
+    /// budget is exceeded (never the entry just inserted). Returns the
+    /// shared handle.
+    pub fn insert(&self, img: CachedImage) -> Arc<CachedImage> {
         let key = img.key;
         let size = img.size_bytes();
         let arc = Arc::new(img);
-        if let Some(old) = self.map.insert(key, Arc::clone(&arc)) {
-            self.bytes -= old.size_bytes();
-            if let Some(pos) = self.lru.iter().position(|&k| k == key) {
-                self.lru.remove(pos);
+        {
+            let mut shard = lock(&self.shards[self.shard_index(key)]);
+            if let Some(old_size) = shard.evict(key) {
+                // Replacing an existing entry under the same key is not
+                // a budget eviction.
+                self.bytes.fetch_sub(old_size, Ordering::Relaxed);
             }
+            shard.map.insert(key, Arc::clone(&arc));
+            shard.lru.push_back(key);
         }
-        self.bytes += size;
-        self.lru.push_back(key);
-        self.stats.insertions += 1;
-        while self.bytes > self.budget && self.lru.len() > 1 {
-            // Never evict the entry we just inserted (the back).
-            let victim = self.lru.pop_front().expect("len > 1");
-            if let Some(old) = self.map.remove(&victim) {
-                self.bytes -= old.size_bytes();
-                self.stats.evictions += 1;
-            }
-        }
+        self.bytes.fetch_add(size, Ordering::Relaxed);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(key);
         arc
     }
 
-    /// Drops everything (namespace rebinding invalidates images).
-    pub fn clear(&mut self) {
-        self.map.clear();
-        self.lru.clear();
-        self.bytes = 0;
+    /// Evicts LRU entries until the byte total is within budget,
+    /// sweeping shards round-robin from the protected key's shard.
+    /// Stops early if nothing but `protect` remains evictable.
+    fn enforce_budget(&self, protect: ContentHash) {
+        let n = self.shards.len();
+        let start = self.shard_index(protect);
+        while self.bytes.load(Ordering::Relaxed) > self.budget {
+            let mut evicted = false;
+            for i in 0..n {
+                if self.bytes.load(Ordering::Relaxed) <= self.budget {
+                    return;
+                }
+                let mut shard = lock(&self.shards[(start + i) % n]);
+                if let Some(victim) = shard.lru_victim(protect) {
+                    if let Some(size) = shard.evict(victim) {
+                        self.bytes.fetch_sub(size, Ordering::Relaxed);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        evicted = true;
+                    }
+                }
+            }
+            if !evicted {
+                return; // only the protected entry is left
+            }
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut freed = 0u64;
+        for s in &self.shards {
+            let mut shard = lock(s);
+            freed += shard.map.values().map(|i| i.size_bytes()).sum::<u64>();
+            shard.map.clear();
+            shard.lru.clear();
+        }
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
     }
 }
 
@@ -172,17 +277,18 @@ mod tests {
 
     #[test]
     fn hit_and_miss_counting() {
-        let mut c = ImageCache::new(u64::MAX);
+        let c = ImageCache::new(u64::MAX);
         assert!(c.get(ContentHash(1)).is_none());
         c.insert(fake(1, 100));
         assert!(c.get(ContentHash(1)).is_some());
-        assert_eq!(c.stats.hits, 1);
-        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]
     fn budget_evicts_lru() {
-        let mut c = ImageCache::new(250);
+        // One shard: globally exact LRU, deterministic victim order.
+        let c = ImageCache::with_shards(250, 1);
         c.insert(fake(1, 100));
         c.insert(fake(2, 100));
         // Touch 1 so 2 becomes LRU.
@@ -191,13 +297,13 @@ mod tests {
         assert!(c.get(ContentHash(2)).is_none());
         assert!(c.get(ContentHash(1)).is_some());
         assert!(c.get(ContentHash(3)).is_some());
-        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(c.stats().evictions, 1);
         assert!(c.bytes() <= 250);
     }
 
     #[test]
     fn oversized_insert_keeps_newest() {
-        let mut c = ImageCache::new(50);
+        let c = ImageCache::with_shards(50, 1);
         c.insert(fake(1, 100));
         assert_eq!(c.len(), 1, "budget never evicts the just-inserted entry");
         c.insert(fake(2, 100));
@@ -207,7 +313,7 @@ mod tests {
 
     #[test]
     fn reinsert_same_key_replaces() {
-        let mut c = ImageCache::new(u64::MAX);
+        let c = ImageCache::new(u64::MAX);
         c.insert(fake(1, 100));
         c.insert(fake(1, 200));
         assert_eq!(c.len(), 1);
@@ -215,8 +321,36 @@ mod tests {
     }
 
     #[test]
+    fn eviction_sweeps_across_shards() {
+        // Keys 0..8 land in distinct shards (key % 8); the budget still
+        // binds globally.
+        let c = ImageCache::with_shards(250, 8);
+        c.insert(fake(0, 100));
+        c.insert(fake(1, 100));
+        c.insert(fake(2, 100));
+        assert!(c.bytes() <= 250);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(
+            c.get(ContentHash(2)).is_some(),
+            "just-inserted entry survives"
+        );
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicted_image_stays_mapped_by_holders() {
+        let c = ImageCache::with_shards(100, 1);
+        let held = c.insert(fake(1, 80));
+        c.insert(fake(2, 80)); // evicts 1
+        assert!(c.get(ContentHash(1)).is_none());
+        // The client's mapping (its Arc) is unaffected by eviction.
+        assert_eq!(held.size_bytes(), 80);
+        assert!(held.frames.total_pages() > 0);
+    }
+
+    #[test]
     fn clear_resets() {
-        let mut c = ImageCache::new(u64::MAX);
+        let c = ImageCache::new(u64::MAX);
         c.insert(fake(1, 10));
         c.clear();
         assert!(c.is_empty());

@@ -22,14 +22,14 @@ use crate::server::{InstantiateReply, Omos};
 /// remembering which libraries this process already mapped.
 #[derive(Debug)]
 pub struct OmosBinder<'a> {
-    server: &'a mut Omos,
+    server: &'a Omos,
     loaded: HashSet<u32>,
 }
 
 impl<'a> OmosBinder<'a> {
     /// Creates a binder for one process.
     #[must_use]
-    pub fn new(server: &'a mut Omos) -> OmosBinder<'a> {
+    pub fn new(server: &'a Omos) -> OmosBinder<'a> {
         OmosBinder {
             server,
             loaded: HashSet::new(),
@@ -72,7 +72,7 @@ impl Binder for OmosBinder<'_> {
 /// `ofe lint` over the filesystem and the server's opt-in pre-flight
 /// gate, see [`Omos::set_preflight`]).
 pub fn lint_request(
-    server: &mut Omos,
+    server: &Omos,
     path: &str,
     clock: &mut SimClock,
     cost: &CostModel,
@@ -111,7 +111,7 @@ fn build_process(
 /// bootstrap binary, an IPC round trip to OMOS, then mapping the cached
 /// segments.
 pub fn exec_bootstrap(
-    server: &mut Omos,
+    server: &Omos,
     path: &str,
     clock: &mut SimClock,
     cost: &CostModel,
@@ -136,7 +136,7 @@ pub fn exec_bootstrap(
 /// empty task; no bootstrap binary, no header parsing, one (cheap) kernel
 /// IPC.
 pub fn exec_integrated(
-    server: &mut Omos,
+    server: &Omos,
     path: &str,
     clock: &mut SimClock,
     cost: &CostModel,
@@ -159,7 +159,7 @@ pub fn exec_integrated(
 /// Convenience: exec (bootstrap or integrated) and run to completion
 /// under an [`OmosBinder`].
 pub fn run_under_omos(
-    server: &mut Omos,
+    server: &Omos,
     path: &str,
     integrated: bool,
     clock: &mut SimClock,
@@ -194,7 +194,7 @@ pub fn run_under_omos(
 /// `#! /bin/omos <namespace-path>`; the named meta-object is then
 /// executed through the bootstrap loader.
 pub fn exec_file(
-    server: &mut Omos,
+    server: &Omos,
     fs: &mut InMemFs,
     file: &str,
     clock: &mut SimClock,
@@ -234,7 +234,7 @@ mod tests {
     use omos_os::ipc::Transport;
 
     fn world() -> (Omos, SimClock, CostModel, InMemFs) {
-        let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
         s.namespace.bind_object(
             "/obj/app.o",
             assemble(
@@ -271,34 +271,23 @@ _start:         li r1, 5
 
     #[test]
     fn bootstrap_exec_runs_self_contained_program() {
-        let (mut s, mut clock, cost, mut fs) = world();
-        let out = run_under_omos(
-            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        let (s, mut clock, cost, mut fs) = world();
+        let out =
+            run_under_omos(&s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         assert_eq!(out.stop, StopReason::Exited(15));
         assert!(clock.elapsed_ns > 0);
     }
 
     #[test]
     fn integrated_exec_is_cheaper_than_bootstrap() {
-        let (mut s, mut clock, cost, mut fs) = world();
+        let (s, mut clock, cost, mut fs) = world();
         // Warm the cache first.
-        run_under_omos(
-            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        run_under_omos(&s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         let t0 = clock.times();
-        run_under_omos(
-            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        run_under_omos(&s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         let boot = clock.since(t0);
         let t1 = clock.times();
-        run_under_omos(
-            &mut s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        run_under_omos(&s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000).unwrap();
         let integ = clock.since(t1);
         assert!(
             integ.elapsed_ns < boot.elapsed_ns,
@@ -310,51 +299,43 @@ _start:         li r1, 5
 
     #[test]
     fn warm_exec_is_cheaper_than_cold() {
-        let (mut s, mut clock, cost, mut fs) = world();
+        let (s, mut clock, cost, mut fs) = world();
         let t0 = clock.times();
-        run_under_omos(
-            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        run_under_omos(&s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         let cold = clock.since(t0);
         let t1 = clock.times();
-        run_under_omos(
-            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        run_under_omos(&s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         let warm = clock.since(t1);
         assert!(warm.elapsed_ns < cold.elapsed_ns);
     }
 
     #[test]
     fn lint_request_is_one_roundtrip_and_builds_nothing() {
-        let (mut s, mut clock, cost, _fs) = world();
+        let (s, mut clock, cost, _fs) = world();
         let mut ipc = IpcStats::default();
-        let diags = lint_request(&mut s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
+        let diags = lint_request(&s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
         assert!(diags.is_empty(), "unexpected: {diags:?}");
         assert_eq!(ipc.messages, 2);
         s.namespace
             .bind_blueprint("/bin/dangling", "(merge /obj/app.o)")
             .unwrap();
-        let diags = lint_request(&mut s, "/bin/dangling", &mut clock, &cost, &mut ipc).unwrap();
+        let diags = lint_request(&s, "/bin/dangling", &mut clock, &cost, &mut ipc).unwrap();
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, "OM002");
-        assert_eq!(s.stats.programs_built, 0, "lint instantiates nothing");
+        assert_eq!(s.stats().programs_built, 0, "lint instantiates nothing");
     }
 
     #[test]
     fn partial_image_scheme_lazy_loads_once() {
-        let (mut s, mut clock, cost, mut fs) = world();
+        let (s, mut clock, cost, mut fs) = world();
         s.namespace
             .bind_blueprint(
                 "/bin/dyn",
                 r#"(merge /obj/app.o (specialize "lib-dynamic" /libc/impl.o))"#,
             )
             .unwrap();
-        let out = run_under_omos(
-            &mut s, "/bin/dyn", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        let out =
+            run_under_omos(&s, "/bin/dyn", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         assert_eq!(out.stop, StopReason::Exited(15), "stub resolved and jumped");
         // Two IPC messages for instantiation + two for the first lookup.
         assert_eq!(out.ipc.messages, 2);
@@ -362,7 +343,7 @@ _start:         li r1, 5
 
     #[test]
     fn partial_image_second_call_uses_branch_table() {
-        let (mut s, mut clock, cost, mut fs) = world();
+        let (s, mut clock, cost, mut fs) = world();
         s.namespace.bind_object(
             "/obj/twice.o",
             assemble(
@@ -384,16 +365,8 @@ _start:         li r1, 1
                 r#"(merge /obj/twice.o (specialize "lib-dynamic" /libc/impl.o))"#,
             )
             .unwrap();
-        let out = run_under_omos(
-            &mut s,
-            "/bin/dyn2",
-            false,
-            &mut clock,
-            &cost,
-            &mut fs,
-            100_000,
-        )
-        .unwrap();
+        let out =
+            run_under_omos(&s, "/bin/dyn2", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         assert_eq!(out.stop, StopReason::Exited(9));
         // Only ONE omos lookup syscall should have gone through the
         // binder with a load; the second call hit the branch table. The

@@ -14,7 +14,9 @@
 //!   partial-image schemes, and dynamic loading into running programs;
 //! * [`client`] — the client side: the bootstrap loader (`#!/bin/omos`),
 //!   integrated exec, and the per-process [`client::OmosBinder`];
-//! * [`monitor`] — monitoring-driven procedure reordering (§4.1/§6).
+//! * [`monitor`] — monitoring-driven procedure reordering (§4.1/§6);
+//! * [`sync`] — the concurrency primitives behind the `&self` request
+//!   paths: sharded maps and per-key single-flight coalescing.
 
 pub mod cache;
 pub mod client;
@@ -22,6 +24,7 @@ pub mod error;
 pub mod monitor;
 pub mod namespace;
 pub mod server;
+pub mod sync;
 
 pub use cache::{CacheStats, CachedImage};
 pub use client::{
@@ -30,3 +33,4 @@ pub use client::{
 pub use error::OmosError;
 pub use namespace::{Entry, Namespace};
 pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};
+pub use sync::{Sharded, SingleFlight};

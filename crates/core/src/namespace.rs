@@ -2,12 +2,21 @@
 //!
 //! "OMOS maintains and exports a hierarchical namespace, whose names
 //! represent meta-objects, executable code fragments, or directories of
-//! other objects." Binding a name invalidates downstream caches (the
-//! server handles that; the namespace reports a generation number that
-//! bumps on every mutation).
+//! other objects." Binding a name invalidates downstream caches; the
+//! namespace supports that with *epochs*: a global generation that bumps
+//! on every mutation, plus a per-path record of the generation at which
+//! each name was last touched. Cache layers snapshot the generation when
+//! they derive something and later ask [`Namespace::any_touched_since`]
+//! whether any of the paths they depended on changed — so defining an
+//! unrelated name never invalidates them.
+//!
+//! The namespace is internally synchronized: every method takes `&self`,
+//! so many server threads can resolve concurrently while binds
+//! serialize briefly on the write lock.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use omos_blueprint::Blueprint;
 use omos_obj::ObjectFile;
@@ -23,17 +32,27 @@ pub enum Entry {
     Meta(Arc<Blueprint>),
 }
 
+/// Entries plus the per-path touch epochs, guarded together so a bind
+/// updates both atomically with respect to readers.
+#[derive(Debug, Default)]
+struct Tables {
+    entries: BTreeMap<String, Entry>,
+    /// Generation at which each path was last bound or unbound. Paths
+    /// never touched are absent (epoch 0, before any snapshot).
+    touched: BTreeMap<String, u64>,
+}
+
 /// The namespace: a path-keyed map with directory listing.
 ///
 /// Directories are implicit (every path component). Paths are
 /// `/`-separated and normalized.
 #[derive(Debug, Default)]
 pub struct Namespace {
-    entries: BTreeMap<String, Entry>,
-    generation: u64,
+    tables: RwLock<Tables>,
+    generation: AtomicU64,
 }
 
-fn normalize(path: &str) -> String {
+pub(crate) fn normalize(path: &str) -> String {
     let mut out = String::from("/");
     for comp in path.split('/').filter(|c| !c.is_empty()) {
         if !out.ends_with('/') {
@@ -51,29 +70,52 @@ impl Namespace {
         Namespace::default()
     }
 
-    /// Monotonic generation, bumped on every mutation. Cache layers key
-    /// on it to notice rebinding.
+    /// Monotonic generation, bumped on every mutation. Cache layers
+    /// snapshot it to date their dependency records.
     #[must_use]
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Tables> {
+        self.tables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records a mutation of `path` under the write lock and returns the
+    /// new generation.
+    fn touch(&self, tables: &mut Tables, path: String) -> u64 {
+        let g = self.generation.load(Ordering::Relaxed) + 1;
+        tables.touched.insert(path, g);
+        self.generation.store(g, Ordering::Release);
+        g
     }
 
     /// Binds an object fragment at `path` (replacing any existing entry).
-    pub fn bind_object(&mut self, path: &str, obj: ObjectFile) {
-        self.entries
-            .insert(normalize(path), Entry::Object(Arc::new(obj)));
-        self.generation += 1;
+    pub fn bind_object(&self, path: &str, obj: ObjectFile) {
+        let p = normalize(path);
+        let mut t = self
+            .tables
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        t.entries.insert(p.clone(), Entry::Object(Arc::new(obj)));
+        self.touch(&mut t, p);
     }
 
     /// Binds a meta-object at `path`.
-    pub fn bind_meta(&mut self, path: &str, bp: Blueprint) {
-        self.entries
-            .insert(normalize(path), Entry::Meta(Arc::new(bp)));
-        self.generation += 1;
+    pub fn bind_meta(&self, path: &str, bp: Blueprint) {
+        let p = normalize(path);
+        let mut t = self
+            .tables
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        t.entries.insert(p.clone(), Entry::Meta(Arc::new(bp)));
+        self.touch(&mut t, p);
     }
 
     /// Parses and binds blueprint text at `path`.
-    pub fn bind_blueprint(&mut self, path: &str, src: &str) -> Result<(), OmosError> {
+    pub fn bind_blueprint(&self, path: &str, src: &str) -> Result<(), OmosError> {
         let bp = Blueprint::parse(src)
             .map_err(|e| OmosError::Client(format!("blueprint at {path}: {e}")))?;
         self.bind_meta(path, bp);
@@ -81,18 +123,46 @@ impl Namespace {
     }
 
     /// Removes a binding. Returns true if something was removed.
-    pub fn unbind(&mut self, path: &str) -> bool {
-        let removed = self.entries.remove(&normalize(path)).is_some();
+    pub fn unbind(&self, path: &str) -> bool {
+        let p = normalize(path);
+        let mut t = self
+            .tables
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let removed = t.entries.remove(&p).is_some();
         if removed {
-            self.generation += 1;
+            self.touch(&mut t, p);
         }
         removed
     }
 
     /// Looks a path up.
     #[must_use]
-    pub fn lookup(&self, path: &str) -> Option<&Entry> {
-        self.entries.get(&normalize(path))
+    pub fn lookup(&self, path: &str) -> Option<Entry> {
+        self.read().entries.get(&normalize(path)).cloned()
+    }
+
+    /// True if `path` was bound or unbound after generation `gen`.
+    #[must_use]
+    pub fn touched_since(&self, path: &str, gen: u64) -> bool {
+        self.read()
+            .touched
+            .get(&normalize(path))
+            .is_some_and(|&g| g > gen)
+    }
+
+    /// True if *any* of `paths` was bound or unbound after generation
+    /// `gen` — the cache-validity query (one lock acquisition for the
+    /// whole dependency set).
+    #[must_use]
+    pub fn any_touched_since<'a, I>(&self, paths: I, gen: u64) -> bool
+    where
+        I: IntoIterator<Item = &'a String>,
+    {
+        let t = self.read();
+        paths
+            .into_iter()
+            .any(|p| t.touched.get(&normalize(p)).is_some_and(|&g| g > gen))
     }
 
     /// Lists the immediate children of a directory path, with a marker
@@ -105,8 +175,9 @@ impl Namespace {
         } else {
             format!("{p}/")
         };
+        let t = self.read();
         let mut out: Vec<(String, &'static str)> = Vec::new();
-        for (k, v) in self.entries.range(prefix.clone()..) {
+        for (k, v) in t.entries.range(prefix.clone()..) {
             if !k.starts_with(&prefix) {
                 break;
             }
@@ -136,13 +207,13 @@ impl Namespace {
     /// Number of bound names.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.read().entries.len()
     }
 
     /// True if nothing is bound.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.read().entries.is_empty()
     }
 }
 
@@ -153,7 +224,7 @@ mod tests {
 
     #[test]
     fn bind_lookup_unbind() {
-        let mut ns = Namespace::new();
+        let ns = Namespace::new();
         ns.bind_object("/obj/ls.o", assemble("ls.o", ".text\nnop\n").unwrap());
         ns.bind_blueprint("/bin/ls", "(merge /obj/ls.o)").unwrap();
         assert!(matches!(ns.lookup("/obj/ls.o"), Some(Entry::Object(_))));
@@ -166,7 +237,7 @@ mod tests {
 
     #[test]
     fn generation_bumps_on_mutation() {
-        let mut ns = Namespace::new();
+        let ns = Namespace::new();
         let g0 = ns.generation();
         ns.bind_object("/a", assemble("a", ".text\nnop\n").unwrap());
         assert!(ns.generation() > g0);
@@ -176,14 +247,41 @@ mod tests {
     }
 
     #[test]
+    fn touch_epochs_are_per_path() {
+        let ns = Namespace::new();
+        ns.bind_object("/a", assemble("a", ".text\nnop\n").unwrap());
+        let snap = ns.generation();
+        assert!(!ns.touched_since("/a", snap));
+        ns.bind_object("/b", assemble("b", ".text\nnop\n").unwrap());
+        assert!(!ns.touched_since("/a", snap), "binding /b leaves /a alone");
+        assert!(ns.touched_since("/b", snap));
+        let deps = vec!["/a".to_string(), "/b".to_string()];
+        assert!(ns.any_touched_since(&deps, snap));
+        assert!(!ns.any_touched_since(&deps[..1], snap));
+        // Unbinding touches too (a dependent derivation is now stale).
+        let snap2 = ns.generation();
+        ns.unbind("/a");
+        assert!(ns.touched_since("/a", snap2));
+    }
+
+    #[test]
+    fn touch_epochs_normalize_paths() {
+        let ns = Namespace::new();
+        let snap = ns.generation();
+        ns.bind_object("/lib//x.o", assemble("x", ".text\nnop\n").unwrap());
+        assert!(ns.touched_since("/lib/x.o", snap));
+        assert!(ns.touched_since("lib/x.o", snap));
+    }
+
+    #[test]
     fn bad_blueprint_rejected() {
-        let mut ns = Namespace::new();
+        let ns = Namespace::new();
         assert!(ns.bind_blueprint("/bin/x", "(merge").is_err());
     }
 
     #[test]
     fn listing_shows_dirs_and_kinds() {
-        let mut ns = Namespace::new();
+        let ns = Namespace::new();
         ns.bind_object("/lib/crt0.o", assemble("crt0", ".text\nnop\n").unwrap());
         ns.bind_blueprint("/lib/libc", "(merge /libc/gen)").unwrap();
         ns.bind_object("/libc/gen", assemble("gen", ".text\nnop\n").unwrap());
@@ -201,7 +299,7 @@ mod tests {
 
     #[test]
     fn paths_normalize() {
-        let mut ns = Namespace::new();
+        let ns = Namespace::new();
         ns.bind_object("lib//x.o", assemble("x", ".text\nnop\n").unwrap());
         assert!(ns.lookup("/lib/x.o").is_some());
     }

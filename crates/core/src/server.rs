@@ -12,9 +12,32 @@
 //! Server-side CPU work is metered in nanoseconds and reported per
 //! request; clients charge it as I/O wait (the server is another
 //! process on the same machine).
+//!
+//! # Concurrency
+//!
+//! The server is shared: every request path takes `&self`, so clients
+//! on many threads call one `Arc<Omos>` (or `&Omos` under a scope)
+//! directly. Internally:
+//!
+//! * the namespace, eval cache, reply cache, and image cache are
+//!   internally synchronized (sharded locks, atomics);
+//! * counters are atomics, snapshotted by [`Omos::stats`];
+//! * concurrent cold-starts of the same blueprint coalesce through a
+//!   per-key single-flight table — one leader evaluates and links, the
+//!   rest block and share the leader's reply (and its frames);
+//! * invalidation is epoch/key-selective: cache entries remember which
+//!   namespace paths they depended on and the generation they were
+//!   derived at, so a bind only invalidates derivations that actually
+//!   depended on the touched path.
+//!
+//! Lock order (coarse to fine): dynamic-lib build slot → placement
+//! solver → image-flight → image-cache shard. Namespace, sharded cache,
+//! and flight-table locks are leaves; nothing calls back into the
+//! server while holding one.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use omos_analysis::{analyze_blueprint, Diagnostic, LintContext, LintResolved, Severity};
 use omos_blueprint::eval::LibraryUse;
@@ -31,6 +54,7 @@ use omos_os::{CostModel, ImageFrames};
 use crate::cache::{CachedImage, ImageCache};
 use crate::error::OmosError;
 use crate::namespace::{Entry, Namespace};
+use crate::sync::{lock, Sharded, SingleFlight};
 
 /// Default client text base (programs overlap freely across tasks; only
 /// libraries need globally consistent placement).
@@ -38,13 +62,26 @@ pub const CLIENT_TEXT_BASE: u32 = 0x0001_0000;
 /// Default client data base, kept below the library data window.
 pub const CLIENT_DATA_BASE: u32 = 0x3000_0000;
 
-/// Server-side counters.
+/// Shards for the eval and reply caches.
+const CACHE_SHARDS: usize = 8;
+
+/// Server-side counters (a snapshot; see [`Omos::stats`]).
+///
+/// For a workload of well-formed `instantiate` calls, the counters
+/// satisfy `requests == reply_cache_hits + coalesced + replies_built`:
+/// every request is either answered from the reply cache, coalesced
+/// onto another thread's in-flight build, or built by a leader.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Instantiation requests served.
     pub requests: u64,
     /// Requests answered entirely from the reply cache.
     pub reply_cache_hits: u64,
+    /// Requests that coalesced onto a concurrent identical request
+    /// (single-flight followers).
+    pub coalesced: u64,
+    /// Reply builds led (cache-missing evaluations started).
+    pub replies_built: u64,
     /// Library images built (should stay near the number of distinct
     /// libraries in "the common case").
     pub libraries_built: u64,
@@ -52,6 +89,17 @@ pub struct ServerStats {
     pub programs_built: u64,
     /// Total server CPU spent, ns.
     pub cpu_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    reply_cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    replies_built: AtomicU64,
+    libraries_built: AtomicU64,
+    programs_built: AtomicU64,
+    cpu_ns: AtomicU64,
 }
 
 /// What the server hands back for an instantiation request: everything
@@ -64,7 +112,8 @@ pub struct InstantiateReply {
     pub libraries: Vec<Arc<CachedImage>>,
     /// Server CPU consumed by this request (client waits this long).
     pub server_ns: u64,
-    /// True if the whole reply came from cache.
+    /// True if the reply came from cache or from another request's
+    /// in-flight build (single-flight followers did no link work).
     pub cache_hit: bool,
 }
 
@@ -81,14 +130,37 @@ impl InstantiateReply {
     }
 }
 
-/// One registered `lib-dynamic` implementation.
+/// A cached evaluated module plus the namespace paths it was derived
+/// from and the generation it was derived at.
+#[derive(Debug, Clone)]
+struct EvalEntry {
+    module: Module,
+    deps: Arc<BTreeSet<String>>,
+    gen: u64,
+}
+
+/// A cached full reply plus its dependency record.
+#[derive(Debug, Clone)]
+struct ReplyEntry {
+    reply: InstantiateReply,
+    deps: Arc<BTreeSet<String>>,
+    gen: u64,
+}
+
+/// One registered `lib-dynamic` implementation. The build slot doubles
+/// as the per-library single-flight: the first `dyn_lookup` holds it
+/// while placing and linking, concurrent lookups block and reuse.
 #[derive(Debug)]
 struct DynamicLib {
     key: ContentHash,
     module: Module,
-    /// Placed + linked on first demand.
-    instance: Option<Arc<CachedImage>>,
-    htab: Option<FunctionHashTable>,
+    built: Mutex<Option<BuiltDyn>>,
+}
+
+#[derive(Debug)]
+struct BuiltDyn {
+    instance: Arc<CachedImage>,
+    htab: FunctionHashTable,
 }
 
 /// Reply to a partial-image lookup.
@@ -116,7 +188,7 @@ pub struct DynLookupReply {
 /// use omos_os::ipc::Transport;
 /// use omos_os::CostModel;
 ///
-/// let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+/// let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
 /// server.namespace.bind_object(
 ///     "/obj/hello.o",
 ///     assemble("hello.o", ".text\n.global _start\n_start: sys 0\n")?,
@@ -135,21 +207,20 @@ pub struct DynLookupReply {
 pub struct Omos {
     /// The exported hierarchical namespace.
     pub namespace: Namespace,
-    /// The global address-space constraint solver.
-    pub solver: PlacementSolver,
     /// Bound-image cache.
     pub images: ImageCache,
-    /// Counters.
-    pub stats: ServerStats,
     /// Transport clients use to reach this server.
     pub transport: Transport,
     cost: CostModel,
-    eval_cache: HashMap<ContentHash, Module>,
-    reply_cache: HashMap<ContentHash, InstantiateReply>,
-    dynamic: Vec<DynamicLib>,
-    dynamic_keys: HashMap<ContentHash, u32>,
-    last_generation: u64,
-    preflight: bool,
+    solver: Mutex<PlacementSolver>,
+    counters: Counters,
+    eval_cache: Sharded<ContentHash, EvalEntry>,
+    reply_cache: Sharded<ContentHash, ReplyEntry>,
+    reply_flight: SingleFlight<ContentHash, Result<InstantiateReply, OmosError>>,
+    image_flight: SingleFlight<ContentHash, Result<(Arc<CachedImage>, u64), OmosError>>,
+    dynamic: RwLock<Vec<Arc<DynamicLib>>>,
+    dynamic_keys: Mutex<HashMap<ContentHash, u32>>,
+    preflight: AtomicBool,
 }
 
 impl Omos {
@@ -159,18 +230,40 @@ impl Omos {
     pub fn new(cost: CostModel, transport: Transport) -> Omos {
         Omos {
             namespace: Namespace::new(),
-            solver: PlacementSolver::new(),
             images: ImageCache::new(u64::MAX),
-            stats: ServerStats::default(),
             transport,
             cost,
-            eval_cache: HashMap::new(),
-            reply_cache: HashMap::new(),
-            dynamic: Vec::new(),
-            dynamic_keys: HashMap::new(),
-            last_generation: 0,
-            preflight: false,
+            solver: Mutex::new(PlacementSolver::new()),
+            counters: Counters::default(),
+            eval_cache: Sharded::new(CACHE_SHARDS),
+            reply_cache: Sharded::new(CACHE_SHARDS),
+            reply_flight: SingleFlight::new(),
+            image_flight: SingleFlight::new(),
+            dynamic: RwLock::new(Vec::new()),
+            dynamic_keys: Mutex::new(HashMap::new()),
+            preflight: AtomicBool::new(false),
         }
+    }
+
+    /// A consistent-enough snapshot of the server counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            reply_cache_hits: self.counters.reply_cache_hits.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            replies_built: self.counters.replies_built.load(Ordering::Relaxed),
+            libraries_built: self.counters.libraries_built.load(Ordering::Relaxed),
+            programs_built: self.counters.programs_built.load(Ordering::Relaxed),
+            cpu_ns: self.counters.cpu_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The global address-space constraint solver (one lock: placement
+    /// must be globally consistent, and it is a tiny fraction of a
+    /// cold build).
+    pub fn solver(&self) -> MutexGuard<'_, PlacementSolver> {
+        lock(&self.solver)
     }
 
     /// Enables (or disables) opt-in pre-flight analysis: every
@@ -183,15 +276,15 @@ impl Omos {
     /// blueprint crate's m-graph types, so the evaluator (in that same
     /// crate) cannot call back into it without a dependency cycle. The
     /// server sits above both and is the natural gate.
-    pub fn set_preflight(&mut self, enabled: bool) {
-        self.preflight = enabled;
+    pub fn set_preflight(&self, enabled: bool) {
+        self.preflight.store(enabled, Ordering::Relaxed);
     }
 
     /// Lints the meta-object (or bare fragment) at `path` without
     /// instantiating anything.
-    pub fn lint(&mut self, path: &str) -> Result<Vec<Diagnostic>, OmosError> {
+    pub fn lint(&self, path: &str) -> Result<Vec<Diagnostic>, OmosError> {
         let bp = match self.namespace.lookup(path) {
-            Some(Entry::Meta(bp)) => (**bp).clone(),
+            Some(Entry::Meta(bp)) => (*bp).clone(),
             Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
             None => return Err(OmosError::NoSuchName(path.to_string())),
         };
@@ -201,7 +294,7 @@ impl Omos {
     /// Statically analyzes an arbitrary blueprint against this server's
     /// namespace. Never materializes views, never touches the caches.
     #[must_use]
-    pub fn lint_blueprint(&mut self, bp: &Blueprint) -> Vec<Diagnostic> {
+    pub fn lint_blueprint(&self, bp: &Blueprint) -> Vec<Diagnostic> {
         let mut ctx = NamespaceLint(&self.namespace);
         analyze_blueprint(bp, &mut ctx)
     }
@@ -212,45 +305,82 @@ impl Omos {
         &self.cost
     }
 
-    /// Invalidates derivation caches if the namespace changed. OMOS is
-    /// "an active entity, capable of ... modifying its cached state":
-    /// rebinding a name must not serve stale images.
-    fn revalidate(&mut self) {
-        if self.namespace.generation() != self.last_generation {
-            self.eval_cache.clear();
-            self.reply_cache.clear();
-            self.last_generation = self.namespace.generation();
-        }
-    }
-
     /// Instantiates the meta-object (or bare fragment) at `path`.
-    pub fn instantiate(&mut self, path: &str) -> Result<InstantiateReply, OmosError> {
-        self.revalidate();
-        self.stats.requests += 1;
+    pub fn instantiate(&self, path: &str) -> Result<InstantiateReply, OmosError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let bp = match self.namespace.lookup(path) {
-            Some(Entry::Meta(bp)) => (**bp).clone(),
+            Some(Entry::Meta(bp)) => (*bp).clone(),
             Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
             None => return Err(OmosError::NoSuchName(path.to_string())),
         };
-        self.instantiate_blueprint(&bp)
+        self.request(&bp, Some(path))
     }
 
     /// Instantiates an arbitrary blueprint (the paper's "execution of
     /// arbitrary blueprints" dynamic-loading interface).
-    pub fn instantiate_blueprint(&mut self, bp: &Blueprint) -> Result<InstantiateReply, OmosError> {
-        self.revalidate();
-        let key = bp.hash();
-        if let Some(hit) = self.reply_cache.get(&key) {
-            self.stats.reply_cache_hits += 1;
-            let server_ns = self.cost.server_cached_request_ns;
-            self.stats.cpu_ns += server_ns;
-            let mut reply = hit.clone();
-            reply.server_ns = server_ns;
-            reply.cache_hit = true;
-            return Ok(reply);
-        }
+    pub fn instantiate_blueprint(&self, bp: &Blueprint) -> Result<InstantiateReply, OmosError> {
+        self.request(bp, None)
+    }
 
-        if self.preflight {
+    /// Serves one instantiation: reply cache, then single-flight (the
+    /// leader builds, concurrent identical requests coalesce).
+    fn request(&self, bp: &Blueprint, root: Option<&str>) -> Result<InstantiateReply, OmosError> {
+        let key = bp.hash();
+        if let Some(hit) = self.cached_reply(key) {
+            return Ok(hit);
+        }
+        // Double-check inside the flight: a leader elected just after a
+        // previous flight completed finds the fresh entry instead of
+        // rebuilding.
+        let (result, led) = self.reply_flight.run(key, || match self.cached_reply(key) {
+            Some(hit) => Ok(hit),
+            None => self.build_reply(bp, root, key),
+        });
+        if led {
+            return result;
+        }
+        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        result.map(|mut reply| {
+            // Followers share the leader's frames without doing link
+            // work of their own — from their side it is a cache hit.
+            reply.cache_hit = true;
+            reply
+        })
+    }
+
+    /// Validated reply-cache lookup: entries whose dependency paths
+    /// were touched after their derivation generation are dropped
+    /// (lazy, key-selective invalidation).
+    fn cached_reply(&self, key: ContentHash) -> Option<InstantiateReply> {
+        let entry = self.reply_cache.get(&key)?;
+        if self
+            .namespace
+            .any_touched_since(entry.deps.iter(), entry.gen)
+        {
+            self.reply_cache.remove(&key);
+            return None;
+        }
+        self.counters
+            .reply_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        let server_ns = self.cost.server_cached_request_ns;
+        self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
+        let mut reply = entry.reply.clone();
+        reply.server_ns = server_ns;
+        reply.cache_hit = true;
+        Some(reply)
+    }
+
+    /// Leader path: evaluate the blueprint, build libraries and the
+    /// program image, cache the reply with its dependency record.
+    fn build_reply(
+        &self,
+        bp: &Blueprint,
+        root: Option<&str>,
+        key: ContentHash,
+    ) -> Result<InstantiateReply, OmosError> {
+        self.counters.replies_built.fetch_add(1, Ordering::Relaxed);
+        if self.preflight.load(Ordering::Relaxed) {
             let errors: Vec<Diagnostic> = self
                 .lint_blueprint(bp)
                 .into_iter()
@@ -261,8 +391,12 @@ impl Omos {
             }
         }
 
+        // Snapshot the generation *before* resolving anything: a bind
+        // racing this build lands after the snapshot and invalidates
+        // the entry on its next lookup.
+        let mut ctx = ReqCtx::new(self, root);
         let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
-        let out = eval_blueprint(bp, self)?;
+        let out = eval_blueprint(bp, &mut ctx)?;
         server_ns += eval_work_ns(&out.stats, &self.cost);
 
         // Build (or reuse) each referenced library, resolving
@@ -293,40 +427,78 @@ impl Omos {
         let program = match self.images.get(image_key) {
             Some(img) => img,
             None => {
-                let obj = out.module.materialize().map_err(OmosError::Obj)?;
-                let mut opts = LinkOptions::program("program");
-                opts.name = format!("<program:{key}>");
-                opts.text_base = text_base;
-                opts.data_base = data_base;
-                opts.externs = externs;
-                let linked = link(&[obj], &opts)?;
-                server_ns += link_work_ns(&linked.stats, &self.cost);
-                self.stats.programs_built += 1;
-                self.images.insert(CachedImage {
-                    key: image_key,
-                    frames: ImageFrames::from_image(&linked.image),
-                    image: linked.image,
-                    link_stats: linked.stats,
-                })
+                let (img, ns) = self.build_program(
+                    &out.module,
+                    image_key,
+                    key,
+                    text_base,
+                    data_base,
+                    &externs,
+                )?;
+                server_ns += ns;
+                img
             }
         };
 
-        self.stats.cpu_ns += server_ns;
+        self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         let reply = InstantiateReply {
             program,
             libraries,
             server_ns,
             cache_hit: false,
         };
-        self.reply_cache.insert(key, reply.clone());
+        self.reply_cache.insert(
+            key,
+            ReplyEntry {
+                reply: reply.clone(),
+                gen: ctx.gen,
+                deps: Arc::new(ctx.into_deps()),
+            },
+        );
         Ok(reply)
+    }
+
+    /// Links the client program image (single-flight per image key:
+    /// different blueprints can demand the same program image).
+    fn build_program(
+        &self,
+        module: &Module,
+        image_key: ContentHash,
+        reply_key: ContentHash,
+        text_base: u32,
+        data_base: u32,
+        externs: &HashMap<String, u32>,
+    ) -> Result<(Arc<CachedImage>, u64), OmosError> {
+        let (result, _led) = self.image_flight.run(image_key, || {
+            if let Some(img) = self.images.get(image_key) {
+                return Ok((img, 0));
+            }
+            let obj = module.materialize().map_err(OmosError::Obj)?;
+            let mut opts = LinkOptions::program("program");
+            opts.name = format!("<program:{reply_key}>");
+            opts.text_base = text_base;
+            opts.data_base = data_base;
+            opts.externs = externs.clone();
+            let linked = link(&[obj], &opts)?;
+            let ns = link_work_ns(&linked.stats, &self.cost);
+            self.counters.programs_built.fetch_add(1, Ordering::Relaxed);
+            let img = self.images.insert(CachedImage {
+                key: image_key,
+                frames: ImageFrames::from_image(&linked.image),
+                image: linked.image,
+                link_stats: linked.stats,
+            });
+            Ok((img, ns))
+        });
+        result
     }
 
     /// Builds (or reuses) one self-contained shared library: place with
     /// the constraint solver, link at the chosen fixed addresses, frame,
-    /// and cache.
+    /// and cache. Concurrent builds of the same placed library coalesce
+    /// on the image key.
     fn instantiate_library(
-        &mut self,
+        &self,
         lib: &LibraryUse,
         externs: &HashMap<String, u32>,
     ) -> Result<(Arc<CachedImage>, u64), OmosError> {
@@ -349,7 +521,9 @@ impl Omos {
             align: 4096,
             preferred: data_pref,
         });
-        let placement = self.solver.place(
+        // Placement is get-or-reuse per (name, key): concurrent callers
+        // for the same library receive the same bases.
+        let placement = self.solver().place(
             &PlacementRequest {
                 name: lib.name.clone(),
                 key: lib.key.0,
@@ -380,41 +554,72 @@ impl Omos {
             return Ok((img, 0));
         }
 
-        let mut opts = LinkOptions::library(&lib.name, text_base, data_base);
-        opts.externs = externs.clone();
-        let linked = link(&[obj], &opts)?;
-        let server_ns = link_work_ns(&linked.stats, &self.cost);
-        self.stats.libraries_built += 1;
-        let img = self.images.insert(CachedImage {
-            key: image_key,
-            frames: ImageFrames::from_image(&linked.image),
-            image: linked.image,
-            link_stats: linked.stats,
+        let (result, _led) = self.image_flight.run(image_key, || {
+            if let Some(img) = self.images.get(image_key) {
+                return Ok((img, 0));
+            }
+            let mut opts = LinkOptions::library(&lib.name, text_base, data_base);
+            opts.externs = externs.clone();
+            let linked = link(std::slice::from_ref(&obj), &opts)?;
+            let server_ns = link_work_ns(&linked.stats, &self.cost);
+            self.counters
+                .libraries_built
+                .fetch_add(1, Ordering::Relaxed);
+            let img = self.images.insert(CachedImage {
+                key: image_key,
+                frames: ImageFrames::from_image(&linked.image),
+                image: linked.image,
+                link_stats: linked.stats,
+            });
+            Ok((img, server_ns))
         });
-        Ok((img, server_ns))
+        result
+    }
+
+    /// Registers (or finds) a `lib-dynamic` implementation.
+    fn register_dynamic(&self, key: ContentHash, module: &Module) -> u32 {
+        let mut keys = lock(&self.dynamic_keys);
+        if let Some(&id) = keys.get(&key) {
+            return id;
+        }
+        let mut libs = self.dynamic.write().unwrap_or_else(PoisonError::into_inner);
+        let id = libs.len() as u32;
+        libs.push(Arc::new(DynamicLib {
+            key,
+            module: module.clone(),
+            built: Mutex::new(None),
+        }));
+        keys.insert(key, id);
+        id
     }
 
     /// Number of registered `lib-dynamic` implementations.
     #[must_use]
     pub fn dynamic_lib_count(&self) -> usize {
-        self.dynamic.len()
+        self.dynamic
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Serves a partial-image stub's `OMOS_LOOKUP`: builds the library
     /// instance on first demand, then resolves `name` through the
-    /// function hash table.
-    pub fn dyn_lookup(&mut self, lib_id: u32, name: &str) -> Result<DynLookupReply, OmosError> {
-        let idx = lib_id as usize;
-        if idx >= self.dynamic.len() {
-            return Err(OmosError::NoSuchLibrary(lib_id));
-        }
+    /// function hash table. The per-library build slot makes the first
+    /// build single-flight: concurrent lookups block briefly and reuse.
+    pub fn dyn_lookup(&self, lib_id: u32, name: &str) -> Result<DynLookupReply, OmosError> {
+        let lib = {
+            let libs = self.dynamic.read().unwrap_or_else(PoisonError::into_inner);
+            libs.get(lib_id as usize)
+                .cloned()
+                .ok_or(OmosError::NoSuchLibrary(lib_id))?
+        };
+        let mut built = lock(&lib.built);
         let mut server_ns = 0;
-        if self.dynamic[idx].instance.is_none() {
-            let (module, key) = (self.dynamic[idx].module.clone(), self.dynamic[idx].key);
+        if built.is_none() {
             let lib_use = LibraryUse {
                 name: format!("<dynamic:{lib_id}>"),
-                key,
-                module,
+                key: lib.key,
+                module: lib.module.clone(),
                 constraints: Vec::new(),
             };
             let (img, ns) = self.instantiate_library(&lib_use, &HashMap::new())?;
@@ -425,20 +630,21 @@ impl Omos {
                 .iter()
                 .map(|(s, a)| (s.clone(), *a))
                 .collect();
-            self.dynamic[idx].htab = Some(FunctionHashTable::build(&entries));
-            self.dynamic[idx].instance = Some(img);
-            self.stats.cpu_ns += server_ns;
+            *built = Some(BuiltDyn {
+                htab: FunctionHashTable::build(&entries),
+                instance: img,
+            });
+            self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         }
-        let lib = &self.dynamic[idx];
-        let htab = lib.htab.as_ref().expect("built above");
-        let (target, probes) = htab
+        let b = built.as_ref().expect("built above");
+        let (target, probes) = b
+            .htab
             .lookup(name)
             .ok_or_else(|| OmosError::Client(format!("`{name}` not in dynamic lib {lib_id}")))?;
-        let instance = lib.instance.as_ref().expect("built above");
         Ok(DynLookupReply {
             target,
             probes: u64::from(probes),
-            frames: instance.frames.clone(),
+            frames: b.instance.frames.clone(),
             server_ns,
         })
     }
@@ -451,28 +657,120 @@ struct NamespaceLint<'a>(&'a Namespace);
 impl LintContext for NamespaceLint<'_> {
     fn resolve(&mut self, path: &str) -> LintResolved {
         match self.0.lookup(path) {
-            Some(Entry::Object(o)) => LintResolved::Object(Arc::clone(o)),
-            Some(Entry::Meta(m)) => LintResolved::Meta((**m).clone()),
+            Some(Entry::Object(o)) => LintResolved::Object(o),
+            Some(Entry::Meta(m)) => LintResolved::Meta((*m).clone()),
             None => LintResolved::Missing,
         }
     }
 }
 
-impl EvalContext for Omos {
+/// Request-local [`EvalContext`]: resolves through the shared
+/// namespace, records every path the evaluation depends on, and reads
+/// and writes the server's dependency-tracked eval cache.
+///
+/// Dependencies are tracked with a *scope stack* mirroring the
+/// evaluator's recursion: `cache_get` (miss) opens a subtree scope,
+/// the matching `cache_put` closes it — the popped set is exactly that
+/// subtree's dependency record, and it folds into the parent scope. A
+/// cache hit folds the stored entry's record in instead. This keeps
+/// eval-cache entries *precise*: a subtree shared by two programs does
+/// not drag one program's private dependencies into the other's reply.
+struct ReqCtx<'a> {
+    server: &'a Omos,
+    /// `scopes[0]` is the request's own record; deeper entries belong
+    /// to subtrees currently being evaluated.
+    scopes: Vec<BTreeSet<String>>,
+    /// Namespace generation when the request started.
+    gen: u64,
+}
+
+impl<'a> ReqCtx<'a> {
+    fn new(server: &'a Omos, root: Option<&str>) -> ReqCtx<'a> {
+        let mut deps = BTreeSet::new();
+        if let Some(p) = root {
+            deps.insert(p.to_string());
+        }
+        ReqCtx {
+            server,
+            scopes: vec![deps],
+            gen: server.namespace.generation(),
+        }
+    }
+
+    fn record(&mut self, path: &str) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(path.to_string());
+    }
+
+    /// The request's full dependency record (folds any scopes left open
+    /// by an aborted evaluation).
+    fn into_deps(self) -> BTreeSet<String> {
+        let mut all = BTreeSet::new();
+        for s in self.scopes {
+            all.extend(s);
+        }
+        all
+    }
+}
+
+impl EvalContext for ReqCtx<'_> {
     fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
-        match self.namespace.lookup(path) {
-            Some(Entry::Object(o)) => Ok(ResolvedNode::Object(Arc::clone(o))),
-            Some(Entry::Meta(m)) => Ok(ResolvedNode::Meta((**m).clone())),
+        self.record(path);
+        match self.server.namespace.lookup(path) {
+            Some(Entry::Object(o)) => Ok(ResolvedNode::Object(o)),
+            Some(Entry::Meta(m)) => Ok(ResolvedNode::Meta((*m).clone())),
             None => Err(EvalError::Resolve(path.to_string())),
         }
     }
 
     fn cache_get(&mut self, key: ContentHash) -> Option<Module> {
-        self.eval_cache.get(&key).cloned()
+        match self.server.eval_cache.get(&key) {
+            Some(entry)
+                if !self
+                    .server
+                    .namespace
+                    .any_touched_since(entry.deps.iter(), entry.gen) =>
+            {
+                // A hit stands on the entry's own dependencies: fold
+                // them into the enclosing scope so the reply
+                // invalidates when they change.
+                let top = self.scopes.last_mut().expect("scope stack never empty");
+                for d in entry.deps.iter() {
+                    top.insert(d.clone());
+                }
+                Some(entry.module)
+            }
+            Some(_) => {
+                self.server.eval_cache.remove(&key);
+                self.scopes.push(BTreeSet::new());
+                None
+            }
+            None => {
+                self.scopes.push(BTreeSet::new());
+                None
+            }
+        }
     }
 
     fn cache_put(&mut self, key: ContentHash, module: &Module) {
-        self.eval_cache.insert(key, module.clone());
+        // Close the scope this subtree's cache_get opened: the popped
+        // set is precisely what the subtree resolved.
+        let subtree = self.scopes.pop().expect("cache_put pairs with cache_get");
+        let deps = Arc::new(subtree);
+        self.server.eval_cache.insert(
+            key,
+            EvalEntry {
+                module: module.clone(),
+                deps: Arc::clone(&deps),
+                gen: self.gen,
+            },
+        );
+        let top = self.scopes.last_mut().expect("scope stack never empty");
+        for d in deps.iter() {
+            top.insert(d.clone());
+        }
     }
 
     fn register_dynamic_impl(
@@ -480,18 +778,7 @@ impl EvalContext for Omos {
         key: ContentHash,
         module: &Module,
     ) -> Result<u32, EvalError> {
-        if let Some(&id) = self.dynamic_keys.get(&key) {
-            return Ok(id);
-        }
-        let id = self.dynamic.len() as u32;
-        self.dynamic.push(DynamicLib {
-            key,
-            module: module.clone(),
-            instance: None,
-            htab: None,
-        });
-        self.dynamic_keys.insert(key, id);
-        Ok(id)
+        Ok(self.server.register_dynamic(key, module))
     }
 }
 
@@ -529,7 +816,7 @@ mod tests {
     use omos_isa::assemble;
 
     fn server() -> Omos {
-        let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
         s.namespace.bind_object(
             "/obj/hello.o",
             assemble(
@@ -556,7 +843,7 @@ mod tests {
 
     #[test]
     fn instantiate_builds_program_and_library() {
-        let mut s = server();
+        let s = server();
         let reply = s.instantiate("/bin/hello").unwrap();
         assert!(!reply.cache_hit);
         assert_eq!(reply.libraries.len(), 1);
@@ -571,13 +858,13 @@ mod tests {
         assert_eq!(lib_text.vaddr, 0x0100_0000);
         // The client's call to _puts is bound into the library.
         assert_eq!(reply.libraries[0].image.find("_puts"), Some(0x0100_0000));
-        assert_eq!(s.stats.libraries_built, 1);
-        assert_eq!(s.stats.programs_built, 1);
+        assert_eq!(s.stats().libraries_built, 1);
+        assert_eq!(s.stats().programs_built, 1);
     }
 
     #[test]
     fn lint_walks_the_namespace_without_instantiating() {
-        let mut s = server();
+        let s = server();
         assert!(s.lint("/bin/hello").unwrap().is_empty());
         s.namespace
             .bind_blueprint("/bin/broken", "(merge /obj/hello.o /nope)")
@@ -585,7 +872,7 @@ mod tests {
         let diags = s.lint("/bin/broken").unwrap();
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, "OM001");
-        assert_eq!(s.stats.programs_built, 0, "lint builds nothing");
+        assert_eq!(s.stats().programs_built, 0, "lint builds nothing");
         assert!(matches!(
             s.lint("/no/such/path"),
             Err(OmosError::NoSuchName(_))
@@ -594,7 +881,7 @@ mod tests {
 
     #[test]
     fn preflight_rejects_errors_before_any_work() {
-        let mut s = server();
+        let s = server();
         s.set_preflight(true);
         s.namespace
             .bind_blueprint("/bin/broken", "(merge /obj/hello.o /nope)")
@@ -606,20 +893,20 @@ mod tests {
             }
             other => panic!("expected preflight rejection, got {other:?}"),
         }
-        assert_eq!(s.stats.programs_built, 0, "rejected before eval/link");
+        assert_eq!(s.stats().programs_built, 0, "rejected before eval/link");
         // Clean blueprints still instantiate, warnings don't block.
         assert!(s.instantiate("/bin/hello").is_ok());
     }
 
     #[test]
     fn second_instantiation_is_a_cache_hit() {
-        let mut s = server();
+        let s = server();
         let first = s.instantiate("/bin/hello").unwrap();
         let second = s.instantiate("/bin/hello").unwrap();
         assert!(second.cache_hit);
         assert!(second.server_ns < first.server_ns);
-        assert_eq!(s.stats.reply_cache_hits, 1);
-        assert_eq!(s.stats.libraries_built, 1, "library built once");
+        assert_eq!(s.stats().reply_cache_hits, 1);
+        assert_eq!(s.stats().libraries_built, 1, "library built once");
         assert!(
             Arc::ptr_eq(&first.program, &second.program),
             "same physical frames"
@@ -628,7 +915,7 @@ mod tests {
 
     #[test]
     fn two_programs_share_one_library_instance() {
-        let mut s = server();
+        let s = server();
         s.namespace.bind_object(
             "/obj/other.o",
             assemble(
@@ -643,12 +930,12 @@ mod tests {
         let a = s.instantiate("/bin/hello").unwrap();
         let b = s.instantiate("/bin/other").unwrap();
         assert!(Arc::ptr_eq(&a.libraries[0], &b.libraries[0]));
-        assert_eq!(s.stats.libraries_built, 1);
+        assert_eq!(s.stats().libraries_built, 1);
     }
 
     #[test]
     fn rebinding_invalidates_replies() {
-        let mut s = server();
+        let s = server();
         let first = s.instantiate("/bin/hello").unwrap();
         // Rebind the libc fragment: _puts now returns 9.
         s.namespace.bind_object(
@@ -664,8 +951,22 @@ mod tests {
     }
 
     #[test]
+    fn unrelated_binds_leave_replies_cached() {
+        let s = server();
+        let _ = s.instantiate("/bin/hello").unwrap();
+        // A bind that /bin/hello never resolved must not evict it.
+        s.namespace.bind_object(
+            "/scratch/unrelated.o",
+            assemble("u.o", ".text\nnop\n").unwrap(),
+        );
+        let second = s.instantiate("/bin/hello").unwrap();
+        assert!(second.cache_hit, "selective invalidation keeps the reply");
+        assert_eq!(s.stats().replies_built, 1);
+    }
+
+    #[test]
     fn missing_name_and_bad_reference() {
-        let mut s = server();
+        let s = server();
         assert!(matches!(
             s.instantiate("/bin/nope"),
             Err(OmosError::NoSuchName(_))
@@ -681,7 +982,7 @@ mod tests {
 
     #[test]
     fn instantiate_bare_object() {
-        let mut s = server();
+        let s = server();
         s.namespace.bind_object(
             "/obj/solo.o",
             assemble("solo.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
@@ -693,7 +994,7 @@ mod tests {
 
     #[test]
     fn dyn_lookup_builds_once_then_resolves() {
-        let mut s = server();
+        let s = server();
         s.namespace
             .bind_blueprint(
                 "/bin/dyn",
@@ -716,7 +1017,7 @@ mod tests {
 
     #[test]
     fn program_with_undefined_reference_fails_to_link() {
-        let mut s = server();
+        let s = server();
         s.namespace.bind_object(
             "/obj/bad.o",
             assemble(
@@ -756,15 +1057,15 @@ impl Omos {
     /// The class is placed by the constraint solver so its segments
     /// cannot collide with any placed library.
     pub fn dynamic_load(
-        &mut self,
+        &self,
         bp: &Blueprint,
         wanted: &[&str],
         client_exports: &HashMap<String, u32>,
     ) -> Result<DynamicLoadReply, OmosError> {
-        self.revalidate();
-        self.stats.requests += 1;
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = ReqCtx::new(self, None);
         let mut server_ns = self.cost.server_cached_request_ns;
-        let out = eval_blueprint(bp, self)?;
+        let out = eval_blueprint(bp, &mut ctx)?;
         server_ns += eval_work_ns(&out.stats, &self.cost);
 
         // Resolve any referenced self-contained libraries first, then
@@ -794,7 +1095,7 @@ impl Omos {
                 .ok_or_else(|| OmosError::Client(format!("`{name}` not defined by the class")))?;
             values.insert((*name).to_string(), addr);
         }
-        self.stats.cpu_ns += server_ns;
+        self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         Ok(DynamicLoadReply {
             frames: img.frames.clone(),
             values,
@@ -805,7 +1106,7 @@ impl Omos {
     /// §7 "Implications for Other Programs": serves `nm`-style symbol
     /// listings directly from the server — "requesting only those
     /// portions of interest" instead of shipping a whole byte stream.
-    pub fn query_symbols(&mut self, path: &str) -> Result<Vec<(String, bool)>, OmosError> {
+    pub fn query_symbols(&self, path: &str) -> Result<Vec<(String, bool)>, OmosError> {
         match self.namespace.lookup(path) {
             Some(Entry::Object(o)) => Ok(o
                 .symbols
@@ -829,7 +1130,7 @@ impl Omos {
     }
 
     /// §7: `size`-style section totals without shipping contents.
-    pub fn query_size(&mut self, path: &str) -> Result<(u64, u64, u64), OmosError> {
+    pub fn query_size(&self, path: &str) -> Result<(u64, u64, u64), OmosError> {
         match self.namespace.lookup(path) {
             Some(Entry::Object(o)) => Ok((
                 o.size_of_kind(SectionKind::Text) + o.size_of_kind(SectionKind::RoData),
@@ -863,19 +1164,19 @@ impl Omos {
     /// cache (it is a specialization, not the base instance) and the
     /// id→routine table is returned for decoding `MONLOG` events.
     pub fn instantiate_monitored(
-        &mut self,
+        &self,
         path: &str,
         pattern: &str,
     ) -> Result<(InstantiateReply, Vec<String>), OmosError> {
-        self.revalidate();
-        self.stats.requests += 1;
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let bp = match self.namespace.lookup(path) {
-            Some(Entry::Meta(bp)) => (**bp).clone(),
+            Some(Entry::Meta(bp)) => (*bp).clone(),
             Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
             None => return Err(OmosError::NoSuchName(path.to_string())),
         };
+        let mut ctx = ReqCtx::new(self, Some(path));
         let mut server_ns = self.cost.server_cached_request_ns;
-        let out = eval_blueprint(&bp, self)?;
+        let out = eval_blueprint(&bp, &mut ctx)?;
         server_ns += eval_work_ns(&out.stats, &self.cost);
 
         let mut externs: HashMap<String, u32> = HashMap::new();
@@ -910,7 +1211,7 @@ impl Omos {
             image: linked.image,
             link_stats: linked.stats,
         });
-        self.stats.cpu_ns += server_ns;
+        self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         Ok((
             InstantiateReply {
                 program,

@@ -20,9 +20,12 @@
 //!                                  rename-defs)
 //! ofe hide RE IN OUT               and: show, restrict, project, freeze
 //! ofe copy-as RE REPL IN OUT       duplicate definitions
-//! ofe lint BLUEPRINT               static analysis, no linking; operand
+//! ofe lint [--jobs N] BLUEPRINT...  static analysis, no linking; operand
 //!                                  paths resolve as files relative to
-//!                                  the blueprint's directory
+//!                                  each blueprint's directory; with
+//!                                  several files, `--jobs N` lints them
+//!                                  on N worker threads (reports stay in
+//!                                  input order)
 //! ```
 
 use std::fmt::Write as _;
@@ -146,10 +149,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
             )?;
             Ok(String::new())
         }
-        "lint" => match rest {
-            [file] => lint(file),
-            _ => Err("lint BLUEPRINT".into()),
-        },
+        "lint" => {
+            let (jobs, files) = parse_jobs(rest)?;
+            match files {
+                [] => Err("lint [--jobs N] BLUEPRINT...".into()),
+                [file] => lint(file),
+                files => lint_batch(files, jobs),
+            }
+        }
         _ => Err(USAGE.to_string()),
     }
 }
@@ -195,6 +202,70 @@ fn lint(file: &str) -> Result<String, String> {
         Err(report)
     } else {
         Ok(report)
+    }
+}
+
+/// Splits a leading `--jobs N` off the argument list.
+fn parse_jobs(rest: &[String]) -> Result<(usize, &[String]), String> {
+    if rest.first().map(String::as_str) == Some("--jobs") {
+        let n = rest
+            .get(1)
+            .ok_or("lint --jobs N BLUEPRINT...")?
+            .parse::<usize>()
+            .map_err(|_| "lint --jobs N: N must be a positive number".to_string())?;
+        Ok((n.max(1), &rest[2..]))
+    } else {
+        Ok((1, rest))
+    }
+}
+
+/// Lints several blueprints on up to `jobs` worker threads. Files are
+/// claimed from a shared index (cheap work stealing), but reports are
+/// stitched back in input order so the output is deterministic. A file
+/// whose lint finds errors fails the whole batch, after every file has
+/// been linted.
+fn lint_batch(files: &[String], jobs: usize) -> Result<String, String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let jobs = jobs.min(files.len());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<String, String>>>> =
+        files.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                let r = lint(file);
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for slot in results {
+        let r = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .expect("every file was linted");
+        match r {
+            Ok(report) => out.push_str(&report),
+            Err(report) => {
+                failed += 1;
+                out.push_str(&report);
+                out.push('\n');
+            }
+        }
+    }
+    if failed > 0 {
+        let _ = write!(out, "lint: {failed} of {} blueprints failed", files.len());
+        Err(out)
+    } else {
+        Ok(out)
     }
 }
 
@@ -472,6 +543,51 @@ _msg:       .asciz "hello-world"
         let uses_meta = tmp("uses-meta.bp");
         std::fs::write(&uses_meta, format!("(merge {caller} {meta})")).unwrap();
         assert_eq!(run(&args(&["lint", &uses_meta])).unwrap(), "");
+    }
+
+    #[test]
+    fn lint_batch_runs_files_in_parallel_and_keeps_order() {
+        let caller = tmp("bcaller.o");
+        let obj = assemble(
+            "bcaller.o",
+            ".text\n.global _start\n_start: call _malloc\n sys 0\n",
+        )
+        .unwrap();
+        std::fs::write(&caller, write(Format::Aout, &obj)).unwrap();
+        let lib = write_sample("balloc.o");
+
+        let good = tmp("bgood.bp");
+        std::fs::write(&good, format!("(merge {caller} {lib})")).unwrap();
+        let warn = tmp("bwarn.bp");
+        std::fs::write(
+            &warn,
+            format!("(rename \"^_none$\" \"_x\" (merge {caller} {lib}))"),
+        )
+        .unwrap();
+        let bad = tmp("bbad.bp");
+        std::fs::write(&bad, format!("(merge {caller} /no/such.o)")).unwrap();
+
+        // All clean: concatenated reports (here empty + one warning),
+        // input order, exit success.
+        let out = run(&args(&["lint", "--jobs", "4", &good, &warn, &good])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "only the warning prints: {out}");
+        assert!(lines[0].starts_with(&warn), "input order kept: {out}");
+        assert!(lines[0].contains("warning[OM005]"), "{out}");
+
+        // One failing file fails the batch, but every file is linted
+        // and the failure is attributed.
+        let err = run(&args(&["lint", "--jobs", "2", &good, &bad, &warn])).unwrap_err();
+        assert!(err.contains("error[OM001]"), "{err}");
+        assert!(err.contains("warning[OM005]"), "{err}");
+        assert!(err.contains("lint: 1 of 3 blueprints failed"), "{err}");
+        let bad_pos = err.find(&bad).unwrap();
+        let warn_pos = err.find(&warn).unwrap();
+        assert!(bad_pos < warn_pos, "reports stay in input order: {err}");
+
+        // --jobs parsing errors.
+        assert!(run(&args(&["lint", "--jobs", "x", &good, &warn])).is_err());
+        assert!(run(&args(&["lint", "--jobs", "2"])).is_err());
     }
 
     #[test]

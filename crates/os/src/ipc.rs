@@ -44,6 +44,13 @@ pub struct IpcStats {
     pub bytes: u64,
 }
 
+impl std::ops::AddAssign for IpcStats {
+    fn add_assign(&mut self, rhs: IpcStats) {
+        self.messages += rhs.messages;
+        self.bytes += rhs.bytes;
+    }
+}
+
 /// Charges one client→server→client round trip.
 ///
 /// The kernel message work is system time; the time the server spends
@@ -102,6 +109,26 @@ mod tests {
         charge_roundtrip(&mut mach, &cost, Transport::MachIpc, 64, 64, 0, &mut s);
         charge_roundtrip(&mut sysv, &cost, Transport::SysVMsg, 64, 64, 0, &mut s);
         assert!(mach.elapsed_ns < sysv.elapsed_ns);
+    }
+
+    #[test]
+    fn stats_aggregate_across_clients() {
+        // Multi-client runs keep one IpcStats per thread and fold them
+        // into a total afterwards.
+        let mut total = IpcStats::default();
+        let per_thread = IpcStats {
+            messages: 2,
+            bytes: 400,
+        };
+        total += per_thread;
+        total += per_thread;
+        assert_eq!(
+            total,
+            IpcStats {
+                messages: 4,
+                bytes: 800
+            }
+        );
     }
 
     #[test]

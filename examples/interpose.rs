@@ -24,7 +24,7 @@ use omos::os::ipc::Transport;
 use omos::os::{CostModel, InMemFs, SimClock};
 
 fn main() {
-    let mut server = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let server = Omos::new(CostModel::hpux(), Transport::MachIpc);
 
     // The application: allocates three buffers, exits with the sum of
     // the (distinct) addresses' low bits as a checksum.
@@ -112,7 +112,7 @@ _malloc_count: .word 0
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
     let out = run_under_omos(
-        &mut server,
+        &server,
         "/bin/ls-traced",
         true,
         &mut clock,

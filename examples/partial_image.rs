@@ -18,7 +18,7 @@ use omos::os::ipc::Transport;
 use omos::os::{CostModel, InMemFs, SimClock};
 
 fn main() {
-    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
 
     server.namespace.bind_object(
         "/libc/impl.o",
@@ -66,13 +66,7 @@ _start:     li r1, 6
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
     let out = run_under_omos(
-        &mut server,
-        "/bin/app",
-        false,
-        &mut clock,
-        &cost,
-        &mut fs,
-        100_000,
+        &server, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
     )
     .expect("app runs");
 

@@ -17,7 +17,7 @@ use omos::os::{CostModel, InMemFs, SimClock};
 fn main() {
     // 1. Start a persistent server (HP-UX cost profile, SysV messages —
     //    the paper's HP-UX configuration).
-    let mut server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
 
     // 2. Bind fragments into the namespace. In the paper these are .o
     //    files; here they come from the built-in U32 assembler.
@@ -105,7 +105,7 @@ _msg:       .asciz "hello from OMOS"
     for attempt in 1..=2 {
         let mut clock = SimClock::new();
         let out = run_under_omos(
-            &mut server,
+            &server,
             "/bin/hello",
             false,
             &mut clock,
@@ -122,7 +122,7 @@ _msg:       .asciz "hello from OMOS"
     }
 
     // 6. The second run was served from cache: same image, less server work.
-    let stats = server.stats;
+    let stats = server.stats();
     println!(
         "server: {} requests, {} reply-cache hits, {} libraries built, {} programs built",
         stats.requests, stats.reply_cache_hits, stats.libraries_built, stats.programs_built

@@ -24,7 +24,7 @@ use omos::os::ipc::Transport;
 use omos::os::{CostModel, InMemFs, SimClock};
 
 fn main() {
-    let mut server = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let server = Omos::new(CostModel::hpux(), Transport::MachIpc);
 
     // A library with two problems: it reads `_undef_var` (undefined) and
     // calls `_undefined_routine` (undefined, and should never run).
@@ -88,7 +88,7 @@ _bad:       call _undefined_routine
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
     let out = run_under_omos(
-        &mut server,
+        &server,
         "/bin/fixed",
         true,
         &mut clock,
@@ -120,7 +120,7 @@ _bad:       call _undefined_routine
         .expect("parses");
     let mut clock = SimClock::new();
     let out = run_under_omos(
-        &mut server,
+        &server,
         "/bin/fixed-hot",
         true,
         &mut clock,

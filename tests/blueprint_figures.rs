@@ -70,7 +70,7 @@ fn figure1_parses_to_constraint_list_plus_merge_of_eight() {
 
 #[test]
 fn figure1_acts_as_a_self_contained_library() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     for m in [
         "gen", "stdio", "string", "stdlib", "hppa", "net", "quad", "rpc",
     ] {
@@ -117,7 +117,7 @@ fn figure1_acts_as_a_self_contained_library() {
 
 #[test]
 fn figure2_traces_malloc_transparently() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     s.namespace.bind_object(
         "/bin/ls.o",
         assemble(
@@ -174,7 +174,7 @@ _malloc_count: .word 0
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
     let out = run_under_omos(
-        &mut s,
+        &s,
         "/bin/ls-traced",
         true,
         &mut clock,
@@ -193,7 +193,7 @@ _malloc_count: .word 0
 
 #[test]
 fn figure3_fills_defaults_and_reroutes() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     s.namespace.bind_object(
         "/lib/lib-with-problems",
         assemble(
@@ -216,16 +216,7 @@ _abort:     halt
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s,
-        "/bin/fixed",
-        true,
-        &mut clock,
-        &cost,
-        &mut fs,
-        100_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/fixed", true, &mut clock, &cost, &mut fs, 100_000).unwrap();
     // `undef_var` defaulted to 0 by the source operator, so the program
     // exits 0 without touching the rerouted routine.
     assert_eq!(out.stop, StopReason::Exited(0));
@@ -243,7 +234,7 @@ _abort:     halt
 // pointing at the right source bytes.
 
 fn figure1_world() -> Omos {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     for m in [
         "gen", "stdio", "string", "stdlib", "hppa", "net", "quad", "rpc",
     ] {
@@ -272,7 +263,7 @@ fn figure1_world() -> Omos {
 }
 
 fn figure2_world() -> Omos {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     s.namespace.bind_object(
         "/bin/ls.o",
         assemble(
@@ -306,7 +297,7 @@ _malloc:    call _REAL_malloc
 }
 
 fn figure3_world() -> Omos {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     s.namespace.bind_object(
         "/lib/lib-with-problems",
         assemble(
@@ -331,22 +322,22 @@ _abort:     halt
 fn figure_blueprints_lint_clean() {
     // Zero diagnostics — not merely zero errors — on the paper's own
     // blueprints and every auxiliary blueprint these worlds bind.
-    let mut s = figure1_world();
+    let s = figure1_world();
     for path in ["/lib/libc", "/bin/use"] {
         let diags = s.lint(path).unwrap();
         assert!(diags.is_empty(), "{path}: {diags:?}");
     }
-    let mut s = figure2_world();
+    let s = figure2_world();
     let diags = s.lint("/bin/ls-traced").unwrap();
     assert!(diags.is_empty(), "{diags:?}");
-    let mut s = figure3_world();
+    let s = figure3_world();
     let diags = s.lint("/bin/fixed").unwrap();
     assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]
 fn seeded_unresolved_operand_is_caught_with_its_span() {
-    let mut s = figure1_world();
+    let s = figure1_world();
     let defective = FIGURE_1.replace("/libc/rpc)", "/libc/rpc /libc/bogus)");
     s.namespace
         .bind_blueprint("/lib/libc-bad", &defective)
@@ -363,7 +354,7 @@ fn seeded_unresolved_operand_is_caught_with_its_span() {
 fn seeded_duplicate_definition_is_caught() {
     // Figure 2 without the `restrict` step: the old _malloc definition
     // survives and collides with the replacement.
-    let mut s = figure2_world();
+    let s = figure2_world();
     let defective = r#"
 (hide "_REAL_malloc"
   (merge
@@ -390,7 +381,7 @@ fn seeded_duplicate_definition_is_caught() {
 fn seeded_dead_pattern_is_caught() {
     // Figure 2 with a typo in the final hide: nothing matches, the
     // stashed copy leaks into the exported namespace.
-    let mut s = figure2_world();
+    let s = figure2_world();
     let defective = FIGURE_2.replace("(hide \"_REAL_malloc\"", "(hide \"_REALLY_malloc\"");
     s.namespace
         .bind_blueprint("/bin/ls-traced-bad", &defective)
@@ -406,7 +397,7 @@ fn seeded_dead_pattern_is_caught() {
 #[test]
 fn seeded_unresolved_reference_is_caught() {
     // Figure 3 rerouting to a routine that doesn't exist.
-    let mut s = figure3_world();
+    let s = figure3_world();
     let defective = FIGURE_3.replace("\"_abort\"", "\"_abort_misspelled\"");
     s.namespace
         .bind_blueprint("/bin/fixed-bad", &defective)
@@ -421,7 +412,7 @@ fn seeded_unresolved_reference_is_caught() {
 #[test]
 fn seeded_constraint_overlap_is_caught() {
     // A client pinning itself on top of figure 1's library text window.
-    let mut s = figure1_world();
+    let s = figure1_world();
     let defective = "(constraint-list \"T\" 0x100000)\n(merge /obj/use.o /lib/libc)";
     s.namespace
         .bind_blueprint("/bin/use-overlap", defective)

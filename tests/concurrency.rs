@@ -1,0 +1,341 @@
+//! Concurrency integration tests: many client threads against one
+//! shared [`Omos`] server.
+//!
+//! The server's whole premise is that it is *persistent and shared* —
+//! these tests drive the `&self` request paths from real threads and
+//! assert the tentpole invariants:
+//!
+//! * single-flight: N concurrent cold-starts of one program do exactly
+//!   one eval+link, and every client maps the same frames;
+//! * concurrent ≡ sequential: a mixed workload produces byte-identical
+//!   images to a sequential replay, and the counters sum consistently;
+//! * selective invalidation: binds only evict derivations that depended
+//!   on the touched paths;
+//! * the image cache keeps its byte budget and never invalidates a
+//!   client's mapping under concurrent insert/hit interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use omos::core::cache::{CachedImage, ImageCache};
+use omos::core::Omos;
+use omos::isa::assemble;
+use omos::link::LinkStats;
+use omos::obj::ContentHash;
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, ImageFrames};
+
+/// A server with `n` programs that all share one library.
+fn world(n: usize) -> Omos {
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/libc/stdio.o",
+        assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 7\n ret\n").unwrap(),
+    );
+    s.namespace
+        .bind_blueprint(
+            "/lib/libc",
+            "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge /libc/stdio.o)",
+        )
+        .unwrap();
+    for i in 0..n {
+        s.namespace.bind_object(
+            &format!("/obj/p{i}.o"),
+            assemble(
+                &format!("p{i}.o"),
+                &format!(".text\n.global _start\n_start: li r1, {i}\n call _puts\n sys 0\n"),
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                &format!("/bin/p{i}"),
+                &format!("(merge /obj/p{i}.o /lib/libc)"),
+            )
+            .unwrap();
+    }
+    s
+}
+
+#[test]
+fn concurrent_cold_start_links_exactly_once() {
+    const THREADS: usize = 8;
+    let s = world(1);
+    let barrier = Barrier::new(THREADS);
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let s = &s;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    s.instantiate("/bin/p0").expect("instantiate succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let st = s.stats();
+    assert_eq!(st.requests, THREADS as u64);
+    // The single-flight invariant: one build, period.
+    assert_eq!(st.replies_built, 1, "exactly one reply built: {st:?}");
+    assert_eq!(st.programs_built, 1, "exactly one program link: {st:?}");
+    assert_eq!(st.libraries_built, 1, "one distinct library: {st:?}");
+    // Every request is accounted for exactly once.
+    assert_eq!(
+        st.reply_cache_hits + st.coalesced + st.replies_built,
+        st.requests,
+        "{st:?}"
+    );
+    // Exactly the builder's reply is marked as a miss; everyone shares
+    // the same physical frames.
+    let misses = replies.iter().filter(|r| !r.cache_hit).count();
+    assert_eq!(misses, 1, "only the leader's reply is a miss");
+    for r in &replies {
+        assert!(Arc::ptr_eq(&r.program, &replies[0].program));
+        assert_eq!(r.libraries.len(), 1);
+        assert!(Arc::ptr_eq(&r.libraries[0], &replies[0].libraries[0]));
+    }
+}
+
+#[test]
+fn mixed_workload_matches_sequential_oracle() {
+    const THREADS: usize = 4;
+    const PROGRAMS: usize = 4;
+    const ITERS: usize = 8;
+
+    // Sequential oracle: a fresh identical server, each program once.
+    let oracle: Vec<(u64, Vec<u64>)> = {
+        let s = world(PROGRAMS);
+        (0..PROGRAMS)
+            .map(|i| {
+                let r = s.instantiate(&format!("/bin/p{i}")).unwrap();
+                (
+                    r.program.image.content_hash().0,
+                    r.libraries
+                        .iter()
+                        .map(|l| l.image.content_hash().0)
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    let s = world(PROGRAMS);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let s = &s;
+            let barrier = &barrier;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                barrier.wait();
+                for iter in 0..ITERS {
+                    // Interleave namespace defines the programs never
+                    // depend on — they must not perturb anything.
+                    if iter % 2 == 0 {
+                        s.namespace.bind_object(
+                            &format!("/scratch/t{t}-{iter}.o"),
+                            assemble("u.o", ".text\nnop\n").unwrap(),
+                        );
+                    }
+                    for m in 0..PROGRAMS {
+                        let path = format!("/bin/p{}", (t + m) % PROGRAMS);
+                        let r = s.instantiate(&path).expect("instantiate succeeds");
+                        let want = &oracle[(t + m) % PROGRAMS];
+                        assert_eq!(
+                            r.program.image.content_hash().0,
+                            want.0,
+                            "{path}: concurrent image differs from sequential replay"
+                        );
+                        let libs: Vec<u64> = r
+                            .libraries
+                            .iter()
+                            .map(|l| l.image.content_hash().0)
+                            .collect();
+                        assert_eq!(libs, want.1, "{path}: library set differs");
+                    }
+                }
+            });
+        }
+    });
+
+    let st = s.stats();
+    assert_eq!(st.requests, (THREADS * ITERS * PROGRAMS) as u64);
+    assert_eq!(
+        st.reply_cache_hits + st.coalesced + st.replies_built,
+        st.requests,
+        "every request is a hit, a coalesce, or a build: {st:?}"
+    );
+    // The scratch binds are unrelated: nothing was ever rebuilt.
+    assert_eq!(st.replies_built, PROGRAMS as u64, "{st:?}");
+    assert_eq!(st.libraries_built, 1, "one shared library: {st:?}");
+}
+
+#[test]
+fn unrelated_defines_do_not_evict_cached_replies() {
+    let s = world(2);
+    let first_p0 = s.instantiate("/bin/p0").unwrap();
+    let _ = s.instantiate("/bin/p1").unwrap();
+
+    // Define a brand-new meta-object and object the cached programs
+    // never resolved.
+    s.namespace.bind_object(
+        "/new/tool.o",
+        assemble("tool.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+    );
+    s.namespace
+        .bind_blueprint("/bin/tool", "(merge /new/tool.o)")
+        .unwrap();
+
+    let again = s.instantiate("/bin/p0").unwrap();
+    assert!(again.cache_hit, "unrelated define must not evict /bin/p0");
+    assert!(
+        Arc::ptr_eq(&again.program, &first_p0.program),
+        "the very same cached frames are served"
+    );
+    assert!(s.instantiate("/bin/p1").unwrap().cache_hit);
+    assert_eq!(s.stats().replies_built, 2, "p0 and p1, once each");
+
+    // Rebinding an actual dependency is key-scoped: p0 rebuilds, p1
+    // keeps hitting.
+    s.namespace.bind_object(
+        "/obj/p0.o",
+        assemble(
+            "p0.o",
+            ".text\n.global _start\n_start: li r1, 99\n call _puts\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    let rebuilt = s.instantiate("/bin/p0").unwrap();
+    assert!(!rebuilt.cache_hit, "touched dependency forces a rebuild");
+    assert_ne!(
+        rebuilt.program.image.content_hash(),
+        first_p0.program.image.content_hash()
+    );
+    assert!(
+        s.instantiate("/bin/p1").unwrap().cache_hit,
+        "p1 never depended on /obj/p0.o"
+    );
+}
+
+#[test]
+fn concurrent_dyn_lookup_builds_the_instance_once() {
+    const THREADS: usize = 8;
+    let s = world(0);
+    s.namespace.bind_object(
+        "/obj/dynuser.o",
+        assemble(
+            "dynuser.o",
+            ".text\n.global _start\n_start: call _puts\n sys 0\n",
+        )
+        .unwrap(),
+    );
+    s.namespace
+        .bind_blueprint(
+            "/bin/dyn",
+            r#"(merge /obj/dynuser.o (specialize "lib-dynamic" /libc/stdio.o))"#,
+        )
+        .unwrap();
+    let _ = s.instantiate("/bin/dyn").unwrap();
+
+    let barrier = Barrier::new(THREADS);
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let s = &s;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    s.dyn_lookup(0, "_puts").expect("lookup succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let builders = replies.iter().filter(|r| r.server_ns > 0).count();
+    assert_eq!(builders, 1, "exactly one thread paid for the build");
+    for r in &replies {
+        assert_eq!(r.target, replies[0].target);
+        assert_eq!(r.frames.total_pages(), replies[0].frames.total_pages());
+    }
+}
+
+#[test]
+fn image_cache_keeps_budget_and_mappings_under_concurrency() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 32;
+    const IMG_BYTES: usize = 100;
+    const BUDGET: u64 = 1_000;
+
+    let mk = |key: u64| {
+        let image = omos::link::LinkedImage {
+            name: format!("img{key}"),
+            segments: vec![omos::link::Segment {
+                name: ".text".into(),
+                kind: omos::obj::SectionKind::Text,
+                vaddr: 0x1000,
+                bytes: vec![key as u8; IMG_BYTES],
+                zero: 0,
+            }],
+            symbols: Default::default(),
+            entry: None,
+        };
+        CachedImage {
+            key: ContentHash(key),
+            frames: ImageFrames::from_image(&image),
+            image,
+            link_stats: LinkStats::default(),
+        }
+    };
+
+    let cache = ImageCache::with_shards(BUDGET, 4);
+    let barrier = Barrier::new(THREADS as usize);
+    let live_hits = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let barrier = &barrier;
+            let live_hits = &live_hits;
+            let mk = &mk;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut held = Vec::new();
+                for i in 0..PER_THREAD {
+                    let key = t * 1_000 + i;
+                    held.push(cache.insert(mk(key)));
+                    // Interleave hits on this thread's recent keys to
+                    // churn the LRU order while other shards evict.
+                    if cache.get(ContentHash(key)).is_some() {
+                        live_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // Every handle handed out stays fully mapped, evicted
+                // from the cache or not.
+                for img in &held {
+                    assert_eq!(img.size_bytes(), IMG_BYTES as u64);
+                    assert!(img.frames.total_pages() > 0);
+                }
+            });
+        }
+    });
+
+    let st = cache.stats();
+    assert!(
+        cache.bytes() <= BUDGET,
+        "byte budget holds after all inserts settle: {} > {BUDGET}",
+        cache.bytes()
+    );
+    assert_eq!(st.insertions, THREADS * PER_THREAD);
+    assert_eq!(
+        cache.len() as u64,
+        st.insertions - st.evictions,
+        "every insert is either resident or was evicted: {st:?}"
+    );
+    assert_eq!(cache.bytes(), cache.len() as u64 * IMG_BYTES as u64);
+    assert!(st.evictions > 0, "the budget actually bound");
+    assert_eq!(st.hits, live_hits.load(Ordering::Relaxed));
+}

@@ -15,7 +15,7 @@ use omos::os::process::{run_process, NoBinder, Process};
 use omos::os::{CostModel, InMemFs, SimClock};
 
 fn server_with_host() -> (Omos, omos::core::InstantiateReply) {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     // The host program: jumps through a function pointer cell that the
     // test patches after dynamically loading the class.
     s.namespace.bind_object(
@@ -53,7 +53,7 @@ _hook:      .word 0
 
 #[test]
 fn class_loads_into_running_program_and_calls_back() {
-    let (mut s, reply) = server_with_host();
+    let (s, reply) = server_with_host();
     let cost = CostModel::hpux();
     let mut clock = SimClock::new();
     let mut proc = Process::spawn(&reply.program.frames, &mut clock, &cost).unwrap();
@@ -93,7 +93,7 @@ fn class_loads_into_running_program_and_calls_back() {
 
 #[test]
 fn wanted_symbols_are_validated() {
-    let (mut s, reply) = server_with_host();
+    let (s, reply) = server_with_host();
     let bp = Blueprint::parse(r#"(source "asm" ".text\n.global _m\n_m: ret\n")"#).unwrap();
     let err = s
         .dynamic_load(&bp, &["_nonexistent"], &reply.program.image.symbols)
@@ -103,7 +103,7 @@ fn wanted_symbols_are_validated() {
 
 #[test]
 fn loaded_class_with_unresolvable_reference_fails() {
-    let (mut s, _) = server_with_host();
+    let (s, _) = server_with_host();
     let bp =
         Blueprint::parse(r#"(source "asm" ".text\n.global _m\n_m: call _not_anywhere\n ret\n")"#)
             .unwrap();
@@ -113,7 +113,7 @@ fn loaded_class_with_unresolvable_reference_fails() {
 
 #[test]
 fn two_loads_do_not_collide_in_the_address_space() {
-    let (mut s, reply) = server_with_host();
+    let (s, reply) = server_with_host();
     let mk = |n: u32| {
         Blueprint::parse(&format!(
             r#"(source "asm" ".text\n.global _m{n}\n_m{n}: li r1, {n}\n ret\n")"#
@@ -139,7 +139,7 @@ fn two_loads_do_not_collide_in_the_address_space() {
 fn query_symbols_and_size_serve_portions_of_interest() {
     // §7: nm/size/strings "are concerned with only a small part of the
     // whole file"; the server answers without shipping a byte stream.
-    let (mut s, _) = server_with_host();
+    let (s, _) = server_with_host();
     let syms = s.query_symbols("/obj/host.o").unwrap();
     assert!(syms.iter().any(|(n, def)| n == "_host_service" && *def));
     let syms = s.query_symbols("/bin/host").unwrap();

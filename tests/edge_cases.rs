@@ -37,7 +37,7 @@ fn minimal_program_is_one_instruction() {
     let obj = assemble("min.o", ".text\n.global _start\n_start: sys 0\n").unwrap();
     let out = link(&[obj], &LinkOptions::program("min")).unwrap();
     assert_eq!(out.image.loaded_bytes(), 8);
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/min.o",
         assemble("min.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
@@ -48,7 +48,7 @@ fn minimal_program_is_one_instruction() {
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let run = run_under_omos(&mut s, "/bin/min", true, &mut clock, &cost, &mut fs, 10).unwrap();
+    let run = run_under_omos(&s, "/bin/min", true, &mut clock, &cost, &mut fs, 10).unwrap();
     assert_eq!(run.stop, StopReason::Exited(0));
     assert_eq!(run.stats.instructions, 1);
 }
@@ -63,7 +63,7 @@ fn deeply_nested_blueprints_evaluate() {
     src.push_str("/obj/base.o");
     src.push_str(&")".repeat(32));
     let bp = Blueprint::parse(&src).unwrap();
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/base.o",
         assemble("base.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
@@ -75,7 +75,7 @@ fn deeply_nested_blueprints_evaluate() {
 #[test]
 fn meta_object_chains_resolve_transitively() {
     // /bin/a -> /meta/b -> /meta/c -> fragment.
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/leaf.o",
         assemble(
@@ -96,7 +96,7 @@ fn meta_object_chains_resolve_transitively() {
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let run = run_under_omos(&mut s, "/bin/a", true, &mut clock, &cost, &mut fs, 100).unwrap();
+    let run = run_under_omos(&s, "/bin/a", true, &mut clock, &cost, &mut fs, 100).unwrap();
     assert_eq!(run.stop, StopReason::Exited(3));
 }
 
@@ -104,7 +104,7 @@ fn meta_object_chains_resolve_transitively() {
 fn library_data_at_region_boundaries() {
     // A library whose BSS crosses several page boundaries still maps and
     // reads back as zero.
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/libc/bigbss.o",
         assemble(
@@ -149,14 +149,14 @@ _start:     li r1, 19996       ; the last word of the arena
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let run = run_under_omos(&mut s, "/bin/probe", true, &mut clock, &cost, &mut fs, 1000).unwrap();
+    let run = run_under_omos(&s, "/bin/probe", true, &mut clock, &cost, &mut fs, 1000).unwrap();
     assert_eq!(run.stop, StopReason::Exited(0), "BSS reads back zero");
 }
 
 #[test]
 fn console_output_across_page_boundary() {
     // A single write larger than one page must arrive intact.
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     let big = 5000;
     s.namespace.bind_object(
         "/obj/big.o",
@@ -185,7 +185,7 @@ _blob:      .space {big}
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let run = run_under_omos(&mut s, "/bin/big", true, &mut clock, &cost, &mut fs, 100).unwrap();
+    let run = run_under_omos(&s, "/bin/big", true, &mut clock, &cost, &mut fs, 100).unwrap();
     assert_eq!(run.stop, StopReason::Exited(0));
     assert_eq!(run.console.len(), big as usize);
     assert!(run.console.iter().all(|&b| b == 0));

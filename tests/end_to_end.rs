@@ -9,7 +9,7 @@ use omos::os::{CostModel, InMemFs, SimClock};
 /// Builds a world with one program and two libraries (the second library
 /// depends on the first — inter-library references).
 fn world() -> Omos {
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     s.namespace.bind_object(
         "/libc/base.o",
         assemble(
@@ -82,7 +82,7 @@ _start:     li r1, 12
 
 #[test]
 fn program_spanning_two_libraries_runs_under_both_exec_paths() {
-    let mut s = world();
+    let s = world();
     // Pre-flight analysis is on for the whole pipeline: a false-positive
     // lint error on any of these blueprints would break instantiation.
     s.set_preflight(true);
@@ -91,19 +91,19 @@ fn program_spanning_two_libraries_runs_under_both_exec_paths() {
     for integrated in [false, true] {
         let mut clock = SimClock::new();
         let out = run_under_omos(
-            &mut s, "/bin/app", integrated, &mut clock, &cost, &mut fs, 100_000,
+            &s, "/bin/app", integrated, &mut clock, &cost, &mut fs, 100_000,
         )
         .unwrap();
         // 12 + 20 + 7 = 39.
         assert_eq!(out.stop, StopReason::Exited(39), "integrated={integrated}");
     }
     // Two libraries, each built exactly once across all four mappings.
-    assert_eq!(s.stats.libraries_built, 2);
+    assert_eq!(s.stats().libraries_built, 2);
 }
 
 #[test]
 fn libraries_land_at_their_constrained_addresses() {
-    let mut s = world();
+    let s = world();
     let reply = s.instantiate("/bin/app").unwrap();
     assert_eq!(reply.libraries.len(), 2);
     let addrs: Vec<u32> = reply
@@ -117,7 +117,7 @@ fn libraries_land_at_their_constrained_addresses() {
 
 #[test]
 fn second_program_reuses_library_instances() {
-    let mut s = world();
+    let s = world();
     s.namespace.bind_object(
         "/obj/other.o",
         assemble(
@@ -141,21 +141,22 @@ fn second_program_reuses_library_instances() {
     let base_b = &b.libraries[0];
     assert!(std::sync::Arc::ptr_eq(base_a, base_b));
     assert_eq!(
-        s.stats.libraries_built, 2,
+        s.stats().libraries_built,
+        2,
         "no new builds for the second program"
     );
 }
 
 #[test]
 fn cold_then_warm_bootstrap_times_shrink() {
-    let mut s = world();
+    let s = world();
     let cost = CostModel::hpux();
     let mut ipc = IpcStats::default();
     let mut clock = SimClock::new();
-    let _ = exec_bootstrap(&mut s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
+    let _ = exec_bootstrap(&s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
     let cold = clock.times();
     let mut clock = SimClock::new();
-    let _ = exec_bootstrap(&mut s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
+    let _ = exec_bootstrap(&s, "/bin/app", &mut clock, &cost, &mut ipc).unwrap();
     let warm = clock.times();
     assert!(
         warm.elapsed_ns < cold.elapsed_ns,
@@ -165,14 +166,11 @@ fn cold_then_warm_bootstrap_times_shrink() {
 
 #[test]
 fn rebinding_a_fragment_changes_the_behavior() {
-    let mut s = world();
+    let s = world();
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000).unwrap();
     assert_eq!(out.stop, StopReason::Exited(39));
     // A library fix "is instantly incorporated into all clients".
     s.namespace.bind_object(
@@ -192,17 +190,14 @@ _base_version: .word 8
         .unwrap(),
     );
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000).unwrap();
     // 12 + 200 + 8 = 220.
     assert_eq!(out.stop, StopReason::Exited(220));
 }
 
 #[test]
 fn conflicting_library_preferences_force_an_alternate_version() {
-    let mut s = world();
+    let s = world();
     // A second library whose constraint collides with libbase's address.
     s.namespace.bind_object(
         "/libx/x.o",
@@ -246,22 +241,13 @@ fn conflicting_library_preferences_force_an_alternate_version() {
         "placed libraries overlap"
     );
     assert!(
-        !s.solver.conflicts().is_empty(),
+        !s.solver().conflicts().is_empty(),
         "the unsatisfiable weak preference must be recorded"
     );
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s,
-        "/bin/both",
-        true,
-        &mut clock,
-        &cost,
-        &mut fs,
-        100_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/both", true, &mut clock, &cost, &mut fs, 100_000).unwrap();
     assert_eq!(out.stop, StopReason::Exited(15));
 }
 
@@ -270,7 +256,7 @@ fn instantiate_arbitrary_blueprint_like_dynamic_loading() {
     // §5: "The meta-object specification may either be the name of a
     // meta-object found within the OMOS namespace, or an arbitrary
     // blueprint to be executed by OMOS."
-    let mut s = world();
+    let s = world();
     let bp = omos::blueprint::Blueprint::parse(
         r#"(merge (source "asm" ".text\n.global _start\n_start: li r1, 9\n sys 0\n") /lib/libbase)"#,
     )
@@ -283,7 +269,7 @@ fn instantiate_arbitrary_blueprint_like_dynamic_loading() {
 
 #[test]
 fn missing_names_surface_as_typed_errors() {
-    let mut s = world();
+    let s = world();
     assert!(matches!(
         s.instantiate("/bin/ghost"),
         Err(OmosError::NoSuchName(_))

@@ -37,7 +37,7 @@ fn corrupt_object_files_never_panic() {
 
 #[test]
 fn runaway_program_hits_fuel_limit() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/spin.o",
         assemble(
@@ -52,23 +52,14 @@ fn runaway_program_hits_fuel_limit() {
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s,
-        "/bin/spin",
-        true,
-        &mut clock,
-        &cost,
-        &mut fs,
-        10_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/spin", true, &mut clock, &cost, &mut fs, 10_000).unwrap();
     assert_eq!(out.stop, StopReason::Fault(VmFault::FuelExhausted));
     assert_eq!(out.stats.instructions, 10_000);
 }
 
 #[test]
 fn wild_pointer_faults_cleanly() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/wild.o",
         assemble(
@@ -83,16 +74,7 @@ fn wild_pointer_faults_cleanly() {
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s,
-        "/bin/wild",
-        true,
-        &mut clock,
-        &cost,
-        &mut fs,
-        10_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/wild", true, &mut clock, &cost, &mut fs, 10_000).unwrap();
     assert!(matches!(
         out.stop,
         StopReason::Fault(VmFault::MemFault {
@@ -104,7 +86,7 @@ fn wild_pointer_faults_cleanly() {
 
 #[test]
 fn store_to_text_faults() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/smash.o",
         assemble(
@@ -119,16 +101,7 @@ fn store_to_text_faults() {
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let out = run_under_omos(
-        &mut s,
-        "/bin/smash",
-        true,
-        &mut clock,
-        &cost,
-        &mut fs,
-        10_000,
-    )
-    .unwrap();
+    let out = run_under_omos(&s, "/bin/smash", true, &mut clock, &cost, &mut fs, 10_000).unwrap();
     assert!(
         matches!(
             out.stop,
@@ -143,7 +116,7 @@ fn store_to_text_faults() {
 fn duplicate_definitions_across_client_and_library() {
     // §4.1's shared-variable hazard in its sharpest form: the client
     // defines a symbol the library also defines.
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/dup.o",
         assemble(
@@ -167,7 +140,7 @@ fn duplicate_definitions_across_client_and_library() {
 
 #[test]
 fn circular_meta_objects_detected() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace
         .bind_blueprint("/meta/a", "(merge /meta/b /meta/b)")
         .unwrap();
@@ -205,12 +178,12 @@ fn image_cache_eviction_under_disk_pressure() {
             link_stats: LinkStats::default(),
         }
     };
-    let mut cache = ImageCache::new(10_000);
+    let cache = ImageCache::new(10_000);
     for k in 0..10u64 {
         cache.insert(mk(k, 4_000));
     }
     assert!(cache.bytes() <= 10_000);
-    assert!(cache.stats.evictions >= 7);
+    assert!(cache.stats().evictions >= 7);
     // The most recent entries survive.
     assert!(cache.get(ContentHash(9)).is_some());
     assert!(cache.get(ContentHash(0)).is_none());
@@ -230,7 +203,7 @@ fn linker_rejects_overlapping_layouts_not_panics() {
 
 #[test]
 fn bad_blueprints_are_rejected_at_bind_time() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     for bad in [
         "(merge",                    // unbalanced
         "(hide /x /y)",              // pattern must be a string
@@ -247,7 +220,7 @@ fn bad_blueprints_are_rejected_at_bind_time() {
 
 #[test]
 fn bad_regex_in_blueprint_fails_at_eval() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/x.o",
         assemble("x.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
@@ -265,7 +238,7 @@ fn bad_regex_in_blueprint_fails_at_eval() {
 
 #[test]
 fn unknown_dynamic_library_id_is_typed() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     assert!(matches!(
         s.dyn_lookup(42, "_f"),
         Err(OmosError::NoSuchLibrary(42))
@@ -274,7 +247,7 @@ fn unknown_dynamic_library_id_is_typed() {
 
 #[test]
 fn program_without_entry_symbol_fails_to_instantiate() {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/noentry.o",
         assemble("ne.o", ".text\n.global _main\n_main: ret\n").unwrap(),

@@ -7,7 +7,7 @@ use omos::os::process::run_process;
 use omos::os::{CostModel, InMemFs, SimClock};
 
 fn world() -> Omos {
-    let mut s = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    let s = Omos::new(CostModel::hpux(), Transport::MachIpc);
     s.namespace.bind_object(
         "/obj/app.o",
         assemble(
@@ -36,7 +36,7 @@ _beta:      li r9, 2
 
 #[test]
 fn server_instantiates_monitored_variant_and_decodes_events() {
-    let mut s = world();
+    let s = world();
     let (reply, id_names) = s
         .instantiate_monitored("/bin/app", "^_(alpha|beta)$")
         .unwrap();
@@ -47,7 +47,7 @@ fn server_instantiates_monitored_variant_and_decodes_events() {
     let mut fs = InMemFs::new();
     let mut proc =
         omos::os::process::Process::spawn(&reply.program.frames, &mut clock, &cost).unwrap();
-    let mut binder = OmosBinder::new(&mut s);
+    let mut binder = OmosBinder::new(&s);
     let out = run_process(&mut proc, &mut clock, &cost, &mut fs, &mut binder, 100_000);
     assert_eq!(out.stop, StopReason::Exited(0));
     let called: Vec<&str> = out
@@ -63,7 +63,7 @@ fn server_instantiates_monitored_variant_and_decodes_events() {
 
 #[test]
 fn monitored_variant_does_not_pollute_the_plain_cache() {
-    let mut s = world();
+    let s = world();
     let plain1 = s.instantiate("/bin/app").unwrap();
     let (_mon, _) = s.instantiate_monitored("/bin/app", "^_alpha$").unwrap();
     let plain2 = s.instantiate("/bin/app").unwrap();
@@ -82,7 +82,7 @@ fn monitored_variant_does_not_pollute_the_plain_cache() {
 
 #[test]
 fn shebang_scripts_export_namespace_entries_into_unix() {
-    let mut s = world();
+    let s = world();
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     // "/usr/bin/app" is a Unix file whose interpreter line names the
@@ -90,15 +90,15 @@ fn shebang_scripts_export_namespace_entries_into_unix() {
     fs.put("/usr/bin/app", b"#! /bin/omos /bin/app\n".to_vec());
     let mut clock = SimClock::new();
     let mut ipc = IpcStats::default();
-    let mut proc = exec_file(&mut s, &mut fs, "/usr/bin/app", &mut clock, &cost, &mut ipc).unwrap();
-    let mut binder = OmosBinder::new(&mut s);
+    let mut proc = exec_file(&s, &mut fs, "/usr/bin/app", &mut clock, &cost, &mut ipc).unwrap();
+    let mut binder = OmosBinder::new(&s);
     let out = run_process(&mut proc, &mut clock, &cost, &mut fs, &mut binder, 100_000);
     assert_eq!(out.stop, StopReason::Exited(0));
 }
 
 #[test]
 fn shebang_rejects_non_omos_scripts() {
-    let mut s = world();
+    let s = world();
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     fs.put("/usr/bin/sh-script", b"#! /bin/sh\necho hi\n".to_vec());
@@ -112,7 +112,7 @@ fn shebang_rejects_non_omos_scripts() {
         "/usr/bin/empty-interp",
         "/gone",
     ] {
-        let err = exec_file(&mut s, &mut fs, f, &mut clock, &cost, &mut ipc).unwrap_err();
+        let err = exec_file(&s, &mut fs, f, &mut clock, &cost, &mut ipc).unwrap_err();
         assert!(
             matches!(err, OmosError::Client(_)),
             "{f} should be rejected"
@@ -124,20 +124,17 @@ fn shebang_rejects_non_omos_scripts() {
 fn monitored_program_still_computes_the_same_answer() {
     // Interposition must be transparent: instrumenting cannot change
     // results (here, the exit code path through r1).
-    let mut s = world();
+    let s = world();
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
     let mut clock = SimClock::new();
-    let plain = run_under_omos(
-        &mut s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000,
-    )
-    .unwrap();
+    let plain = run_under_omos(&s, "/bin/app", true, &mut clock, &cost, &mut fs, 100_000).unwrap();
     let (reply, _) = s
         .instantiate_monitored("/bin/app", "^_(alpha|beta)$")
         .unwrap();
     let mut proc =
         omos::os::process::Process::spawn(&reply.program.frames, &mut clock, &cost).unwrap();
-    let mut binder = OmosBinder::new(&mut s);
+    let mut binder = OmosBinder::new(&s);
     let mon = run_process(&mut proc, &mut clock, &cost, &mut fs, &mut binder, 100_000);
     assert_eq!(plain.stop, mon.stop);
 }

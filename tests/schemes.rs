@@ -111,7 +111,7 @@ _mix:       mul r1, r1, r1
 fn partial_image_per_process_loading() {
     // Each process lazily loads the library once; the server builds the
     // instance once *globally*.
-    let mut s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
     s.namespace.bind_object(
         "/libc/impl.o",
         assemble("impl.o", ".text\n.global _f\n_f: addi r1, r1, 1\n ret\n").unwrap(),
@@ -134,10 +134,8 @@ fn partial_image_per_process_loading() {
     let mut fs = InMemFs::new();
     for _process in 0..3 {
         let mut clock = SimClock::new();
-        let out = run_under_omos(
-            &mut s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000,
-        )
-        .unwrap();
+        let out =
+            run_under_omos(&s, "/bin/app", false, &mut clock, &cost, &mut fs, 100_000).unwrap();
         assert_eq!(out.stop, StopReason::Exited(3));
         // One first-load round trip per process, even across repeated
         // calls inside the process.
