@@ -19,6 +19,7 @@ fn main() {
         Transport::SysVMsg,
         &[1, 2, 4, 8],
         25,
+        true,
     );
     eprintln!(
         "{:>6} {:>5} {:>9} {:>14} {:>14}  builds (replies/programs/libs)",
@@ -44,6 +45,20 @@ fn main() {
     }
     if let Some(s) = result.warm_scaling(1, 4) {
         eprintln!("warm scaling 1 -> 4 threads: {s:.2}x");
+    }
+    eprintln!(
+        "{:>10} {:>9} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50_ns", "p95_ns", "p99_ns"
+    );
+    for h in result.stages.iter().filter(|h| h.count > 0) {
+        eprintln!(
+            "{:>10} {:>9} {:>12} {:>12} {:>12}",
+            h.stage.name(),
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+        );
     }
     let json = to_json(&result);
     if let Err(e) = std::fs::write(&out_path, &json) {

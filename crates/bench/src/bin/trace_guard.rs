@@ -1,0 +1,68 @@
+//! `trace_guard` — the tracing-overhead regression guard.
+//!
+//! Runs the mcbench warm phase twice, tracing on and tracing off, and
+//! fails (exit 1) if tracing costs more than 5% of warm wall-clock
+//! throughput. The simulated numbers must be *identical* — tracing
+//! observes the SimClock domain, it never charges it — so any sim-level
+//! difference is a hard failure regardless of the wall budget.
+//!
+//! Wall-clock on a shared CI host is noisy, so each mode takes the best
+//! (minimum) warm wall time over several repetitions: the minimum
+//! estimates the true cost with the least scheduler interference.
+
+use omos_bench::mcbench::run_multiclient;
+use omos_bench::workload::WorkloadSizes;
+use omos_os::ipc::Transport;
+use omos_os::CostModel;
+
+const REPS: usize = 5;
+const THREADS: usize = 4;
+const PER_THREAD: usize = 400;
+const MAX_OVERHEAD: f64 = 0.05;
+
+/// One warm measurement: total warm wall and the warm sim makespans.
+fn measure_once(tracing: bool) -> (f64, Vec<u64>) {
+    let r = run_multiclient(
+        &WorkloadSizes::small(),
+        CostModel::hpux(),
+        Transport::SysVMsg,
+        &[THREADS],
+        PER_THREAD,
+        tracing,
+    );
+    let wall: f64 = r.warm.iter().map(|p| p.wall_ms).sum();
+    (wall, r.warm.iter().map(|p| p.makespan_ns).collect())
+}
+
+fn main() {
+    // Interleave the modes so CPU warmup, page-cache state, and
+    // allocator pools bias neither side; one untimed warmup first.
+    let _ = measure_once(true);
+    let (mut off_wall, mut on_wall) = (f64::INFINITY, f64::INFINITY);
+    let (mut off_sim, mut on_sim) = (Vec::new(), Vec::new());
+    for _ in 0..REPS {
+        let (w, sim) = measure_once(false);
+        off_wall = off_wall.min(w);
+        off_sim = sim;
+        let (w, sim) = measure_once(true);
+        on_wall = on_wall.min(w);
+        on_sim = sim;
+    }
+
+    eprintln!("warm wall (best of {REPS}): tracing off {off_wall:.3} ms, on {on_wall:.3} ms");
+    if on_sim != off_sim {
+        eprintln!("trace_guard: FAIL — simulated makespans differ: {off_sim:?} vs {on_sim:?}");
+        std::process::exit(1);
+    }
+    let overhead = (on_wall - off_wall) / off_wall;
+    eprintln!("tracing overhead: {:.1}%", overhead * 100.0);
+    if overhead > MAX_OVERHEAD {
+        eprintln!(
+            "trace_guard: FAIL — tracing costs {:.1}% of warm wall time (budget {:.0}%)",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!("trace_guard: OK");
+}

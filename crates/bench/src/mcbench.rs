@@ -22,6 +22,7 @@
 
 use std::sync::Barrier;
 
+use omos_core::trace::{HistSnapshot, Stage};
 use omos_core::{Omos, ServerStats};
 use omos_os::ipc::{charge_roundtrip, IpcStats};
 use omos_os::{CostModel, SimClock};
@@ -57,6 +58,12 @@ pub struct McResult {
     pub cold: Vec<PhaseResult>,
     /// Warm-phase results, one per thread count.
     pub warm: Vec<PhaseResult>,
+    /// Per-stage latency histograms folded across every server in the
+    /// sweep (one per [`Stage`], in `Stage::ALL` order). Empty when the
+    /// sweep ran with tracing off.
+    pub stages: Vec<HistSnapshot>,
+    /// Trace counter totals folded across every server in the sweep.
+    pub counters: Vec<(&'static str, u64)>,
 }
 
 impl McResult {
@@ -103,6 +110,7 @@ fn run_phase(server: &Omos, threads: usize, per_thread: usize, cost: &CostModel)
                         let reply = server
                             .instantiate(&format!("/bin/{program}"))
                             .expect("benchmark programs instantiate");
+                        let at = clock.elapsed_ns;
                         charge_roundtrip(
                             &mut clock,
                             cost,
@@ -112,6 +120,10 @@ fn run_phase(server: &Omos, threads: usize, per_thread: usize, cost: &CostModel)
                             reply.server_ns,
                             &mut ipc,
                         );
+                        // Transport overhead only: the round trip also
+                        // charges the server CPU the reply reports.
+                        let overhead = (clock.elapsed_ns - at).saturating_sub(reply.server_ns);
+                        server.tracer().client_span(reply.req, Stage::Ipc, overhead);
                     }
                     (clock.elapsed_ns, ipc)
                 })
@@ -147,7 +159,9 @@ fn run_phase(server: &Omos, threads: usize, per_thread: usize, cost: &CostModel)
 
 /// Runs the full sweep. Each thread count gets a *fresh* server for its
 /// cold phase; the warm phase reuses that same (now fully cached)
-/// server.
+/// server. With `tracing` off every trace hook degenerates to one
+/// relaxed atomic load (this is what the overhead guard compares
+/// against); the simulated numbers are identical either way.
 #[must_use]
 pub fn run_multiclient(
     sizes: &WorkloadSizes,
@@ -155,19 +169,42 @@ pub fn run_multiclient(
     transport: omos_os::ipc::Transport,
     thread_counts: &[usize],
     per_thread: usize,
+    tracing: bool,
 ) -> McResult {
     let mut cold = Vec::new();
     let mut warm = Vec::new();
+    let mut stages: Vec<HistSnapshot> =
+        Stage::ALL.iter().map(|&s| HistSnapshot::empty(s)).collect();
+    let mut counters: Vec<(&'static str, u64)> = Vec::new();
     for &threads in thread_counts {
         let scenario = Scenario::build(*sizes, cost, transport);
         let server = scenario.server;
+        server.set_tracing(tracing);
         cold.push(run_phase(&server, threads, per_thread, &cost));
         warm.push(run_phase(&server, threads, per_thread, &cost));
+        if tracing {
+            let snap = server.trace_snapshot();
+            for (acc, h) in stages.iter_mut().zip(&snap.stages) {
+                acc.merge(h);
+            }
+            if counters.is_empty() {
+                counters = snap.counters.entries();
+            } else {
+                for (acc, (_, v)) in counters.iter_mut().zip(snap.counters.entries()) {
+                    acc.1 += v;
+                }
+            }
+        }
+    }
+    if !tracing {
+        stages.clear();
     }
     McResult {
         requests_per_thread: per_thread,
         cold,
         warm,
+        stages,
+        counters,
     }
 }
 
@@ -229,6 +266,35 @@ pub fn to_json(r: &McResult) -> String {
         let _ = writeln!(out, "{}", if i + 1 < total { "," } else { "" });
     }
     let _ = writeln!(out, "  ],");
+    if !r.stages.is_empty() {
+        let _ = writeln!(out, "  \"trace\": {{");
+        let _ = writeln!(out, "    \"stages\": [");
+        let with_samples: Vec<_> = r.stages.iter().filter(|h| h.count > 0).collect();
+        for (i, h) in with_samples.iter().enumerate() {
+            let _ = write!(
+                out,
+                concat!(
+                    "      {{\"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, ",
+                    "\"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}}}"
+                ),
+                h.stage.name(),
+                h.count,
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.sum_ns / h.count,
+            );
+            let _ = writeln!(out, "{}", if i + 1 < with_samples.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "    ],");
+        let _ = writeln!(out, "    \"counters\": {{");
+        for (i, (name, v)) in r.counters.iter().enumerate() {
+            let comma = if i + 1 < r.counters.len() { "," } else { "" };
+            let _ = writeln!(out, "      \"{name}\": {v}{comma}");
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(
         out,
         "  \"warm_scaling_1_to_4\": {:.2}",
@@ -251,6 +317,7 @@ mod tests {
             Transport::SysVMsg,
             &[1, 4],
             12,
+            true,
         );
         let scaling = r.warm_scaling(1, 4).expect("both thread counts ran");
         assert!(
@@ -276,6 +343,7 @@ mod tests {
             Transport::SysVMsg,
             &[8],
             6,
+            true,
         );
         let cold = &r.cold[0];
         assert_eq!(cold.stats.replies_built, PROGRAMS.len() as u64);
@@ -294,6 +362,7 @@ mod tests {
             Transport::SysVMsg,
             &[1],
             3,
+            true,
         );
         let j = to_json(&r);
         assert!(j.contains("\"bench\": \"multiclient-throughput\""));

@@ -23,6 +23,7 @@ use omos_obj::ContentHash;
 use omos_os::ImageFrames;
 
 use crate::sync::lock;
+use crate::trace::{CacheKind, EvictReason, ProbeOutcome, Tracer};
 
 /// A fully bound, framed, ready-to-map image.
 #[derive(Debug)]
@@ -58,26 +59,63 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// One shard: its own map and LRU queue under one lock.
+/// One shard: its own map and LRU bookkeeping under one lock.
+///
+/// Recency is tracked by a last-touch generation map instead of
+/// repositioning queue entries: every touch appends `(key, gen)` to the
+/// queue and records `gen` in `gens`, so a hit is O(1) — queue entries
+/// whose generation no longer matches are stale and get dropped lazily
+/// by the victim scan (and by periodic compaction, which bounds the
+/// queue at O(live entries)). Eviction order is identical to true LRU:
+/// the oldest *live* generation is the least recently used key.
 #[derive(Debug, Default)]
 struct Shard {
     map: HashMap<ContentHash, Arc<CachedImage>>,
-    lru: VecDeque<ContentHash>,
+    lru: VecDeque<(ContentHash, u64)>,
+    gens: HashMap<ContentHash, u64>,
+    clock: u64,
 }
 
 impl Shard {
-    /// Removes `victim` from this shard, returning its size.
+    /// Marks `key` most-recently-used. O(1) amortized.
+    fn touch(&mut self, key: ContentHash) {
+        self.clock += 1;
+        self.gens.insert(key, self.clock);
+        self.lru.push_back((key, self.clock));
+        if self.lru.len() > 2 * self.map.len() + 16 {
+            let gens = &self.gens;
+            self.lru.retain(|&(k, g)| gens.get(&k) == Some(&g));
+        }
+    }
+
+    /// Removes `victim` from this shard, returning its size. Its queue
+    /// entries become stale and are dropped lazily.
     fn evict(&mut self, victim: ContentHash) -> Option<u64> {
         let old = self.map.remove(&victim)?;
-        if let Some(pos) = self.lru.iter().position(|&k| k == victim) {
-            self.lru.remove(pos);
-        }
+        self.gens.remove(&victim);
         Some(old.size_bytes())
     }
 
-    /// Oldest key that is not `protect`, if any.
-    fn lru_victim(&self, protect: ContentHash) -> Option<ContentHash> {
-        self.lru.iter().copied().find(|&k| k != protect)
+    /// Oldest live key that is not `protect`, if any. Pops stale queue
+    /// entries encountered at the front.
+    fn lru_victim(&mut self, protect: ContentHash) -> Option<ContentHash> {
+        while let Some(&(k, g)) = self.lru.front() {
+            if self.gens.get(&k) != Some(&g) {
+                self.lru.pop_front();
+                continue;
+            }
+            if k != protect {
+                return Some(k);
+            }
+            // The protected key is oldest; scan past it without popping.
+            let gens = &self.gens;
+            return self
+                .lru
+                .iter()
+                .find(|&&(k2, g2)| k2 != protect && gens.get(&k2) == Some(&g2))
+                .map(|&(k2, _)| k2);
+        }
+        None
     }
 }
 
@@ -91,6 +129,7 @@ pub struct ImageCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Default shard count: enough that eight clients rarely collide, small
@@ -120,7 +159,20 @@ impl ImageCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer: probes and evictions (with their reason) are
+    /// reported to it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ImageCache {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    fn trace(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
     }
 
     fn shard_index(&self, key: ContentHash) -> usize {
@@ -152,36 +204,50 @@ impl ImageCache {
         self.budget
     }
 
-    /// Number of cached images.
+    /// Number of cached images. A *consistent* count: all shard locks
+    /// are held (acquired in index order) while summing, so the result
+    /// is a true point-in-time snapshot even under concurrent inserts.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).map.len()).sum()
+        let guards: Vec<_> = self.shards.iter().map(lock).collect();
+        guards.iter().map(|g| g.map.len()).sum()
     }
 
-    /// True if empty.
+    /// True if empty (consistent, like [`ImageCache::len`]).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| lock(s).map.is_empty())
+        self.len() == 0
     }
 
-    /// Looks up an image, refreshing its LRU position.
+    /// Looks up an image, refreshing its LRU position (O(1): a
+    /// generation bump, not a queue scan).
     pub fn get(&self, key: ContentHash) -> Option<Arc<CachedImage>> {
-        let mut shard = lock(&self.shards[self.shard_index(key)]);
-        match shard.map.get(&key) {
-            Some(img) => {
-                let img = Arc::clone(img);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(pos) = shard.lru.iter().position(|&k| k == key) {
-                    shard.lru.remove(pos);
+        let hit = {
+            let mut shard = lock(&self.shards[self.shard_index(key)]);
+            match shard.map.get(&key) {
+                Some(img) => {
+                    let img = Arc::clone(img);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    shard.touch(key);
+                    Some(img)
                 }
-                shard.lru.push_back(key);
-                Some(img)
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        };
+        if let Some(t) = self.trace() {
+            t.probe(
+                CacheKind::Image,
+                if hit.is_some() {
+                    ProbeOutcome::Hit
+                } else {
+                    ProbeOutcome::Miss
+                },
+            );
         }
+        hit
     }
 
     /// Inserts an image, evicting least-recently-used entries while the
@@ -191,18 +257,29 @@ impl ImageCache {
         let key = img.key;
         let size = img.size_bytes();
         let arc = Arc::new(img);
-        {
+        let replaced = {
             let mut shard = lock(&self.shards[self.shard_index(key)]);
-            if let Some(old_size) = shard.evict(key) {
+            let replaced = shard.evict(key);
+            if let Some(old_size) = replaced {
                 // Replacing an existing entry under the same key is not
                 // a budget eviction.
                 self.bytes.fetch_sub(old_size, Ordering::Relaxed);
             }
             shard.map.insert(key, Arc::clone(&arc));
-            shard.lru.push_back(key);
-        }
-        self.bytes.fetch_add(size, Ordering::Relaxed);
+            shard.touch(key);
+            // Credit the bytes while the shard lock is held: a
+            // concurrent `clear` draining this shard must never
+            // subtract an entry whose addition is still pending, or the
+            // counter wraps below zero.
+            self.bytes.fetch_add(size, Ordering::Relaxed);
+            replaced
+        };
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.trace() {
+            if replaced.is_some() {
+                t.evict(CacheKind::Image, EvictReason::Replace, 1);
+            }
+        }
         self.enforce_budget(key);
         arc
     }
@@ -213,37 +290,52 @@ impl ImageCache {
     fn enforce_budget(&self, protect: ContentHash) {
         let n = self.shards.len();
         let start = self.shard_index(protect);
+        let mut dropped = 0u64;
         while self.bytes.load(Ordering::Relaxed) > self.budget {
             let mut evicted = false;
             for i in 0..n {
                 if self.bytes.load(Ordering::Relaxed) <= self.budget {
-                    return;
+                    evicted = false;
+                    break;
                 }
                 let mut shard = lock(&self.shards[(start + i) % n]);
                 if let Some(victim) = shard.lru_victim(protect) {
                     if let Some(size) = shard.evict(victim) {
                         self.bytes.fetch_sub(size, Ordering::Relaxed);
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        dropped += 1;
                         evicted = true;
                     }
                 }
             }
             if !evicted {
-                return; // only the protected entry is left
+                break; // within budget, or only the protected entry left
             }
+        }
+        if let Some(t) = self.trace() {
+            t.evict(CacheKind::Image, EvictReason::Budget, dropped);
         }
     }
 
-    /// Drops everything.
+    /// Drops everything. The byte counter is decremented per shard
+    /// *while that shard's lock is held*: a single deferred `fetch_sub`
+    /// of the cross-shard sum races with concurrent inserts into
+    /// already-drained shards and underflows the counter, after which
+    /// every insert sweeps the "over-budget" cache forever.
     pub fn clear(&self) {
-        let mut freed = 0u64;
+        let mut dropped = 0u64;
         for s in &self.shards {
             let mut shard = lock(s);
-            freed += shard.map.values().map(|i| i.size_bytes()).sum::<u64>();
+            let freed = shard.map.values().map(|i| i.size_bytes()).sum::<u64>();
+            dropped += shard.map.len() as u64;
             shard.map.clear();
             shard.lru.clear();
+            shard.gens.clear();
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
         }
-        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        if let Some(t) = self.trace() {
+            t.evict(CacheKind::Image, EvictReason::Clear, dropped);
+        }
     }
 }
 

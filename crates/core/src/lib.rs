@@ -16,7 +16,10 @@
 //!   integrated exec, and the per-process [`client::OmosBinder`];
 //! * [`monitor`] — monitoring-driven procedure reordering (§4.1/§6);
 //! * [`sync`] — the concurrency primitives behind the `&self` request
-//!   paths: sharded maps and per-key single-flight coalescing.
+//!   paths: sharded maps and per-key single-flight coalescing;
+//! * [`trace`] — request-level structured tracing and metrics: per-stage
+//!   span trees in a bounded ring, latency histograms, cache/flight
+//!   counter families.
 
 pub mod cache;
 pub mod client;
@@ -25,6 +28,7 @@ pub mod monitor;
 pub mod namespace;
 pub mod server;
 pub mod sync;
+pub mod trace;
 
 pub use cache::{CacheStats, CachedImage};
 pub use client::{
@@ -34,3 +38,4 @@ pub use error::OmosError;
 pub use namespace::{Entry, Namespace};
 pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};
 pub use sync::{Sharded, SingleFlight};
+pub use trace::{TraceSnapshot, Tracer};

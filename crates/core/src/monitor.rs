@@ -104,11 +104,14 @@ pub fn derive_order(events: &[u32], id_names: &[String]) -> Vec<String> {
     order
 }
 
-/// Escapes a symbol name for use inside a regex pattern.
+/// Escapes a symbol name for use inside a regex pattern. Braces must be
+/// escaped too: they are legal in symbol names, and an unescaped `{n}`
+/// is a counted repetition — `^_f{1}$` matches `_f`, not `_f{1}`, so
+/// the rename would silently miss (or hit the wrong) routine.
 fn escape(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 4);
     for c in name.chars() {
-        if "\\^$.|?*+()[]".contains(c) {
+        if "\\^$.|?*+()[]{}".contains(c) {
             out.push('\\');
         }
         out.push(c);
@@ -227,6 +230,43 @@ _gamma:         li r1, 3
         let re = omos_obj::Regex::new(&format!("^{}$", escape("_f$real"))).unwrap();
         assert!(re.is_match("_f$real"));
         assert!(!re.is_match("_fXreal"));
+    }
+
+    #[test]
+    fn escape_protects_braces() {
+        // Unescaped, `^_f{1}$` is a counted repetition matching `_f` —
+        // the exact silent mis-rename this guards against.
+        assert_eq!(escape("_f{1}"), "_f\\{1\\}");
+        let re = omos_obj::Regex::new(&format!("^{}$", escape("_f{1}"))).unwrap();
+        assert!(re.is_match("_f{1}"));
+        assert!(!re.is_match("_f"));
+    }
+
+    #[test]
+    fn braced_symbol_names_instrument_correctly() {
+        // Braces are legal in the object format's symbol names; build
+        // one by hand (the assembler's label syntax won't take them).
+        let mut obj = ObjectFile::new("braced.o");
+        let text = obj.add_section(Section::with_bytes(
+            ".text",
+            SectionKind::Text,
+            Vec::new(),
+            8,
+        ));
+        obj.sections[text].append(&Inst::new(Opcode::Li).ra(1).imm(7).encode());
+        obj.sections[text].append(&Inst::new(Opcode::Ret).encode());
+        let _ = obj.define(Symbol::defined("_f{1}", text, 0));
+        let (m, names) = instrument(&Module::from_object(obj), r"^_f\{1\}$").unwrap();
+        assert_eq!(names, vec!["_f{1}"]);
+        let exports = m.exports().unwrap();
+        assert!(
+            exports.contains(&"_f{1}$real".to_string()),
+            "the braced definition was renamed aside: {exports:?}"
+        );
+        assert!(
+            exports.contains(&"_f{1}".to_string()),
+            "the wrapper took the original braced name"
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ use crate::cache::{CachedImage, ImageCache};
 use crate::error::OmosError;
 use crate::namespace::{Entry, Namespace};
 use crate::sync::{lock, Sharded, SingleFlight};
+use crate::trace::{
+    CacheKind, EvictReason, FlightRole, ProbeOutcome, SpanKind, Stage, TraceSnapshot, Tracer,
+};
 
 /// Default client text base (programs overlap freely across tasks; only
 /// libraries need globally consistent placement).
@@ -115,6 +118,9 @@ pub struct InstantiateReply {
     /// True if the reply came from cache or from another request's
     /// in-flight build (single-flight followers did no link work).
     pub cache_hit: bool,
+    /// Trace request id this reply was served under (0 when tracing is
+    /// disabled). Spans in [`Omos::trace_snapshot`] attribute by it.
+    pub req: u64,
 }
 
 impl InstantiateReply {
@@ -221,6 +227,7 @@ pub struct Omos {
     dynamic: RwLock<Vec<Arc<DynamicLib>>>,
     dynamic_keys: Mutex<HashMap<ContentHash, u32>>,
     preflight: AtomicBool,
+    tracer: Arc<Tracer>,
 }
 
 impl Omos {
@@ -228,9 +235,10 @@ impl Omos {
     /// transport.
     #[must_use]
     pub fn new(cost: CostModel, transport: Transport) -> Omos {
+        let tracer = Arc::new(Tracer::new());
         Omos {
             namespace: Namespace::new(),
-            images: ImageCache::new(u64::MAX),
+            images: ImageCache::new(u64::MAX).with_tracer(Arc::clone(&tracer)),
             transport,
             cost,
             solver: Mutex::new(PlacementSolver::new()),
@@ -242,7 +250,29 @@ impl Omos {
             dynamic: RwLock::new(Vec::new()),
             dynamic_keys: Mutex::new(HashMap::new()),
             preflight: AtomicBool::new(false),
+            tracer,
         }
+    }
+
+    /// The server's tracer: clients (and benchmarks) record their IPC
+    /// and mapping spans through it so they land on the same request
+    /// timeline.
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Turns tracing on or off (on by default). Off, every trace hook
+    /// is an early-return on one relaxed atomic load.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Snapshots the trace state: counter families, per-stage latency
+    /// histograms, and the retained span ring.
+    #[must_use]
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
     }
 
     /// A consistent-enough snapshot of the server counters.
@@ -325,46 +355,75 @@ impl Omos {
     /// Serves one instantiation: reply cache, then single-flight (the
     /// leader builds, concurrent identical requests coalesce).
     fn request(&self, bp: &Blueprint, root: Option<&str>) -> Result<InstantiateReply, OmosError> {
+        let guard = self.tracer.begin_request(SpanKind::Request);
+        let req = guard.req();
         let key = bp.hash();
-        if let Some(hit) = self.cached_reply(key) {
+        if let Some(mut hit) = self.cached_reply(key) {
+            hit.req = req;
             return Ok(hit);
         }
         // Double-check inside the flight: a leader elected just after a
         // previous flight completed finds the fresh entry instead of
         // rebuilding.
-        let (result, led) = self.reply_flight.run(key, || match self.cached_reply(key) {
-            Some(hit) => Ok(hit),
-            None => self.build_reply(bp, root, key),
+        let (result, led) = self.reply_flight.run(key, || {
+            self.tracer.flight(FlightRole::Leader, 0);
+            match self.cached_reply(key) {
+                Some(hit) => Ok(hit),
+                None => self.build_reply(bp, root, key),
+            }
         });
         if led {
-            return result;
+            return result.map(|mut reply| {
+                reply.req = req;
+                reply
+            });
         }
         self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-        result.map(|mut reply| {
-            // Followers share the leader's frames without doing link
-            // work of their own — from their side it is a cache hit.
-            reply.cache_hit = true;
-            reply
-        })
+        match result {
+            Ok(mut reply) => {
+                // Followers share the leader's frames without doing link
+                // work of their own — from their side it is a cache hit,
+                // and their timeline is the wait for the leader's build.
+                self.tracer.flight(FlightRole::Coalesced, reply.server_ns);
+                reply.cache_hit = true;
+                reply.req = req;
+                Ok(reply)
+            }
+            Err(e) => {
+                self.tracer.flight(FlightRole::Coalesced, 0);
+                Err(e)
+            }
+        }
     }
 
     /// Validated reply-cache lookup: entries whose dependency paths
     /// were touched after their derivation generation are dropped
     /// (lazy, key-selective invalidation).
     fn cached_reply(&self, key: ContentHash) -> Option<InstantiateReply> {
-        let entry = self.reply_cache.get(&key)?;
+        let entry = match self.reply_cache.get(&key) {
+            Some(e) => e,
+            None => {
+                self.tracer.probe(CacheKind::Reply, ProbeOutcome::Miss);
+                return None;
+            }
+        };
         if self
             .namespace
             .any_touched_since(entry.deps.iter(), entry.gen)
         {
             self.reply_cache.remove(&key);
+            self.tracer.probe(CacheKind::Reply, ProbeOutcome::Stale);
+            self.tracer
+                .evict(CacheKind::Reply, EvictReason::Invalidated, 1);
             return None;
         }
+        self.tracer.probe(CacheKind::Reply, ProbeOutcome::Hit);
         self.counters
             .reply_cache_hits
             .fetch_add(1, Ordering::Relaxed);
         let server_ns = self.cost.server_cached_request_ns;
         self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
+        self.tracer.advance(server_ns);
         let mut reply = entry.reply.clone();
         reply.server_ns = server_ns;
         reply.cache_hit = true;
@@ -396,8 +455,15 @@ impl Omos {
         // the entry on its next lookup.
         let mut ctx = ReqCtx::new(self, root);
         let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
-        let out = eval_blueprint(bp, &mut ctx)?;
-        server_ns += eval_work_ns(&out.stats, &self.cost);
+        self.tracer.advance(self.cost.server_cached_request_ns);
+        let span = self.tracer.open(SpanKind::Eval);
+        let out = eval_blueprint(bp, &mut ctx);
+        let eval_ns = out
+            .as_ref()
+            .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
+        self.tracer.close_leaf(span, Stage::Eval, eval_ns);
+        let out = out?;
+        server_ns += eval_ns;
 
         // Build (or reuse) each referenced library, resolving
         // inter-library references left to right ("all definitions of
@@ -446,6 +512,7 @@ impl Omos {
             libraries,
             server_ns,
             cache_hit: false,
+            req: 0, // attributed by `request`
         };
         self.reply_cache.insert(
             key,
@@ -479,12 +546,17 @@ impl Omos {
             opts.text_base = text_base;
             opts.data_base = data_base;
             opts.externs = externs.clone();
-            let linked = link(&[obj], &opts)?;
-            let ns = link_work_ns(&linked.stats, &self.cost);
+            let span = self.tracer.open(SpanKind::Link);
+            let linked = link(&[obj], &opts);
+            let ns = linked
+                .as_ref()
+                .map_or(0, |l| link_work_ns(&l.stats, &self.cost));
+            self.tracer.close_leaf(span, Stage::Link, ns);
+            let linked = linked?;
             self.counters.programs_built.fetch_add(1, Ordering::Relaxed);
             let img = self.images.insert(CachedImage {
                 key: image_key,
-                frames: ImageFrames::from_image(&linked.image),
+                frames: self.framed(&linked.image),
                 image: linked.image,
                 link_stats: linked.stats,
             });
@@ -493,11 +565,37 @@ impl Omos {
         result
     }
 
+    /// Frames an image, recording a metered (but unbilled) Frame span:
+    /// framing cost is amortized across every client that maps the
+    /// image, so it appears on the trace timeline without inflating any
+    /// single reply's `server_ns`.
+    fn framed(&self, image: &omos_link::LinkedImage) -> ImageFrames {
+        let span = self.tracer.open(SpanKind::Frame);
+        let frames = ImageFrames::from_image(image);
+        self.tracer.close_leaf(
+            span,
+            Stage::Frame,
+            frames.total_pages() * self.cost.map_page_ns,
+        );
+        frames
+    }
+
     /// Builds (or reuses) one self-contained shared library: place with
     /// the constraint solver, link at the chosen fixed addresses, frame,
     /// and cache. Concurrent builds of the same placed library coalesce
     /// on the image key.
     fn instantiate_library(
+        &self,
+        lib: &LibraryUse,
+        externs: &HashMap<String, u32>,
+    ) -> Result<(Arc<CachedImage>, u64), OmosError> {
+        let span = self.tracer.open(SpanKind::LibraryBuild);
+        let result = self.instantiate_library_inner(lib, externs);
+        self.tracer.close(span);
+        result
+    }
+
+    fn instantiate_library_inner(
         &self,
         lib: &LibraryUse,
         externs: &HashMap<String, u32>,
@@ -522,7 +620,10 @@ impl Omos {
             preferred: data_pref,
         });
         // Placement is get-or-reuse per (name, key): concurrent callers
-        // for the same library receive the same bases.
+        // for the same library receive the same bases. The span's cost
+        // is metered (one lookup per segment) but unbilled: placement
+        // state is global, its cost amortized across all clients.
+        let span = self.tracer.open(SpanKind::Placement);
         let placement = self.solver().place(
             &PlacementRequest {
                 name: lib.name.clone(),
@@ -530,7 +631,12 @@ impl Omos {
                 segments,
             },
             &[],
-        )?;
+        );
+        let place_ns = placement
+            .as_ref()
+            .map_or(0, |p| p.allocations.len() as u64 * self.cost.lookup_ns);
+        self.tracer.close_leaf(span, Stage::Placement, place_ns);
+        let placement = placement?;
         let text_base = placement.allocations[0].base as u32;
         let data_base = placement.allocations[1].base as u32;
 
@@ -560,14 +666,19 @@ impl Omos {
             }
             let mut opts = LinkOptions::library(&lib.name, text_base, data_base);
             opts.externs = externs.clone();
-            let linked = link(std::slice::from_ref(&obj), &opts)?;
-            let server_ns = link_work_ns(&linked.stats, &self.cost);
+            let span = self.tracer.open(SpanKind::Link);
+            let linked = link(std::slice::from_ref(&obj), &opts);
+            let server_ns = linked
+                .as_ref()
+                .map_or(0, |l| link_work_ns(&l.stats, &self.cost));
+            self.tracer.close_leaf(span, Stage::Link, server_ns);
+            let linked = linked?;
             self.counters
                 .libraries_built
                 .fetch_add(1, Ordering::Relaxed);
             let img = self.images.insert(CachedImage {
                 key: image_key,
-                frames: ImageFrames::from_image(&linked.image),
+                frames: self.framed(&linked.image),
                 image: linked.image,
                 link_stats: linked.stats,
             });
@@ -607,6 +718,7 @@ impl Omos {
     /// function hash table. The per-library build slot makes the first
     /// build single-flight: concurrent lookups block briefly and reuse.
     pub fn dyn_lookup(&self, lib_id: u32, name: &str) -> Result<DynLookupReply, OmosError> {
+        let _guard = self.tracer.begin_request(SpanKind::DynLookup);
         let lib = {
             let libs = self.dynamic.read().unwrap_or_else(PoisonError::into_inner);
             libs.get(lib_id as usize)
@@ -733,6 +845,7 @@ impl EvalContext for ReqCtx<'_> {
                     .namespace
                     .any_touched_since(entry.deps.iter(), entry.gen) =>
             {
+                self.server.tracer.probe(CacheKind::Eval, ProbeOutcome::Hit);
                 // A hit stands on the entry's own dependencies: fold
                 // them into the enclosing scope so the reply
                 // invalidates when they change.
@@ -744,10 +857,19 @@ impl EvalContext for ReqCtx<'_> {
             }
             Some(_) => {
                 self.server.eval_cache.remove(&key);
+                self.server
+                    .tracer
+                    .probe(CacheKind::Eval, ProbeOutcome::Stale);
+                self.server
+                    .tracer
+                    .evict(CacheKind::Eval, EvictReason::Invalidated, 1);
                 self.scopes.push(BTreeSet::new());
                 None
             }
             None => {
+                self.server
+                    .tracer
+                    .probe(CacheKind::Eval, ProbeOutcome::Miss);
                 self.scopes.push(BTreeSet::new());
                 None
             }
@@ -1063,10 +1185,18 @@ impl Omos {
         client_exports: &HashMap<String, u32>,
     ) -> Result<DynamicLoadReply, OmosError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let _guard = self.tracer.begin_request(SpanKind::Request);
         let mut ctx = ReqCtx::new(self, None);
         let mut server_ns = self.cost.server_cached_request_ns;
-        let out = eval_blueprint(bp, &mut ctx)?;
-        server_ns += eval_work_ns(&out.stats, &self.cost);
+        self.tracer.advance(self.cost.server_cached_request_ns);
+        let span = self.tracer.open(SpanKind::Eval);
+        let out = eval_blueprint(bp, &mut ctx);
+        let eval_ns = out
+            .as_ref()
+            .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
+        self.tracer.close_leaf(span, Stage::Eval, eval_ns);
+        let out = out?;
+        server_ns += eval_ns;
 
         // Resolve any referenced self-contained libraries first, then
         // bind the class against libraries + the client's own exports.
@@ -1169,6 +1299,7 @@ impl Omos {
         pattern: &str,
     ) -> Result<(InstantiateReply, Vec<String>), OmosError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let guard = self.tracer.begin_request(SpanKind::Request);
         let bp = match self.namespace.lookup(path) {
             Some(Entry::Meta(bp)) => (*bp).clone(),
             Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
@@ -1176,8 +1307,15 @@ impl Omos {
         };
         let mut ctx = ReqCtx::new(self, Some(path));
         let mut server_ns = self.cost.server_cached_request_ns;
-        let out = eval_blueprint(&bp, &mut ctx)?;
-        server_ns += eval_work_ns(&out.stats, &self.cost);
+        self.tracer.advance(self.cost.server_cached_request_ns);
+        let span = self.tracer.open(SpanKind::Eval);
+        let out = eval_blueprint(&bp, &mut ctx);
+        let eval_ns = out
+            .as_ref()
+            .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
+        self.tracer.close_leaf(span, Stage::Eval, eval_ns);
+        let out = out?;
+        server_ns += eval_ns;
 
         let mut externs: HashMap<String, u32> = HashMap::new();
         let mut libraries = Vec::with_capacity(out.libraries.len());
@@ -1199,15 +1337,21 @@ impl Omos {
         opts.text_base = text_base;
         opts.data_base = data_base;
         opts.externs = externs;
-        let linked = link(&[obj], &opts)?;
-        server_ns += link_work_ns(&linked.stats, &self.cost);
+        let span = self.tracer.open(SpanKind::Link);
+        let linked = link(&[obj], &opts);
+        let link_ns = linked
+            .as_ref()
+            .map_or(0, |l| link_work_ns(&l.stats, &self.cost));
+        self.tracer.close_leaf(span, Stage::Link, link_ns);
+        let linked = linked?;
+        server_ns += link_ns;
         let image_key = instrumented
             .content_hash()
             .with_str("monitored")
             .with_u64(u64::from(text_base));
         let program = self.images.insert(CachedImage {
             key: image_key,
-            frames: ImageFrames::from_image(&linked.image),
+            frames: self.framed(&linked.image),
             image: linked.image,
             link_stats: linked.stats,
         });
@@ -1218,6 +1362,7 @@ impl Omos {
                 libraries,
                 server_ns,
                 cache_hit: false,
+                req: guard.req(),
             },
             id_names,
         ))

@@ -77,16 +77,25 @@ impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
             .remove(key);
     }
 
-    /// Total entries across all shards.
+    /// Total entries across all shards — a *consistent* point-in-time
+    /// count. All shard read-locks are acquired in index order and held
+    /// together while summing, so a concurrent insert+remove pair can
+    /// never be half-counted (summing shard-by-shard returns torn
+    /// counts, which made `Omos::stats()` gauges disagree with each
+    /// other). Writers take exactly one shard lock, so taking the reads
+    /// in index order cannot deadlock against them.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
+        let guards: Vec<_> = self
+            .shards
             .iter()
-            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
-            .sum()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        guards.iter().map(|g| g.len()).sum()
     }
 
-    /// True if no shard holds anything.
+    /// True if no shard holds anything (consistent, like
+    /// [`Sharded::len`]).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0

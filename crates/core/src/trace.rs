@@ -1,0 +1,1440 @@
+//! omos-trace — request-level structured tracing and metrics.
+//!
+//! PR 2 made the server concurrent; this module makes it *observable*.
+//! Every instantiation request gets a tree of spans — blueprint eval,
+//! per-library placement/link/framing, the program link, cache probes
+//! with their outcome, single-flight leadership vs. coalescing — plus
+//! client-side IPC and mapping spans recorded against the same request
+//! id. Spans land in a fixed-size ring buffer (bounded memory, oldest
+//! records overwritten; the hot path allocates nothing beyond the span
+//! record itself) and are aggregated into per-stage latency histograms
+//! and counter families snapshotted by [`Tracer::snapshot`] /
+//! `Omos::trace_snapshot`.
+//!
+//! Timestamps live in the *simulation* domain: each request owns a
+//! cursor of SimClock-style nanoseconds that leaf spans advance, so a
+//! request's span tree is a deterministic timeline of where its time
+//! went. Billed stages (eval, link) advance the cursor by exactly the
+//! nanoseconds charged to the client's reply; metered-but-unbilled
+//! stages (placement, framing — global work amortized across clients)
+//! appear in the timeline without inflating `server_ns`.
+//!
+//! Surfaces: `ofe trace <blueprint>` renders a span tree, `ofe stats`
+//! renders histograms/counters, [`chrome_json`] exports Chrome trace
+//! format for `about://tracing`, and `mcbench` embeds per-stage
+//! percentiles in `BENCH_CONCURRENCY.json`.
+//!
+//! Conservation laws (asserted by `tests/trace.rs`): per cache,
+//! `hits + misses == probes` (stale revalidation drops are a subset of
+//! misses); for the reply single-flight, `leaders + coalesced ==
+//! flight_entries`; eviction reason counts sum to total evictions.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::sync::lock;
+
+/// Spans the ring buffer retains; older records are overwritten.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Log₂ latency buckets: bucket `i` holds durations in
+/// `[2^(i-1), 2^i)` ns (bucket 0 holds 0 ns).
+pub const HIST_BUCKETS: usize = 44;
+
+/// Pipeline stages with their own latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// A whole instantiation request (trace-timeline total).
+    Request,
+    /// Blueprint evaluation / m-graph op execution.
+    Eval,
+    /// Constraint-solver placement of a library's segments.
+    Placement,
+    /// Symbol binding + relocation (library or program link).
+    Link,
+    /// Image framing (building shareable page frames).
+    Frame,
+    /// Client-side mapping of the reply's frames.
+    Map,
+    /// Client↔server IPC round trip.
+    Ipc,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Request,
+        Stage::Eval,
+        Stage::Placement,
+        Stage::Link,
+        Stage::Frame,
+        Stage::Map,
+        Stage::Ipc,
+    ];
+
+    /// Stable display name (also the JSON key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Request => "request",
+            Stage::Eval => "eval",
+            Stage::Placement => "placement",
+            Stage::Link => "link",
+            Stage::Frame => "frame",
+            Stage::Map => "map",
+            Stage::Ipc => "ipc",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Request => 0,
+            Stage::Eval => 1,
+            Stage::Placement => 2,
+            Stage::Link => 3,
+            Stage::Frame => 4,
+            Stage::Map => 5,
+            Stage::Ipc => 6,
+        }
+    }
+}
+
+/// Which cache a probe or eviction concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// The full-reply cache.
+    Reply,
+    /// The evaluated-module cache.
+    Eval,
+    /// The bound-image cache.
+    Image,
+}
+
+impl CacheKind {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKind::Reply => "reply",
+            CacheKind::Eval => "eval",
+            CacheKind::Image => "image",
+        }
+    }
+}
+
+/// Probe outcomes. `Stale` is a miss whose entry existed but failed
+/// dependency revalidation (and was dropped); it counts toward both
+/// `misses` and `stale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Entry present and valid.
+    Hit,
+    /// No entry.
+    Miss,
+    /// Entry present but invalidated by a touched dependency.
+    Stale,
+}
+
+impl ProbeOutcome {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeOutcome::Hit => "hit",
+            ProbeOutcome::Miss => "miss",
+            ProbeOutcome::Stale => "stale",
+        }
+    }
+}
+
+/// Why a cache entry was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The byte budget forced an LRU eviction.
+    Budget,
+    /// A new entry replaced it under the same key.
+    Replace,
+    /// `clear()` dropped everything.
+    Clear,
+    /// Dependency revalidation found it stale.
+    Invalidated,
+}
+
+impl EvictReason {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictReason::Budget => "budget",
+            EvictReason::Replace => "replace",
+            EvictReason::Clear => "clear",
+            EvictReason::Invalidated => "invalidated",
+        }
+    }
+}
+
+/// Single-flight disposition of a request that missed the reply cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// Elected leader: ran the build (or found the fresh cache entry).
+    Leader,
+    /// Blocked on a concurrent identical request and shared its reply.
+    Coalesced,
+}
+
+impl FlightRole {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightRole::Leader => "leader",
+            FlightRole::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// What a span records. Interval spans carry a nonzero duration;
+/// instant events (probes, flight dispositions, evictions) record a
+/// point on the request timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole request (root of the tree).
+    Request,
+    /// Blueprint evaluation.
+    Eval,
+    /// Building one shared library (placement + link + framing).
+    LibraryBuild,
+    /// Symbol binding + relocation (library or program image).
+    Link,
+    /// Constraint-solver placement.
+    Placement,
+    /// Image framing.
+    Frame,
+    /// Client-side mapping.
+    Map,
+    /// Client↔server IPC round trip.
+    Ipc,
+    /// A `dyn_lookup` request.
+    DynLookup,
+    /// A cache probe (instant).
+    CacheProbe(CacheKind, ProbeOutcome),
+    /// A cache eviction (instant).
+    Evict(CacheKind, EvictReason),
+    /// Single-flight disposition (instant).
+    Flight(FlightRole),
+}
+
+impl SpanKind {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Eval => "eval",
+            SpanKind::LibraryBuild => "library-build",
+            SpanKind::Link => "link",
+            SpanKind::Placement => "placement",
+            SpanKind::Frame => "frame",
+            SpanKind::Map => "map",
+            SpanKind::Ipc => "ipc",
+            SpanKind::DynLookup => "dyn-lookup",
+            SpanKind::CacheProbe(..) => "cache-probe",
+            SpanKind::Evict(..) => "evict",
+            SpanKind::Flight(..) => "flight",
+        }
+    }
+
+    /// True for zero-duration point events.
+    #[must_use]
+    pub fn is_instant(self) -> bool {
+        matches!(
+            self,
+            SpanKind::CacheProbe(..) | SpanKind::Evict(..) | SpanKind::Flight(..)
+        )
+    }
+}
+
+/// One recorded span. Fixed-size: recording never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    /// Request id the span belongs to (0 = outside any request).
+    pub req: u64,
+    /// Global record sequence number (monotone; ring eviction drops the
+    /// lowest ones first).
+    pub seq: u64,
+    /// What happened.
+    pub kind: SpanKind,
+    /// Nesting depth within the request (the request span is depth 0).
+    pub depth: u16,
+    /// Start offset on the request's SimClock timeline, ns.
+    pub start_ns: u64,
+    /// Duration, ns (0 for instants).
+    pub dur_ns: u64,
+}
+
+// --- Ring buffer -----------------------------------------------------------------
+
+/// Fixed-capacity span store: the record's (pre-claimed) sequence
+/// number doubles as the slot claim, and each slot is an independent
+/// mutex so concurrent writers never contend on one lock. Memory is
+/// bounded at construction; overwrite is oldest-first.
+#[derive(Debug)]
+struct Ring {
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// `r.seq` must already be claimed (seqs start at 1).
+    fn push(&self, r: SpanRecord) {
+        let i = (r.seq as usize - 1) % self.slots.len();
+        *lock(&self.slots[i]) = Some(r);
+    }
+
+    fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self.slots.iter().filter_map(|s| *lock(s)).collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+}
+
+// --- Histograms -----------------------------------------------------------------
+
+#[derive(Debug)]
+struct Hist {
+    buckets: Vec<AtomicU64>,
+    sum_ns: AtomicU64,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Two relaxed RMWs on the hot path; the sample count is derived
+    /// from the bucket totals at snapshot time instead of a third.
+    fn record(&self, ns: u64) {
+        let b = bucket_of(ns);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper bound (inclusive) of a histogram bucket, ns.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// An immutable per-stage histogram snapshot.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Which stage.
+    pub stage: Stage,
+    /// Samples recorded.
+    pub count: u64,
+    /// Total nanoseconds recorded.
+    pub sum_ns: u64,
+    /// Per-bucket counts (log₂ buckets, see [`HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot for `stage`.
+    #[must_use]
+    pub fn empty(stage: Stage) -> HistSnapshot {
+        HistSnapshot {
+            stage,
+            count: 0,
+            sum_ns: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) as the upper bound of the bucket
+    /// holding it — deterministic and conservative.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Folds another snapshot of the same stage into this one (for
+    /// merging histograms across servers in a benchmark sweep).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+    }
+}
+
+// --- Counters -----------------------------------------------------------------
+
+macro_rules! counter_family {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        #[derive(Debug, Default)]
+        struct CounterCells { $($name: AtomicU64,)+ }
+
+        /// Snapshot of the tracer's counter families.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct TraceCounters { $($(#[$doc])* pub $name: u64,)+ }
+
+        impl CounterCells {
+            fn snapshot(&self) -> TraceCounters {
+                TraceCounters { $($name: self.$name.load(Ordering::Relaxed),)+ }
+            }
+        }
+
+        impl TraceCounters {
+            /// `(name, value)` pairs in declaration order, for rendering.
+            #[must_use]
+            pub fn entries(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+        }
+    };
+}
+
+counter_family! {
+    /// Traced instantiation requests started.
+    requests,
+    /// Traced `dyn_lookup` requests started.
+    dyn_lookups,
+    /// Reply-cache probes.
+    reply_probes,
+    /// Reply-cache hits.
+    reply_hits,
+    /// Reply-cache misses (including stale drops).
+    reply_misses,
+    /// Reply-cache entries dropped by revalidation (subset of misses).
+    reply_stale,
+    /// Eval-cache probes.
+    eval_probes,
+    /// Eval-cache hits.
+    eval_hits,
+    /// Eval-cache misses (including stale drops).
+    eval_misses,
+    /// Eval-cache entries dropped by revalidation (subset of misses).
+    eval_stale,
+    /// Image-cache probes.
+    image_probes,
+    /// Image-cache hits.
+    image_hits,
+    /// Image-cache misses.
+    image_misses,
+    /// Image-cache evictions forced by the byte budget.
+    image_evict_budget,
+    /// Image-cache entries replaced under the same key.
+    image_evict_replace,
+    /// Image-cache entries dropped by `clear()`.
+    image_evict_clear,
+    /// Reply/eval entries dropped because a dependency was touched.
+    evict_invalidated,
+    /// Requests that entered the reply single-flight.
+    flight_entries,
+    /// Single-flight leaders elected.
+    flight_leaders,
+    /// Single-flight followers coalesced.
+    flight_coalesced,
+    /// Client IPC round trips recorded.
+    ipc_roundtrips,
+    /// Spans written to the ring (monotone; `min(spans_recorded,
+    /// RING_CAPACITY)` are retained).
+    spans_recorded,
+}
+
+/// A full tracer snapshot: counters, per-stage histograms, and the
+/// retained span records (seq-ordered).
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Counter families.
+    pub counters: TraceCounters,
+    /// One histogram per [`Stage`], in `Stage::ALL` order.
+    pub stages: Vec<HistSnapshot>,
+    /// Retained spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+    /// Ring capacity (overwrite horizon).
+    pub ring_capacity: usize,
+}
+
+impl TraceSnapshot {
+    /// The histogram for `stage`.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> &HistSnapshot {
+        &self.stages[stage.index()]
+    }
+
+    /// Spans belonging to request `req`, seq-ordered.
+    #[must_use]
+    pub fn request_spans(&self, req: u64) -> Vec<SpanRecord> {
+        self.spans
+            .iter()
+            .copied()
+            .filter(|s| s.req == req)
+            .collect()
+    }
+}
+
+// --- Thread-local request context --------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    req: u64,
+    cursor_ns: u64,
+    depth: u16,
+}
+
+thread_local! {
+    /// Stack of active requests on this thread (nested requests — e.g.
+    /// `query_symbols` instantiating internally — push and pop).
+    static ACTIVE: RefCell<Vec<ReqState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open interval span; closed by [`Tracer::close`] or
+/// [`Tracer::close_leaf`]. Dropping one without closing loses the
+/// record but cannot corrupt the tracer.
+#[derive(Debug)]
+#[must_use]
+pub struct OpenSpan {
+    kind: SpanKind,
+    req: u64,
+    start_ns: u64,
+    depth: u16,
+}
+
+/// Guard for one traced request; closes the root request span (and
+/// records the request histogram) on drop.
+#[derive(Debug)]
+pub struct ReqGuard<'a> {
+    tracer: &'a Tracer,
+    req: u64,
+    kind: SpanKind,
+    active: bool,
+}
+
+impl ReqGuard<'_> {
+    /// The request id spans are attributed to (0 when tracing is off).
+    #[must_use]
+    pub fn req(&self) -> u64 {
+        self.req
+    }
+}
+
+impl Drop for ReqGuard<'_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let state = ACTIVE.with(|a| a.borrow_mut().pop());
+        if let Some(state) = state {
+            self.tracer.push_record(SpanRecord {
+                req: self.req,
+                seq: 0, // assigned by push_record
+                kind: self.kind,
+                depth: 0,
+                start_ns: 0,
+                dur_ns: state.cursor_ns,
+            });
+            self.tracer.hist(Stage::Request).record(state.cursor_ns);
+        }
+    }
+}
+
+// --- The tracer -----------------------------------------------------------------
+
+/// The tracing and metrics hub one server owns.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    next_req: AtomicU64,
+    seq: AtomicU64,
+    ring: Ring,
+    hists: Vec<Hist>,
+    c: CounterCells,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default ring capacity, enabled.
+    #[must_use]
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(RING_CAPACITY)
+    }
+
+    /// A tracer with an explicit ring capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(true),
+            next_req: AtomicU64::new(1),
+            seq: AtomicU64::new(1),
+            ring: Ring::new(capacity),
+            hists: (0..Stage::ALL.len()).map(|_| Hist::new()).collect(),
+            c: CounterCells::default(),
+        }
+    }
+
+    /// Turns recording on or off. Off, every hook is a cheap
+    /// early-return: no counters, no histograms, no ring writes.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn hist(&self, stage: Stage) -> &Hist {
+        &self.hists[stage.index()]
+    }
+
+    /// Hot path: the `spans_recorded` counter is derived from `seq` at
+    /// snapshot time rather than bumped per record.
+    fn push_record(&self, mut r: SpanRecord) {
+        r.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.ring.push(r);
+    }
+
+    fn with_state<T>(&self, f: impl FnOnce(&mut ReqState) -> T) -> Option<T> {
+        ACTIVE.with(|a| a.borrow_mut().last_mut().map(f))
+    }
+
+    /// Opens the root span of a traced request. `dyn_lookup` passes
+    /// `SpanKind::DynLookup`; instantiation paths pass
+    /// `SpanKind::Request`.
+    pub fn begin_request(&self, kind: SpanKind) -> ReqGuard<'_> {
+        if !self.enabled() {
+            return ReqGuard {
+                tracer: self,
+                req: 0,
+                kind,
+                active: false,
+            };
+        }
+        // `requests` is derived from `next_req - dyn_lookups` at
+        // snapshot time; only the rarer dyn-lookup path pays a counter.
+        if kind == SpanKind::DynLookup {
+            self.c.dyn_lookups.fetch_add(1, Ordering::Relaxed);
+        }
+        let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+        ACTIVE.with(|a| {
+            a.borrow_mut().push(ReqState {
+                req,
+                cursor_ns: 0,
+                depth: 1,
+            });
+        });
+        ReqGuard {
+            tracer: self,
+            req,
+            kind,
+            active: true,
+        }
+    }
+
+    /// Opens a nested interval span at the current cursor.
+    pub fn open(&self, kind: SpanKind) -> OpenSpan {
+        let state = if self.enabled() {
+            self.with_state(|s| {
+                let at = (s.req, s.cursor_ns, s.depth);
+                s.depth += 1;
+                at
+            })
+        } else {
+            None
+        };
+        match state {
+            Some((req, start_ns, depth)) => OpenSpan {
+                kind,
+                req,
+                start_ns,
+                depth,
+            },
+            None => OpenSpan {
+                kind,
+                req: 0,
+                start_ns: 0,
+                depth: 0,
+            },
+        }
+    }
+
+    /// Closes an interval span: duration is however far the cursor
+    /// advanced since it opened (i.e. the sum of its leaf children).
+    pub fn close(&self, span: OpenSpan) {
+        if span.req == 0 {
+            return;
+        }
+        let end = self
+            .with_state(|s| {
+                s.depth = s.depth.saturating_sub(1);
+                s.cursor_ns
+            })
+            .unwrap_or(span.start_ns);
+        self.push_record(SpanRecord {
+            req: span.req,
+            seq: 0,
+            kind: span.kind,
+            depth: span.depth,
+            start_ns: span.start_ns,
+            dur_ns: end.saturating_sub(span.start_ns),
+        });
+    }
+
+    /// Closes a *leaf* span, advancing the request cursor by `ns` and
+    /// recording `ns` into `stage`'s histogram.
+    pub fn close_leaf(&self, span: OpenSpan, stage: Stage, ns: u64) {
+        if span.req == 0 {
+            return;
+        }
+        self.with_state(|s| {
+            s.cursor_ns += ns;
+            s.depth = s.depth.saturating_sub(1);
+        });
+        self.hist(stage).record(ns);
+        self.push_record(SpanRecord {
+            req: span.req,
+            seq: 0,
+            kind: span.kind,
+            depth: span.depth,
+            start_ns: span.start_ns,
+            dur_ns: ns,
+        });
+    }
+
+    /// Advances the request cursor without a span (baseline request
+    /// handling charged to no particular stage).
+    pub fn advance(&self, ns: u64) {
+        if self.enabled() {
+            self.with_state(|s| s.cursor_ns += ns);
+        }
+    }
+
+    /// Records an instant event at the current cursor.
+    fn instant(&self, kind: SpanKind) {
+        let at = self.with_state(|s| (s.req, s.cursor_ns, s.depth));
+        if let Some((req, cursor, depth)) = at {
+            self.push_record(SpanRecord {
+                req,
+                seq: 0,
+                kind,
+                depth,
+                start_ns: cursor,
+                dur_ns: 0,
+            });
+        }
+    }
+
+    /// Records a cache probe. Hits are counter-only — they are the
+    /// steady-state fast path, and a hit marker adds nothing a root
+    /// span with a cached duration doesn't already say. Misses and
+    /// stale drops additionally put an instant on the timeline, so the
+    /// interesting (cold/invalidated) trees show *why* work happened.
+    /// The per-cache `probes` counter is derived as `hits + misses` at
+    /// snapshot time.
+    pub fn probe(&self, cache: CacheKind, outcome: ProbeOutcome) {
+        if !self.enabled() {
+            return;
+        }
+        let (h, m, st) = match cache {
+            CacheKind::Reply => (
+                &self.c.reply_hits,
+                &self.c.reply_misses,
+                Some(&self.c.reply_stale),
+            ),
+            CacheKind::Eval => (
+                &self.c.eval_hits,
+                &self.c.eval_misses,
+                Some(&self.c.eval_stale),
+            ),
+            CacheKind::Image => (&self.c.image_hits, &self.c.image_misses, None),
+        };
+        match outcome {
+            ProbeOutcome::Hit => {
+                h.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ProbeOutcome::Miss => {
+                m.fetch_add(1, Ordering::Relaxed);
+            }
+            ProbeOutcome::Stale => {
+                m.fetch_add(1, Ordering::Relaxed);
+                if let Some(st) = st {
+                    st.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.instant(SpanKind::CacheProbe(cache, outcome));
+    }
+
+    /// Records `n` evictions with their reason.
+    pub fn evict(&self, cache: CacheKind, reason: EvictReason, n: u64) {
+        if !self.enabled() || n == 0 {
+            return;
+        }
+        let cell = match (cache, reason) {
+            (CacheKind::Image, EvictReason::Budget) => &self.c.image_evict_budget,
+            (CacheKind::Image, EvictReason::Replace) => &self.c.image_evict_replace,
+            (CacheKind::Image, EvictReason::Clear) => &self.c.image_evict_clear,
+            _ => &self.c.evict_invalidated,
+        };
+        cell.fetch_add(n, Ordering::Relaxed);
+        self.instant(SpanKind::Evict(cache, reason));
+    }
+
+    /// Records this request's single-flight disposition. Followers pass
+    /// the nanoseconds they waited for the leader (advances the cursor
+    /// so the request span covers the wait).
+    pub fn flight(&self, role: FlightRole, waited_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.c.flight_entries.fetch_add(1, Ordering::Relaxed);
+        match role {
+            FlightRole::Leader => self.c.flight_leaders.fetch_add(1, Ordering::Relaxed),
+            FlightRole::Coalesced => self.c.flight_coalesced.fetch_add(1, Ordering::Relaxed),
+        };
+        self.instant(SpanKind::Flight(role));
+        if waited_ns > 0 {
+            self.with_state(|s| s.cursor_ns += waited_ns);
+        }
+    }
+
+    /// Records a client-side span (IPC round trip or mapping) against a
+    /// finished request by id. These are roots of their own (depth 0):
+    /// the client timeline is not nested inside the server's.
+    pub fn client_span(&self, req: u64, stage: Stage, ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        if stage == Stage::Ipc {
+            self.c.ipc_roundtrips.fetch_add(1, Ordering::Relaxed);
+        }
+        self.hist(stage).record(ns);
+        let kind = match stage {
+            Stage::Map => SpanKind::Map,
+            _ => SpanKind::Ipc,
+        };
+        self.push_record(SpanRecord {
+            req,
+            seq: 0,
+            kind,
+            depth: 0,
+            start_ns: 0,
+            dur_ns: ns,
+        });
+    }
+
+    /// A consistent-enough snapshot of everything the tracer holds.
+    /// Counters that are pure functions of other cells (`requests`,
+    /// `spans_recorded`, histogram sample counts) are reconstructed
+    /// here so the record paths stay lean.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut counters = self.c.snapshot();
+        counters.spans_recorded = self.seq.load(Ordering::Relaxed) - 1;
+        counters.requests =
+            (self.next_req.load(Ordering::Relaxed) - 1).saturating_sub(counters.dyn_lookups);
+        counters.reply_probes = counters.reply_hits + counters.reply_misses;
+        counters.eval_probes = counters.eval_hits + counters.eval_misses;
+        counters.image_probes = counters.image_hits + counters.image_misses;
+        TraceSnapshot {
+            counters,
+            stages: Stage::ALL
+                .iter()
+                .map(|&stage| {
+                    let h = self.hist(stage);
+                    let buckets: Vec<u64> = h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    HistSnapshot {
+                        stage,
+                        count: buckets.iter().sum(),
+                        sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                        buckets,
+                    }
+                })
+                .collect(),
+            spans: self.ring.snapshot(),
+            ring_capacity: self.ring.slots.len(),
+        }
+    }
+}
+
+// --- Rendering -----------------------------------------------------------------
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn span_line(s: &SpanRecord) -> String {
+    match s.kind {
+        SpanKind::CacheProbe(cache, outcome) => {
+            format!("{}-cache probe: {}", cache.name(), outcome.name())
+        }
+        SpanKind::Evict(cache, reason) => {
+            format!("{}-cache evict: {}", cache.name(), reason.name())
+        }
+        SpanKind::Flight(role) => format!("single-flight: {}", role.name()),
+        kind => format!("{} ({})", kind.label(), fmt_ns(s.dur_ns)),
+    }
+}
+
+/// Renders one request's spans as an indented tree. Spans must all
+/// belong to the same request (see [`TraceSnapshot::request_spans`]).
+#[must_use]
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    // Parents start no later than their children and sit at lower
+    // depth; instants order by timeline position then record order.
+    ordered.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(a.depth.cmp(&b.depth))
+            .then(a.seq.cmp(&b.seq))
+    });
+    let mut out = String::new();
+    for s in ordered {
+        let indent = "  ".repeat(s.depth as usize);
+        let at = if s.kind.is_instant() {
+            format!(" @ {}", fmt_ns(s.start_ns))
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{indent}{}{at}", span_line(s));
+    }
+    out
+}
+
+/// Renders counters and per-stage percentiles as a table (the body of
+/// `ofe stats`).
+#[must_use]
+pub fn render_stats(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50", "p95", "p99", "mean"
+    );
+    for h in &snap.stages {
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            h.stage.name(),
+            h.count,
+            fmt_ns(h.percentile(0.50)),
+            fmt_ns(h.percentile(0.95)),
+            fmt_ns(h.percentile(0.99)),
+            fmt_ns(h.sum_ns / h.count),
+        );
+    }
+    let _ = writeln!(out);
+    for (name, v) in snap.counters.entries() {
+        if v > 0 {
+            let _ = writeln!(out, "{name:<24} {v}");
+        }
+    }
+    out
+}
+
+/// Exports spans in Chrome trace format (the JSON Array-of-events
+/// flavor wrapped in `traceEvents`); open in `about://tracing` or
+/// Perfetto. Timestamps are microseconds on each request's own track
+/// (`tid` = request id).
+#[must_use]
+pub fn chrome_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for s in spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts = s.start_ns as f64 / 1e3;
+        if s.kind.is_instant() {
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"omos\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"seq\": {}}}}}",
+                chrome_name(s),
+                s.req,
+                s.seq
+            );
+        } else {
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"omos\", \"ph\": \"X\", \"ts\": {ts:.3}, \
+                 \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"seq\": {}}}}}",
+                chrome_name(s),
+                s.dur_ns as f64 / 1e3,
+                s.req,
+                s.seq
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_name(s: &SpanRecord) -> String {
+    match s.kind {
+        SpanKind::CacheProbe(cache, outcome) => {
+            format!("probe:{}:{}", cache.name(), outcome.name())
+        }
+        SpanKind::Evict(cache, reason) => format!("evict:{}:{}", cache.name(), reason.name()),
+        SpanKind::Flight(role) => format!("flight:{}", role.name()),
+        kind => kind.label().to_string(),
+    }
+}
+
+// --- Minimal JSON parser ------------------------------------------------------
+
+/// A small JSON reader: enough to validate trace exports and let
+/// `ofe stats` read `BENCH_CONCURRENCY.json` without serde.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (as f64).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object (insertion-ordered).
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Member lookup on objects.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as a number, if it is one.
+        #[must_use]
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a string, if it is one.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array, if it is one.
+        #[must_use]
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut p = Parser { c: bytes, i: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.c.len() {
+            return Err(format!("trailing data at char {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser {
+        c: Vec<char>,
+        i: usize,
+    }
+
+    impl Parser {
+        fn ws(&mut self) {
+            while self.c.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, lit: &str) -> Result<(), String> {
+            for ch in lit.chars() {
+                if self.c.get(self.i) != Some(&ch) {
+                    return Err(format!("expected `{lit}` at char {}", self.i));
+                }
+                self.i += 1;
+            }
+            Ok(())
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.c.get(self.i) {
+                None => Err("unexpected end of input".into()),
+                Some('n') => self.eat("null").map(|()| Json::Null),
+                Some('t') => self.eat("true").map(|()| Json::Bool(true)),
+                Some('f') => self.eat("false").map(|()| Json::Bool(false)),
+                Some('"') => self.string().map(Json::Str),
+                Some('[') => self.array(),
+                Some('{') => self.object(),
+                Some(_) => self.number(),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat("\"")?;
+            let mut out = String::new();
+            loop {
+                match self.c.get(self.i) {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some('\\') => {
+                        self.i += 1;
+                        match self.c.get(self.i) {
+                            Some('n') => out.push('\n'),
+                            Some('t') => out.push('\t'),
+                            Some('r') => out.push('\r'),
+                            Some('u') => {
+                                let hex: String = self
+                                    .c
+                                    .get(self.i + 1..self.i + 5)
+                                    .unwrap_or(&[])
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.i += 4;
+                            }
+                            Some(&c) => out.push(c),
+                            None => return Err("dangling escape".into()),
+                        }
+                        self.i += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            while self
+                .c
+                .get(self.i)
+                .is_some_and(|&c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                self.i += 1;
+            }
+            let s: String = self.c[start..self.i].iter().collect();
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{s}` at char {start}"))
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.eat("[")?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.c.get(self.i) == Some(&']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.ws();
+                items.push(self.value()?);
+                self.ws();
+                match self.c.get(self.i) {
+                    Some(',') => self.i += 1,
+                    Some(']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at char {}", self.i)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.eat("{")?;
+            let mut members = Vec::new();
+            self.ws();
+            if self.c.get(self.i) == Some(&'}') {
+                self.i += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.ws();
+                self.eat(":")?;
+                self.ws();
+                let val = self.value()?;
+                members.push((key, val));
+                self.ws();
+                match self.c.get(self.i) {
+                    Some(',') => self.i += 1,
+                    Some('}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at char {}", self.i)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let t = Tracer::new();
+        let g = t.begin_request(SpanKind::Request);
+        let req = g.req();
+        assert!(req > 0);
+        t.probe(CacheKind::Reply, ProbeOutcome::Miss);
+        let eval = t.open(SpanKind::Eval);
+        t.close_leaf(eval, Stage::Eval, 1_000);
+        let lib = t.open(SpanKind::LibraryBuild);
+        let place = t.open(SpanKind::Placement);
+        t.close_leaf(place, Stage::Placement, 200);
+        let link = t.open(SpanKind::Link);
+        t.close_leaf(link, Stage::Link, 3_000);
+        t.close(lib);
+        drop(g);
+
+        let snap = t.snapshot();
+        let spans = snap.request_spans(req);
+        assert_eq!(spans.len(), 6);
+        let root = spans.iter().find(|s| s.kind == SpanKind::Request).unwrap();
+        assert_eq!(root.dur_ns, 4_200);
+        assert_eq!(root.depth, 0);
+        let lib = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::LibraryBuild)
+            .unwrap();
+        assert_eq!((lib.start_ns, lib.dur_ns, lib.depth), (1_000, 3_200, 1));
+        let place = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Placement)
+            .unwrap();
+        assert_eq!((place.start_ns, place.dur_ns, place.depth), (1_000, 200, 2));
+        // Histograms saw each leaf once and the request total.
+        assert_eq!(snap.stage(Stage::Eval).count, 1);
+        assert_eq!(snap.stage(Stage::Request).sum_ns, 4_200);
+        assert_eq!(snap.counters.reply_probes, 1);
+        assert_eq!(snap.counters.reply_misses, 1);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.set_enabled(false);
+        let g = t.begin_request(SpanKind::Request);
+        assert_eq!(g.req(), 0);
+        t.probe(CacheKind::Image, ProbeOutcome::Hit);
+        let s = t.open(SpanKind::Eval);
+        t.close_leaf(s, Stage::Eval, 500);
+        drop(g);
+        let snap = t.snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.counters, TraceCounters::default());
+        assert_eq!(snap.stage(Stage::Eval).count, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = Tracer::with_capacity(4);
+        let g = t.begin_request(SpanKind::Request);
+        for _ in 0..10 {
+            // Misses record instants (hits are counter-only).
+            t.probe(CacheKind::Reply, ProbeOutcome::Miss);
+        }
+        drop(g);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.counters.spans_recorded, 11);
+        // The retained records are the newest, in seq order.
+        let seqs: Vec<u64> = snap.spans.iter().map(|s| s.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*seqs.last().unwrap() as usize, 11);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let t = Tracer::new();
+        let g = t.begin_request(SpanKind::Request);
+        for ns in [10, 100, 1_000, 10_000, 100_000] {
+            let s = t.open(SpanKind::Eval);
+            t.close_leaf(s, Stage::Eval, ns);
+        }
+        drop(g);
+        let h = t.snapshot().stage(Stage::Eval).clone();
+        assert_eq!(h.count, 5);
+        assert!(h.percentile(0.5) >= 1_000 && h.percentile(0.5) < 2_048);
+        assert!(h.percentile(0.99) >= 100_000);
+        assert!(h.percentile(0.5) <= h.percentile(0.95));
+        assert_eq!(HistSnapshot::empty(Stage::Eval).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_folds_counts() {
+        let mut a = HistSnapshot::empty(Stage::Link);
+        let mut b = HistSnapshot::empty(Stage::Link);
+        a.count = 2;
+        a.sum_ns = 100;
+        a.buckets[3] = 2;
+        b.count = 1;
+        b.sum_ns = 50;
+        b.buckets[3] = 1;
+        a.merge(&b);
+        assert_eq!((a.count, a.sum_ns, a.buckets[3]), (3, 150, 3));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let t = Tracer::new();
+        let g = t.begin_request(SpanKind::Request);
+        let req = g.req();
+        t.probe(CacheKind::Reply, ProbeOutcome::Miss);
+        let e = t.open(SpanKind::Eval);
+        t.close_leaf(e, Stage::Eval, 42_000);
+        drop(g);
+        t.client_span(req, Stage::Ipc, 7_000);
+        let snap = t.snapshot();
+        let j = chrome_json(&snap.spans);
+        let parsed = json::parse(&j).expect("chrome export parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("eval")
+        }));
+        use json::Json;
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("probe:reply:miss")));
+    }
+
+    #[test]
+    fn tree_rendering_indents_by_depth() {
+        let t = Tracer::new();
+        let g = t.begin_request(SpanKind::Request);
+        let req = g.req();
+        let lib = t.open(SpanKind::LibraryBuild);
+        let place = t.open(SpanKind::Placement);
+        t.close_leaf(place, Stage::Placement, 100);
+        t.close(lib);
+        drop(g);
+        let tree = render_tree(&t.snapshot().request_spans(req));
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("request ("));
+        assert!(lines[1].starts_with("  library-build"));
+        assert!(lines[2].starts_with("    placement"));
+    }
+
+    #[test]
+    fn flight_and_eviction_counters() {
+        let t = Tracer::new();
+        let g = t.begin_request(SpanKind::Request);
+        t.flight(FlightRole::Leader, 0);
+        t.evict(CacheKind::Image, EvictReason::Budget, 3);
+        t.evict(CacheKind::Reply, EvictReason::Invalidated, 1);
+        drop(g);
+        let g2 = t.begin_request(SpanKind::Request);
+        t.flight(FlightRole::Coalesced, 5_000);
+        drop(g2);
+        let c = t.snapshot().counters;
+        assert_eq!(c.flight_entries, c.flight_leaders + c.flight_coalesced);
+        assert_eq!(c.image_evict_budget, 3);
+        assert_eq!(c.evict_invalidated, 1);
+    }
+
+    #[test]
+    fn json_parser_handles_the_shapes_we_emit() {
+        use json::{parse, Json};
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

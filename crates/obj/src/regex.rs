@@ -8,8 +8,11 @@
 //!
 //! Supported syntax: literals, `\`-escapes, `.`, character classes
 //! `[a-z]`/`[^a-z]`, anchors `^` and `$`, greedy quantifiers `*`, `+`, `?`,
-//! alternation `|`, and grouping `(...)` (non-capturing; the engine reports
-//! the whole-match span only, which is all symbol renaming needs).
+//! counted repetition `{n}`/`{n,}`/`{n,m}`, alternation `|`, and grouping
+//! `(...)` (non-capturing; the engine reports the whole-match span only,
+//! which is all symbol renaming needs). A `{` that does not open a valid
+//! counted repetition is an ordinary literal — symbol names legally
+//! contain braces.
 
 use crate::error::{ObjError, Result};
 
@@ -182,7 +185,7 @@ impl Regex {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ast {
     Empty,
     Char(char),
@@ -271,7 +274,79 @@ impl Parser<'_> {
                 self.bump();
                 Ok(Ast::Quest(Box::new(atom)))
             }
+            Some('{') => match self.counted()? {
+                Some((min, max)) => Ok(expand_counted(&atom, min, max)),
+                // Not a counted repetition: leave the `{` for the next
+                // atom to consume as a literal.
+                None => Ok(atom),
+            },
             _ => Ok(atom),
+        }
+    }
+
+    /// Tries to read `{n}`, `{n,}`, or `{n,m}` at the cursor. Returns
+    /// `Ok(None)` without consuming anything when the braces are not a
+    /// well-formed counted repetition.
+    fn counted(&mut self) -> Result<Option<(u32, Option<u32>)>> {
+        /// Repetition counts are expanded by cloning; cap them so a
+        /// pathological pattern cannot balloon the program.
+        const MAX_COUNT: u32 = 1000;
+        let save = self.pos;
+        self.bump(); // `{`
+        let min = match self.digits() {
+            Some(n) => n,
+            None => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        let max = match self.peek() {
+            Some('}') => Some(min),
+            Some(',') => {
+                self.bump();
+                match self.peek() {
+                    Some('}') => None,
+                    _ => match self.digits() {
+                        Some(n) => Some(n),
+                        None => {
+                            self.pos = save;
+                            return Ok(None);
+                        }
+                    },
+                }
+            }
+            _ => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        if self.peek() != Some('}') {
+            self.pos = save;
+            return Ok(None);
+        }
+        self.bump(); // `}`
+        if max.is_some_and(|m| m < min) {
+            return Err(self.err("inverted repetition"));
+        }
+        if min > MAX_COUNT || max.is_some_and(|m| m > MAX_COUNT) {
+            return Err(self.err("counted repetition too large"));
+        }
+        Ok(Some((min, max)))
+    }
+
+    /// A run of ASCII digits at the cursor, if any.
+    fn digits(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => Some(u32::MAX), // overflow; rejected by the cap
         }
     }
 
@@ -353,6 +428,28 @@ impl Parser<'_> {
             first = false;
         }
         Ok(Ast::Class { neg, ranges })
+    }
+}
+
+/// Expands a counted repetition by cloning: `min` mandatory copies, then
+/// either a trailing `Star` (`{n,}`) or `max - min` optional copies.
+fn expand_counted(atom: &Ast, min: u32, max: Option<u32>) -> Ast {
+    let mut items = Vec::new();
+    for _ in 0..min {
+        items.push(atom.clone());
+    }
+    match max {
+        None => items.push(Ast::Star(Box::new(atom.clone()))),
+        Some(max) => {
+            for _ in min..max {
+                items.push(Ast::Quest(Box::new(atom.clone())));
+            }
+        }
+    }
+    match items.len() {
+        0 => Ast::Empty,
+        1 => items.pop().expect("len checked"),
+        _ => Ast::Concat(items),
     }
 }
 
@@ -502,6 +599,41 @@ mod tests {
         assert!(Regex::new("[unterminated").is_err());
         assert!(Regex::new("[z-a]").is_err());
         assert!(Regex::new("trailing\\").is_err());
+        assert!(Regex::new("a{3,1}").is_err(), "inverted repetition");
+        assert!(Regex::new("a{2000}").is_err(), "count above the cap");
+    }
+
+    #[test]
+    fn counted_repetition() {
+        let r = re("^a{3}$");
+        assert!(r.is_match("aaa"));
+        assert!(!r.is_match("aa"));
+        assert!(!r.is_match("aaaa"));
+        let r = re("^a{2,}$");
+        assert!(!r.is_match("a"));
+        assert!(r.is_match("aa"));
+        assert!(r.is_match("aaaaa"));
+        let r = re("^a{1,3}$");
+        assert!(r.is_match("a"));
+        assert!(r.is_match("aaa"));
+        assert!(!r.is_match("aaaa"));
+        assert!(re("^(ab){2}c$").is_match("ababc"));
+        assert!(re("^x{0}y$").is_match("y"));
+        assert!(re("^[0-9]{2}$").is_match("42"));
+    }
+
+    #[test]
+    fn malformed_braces_are_literals() {
+        // Symbol names legally contain braces; only a well-formed
+        // counted repetition is a quantifier.
+        assert!(re("^_f\\{1\\}$").is_match("_f{1}"));
+        assert!(re("^a{b}$").is_match("a{b}"));
+        assert!(re("^a{1x}$").is_match("a{1x}"));
+        assert!(re("^a{,2}$").is_match("a{,2}"));
+        assert!(re("^{2$").is_match("{2"));
+        assert!(re("^a{$").is_match("a{"));
+        // ...and a well-formed one is NOT a literal.
+        assert!(!re("^a{2}$").is_match("a{2}"));
     }
 
     #[test]

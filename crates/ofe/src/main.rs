@@ -26,6 +26,14 @@
 //!                                  several files, `--jobs N` lints them
 //!                                  on N worker threads (reports stay in
 //!                                  input order)
+//! ofe trace BLUEPRINT [--chrome OUT.json]
+//!                                  instantiate the blueprint on an
+//!                                  in-process server and print the
+//!                                  request's span tree; --chrome also
+//!                                  writes a Chrome-trace-format export
+//! ofe stats [FILE]                 per-stage latency percentiles and
+//!                                  trace counters from an mcbench
+//!                                  report (default BENCH_CONCURRENCY.json)
 //! ```
 
 use std::fmt::Write as _;
@@ -56,7 +64,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint> ...";
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|trace|stats> ...";
 
 /// Executes one OFE command; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, String> {
@@ -157,8 +165,176 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 files => lint_batch(files, jobs),
             }
         }
+        "trace" => match rest {
+            [file] => trace_blueprint(file, None),
+            [file, flag, out] if flag == "--chrome" => trace_blueprint(file, Some(out)),
+            _ => Err("trace BLUEPRINT [--chrome OUT.json]".into()),
+        },
+        "stats" => match rest {
+            [] => stats_report("BENCH_CONCURRENCY.json"),
+            [file] => stats_report(file),
+            _ => Err("stats [FILE]".into()),
+        },
         _ => Err(USAGE.to_string()),
     }
+}
+
+/// `ofe trace`: binds the blueprint's operand files into a fresh
+/// in-process server, instantiates it once, and prints the request's
+/// span tree. The client-side mapping cost is recorded against the same
+/// request, so the tree covers the full instantiate path: eval, link,
+/// placement, framing, and map.
+fn trace_blueprint(file: &str, chrome_out: Option<&str>) -> Result<String, String> {
+    use omos_core::trace::{chrome_json, render_tree, Stage};
+    use omos_core::Omos;
+    use omos_os::ipc::Transport;
+    use omos_os::CostModel;
+
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
+    let base = std::path::Path::new(file)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf();
+
+    let cost = CostModel::hpux();
+    let server = Omos::new(cost, Transport::SysVMsg);
+    let mut seen = std::collections::BTreeSet::new();
+    bind_operands(&server, &base, &bp.root, &mut seen)?;
+
+    let reply = server
+        .instantiate_blueprint(&bp)
+        .map_err(|e| format!("{file}: {e}"))?;
+    server
+        .tracer()
+        .client_span(reply.req, Stage::Map, cost.map_cost_ns(reply.total_pages()));
+
+    let snap = server.trace_snapshot();
+    let spans = snap.request_spans(reply.req);
+    if let Some(out) = chrome_out {
+        std::fs::write(out, chrome_json(&spans)).map_err(|e| format!("{out}: {e}"))?;
+    }
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "request {} ({}, server {} ns, {} pages)",
+        reply.req,
+        if reply.cache_hit {
+            "cache hit"
+        } else {
+            "built"
+        },
+        reply.server_ns,
+        reply.total_pages()
+    );
+    report.push_str(&render_tree(&spans));
+    Ok(report)
+}
+
+/// Resolves the blueprint's leaf operands as files (verbatim path, then
+/// relative to the blueprint's directory) and binds them into the
+/// server namespace under their blueprint-visible names. Files that
+/// parse as blueprints bind as meta-objects and their own operands are
+/// resolved recursively.
+fn bind_operands(
+    server: &omos_core::Omos,
+    base: &std::path::Path,
+    node: &omos_blueprint::MNode,
+    seen: &mut std::collections::BTreeSet<String>,
+) -> Result<(), String> {
+    let mut leaves = Vec::new();
+    collect_leaves(node, &mut leaves);
+    for path in leaves {
+        if !seen.insert(path.clone()) {
+            continue;
+        }
+        let candidates = [
+            std::path::PathBuf::from(&path),
+            base.join(path.trim_start_matches('/')),
+        ];
+        let Some(bytes) = candidates.iter().find_map(|p| std::fs::read(p).ok()) else {
+            return Err(format!("{path}: operand file not found"));
+        };
+        if let Ok(obj) = read_any(&bytes) {
+            server.namespace.bind_object(&path, obj);
+            continue;
+        }
+        let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not object or text"))?;
+        let nested = Blueprint::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        bind_operands(server, base, &nested.root, seen)?;
+        server
+            .namespace
+            .bind_blueprint(&path, &text)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Collects every `Leaf` path in an m-graph, depth first.
+fn collect_leaves(node: &omos_blueprint::MNode, out: &mut Vec<String>) {
+    use omos_blueprint::MNode as N;
+    match node {
+        N::Leaf(p) => out.push(p.clone()),
+        N::Merge(items) => items.iter().for_each(|n| collect_leaves(n, out)),
+        N::Override(a, b) => {
+            collect_leaves(a, out);
+            collect_leaves(b, out);
+        }
+        N::Rename { operand, .. }
+        | N::Hide { operand, .. }
+        | N::Show { operand, .. }
+        | N::Restrict { operand, .. }
+        | N::Project { operand, .. }
+        | N::CopyAs { operand, .. }
+        | N::Freeze { operand, .. }
+        | N::Initializers(operand)
+        | N::Specialize { operand, .. } => collect_leaves(operand, out),
+        N::Source { .. } => {}
+    }
+}
+
+/// `ofe stats`: reads an mcbench report and renders the per-stage
+/// latency percentiles and trace counters it embeds.
+fn stats_report(file: &str) -> Result<String, String> {
+    use omos_core::trace::json::{self, Json};
+
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let trace = doc.get("trace").ok_or_else(|| {
+        format!("{file}: no \"trace\" section — rerun mcbench with tracing enabled")
+    })?;
+    let stages = trace
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{file}: \"trace.stages\" missing or not an array"))?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{:>10} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50_ns", "p95_ns", "p99_ns", "mean_ns"
+    );
+    let num =
+        |v: &Json, key: &str| -> u64 { v.get(key).and_then(Json::as_num).unwrap_or(0.0) as u64 };
+    for s in stages {
+        let _ = writeln!(
+            report,
+            "{:>10} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            s.get("stage").and_then(Json::as_str).unwrap_or("?"),
+            num(s, "count"),
+            num(s, "p50_ns"),
+            num(s, "p95_ns"),
+            num(s, "p99_ns"),
+            num(s, "mean_ns"),
+        );
+    }
+    if let Some(Json::Obj(counters)) = trace.get("counters") {
+        let _ = writeln!(report);
+        for (name, v) in counters {
+            let _ = writeln!(report, "{:>24} {}", name, v.as_num().unwrap_or(0.0) as u64);
+        }
+    }
+    Ok(report)
 }
 
 /// `ofe lint`: parses a blueprint file and runs the pre-link static

@@ -14,7 +14,7 @@
 //! * the image cache keeps its byte budget and never invalidates a
 //!   client's mapping under concurrent insert/hit interleavings.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use omos::core::cache::{CachedImage, ImageCache};
@@ -262,6 +262,113 @@ fn concurrent_dyn_lookup_builds_the_instance_once() {
         assert_eq!(r.target, replies[0].target);
         assert_eq!(r.frames.total_pages(), replies[0].frames.total_pages());
     }
+}
+
+#[test]
+fn concurrent_clear_and_insert_keep_byte_counter_consistent() {
+    // Regression: `clear()` used to sum freed bytes across all shards
+    // and do ONE deferred `fetch_sub` at the end, and `insert` credited
+    // its bytes outside the shard lock. A clear draining a shard could
+    // therefore count (and later subtract) an entry whose `fetch_add`
+    // was still pending, wrapping the global byte counter below zero —
+    // and while it is wrapped, every insert sees "over budget" and
+    // budget-evicts everything it can. The fix does every counter
+    // update while the owning shard's lock is held, so the total is
+    // exact at every instant and can never read above what is
+    // resident.
+    //
+    // The wrapped window opens when an insert thread is preempted
+    // between releasing its shard lock and its (formerly deferred)
+    // `fetch_add`, and a clear completes in that gap — so every thread
+    // polls `bytes()` for an absurd reading while hammering the cache
+    // for a fixed wall-clock slice. Post-fix the counter is exact, so
+    // the poll can never trip no matter the schedule.
+    const INSERTERS: u64 = 4;
+    const CLEARERS: usize = 2;
+    const KEYS: u64 = 64;
+    const IMG_BYTES: usize = 100;
+    // Resident bytes can never legitimately get anywhere near this: a
+    // reading beyond it means the counter wrapped below zero.
+    const WRAP: u64 = 1 << 63;
+
+    let mk = |key: u64| {
+        let image = omos::link::LinkedImage {
+            name: format!("img{key}"),
+            segments: vec![omos::link::Segment {
+                name: ".text".into(),
+                kind: omos::obj::SectionKind::Text,
+                vaddr: 0x1000,
+                bytes: vec![key as u8; IMG_BYTES],
+                zero: 0,
+            }],
+            symbols: Default::default(),
+            entry: None,
+        };
+        CachedImage {
+            key: ContentHash(key),
+            frames: ImageFrames::from_image(&image),
+            image,
+            link_stats: LinkStats::default(),
+        }
+    };
+
+    let cache = ImageCache::with_shards(u64::MAX, 4);
+    let wrapped = AtomicBool::new(false);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
+    std::thread::scope(|scope| {
+        for t in 0..INSERTERS {
+            let (cache, wrapped, mk) = (&cache, &wrapped, &mk);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                loop {
+                    cache.insert(mk(t * KEYS + i % KEYS));
+                    if cache.bytes() > WRAP {
+                        wrapped.store(true, Ordering::Relaxed);
+                    }
+                    i += 1;
+                    if i.is_multiple_of(256)
+                        && (wrapped.load(Ordering::Relaxed)
+                            || std::time::Instant::now() >= deadline)
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        for _ in 0..CLEARERS {
+            let (cache, wrapped) = (&cache, &wrapped);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                loop {
+                    cache.clear();
+                    if cache.bytes() > WRAP {
+                        wrapped.store(true, Ordering::Relaxed);
+                    }
+                    i += 1;
+                    if i.is_multiple_of(64)
+                        && (wrapped.load(Ordering::Relaxed)
+                            || std::time::Instant::now() >= deadline)
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        !wrapped.load(Ordering::Relaxed),
+        "byte counter wrapped below zero during a clear/insert race"
+    );
+    // And the final count must equal exactly what is resident.
+    assert_eq!(
+        cache.bytes(),
+        cache.len() as u64 * IMG_BYTES as u64,
+        "byte counter equals resident bytes after the clear/insert race"
+    );
+    cache.clear();
+    assert!(cache.is_empty());
+    assert_eq!(cache.bytes(), 0, "a drained cache holds zero bytes");
 }
 
 #[test]

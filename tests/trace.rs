@@ -1,0 +1,305 @@
+//! Trace well-formedness and counter-conservation tests (omos-trace).
+//!
+//! The tracer observes the request pipeline from many threads at once
+//! and stores spans in a fixed-size overwrite-oldest ring, so its
+//! guarantees are structural, not exhaustive:
+//!
+//! * every *retained* request tree is well formed — exactly one root,
+//!   children strictly inside their ancestors, siblings non-overlapping
+//!   on the request's SimClock timeline;
+//! * counters obey conservation laws (`hits + misses == probes` per
+//!   cache, `leaders + coalesced == flight entries`) no matter how the
+//!   schedule interleaved;
+//! * the ring bounds memory: retained spans never exceed capacity.
+
+use std::sync::Barrier;
+
+use proptest::prelude::*;
+
+use omos::core::trace::{SpanKind, Stage, Tracer};
+use omos::core::Omos;
+use omos::isa::assemble;
+use omos::os::ipc::Transport;
+use omos::os::CostModel;
+
+/// A server with `n` programs that all share one library.
+fn world(n: usize) -> Omos {
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/libc/stdio.o",
+        assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 7\n ret\n").unwrap(),
+    );
+    s.namespace
+        .bind_blueprint(
+            "/lib/libc",
+            "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge /libc/stdio.o)",
+        )
+        .unwrap();
+    for i in 0..n {
+        s.namespace.bind_object(
+            &format!("/obj/p{i}.o"),
+            assemble(
+                &format!("p{i}.o"),
+                &format!(".text\n.global _start\n_start: li r1, {i}\n call _puts\n sys 0\n"),
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                &format!("/bin/p{i}"),
+                &format!("(merge /obj/p{i}.o /lib/libc)"),
+            )
+            .unwrap();
+    }
+    s
+}
+
+/// Closed interval end on the request timeline.
+fn end_ns(s: &omos::core::trace::SpanRecord) -> u64 {
+    s.start_ns + s.dur_ns
+}
+
+/// Asserts one request's spans form a well-shaped tree: exactly one
+/// depth-0 root starting at 0, every deeper span contained in the root,
+/// same-depth interval spans non-overlapping, and any overlap between
+/// different depths being strict containment of the deeper by the
+/// shallower.
+fn assert_well_formed(req: u64, spans: &[omos::core::trace::SpanRecord]) {
+    let roots: Vec<_> = spans.iter().filter(|s| s.depth == 0).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "request {req} has exactly one root span: {spans:#?}"
+    );
+    let root = roots[0];
+    assert!(
+        matches!(root.kind, SpanKind::Request | SpanKind::DynLookup),
+        "request {req} root is a request-kind span, got {:?}",
+        root.kind
+    );
+    assert_eq!(root.start_ns, 0, "request {req} timeline starts at zero");
+    for s in spans {
+        assert!(
+            s.start_ns >= root.start_ns && end_ns(s) <= end_ns(root),
+            "request {req}: span {s:?} escapes its root {root:?}"
+        );
+    }
+    // Pairwise interval discipline among the non-root spans.
+    let intervals: Vec<_> = spans.iter().filter(|s| s.depth > 0).collect();
+    for (i, a) in intervals.iter().enumerate() {
+        for b in intervals.iter().skip(i + 1) {
+            // Strict overlap; zero-width instants at a boundary touch,
+            // never overlap.
+            let overlaps = a.start_ns < end_ns(b) && b.start_ns < end_ns(a);
+            if !overlaps {
+                continue;
+            }
+            let (outer, inner) = if a.depth <= b.depth { (a, b) } else { (b, a) };
+            if a.depth == b.depth {
+                // Same depth may only overlap when one is an instant
+                // sitting inside the other interval.
+                assert!(
+                    a.dur_ns == 0 || b.dur_ns == 0,
+                    "request {req}: sibling intervals overlap: {a:?} vs {b:?}"
+                );
+            }
+            assert!(
+                outer.start_ns <= inner.start_ns && end_ns(inner) <= end_ns(outer),
+                "request {req}: deeper span not contained: {outer:?} vs {inner:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eight_thread_workload_yields_well_formed_span_trees() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 12;
+
+    let s = world(THREADS);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (s, barrier) = (&s, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    // Mix of colliding paths (coalescing + cache hits)
+                    // and per-thread paths (cold builds).
+                    let p = match i % 3 {
+                        0 => "/bin/p0".to_string(),
+                        1 => format!("/bin/p{t}"),
+                        _ => format!("/bin/p{}", (t + i) % THREADS),
+                    };
+                    let r = s.instantiate(&p).expect("instantiate succeeds");
+                    assert_ne!(r.req, 0, "tracing is on, replies carry request ids");
+                }
+            });
+        }
+    });
+
+    let snap = s.trace_snapshot();
+
+    // The workload is sized to fit the ring: nothing was overwritten,
+    // so every request tree is complete.
+    assert!(
+        snap.counters.spans_recorded <= snap.ring_capacity as u64,
+        "workload must fit the ring for this test ({} > {})",
+        snap.counters.spans_recorded,
+        snap.ring_capacity
+    );
+    assert_eq!(snap.spans.len() as u64, snap.counters.spans_recorded);
+
+    // Every request that started also closed its root span.
+    let reqs: std::collections::BTreeSet<u64> = snap.spans.iter().map(|s| s.req).collect();
+    assert_eq!(
+        reqs.len() as u64,
+        snap.counters.requests + snap.counters.dyn_lookups,
+        "one span tree per traced request"
+    );
+    for &req in &reqs {
+        let spans = snap.request_spans(req);
+        assert!(
+            spans.len() <= snap.ring_capacity,
+            "per-request span count is bounded by the ring"
+        );
+        assert_well_formed(req, &spans);
+    }
+
+    // Conservation laws, regardless of interleaving.
+    let c = &snap.counters;
+    assert_eq!(c.reply_hits + c.reply_misses, c.reply_probes);
+    assert_eq!(c.eval_hits + c.eval_misses, c.eval_probes);
+    assert_eq!(c.image_hits + c.image_misses, c.image_probes);
+    assert!(c.reply_stale <= c.reply_misses);
+    assert!(c.eval_stale <= c.eval_misses);
+    assert_eq!(c.flight_leaders + c.flight_coalesced, c.flight_entries);
+
+    // The tracer's request count matches the server's, and the server's
+    // own books still balance.
+    let st = s.stats();
+    assert_eq!(c.requests, st.requests);
+    assert_eq!(
+        st.requests,
+        st.reply_cache_hits + st.coalesced + st.replies_built
+    );
+
+    // Billed stages actually measured something.
+    for stage in [Stage::Request, Stage::Eval, Stage::Link, Stage::Frame] {
+        assert!(
+            snap.stage(stage).count > 0,
+            "stage {} saw at least one sample",
+            stage.name()
+        );
+    }
+}
+
+#[test]
+fn ring_bounds_retained_spans_under_overflow() {
+    const CAPACITY: usize = 32;
+    let t = Tracer::with_capacity(CAPACITY);
+    for _ in 0..10 {
+        let g = t.begin_request(SpanKind::Request);
+        for _ in 0..20 {
+            let span = t.open(SpanKind::Eval);
+            t.close_leaf(span, Stage::Eval, 5);
+        }
+        drop(g);
+    }
+    let snap = t.snapshot();
+    assert_eq!(snap.spans.len(), CAPACITY, "ring retains exactly capacity");
+    assert_eq!(snap.counters.spans_recorded, 10 * 21);
+    for req in snap.spans.iter().map(|s| s.req) {
+        assert!(snap.request_spans(req).len() <= CAPACITY);
+    }
+    // Overwrite keeps the *newest* records (seqs start at 1).
+    let min_seq = snap.spans.iter().map(|s| s.seq).min().unwrap();
+    assert_eq!(min_seq, 10 * 21 - CAPACITY as u64 + 1);
+}
+
+// --- Property: arbitrary op sequences keep the span tree well formed ------------
+
+/// Interprets a fuzzer op sequence against a tracer inside one request,
+/// maintaining a model of what the recorded spans must look like.
+/// Returns (expected root duration, model spans as (depth, start, dur)).
+fn run_ops(t: &Tracer, ops: &[(u8, u64)]) -> (u64, Vec<(u16, u64, u64)>) {
+    struct ModelOpen {
+        span: omos::core::trace::OpenSpan,
+        depth: u16,
+        start: u64,
+    }
+    let mut cursor = 0u64;
+    let mut depth = 1u16;
+    let mut open: Vec<ModelOpen> = Vec::new();
+    let mut closed: Vec<(u16, u64, u64)> = Vec::new();
+    for &(op, ns) in ops {
+        match op % 4 {
+            0 => {
+                open.push(ModelOpen {
+                    span: t.open(SpanKind::Link),
+                    depth,
+                    start: cursor,
+                });
+                depth += 1;
+            }
+            1 => {
+                if let Some(m) = open.pop() {
+                    t.close(m.span);
+                    depth -= 1;
+                    closed.push((m.depth, m.start, cursor - m.start));
+                }
+            }
+            2 => {
+                let span = t.open(SpanKind::Placement);
+                t.close_leaf(span, Stage::Placement, ns);
+                closed.push((depth, cursor, ns));
+                cursor += ns;
+            }
+            _ => {
+                t.advance(ns);
+                cursor += ns;
+            }
+        }
+    }
+    while let Some(m) = open.pop() {
+        t.close(m.span);
+        depth -= 1;
+        closed.push((m.depth, m.start, cursor - m.start));
+    }
+    let _ = depth;
+    (cursor, closed)
+}
+
+proptest! {
+    #[test]
+    fn op_sequences_produce_well_formed_trees(
+        ops in proptest::collection::vec((0u8..4, 0u64..10_000), 0..120),
+    ) {
+        let t = Tracer::new();
+        let guard = t.begin_request(SpanKind::Request);
+        let req = guard.req();
+        let (expect_root, model) = run_ops(&t, &ops);
+        drop(guard);
+
+        let snap = t.snapshot();
+        let spans = snap.request_spans(req);
+        assert_well_formed(req, &spans);
+
+        // The root span bills exactly the sum of leaves and advances.
+        let root = spans.iter().find(|s| s.depth == 0).expect("root span");
+        prop_assert_eq!(root.dur_ns, expect_root);
+
+        // Every model span was recorded with the modelled geometry
+        // (ring order is push order; the root is recorded last).
+        let recorded: Vec<(u16, u64, u64)> = spans
+            .iter()
+            .filter(|s| s.depth > 0)
+            .map(|s| (s.depth, s.start_ns, s.dur_ns))
+            .collect();
+        prop_assert_eq!(recorded, model);
+
+        // Histogram conservation: placement samples == leaf closes.
+        let leaves = ops.iter().filter(|(op, _)| op % 4 == 2).count() as u64;
+        prop_assert_eq!(snap.stage(Stage::Placement).count, leaves);
+    }
+}
