@@ -46,6 +46,18 @@ fn main() {
     if let Some(s) = result.warm_scaling(1, 4) {
         eprintln!("warm scaling 1 -> 4 threads: {s:.2}x");
     }
+    if let Some(cl) = &result.cold_link {
+        eprintln!(
+            "cold-link latency ({}): {} ns sequential -> {} ns at {} jobs \
+             ({:.2}x critical path, bill {} ns either way)",
+            cl.program,
+            cl.sequential.latency_ns,
+            cl.parallel.latency_ns,
+            cl.parallel.jobs,
+            cl.sim_speedup(),
+            cl.parallel.server_ns,
+        );
+    }
     eprintln!(
         "{:>10} {:>9} {:>12} {:>12} {:>12}",
         "stage", "count", "p50_ns", "p95_ns", "p99_ns"

@@ -9,8 +9,14 @@
 //! Wall-clock on a shared CI host is noisy, so each mode takes the best
 //! (minimum) warm wall time over several repetitions: the minimum
 //! estimates the true cost with the least scheduler interference.
+//!
+//! The same property is guarded for intra-request parallelism: a sweep
+//! with `OMOS_EVAL_JOBS=8` must produce the same cold and warm sim
+//! makespans as `OMOS_EVAL_JOBS=1` (the schedule may only move
+//! `latency_ns`, never the billed work), and at jobs=1 the sequential
+//! path runs verbatim, so any sim difference is a hard failure.
 
-use omos_bench::mcbench::run_multiclient;
+use omos_bench::mcbench::{run_cold_link, run_multiclient};
 use omos_bench::workload::WorkloadSizes;
 use omos_os::ipc::Transport;
 use omos_os::CostModel;
@@ -34,7 +40,72 @@ fn measure_once(tracing: bool) -> (f64, Vec<u64>) {
     (wall, r.warm.iter().map(|p| p.makespan_ns).collect())
 }
 
+/// Every simulated makespan (cold then warm) for a *single-client*
+/// sweep with the server's evaluation parallelism forced to `jobs`.
+/// One client keeps the cold phase deterministic — with racing clients
+/// the leader/coalesce/cache-hit split varies run to run, so cold
+/// makespans aren't comparable even between two jobs=1 runs. The
+/// single-client cold phase still drives every build through the
+/// parallel path when `jobs > 1`.
+fn sim_profile(jobs: usize) -> Vec<u64> {
+    std::env::set_var("OMOS_EVAL_JOBS", jobs.to_string());
+    let r = run_multiclient(
+        &WorkloadSizes::small(),
+        CostModel::hpux(),
+        Transport::SysVMsg,
+        &[1],
+        PER_THREAD,
+        false,
+    );
+    std::env::remove_var("OMOS_EVAL_JOBS");
+    r.cold
+        .iter()
+        .chain(r.warm.iter())
+        .map(|p| p.makespan_ns)
+        .collect()
+}
+
+/// Fails if parallel evaluation perturbs the simulated domain.
+fn guard_parallel_identity() {
+    let seq = sim_profile(1);
+    let par = sim_profile(8);
+    if seq != par {
+        eprintln!(
+            "trace_guard: FAIL — eval_jobs=8 perturbed sim makespans: jobs=1 {seq:?} vs jobs=8 {par:?}"
+        );
+        std::process::exit(1);
+    }
+    let cl = run_cold_link(CostModel::hpux(), Transport::SysVMsg, 8);
+    if cl.sequential.server_ns != cl.parallel.server_ns {
+        eprintln!(
+            "trace_guard: FAIL — cold-link bill changed under parallelism: {} vs {}",
+            cl.sequential.server_ns, cl.parallel.server_ns
+        );
+        std::process::exit(1);
+    }
+    if cl.sequential.latency_ns != cl.sequential.server_ns {
+        eprintln!(
+            "trace_guard: FAIL — sequential latency {} != billed work {}",
+            cl.sequential.latency_ns, cl.sequential.server_ns
+        );
+        std::process::exit(1);
+    }
+    if cl.parallel.latency_ns > cl.sequential.latency_ns {
+        eprintln!(
+            "trace_guard: FAIL — parallel critical path {} exceeds sequential {}",
+            cl.parallel.latency_ns, cl.sequential.latency_ns
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "parallel identity: sim makespans invariant; cold-link bill {} ns, \
+         critical path {} -> {} ns",
+        cl.sequential.server_ns, cl.sequential.latency_ns, cl.parallel.latency_ns
+    );
+}
+
 fn main() {
+    guard_parallel_identity();
     // Interleave the modes so CPU warmup, page-cache state, and
     // allocator pools bias neither side; one untimed warmup first.
     let _ = measure_once(true);

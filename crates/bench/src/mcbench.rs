@@ -64,6 +64,127 @@ pub struct McResult {
     pub stages: Vec<HistSnapshot>,
     /// Trace counter totals folded across every server in the sweep.
     pub counters: Vec<(&'static str, u64)>,
+    /// Intra-request parallel linking: cold-link latency, sequential vs
+    /// parallel (`None` when the sweep skipped it).
+    pub cold_link: Option<ColdLinkLatency>,
+}
+
+/// One cold instantiation at a given `eval_jobs` setting.
+#[derive(Debug, Clone, Copy)]
+pub struct ColdLinkRun {
+    /// `eval_jobs` for this run.
+    pub jobs: usize,
+    /// Billed work — must be identical across jobs settings.
+    pub server_ns: u64,
+    /// Simulated request latency (critical path of the schedule).
+    pub latency_ns: u64,
+    /// Host wall-clock, for reference only.
+    pub wall_ms: f64,
+}
+
+/// Cold-link latency of one fan-out program, sequential (`jobs` = 1)
+/// against a parallel schedule. The *simulated* speedup is the
+/// deterministic, asserted number; wall speedup is reported for
+/// reference (meaningless on a loaded or single-CPU host).
+#[derive(Debug, Clone, Copy)]
+pub struct ColdLinkLatency {
+    /// Scenario program instantiated (a wide library fan-out).
+    pub program: &'static str,
+    /// The sequential baseline.
+    pub sequential: ColdLinkRun,
+    /// The parallel run.
+    pub parallel: ColdLinkRun,
+}
+
+impl ColdLinkLatency {
+    /// Simulated critical-path speedup (sequential over parallel).
+    #[must_use]
+    pub fn sim_speedup(&self) -> f64 {
+        self.sequential.latency_ns as f64 / self.parallel.latency_ns.max(1) as f64
+    }
+
+    /// Host wall-clock speedup, for reference only.
+    #[must_use]
+    pub fn wall_speedup(&self) -> f64 {
+        self.sequential.wall_ms / self.parallel.wall_ms.max(1e-9)
+    }
+}
+
+/// A wide, link-heavy fan-out: `nlibs` independent constraint-placed
+/// libraries (64 KiB of text each) under one client. This is the shape
+/// where intra-request parallelism pays: the library links dominate
+/// and none depends on another. (The paper's codegen workload has the
+/// same 13-library breadth, but its client evaluation — a 33-file
+/// merge, a strictly sequential fold chain — caps its win well under
+/// 2x; the fan-out isolates the schedulable part.)
+fn fanout_server(nlibs: usize, cost: CostModel, transport: omos_os::ipc::Transport) -> Omos {
+    use omos_obj::{ObjectFile, Section, SectionKind, Symbol};
+    let s = Omos::new(cost, transport);
+    s.namespace.bind_object(
+        "/obj/main.o",
+        omos_isa::assemble("main.o", ".text\n.global _start\n_start: sys 0\n")
+            .expect("main assembles"),
+    );
+    let mut uses = String::new();
+    for i in 0..nlibs {
+        let mut o = ObjectFile::new(&format!("f{i}.o"));
+        let t = o.add_section(Section::with_bytes(
+            ".text",
+            SectionKind::Text,
+            vec![0u8; 64 << 10],
+            8,
+        ));
+        o.define(Symbol::defined(&format!("_f{i}"), t, 0))
+            .expect("unique symbol");
+        s.namespace.bind_object(&format!("/obj/f{i}.o"), o);
+        s.namespace
+            .bind_blueprint(
+                &format!("/lib/f{i}"),
+                &format!(
+                    "(constraint-list \"T\" {:#x} \"D\" {:#x})\n(merge /obj/f{i}.o)",
+                    0x0200_0000 + (i as u64) * 0x20_0000,
+                    0x4200_0000 + (i as u64) * 0x20_0000,
+                ),
+            )
+            .expect("lib blueprint");
+        uses.push_str(&format!(" /lib/f{i}"));
+    }
+    s.namespace
+        .bind_blueprint("/bin/fanout", &format!("(merge /obj/main.o{uses})"))
+        .expect("fanout blueprint");
+    s
+}
+
+/// Number of libraries in the cold-link fan-out workload.
+pub const COLD_LINK_LIBS: usize = 12;
+
+/// Measures cold-link latency on the 12-library fan-out: one cold
+/// build sequentially, one at `jobs`, each on a fresh server.
+#[must_use]
+pub fn run_cold_link(
+    cost: CostModel,
+    transport: omos_os::ipc::Transport,
+    jobs: usize,
+) -> ColdLinkLatency {
+    let run = |jobs: usize| {
+        let server = fanout_server(COLD_LINK_LIBS, cost, transport);
+        server.set_eval_jobs(jobs);
+        let wall = std::time::Instant::now();
+        let r = server
+            .instantiate("/bin/fanout")
+            .expect("fanout instantiates");
+        ColdLinkRun {
+            jobs,
+            server_ns: r.server_ns,
+            latency_ns: r.latency_ns,
+            wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        }
+    };
+    ColdLinkLatency {
+        program: "fanout-12",
+        sequential: run(1),
+        parallel: run(jobs.max(2)),
+    }
 }
 
 impl McResult {
@@ -205,6 +326,7 @@ pub fn run_multiclient(
         warm,
         stages,
         counters,
+        cold_link: Some(run_cold_link(cost, transport, 8)),
     }
 }
 
@@ -295,6 +417,26 @@ pub fn to_json(r: &McResult) -> String {
         let _ = writeln!(out, "    }}");
         let _ = writeln!(out, "  }},");
     }
+    if let Some(cl) = &r.cold_link {
+        let _ = writeln!(out, "  \"cold_link_latency\": {{");
+        let _ = writeln!(out, "    \"program\": \"{}\",", cl.program);
+        for (name, run, comma) in [
+            ("sequential", &cl.sequential, ","),
+            ("parallel", &cl.parallel, ","),
+        ] {
+            let _ = writeln!(
+                out,
+                concat!(
+                    "    \"{}\": {{\"eval_jobs\": {}, \"server_ns\": {}, ",
+                    "\"latency_ns\": {}, \"wall_ms\": {:.3}}}{}"
+                ),
+                name, run.jobs, run.server_ns, run.latency_ns, run.wall_ms, comma,
+            );
+        }
+        let _ = writeln!(out, "    \"sim_speedup\": {:.2},", cl.sim_speedup());
+        let _ = writeln!(out, "    \"wall_speedup\": {:.2}", cl.wall_speedup());
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(
         out,
         "  \"warm_scaling_1_to_4\": {:.2}",
@@ -351,6 +493,23 @@ mod tests {
         assert_eq!(
             cold.stats.requests,
             cold.stats.reply_cache_hits + cold.stats.coalesced + cold.stats.replies_built
+        );
+    }
+
+    #[test]
+    fn cold_link_parallel_halves_the_critical_path() {
+        let cl = run_cold_link(CostModel::hpux(), Transport::SysVMsg, 8);
+        // The schedule must not change the bill, and sequentially
+        // latency *is* the bill.
+        assert_eq!(cl.sequential.server_ns, cl.parallel.server_ns);
+        assert_eq!(cl.sequential.latency_ns, cl.sequential.server_ns);
+        assert!(
+            cl.sim_speedup() >= 2.0,
+            "12-library fan-out should cut the simulated critical path \
+             at least in half at 8 jobs, got {:.2}x ({} -> {} ns)",
+            cl.sim_speedup(),
+            cl.sequential.latency_ns,
+            cl.parallel.latency_ns
         );
     }
 

@@ -15,7 +15,9 @@
 //! its exports, which is precisely the self-contained scheme. A
 //! `lib-dynamic` specialization instead *is* merged, as generated stubs.
 
+use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use omos_constraint::RegionClass;
 use omos_link::make_partial_stubs;
@@ -42,6 +44,9 @@ pub enum EvalError {
     /// An operation appeared somewhere it cannot (e.g. constrained
     /// library under `hide`).
     Misplaced(String),
+    /// A parallel evaluation worker died (panicked) while executing a
+    /// work unit; the request aborts cleanly.
+    Worker(String),
 }
 
 impl fmt::Display for EvalError {
@@ -53,6 +58,7 @@ impl fmt::Display for EvalError {
             EvalError::Resolve(p) => write!(f, "cannot resolve `{p}`"),
             EvalError::Cycle(p) => write!(f, "meta-object cycle through `{p}`"),
             EvalError::Misplaced(m) => write!(f, "misplaced operation: {m}"),
+            EvalError::Worker(m) => write!(f, "evaluation worker failed: {m}"),
         }
     }
 }
@@ -86,24 +92,38 @@ pub enum ResolvedNode {
     Meta(Blueprint),
 }
 
+/// A cached evaluation result: the module plus the namespace paths its
+/// derivation resolved. The evaluator folds the dependency record into
+/// the enclosing scope on a hit so invalidation stays precise.
+#[derive(Debug, Clone)]
+pub struct CachedEval {
+    /// The memoized module.
+    pub module: Module,
+    /// Namespace paths the cached derivation resolved.
+    pub deps: Arc<BTreeSet<String>>,
+}
+
 /// Server services the evaluator needs.
-pub trait EvalContext {
+///
+/// Every method takes `&self`: the server's caches are internally
+/// synchronized (sharded locks, atomics), and the parallel executor
+/// probes and publishes from worker threads sharing one context. The
+/// `Sync` supertrait makes `&dyn EvalContext` shareable across a
+/// scoped worker pool.
+pub trait EvalContext: Sync {
     /// Resolves a namespace path.
-    fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError>;
+    fn resolve(&self, path: &str) -> Result<ResolvedNode, EvalError>;
 
     /// Looks up a cached evaluation result by structural key.
-    fn cache_get(&mut self, key: ContentHash) -> Option<Module>;
+    fn cache_get(&self, key: ContentHash) -> Option<CachedEval>;
 
-    /// Stores an evaluation result.
-    fn cache_put(&mut self, key: ContentHash, module: &Module);
+    /// Stores an evaluation result together with the namespace paths
+    /// its derivation resolved (its invalidation record).
+    fn cache_put(&self, key: ContentHash, module: &Module, deps: &Arc<BTreeSet<String>>);
 
     /// Registers a `lib-dynamic` implementation module, returning the
     /// library id the generated stubs will pass to `OMOS_LOOKUP`.
-    fn register_dynamic_impl(
-        &mut self,
-        key: ContentHash,
-        module: &Module,
-    ) -> Result<u32, EvalError>;
+    fn register_dynamic_impl(&self, key: ContentHash, module: &Module) -> Result<u32, EvalError>;
 }
 
 /// Work counters for one evaluation.
@@ -147,46 +167,81 @@ pub struct EvalOutput {
     pub constraints: Vec<(RegionClass, u64)>,
     /// Work counters.
     pub stats: EvalStats,
+    /// Every namespace path the evaluation resolved (the request's
+    /// invalidation record).
+    pub deps: BTreeSet<String>,
 }
 
 struct Evaluator<'a> {
-    ctx: &'a mut dyn EvalContext,
+    ctx: &'a dyn EvalContext,
     stats: EvalStats,
     libraries: Vec<LibraryUse>,
     visiting: Vec<String>,
+    /// Dependency scopes mirroring the recursion: `scopes[0]` is the
+    /// whole evaluation's record; a deeper entry collects the paths one
+    /// cache-missing subtree resolves, becoming that subtree's cache
+    /// entry record when it completes (and folding into its parent).
+    scopes: Vec<BTreeSet<String>>,
 }
 
 /// Evaluates a blueprint to a client module plus its library uses.
-pub fn eval_blueprint(bp: &Blueprint, ctx: &mut dyn EvalContext) -> Result<EvalOutput, EvalError> {
+pub fn eval_blueprint(bp: &Blueprint, ctx: &dyn EvalContext) -> Result<EvalOutput, EvalError> {
     let mut ev = Evaluator {
         ctx,
         stats: EvalStats::default(),
         libraries: Vec::new(),
         visiting: Vec::new(),
+        scopes: vec![BTreeSet::new()],
     };
     let module = ev.node(&bp.root).map_err(|e| locate_error(e, bp))?;
+    let mut deps = BTreeSet::new();
+    for s in ev.scopes {
+        deps.extend(s);
+    }
     Ok(EvalOutput {
         module,
         libraries: ev.libraries,
         constraints: bp.constraints.clone(),
         stats: ev.stats,
+        deps,
     })
 }
 
 impl Evaluator<'_> {
+    fn record(&mut self, path: &str) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(path.to_string());
+    }
+
+    fn fold_deps(&mut self, deps: &BTreeSet<String>) {
+        let top = self.scopes.last_mut().expect("scope stack never empty");
+        for d in deps {
+            top.insert(d.clone());
+        }
+    }
+
     fn node(&mut self, n: &MNode) -> Result<Module, EvalError> {
         self.stats.nodes += 1;
         let key = n.hash();
-        if let Some(m) = self.ctx.cache_get(key) {
+        if let Some(c) = self.ctx.cache_get(key) {
             self.stats.cache_hits += 1;
+            // A hit stands on the entry's own dependency record: fold it
+            // into the enclosing scope so the result invalidates when any
+            // of those paths change.
+            self.fold_deps(&c.deps);
             // Cached result for a subtree: library uses under it were
             // recorded when it was first evaluated and are re-declared by
             // re-walking only the library-introducing nodes.
             self.collect_library_uses(n)?;
-            return Ok(m);
+            return Ok(c.module);
         }
+        self.scopes.push(BTreeSet::new());
         let m = self.node_uncached(n)?;
-        self.ctx.cache_put(key, &m);
+        let deps = Arc::new(self.scopes.pop().expect("scope pushed above"));
+        self.ctx.cache_put(key, &m, &deps);
+        self.fold_deps(&deps);
         Ok(m)
     }
 
@@ -292,6 +347,7 @@ impl Evaluator<'_> {
             MNode::Leaf(path) => {
                 // A leaf naming a library-class meta-object (one with a
                 // constraint-list) is a self-contained library reference.
+                self.record(path);
                 match self.ctx.resolve(path)? {
                     ResolvedNode::Meta(bp) if !bp.constraints.is_empty() => {
                         let module = self.meta(path, &bp)?;
@@ -340,6 +396,7 @@ impl Evaluator<'_> {
     }
 
     fn leaf(&mut self, path: &str) -> Result<Module, EvalError> {
+        self.record(path);
         match self.ctx.resolve(path)? {
             ResolvedNode::Object(obj) => {
                 self.stats.leaves += 1;
@@ -350,8 +407,8 @@ impl Evaluator<'_> {
     }
 
     fn meta(&mut self, path: &str, bp: &Blueprint) -> Result<Module, EvalError> {
-        if self.visiting.iter().any(|p| p == path) {
-            return Err(EvalError::Cycle(path.to_string()));
+        if let Some(pos) = self.visiting.iter().position(|p| p == path) {
+            return Err(EvalError::Cycle(cycle_chain(&self.visiting[pos..], path)));
         }
         self.visiting.push(path.to_string());
         let result = self.node(&bp.root);
@@ -360,7 +417,16 @@ impl Evaluator<'_> {
     }
 }
 
-fn leaf_name(n: &MNode) -> String {
+/// Formats the full blueprint path chain of a detected cycle: every
+/// meta-object from the first re-entered node down to the repeat, e.g.
+/// `/meta/a -> /meta/b -> /meta/a`.
+pub(crate) fn cycle_chain(visiting_tail: &[String], repeat: &str) -> String {
+    let mut chain: Vec<&str> = visiting_tail.iter().map(String::as_str).collect();
+    chain.push(repeat);
+    chain.join(" -> ")
+}
+
+pub(crate) fn leaf_name(n: &MNode) -> String {
     match n {
         MNode::Leaf(p) => p.clone(),
         other => format!("<inline:{}>", other.hash()),
@@ -369,10 +435,12 @@ fn leaf_name(n: &MNode) -> String {
 
 /// Attaches the blueprint source location of the failing leaf to
 /// `Resolve`/`Cycle` errors (the variant stays a plain `String`; the
-/// location is folded into the message). Errors raised from inside a
-/// *referenced* meta-object have no span in this blueprint and pass
-/// through unchanged.
-fn locate_error(e: EvalError, bp: &Blueprint) -> EvalError {
+/// location is folded into the message). A cycle error carries the full
+/// ` -> `-joined path chain; the located leaf is the chain's final
+/// (re-entered) component. Errors raised from inside a *referenced*
+/// meta-object have no span in this blueprint and pass through
+/// unchanged.
+pub(crate) fn locate_error(e: EvalError, bp: &Blueprint) -> EvalError {
     let locate = |name: &str| -> Option<Span> {
         let mut path = Vec::new();
         find_leaf_span(&bp.root, name, &mut path, bp)
@@ -382,10 +450,13 @@ fn locate_error(e: EvalError, bp: &Blueprint) -> EvalError {
             Some(span) => EvalError::Resolve(format!("{p} (at {span})")),
             None => EvalError::Resolve(p),
         },
-        EvalError::Cycle(p) => match locate(&p) {
-            Some(span) => EvalError::Cycle(format!("{p} (at {span})")),
-            None => EvalError::Cycle(p),
-        },
+        EvalError::Cycle(p) => {
+            let last = p.rsplit(" -> ").next().unwrap_or(&p);
+            match locate(last) {
+                Some(span) => EvalError::Cycle(format!("{p} (at {span})")),
+                None => EvalError::Cycle(p),
+            }
+        }
         other => other,
     }
 }
@@ -418,40 +489,46 @@ fn find_leaf_span(n: &MNode, target: &str, path: &mut Vec<u32>, bp: &Blueprint) 
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use omos_isa::assemble;
     use std::collections::HashMap;
-    use std::sync::Arc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
 
     /// A test context: a flat namespace of objects and metas plus a real
-    /// cache.
+    /// cache. Mutable state sits behind locks so the context serves the
+    /// `&self` trait (and the parallel executor's worker threads).
     #[derive(Default)]
-    struct TestCtx {
-        objects: HashMap<String, Arc<omos_obj::ObjectFile>>,
-        metas: HashMap<String, Blueprint>,
-        cache: HashMap<ContentHash, Module>,
-        dynamic: Vec<(ContentHash, Module)>,
-        resolve_calls: u64,
+    pub(crate) struct TestCtx {
+        pub(crate) objects: HashMap<String, Arc<omos_obj::ObjectFile>>,
+        pub(crate) metas: HashMap<String, Blueprint>,
+        pub(crate) cache: Mutex<HashMap<ContentHash, CachedEval>>,
+        pub(crate) dynamic: Mutex<Vec<(ContentHash, Module)>>,
+        pub(crate) resolve_calls: AtomicU64,
     }
 
     impl TestCtx {
-        fn add_asm(&mut self, path: &str, src: &str) {
+        pub(crate) fn add_asm(&mut self, path: &str, src: &str) {
             self.objects.insert(
                 path.to_string(),
                 Arc::new(assemble(path, src).expect("assembles")),
             );
         }
 
-        fn add_meta(&mut self, path: &str, src: &str) {
+        pub(crate) fn add_meta(&mut self, path: &str, src: &str) {
             self.metas
                 .insert(path.to_string(), Blueprint::parse(src).expect("parses"));
+        }
+
+        pub(crate) fn dynamic_count(&self) -> usize {
+            self.dynamic.lock().unwrap().len()
         }
     }
 
     impl EvalContext for TestCtx {
-        fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
-            self.resolve_calls += 1;
+        fn resolve(&self, path: &str) -> Result<ResolvedNode, EvalError> {
+            self.resolve_calls.fetch_add(1, Ordering::Relaxed);
             if let Some(o) = self.objects.get(path) {
                 return Ok(ResolvedNode::Object(Arc::clone(o)));
             }
@@ -461,28 +538,35 @@ mod tests {
             Err(EvalError::Resolve(path.to_string()))
         }
 
-        fn cache_get(&mut self, key: ContentHash) -> Option<Module> {
-            self.cache.get(&key).cloned()
+        fn cache_get(&self, key: ContentHash) -> Option<CachedEval> {
+            self.cache.lock().unwrap().get(&key).cloned()
         }
 
-        fn cache_put(&mut self, key: ContentHash, module: &Module) {
-            self.cache.insert(key, module.clone());
+        fn cache_put(&self, key: ContentHash, module: &Module, deps: &Arc<BTreeSet<String>>) {
+            self.cache.lock().unwrap().insert(
+                key,
+                CachedEval {
+                    module: module.clone(),
+                    deps: Arc::clone(deps),
+                },
+            );
         }
 
         fn register_dynamic_impl(
-            &mut self,
+            &self,
             key: ContentHash,
             module: &Module,
         ) -> Result<u32, EvalError> {
-            if let Some(i) = self.dynamic.iter().position(|(k, _)| *k == key) {
+            let mut dynamic = self.dynamic.lock().unwrap();
+            if let Some(i) = dynamic.iter().position(|(k, _)| *k == key) {
                 return Ok(i as u32);
             }
-            self.dynamic.push((key, module.clone()));
-            Ok(self.dynamic.len() as u32 - 1)
+            dynamic.push((key, module.clone()));
+            Ok(dynamic.len() as u32 - 1)
         }
     }
 
-    fn ls_world() -> TestCtx {
+    pub(crate) fn ls_world() -> TestCtx {
         let mut ctx = TestCtx::default();
         ctx.add_asm(
             "/obj/ls.o",
@@ -497,9 +581,9 @@ mod tests {
 
     #[test]
     fn simple_merge_evaluates() {
-        let mut ctx = ls_world();
+        let ctx = ls_world();
         let bp = Blueprint::parse("(merge /obj/ls.o /libc/stdio.o)").unwrap();
-        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let out = eval_blueprint(&bp, &ctx).unwrap();
         assert!(out.module.free_references().unwrap().is_empty());
         assert!(out.libraries.is_empty());
         assert_eq!(out.stats.merges, 1);
@@ -508,11 +592,11 @@ mod tests {
 
     #[test]
     fn second_evaluation_hits_cache() {
-        let mut ctx = ls_world();
+        let ctx = ls_world();
         let bp = Blueprint::parse("(merge /obj/ls.o /libc/stdio.o)").unwrap();
-        let first = eval_blueprint(&bp, &mut ctx).unwrap();
+        let first = eval_blueprint(&bp, &ctx).unwrap();
         assert_eq!(first.stats.cache_hits, 0);
-        let second = eval_blueprint(&bp, &mut ctx).unwrap();
+        let second = eval_blueprint(&bp, &ctx).unwrap();
         assert_eq!(second.stats.cache_hits, 1, "root served from cache");
         assert_eq!(second.stats.merges, 0, "no merge redone");
         assert_eq!(first.module.content_hash(), second.module.content_hash());
@@ -529,7 +613,7 @@ mod tests {
             "#,
         );
         let bp = Blueprint::parse("(merge /obj/ls.o /lib/libc)").unwrap();
-        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let out = eval_blueprint(&bp, &ctx).unwrap();
         // The client still references _puts (unbound) — the server binds
         // it against the placed library.
         assert!(out
@@ -546,13 +630,13 @@ mod tests {
 
     #[test]
     fn explicit_constrained_specialization_in_merge() {
-        let mut ctx = ls_world();
+        let ctx = ls_world();
         let bp = Blueprint::parse(
             r#"(merge /obj/ls.o
                  (specialize "lib-constrained" (list "T" 0x2000000) /libc/stdio.o))"#,
         )
         .unwrap();
-        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let out = eval_blueprint(&bp, &ctx).unwrap();
         assert_eq!(out.libraries.len(), 1);
         assert_eq!(
             out.libraries[0].constraints,
@@ -562,20 +646,20 @@ mod tests {
 
     #[test]
     fn dynamic_specialization_generates_stubs() {
-        let mut ctx = ls_world();
+        let ctx = ls_world();
         let bp = Blueprint::parse(r#"(merge /obj/ls.o (specialize "lib-dynamic" /libc/stdio.o))"#)
             .unwrap();
-        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let out = eval_blueprint(&bp, &ctx).unwrap();
         // Stubs define _puts, so the client is fully bound statically.
         assert!(out.module.free_references().unwrap().is_empty());
         assert!(
             out.libraries.is_empty(),
             "dynamic libs are not placement requests"
         );
-        assert_eq!(ctx.dynamic.len(), 1, "implementation registered");
+        assert_eq!(ctx.dynamic_count(), 1, "implementation registered");
         // Re-evaluating registers nothing new.
-        let _ = eval_blueprint(&bp, &mut ctx).unwrap();
-        assert_eq!(ctx.dynamic.len(), 1);
+        let _ = eval_blueprint(&bp, &ctx).unwrap();
+        assert_eq!(ctx.dynamic_count(), 1);
     }
 
     #[test]
@@ -612,7 +696,7 @@ _malloc:    mov r8, r15
             "#,
         )
         .unwrap();
-        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let out = eval_blueprint(&bp, &ctx).unwrap();
         let exports = out.module.exports().unwrap();
         assert!(exports.contains(&"_malloc".to_string()));
         assert!(!exports.contains(&"_REAL_malloc".to_string()));
@@ -643,7 +727,7 @@ _entry:     call _undefined_routine
             "#,
         )
         .unwrap();
-        let out = eval_blueprint(&bp, &mut ctx).unwrap();
+        let out = eval_blueprint(&bp, &ctx).unwrap();
         assert!(out.module.free_references().unwrap().is_empty());
         assert_eq!(out.stats.source_compiles, 1);
     }
@@ -654,26 +738,43 @@ _entry:     call _undefined_routine
         ctx.add_meta("/meta/a", "(merge /meta/b /meta/b)");
         ctx.add_meta("/meta/b", "(merge /meta/a /meta/a)");
         let bp = Blueprint::parse("(merge /meta/a /meta/a)").unwrap();
-        let err = eval_blueprint(&bp, &mut ctx).unwrap_err();
+        let err = eval_blueprint(&bp, &ctx).unwrap_err();
         assert!(matches!(err, EvalError::Cycle(_)));
     }
 
     #[test]
-    fn unresolved_path_errors() {
+    fn two_meta_cycle_reports_full_path_chain() {
         let mut ctx = TestCtx::default();
+        ctx.add_meta("/meta/a", "(merge /meta/b /meta/b)");
+        ctx.add_meta("/meta/b", "(merge /meta/a /meta/a)");
+        let bp = Blueprint::parse("(merge /meta/a /meta/a)").unwrap();
+        let Err(EvalError::Cycle(chain)) = eval_blueprint(&bp, &ctx) else {
+            panic!("expected cycle error");
+        };
+        // The whole chain, not just the innermost node: entered through
+        // /meta/a, descended into /meta/b, re-entered /meta/a.
+        assert!(
+            chain.starts_with("/meta/a -> /meta/b -> /meta/a"),
+            "got {chain}"
+        );
+    }
+
+    #[test]
+    fn unresolved_path_errors() {
+        let ctx = TestCtx::default();
         let bp = Blueprint::parse("(merge /nope /alsono)").unwrap();
         assert!(matches!(
-            eval_blueprint(&bp, &mut ctx),
+            eval_blueprint(&bp, &ctx),
             Err(EvalError::Resolve(_))
         ));
     }
 
     #[test]
     fn resolve_and_cycle_errors_name_blueprint_location() {
-        let mut ctx = ls_world();
+        let ctx = ls_world();
         let src = "(merge /obj/ls.o /nope)";
         let bp = Blueprint::parse(src).unwrap();
-        let Err(EvalError::Resolve(msg)) = eval_blueprint(&bp, &mut ctx) else {
+        let Err(EvalError::Resolve(msg)) = eval_blueprint(&bp, &ctx) else {
             panic!("expected resolve error");
         };
         let leaf = src.find("/nope").unwrap();
@@ -682,7 +783,7 @@ _entry:     call _undefined_routine
         let mut ctx = TestCtx::default();
         ctx.add_meta("/meta/a", "(merge /meta/a /meta/a)");
         let bp = Blueprint::parse("(merge /meta/a /meta/a)").unwrap();
-        let Err(EvalError::Cycle(msg)) = eval_blueprint(&bp, &mut ctx) else {
+        let Err(EvalError::Cycle(msg)) = eval_blueprint(&bp, &ctx) else {
             panic!("expected cycle error");
         };
         assert!(msg.contains("/meta/a (at bytes "), "got {msg}");
@@ -697,7 +798,7 @@ _entry:     call _undefined_routine
         );
         let bp = Blueprint::parse("(merge /lib/libc)").unwrap();
         assert!(matches!(
-            eval_blueprint(&bp, &mut ctx),
+            eval_blueprint(&bp, &ctx),
             Err(EvalError::Misplaced(_))
         ));
     }
@@ -710,8 +811,8 @@ _entry:     call _undefined_routine
             "(constraint-list \"T\" 0x1000000)\n(merge /libc/stdio.o)",
         );
         let bp = Blueprint::parse("(merge /obj/ls.o /lib/libc)").unwrap();
-        let first = eval_blueprint(&bp, &mut ctx).unwrap();
-        let second = eval_blueprint(&bp, &mut ctx).unwrap();
+        let first = eval_blueprint(&bp, &ctx).unwrap();
+        let second = eval_blueprint(&bp, &ctx).unwrap();
         assert_eq!(first.libraries.len(), 1);
         assert_eq!(second.libraries.len(), 1, "library uses survive caching");
         assert_eq!(first.libraries[0].key, second.libraries[0].key);

@@ -13,14 +13,22 @@
 //!   compiles the mini-C subset the paper's Figure 3 uses;
 //! * [`eval`] — m-graph execution against a pluggable [`eval::EvalContext`]
 //!   (namespace resolution, sub-result caching, dynamic-library
-//!   registration), producing a linked-ready [`omos_module::Module`].
+//!   registration), producing a linked-ready [`omos_module::Module`];
+//! * [`plan`] — the same evaluation split into a planning pass (lower
+//!   the m-graph into a DAG of work units) and a work-stealing parallel
+//!   execution pass, deterministic and byte-identical to [`eval`].
 
 pub mod ast;
 pub mod eval;
+pub mod plan;
 pub mod sexpr;
 pub mod source;
 
 pub use ast::{Blueprint, BlueprintError, MNode, NodePath, SpanMap, SpecKind};
-pub use eval::{eval_blueprint, EvalContext, EvalError, EvalOutput, EvalStats, ResolvedNode};
+pub use eval::{
+    eval_blueprint, CachedEval, EvalContext, EvalError, EvalOutput, EvalStats, LibraryUse,
+    ResolvedNode,
+};
+pub use plan::{eval_blueprint_parallel, ParallelOutput, UnitReport};
 pub use sexpr::{parse_sexprs, Sexpr, SexprKind, Span};
 pub use source::{compile_source, SourceError};

@@ -36,18 +36,19 @@
 //! server while holding one.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use omos_analysis::{analyze_blueprint, Diagnostic, LintContext, LintResolved, Severity};
 use omos_blueprint::eval::LibraryUse;
 use omos_blueprint::{
-    eval_blueprint, Blueprint, EvalContext, EvalError, EvalStats, MNode, ResolvedNode,
+    eval_blueprint, eval_blueprint_parallel, Blueprint, CachedEval, EvalContext, EvalError,
+    EvalStats, MNode, ResolvedNode, UnitReport,
 };
 use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentRequest};
-use omos_link::{link, FunctionHashTable, LinkOptions, LinkStats};
+use omos_link::{layout_symbols, link, FunctionHashTable, LinkOptions, LinkStats};
 use omos_module::Module;
-use omos_obj::{ContentHash, SectionKind};
+use omos_obj::{ContentHash, ObjectFile, SectionKind};
 use omos_os::ipc::Transport;
 use omos_os::{CostModel, ImageFrames};
 
@@ -113,8 +114,14 @@ pub struct InstantiateReply {
     pub program: Arc<CachedImage>,
     /// Self-contained shared libraries to map alongside it.
     pub libraries: Vec<Arc<CachedImage>>,
-    /// Server CPU consumed by this request (client waits this long).
+    /// Server CPU consumed by this request — the total *work*, billed
+    /// to the client and identical at every `eval_jobs` setting.
     pub server_ns: u64,
+    /// Simulated wall-clock latency of this request: with parallel
+    /// evaluation enabled, the critical path of the work-unit/link
+    /// schedule rather than the work sum. Equals `server_ns` when
+    /// `eval_jobs` is 1 (and on cache hits).
+    pub latency_ns: u64,
     /// True if the reply came from cache or from another request's
     /// in-flight build (single-flight followers did no link work).
     pub cache_hit: bool,
@@ -227,6 +234,7 @@ pub struct Omos {
     dynamic: RwLock<Vec<Arc<DynamicLib>>>,
     dynamic_keys: Mutex<HashMap<ContentHash, u32>>,
     preflight: AtomicBool,
+    eval_jobs: AtomicUsize,
     tracer: Arc<Tracer>,
 }
 
@@ -250,8 +258,31 @@ impl Omos {
             dynamic: RwLock::new(Vec::new()),
             dynamic_keys: Mutex::new(HashMap::new()),
             preflight: AtomicBool::new(false),
+            eval_jobs: AtomicUsize::new(
+                std::env::var("OMOS_EVAL_JOBS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .unwrap_or(1),
+            ),
             tracer,
         }
+    }
+
+    /// Sets the intra-request parallelism: cold builds plan the m-graph
+    /// into a work-unit DAG and execute it (plus the independent
+    /// library links) on `jobs` workers. 1 (the default, or the
+    /// `OMOS_EVAL_JOBS` environment variable at construction) keeps the
+    /// sequential path. Results are byte-identical either way; only
+    /// [`InstantiateReply::latency_ns`] and the span timeline change.
+    pub fn set_eval_jobs(&self, jobs: usize) {
+        self.eval_jobs.store(jobs.max(1), Ordering::Relaxed);
+    }
+
+    /// Current intra-request parallelism (see [`Omos::set_eval_jobs`]).
+    #[must_use]
+    pub fn eval_jobs(&self) -> usize {
+        self.eval_jobs.load(Ordering::Relaxed)
     }
 
     /// The server's tracer: clients (and benchmarks) record their IPC
@@ -426,6 +457,7 @@ impl Omos {
         self.tracer.advance(server_ns);
         let mut reply = entry.reply.clone();
         reply.server_ns = server_ns;
+        reply.latency_ns = server_ns;
         reply.cache_hit = true;
         Some(reply)
     }
@@ -453,11 +485,15 @@ impl Omos {
         // Snapshot the generation *before* resolving anything: a bind
         // racing this build lands after the snapshot and invalidates
         // the entry on its next lookup.
-        let mut ctx = ReqCtx::new(self, root);
+        let ctx = ReqCtx::new(self);
+        let jobs = self.eval_jobs();
+        if jobs > 1 {
+            return self.build_reply_parallel(bp, root, key, &ctx, jobs);
+        }
         let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
         self.tracer.advance(self.cost.server_cached_request_ns);
         let span = self.tracer.open(SpanKind::Eval);
-        let out = eval_blueprint(bp, &mut ctx);
+        let out = eval_blueprint(bp, &ctx);
         let eval_ns = out
             .as_ref()
             .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
@@ -511,18 +547,194 @@ impl Omos {
             program,
             libraries,
             server_ns,
+            latency_ns: server_ns, // sequential: latency is the work sum
             cache_hit: false,
             req: 0, // attributed by `request`
         };
+        self.cache_reply(key, &reply, ctx.gen, out.deps, root);
+        Ok(reply)
+    }
+
+    /// The parallel cold-build path (`eval_jobs > 1`): plans the
+    /// m-graph into a work-unit DAG and executes it on a scoped worker
+    /// pool, prepares every referenced library serially (placement and
+    /// symbol layout — cheap and order-sensitive), then links the
+    /// independent library images concurrently before the final
+    /// program link. `server_ns` bills exactly the work sum the
+    /// sequential path would, regardless of completion order;
+    /// `latency_ns` (and the span timeline) bill the critical path of
+    /// the simulated schedule.
+    fn build_reply_parallel(
+        &self,
+        bp: &Blueprint,
+        root: Option<&str>,
+        key: ContentHash,
+        ctx: &ReqCtx<'_>,
+        jobs: usize,
+    ) -> Result<InstantiateReply, OmosError> {
+        let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
+        self.tracer.advance(self.cost.server_cached_request_ns);
+
+        // Evaluate: plan (serial) + execute on the work-stealing pool.
+        let span = self.tracer.open(SpanKind::Eval);
+        let par = eval_blueprint_parallel(bp, ctx, jobs);
+        let (eval_ns, plan_ns, eval_makespan) = match &par {
+            Ok(p) => {
+                let plan_ns = p.output.stats.nodes * self.cost.lookup_ns;
+                let (slots, makespan) = schedule_units(&p.units, &self.cost, jobs);
+                for &(start, lane, dur) in &slots {
+                    if dur > 0 {
+                        self.tracer
+                            .span_at(SpanKind::EvalUnit, plan_ns + start, dur, lane);
+                    }
+                }
+                (eval_work_ns(&p.output.stats, &self.cost), plan_ns, makespan)
+            }
+            Err(_) => (0, 0, 0),
+        };
+        // Close the Eval span over the *critical path*: planning is
+        // serial, the unit makespan is what a `jobs`-wide pool needs.
+        // The billed work (`server_ns`) is still the full sum.
+        self.tracer
+            .close_leaf(span, Stage::Eval, plan_ns + eval_makespan);
+        let out = par?.output;
+        server_ns += eval_ns;
+
+        // Prepare every library serially: placement order and the
+        // left-to-right extern fold are semantically ordered ("all
+        // definitions of variables must be made in the library furthest
+        // downstream"), and both are cheap. `layout_symbols` yields
+        // each library's final export addresses from layout alone, so
+        // the expensive part — the links — can run concurrently below.
+        let mut externs: HashMap<String, u32> = HashMap::new();
+        let mut prepared = Vec::with_capacity(out.libraries.len());
+        let mut seen_keys = std::collections::HashSet::new();
+        for lib in &out.libraries {
+            let mut p = self.prepare_library(lib, &externs)?;
+            if p.work.is_some() && !seen_keys.insert(p.image_key) {
+                // Duplicate image key within this request: the first
+                // occurrence links it; this one reuses the cached image
+                // at zero cost (as the sequential fast path would).
+                p.work = None;
+            }
+            for (s, a) in &p.symbols {
+                externs.entry(s.clone()).or_insert(*a);
+            }
+            prepared.push(p);
+        }
+
+        // Link whatever wasn't cached, concurrently: workers claim
+        // items off a shared cursor and coalesce through the
+        // single-flight image cache. Worker threads carry no
+        // per-request trace state, so the work is metered onto the
+        // request timeline afterwards, as sibling lane spans.
+        let work: Vec<(usize, ObjectFile, LinkOptions, ContentHash)> = prepared
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, p)| p.work.take().map(|(obj, opts)| (i, obj, opts, p.image_key)))
+            .collect();
+        let mut link_ns = vec![0u64; prepared.len()];
+        if !work.is_empty() {
+            let cursor = AtomicUsize::new(0);
+            let results: Mutex<Vec<(usize, Result<u64, OmosError>)>> =
+                Mutex::new(Vec::with_capacity(work.len()));
+            std::thread::scope(|s| {
+                for _ in 0..jobs.min(work.len()) {
+                    s.spawn(|| loop {
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((idx, obj, opts, image_key)) = work.get(at) else {
+                            break;
+                        };
+                        let r = self.link_prepared(obj, opts, *image_key).map(|(_, ns)| ns);
+                        lock(&results).push((*idx, r));
+                    });
+                }
+            });
+            let mut results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+            // Surface the first error in *library order*, not
+            // completion order, so failures match the sequential path.
+            results.sort_by_key(|(i, _)| *i);
+            for (idx, r) in results {
+                link_ns[idx] = r?;
+            }
+        }
+        let (slots, link_makespan) = schedule_independent(&link_ns, jobs);
+        for (i, &(start, lane)) in slots.iter().enumerate() {
+            if link_ns[i] > 0 {
+                self.tracer.span_at(SpanKind::Link, start, link_ns[i], lane);
+                self.tracer.note(Stage::Link, link_ns[i]);
+            }
+        }
+        self.tracer.advance(link_makespan);
+        server_ns += link_ns.iter().sum::<u64>();
+        let libraries: Vec<Arc<CachedImage>> = prepared
+            .iter()
+            .map(|p| match &p.cached {
+                Some(img) => Arc::clone(img),
+                None => self
+                    .images
+                    .get(p.image_key)
+                    .expect("linked (or deduped) just above"),
+            })
+            .collect();
+
+        // Link the client against the placed libraries (single-flight,
+        // on the request thread: the address-constraint solve and the
+        // program link stay serialized).
+        let (text_base, data_base) = client_bases(&out.constraints);
+        let image_key = {
+            let mut k = out.module.content_hash().with_str("program");
+            for l in &libraries {
+                k = k.combine(l.key);
+            }
+            k.with_u64(u64::from(text_base))
+                .with_u64(u64::from(data_base))
+        };
+        let (program, prog_ns) = match self.images.get(image_key) {
+            Some(img) => (img, 0),
+            None => {
+                self.build_program(&out.module, image_key, key, text_base, data_base, &externs)?
+            }
+        };
+        server_ns += prog_ns;
+
+        self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
+        let latency_ns =
+            self.cost.server_cached_request_ns + plan_ns + eval_makespan + link_makespan + prog_ns;
+        let reply = InstantiateReply {
+            program,
+            libraries,
+            server_ns,
+            latency_ns,
+            cache_hit: false,
+            req: 0, // attributed by `request`
+        };
+        self.cache_reply(key, &reply, ctx.gen, out.deps, root);
+        Ok(reply)
+    }
+
+    /// Caches a freshly built reply under its blueprint key. The
+    /// dependency record is the evaluator's own (every path the
+    /// evaluation resolved), plus the root path the request named.
+    fn cache_reply(
+        &self,
+        key: ContentHash,
+        reply: &InstantiateReply,
+        gen: u64,
+        mut deps: BTreeSet<String>,
+        root: Option<&str>,
+    ) {
+        if let Some(p) = root {
+            deps.insert(p.to_string());
+        }
         self.reply_cache.insert(
             key,
             ReplyEntry {
                 reply: reply.clone(),
-                gen: ctx.gen,
-                deps: Arc::new(ctx.into_deps()),
+                gen,
+                deps: Arc::new(deps),
             },
         );
-        Ok(reply)
     }
 
     /// Links the client program image (single-flight per image key:
@@ -687,6 +899,115 @@ impl Omos {
         result
     }
 
+    /// Places one library and computes its planned export map
+    /// *without linking*: [`layout_symbols`] derives the final
+    /// addresses from layout alone (the linker's own layout pass), so
+    /// downstream libraries' extern folds and image keys are available
+    /// before any link has run — which is what frees the links
+    /// themselves to run concurrently.
+    fn prepare_library(
+        &self,
+        lib: &LibraryUse,
+        externs: &HashMap<String, u32>,
+    ) -> Result<PreparedLib, OmosError> {
+        let obj = lib.module.materialize().map_err(OmosError::Obj)?;
+        let text_size = obj.size_of_kind(SectionKind::Text) + obj.size_of_kind(SectionKind::RoData);
+        let data_size = obj.size_of_kind(SectionKind::Data) + obj.size_of_kind(SectionKind::Bss);
+
+        let mut segments = Vec::new();
+        let text_pref = pref_for(&lib.constraints, RegionClass::Text);
+        let data_pref = pref_for(&lib.constraints, RegionClass::Data);
+        segments.push(SegmentRequest {
+            class: RegionClass::Text,
+            size: round_page(text_size.max(1)),
+            align: 4096,
+            preferred: text_pref,
+        });
+        segments.push(SegmentRequest {
+            class: RegionClass::Data,
+            size: round_page(data_size.max(1)),
+            align: 4096,
+            preferred: data_pref,
+        });
+        let span = self.tracer.open(SpanKind::Placement);
+        let placement = self.solver().place(
+            &PlacementRequest {
+                name: lib.name.clone(),
+                key: lib.key.0,
+                segments,
+            },
+            &[],
+        );
+        let place_ns = placement
+            .as_ref()
+            .map_or(0, |p| p.allocations.len() as u64 * self.cost.lookup_ns);
+        self.tracer.close_leaf(span, Stage::Placement, place_ns);
+        let placement = placement?;
+        let text_base = placement.allocations[0].base as u32;
+        let data_base = placement.allocations[1].base as u32;
+
+        let mut image_key = lib
+            .key
+            .with_str("library")
+            .with_u64(u64::from(text_base))
+            .with_u64(u64::from(data_base));
+        {
+            let mut ext: Vec<(&String, &u32)> = externs.iter().collect();
+            ext.sort();
+            for (name, addr) in ext {
+                image_key = image_key.with_str(name).with_u64(u64::from(*addr));
+            }
+        }
+        if let Some(img) = self.images.get(image_key) {
+            let symbols = img.image.symbols.clone();
+            return Ok(PreparedLib {
+                image_key,
+                symbols,
+                cached: Some(img),
+                work: None,
+            });
+        }
+        let mut opts = LinkOptions::library(&lib.name, text_base, data_base);
+        opts.externs = externs.clone();
+        let symbols = layout_symbols(std::slice::from_ref(&obj), &opts)?;
+        Ok(PreparedLib {
+            image_key,
+            symbols,
+            cached: None,
+            work: Some((obj, opts)),
+        })
+    }
+
+    /// Links one prepared library image (single-flight per image key).
+    /// Runs on link worker threads, where per-request trace state is
+    /// absent — the caller meters the returned work onto the request
+    /// timeline instead.
+    fn link_prepared(
+        &self,
+        obj: &ObjectFile,
+        opts: &LinkOptions,
+        image_key: ContentHash,
+    ) -> Result<(Arc<CachedImage>, u64), OmosError> {
+        let (result, _led) = self.image_flight.run(image_key, || {
+            if let Some(img) = self.images.get(image_key) {
+                return Ok((img, 0));
+            }
+            let linked = link(std::slice::from_ref(obj), opts)?;
+            let ns = link_work_ns(&linked.stats, &self.cost);
+            self.counters
+                .libraries_built
+                .fetch_add(1, Ordering::Relaxed);
+            let img = self.images.insert(CachedImage {
+                key: image_key,
+                frames: self.framed(&linked.image),
+                image: linked.image,
+                link_stats: linked.stats,
+            });
+            Ok((img, ns))
+        });
+        result
+    }
+
     /// Registers (or finds) a `lib-dynamic` implementation.
     fn register_dynamic(&self, key: ContentHash, module: &Module) -> u32 {
         let mut keys = lock(&self.dynamic_keys);
@@ -777,59 +1098,32 @@ impl LintContext for NamespaceLint<'_> {
 }
 
 /// Request-local [`EvalContext`]: resolves through the shared
-/// namespace, records every path the evaluation depends on, and reads
-/// and writes the server's dependency-tracked eval cache.
+/// namespace and reads/writes the server's dependency-tracked eval
+/// cache.
 ///
-/// Dependencies are tracked with a *scope stack* mirroring the
-/// evaluator's recursion: `cache_get` (miss) opens a subtree scope,
-/// the matching `cache_put` closes it — the popped set is exactly that
-/// subtree's dependency record, and it folds into the parent scope. A
-/// cache hit folds the stored entry's record in instead. This keeps
-/// eval-cache entries *precise*: a subtree shared by two programs does
-/// not drag one program's private dependencies into the other's reply.
+/// Dependency *recording* lives in the evaluator itself — it owns the
+/// subtree scope stack and hands `cache_put` each cached subtree's
+/// precise record (a subtree shared by two programs does not drag one
+/// program's private dependencies into the other's reply). That keeps
+/// this context `&self`-safe, so the parallel executor's worker
+/// threads can share one instance without locking.
 struct ReqCtx<'a> {
     server: &'a Omos,
-    /// `scopes[0]` is the request's own record; deeper entries belong
-    /// to subtrees currently being evaluated.
-    scopes: Vec<BTreeSet<String>>,
     /// Namespace generation when the request started.
     gen: u64,
 }
 
 impl<'a> ReqCtx<'a> {
-    fn new(server: &'a Omos, root: Option<&str>) -> ReqCtx<'a> {
-        let mut deps = BTreeSet::new();
-        if let Some(p) = root {
-            deps.insert(p.to_string());
-        }
+    fn new(server: &'a Omos) -> ReqCtx<'a> {
         ReqCtx {
             server,
-            scopes: vec![deps],
             gen: server.namespace.generation(),
         }
-    }
-
-    fn record(&mut self, path: &str) {
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(path.to_string());
-    }
-
-    /// The request's full dependency record (folds any scopes left open
-    /// by an aborted evaluation).
-    fn into_deps(self) -> BTreeSet<String> {
-        let mut all = BTreeSet::new();
-        for s in self.scopes {
-            all.extend(s);
-        }
-        all
     }
 }
 
 impl EvalContext for ReqCtx<'_> {
-    fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
-        self.record(path);
+    fn resolve(&self, path: &str) -> Result<ResolvedNode, EvalError> {
         match self.server.namespace.lookup(path) {
             Some(Entry::Object(o)) => Ok(ResolvedNode::Object(o)),
             Some(Entry::Meta(m)) => Ok(ResolvedNode::Meta((*m).clone())),
@@ -837,7 +1131,7 @@ impl EvalContext for ReqCtx<'_> {
         }
     }
 
-    fn cache_get(&mut self, key: ContentHash) -> Option<Module> {
+    fn cache_get(&self, key: ContentHash) -> Option<CachedEval> {
         match self.server.eval_cache.get(&key) {
             Some(entry)
                 if !self
@@ -846,14 +1140,10 @@ impl EvalContext for ReqCtx<'_> {
                     .any_touched_since(entry.deps.iter(), entry.gen) =>
             {
                 self.server.tracer.probe(CacheKind::Eval, ProbeOutcome::Hit);
-                // A hit stands on the entry's own dependencies: fold
-                // them into the enclosing scope so the reply
-                // invalidates when they change.
-                let top = self.scopes.last_mut().expect("scope stack never empty");
-                for d in entry.deps.iter() {
-                    top.insert(d.clone());
-                }
-                Some(entry.module)
+                Some(CachedEval {
+                    module: entry.module,
+                    deps: entry.deps,
+                })
             }
             Some(_) => {
                 self.server.eval_cache.remove(&key);
@@ -863,45 +1153,101 @@ impl EvalContext for ReqCtx<'_> {
                 self.server
                     .tracer
                     .evict(CacheKind::Eval, EvictReason::Invalidated, 1);
-                self.scopes.push(BTreeSet::new());
                 None
             }
             None => {
                 self.server
                     .tracer
                     .probe(CacheKind::Eval, ProbeOutcome::Miss);
-                self.scopes.push(BTreeSet::new());
                 None
             }
         }
     }
 
-    fn cache_put(&mut self, key: ContentHash, module: &Module) {
-        // Close the scope this subtree's cache_get opened: the popped
-        // set is precisely what the subtree resolved.
-        let subtree = self.scopes.pop().expect("cache_put pairs with cache_get");
-        let deps = Arc::new(subtree);
+    fn cache_put(&self, key: ContentHash, module: &Module, deps: &Arc<BTreeSet<String>>) {
         self.server.eval_cache.insert(
             key,
             EvalEntry {
                 module: module.clone(),
-                deps: Arc::clone(&deps),
+                deps: Arc::clone(deps),
                 gen: self.gen,
             },
         );
-        let top = self.scopes.last_mut().expect("scope stack never empty");
-        for d in deps.iter() {
-            top.insert(d.clone());
-        }
     }
 
-    fn register_dynamic_impl(
-        &mut self,
-        key: ContentHash,
-        module: &Module,
-    ) -> Result<u32, EvalError> {
+    fn register_dynamic_impl(&self, key: ContentHash, module: &Module) -> Result<u32, EvalError> {
         Ok(self.server.register_dynamic(key, module))
     }
+}
+
+/// One library readied for the concurrent link phase: placed, keyed,
+/// and with its planned export map already derived from layout.
+struct PreparedLib {
+    image_key: ContentHash,
+    /// Export name → final address (from the cached image or from
+    /// [`layout_symbols`]); folded into downstream externs.
+    symbols: HashMap<String, u32>,
+    /// Already in the image cache (no link needed).
+    cached: Option<Arc<CachedImage>>,
+    /// Needs a link: the materialized object and the bound options.
+    work: Option<(ObjectFile, LinkOptions)>,
+}
+
+/// Deterministic greedy list schedule of the work-unit DAG onto
+/// `lanes` identical simulated workers: units in plan (ordinal) order,
+/// each placed on the lane that lets it start earliest, ties to the
+/// lowest lane. Units are costed at their simulated work (merge steps
+/// and source compiles); pure view shuffles are free. Returns per-unit
+/// `(start, lane, dur)` — lanes 1-based, for span `worker` ids — and
+/// the makespan: the simulated critical path of the evaluation phase.
+fn schedule_units(
+    units: &[UnitReport],
+    cost: &CostModel,
+    lanes: usize,
+) -> (Vec<(u64, u16, u64)>, u64) {
+    let lanes = lanes.max(1);
+    let mut lane_free = vec![0u64; lanes];
+    let mut finish = vec![0u64; units.len()];
+    let mut placed = Vec::with_capacity(units.len());
+    let mut makespan = 0;
+    for (i, u) in units.iter().enumerate() {
+        let dur = u.merges * cost.server_merge_ns + u.source_compiles * cost.server_compile_ns;
+        let ready = u.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+        let mut best = 0;
+        for l in 1..lanes {
+            if lane_free[l].max(ready) < lane_free[best].max(ready) {
+                best = l;
+            }
+        }
+        let start = lane_free[best].max(ready);
+        finish[i] = start + dur;
+        lane_free[best] = finish[i];
+        makespan = makespan.max(finish[i]);
+        placed.push((start, (best + 1) as u16, dur));
+    }
+    (placed, makespan)
+}
+
+/// [`schedule_units`] for independent items (the library links): pack
+/// each, in order, onto the least-loaded lane.
+fn schedule_independent(durs: &[u64], lanes: usize) -> (Vec<(u64, u16)>, u64) {
+    let lanes = lanes.max(1);
+    let mut lane_free = vec![0u64; lanes];
+    let mut placed = Vec::with_capacity(durs.len());
+    let mut makespan = 0;
+    for &dur in durs {
+        let mut best = 0;
+        for l in 1..lanes {
+            if lane_free[l] < lane_free[best] {
+                best = l;
+            }
+        }
+        let start = lane_free[best];
+        lane_free[best] = start + dur;
+        makespan = makespan.max(start + dur);
+        placed.push((start, (best + 1) as u16));
+    }
+    (placed, makespan)
 }
 
 fn round_page(v: u64) -> u64 {
@@ -1186,11 +1532,11 @@ impl Omos {
     ) -> Result<DynamicLoadReply, OmosError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let _guard = self.tracer.begin_request(SpanKind::Request);
-        let mut ctx = ReqCtx::new(self, None);
+        let ctx = ReqCtx::new(self);
         let mut server_ns = self.cost.server_cached_request_ns;
         self.tracer.advance(self.cost.server_cached_request_ns);
         let span = self.tracer.open(SpanKind::Eval);
-        let out = eval_blueprint(bp, &mut ctx);
+        let out = eval_blueprint(bp, &ctx);
         let eval_ns = out
             .as_ref()
             .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
@@ -1305,11 +1651,11 @@ impl Omos {
             Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
             None => return Err(OmosError::NoSuchName(path.to_string())),
         };
-        let mut ctx = ReqCtx::new(self, Some(path));
+        let ctx = ReqCtx::new(self);
         let mut server_ns = self.cost.server_cached_request_ns;
         self.tracer.advance(self.cost.server_cached_request_ns);
         let span = self.tracer.open(SpanKind::Eval);
-        let out = eval_blueprint(&bp, &mut ctx);
+        let out = eval_blueprint(&bp, &ctx);
         let eval_ns = out
             .as_ref()
             .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
@@ -1361,6 +1707,7 @@ impl Omos {
                 program,
                 libraries,
                 server_ns,
+                latency_ns: server_ns,
                 cache_hit: false,
                 req: guard.req(),
             },

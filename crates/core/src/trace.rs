@@ -218,6 +218,8 @@ pub enum SpanKind {
     Ipc,
     /// A `dyn_lookup` request.
     DynLookup,
+    /// One work unit of a parallel evaluation (runs on a worker lane).
+    EvalUnit,
     /// A cache probe (instant).
     CacheProbe(CacheKind, ProbeOutcome),
     /// A cache eviction (instant).
@@ -240,6 +242,7 @@ impl SpanKind {
             SpanKind::Map => "map",
             SpanKind::Ipc => "ipc",
             SpanKind::DynLookup => "dyn-lookup",
+            SpanKind::EvalUnit => "eval-unit",
             SpanKind::CacheProbe(..) => "cache-probe",
             SpanKind::Evict(..) => "evict",
             SpanKind::Flight(..) => "flight",
@@ -272,6 +275,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration, ns (0 for instants).
     pub dur_ns: u64,
+    /// Simulated worker lane (0 = the request's own thread; parallel
+    /// evaluation/link units carry their scheduled lane, 1-based).
+    pub worker: u16,
 }
 
 // --- Ring buffer -----------------------------------------------------------------
@@ -569,6 +575,7 @@ impl Drop for ReqGuard<'_> {
                 depth: 0,
                 start_ns: 0,
                 dur_ns: state.cursor_ns,
+                worker: 0,
             });
             self.tracer.hist(Stage::Request).record(state.cursor_ns);
         }
@@ -720,6 +727,7 @@ impl Tracer {
             depth: span.depth,
             start_ns: span.start_ns,
             dur_ns: end.saturating_sub(span.start_ns),
+            worker: 0,
         });
     }
 
@@ -741,6 +749,7 @@ impl Tracer {
             depth: span.depth,
             start_ns: span.start_ns,
             dur_ns: ns,
+            worker: 0,
         });
     }
 
@@ -749,6 +758,40 @@ impl Tracer {
     pub fn advance(&self, ns: u64) {
         if self.enabled() {
             self.with_state(|s| s.cursor_ns += ns);
+        }
+    }
+
+    /// Records a span at `cursor + start_offset_ns` on worker lane
+    /// `worker` *without* moving the cursor or touching any histogram.
+    /// Parallel evaluation lays its concurrently-executed units out
+    /// this way: the cursor advances once by the schedule's makespan
+    /// (critical-path billing), while each unit's span shows where on
+    /// which lane it ran.
+    pub fn span_at(&self, kind: SpanKind, start_offset_ns: u64, dur_ns: u64, worker: u16) {
+        if !self.enabled() {
+            return;
+        }
+        let at = self.with_state(|s| (s.req, s.cursor_ns, s.depth));
+        if let Some((req, cursor, depth)) = at {
+            self.push_record(SpanRecord {
+                req,
+                seq: 0,
+                kind,
+                depth,
+                start_ns: cursor + start_offset_ns,
+                dur_ns,
+                worker,
+            });
+        }
+    }
+
+    /// Records `ns` into `stage`'s histogram without a span or cursor
+    /// movement. The parallel path uses this to keep per-stage
+    /// histograms identical to sequential execution while the timeline
+    /// shows overlapped spans.
+    pub fn note(&self, stage: Stage, ns: u64) {
+        if self.enabled() {
+            self.hist(stage).record(ns);
         }
     }
 
@@ -763,6 +806,7 @@ impl Tracer {
                 depth,
                 start_ns: cursor,
                 dur_ns: 0,
+                worker: 0,
             });
         }
     }
@@ -864,6 +908,7 @@ impl Tracer {
             depth: 0,
             start_ns: 0,
             dur_ns: ns,
+            worker: 0,
         });
     }
 
@@ -936,11 +981,14 @@ fn span_line(s: &SpanRecord) -> String {
 pub fn render_tree(spans: &[SpanRecord]) -> String {
     let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
     // Parents start no later than their children and sit at lower
-    // depth; instants order by timeline position then record order.
+    // depth; parallel siblings order by start cursor then worker lane
+    // (not completion order), so output is stable across runs; ties
+    // fall back to record order.
     ordered.sort_by(|a, b| {
         a.start_ns
             .cmp(&b.start_ns)
             .then(a.depth.cmp(&b.depth))
+            .then(a.worker.cmp(&b.worker))
             .then(a.seq.cmp(&b.seq))
     });
     let mut out = String::new();
@@ -951,7 +999,12 @@ pub fn render_tree(spans: &[SpanRecord]) -> String {
         } else {
             String::new()
         };
-        let _ = writeln!(out, "{indent}{}{at}", span_line(s));
+        let lane = if s.worker > 0 {
+            format!(" [w{}]", s.worker)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{indent}{}{lane}{at}", span_line(s));
     }
     out
 }
@@ -1017,11 +1070,12 @@ pub fn chrome_json(spans: &[SpanRecord]) -> String {
             let _ = write!(
                 out,
                 "  {{\"name\": \"{}\", \"cat\": \"omos\", \"ph\": \"X\", \"ts\": {ts:.3}, \
-                 \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"seq\": {}}}}}",
+                 \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"seq\": {}, \"worker\": {}}}}}",
                 chrome_name(s),
                 s.dur_ns as f64 / 1e3,
                 s.req,
-                s.seq
+                s.seq,
+                s.worker
             );
         }
     }

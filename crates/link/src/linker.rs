@@ -127,29 +127,49 @@ fn align_up(v: u64, a: u64) -> u64 {
     (v + a - 1) & !(a - 1)
 }
 
-/// Links `objects` into a single image.
-///
-/// The classic pipeline: per-object local-symbol scoping, global symbol
-/// resolution (strong/weak/common rules), segment layout (text, rodata,
-/// data, BSS + commons), then relocation.
-pub fn link(objects: &[ObjectFile], opts: &LinkOptions) -> LinkResult<LinkOutput> {
-    let mut stats = LinkStats {
-        objects: objects.len() as u64,
-        ..LinkStats::default()
-    };
+/// The address plan for a link: where every section and every defined
+/// global lands. Computed by [`compute_layout`] from symbol tables and
+/// section sizes alone — no section bytes are read — so it is available
+/// before (and independently of) relocation.
+struct Layout {
+    /// Per-object, per-section offset within its segment kind.
+    sec_off: Vec<Vec<u64>>,
+    text_base: u64,
+    ro_base: u64,
+    data_base: u64,
+    bss_base: u64,
+    bss_size: u64,
+    /// Global name -> virtual address (the image's export map).
+    addr_of: HashMap<String, u32>,
+    /// Non-local symbols processed during resolution.
+    symbols_resolved: u64,
+}
 
+impl Layout {
+    fn seg_base(&self, kind: SectionKind) -> u64 {
+        match kind {
+            SectionKind::Text => self.text_base,
+            SectionKind::RoData => self.ro_base,
+            SectionKind::Data => self.data_base,
+            SectionKind::Bss => self.bss_base,
+        }
+    }
+}
+
+/// Passes 1–3 of the link: global symbol resolution (strong/weak/common
+/// rules), segment layout, and symbol address assignment.
+fn compute_layout(objects: &[ObjectFile], opts: &LinkOptions) -> LinkResult<Layout> {
     // --- Pass 1: global symbol resolution (section-relative). -------------
-    // `placements[i][j]` will hold the virtual address of object i's
-    // section j once layout is done; symbols resolve through it.
+    let mut symbols_resolved = 0u64;
     let mut globals = SymbolTable::new();
-    // Global name -> (object index, original def) for Defined symbols.
+    // Global name -> (object index, section, offset) for Defined symbols.
     let mut global_homes: HashMap<String, (usize, usize, u64)> = HashMap::new();
     for (i, obj) in objects.iter().enumerate() {
         for sym in obj.symbols.iter() {
             if sym.binding == SymbolBinding::Local {
                 continue;
             }
-            stats.symbols_resolved += 1;
+            symbols_resolved += 1;
             // Track which object wins each Defined global: insert() applies
             // the strong/weak/common rules; afterwards, if this symbol's
             // def "won" (table now holds an identical def), record its home.
@@ -163,35 +183,30 @@ pub fn link(objects: &[ObjectFile], opts: &LinkOptions) -> LinkResult<LinkOutput
         }
     }
 
-    // --- Pass 2: layout. ---------------------------------------------------
+    // --- Pass 2: layout (sizes and alignment only). -----------------------
     let page = u64::from(opts.page_align);
-    let mut text_bytes = Vec::new();
-    let mut ro_bytes = Vec::new();
-    let mut data_bytes = Vec::new();
+    let mut text_len = 0u64;
+    let mut ro_len = 0u64;
+    let mut data_len = 0u64;
     let mut bss_size = 0u64;
-
-    // Per-object, per-section offset within its segment kind.
     let mut sec_off: Vec<Vec<u64>> = Vec::with_capacity(objects.len());
     for obj in objects {
         let mut offs = Vec::with_capacity(obj.sections.len());
         for sec in &obj.sections {
-            let buf = match sec.kind {
-                SectionKind::Text => &mut text_bytes,
-                SectionKind::RoData => &mut ro_bytes,
-                SectionKind::Data => &mut data_bytes,
+            let len = match sec.kind {
+                SectionKind::Text => &mut text_len,
+                SectionKind::RoData => &mut ro_len,
+                SectionKind::Data => &mut data_len,
                 SectionKind::Bss => {
                     bss_size = align_up(bss_size, sec.align.max(1));
-                    let off = bss_size;
+                    offs.push(bss_size);
                     bss_size += sec.size;
-                    offs.push(off);
                     continue;
                 }
             };
-            let aligned = align_up(buf.len() as u64, sec.align.max(1));
-            buf.resize(aligned as usize, 0);
+            let aligned = align_up(*len, sec.align.max(1));
             offs.push(aligned);
-            buf.extend_from_slice(&sec.bytes);
-            stats.bytes_copied += sec.bytes.len() as u64;
+            *len = aligned + sec.bytes.len() as u64;
         }
         sec_off.push(offs);
     }
@@ -207,47 +222,101 @@ pub fn link(objects: &[ObjectFile], opts: &LinkOptions) -> LinkResult<LinkOutput
     }
 
     // Segment bases.
-    let text_base = u64::from(opts.text_base);
-    let ro_base = align_up(text_base + text_bytes.len() as u64, page);
-    let data_base = u64::from(opts.data_base);
-    let bss_base = align_up(data_base + data_bytes.len() as u64, 8);
-
-    let seg_base = |kind: SectionKind| -> u64 {
-        match kind {
-            SectionKind::Text => text_base,
-            SectionKind::RoData => ro_base,
-            SectionKind::Data => data_base,
-            SectionKind::Bss => bss_base,
-        }
+    let mut lay = Layout {
+        sec_off,
+        text_base: u64::from(opts.text_base),
+        ro_base: align_up(u64::from(opts.text_base) + text_len, page),
+        data_base: u64::from(opts.data_base),
+        bss_base: align_up(u64::from(opts.data_base) + data_len, 8),
+        bss_size,
+        addr_of: HashMap::new(),
+        symbols_resolved,
     };
 
-    // Virtual address of object i, section j.
-    let sec_addr = |i: usize, j: usize| -> u64 {
-        let kind = objects[i].sections[j].kind;
-        seg_base(kind) + sec_off[i][j]
-    };
-
-    // --- Pass 3: symbol addresses. ------------------------------------------
-    // Global map: name -> vaddr.
-    let mut addr_of: HashMap<String, u32> = HashMap::new();
+    // --- Pass 3: symbol addresses. ----------------------------------------
     for sym in globals.iter() {
         match sym.def {
             SymbolDef::Defined { .. } => {
                 let &(i, j, off) = global_homes.get(&sym.name).ok_or_else(|| {
                     LinkError::Reloc(format!("lost home of global `{}`", sym.name))
                 })?;
-                addr_of.insert(sym.name.clone(), (sec_addr(i, j) + off) as u32);
+                let base = lay.seg_base(objects[i].sections[j].kind);
+                let addr = (base + lay.sec_off[i][j] + off) as u32;
+                lay.addr_of.insert(sym.name.clone(), addr);
             }
             SymbolDef::Common { .. } => {
                 let rel = common_addr_rel[&sym.name];
-                addr_of.insert(sym.name.clone(), (bss_base + rel) as u32);
+                lay.addr_of
+                    .insert(sym.name.clone(), (lay.bss_base + rel) as u32);
             }
             SymbolDef::Absolute { value } => {
-                addr_of.insert(sym.name.clone(), value as u32);
+                lay.addr_of.insert(sym.name.clone(), value as u32);
             }
             SymbolDef::Undefined => {}
         }
     }
+    Ok(lay)
+}
+
+/// Computes the exported symbol map of a link — identical to
+/// [`link`]'s `image.symbols` — from layout alone, without copying
+/// section bytes or applying relocations. The parallel instantiation
+/// path uses this to bind downstream libraries' externs before the full
+/// link of this one has run (exports depend only on layout; externs
+/// only affect relocation).
+pub fn layout_symbols(
+    objects: &[ObjectFile],
+    opts: &LinkOptions,
+) -> LinkResult<HashMap<String, u32>> {
+    Ok(compute_layout(objects, opts)?.addr_of)
+}
+
+/// Links `objects` into a single image.
+///
+/// The classic pipeline: per-object local-symbol scoping, global symbol
+/// resolution (strong/weak/common rules), segment layout (text, rodata,
+/// data, BSS + commons), then relocation.
+pub fn link(objects: &[ObjectFile], opts: &LinkOptions) -> LinkResult<LinkOutput> {
+    let lay = compute_layout(objects, opts)?;
+    let mut stats = LinkStats {
+        objects: objects.len() as u64,
+        symbols_resolved: lay.symbols_resolved,
+        ..LinkStats::default()
+    };
+
+    // Copy section bytes to their laid-out offsets.
+    let mut text_bytes = Vec::new();
+    let mut ro_bytes = Vec::new();
+    let mut data_bytes = Vec::new();
+    for (i, obj) in objects.iter().enumerate() {
+        for (j, sec) in obj.sections.iter().enumerate() {
+            let buf = match sec.kind {
+                SectionKind::Text => &mut text_bytes,
+                SectionKind::RoData => &mut ro_bytes,
+                SectionKind::Data => &mut data_bytes,
+                SectionKind::Bss => continue,
+            };
+            // Offsets only grow, so this resize is pure zero padding.
+            buf.resize(lay.sec_off[i][j] as usize, 0);
+            buf.extend_from_slice(&sec.bytes);
+            stats.bytes_copied += sec.bytes.len() as u64;
+        }
+    }
+
+    let (text_base, ro_base, data_base, bss_base, bss_size) = (
+        lay.text_base,
+        lay.ro_base,
+        lay.data_base,
+        lay.bss_base,
+        lay.bss_size,
+    );
+    let addr_of = &lay.addr_of;
+
+    // Virtual address of object i, section j.
+    let sec_addr = |i: usize, j: usize| -> u64 {
+        let kind = objects[i].sections[j].kind;
+        lay.seg_base(kind) + lay.sec_off[i][j]
+    };
 
     // Per-object local maps: name -> vaddr.
     let mut locals: Vec<HashMap<&str, u32>> = Vec::with_capacity(objects.len());
@@ -401,7 +470,7 @@ pub fn link(objects: &[ObjectFile], opts: &LinkOptions) -> LinkResult<LinkOutput
     }
 
     // --- Pass 6: exports and entry. ---------------------------------------------
-    image.symbols = addr_of;
+    image.symbols = lay.addr_of;
     if let Some(entry_sym) = &opts.entry {
         let addr = image
             .symbols
@@ -727,6 +796,43 @@ _triple:    add r2, r1, r1
         assert_eq!(out.stats.relocs_applied, 2);
         assert!(out.stats.bytes_copied >= 16 + 4 + 8);
         assert!(out.stats.symbols_resolved >= 2);
+    }
+
+    #[test]
+    fn layout_symbols_matches_full_link_exports() {
+        // Defined globals across text/data/bss, a common, an absolute, and
+        // an extern-satisfied reference: the layout-only map must equal the
+        // full link's export map exactly (externs only affect relocation).
+        let mut a = assemble(
+            "a.o",
+            r#"
+            .text
+            .global _start
+_start:     call _helper
+            call _ext
+            li r2, _value
+            ld r1, [r2]
+            sys 0
+            .data
+            .global _value
+_value:     .word 7
+            .bss
+            .global _counter
+_counter:   .space 16
+            .comm _shared, 64
+            "#,
+        )
+        .unwrap();
+        a.symbols
+            .insert(Symbol::absolute("_IOBASE", 0xf000))
+            .unwrap();
+        let b = assemble("b.o", ".text\n.global _helper\n_helper: ret\n").unwrap();
+        let mut opts = LinkOptions::library("t", 0x0100_0000, 0x4100_0000);
+        opts.externs.insert("_ext".into(), 0x0200_0000);
+        let objects = [a, b];
+        let planned = layout_symbols(&objects, &opts).unwrap();
+        let linked = link(&objects, &opts).unwrap();
+        assert_eq!(planned, linked.image.symbols);
     }
 
     #[test]

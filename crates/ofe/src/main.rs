@@ -26,11 +26,14 @@
 //!                                  several files, `--jobs N` lints them
 //!                                  on N worker threads (reports stay in
 //!                                  input order)
-//! ofe trace BLUEPRINT [--chrome OUT.json]
+//! ofe trace [--eval-jobs N] BLUEPRINT [--chrome OUT.json]
 //!                                  instantiate the blueprint on an
 //!                                  in-process server and print the
-//!                                  request's span tree; --chrome also
-//!                                  writes a Chrome-trace-format export
+//!                                  request's span tree; --eval-jobs N
+//!                                  evaluates and links on N workers
+//!                                  (parallel units show as sibling
+//!                                  spans tagged [w<lane>]); --chrome
+//!                                  also writes a Chrome-trace export
 //! ofe stats [FILE]                 per-stage latency percentiles and
 //!                                  trace counters from an mcbench
 //!                                  report (default BENCH_CONCURRENCY.json)
@@ -165,11 +168,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 files => lint_batch(files, jobs),
             }
         }
-        "trace" => match rest {
-            [file] => trace_blueprint(file, None),
-            [file, flag, out] if flag == "--chrome" => trace_blueprint(file, Some(out)),
-            _ => Err("trace BLUEPRINT [--chrome OUT.json]".into()),
-        },
+        "trace" => {
+            let (jobs, rest) = parse_flagged_jobs(rest, "--eval-jobs", "trace")?;
+            match rest {
+                [file] => trace_blueprint(file, jobs, None),
+                [file, flag, out] if flag == "--chrome" => trace_blueprint(file, jobs, Some(out)),
+                _ => Err("trace [--eval-jobs N] BLUEPRINT [--chrome OUT.json]".into()),
+            }
+        }
         "stats" => match rest {
             [] => stats_report("BENCH_CONCURRENCY.json"),
             [file] => stats_report(file),
@@ -183,8 +189,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
 /// in-process server, instantiates it once, and prints the request's
 /// span tree. The client-side mapping cost is recorded against the same
 /// request, so the tree covers the full instantiate path: eval, link,
-/// placement, framing, and map.
-fn trace_blueprint(file: &str, chrome_out: Option<&str>) -> Result<String, String> {
+/// placement, framing, and map. With `jobs > 1` the server evaluates
+/// and links on that many workers; parallel work units render as
+/// sibling spans tagged with their worker lane.
+fn trace_blueprint(file: &str, jobs: usize, chrome_out: Option<&str>) -> Result<String, String> {
     use omos_core::trace::{chrome_json, render_tree, Stage};
     use omos_core::Omos;
     use omos_os::ipc::Transport;
@@ -199,6 +207,7 @@ fn trace_blueprint(file: &str, chrome_out: Option<&str>) -> Result<String, Strin
 
     let cost = CostModel::hpux();
     let server = Omos::new(cost, Transport::SysVMsg);
+    server.set_eval_jobs(jobs);
     let mut seen = std::collections::BTreeSet::new();
     bind_operands(&server, &base, &bp.root, &mut seen)?;
 
@@ -217,7 +226,7 @@ fn trace_blueprint(file: &str, chrome_out: Option<&str>) -> Result<String, Strin
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "request {} ({}, server {} ns, {} pages)",
+        "request {} ({}, server {} ns{}, {} pages)",
         reply.req,
         if reply.cache_hit {
             "cache hit"
@@ -225,6 +234,11 @@ fn trace_blueprint(file: &str, chrome_out: Option<&str>) -> Result<String, Strin
             "built"
         },
         reply.server_ns,
+        if jobs > 1 {
+            format!(", critical path {} ns at {jobs} jobs", reply.latency_ns)
+        } else {
+            String::new()
+        },
         reply.total_pages()
     );
     report.push_str(&render_tree(&spans));
@@ -383,12 +397,22 @@ fn lint(file: &str) -> Result<String, String> {
 
 /// Splits a leading `--jobs N` off the argument list.
 fn parse_jobs(rest: &[String]) -> Result<(usize, &[String]), String> {
-    if rest.first().map(String::as_str) == Some("--jobs") {
+    parse_flagged_jobs(rest, "--jobs", "lint")
+}
+
+/// Splits a leading `FLAG N` worker count off the argument list;
+/// absent, the count is 1.
+fn parse_flagged_jobs<'a>(
+    rest: &'a [String],
+    flag: &str,
+    cmd: &str,
+) -> Result<(usize, &'a [String]), String> {
+    if rest.first().map(String::as_str) == Some(flag) {
         let n = rest
             .get(1)
-            .ok_or("lint --jobs N BLUEPRINT...")?
+            .ok_or(format!("{cmd} {flag} N ..."))?
             .parse::<usize>()
-            .map_err(|_| "lint --jobs N: N must be a positive number".to_string())?;
+            .map_err(|_| format!("{cmd} {flag} N: N must be a positive number"))?;
         Ok((n.max(1), &rest[2..]))
     } else {
         Ok((1, rest))

@@ -10,25 +10,27 @@
 //! a view (observed through the global materialize counter) and is
 //! measurably cheaper than evaluation on byte-heavy inputs.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
 use omos::analysis::{analyze_blueprint, Diagnostic, LintContext, LintResolved, Severity};
-use omos::blueprint::eval::{EvalContext, ResolvedNode};
+use omos::blueprint::eval::{CachedEval, EvalContext, ResolvedNode};
 use omos::blueprint::{eval_blueprint, Blueprint, EvalError};
 use omos::isa::assemble;
 use omos::module::Module;
 use omos::obj::view::materialize_count;
 use omos::obj::{ContentHash, ObjError, ObjectFile, Section, SectionKind, Symbol};
 
-/// One world serving both the evaluator and the analyzer.
+/// One world serving both the evaluator and the analyzer. The eval
+/// side is `&self` (shared with parallel executor workers), so its
+/// mutable state sits behind mutexes.
 #[derive(Default)]
 struct World {
     objects: HashMap<String, Arc<ObjectFile>>,
-    cache: HashMap<ContentHash, Module>,
-    dynamic: Vec<ContentHash>,
+    cache: Mutex<HashMap<ContentHash, CachedEval>>,
+    dynamic: Mutex<Vec<ContentHash>>,
 }
 
 impl World {
@@ -41,31 +43,34 @@ impl World {
 }
 
 impl EvalContext for World {
-    fn resolve(&mut self, path: &str) -> Result<ResolvedNode, EvalError> {
+    fn resolve(&self, path: &str) -> Result<ResolvedNode, EvalError> {
         match self.objects.get(path) {
             Some(o) => Ok(ResolvedNode::Object(Arc::clone(o))),
             None => Err(EvalError::Resolve(path.to_string())),
         }
     }
 
-    fn cache_get(&mut self, key: ContentHash) -> Option<Module> {
-        self.cache.get(&key).cloned()
+    fn cache_get(&self, key: ContentHash) -> Option<CachedEval> {
+        self.cache.lock().unwrap().get(&key).cloned()
     }
 
-    fn cache_put(&mut self, key: ContentHash, module: &Module) {
-        self.cache.insert(key, module.clone());
+    fn cache_put(&self, key: ContentHash, module: &Module, deps: &Arc<BTreeSet<String>>) {
+        self.cache.lock().unwrap().insert(
+            key,
+            CachedEval {
+                module: module.clone(),
+                deps: Arc::clone(deps),
+            },
+        );
     }
 
-    fn register_dynamic_impl(
-        &mut self,
-        key: ContentHash,
-        _module: &Module,
-    ) -> Result<u32, EvalError> {
-        if let Some(i) = self.dynamic.iter().position(|k| *k == key) {
+    fn register_dynamic_impl(&self, key: ContentHash, _module: &Module) -> Result<u32, EvalError> {
+        let mut dynamic = self.dynamic.lock().unwrap();
+        if let Some(i) = dynamic.iter().position(|k| *k == key) {
             return Ok(i as u32);
         }
-        self.dynamic.push(key);
-        Ok(self.dynamic.len() as u32 - 1)
+        dynamic.push(key);
+        Ok(dynamic.len() as u32 - 1)
     }
 }
 
@@ -144,7 +149,7 @@ proptest! {
             .filter(|d| d.severity == Severity::Error && d.code != "OM002")
             .collect();
         if blocking.is_empty() {
-            let out = eval_blueprint(&bp, &mut w);
+            let out = eval_blueprint(&bp, &w);
             prop_assert!(
                 out.is_ok(),
                 "analyzer found no errors but eval failed: {:?}",
@@ -160,7 +165,7 @@ proptest! {
         let mut w = world();
         let diags = analyze_blueprint(&bp, &mut w);
         if error_codes(&diags) == ["OM003"] {
-            let out = eval_blueprint(&bp, &mut w);
+            let out = eval_blueprint(&bp, &w);
             prop_assert!(
                 matches!(
                     out,
@@ -178,7 +183,7 @@ proptest! {
         let mut w = world();
         let diags = analyze_blueprint(&bp, &mut w);
         if error_codes(&diags) == ["OM001"] {
-            let out = eval_blueprint(&bp, &mut w);
+            let out = eval_blueprint(&bp, &w);
             prop_assert!(
                 matches!(out, Err(EvalError::Resolve(_))),
                 "analyzer says unresolved path, eval says {out:?}"
@@ -230,7 +235,7 @@ fn lint_never_materializes_and_eval_does() {
         before,
         "analysis must not materialize any view"
     );
-    eval_blueprint(&bp, &mut w).unwrap();
+    eval_blueprint(&bp, &w).unwrap();
     assert!(
         materialize_count() > before,
         "evaluation of the same blueprint does materialize"
@@ -245,7 +250,7 @@ fn lint_is_cheaper_than_eval() {
     let lint_time = t0.elapsed();
     assert!(diags.is_empty());
     let t1 = std::time::Instant::now();
-    eval_blueprint(&bp, &mut w).unwrap();
+    eval_blueprint(&bp, &w).unwrap();
     let eval_time = t1.elapsed();
     assert!(
         lint_time < eval_time,

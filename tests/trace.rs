@@ -217,6 +217,123 @@ fn ring_bounds_retained_spans_under_overflow() {
     assert_eq!(min_seq, 10 * 21 - CAPACITY as u64 + 1);
 }
 
+/// A wide fan-out request: `n` independent constraint-placed libraries
+/// under one client, so a parallel schedule has real sibling overlap.
+fn fanout_world(n: usize) -> Omos {
+    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    s.namespace.bind_object(
+        "/obj/main.o",
+        assemble("main.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+    );
+    let mut uses = String::new();
+    for i in 0..n {
+        for half in ["a", "b"] {
+            s.namespace.bind_object(
+                &format!("/obj/f{i}{half}.o"),
+                assemble(
+                    &format!("f{i}{half}.o"),
+                    &format!(".text\n.global _f{i}{half}\n_f{i}{half}: li r1, {i}\n ret\n"),
+                )
+                .unwrap(),
+            );
+        }
+        s.namespace
+            .bind_blueprint(
+                &format!("/lib/f{i}"),
+                &format!(
+                    "(constraint-list \"T\" {:#x} \"D\" {:#x})\n(merge /obj/f{i}a.o /obj/f{i}b.o)",
+                    0x0200_0000 + (i as u64) * 0x20_0000,
+                    0x4200_0000 + (i as u64) * 0x20_0000,
+                ),
+            )
+            .unwrap();
+        uses.push_str(&format!(" /lib/f{i}"));
+    }
+    s.namespace
+        .bind_blueprint("/bin/fan", &format!("(merge /obj/main.o{uses})"))
+        .unwrap();
+    s
+}
+
+/// Drops the timing payload from a rendered span line — the `(dur)`
+/// and `@ cursor` parts — keeping the indentation, the label, and the
+/// worker-lane tag: the parts the snapshot pins.
+fn normalize_line(line: &str) -> String {
+    let label = line
+        .split(" (")
+        .next()
+        .unwrap_or(line)
+        .split(" @ ")
+        .next()
+        .unwrap_or(line);
+    let lane = line
+        .find(" [w")
+        .map(|i| &line[i..i + line[i..].find(']').map_or(0, |j| j + 1)])
+        .unwrap_or("");
+    format!("{label}{lane}")
+}
+
+/// Satellite snapshot: a parallel request's sibling work-unit and link
+/// spans render in (start cursor, worker lane) order — never completion
+/// order — so the tree is byte-stable run over run.
+#[test]
+fn parallel_siblings_render_sorted_by_start_then_worker() {
+    let render = || {
+        let s = fanout_world(4);
+        s.set_eval_jobs(3);
+        let r = s.instantiate("/bin/fan").unwrap();
+        assert!(!r.cache_hit);
+        let snap = s.trace_snapshot();
+        omos::core::trace::render_tree(&snap.request_spans(r.req))
+    };
+
+    let tree = render();
+    assert_eq!(tree, render(), "parallel render is deterministic");
+
+    let normalized: Vec<String> = tree.lines().map(normalize_line).collect();
+    let mut expected = vec![
+        "request",
+        "  reply-cache probe: miss",
+        "  single-flight: leader",
+        "  reply-cache probe: miss",
+        "  eval",
+    ];
+    // One probe per planned node: 8 library objects, 4 library metas,
+    // the client object, and the client merge.
+    expected.extend(std::iter::repeat_n("    eval-cache probe: miss", 14));
+    expected.extend([
+        // The four library evals round-robin three lanes in ordinal
+        // order; the zero-work client merge emits no unit span.
+        "    eval-unit [w1]",
+        "    eval-unit [w2]",
+        "    eval-unit [w3]",
+        "    eval-unit [w1]",
+        // Serial prepare: placement and image-cache probe per library...
+        "  placement",
+        "  image-cache probe: miss",
+        "  placement",
+        "  image-cache probe: miss",
+        "  placement",
+        "  image-cache probe: miss",
+        "  placement",
+        "  image-cache probe: miss",
+        // ...then the links fan out over the lanes.
+        "  link [w1]",
+        "  link [w2]",
+        "  link [w3]",
+        "  link [w1]",
+        // Program: probe (twice: flight double-check), link, frame.
+        "  image-cache probe: miss",
+        "  image-cache probe: miss",
+        "  link",
+        "  frame",
+    ]);
+    assert_eq!(
+        normalized, expected,
+        "snapshot of the parallel span tree (timings stripped):\n{tree}"
+    );
+}
+
 // --- Property: arbitrary op sequences keep the span tree well formed ------------
 
 /// Interprets a fuzzer op sequence against a tracer inside one request,
