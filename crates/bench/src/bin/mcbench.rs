@@ -58,6 +58,19 @@ fn main() {
             cl.parallel.server_ns,
         );
     }
+    if let Some(wr) = &result.warm_restart {
+        eprintln!(
+            "warm restart ({}): first request {} ns restored vs {} ns cold \
+             ({:.2}x; checkpoint {} bytes, restore {} images, {} dropped)",
+            wr.program,
+            wr.restored_first_ns,
+            wr.cold_first_ns,
+            wr.speedup(),
+            wr.checkpoint_bytes,
+            wr.restored_images,
+            wr.restore_dropped,
+        );
+    }
     eprintln!(
         "{:>10} {:>9} {:>12} {:>12} {:>12}",
         "stage", "count", "p50_ns", "p95_ns", "p99_ns"

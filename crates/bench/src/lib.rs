@@ -18,7 +18,7 @@ pub mod report;
 pub mod workload;
 pub mod world;
 
-pub use mcbench::{run_multiclient, McResult, PhaseResult};
+pub use mcbench::{run_multiclient, run_warm_restart, McResult, PhaseResult, WarmRestart};
 pub use reorder::{run_reorder_experiment, ReorderConfig, ReorderResult};
 pub use workload::{
     codegen_workload, libc_objects, ls_object, populate_fs, LsVariant, WorkloadSizes,

@@ -25,7 +25,7 @@ use std::sync::Barrier;
 use omos_core::trace::{HistSnapshot, Stage};
 use omos_core::{Omos, ServerStats};
 use omos_os::ipc::{charge_roundtrip, IpcStats};
-use omos_os::{CostModel, SimClock};
+use omos_os::{CostModel, InMemFs, SimClock};
 
 use crate::workload::WorkloadSizes;
 use crate::world::{Scenario, PROGRAMS};
@@ -67,6 +67,9 @@ pub struct McResult {
     /// Intra-request parallel linking: cold-link latency, sequential vs
     /// parallel (`None` when the sweep skipped it).
     pub cold_link: Option<ColdLinkLatency>,
+    /// Durability: restored-server first-request latency against a cold
+    /// relink (`None` when the sweep skipped it).
+    pub warm_restart: Option<WarmRestart>,
 }
 
 /// One cold instantiation at a given `eval_jobs` setting.
@@ -184,6 +187,76 @@ pub fn run_cold_link(
         program: "fanout-12",
         sequential: run(1),
         parallel: run(jobs.max(2)),
+    }
+}
+
+/// Server restart with a completed checkpoint on disk: the restored
+/// server answers its first request from the recovered reply cache,
+/// against a cold server paying the full relink. All numbers are in
+/// the simulation domain (checkpoint writes are synchronous and pay
+/// the modeled disk-commit latency; restore pays charged reads).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmRestart {
+    /// Program instantiated on both sides.
+    pub program: &'static str,
+    /// Cold server's first-request latency (full build).
+    pub cold_first_ns: u64,
+    /// Restored server's first-request latency (restored reply hit).
+    pub restored_first_ns: u64,
+    /// Checkpoint footprint on the simulated disk.
+    pub checkpoint_bytes: u64,
+    /// Simulated cost of writing the checkpoint.
+    pub checkpoint_ns: u64,
+    /// Simulated cost of reading it back at restore.
+    pub restore_ns: u64,
+    /// Images reinstalled by the restore.
+    pub restored_images: usize,
+    /// Artifacts dropped by the restore (zero on a clean disk).
+    pub restore_dropped: usize,
+}
+
+impl WarmRestart {
+    /// First-request latency ratio, cold relink over restored hit.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cold_first_ns as f64 / self.restored_first_ns.max(1) as f64
+    }
+}
+
+/// Builds the 12-library fan-out, warms it, checkpoints it, restores a
+/// fresh server from the checkpoint, and times the first request on
+/// the restored server against the same request on a cold server.
+#[must_use]
+pub fn run_warm_restart(cost: CostModel, transport: omos_os::ipc::Transport) -> WarmRestart {
+    let dir = "/omos/ckpt";
+    let s = fanout_server(COLD_LINK_LIBS, cost, transport);
+    s.instantiate("/bin/fanout").expect("fanout instantiates");
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let report = s
+        .checkpoint(&mut fs, &mut clock, dir)
+        .expect("checkpoint succeeds");
+    let checkpoint_ns = clock.elapsed_ns;
+
+    let restore_start = clock.elapsed_ns;
+    let (restored, rr) = Omos::restore(cost, transport, &mut fs, &mut clock, dir);
+    let restore_ns = clock.elapsed_ns - restore_start;
+    let first = restored
+        .instantiate("/bin/fanout")
+        .expect("restored server answers");
+
+    let cold = fanout_server(COLD_LINK_LIBS, cost, transport);
+    let cold_first = cold.instantiate("/bin/fanout").expect("cold build");
+
+    WarmRestart {
+        program: "fanout-12",
+        cold_first_ns: cold_first.latency_ns,
+        restored_first_ns: first.latency_ns,
+        checkpoint_bytes: report.bytes_written,
+        checkpoint_ns,
+        restore_ns,
+        restored_images: rr.images,
+        restore_dropped: rr.dropped,
     }
 }
 
@@ -327,6 +400,7 @@ pub fn run_multiclient(
         stages,
         counters,
         cold_link: Some(run_cold_link(cost, transport, 8)),
+        warm_restart: Some(run_warm_restart(cost, transport)),
     }
 }
 
@@ -437,6 +511,19 @@ pub fn to_json(r: &McResult) -> String {
         let _ = writeln!(out, "    \"wall_speedup\": {:.2}", cl.wall_speedup());
         let _ = writeln!(out, "  }},");
     }
+    if let Some(wr) = &r.warm_restart {
+        let _ = writeln!(out, "  \"warm_restart\": {{");
+        let _ = writeln!(out, "    \"program\": \"{}\",", wr.program);
+        let _ = writeln!(out, "    \"cold_first_ns\": {},", wr.cold_first_ns);
+        let _ = writeln!(out, "    \"restored_first_ns\": {},", wr.restored_first_ns);
+        let _ = writeln!(out, "    \"checkpoint_bytes\": {},", wr.checkpoint_bytes);
+        let _ = writeln!(out, "    \"checkpoint_ns\": {},", wr.checkpoint_ns);
+        let _ = writeln!(out, "    \"restore_ns\": {},", wr.restore_ns);
+        let _ = writeln!(out, "    \"restored_images\": {},", wr.restored_images);
+        let _ = writeln!(out, "    \"restore_dropped\": {},", wr.restore_dropped);
+        let _ = writeln!(out, "    \"speedup\": {:.2}", wr.speedup());
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(
         out,
         "  \"warm_scaling_1_to_4\": {:.2}",
@@ -514,6 +601,20 @@ mod tests {
     }
 
     #[test]
+    fn warm_restart_beats_the_cold_relink() {
+        let wr = run_warm_restart(CostModel::hpux(), Transport::SysVMsg);
+        assert_eq!(wr.restore_dropped, 0, "clean disk restores everything");
+        assert!(wr.restored_images >= COLD_LINK_LIBS);
+        assert!(wr.checkpoint_bytes > 0);
+        assert!(
+            wr.restored_first_ns < wr.cold_first_ns,
+            "restored first request ({} ns) must beat the cold relink ({} ns)",
+            wr.restored_first_ns,
+            wr.cold_first_ns
+        );
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let r = run_multiclient(
             &WorkloadSizes::small(),
@@ -527,6 +628,7 @@ mod tests {
         assert!(j.contains("\"bench\": \"multiclient-throughput\""));
         assert!(j.contains("\"phase\": \"cold\""));
         assert!(j.contains("\"phase\": \"warm\""));
+        assert!(j.contains("\"warm_restart\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -20,5 +20,5 @@ pub mod solver;
 
 pub use solver::{
     Allocation, ConflictRecord, PlaceError, Placement, PlacementRequest, PlacementSolver, Priority,
-    RegionClass, SegmentRequest,
+    RegionClass, SegmentRequest, SolverState,
 };

@@ -141,6 +141,21 @@ struct Booked {
     alloc: Allocation,
 }
 
+/// A flat, deterministic snapshot of a solver's state, for
+/// checkpointing. Produced by [`PlacementSolver::export_state`] and
+/// consumed by [`PlacementSolver::import_state`]; entries are sorted so
+/// identical solver states export identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverState {
+    /// Live allocations: (owner name, allocation), ordered by base.
+    pub booked: Vec<(String, Allocation)>,
+    /// Reuse table: (name, key, versions in creation order), ordered by
+    /// (name, key).
+    pub known: Vec<(String, u64, Vec<Placement>)>,
+    /// Conflict log, in record order.
+    pub conflicts: Vec<ConflictRecord>,
+}
+
 /// The solver: tracks live allocations, remembers placements per
 /// `(name, key)`, and logs conflicts.
 ///
@@ -311,6 +326,48 @@ impl PlacementSolver {
     /// stay in the reuse table and will be preferred next time).
     pub fn release(&mut self, name: &str) {
         self.booked.retain(|_, b| b.name != name);
+    }
+
+    /// Exports the complete solver state for checkpointing.
+    #[must_use]
+    pub fn export_state(&self) -> SolverState {
+        let booked = self
+            .booked
+            .values()
+            .map(|b| (b.name.clone(), b.alloc))
+            .collect();
+        let mut known: Vec<(String, u64, Vec<Placement>)> = self
+            .known
+            .iter()
+            .map(|((name, key), versions)| (name.clone(), *key, versions.clone()))
+            .collect();
+        known.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        SolverState {
+            booked,
+            known,
+            conflicts: self.conflicts.clone(),
+        }
+    }
+
+    /// Rebuilds a solver from an exported state. Round-trips exactly:
+    /// `import_state(&s.export_state())` behaves identically to `s`.
+    #[must_use]
+    pub fn import_state(state: &SolverState) -> PlacementSolver {
+        let mut solver = PlacementSolver::new();
+        for (name, alloc) in &state.booked {
+            solver.booked.insert(
+                alloc.base,
+                Booked {
+                    name: name.clone(),
+                    alloc: *alloc,
+                },
+            );
+        }
+        for (name, key, versions) in &state.known {
+            solver.known.insert((name.clone(), *key), versions.clone());
+        }
+        solver.conflicts = state.conflicts.clone();
+        solver
     }
 
     /// Number of distinct versions generated for `(name, key)`.
@@ -653,6 +710,60 @@ mod tests {
         let p = s.place(&r, &[]).unwrap();
         assert_eq!(p.allocations[0].base % 0x10000, 0);
         assert!(p.allocations[0].base >= 0x0100_0001);
+    }
+
+    #[test]
+    fn state_export_import_roundtrips() {
+        let mut s = PlacementSolver::new();
+        let r1 = req(
+            "libc",
+            1,
+            vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+        );
+        let p0 = s.place(&r1, &[]).unwrap();
+        s.place(&r1, &[p0.version]).unwrap(); // force version 1
+        s.place(
+            &req("libm", 2, vec![seg(RegionClass::Data, 0x2000, None)]),
+            &[],
+        )
+        .unwrap();
+        s.release("libm");
+        // Provoke a conflict record.
+        s.place(
+            &req(
+                "libX",
+                3,
+                vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+            ),
+            &[],
+        )
+        .unwrap();
+
+        let state = s.export_state();
+        let mut restored = PlacementSolver::import_state(&state);
+
+        // Identical externally visible state...
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.conflicts(), s.conflicts());
+        assert_eq!(
+            restored.allocations().collect::<Vec<_>>(),
+            s.allocations().collect::<Vec<_>>()
+        );
+        assert_eq!(restored.version_count("libc", 1), 2);
+        // ...and identical behavior: the same request reuses the same
+        // placement in both solvers.
+        let a = s.place(&r1, &[]).unwrap();
+        let b = restored.place(&r1, &[]).unwrap();
+        assert_eq!(a, b);
+        assert!(b.reused);
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let s = PlacementSolver::new();
+        let state = s.export_state();
+        assert_eq!(state, SolverState::default());
+        assert_eq!(PlacementSolver::import_state(&state).export_state(), state);
     }
 
     #[test]

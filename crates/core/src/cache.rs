@@ -219,6 +219,19 @@ impl ImageCache {
         self.len() == 0
     }
 
+    /// Snapshot of every resident image (all shard locks held together,
+    /// like [`ImageCache::len`]), in unspecified order. Shares the
+    /// cache's `Arc`s — no image bodies are copied. The checkpoint
+    /// writer uses this; callers wanting determinism sort by key.
+    #[must_use]
+    pub fn entries(&self) -> Vec<Arc<CachedImage>> {
+        let guards: Vec<_> = self.shards.iter().map(lock).collect();
+        guards
+            .iter()
+            .flat_map(|g| g.map.values().map(Arc::clone))
+            .collect()
+    }
+
     /// Looks up an image, refreshing its LRU position (O(1): a
     /// generation bump, not a queue scan).
     pub fn get(&self, key: ContentHash) -> Option<Arc<CachedImage>> {
@@ -401,6 +414,60 @@ mod tests {
         c.insert(fake(2, 100));
         assert_eq!(c.len(), 1);
         assert!(c.get(ContentHash(2)).is_some());
+    }
+
+    /// Sum of resident sizes — the value `bytes()` must always equal
+    /// once the cache is quiescent.
+    fn resident_bytes(c: &ImageCache) -> u64 {
+        c.entries().iter().map(|i| i.size_bytes()).sum()
+    }
+
+    #[test]
+    fn oversized_insert_terminates_when_only_protected_remains() {
+        // An insert larger than the whole budget, while the eviction
+        // sweep can remove nothing but the entry it protects, must
+        // neither spin nor drive the byte counter below the truth.
+        for shards in [1, 8] {
+            let c = ImageCache::with_shards(50, shards);
+            for key in 0..4u64 {
+                c.insert(fake(key, 100));
+                assert_eq!(c.len(), 1, "each insert evicts everything else");
+                assert_eq!(
+                    c.bytes(),
+                    resident_bytes(&c),
+                    "byte counter stays exact at {shards} shard(s)"
+                );
+            }
+            assert_eq!(c.stats().evictions, 3);
+            assert!(c.get(ContentHash(3)).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_budget_insert_terminates_and_accounts() {
+        let c = ImageCache::with_shards(0, 8);
+        c.insert(fake(0, 64));
+        c.insert(fake(1, 64));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), resident_bytes(&c));
+        // Replacing the sole (protected-at-insert) entry under the same
+        // key must not double-count or underflow either.
+        c.insert(fake(1, 32));
+        assert_eq!(c.bytes(), 32);
+        assert_eq!(c.bytes(), resident_bytes(&c));
+    }
+
+    #[test]
+    fn entries_snapshot_shares_arcs() {
+        let c = ImageCache::new(u64::MAX);
+        c.insert(fake(1, 10));
+        c.insert(fake(2, 20));
+        let mut snap = c.entries();
+        snap.sort_by_key(|i| i.key);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].key, ContentHash(1));
+        // Snapshot holds references, not copies.
+        assert_eq!(Arc::strong_count(&snap[0]), 2);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`client`] — the client side: the bootstrap loader (`#!/bin/omos`),
 //!   integrated exec, and the per-process [`client::OmosBinder`];
 //! * [`monitor`] — monitoring-driven procedure reordering (§4.1/§6);
+//! * [`persist`] — crash-safe durability: checkpoint/restore of the
+//!   namespace, image cache, and placement state, plus the write-ahead
+//!   binding journal;
 //! * [`sync`] — the concurrency primitives behind the `&self` request
 //!   paths: sharded maps and per-key single-flight coalescing;
 //! * [`trace`] — request-level structured tracing and metrics: per-stage
@@ -26,6 +29,7 @@ pub mod client;
 pub mod error;
 pub mod monitor;
 pub mod namespace;
+pub mod persist;
 pub mod server;
 pub mod sync;
 pub mod trace;
@@ -36,6 +40,7 @@ pub use client::{
 };
 pub use error::OmosError;
 pub use namespace::{Entry, Namespace};
+pub use persist::{CheckpointReport, RestoreReport};
 pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};
 pub use sync::{Sharded, SingleFlight};
 pub use trace::{TraceSnapshot, Tracer};

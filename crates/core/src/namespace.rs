@@ -204,6 +204,19 @@ impl Namespace {
         out
     }
 
+    /// Snapshot of every binding, in sorted path order (one lock
+    /// acquisition — the checkpoint writer must not interleave with a
+    /// bind). Entries share the namespace's `Arc`s; this copies no
+    /// object or blueprint bodies.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(String, Entry)> {
+        self.read()
+            .entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Number of bound names.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -1,0 +1,1515 @@
+//! Crash-safe persistence: checkpoint, restore, and the binding journal.
+//!
+//! The paper's server is *persistent* — it "lives across program
+//! invocations" and banks on "disk space for caching multiple versions
+//! of large libraries". This module makes that durable against crashes:
+//! [`Omos::checkpoint`] writes the namespace, the bound-image cache, the
+//! placement state, and the valid reply rows to the simulated
+//! filesystem (paying modeled sync-write and disk-latency costs), and
+//! [`Omos::restore`] rebuilds a server from whatever survived.
+//!
+//! # On-disk layout (under a checkpoint directory `dir`)
+//!
+//! ```text
+//! dir/img/<image key>      one sealed Image frame per cached image
+//! dir/manifest.a|b         two copies of the sealed Manifest frame
+//!                          (namespace bindings embedded, image and
+//!                          reply rows, placement state); the valid one
+//!                          with the higher sequence number wins
+//! dir/journal              back-to-back sealed JournalRecord frames,
+//!                          each written twice: binds/unbinds since the
+//!                          last checkpoint
+//! ```
+//!
+//! # Crash-recovery invariants
+//!
+//! * **Content first, manifests last.** The manifest only ever names
+//!   image files written before it, and the two slots are rewritten one
+//!   after the other (stale slot first) — a crash at any byte of the
+//!   checkpoint leaves at least one complete manifest on disk.
+//! * **Source state is redundant; derived state is droppable.** The
+//!   namespace bindings (which nothing can rebuild) live inside *both*
+//!   manifest copies, and every journal record is appended twice, so a
+//!   single corrupt byte anywhere never loses a binding. Images and
+//!   reply rows are derived: restore re-verifies each against the
+//!   manifest's content hash and the frame's own checksum, and a torn,
+//!   flipped, or version-skewed artifact is *dropped* and relinked on
+//!   demand — corruption degrades, it never propagates and is never a
+//!   client-visible error.
+//! * **Write-ahead journal.** A durable bind appends its journal record
+//!   (synchronously) *before* mutating the namespace, so a crash can
+//!   lose at most a bind that was never acknowledged. Replay tolerates
+//!   a torn tail and resynchronizes past damaged records
+//!   ([`omos_obj::encode::container::scan_frames`]).
+//! * **Replies restore at the pre-replay generation.** Restored reply
+//!   rows are installed at the generation the manifest's bindings
+//!   rebuilt, so a journal record that rebinds one of their dependency
+//!   paths lazily invalidates exactly those rows on first probe.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use omos_blueprint::{Blueprint, MNode, SpecKind};
+use omos_constraint::{
+    Allocation, ConflictRecord, Placement, PlacementSolver, RegionClass, SolverState,
+};
+use omos_link::{decode_image, encode_image, LinkStats};
+use omos_obj::encode::container::{self, ContainerKind};
+use omos_obj::encode::{self, Format, Reader, Writer};
+use omos_obj::view::RenameTarget;
+use omos_obj::{fnv1a, ContentHash, ObjError, ObjectFile};
+use omos_os::fs::FsError;
+use omos_os::{CostModel, ImageFrames, InMemFs, SimClock};
+
+use crate::cache::CachedImage;
+use crate::namespace::Entry;
+use crate::server::{InstantiateReply, Omos, ReplyEntry};
+
+type ObjResult<T> = std::result::Result<T, ObjError>;
+
+/// What one [`Omos::checkpoint`] wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Namespace bindings recorded.
+    pub ns_entries: usize,
+    /// Cached images recorded (cache-resident plus reply-referenced).
+    pub images: usize,
+    /// Valid reply rows recorded.
+    pub replies: usize,
+    /// Files actually (re)written — content-addressed files that were
+    /// already on disk are skipped.
+    pub files_written: usize,
+    /// Bytes written to the filesystem by this checkpoint.
+    pub bytes_written: u64,
+    /// Sequence number of the manifest written.
+    pub seq: u64,
+}
+
+/// What one [`Omos::restore`] recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// No usable manifest was found; the server started cold (journal
+    /// records, if any, were still replayed).
+    pub cold: bool,
+    /// Namespace bindings rebuilt from the manifest.
+    pub ns_entries: usize,
+    /// Images reinstalled into the cache.
+    pub images: usize,
+    /// Reply rows reinstalled.
+    pub replies: usize,
+    /// Journal records replayed on top of the manifest.
+    pub journal_records: usize,
+    /// Persisted entries dropped (corrupt, truncated, version-skewed,
+    /// or referencing a dropped image); each relinks on demand.
+    pub dropped: usize,
+}
+
+fn img_path(dir: &str, key: ContentHash) -> String {
+    format!("{dir}/img/{:016x}", key.0)
+}
+
+fn slot_path(dir: &str, slot: usize) -> String {
+    format!("{dir}/manifest.{}", if slot == 0 { "a" } else { "b" })
+}
+
+fn journal_path(dir: &str) -> String {
+    format!("{dir}/journal")
+}
+
+/// Reads a whole file with charged costs. The length comes from the
+/// stat, not `u64::MAX` (`read` takes an offset+len pair that must not
+/// overflow).
+fn read_all(
+    fs: &mut InMemFs,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    path: &str,
+) -> Result<Vec<u8>, FsError> {
+    let st = fs.open(path, clock, cost)?;
+    fs.read(path, 0, u64::from(st.size), clock, cost)
+}
+
+/// Writes `bytes` at `path` unless an identical file is already there
+/// (content files are content-addressed, so re-checkpointing is mostly
+/// free). A leftover with different content — e.g. torn by an earlier
+/// crash — is unlinked and rewritten, because `write` *appends*.
+/// Returns true if bytes were written.
+fn write_fresh(
+    fs: &mut InMemFs,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    path: &str,
+    bytes: &[u8],
+) -> Result<bool, FsError> {
+    if fs.exists(path) {
+        let st = fs.stat(path, clock, cost)?;
+        if st.size as usize == bytes.len() && read_all(fs, clock, cost, path)? == bytes {
+            return Ok(false);
+        }
+        fs.unlink(path, clock, cost);
+    }
+    fs.write(path, bytes, clock, cost)?;
+    Ok(true)
+}
+
+// --- Blueprint wire codec ----------------------------------------------------
+
+fn enc_node(w: &mut Writer, n: &MNode) {
+    match n {
+        MNode::Leaf(p) => {
+            w.u8(0);
+            w.str(p);
+        }
+        MNode::Merge(items) => {
+            w.u8(1);
+            w.u32(items.len() as u32);
+            for i in items {
+                enc_node(w, i);
+            }
+        }
+        MNode::Override(a, b) => {
+            w.u8(2);
+            enc_node(w, a);
+            enc_node(w, b);
+        }
+        MNode::Rename {
+            pattern,
+            replacement,
+            target,
+            operand,
+        } => {
+            w.u8(3);
+            w.str(pattern);
+            w.str(replacement);
+            w.u8(match target {
+                RenameTarget::Defs => 0,
+                RenameTarget::Refs => 1,
+                RenameTarget::Both => 2,
+            });
+            enc_node(w, operand);
+        }
+        MNode::Hide { pattern, operand } => {
+            w.u8(4);
+            w.str(pattern);
+            enc_node(w, operand);
+        }
+        MNode::Show { pattern, operand } => {
+            w.u8(5);
+            w.str(pattern);
+            enc_node(w, operand);
+        }
+        MNode::Restrict { pattern, operand } => {
+            w.u8(6);
+            w.str(pattern);
+            enc_node(w, operand);
+        }
+        MNode::Project { pattern, operand } => {
+            w.u8(7);
+            w.str(pattern);
+            enc_node(w, operand);
+        }
+        MNode::CopyAs {
+            pattern,
+            replacement,
+            operand,
+        } => {
+            w.u8(8);
+            w.str(pattern);
+            w.str(replacement);
+            enc_node(w, operand);
+        }
+        MNode::Freeze { pattern, operand } => {
+            w.u8(9);
+            w.str(pattern);
+            enc_node(w, operand);
+        }
+        MNode::Initializers(op) => {
+            w.u8(10);
+            enc_node(w, op);
+        }
+        MNode::Source { lang, code } => {
+            w.u8(11);
+            w.str(lang);
+            w.str(code);
+        }
+        MNode::Specialize { kind, operand } => {
+            w.u8(12);
+            match kind {
+                SpecKind::Static => w.u8(0),
+                SpecKind::Dynamic => w.u8(1),
+                SpecKind::DynamicImpl => w.u8(2),
+                SpecKind::Constrained(cs) => {
+                    w.u8(3);
+                    w.u32(cs.len() as u32);
+                    for (c, a) in cs {
+                        w.u8(class_code(*c));
+                        w.u64(*a);
+                    }
+                }
+            }
+            enc_node(w, operand);
+        }
+    }
+}
+
+fn class_code(c: RegionClass) -> u8 {
+    match c {
+        RegionClass::Text => 0,
+        RegionClass::Data => 1,
+    }
+}
+
+fn class_from_code(code: u8) -> ObjResult<RegionClass> {
+    match code {
+        0 => Ok(RegionClass::Text),
+        1 => Ok(RegionClass::Data),
+        other => Err(ObjError::Malformed(format!(
+            "blueprint: bad region class code {other}"
+        ))),
+    }
+}
+
+/// Recursion guard: a corrupt frame must not blow the stack before the
+/// structural checks reject it.
+const MAX_NODE_DEPTH: u32 = 200;
+
+fn dec_node(r: &mut Reader<'_>, depth: u32) -> ObjResult<MNode> {
+    if depth > MAX_NODE_DEPTH {
+        return Err(ObjError::Malformed("blueprint: m-graph too deep".into()));
+    }
+    let unary = |r: &mut Reader<'_>| -> ObjResult<(String, Box<MNode>)> {
+        let pattern = r.str()?;
+        let operand = Box::new(dec_node(r, depth + 1)?);
+        Ok((pattern, operand))
+    };
+    Ok(match r.u8()? {
+        0 => MNode::Leaf(r.str()?),
+        1 => {
+            let n = r.u32()?;
+            let mut items = Vec::new();
+            for _ in 0..n {
+                items.push(dec_node(r, depth + 1)?);
+            }
+            MNode::Merge(items)
+        }
+        2 => {
+            let a = Box::new(dec_node(r, depth + 1)?);
+            let b = Box::new(dec_node(r, depth + 1)?);
+            MNode::Override(a, b)
+        }
+        3 => {
+            let pattern = r.str()?;
+            let replacement = r.str()?;
+            let target = match r.u8()? {
+                0 => RenameTarget::Defs,
+                1 => RenameTarget::Refs,
+                2 => RenameTarget::Both,
+                other => {
+                    return Err(ObjError::Malformed(format!(
+                        "blueprint: bad rename target {other}"
+                    )))
+                }
+            };
+            let operand = Box::new(dec_node(r, depth + 1)?);
+            MNode::Rename {
+                pattern,
+                replacement,
+                target,
+                operand,
+            }
+        }
+        4 => {
+            let (pattern, operand) = unary(r)?;
+            MNode::Hide { pattern, operand }
+        }
+        5 => {
+            let (pattern, operand) = unary(r)?;
+            MNode::Show { pattern, operand }
+        }
+        6 => {
+            let (pattern, operand) = unary(r)?;
+            MNode::Restrict { pattern, operand }
+        }
+        7 => {
+            let (pattern, operand) = unary(r)?;
+            MNode::Project { pattern, operand }
+        }
+        8 => {
+            let pattern = r.str()?;
+            let replacement = r.str()?;
+            let operand = Box::new(dec_node(r, depth + 1)?);
+            MNode::CopyAs {
+                pattern,
+                replacement,
+                operand,
+            }
+        }
+        9 => {
+            let (pattern, operand) = unary(r)?;
+            MNode::Freeze { pattern, operand }
+        }
+        10 => MNode::Initializers(Box::new(dec_node(r, depth + 1)?)),
+        11 => MNode::Source {
+            lang: r.str()?,
+            code: r.str()?,
+        },
+        12 => {
+            let kind = match r.u8()? {
+                0 => SpecKind::Static,
+                1 => SpecKind::Dynamic,
+                2 => SpecKind::DynamicImpl,
+                3 => {
+                    let n = r.u32()?;
+                    let mut cs = Vec::new();
+                    for _ in 0..n {
+                        let c = class_from_code(r.u8()?)?;
+                        cs.push((c, r.u64()?));
+                    }
+                    SpecKind::Constrained(cs)
+                }
+                other => {
+                    return Err(ObjError::Malformed(format!(
+                        "blueprint: bad specialize kind {other}"
+                    )))
+                }
+            };
+            MNode::Specialize {
+                kind,
+                operand: Box::new(dec_node(r, depth + 1)?),
+            }
+        }
+        other => {
+            return Err(ObjError::Malformed(format!(
+                "blueprint: bad m-graph node tag {other}"
+            )))
+        }
+    })
+}
+
+/// Serializes a blueprint into a sealed Blueprint frame. The encoding
+/// covers exactly what [`Blueprint::hash`] covers — constraints and the
+/// m-graph — so a round-trip preserves the cache key; source spans are
+/// location metadata and do not survive (nor do they need to).
+#[must_use]
+pub fn encode_blueprint(bp: &Blueprint) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(bp.constraints.len() as u32);
+    for (c, a) in &bp.constraints {
+        w.u8(class_code(*c));
+        w.u64(*a);
+    }
+    enc_node(&mut w, &bp.root);
+    container::seal(ContainerKind::Blueprint, &w.into_bytes())
+}
+
+/// Decodes a sealed Blueprint frame. Any malformation is an error; the
+/// caller treats it as a dropped artifact.
+pub fn decode_blueprint(bytes: &[u8]) -> ObjResult<Blueprint> {
+    let payload = container::open(ContainerKind::Blueprint, bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.u32()?;
+    let mut constraints = Vec::new();
+    for _ in 0..n {
+        let c = class_from_code(r.u8()?)?;
+        constraints.push((c, r.u64()?));
+    }
+    let root = dec_node(&mut r, 0)?;
+    if r.remaining() != 0 {
+        return Err(ObjError::Malformed(format!(
+            "blueprint: {} trailing payload bytes",
+            r.remaining()
+        )));
+    }
+    let mut bp = Blueprint::from_root(root);
+    bp.constraints = constraints;
+    Ok(bp)
+}
+
+fn encode_entry(entry: &Entry) -> (u8, Vec<u8>) {
+    match entry {
+        Entry::Object(obj) => (
+            0,
+            container::seal(ContainerKind::Object, &encode::write(Format::Aout, obj)),
+        ),
+        Entry::Meta(bp) => (1, encode_blueprint(bp)),
+    }
+}
+
+fn decode_entry(kind: u8, bytes: &[u8]) -> ObjResult<Entry> {
+    match kind {
+        0 => {
+            let payload = container::open(ContainerKind::Object, bytes)?;
+            Ok(Entry::Object(Arc::new(encode::read_any(payload)?)))
+        }
+        1 => Ok(Entry::Meta(Arc::new(decode_blueprint(bytes)?))),
+        other => Err(ObjError::Malformed(format!(
+            "manifest: bad namespace entry kind {other}"
+        ))),
+    }
+}
+
+// --- Manifest ----------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct ImageRow {
+    key: ContentHash,
+    file_hash: u64,
+    content_hash: ContentHash,
+    stats: LinkStats,
+}
+
+#[derive(Debug, Clone)]
+struct ReplyRow {
+    key: ContentHash,
+    program: ContentHash,
+    libraries: Vec<ContentHash>,
+    deps: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Manifest {
+    seq: u64,
+    /// Bindings with their sealed payload frames embedded: the
+    /// namespace is source state nothing can rebuild, so it rides
+    /// inside both manifest copies rather than in droppable files.
+    ns: Vec<(String, u8, Vec<u8>)>,
+    images: Vec<ImageRow>,
+    solver: SolverState,
+    replies: Vec<ReplyRow>,
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(m.seq);
+    w.u32(m.ns.len() as u32);
+    for (path, kind, frame) in &m.ns {
+        w.str(path);
+        w.u8(*kind);
+        w.u32(frame.len() as u32);
+        w.bytes(frame);
+    }
+    w.u32(m.images.len() as u32);
+    for row in &m.images {
+        w.u64(row.key.0);
+        w.u64(row.file_hash);
+        w.u64(row.content_hash.0);
+        for v in [
+            row.stats.objects,
+            row.stats.symbols_resolved,
+            row.stats.relocs_applied,
+            row.stats.bytes_copied,
+            row.stats.externs_bound,
+            row.stats.left_unresolved,
+        ] {
+            w.u64(v);
+        }
+    }
+    w.u32(m.solver.booked.len() as u32);
+    for (name, alloc) in &m.solver.booked {
+        w.str(name);
+        w.u64(alloc.base);
+        w.u64(alloc.size);
+    }
+    w.u32(m.solver.known.len() as u32);
+    for (name, key, versions) in &m.solver.known {
+        w.str(name);
+        w.u64(*key);
+        w.u32(versions.len() as u32);
+        for p in versions {
+            w.u32(p.allocations.len() as u32);
+            for a in &p.allocations {
+                w.u64(a.base);
+                w.u64(a.size);
+            }
+            w.u8(u8::from(p.reused));
+            w.u32(p.version);
+        }
+    }
+    w.u32(m.solver.conflicts.len() as u32);
+    for c in &m.solver.conflicts {
+        w.str(&c.name);
+        match c.preferred {
+            Some(p) => {
+                w.u8(1);
+                w.u64(p);
+            }
+            None => w.u8(0),
+        }
+        match &c.occupant {
+            Some(o) => {
+                w.u8(1);
+                w.str(o);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.u32(m.replies.len() as u32);
+    for row in &m.replies {
+        w.u64(row.key.0);
+        w.u64(row.program.0);
+        w.u32(row.libraries.len() as u32);
+        for l in &row.libraries {
+            w.u64(l.0);
+        }
+        w.u32(row.deps.len() as u32);
+        for d in &row.deps {
+            w.str(d);
+        }
+    }
+    container::seal(ContainerKind::Manifest, &w.into_bytes())
+}
+
+fn decode_manifest(bytes: &[u8]) -> ObjResult<Manifest> {
+    let payload = container::open(ContainerKind::Manifest, bytes)?;
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let n = r.u32()?;
+    let mut ns = Vec::new();
+    for _ in 0..n {
+        let path = r.str()?;
+        let kind = r.u8()?;
+        let len = r.u32()? as usize;
+        let frame = r.bytes(len)?.to_vec();
+        ns.push((path, kind, frame));
+    }
+    let n = r.u32()?;
+    let mut images = Vec::new();
+    for _ in 0..n {
+        let key = ContentHash(r.u64()?);
+        let file_hash = r.u64()?;
+        let content_hash = ContentHash(r.u64()?);
+        let stats = LinkStats {
+            objects: r.u64()?,
+            symbols_resolved: r.u64()?,
+            relocs_applied: r.u64()?,
+            bytes_copied: r.u64()?,
+            externs_bound: r.u64()?,
+            left_unresolved: r.u64()?,
+        };
+        images.push(ImageRow {
+            key,
+            file_hash,
+            content_hash,
+            stats,
+        });
+    }
+    let n = r.u32()?;
+    let mut booked = Vec::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let base = r.u64()?;
+        let size = r.u64()?;
+        booked.push((name, Allocation { base, size }));
+    }
+    let n = r.u32()?;
+    let mut known = Vec::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let key = r.u64()?;
+        let nv = r.u32()?;
+        let mut versions = Vec::new();
+        for _ in 0..nv {
+            let na = r.u32()?;
+            let mut allocations = Vec::new();
+            for _ in 0..na {
+                let base = r.u64()?;
+                let size = r.u64()?;
+                allocations.push(Allocation { base, size });
+            }
+            let reused = r.u8()? != 0;
+            let version = r.u32()?;
+            versions.push(Placement {
+                allocations,
+                reused,
+                version,
+            });
+        }
+        known.push((name, key, versions));
+    }
+    let n = r.u32()?;
+    let mut conflicts = Vec::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let preferred = match r.u8()? {
+            0 => None,
+            _ => Some(r.u64()?),
+        };
+        let occupant = match r.u8()? {
+            0 => None,
+            _ => Some(r.str()?),
+        };
+        conflicts.push(ConflictRecord {
+            name,
+            preferred,
+            occupant,
+        });
+    }
+    let n = r.u32()?;
+    let mut replies = Vec::new();
+    for _ in 0..n {
+        let key = ContentHash(r.u64()?);
+        let program = ContentHash(r.u64()?);
+        let nl = r.u32()?;
+        let mut libraries = Vec::new();
+        for _ in 0..nl {
+            libraries.push(ContentHash(r.u64()?));
+        }
+        let nd = r.u32()?;
+        let mut deps = Vec::new();
+        for _ in 0..nd {
+            deps.push(r.str()?);
+        }
+        replies.push(ReplyRow {
+            key,
+            program,
+            libraries,
+            deps,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(ObjError::Malformed(format!(
+            "manifest: {} trailing payload bytes",
+            r.remaining()
+        )));
+    }
+    Ok(Manifest {
+        seq,
+        ns,
+        images,
+        solver: SolverState {
+            booked,
+            known,
+            conflicts,
+        },
+        replies,
+    })
+}
+
+/// Reads and decodes one manifest slot; `None` for missing/corrupt.
+fn read_slot(
+    fs: &mut InMemFs,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    dir: &str,
+    slot: usize,
+) -> Option<Manifest> {
+    let bytes = read_all(fs, clock, cost, &slot_path(dir, slot)).ok()?;
+    decode_manifest(&bytes).ok()
+}
+
+/// The valid manifest with the highest sequence number, and its slot.
+fn best_manifest(
+    fs: &mut InMemFs,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    dir: &str,
+) -> Option<(usize, Manifest)> {
+    let a = read_slot(fs, clock, cost, dir, 0).map(|m| (0, m));
+    let b = read_slot(fs, clock, cost, dir, 1).map(|m| (1, m));
+    match (a, b) {
+        (Some(a), Some(b)) => Some(if a.1.seq >= b.1.seq { a } else { b }),
+        (a, b) => a.or(b),
+    }
+}
+
+// --- Journal -----------------------------------------------------------------
+
+const OP_BIND_OBJECT: u8 = 0;
+const OP_BIND_META: u8 = 1;
+const OP_UNBIND: u8 = 2;
+
+fn journal_record(op: u8, path: &str, payload: Option<&[u8]>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(op);
+    w.str(path);
+    if let Some(p) = payload {
+        w.u32(p.len() as u32);
+        w.bytes(p);
+    }
+    container::seal(ContainerKind::JournalRecord, &w.into_bytes())
+}
+
+fn apply_journal_record(server: &Omos, payload: &[u8]) -> ObjResult<()> {
+    let mut r = Reader::new(payload);
+    let op = r.u8()?;
+    let path = r.str()?;
+    match op {
+        OP_UNBIND => {
+            server.namespace.unbind(&path);
+        }
+        OP_BIND_OBJECT | OP_BIND_META => {
+            let len = r.u32()? as usize;
+            let frame = r.bytes(len)?;
+            match decode_entry(op, frame)? {
+                Entry::Object(obj) => server.namespace.bind_object(&path, (*obj).clone()),
+                Entry::Meta(bp) => server.namespace.bind_meta(&path, (*bp).clone()),
+            }
+        }
+        other => return Err(ObjError::Malformed(format!("journal: bad op {other}"))),
+    }
+    if r.remaining() != 0 {
+        return Err(ObjError::Malformed(format!(
+            "journal: {} trailing record bytes",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+impl Omos {
+    /// Writes a crash-safe checkpoint of this server's durable state
+    /// under `dir`: namespace bindings, cached images (including ones
+    /// referenced only by cached replies), placement state, and the
+    /// currently valid reply rows. Writes are synchronous (the modeled
+    /// per-op disk commit is charged); content files land before the
+    /// manifest that names them, and the manifest is double-buffered so
+    /// a crash at any byte leaves the previous checkpoint recoverable.
+    /// On success the binding journal is truncated — its records are
+    /// folded into the manifest.
+    pub fn checkpoint(
+        &self,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> Result<CheckpointReport, FsError> {
+        let was_sync = fs.sync_writes;
+        fs.sync_writes = true;
+        let r = self.checkpoint_inner(fs, clock, dir);
+        fs.sync_writes = was_sync;
+        r
+    }
+
+    fn checkpoint_inner(
+        &self,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> Result<CheckpointReport, FsError> {
+        let cost = *self.cost();
+        let bytes0 = fs.bytes_written;
+        let mut report = CheckpointReport::default();
+
+        // 1. Namespace bindings, each sealed into a frame that rides
+        //    inside the manifest itself.
+        let mut ns_rows: Vec<(String, u8, Vec<u8>)> = Vec::new();
+        for (path, entry) in self.namespace.entries() {
+            let (kind, sealed) = encode_entry(&entry);
+            ns_rows.push((path, kind, sealed));
+        }
+        report.ns_entries = ns_rows.len();
+
+        // 2. Valid reply rows (stale ones are dropped here exactly as a
+        //    probe would drop them).
+        let mut reply_rows: Vec<ReplyRow> = Vec::new();
+        let mut referenced: HashMap<ContentHash, Arc<CachedImage>> = HashMap::new();
+        for (key, entry) in self.reply_cache.entries() {
+            if self
+                .namespace
+                .any_touched_since(entry.deps.iter(), entry.gen)
+            {
+                continue;
+            }
+            referenced
+                .entry(entry.reply.program.key)
+                .or_insert_with(|| Arc::clone(&entry.reply.program));
+            for lib in &entry.reply.libraries {
+                referenced.entry(lib.key).or_insert_with(|| Arc::clone(lib));
+            }
+            reply_rows.push(ReplyRow {
+                key,
+                program: entry.reply.program.key,
+                libraries: entry.reply.libraries.iter().map(|l| l.key).collect(),
+                deps: entry.deps.iter().cloned().collect(),
+            });
+        }
+        reply_rows.sort_by_key(|r| r.key.0);
+        report.replies = reply_rows.len();
+
+        // 3. Image files: everything cache-resident plus everything a
+        //    reply row references (an image can be evicted from the
+        //    byte-budgeted cache while replies still hand out its Arc).
+        for img in self.images.entries() {
+            referenced.entry(img.key).or_insert(img);
+        }
+        let mut image_rows: Vec<ImageRow> = Vec::new();
+        let mut images: Vec<&Arc<CachedImage>> = referenced.values().collect();
+        images.sort_by_key(|i| i.key.0);
+        for img in images {
+            let sealed = encode_image(&img.image);
+            if write_fresh(fs, clock, &cost, &img_path(dir, img.key), &sealed)? {
+                report.files_written += 1;
+            }
+            image_rows.push(ImageRow {
+                key: img.key,
+                file_hash: fnv1a(&sealed).0,
+                content_hash: img.image.content_hash(),
+                stats: img.link_stats,
+            });
+        }
+        report.images = image_rows.len();
+
+        // 4. The manifest, written to *both* slots, stale slot first —
+        //    a crash at any byte leaves either the previous checkpoint
+        //    (first write torn) or the new one (second write torn)
+        //    complete, and afterwards a single corrupt byte can kill at
+        //    most one of the two identical copies.
+        let best = best_manifest(fs, clock, &cost, dir);
+        let (first_slot, seq) = match &best {
+            Some((slot, m)) => (1 - slot, m.seq + 1),
+            None => (0, 1),
+        };
+        let manifest = Manifest {
+            seq,
+            ns: ns_rows,
+            images: image_rows,
+            solver: self.solver().export_state(),
+            replies: reply_rows,
+        };
+        let sealed = encode_manifest(&manifest);
+        for slot in [first_slot, 1 - first_slot] {
+            let path = slot_path(dir, slot);
+            fs.unlink(&path, clock, &cost); // write appends; start clean
+            fs.write(&path, &sealed, clock, &cost)?;
+            report.files_written += 1;
+        }
+        report.seq = seq;
+
+        // 5. The journal's records are now folded into the manifest.
+        fs.unlink(&journal_path(dir), clock, &cost);
+        report.bytes_written = fs.bytes_written - bytes0;
+        Ok(report)
+    }
+
+    /// Rebuilds a server from the checkpoint directory `dir`. Never
+    /// errors: a missing or torn manifest means a cold start, and every
+    /// individual artifact that fails verification (checksum, content
+    /// hash, version, or a reply referencing a dropped image) is
+    /// *dropped* and counted — the server relinks those on demand.
+    /// Journal records are replayed on top, tolerating a torn tail.
+    pub fn restore(
+        cost: CostModel,
+        transport: omos_os::Transport,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> (Omos, RestoreReport) {
+        let server = Omos::new(cost, transport);
+        let mut report = RestoreReport {
+            cold: true,
+            ..RestoreReport::default()
+        };
+
+        if let Some((_, manifest)) = best_manifest(fs, clock, &cost, dir) {
+            report.cold = false;
+
+            // Namespace bindings, embedded in the manifest; each frame
+            // still carries (and is checked against) its own checksum.
+            for (path, kind, frame) in &manifest.ns {
+                match decode_entry(*kind, frame).ok() {
+                    Some(Entry::Object(obj)) => {
+                        server.namespace.bind_object(path, (*obj).clone());
+                        report.ns_entries += 1;
+                    }
+                    Some(Entry::Meta(bp)) => {
+                        server.namespace.bind_meta(path, (*bp).clone());
+                        report.ns_entries += 1;
+                    }
+                    None => report.dropped += 1,
+                }
+            }
+
+            *server.solver() = PlacementSolver::import_state(&manifest.solver);
+
+            // Images: decode, re-verify content hash, reinstall.
+            let mut by_key: HashMap<ContentHash, Arc<CachedImage>> = HashMap::new();
+            for row in &manifest.images {
+                let ok = read_all(fs, clock, &cost, &img_path(dir, row.key))
+                    .ok()
+                    .filter(|bytes| fnv1a(bytes).0 == row.file_hash)
+                    .and_then(|bytes| decode_image(&bytes).ok())
+                    .filter(|img| img.content_hash() == row.content_hash);
+                match ok {
+                    Some(image) => {
+                        let frames = ImageFrames::from_image(&image);
+                        let arc = server.images.insert(CachedImage {
+                            key: row.key,
+                            image,
+                            frames,
+                            link_stats: row.stats,
+                        });
+                        by_key.insert(row.key, arc);
+                        report.images += 1;
+                    }
+                    None => report.dropped += 1,
+                }
+            }
+
+            // Snapshot the generation the manifest's bindings rebuilt:
+            // replies install at this generation, so journal records
+            // replayed below invalidate exactly the rows whose
+            // dependencies they touch.
+            let g0 = server.namespace.generation();
+            Omos::replay_journal(&server, fs, clock, &cost, dir, &mut report);
+
+            for row in &manifest.replies {
+                let program = by_key.get(&row.program).map(Arc::clone);
+                let libraries: Option<Vec<Arc<CachedImage>>> = row
+                    .libraries
+                    .iter()
+                    .map(|k| by_key.get(k).map(Arc::clone))
+                    .collect();
+                match (program, libraries) {
+                    (Some(program), Some(libraries)) => {
+                        let deps: BTreeSet<String> = row.deps.iter().cloned().collect();
+                        server.reply_cache.insert(
+                            row.key,
+                            ReplyEntry {
+                                reply: InstantiateReply {
+                                    program,
+                                    libraries,
+                                    server_ns: 0,
+                                    latency_ns: 0,
+                                    cache_hit: true,
+                                    req: 0,
+                                },
+                                deps: Arc::new(deps),
+                                gen: g0,
+                            },
+                        );
+                        report.replies += 1;
+                    }
+                    _ => report.dropped += 1,
+                }
+            }
+        } else {
+            // No manifest at all — still replay whatever the journal
+            // holds (binds made before the first checkpoint).
+            Omos::replay_journal(&server, fs, clock, &cost, dir, &mut report);
+        }
+
+        server.tracer().restore(
+            report.ns_entries as u64,
+            report.images as u64,
+            report.replies as u64,
+            report.journal_records as u64,
+            report.dropped as u64,
+            report.cold,
+        );
+        (server, report)
+    }
+
+    fn replay_journal(
+        server: &Omos,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        cost: &CostModel,
+        dir: &str,
+        report: &mut RestoreReport,
+    ) {
+        let Ok(bytes) = read_all(fs, clock, cost, &journal_path(dir)) else {
+            return;
+        };
+        let (frames, damaged) = container::scan_frames(&bytes);
+        if damaged {
+            report.dropped += 1;
+        }
+        // Records are appended twice; adjacent duplicates collapse to
+        // one apply (binds are last-write-wins, so a surviving single
+        // copy — or a genuine repeated bind — replays identically).
+        let mut last: Option<&[u8]> = None;
+        for (kind, payload) in frames {
+            if kind != ContainerKind::JournalRecord {
+                report.dropped += 1;
+                continue;
+            }
+            if last == Some(payload) {
+                continue;
+            }
+            last = Some(payload);
+            match apply_journal_record(server, payload) {
+                Ok(()) => report.journal_records += 1,
+                Err(_) => report.dropped += 1,
+            }
+        }
+    }
+
+    /// Durably binds an object: the journal record is appended (as a
+    /// synchronous write) *before* the namespace mutates, so a crash
+    /// can only lose a bind that was never acknowledged. On a write
+    /// fault the bind does not happen.
+    pub fn bind_object_durable(
+        &self,
+        path: &str,
+        obj: ObjectFile,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> Result<(), FsError> {
+        let sealed = container::seal(ContainerKind::Object, &encode::write(Format::Aout, &obj));
+        self.journal_append(OP_BIND_OBJECT, path, Some(&sealed), fs, clock, dir)?;
+        self.namespace.bind_object(path, obj);
+        Ok(())
+    }
+
+    /// Durably binds a meta-object (see [`Omos::bind_object_durable`]).
+    pub fn bind_meta_durable(
+        &self,
+        path: &str,
+        bp: Blueprint,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> Result<(), FsError> {
+        let sealed = encode_blueprint(&bp);
+        self.journal_append(OP_BIND_META, path, Some(&sealed), fs, clock, dir)?;
+        self.namespace.bind_meta(path, bp);
+        Ok(())
+    }
+
+    /// Durably removes a binding (see [`Omos::bind_object_durable`]).
+    pub fn unbind_durable(
+        &self,
+        path: &str,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> Result<bool, FsError> {
+        self.journal_append(OP_UNBIND, path, None, fs, clock, dir)?;
+        Ok(self.namespace.unbind(path))
+    }
+
+    fn journal_append(
+        &self,
+        op: u8,
+        path: &str,
+        payload: Option<&[u8]>,
+        fs: &mut InMemFs,
+        clock: &mut SimClock,
+        dir: &str,
+    ) -> Result<(), FsError> {
+        // Each record is appended twice in one synchronous write: a
+        // torn append leaves zero or one complete copy (failed bind,
+        // or an at-least-once replay of an idempotent bind), and a
+        // later single-byte corruption can kill at most one copy.
+        let record = journal_record(op, path, payload);
+        let mut doubled = record.clone();
+        doubled.extend_from_slice(&record);
+        let was_sync = fs.sync_writes;
+        fs.sync_writes = true;
+        let r = fs.write(&journal_path(dir), &doubled, clock, self.cost());
+        fs.sync_writes = was_sync;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_isa::assemble;
+    use omos_os::ipc::Transport;
+
+    fn server_with_workload() -> Omos {
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        s.namespace.bind_object(
+            "/obj/hello.o",
+            assemble(
+                "hello.o",
+                ".text\n.global _start\n_start: call _puts\n sys 0\n",
+            )
+            .unwrap(),
+        );
+        s.namespace.bind_object(
+            "/libc/stdio.o",
+            assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 7\n ret\n").unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                "/lib/libc",
+                "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge /libc/stdio.o)",
+            )
+            .unwrap();
+        s.namespace
+            .bind_blueprint("/bin/hello", "(merge /obj/hello.o /lib/libc)")
+            .unwrap();
+        s
+    }
+
+    fn env() -> (InMemFs, SimClock) {
+        (InMemFs::new(), SimClock::new())
+    }
+
+    #[test]
+    fn blueprint_codec_roundtrips_every_operator() {
+        let src = r#"
+            (constraint-list "T" 0x2000000 "D" 0x42000000)
+            (merge
+              (override /a/x.o (rename "_old*" "_new*" /a/y.o))
+              (rename-defs "_d*" "_e*" (rename-refs "_r*" "_s*" /a/z.o))
+              (hide "_h*" (show "_s*" (restrict "_r*" (project "_p*" /a/w.o))))
+              (copy-as "_c*" "_cc*" (freeze "_f*" /a/v.o))
+              (initializers /a/init.o)
+              (source "asm" ".text\nnop\n")
+              (specialize "lib-static" /a/s.o)
+              (specialize "lib-constrained" (list "T" 0x3000000) /a/c.o)
+              (specialize "lib-dynamic" /a/d.o)
+              (specialize "lib-dynamic-impl" /a/di.o))
+        "#;
+        let bp = Blueprint::parse(src).unwrap();
+        let bytes = encode_blueprint(&bp);
+        let back = decode_blueprint(&bytes).unwrap();
+        assert_eq!(back.root, bp.root, "m-graph survives the round-trip");
+        assert_eq!(back.constraints, bp.constraints);
+        assert_eq!(back.hash(), bp.hash(), "cache key survives the round-trip");
+    }
+
+    #[test]
+    fn blueprint_codec_rejects_corruption() {
+        let bp = Blueprint::parse("(merge /a.o /b.o)").unwrap();
+        let bytes = encode_blueprint(&bp);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(decode_blueprint(&bad).is_err(), "bit flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_restore_rebuilds_namespace_and_caches() {
+        let s = server_with_workload();
+        let cold = s.instantiate("/bin/hello").unwrap();
+        assert!(!cold.cache_hit);
+
+        let (mut fs, mut clock) = env();
+        let rep = s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        assert_eq!(rep.ns_entries, 4);
+        assert!(rep.images >= 2, "library + program images");
+        assert_eq!(rep.replies, 1);
+        assert!(rep.bytes_written > 0);
+        assert!(clock.elapsed_ns > 0, "checkpoint pays modeled I/O costs");
+
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(!rr.cold);
+        assert_eq!(rr.ns_entries, 4);
+        assert_eq!(rr.images, rep.images);
+        assert_eq!(rr.replies, 1);
+        assert_eq!(rr.dropped, 0);
+
+        let warm = r.instantiate("/bin/hello").unwrap();
+        assert!(warm.cache_hit, "restored reply row serves the request");
+        assert_eq!(
+            encode_image(&warm.program.image),
+            encode_image(&cold.program.image),
+            "restored image is bit-identical"
+        );
+        assert_eq!(warm.libraries.len(), cold.libraries.len());
+        assert_eq!(
+            r.cost().server_cached_request_ns,
+            warm.server_ns,
+            "restored hit bills as a warm hit"
+        );
+    }
+
+    #[test]
+    fn checkpoint_is_idempotent_and_fills_both_slots() {
+        let s = server_with_workload();
+        s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        let first = s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        let second = s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        assert_eq!(second.seq, first.seq + 1);
+        // Image files are content-addressed: only the two manifest
+        // copies rewrite.
+        assert_eq!(second.files_written, 2);
+        assert!(fs.exists("/omos/manifest.a") && fs.exists("/omos/manifest.b"));
+        assert_eq!(
+            fs.peek("/omos/manifest.a").unwrap(),
+            fs.peek("/omos/manifest.b").unwrap(),
+            "the two slots hold identical copies"
+        );
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(!rr.cold);
+        assert!(r.instantiate("/bin/hello").unwrap().cache_hit);
+    }
+
+    #[test]
+    fn corrupt_manifest_slot_falls_back_to_its_twin() {
+        let s = server_with_workload();
+        s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        let cost = CostModel::hpux();
+        for slot in ["/omos/manifest.a", "/omos/manifest.b"] {
+            let mut bytes = fs.peek(slot).unwrap().to_vec();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            fs.unlink(slot, &mut clock, &cost);
+            fs.write(slot, &bytes, &mut clock, &cost).unwrap();
+            let (r, rr) = Omos::restore(
+                CostModel::hpux(),
+                Transport::SysVMsg,
+                &mut fs,
+                &mut clock,
+                "/omos",
+            );
+            assert!(!rr.cold && rr.dropped == 0, "slot {slot}: {rr:?}");
+            assert_eq!(rr.ns_entries, 4);
+            assert!(r.instantiate("/bin/hello").unwrap().cache_hit);
+            // Undo for the next iteration.
+            bytes[mid] ^= 0x40;
+            fs.unlink(slot, &mut clock, &cost);
+            fs.write(slot, &bytes, &mut clock, &cost).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_journal_copy_still_replays_the_bind() {
+        let (mut fs, mut clock) = env();
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        s.bind_object_durable(
+            "/obj/a.o",
+            assemble("a.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+            &mut fs,
+            &mut clock,
+            "/omos",
+        )
+        .unwrap();
+        let clean = fs.peek("/omos/journal").unwrap().to_vec();
+        let cost = CostModel::hpux();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x01;
+            fs.unlink("/omos/journal", &mut clock, &cost);
+            fs.write("/omos/journal", &bad, &mut clock, &cost).unwrap();
+            let (r, rr) = Omos::restore(
+                CostModel::hpux(),
+                Transport::SysVMsg,
+                &mut fs,
+                &mut clock,
+                "/omos",
+            );
+            assert_eq!(rr.journal_records, 1, "corruption at byte {i}");
+            assert!(r.namespace.lookup("/obj/a.o").is_some());
+        }
+    }
+
+    #[test]
+    fn restore_from_empty_fs_is_cold_not_an_error() {
+        let (mut fs, mut clock) = env();
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(rr.cold);
+        assert_eq!(rr.ns_entries + rr.images + rr.replies, 0);
+        assert!(r.namespace.is_empty());
+    }
+
+    #[test]
+    fn journal_binds_survive_without_checkpoint() {
+        let (mut fs, mut clock) = env();
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        s.bind_object_durable(
+            "/obj/a.o",
+            assemble("a.o", ".text\n.global _start\n_start: sys 0\n").unwrap(),
+            &mut fs,
+            &mut clock,
+            "/omos",
+        )
+        .unwrap();
+        s.bind_meta_durable(
+            "/bin/a",
+            Blueprint::parse("(merge /obj/a.o)").unwrap(),
+            &mut fs,
+            &mut clock,
+            "/omos",
+        )
+        .unwrap();
+
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(rr.cold, "no manifest yet");
+        assert_eq!(rr.journal_records, 2);
+        assert!(r.instantiate("/bin/a").is_ok());
+    }
+
+    #[test]
+    fn durable_unbind_replays() {
+        let (mut fs, mut clock) = env();
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        s.bind_object_durable(
+            "/obj/a.o",
+            assemble("a.o", ".text\nnop\n").unwrap(),
+            &mut fs,
+            &mut clock,
+            "/omos",
+        )
+        .unwrap();
+        assert!(s
+            .unbind_durable("/obj/a.o", &mut fs, &mut clock, "/omos")
+            .unwrap());
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert_eq!(rr.journal_records, 2);
+        assert!(r.namespace.lookup("/obj/a.o").is_none());
+    }
+
+    #[test]
+    fn journal_rebind_invalidates_restored_reply() {
+        let s = server_with_workload();
+        s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        // After the checkpoint, a durable rebind of a dependency lands
+        // in the journal.
+        s.bind_object_durable(
+            "/libc/stdio.o",
+            assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 9\n ret\n").unwrap(),
+            &mut fs,
+            &mut clock,
+            "/omos",
+        )
+        .unwrap();
+
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert_eq!(rr.replies, 1, "the row installs...");
+        let reply = r.instantiate("/bin/hello").unwrap();
+        assert!(
+            !reply.cache_hit,
+            "...but the journal rebind invalidates it on first probe"
+        );
+    }
+
+    #[test]
+    fn corrupt_image_file_degrades_to_relink() {
+        let s = server_with_workload();
+        let cold = s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        let rep = s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+
+        // Flip one byte in the program image's file.
+        let path = img_path("/omos", cold.program.key);
+        let mut bytes = fs.peek(&path).unwrap().to_vec();
+        let flip = rep.bytes_written as usize % bytes.len();
+        bytes[flip] ^= 0x01;
+        let cost = CostModel::hpux();
+        fs.unlink(&path, &mut clock, &cost);
+        fs.write(&path, &bytes, &mut clock, &cost).unwrap();
+
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(rr.dropped >= 2, "the image and the reply row that needs it");
+        let rebuilt = r.instantiate("/bin/hello").unwrap();
+        assert!(!rebuilt.cache_hit, "relinked on demand");
+        assert_eq!(
+            encode_image(&rebuilt.program.image),
+            encode_image(&cold.program.image),
+            "relink reproduces the same image"
+        );
+    }
+
+    #[test]
+    fn restore_counters_land_in_trace_snapshot() {
+        let s = server_with_workload();
+        s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        let counters = r.trace_snapshot().counters;
+        assert_eq!(counters.restore_ns_entries, rr.ns_entries as u64);
+        assert_eq!(counters.restore_images, rr.images as u64);
+        assert_eq!(counters.restore_replies, rr.replies as u64);
+        assert_eq!(counters.restore_cold, 0);
+        let (_, rr2) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut InMemFs::new(),
+            &mut clock,
+            "/omos",
+        );
+        assert!(rr2.cold);
+    }
+
+    #[test]
+    fn write_fault_during_checkpoint_preserves_previous_manifest() {
+        let s = server_with_workload();
+        s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+
+        // Arm a fault so the *second* checkpoint dies partway through.
+        fs.set_write_fault(100);
+        assert!(s.checkpoint(&mut fs, &mut clock, "/omos").is_err());
+        fs.clear_write_fault();
+
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(!rr.cold, "first checkpoint still restores");
+        assert!(r.instantiate("/bin/hello").unwrap().cache_hit);
+    }
+
+    #[test]
+    fn faulted_durable_bind_is_not_applied() {
+        let (mut fs, mut clock) = env();
+        let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+        fs.set_write_fault(0);
+        let r = s.bind_object_durable(
+            "/obj/a.o",
+            assemble("a.o", ".text\nnop\n").unwrap(),
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert!(r.is_err());
+        assert!(
+            s.namespace.lookup("/obj/a.o").is_none(),
+            "write-ahead: no journal record, no bind"
+        );
+    }
+}

@@ -152,12 +152,14 @@ struct EvalEntry {
     gen: u64,
 }
 
-/// A cached full reply plus its dependency record.
+/// A cached full reply plus its dependency record. `pub(crate)` so the
+/// persistence layer can write reply rows into a checkpoint and seed
+/// them back on restore.
 #[derive(Debug, Clone)]
-struct ReplyEntry {
-    reply: InstantiateReply,
-    deps: Arc<BTreeSet<String>>,
-    gen: u64,
+pub(crate) struct ReplyEntry {
+    pub(crate) reply: InstantiateReply,
+    pub(crate) deps: Arc<BTreeSet<String>>,
+    pub(crate) gen: u64,
 }
 
 /// One registered `lib-dynamic` implementation. The build slot doubles
@@ -228,7 +230,7 @@ pub struct Omos {
     solver: Mutex<PlacementSolver>,
     counters: Counters,
     eval_cache: Sharded<ContentHash, EvalEntry>,
-    reply_cache: Sharded<ContentHash, ReplyEntry>,
+    pub(crate) reply_cache: Sharded<ContentHash, ReplyEntry>,
     reply_flight: SingleFlight<ContentHash, Result<InstantiateReply, OmosError>>,
     image_flight: SingleFlight<ContentHash, Result<(Arc<CachedImage>, u64), OmosError>>,
     dynamic: RwLock<Vec<Arc<DynamicLib>>>,
@@ -240,13 +242,21 @@ pub struct Omos {
 
 impl Omos {
     /// Starts a server with the given machine cost profile and client
-    /// transport.
+    /// transport and an unbounded image cache.
     #[must_use]
     pub fn new(cost: CostModel, transport: Transport) -> Omos {
+        Omos::with_image_budget(cost, transport, u64::MAX)
+    }
+
+    /// Starts a server whose image cache is capped at `budget` bytes
+    /// (the paper's "disk space for caching multiple versions of large
+    /// libraries could be significant" knob).
+    #[must_use]
+    pub fn with_image_budget(cost: CostModel, transport: Transport, budget: u64) -> Omos {
         let tracer = Arc::new(Tracer::new());
         Omos {
             namespace: Namespace::new(),
-            images: ImageCache::new(u64::MAX).with_tracer(Arc::clone(&tracer)),
+            images: ImageCache::new(budget).with_tracer(Arc::clone(&tracer)),
             transport,
             cost,
             solver: Mutex::new(PlacementSolver::new()),
@@ -634,9 +644,11 @@ impl Omos {
             .filter_map(|(i, p)| p.work.take().map(|(obj, opts)| (i, obj, opts, p.image_key)))
             .collect();
         let mut link_ns = vec![0u64; prepared.len()];
+        let mut linked_by_key: HashMap<ContentHash, Arc<CachedImage>> = HashMap::new();
         if !work.is_empty() {
             let cursor = AtomicUsize::new(0);
-            let results: Mutex<Vec<(usize, Result<u64, OmosError>)>> =
+            type LinkResult = Result<(Arc<CachedImage>, u64), OmosError>;
+            let results: Mutex<Vec<(usize, LinkResult)>> =
                 Mutex::new(Vec::with_capacity(work.len()));
             std::thread::scope(|s| {
                 for _ in 0..jobs.min(work.len()) {
@@ -645,7 +657,7 @@ impl Omos {
                         let Some((idx, obj, opts, image_key)) = work.get(at) else {
                             break;
                         };
-                        let r = self.link_prepared(obj, opts, *image_key).map(|(_, ns)| ns);
+                        let r = self.link_prepared(obj, opts, *image_key);
                         lock(&results).push((*idx, r));
                     });
                 }
@@ -655,7 +667,11 @@ impl Omos {
             // completion order, so failures match the sequential path.
             results.sort_by_key(|(i, _)| *i);
             for (idx, r) in results {
-                link_ns[idx] = r?;
+                let (img, ns) = r?;
+                link_ns[idx] = ns;
+                // Hold the Arc: probing the cache again below would
+                // race a tight budget that already evicted the image.
+                linked_by_key.insert(prepared[idx].image_key, img);
             }
         }
         let (slots, link_makespan) = schedule_independent(&link_ns, jobs);
@@ -667,16 +683,21 @@ impl Omos {
         }
         self.tracer.advance(link_makespan);
         server_ns += link_ns.iter().sum::<u64>();
+        // Every uncached entry was either linked above or deduped
+        // against an earlier work item with the same key, so
+        // `linked_by_key` covers it — never re-probe the cache here,
+        // which under a tight byte budget may have evicted the image
+        // already (that re-probe used to be an `expect()` panic).
         let libraries: Vec<Arc<CachedImage>> = prepared
             .iter()
-            .map(|p| match &p.cached {
-                Some(img) => Arc::clone(img),
-                None => self
-                    .images
-                    .get(p.image_key)
-                    .expect("linked (or deduped) just above"),
+            .map(|p| match (&p.cached, linked_by_key.get(&p.image_key)) {
+                (Some(img), _) | (None, Some(img)) => Ok(Arc::clone(img)),
+                (None, None) => Err(OmosError::Client(format!(
+                    "library image {:?} vanished during linking",
+                    p.image_key
+                ))),
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         // Link the client against the placed libraries (single-flight,
         // on the request thread: the address-constraint solve and the
@@ -1364,6 +1385,51 @@ mod tests {
         assert_eq!(s.stats().programs_built, 0, "rejected before eval/link");
         // Clean blueprints still instantiate, warnings don't block.
         assert!(s.instantiate("/bin/hello").is_ok());
+    }
+
+    #[test]
+    fn tiny_image_budget_with_parallel_link_is_not_a_panic() {
+        // Regression: with an image budget too small to keep anything
+        // resident, the parallel link path used to re-probe the cache
+        // for an image it had just inserted (and the cache had already
+        // evicted) and panicked on the missing entry. Linked images
+        // must flow to the reply directly, not via a cache round-trip.
+        let s = Omos::with_image_budget(CostModel::hpux(), Transport::SysVMsg, 1);
+        s.set_eval_jobs(2);
+        s.namespace.bind_object(
+            "/obj/main.o",
+            assemble(
+                "main.o",
+                ".text\n.global _start\n_start: call _a\n call _b\n sys 0\n",
+            )
+            .unwrap(),
+        );
+        s.namespace.bind_object(
+            "/liba/a.o",
+            assemble("a.o", ".text\n.global _a\n_a: li r1, 1\n ret\n").unwrap(),
+        );
+        s.namespace.bind_object(
+            "/libb/b.o",
+            assemble("b.o", ".text\n.global _b\n_b: li r1, 2\n ret\n").unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                "/lib/a",
+                "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge /liba/a.o)",
+            )
+            .unwrap();
+        s.namespace
+            .bind_blueprint(
+                "/lib/b",
+                "(constraint-list \"T\" 0x2000000 \"D\" 0x42000000)\n(merge /libb/b.o)",
+            )
+            .unwrap();
+        s.namespace
+            .bind_blueprint("/bin/two", "(merge /obj/main.o /lib/a /lib/b)")
+            .unwrap();
+        let reply = s.instantiate("/bin/two").unwrap();
+        assert_eq!(reply.libraries.len(), 2);
+        assert!(reply.program.image.entry.is_some());
     }
 
     #[test]

@@ -100,6 +100,26 @@ impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Clones every entry out — a consistent point-in-time snapshot
+    /// (all shard read-locks held together, like [`Sharded::len`]).
+    /// Used by the checkpoint writer, which must not see a half-updated
+    /// cache.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        guards
+            .iter()
+            .flat_map(|g| g.iter().map(|(k, v)| (k.clone(), v.clone())))
+            .collect()
+    }
 }
 
 /// The state a flight passes through. `Abandoned` means the leader

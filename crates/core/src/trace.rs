@@ -482,6 +482,20 @@ counter_family! {
     /// Spans written to the ring (monotone; `min(spans_recorded,
     /// RING_CAPACITY)` are retained).
     spans_recorded,
+    /// Namespace bindings rebuilt from a checkpoint manifest.
+    restore_ns_entries,
+    /// Cached images reinstalled from a checkpoint.
+    restore_images,
+    /// Reply-cache entries reinstalled from a checkpoint.
+    restore_replies,
+    /// Journal records replayed on restore.
+    restore_journal,
+    /// Persisted entries dropped on restore (corrupt, truncated,
+    /// version-skewed, or referencing a dropped image) — each will be
+    /// relinked on demand.
+    restore_dropped,
+    /// Restores that found no usable manifest and started cold.
+    restore_cold,
 }
 
 /// A full tracer snapshot: counters, per-stage histograms, and the
@@ -866,6 +880,33 @@ impl Tracer {
         };
         cell.fetch_add(n, Ordering::Relaxed);
         self.instant(SpanKind::Evict(cache, reason));
+    }
+
+    /// Records the outcome of a checkpoint restore: how many namespace
+    /// bindings, images, and replies came back, how many journal
+    /// records replayed, how many persisted entries were dropped (each
+    /// degrades to an on-demand relink), and whether the restore fell
+    /// back to a cold start.
+    pub fn restore(
+        &self,
+        ns: u64,
+        images: u64,
+        replies: u64,
+        journal: u64,
+        dropped: u64,
+        cold: bool,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.c.restore_ns_entries.fetch_add(ns, Ordering::Relaxed);
+        self.c.restore_images.fetch_add(images, Ordering::Relaxed);
+        self.c.restore_replies.fetch_add(replies, Ordering::Relaxed);
+        self.c.restore_journal.fetch_add(journal, Ordering::Relaxed);
+        self.c.restore_dropped.fetch_add(dropped, Ordering::Relaxed);
+        if cold {
+            self.c.restore_cold.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records this request's single-flight disposition. Followers pass

@@ -26,6 +26,7 @@ pub mod error;
 pub mod image;
 pub mod linker;
 pub mod stubs;
+pub mod wire;
 
 pub use dynamic::{build_dyn_executable, build_dyn_library, DynExecutable, DynLibrary, PltEntry};
 pub use error::{LinkError, LinkResult};
@@ -36,3 +37,4 @@ pub use linker::{
 };
 
 pub use stubs::{make_partial_stubs, FunctionHashTable, STUB_INSTS, STUB_TEXT_BYTES};
+pub use wire::{decode_image, encode_image};

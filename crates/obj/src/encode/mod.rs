@@ -14,9 +14,11 @@
 //! object-file switch in the paper does.
 
 pub mod aout;
+pub mod container;
 pub mod som;
 mod wire;
 
+pub use container::ContainerKind;
 pub use wire::{Reader, Writer};
 
 use crate::error::{ObjError, Result};

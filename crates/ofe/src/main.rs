@@ -37,6 +37,15 @@
 //! ofe stats [FILE]                 per-stage latency percentiles and
 //!                                  trace counters from an mcbench
 //!                                  report (default BENCH_CONCURRENCY.json)
+//! ofe checkpoint BLUEPRINT OUTDIR  instantiate the blueprint on an
+//!                                  in-process server, checkpoint the
+//!                                  server's durable state, and export
+//!                                  the checkpoint files under OUTDIR
+//! ofe restore DIR [BLUEPRINT]      rebuild a server from a checkpoint
+//!                                  directory and report what survived
+//!                                  verification; with a blueprint,
+//!                                  also serve one request from the
+//!                                  restored caches
 //! ```
 
 use std::fmt::Write as _;
@@ -67,7 +76,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|trace|stats> ...";
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|trace|stats|checkpoint|restore> ...";
 
 /// Executes one OFE command; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, String> {
@@ -180,6 +189,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
             [] => stats_report("BENCH_CONCURRENCY.json"),
             [file] => stats_report(file),
             _ => Err("stats [FILE]".into()),
+        },
+        "checkpoint" => match rest {
+            [file, outdir] => checkpoint_blueprint(file, outdir),
+            _ => Err("checkpoint BLUEPRINT OUTDIR".into()),
+        },
+        "restore" => match rest {
+            [dir] => restore_dir(dir, None),
+            [dir, file] => restore_dir(dir, Some(file)),
+            _ => Err("restore DIR [BLUEPRINT]".into()),
         },
         _ => Err(USAGE.to_string()),
     }
@@ -305,6 +323,175 @@ fn collect_leaves(node: &omos_blueprint::MNode, out: &mut Vec<String>) {
         | N::Specialize { operand, .. } => collect_leaves(operand, out),
         N::Source { .. } => {}
     }
+}
+
+/// Where checkpoints live on the simulated disk while `ofe` shuttles
+/// them to and from the real filesystem.
+const CKPT_DIR: &str = "/omos/ckpt";
+
+/// `ofe checkpoint`: binds the blueprint's operand files into a fresh
+/// in-process server (exactly as `ofe trace` does), instantiates it
+/// once so the image and reply caches are warm, checkpoints the
+/// server's durable state onto a simulated disk, and exports the
+/// checkpoint files under `outdir` in the real filesystem. The
+/// directory round-trips through `ofe restore`.
+fn checkpoint_blueprint(file: &str, outdir: &str) -> Result<String, String> {
+    use omos_core::Omos;
+    use omos_os::{CostModel, InMemFs, SimClock, Transport};
+
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
+    let base = std::path::Path::new(file)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf();
+
+    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let mut seen = std::collections::BTreeSet::new();
+    bind_operands(&server, &base, &bp.root, &mut seen)?;
+    let reply = server
+        .instantiate_blueprint(&bp)
+        .map_err(|e| format!("{file}: {e}"))?;
+
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let rep = server
+        .checkpoint(&mut fs, &mut clock, CKPT_DIR)
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    let exported = export_tree(&mut fs, &mut clock, CKPT_DIR, std::path::Path::new(outdir))?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "checkpoint seq {}: {} bindings, {} images, {} replies \
+         ({} bytes, modeled {} ns sync writes)",
+        rep.seq, rep.ns_entries, rep.images, rep.replies, rep.bytes_written, clock.elapsed_ns,
+    );
+    let _ = writeln!(
+        report,
+        "request {} ({}, server {} ns); exported {exported} files to {outdir}",
+        reply.req,
+        if reply.cache_hit {
+            "cache hit"
+        } else {
+            "built"
+        },
+        reply.server_ns,
+    );
+    Ok(report)
+}
+
+/// `ofe restore`: imports every file under `dir` onto a simulated
+/// disk, rebuilds a server from the checkpoint, and reports what
+/// survived verification. Damaged artifacts are dropped, never fatal —
+/// the restored server relinks them on demand. With a blueprint, one
+/// request is served so the caller can see whether the restored reply
+/// cache answered it.
+fn restore_dir(dir: &str, blueprint: Option<&String>) -> Result<String, String> {
+    use omos_core::Omos;
+    use omos_os::{CostModel, InMemFs, SimClock, Transport};
+
+    let cost = CostModel::hpux();
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    let imported = import_tree(
+        &mut fs,
+        &mut clock,
+        &cost,
+        CKPT_DIR,
+        std::path::Path::new(dir),
+    )?;
+    if imported == 0 {
+        return Err(format!("{dir}: no checkpoint files"));
+    }
+    let (server, rr) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, CKPT_DIR);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "restored {imported} files: {} bindings, {} images, {} replies, \
+         {} journal records, {} dropped{}",
+        rr.ns_entries,
+        rr.images,
+        rr.replies,
+        rr.journal_records,
+        rr.dropped,
+        if rr.cold { " (cold start)" } else { "" },
+    );
+    if let Some(file) = blueprint {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
+        let reply = server
+            .instantiate_blueprint(&bp)
+            .map_err(|e| format!("{file}: {e}"))?;
+        let _ = writeln!(
+            report,
+            "request {} ({}, server {} ns, {} pages)",
+            reply.req,
+            if reply.cache_hit {
+                "cache hit"
+            } else {
+                "built"
+            },
+            reply.server_ns,
+            reply.total_pages(),
+        );
+    }
+    Ok(report)
+}
+
+/// Copies a simulated directory tree out to the real filesystem.
+fn export_tree(
+    fs: &mut omos_os::InMemFs,
+    clock: &mut omos_os::SimClock,
+    dir: &str,
+    out: &std::path::Path,
+) -> Result<usize, String> {
+    let cost = omos_os::CostModel::hpux();
+    std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let entries = fs
+        .list_dir(dir, clock, &cost)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    let mut n = 0;
+    for (name, stat) in entries {
+        let sim = format!("{dir}/{name}");
+        let real = out.join(&name);
+        if stat.mode == 1 {
+            n += export_tree(fs, clock, &sim, &real)?;
+        } else {
+            let bytes = fs.peek(&sim).map_err(|e| format!("{sim}: {e}"))?.to_vec();
+            std::fs::write(&real, bytes).map_err(|e| format!("{}: {e}", real.display()))?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Copies a real directory tree onto the simulated disk.
+fn import_tree(
+    fs: &mut omos_os::InMemFs,
+    clock: &mut omos_os::SimClock,
+    cost: &omos_os::CostModel,
+    dir: &str,
+    src: &std::path::Path,
+) -> Result<usize, String> {
+    let entries = std::fs::read_dir(src).map_err(|e| format!("{}: {e}", src.display()))?;
+    let mut n = 0;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", src.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let sim = format!("{dir}/{name}");
+        let path = entry.path();
+        if path.is_dir() {
+            n += import_tree(fs, clock, cost, &sim, &path)?;
+        } else {
+            let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            fs.write(&sim, &bytes, clock, cost)
+                .map_err(|e| format!("{sim}: {e}"))?;
+            n += 1;
+        }
+    }
+    Ok(n)
 }
 
 /// `ofe stats`: reads an mcbench report and renders the per-stage
@@ -860,5 +1047,66 @@ _msg:       .asciz "hello-world"
         assert!(run(&[]).is_err());
         assert!(run(&args(&["nm", "/no/such/file"])).is_err());
         assert!(run(&args(&["convert", "elf", "a", "b"])).is_err());
+    }
+
+    fn write_main(name: &str) -> String {
+        let path = tmp(name);
+        let obj = assemble(
+            name,
+            ".text\n.global _start\n_start: call _malloc\n sys 0\n",
+        )
+        .unwrap();
+        std::fs::write(&path, write(Format::Aout, &obj)).unwrap();
+        path
+    }
+
+    #[test]
+    fn checkpoint_then_restore_serves_the_reply_from_cache() {
+        let lib = write_sample("ck-lib.o");
+        let main = write_main("ck-main.o");
+        let bp = tmp("ck.bp");
+        std::fs::write(&bp, format!("(merge {main} {lib})")).unwrap();
+        let out = tmp("ck-dir");
+
+        let rep = run(&args(&["checkpoint", &bp, &out])).unwrap();
+        assert!(rep.contains("checkpoint seq 1"), "{rep}");
+        assert!(rep.contains("2 bindings"), "{rep}");
+        assert!(rep.contains("1 replies"), "{rep}");
+
+        // Both manifest copies plus at least one image made it out.
+        assert!(std::path::Path::new(&out).join("manifest.a").is_file());
+        assert!(std::path::Path::new(&out).join("manifest.b").is_file());
+
+        let plain = run(&args(&["restore", &out])).unwrap();
+        assert!(plain.contains("0 dropped"), "{plain}");
+        assert!(!plain.contains("cold start"), "{plain}");
+
+        let served = run(&args(&["restore", &out, &bp])).unwrap();
+        assert!(served.contains("cache hit"), "{served}");
+    }
+
+    #[test]
+    fn restore_survives_a_damaged_checkpoint_file() {
+        let lib = write_sample("ckd-lib.o");
+        let main = write_main("ckd-main.o");
+        let bp = tmp("ckd.bp");
+        std::fs::write(&bp, format!("(merge {main} {lib})")).unwrap();
+        let out = tmp("ckd-dir");
+        run(&args(&["checkpoint", &bp, &out])).unwrap();
+
+        // Flip a byte in the middle of one manifest copy; its twin
+        // still restores everything.
+        let victim = std::path::Path::new(&out).join("manifest.a");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&victim, bytes).unwrap();
+
+        let served = run(&args(&["restore", &out, &bp])).unwrap();
+        assert!(served.contains("cache hit"), "{served}");
+
+        let missing = tmp("ckd-empty");
+        std::fs::create_dir_all(&missing).unwrap();
+        assert!(run(&args(&["restore", &missing])).is_err());
     }
 }

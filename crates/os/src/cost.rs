@@ -62,11 +62,16 @@ pub struct CostModel {
     pub read_byte_ns: u64,
     /// Writing one byte.
     pub write_byte_ns: u64,
-    /// First-touch disk latency for an uncached file.
+    /// First-touch disk latency for an uncached file. Synchronous
+    /// writes also pay this once per operation — the write does not
+    /// return until the disk commits.
     pub disk_latency_ns: u64,
-    /// Multiplier applied to writes in synchronous-write mode (the
-    /// paper's "factor of three worse when writing to a traditional NFS"
-    /// remark).
+    /// Byte-cost multiplier for synchronous-write mode (the paper's
+    /// "factor of three worse when writing to a traditional NFS"
+    /// remark). A sync write charges `base * (mult - 1) +
+    /// disk_latency_ns` of I/O wait on top of the `base` system time an
+    /// asynchronous write pays; at the local-disk setting of 1 the
+    /// surcharge is the per-op disk commit alone.
     pub sync_write_mult: u64,
 
     // --- Linking -----------------------------------------------------------------

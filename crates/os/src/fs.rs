@@ -22,6 +22,11 @@ pub enum FsError {
     IsADirectory(String),
     /// Tried to list a regular file.
     NotADirectory(String),
+    /// A write hit an injected crash point (see
+    /// [`InMemFs::set_write_fault`]): the prefix that fit was applied,
+    /// the rest was lost, and the "process" is considered dead — every
+    /// later write fails too.
+    Fault(String),
 }
 
 impl fmt::Display for FsError {
@@ -30,6 +35,7 @@ impl fmt::Display for FsError {
             FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
             FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
             FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::Fault(p) => write!(f, "simulated crash during write: {p}"),
         }
     }
 }
@@ -66,6 +72,17 @@ enum Node {
     Dir,
 }
 
+/// Crash-point fault-injection state: how many more bytes of write
+/// traffic land on "disk" before the process dies mid-write.
+#[derive(Debug, Clone, Copy)]
+enum WriteFault {
+    /// `remaining` more bytes will be applied; the write that crosses
+    /// zero is torn (its prefix persists) and fails.
+    Armed { remaining: u64 },
+    /// The crash already happened; every write fails without effect.
+    Tripped,
+}
+
 /// The in-memory filesystem.
 #[derive(Debug, Default)]
 pub struct InMemFs {
@@ -75,6 +92,7 @@ pub struct InMemFs {
     pub sync_writes: bool,
     /// Total bytes written (for the static-link I/O experiment).
     pub bytes_written: u64,
+    fault: Option<WriteFault>,
 }
 
 fn normalize(path: &str) -> String {
@@ -185,8 +203,32 @@ impl InMemFs {
         }
     }
 
+    /// Arms crash-point fault injection: `after_bytes` more bytes of
+    /// write traffic are applied normally, then the write that crosses
+    /// the threshold is torn — its prefix persists, the call returns
+    /// [`FsError::Fault`], and every subsequent write fails with no
+    /// effect (the "process" died mid-write). `after_bytes == 0` kills
+    /// the very next write before any of its bytes land.
+    pub fn set_write_fault(&mut self, after_bytes: u64) {
+        self.fault = Some(WriteFault::Armed {
+            remaining: after_bytes,
+        });
+    }
+
+    /// Disarms fault injection (models the next process incarnation,
+    /// which can write again).
+    pub fn clear_write_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// True once an armed fault has actually killed a write.
+    #[must_use]
+    pub fn write_fault_tripped(&self) -> bool {
+        matches!(self.fault, Some(WriteFault::Tripped))
+    }
+
     /// Appends to (or creates) a file, charging per byte with the
-    /// synchronous-write multiplier when enabled.
+    /// synchronous-write surcharge when enabled.
     pub fn write(
         &mut self,
         path: &str,
@@ -195,26 +237,57 @@ impl InMemFs {
         cost: &CostModel,
     ) -> Result<(), FsError> {
         let p = normalize(path);
+        // Resolve fault injection first: a torn write persists only the
+        // prefix that made it to "disk" before the crash.
+        let (applied, faulted) = match self.fault {
+            None => (data, false),
+            // Already dead: nothing reaches the disk at all.
+            Some(WriteFault::Tripped) => return Err(FsError::Fault(p)),
+            Some(WriteFault::Armed { remaining }) => {
+                if (data.len() as u64) <= remaining {
+                    self.fault = Some(WriteFault::Armed {
+                        remaining: remaining - data.len() as u64,
+                    });
+                    (data, false)
+                } else {
+                    self.fault = Some(WriteFault::Tripped);
+                    (&data[..remaining as usize], true)
+                }
+            }
+        };
         match self.nodes.get_mut(&p) {
             Some(Node::Dir) => return Err(FsError::IsADirectory(p)),
-            Some(Node::File { bytes, .. }) => bytes.extend_from_slice(data),
+            Some(Node::File { bytes, .. }) => bytes.extend_from_slice(applied),
             None => {
-                self.put(&p, data.to_vec());
+                self.put(&p, applied.to_vec());
             }
         }
-        let mult = if self.sync_writes {
-            cost.sync_write_mult.max(1)
-        } else {
-            1
-        };
-        let base = data.len() as u64 * cost.write_byte_ns;
+        let base = applied.len() as u64 * cost.write_byte_ns;
         clock.charge_system(base);
-        if mult > 1 {
-            // Synchronous writes wait on the disk per operation.
+        if self.sync_writes {
+            // A synchronous write waits on the disk every operation: the
+            // full-latency commit plus any multiplier surcharge. The
+            // (mult - 1) factor scales only the byte cost — one disk
+            // commit is owed per op even at mult == 1.
+            let mult = cost.sync_write_mult.max(1);
             clock.charge_io_wait(base * (mult - 1) + cost.disk_latency_ns);
         }
-        self.bytes_written += data.len() as u64;
+        self.bytes_written += applied.len() as u64;
+        if faulted {
+            return Err(FsError::Fault(p));
+        }
         Ok(())
+    }
+
+    /// Removes a file or (empty) directory, charging a path lookup.
+    /// Missing paths are fine — unlink is used to clear stale state and
+    /// is idempotent.
+    pub fn unlink(&mut self, path: &str, clock: &mut SimClock, cost: &CostModel) {
+        let p = normalize(path);
+        clock.charge_system(cost.open_ns);
+        if p != "/" {
+            self.nodes.remove(&p);
+        }
     }
 
     /// Stats a path.
@@ -349,6 +422,78 @@ mod tests {
         fs.write("/out", &[0; 1000], &mut clock, &cost).unwrap();
         assert!(clock.elapsed_ns - before > 2 * async_elapsed);
         assert_eq!(fs.bytes_written, 2000);
+    }
+
+    #[test]
+    fn sync_write_charge_matches_doc_formula() {
+        // An async write charges base = len * write_byte_ns of system
+        // time and nothing else; a sync write adds exactly
+        // base * (mult - 1) + disk_latency_ns of I/O wait.
+        for mult in [1u64, 3] {
+            let (mut fs, mut clock, mut cost) = setup();
+            cost.sync_write_mult = mult;
+            let base = 1000 * cost.write_byte_ns;
+            fs.write("/a", &[0; 1000], &mut clock, &cost).unwrap();
+            assert_eq!(clock.system_ns, base);
+            assert_eq!(clock.elapsed_ns, base, "async writes never wait on disk");
+            fs.sync_writes = true;
+            let (sys0, el0) = (clock.system_ns, clock.elapsed_ns);
+            fs.write("/a", &[0; 1000], &mut clock, &cost).unwrap();
+            assert_eq!(clock.system_ns - sys0, base);
+            assert_eq!(
+                clock.elapsed_ns - el0,
+                base + base * (mult - 1) + cost.disk_latency_ns,
+                "sync write at mult={mult} must pay the per-op disk commit"
+            );
+        }
+    }
+
+    #[test]
+    fn write_fault_tears_and_kills() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.set_write_fault(4);
+        // First 4 bytes land, then the crossing write is torn.
+        fs.write("/j", &[1, 2], &mut clock, &cost).unwrap();
+        assert!(matches!(
+            fs.write("/j", &[3, 4, 5, 6], &mut clock, &cost),
+            Err(FsError::Fault(_))
+        ));
+        assert!(fs.write_fault_tripped());
+        assert_eq!(fs.peek("/j").unwrap(), &[1, 2, 3, 4]);
+        // Dead process: later writes fail with no effect, even to new
+        // paths.
+        assert!(matches!(
+            fs.write("/other", &[9], &mut clock, &cost),
+            Err(FsError::Fault(_))
+        ));
+        assert!(!fs.exists("/other"));
+        assert_eq!(fs.bytes_written, 4);
+        // Restart: the next incarnation writes normally again.
+        fs.clear_write_fault();
+        fs.write("/j", &[7], &mut clock, &cost).unwrap();
+        assert_eq!(fs.peek("/j").unwrap(), &[1, 2, 3, 4, 7]);
+    }
+
+    #[test]
+    fn write_fault_at_zero_kills_first_write() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.set_write_fault(0);
+        assert!(matches!(
+            fs.write("/f", &[1, 2, 3], &mut clock, &cost),
+            Err(FsError::Fault(_))
+        ));
+        // The file exists but is empty: creation happened, no payload.
+        assert_eq!(fs.peek("/f").unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn unlink_removes_and_is_idempotent() {
+        let (mut fs, mut clock, cost) = setup();
+        fs.put("/x/y", vec![1]);
+        fs.unlink("/x/y", &mut clock, &cost);
+        assert!(!fs.exists("/x/y"));
+        fs.unlink("/x/y", &mut clock, &cost); // no-op, no panic
+        assert_eq!(clock.system_ns, 2 * cost.open_ns);
     }
 
     #[test]

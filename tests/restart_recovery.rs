@@ -1,0 +1,515 @@
+//! Crash-point fault injection for the durability layer.
+//!
+//! The server's durable state — namespace bindings (via the write-ahead
+//! journal), cached images, placement state, and reply rows (via
+//! checkpoints) — must survive a crash at *any byte offset* of any
+//! persistence write. After recovery the server must answer every
+//! request identically (bit-identical images, and an identical bill
+//! once both sides are warm) to a cold server holding the same
+//! bindings; a completed checkpoint must additionally make the restored
+//! server's first answer cheaper than a cold relink.
+//!
+//! The crash-point set defaults to {0, 1, N/4, N/2, 3N/4, N-1} of the
+//! N-byte persistence stream and can be pinned from the environment
+//! (`OMOS_CRASH_POINTS=0,1,half,last`) so CI can sweep a matrix.
+
+use proptest::prelude::*;
+
+use omos::core::{InstantiateReply, Omos};
+use omos::isa::assemble;
+use omos::link::encode_image;
+use omos::obj::encode::{read_any, write, Format};
+use omos::obj::ObjectFile;
+use omos::os::ipc::Transport;
+use omos::os::{CostModel, InMemFs, SimClock};
+
+const DIR: &str = "/omos/ckpt";
+const NLIBS: usize = 3;
+
+/// Round-trips an object through an on-disk encoding, so workloads
+/// exercise a chosen [`Format`] end to end.
+fn via(fmt: Format, obj: &ObjectFile) -> ObjectFile {
+    read_any(&write(fmt, obj)).unwrap()
+}
+
+fn lib_obj(i: usize, val: u8) -> ObjectFile {
+    assemble(
+        &format!("lib{i}.o"),
+        &format!(".text\n.global _f{i}\n_f{i}: li r1, {val}\n ret\n"),
+    )
+    .unwrap()
+}
+
+fn app_obj() -> ObjectFile {
+    let calls: String = (0..NLIBS).map(|i| format!(" call _f{i}\n")).collect();
+    assemble(
+        "app.o",
+        &format!(".text\n.global _start\n_start:\n{calls} sys 0\n"),
+    )
+    .unwrap()
+}
+
+/// Binds the standard workload *durably* (journaled), so bindings are
+/// recoverable even when no checkpoint ever completed. `vals` gives
+/// each library's distinguishing payload.
+fn bind_durable(s: &Omos, fmt: Format, vals: &[u8], fs: &mut InMemFs, clock: &mut SimClock) {
+    for (i, &val) in vals.iter().enumerate() {
+        s.bind_object_durable(
+            &format!("/obj/lib{i}.o"),
+            via(fmt, &lib_obj(i, val)),
+            fs,
+            clock,
+            DIR,
+        )
+        .unwrap();
+        s.bind_meta_durable(
+            &format!("/lib/l{i}"),
+            omos::blueprint::Blueprint::parse(&format!(
+                "(constraint-list \"T\" {:#x} \"D\" {:#x})\n(merge /obj/lib{i}.o)",
+                0x0100_0000u64 + (i as u64) * 0x0010_0000,
+                0x4100_0000u64 + (i as u64) * 0x0010_0000,
+            ))
+            .unwrap(),
+            fs,
+            clock,
+            DIR,
+        )
+        .unwrap();
+    }
+    s.bind_object_durable("/obj/app.o", via(fmt, &app_obj()), fs, clock, DIR)
+        .unwrap();
+    let libs: String = (0..vals.len()).map(|i| format!(" /lib/l{i}")).collect();
+    s.bind_meta_durable(
+        "/bin/app",
+        omos::blueprint::Blueprint::parse(&format!("(merge /obj/app.o{libs})")).unwrap(),
+        fs,
+        clock,
+        DIR,
+    )
+    .unwrap();
+    s.bind_meta_durable(
+        "/bin/solo",
+        omos::blueprint::Blueprint::parse("(merge /obj/app.o /lib/l0 /lib/l1 /lib/l2)").unwrap(),
+        fs,
+        clock,
+        DIR,
+    )
+    .unwrap();
+}
+
+/// A cold reference server with the same bindings, no persistence.
+fn cold_reference(fmt: Format, transport: Transport, vals: &[u8]) -> Omos {
+    let s = Omos::new(CostModel::hpux(), transport);
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    bind_durable(&s, fmt, vals, &mut fs, &mut clock);
+    s
+}
+
+fn assert_images_identical(a: &InstantiateReply, b: &InstantiateReply) {
+    assert_eq!(
+        encode_image(&a.program.image),
+        encode_image(&b.program.image),
+        "program images must be bit-identical"
+    );
+    assert_eq!(a.libraries.len(), b.libraries.len());
+    for (x, y) in a.libraries.iter().zip(&b.libraries) {
+        assert_eq!(
+            encode_image(&x.image),
+            encode_image(&y.image),
+            "library images must be bit-identical"
+        );
+    }
+}
+
+/// The full oracle: the recovered server must answer the request
+/// sequence with images bit-identical to a cold server's, and once both
+/// sides are warm the bills must match exactly.
+fn assert_answers_match(recovered: &Omos, cold: &Omos) {
+    for path in ["/bin/app", "/bin/solo", "/bin/app"] {
+        let r = recovered
+            .instantiate(path)
+            .unwrap_or_else(|e| panic!("recovered server failed {path}: {e:?}"));
+        let c = cold.instantiate(path).unwrap();
+        assert_images_identical(&r, &c);
+    }
+    // Steady state: both warm now; bills are identical.
+    for path in ["/bin/app", "/bin/solo"] {
+        let r = recovered.instantiate(path).unwrap();
+        let c = cold.instantiate(path).unwrap();
+        assert!(r.cache_hit && c.cache_hit);
+        assert_eq!(r.server_ns, c.server_ns, "warm bill must match for {path}");
+    }
+}
+
+/// Crash offsets to sweep: {0, 1, N/4, N/2, 3N/4, N-1} by default, or
+/// the `OMOS_CRASH_POINTS` list (`0`, `1`, `half`, `last`, or numbers).
+fn crash_points(n: u64) -> Vec<u64> {
+    assert!(n >= 2, "persistence stream too small to sweep");
+    let points = match std::env::var("OMOS_CRASH_POINTS") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|tok| match tok.trim() {
+                "half" => n / 2,
+                "last" => n - 1,
+                num => num
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad OMOS_CRASH_POINTS token `{num}`")),
+            })
+            .collect(),
+        Err(_) => vec![0, 1, n / 4, n / 2, 3 * n / 4, n - 1],
+    };
+    let mut points: Vec<u64> = points.into_iter().map(|p| p.min(n - 1)).collect();
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Crash during the *first* checkpoint, at every swept offset: the
+/// journaled bindings alone must recover the server.
+#[test]
+fn crash_during_first_checkpoint_recovers_from_journal() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let cold = cold_reference(Format::Aout, Transport::SysVMsg, &vals);
+
+    // Measure the checkpoint's byte stream on a clean run.
+    let s = Omos::new(cost, Transport::SysVMsg);
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+    s.instantiate("/bin/app").unwrap();
+    s.instantiate("/bin/solo").unwrap();
+    let n = s
+        .checkpoint(&mut fs, &mut clock, DIR)
+        .unwrap()
+        .bytes_written;
+
+    for k in crash_points(n) {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.instantiate("/bin/solo").unwrap();
+
+        fs.set_write_fault(k);
+        assert!(
+            s.checkpoint(&mut fs, &mut clock, DIR).is_err(),
+            "checkpoint must report the crash at byte {k}"
+        );
+        fs.clear_write_fault();
+
+        let (recovered, report) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+        assert!(
+            recovered.namespace.len() >= 8,
+            "journal replay must rebuild the namespace (crash at {k}, report {report:?})"
+        );
+        assert_answers_match(&recovered, &cold);
+    }
+}
+
+/// Crash during a *second* checkpoint: the first, committed checkpoint
+/// plus the journal written since must recover the server — including
+/// a durable rebind made between the two checkpoints.
+///
+/// The reference here is a *live* server with the same history (bind,
+/// build, rebind), not a cold one: the placement solver rightly
+/// remembers the first lib1 version's address, so the rebuilt lib1
+/// lands at its second-version address on both sides.
+#[test]
+fn crash_during_second_checkpoint_falls_back_to_first() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let reference = cold_reference(Format::Aout, Transport::SysVMsg, &vals);
+    reference.instantiate("/bin/app").unwrap();
+    reference
+        .namespace
+        .bind_object("/obj/lib1.o", via(Format::Aout, &lib_obj(1, 42)));
+
+    // Clean run to size the second checkpoint's byte stream.
+    let n = {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+        s.bind_object_durable(
+            "/obj/lib1.o",
+            via(Format::Aout, &lib_obj(1, 42)),
+            &mut fs,
+            &mut clock,
+            DIR,
+        )
+        .unwrap();
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR)
+            .unwrap()
+            .bytes_written
+    };
+
+    for k in crash_points(n) {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+        s.bind_object_durable(
+            "/obj/lib1.o",
+            via(Format::Aout, &lib_obj(1, 42)),
+            &mut fs,
+            &mut clock,
+            DIR,
+        )
+        .unwrap();
+        s.instantiate("/bin/app").unwrap();
+
+        fs.set_write_fault(k);
+        assert!(s.checkpoint(&mut fs, &mut clock, DIR).is_err());
+        fs.clear_write_fault();
+
+        let (recovered, report) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+        assert!(
+            !report.cold,
+            "the first checkpoint must still be recoverable (crash at {k})"
+        );
+        assert_answers_match(&recovered, &reference);
+    }
+}
+
+/// Crash at every offset of a journal append: the bind fails cleanly,
+/// nothing earlier is lost, and the torn record tail never confuses a
+/// later recovery.
+#[test]
+fn crash_during_journal_append_loses_only_the_unacked_bind() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let cold = cold_reference(Format::Aout, Transport::SysVMsg, &vals);
+
+    // Size one bind's journal record.
+    let record_bytes = {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        let before = fs.bytes_written;
+        s.bind_object_durable("/obj/extra.o", lib_obj(9, 1), &mut fs, &mut clock, DIR)
+            .unwrap();
+        fs.bytes_written - before
+    };
+
+    for k in crash_points(record_bytes) {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+
+        fs.set_write_fault(k);
+        assert!(
+            s.bind_object_durable("/obj/extra.o", lib_obj(9, 1), &mut fs, &mut clock, DIR)
+                .is_err(),
+            "faulted append must fail the bind (crash at {k})"
+        );
+        fs.clear_write_fault();
+        assert!(
+            s.namespace.lookup("/obj/extra.o").is_none(),
+            "write-ahead: unacked bind must not be visible"
+        );
+
+        let (recovered, _) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+        // Records are doubled: a tear in the first copy loses the bind
+        // entirely; a tear in the second leaves one complete copy, and
+        // replay applies the (idempotent) bind at least once. Either
+        // way the bind is atomic — present in full or not at all — and
+        // earlier bindings answer identically.
+        if let Some(omos::core::Entry::Object(obj)) = recovered.namespace.lookup("/obj/extra.o") {
+            assert_eq!(obj.content_hash(), lib_obj(9, 1).content_hash());
+        }
+        assert_answers_match(&recovered, &cold);
+    }
+}
+
+/// A completed checkpoint makes the restored server's first answer a
+/// warm hit — strictly cheaper than the cold relink it replaces.
+#[test]
+fn completed_checkpoint_beats_cold_relink() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let s = Omos::new(cost, Transport::SysVMsg);
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+    s.instantiate("/bin/app").unwrap();
+    s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+
+    let (recovered, report) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+    assert!(!report.cold && report.replies >= 1 && report.dropped == 0);
+    let warm = recovered.instantiate("/bin/app").unwrap();
+    assert!(
+        warm.cache_hit,
+        "restored reply row serves the first request"
+    );
+
+    let cold = cold_reference(Format::Aout, Transport::SysVMsg, &vals);
+    let cold_first = cold.instantiate("/bin/app").unwrap();
+    assert!(
+        warm.server_ns < cold_first.server_ns,
+        "restored answer ({}) must beat the cold relink ({})",
+        warm.server_ns,
+        cold_first.server_ns
+    );
+    assert_images_identical(&warm, &cold_first);
+}
+
+/// Checkpoint/restore round-trips under every object [`Format`] and
+/// every IPC [`Transport`].
+#[test]
+fn roundtrip_under_every_format_and_transport() {
+    let cost = CostModel::hpux();
+    let vals = [3u8, 5, 9];
+    for fmt in [Format::Aout, Format::Som] {
+        for transport in Transport::ALL {
+            let s = Omos::new(cost, transport);
+            let mut fs = InMemFs::new();
+            let mut clock = SimClock::new();
+            bind_durable(&s, fmt, &vals, &mut fs, &mut clock);
+            s.instantiate("/bin/app").unwrap();
+            s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+
+            let (recovered, report) = Omos::restore(cost, transport, &mut fs, &mut clock, DIR);
+            assert!(
+                !report.cold && report.dropped == 0,
+                "{} over {}: {report:?}",
+                fmt.name(),
+                transport.name()
+            );
+            assert_answers_match(&recovered, &cold_reference(fmt, transport, &vals));
+        }
+    }
+}
+
+/// Single-byte corruption of *any* persisted file degrades to a relink
+/// (or a journal-tail drop) — never a panic, never a wrong answer.
+#[test]
+fn single_byte_corruption_of_any_file_degrades_to_relink() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let cold = cold_reference(Format::Aout, Transport::SysVMsg, &vals);
+
+    // Enumerate every persisted file.
+    let files: Vec<String> = {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+        // Keep a journal record on disk too, so its corruption is swept.
+        s.bind_object_durable("/obj/extra.o", lib_obj(9, 1), &mut fs, &mut clock, DIR)
+            .unwrap();
+        let mut out = Vec::new();
+        let mut stack = vec![DIR.to_string()];
+        while let Some(d) = stack.pop() {
+            for (name, st) in fs.list_dir(&d, &mut clock, &cost).unwrap() {
+                let p = format!("{d}/{name}");
+                if st.mode == 1 {
+                    stack.push(p);
+                } else {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    };
+    // Image files for the program and each library, both manifest
+    // copies, and the journal.
+    assert!(files.len() >= 7, "expected a populated checkpoint tree");
+
+    for path in &files {
+        // Corrupt the start, middle, and end of each file.
+        for probe in 0..3usize {
+            let s = Omos::new(cost, Transport::SysVMsg);
+            let mut fs = InMemFs::new();
+            let mut clock = SimClock::new();
+            bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+            s.instantiate("/bin/app").unwrap();
+            s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+            s.bind_object_durable("/obj/extra.o", lib_obj(9, 1), &mut fs, &mut clock, DIR)
+                .unwrap();
+
+            let mut bytes = fs.peek(path).unwrap().to_vec();
+            let at = match probe {
+                0 => 0,
+                1 => bytes.len() / 2,
+                _ => bytes.len() - 1,
+            };
+            bytes[at] ^= 0x01;
+            fs.unlink(path, &mut clock, &cost);
+            fs.write(path, &bytes, &mut clock, &cost).unwrap();
+
+            let (recovered, _) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+            // The flipped byte may have landed in the journal record
+            // binding /obj/extra.o — that bind is allowed to vanish,
+            // everything else must answer identically.
+            assert_answers_match(&recovered, &cold);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `restore ∘ checkpoint` is the identity on durable cache
+    /// contents: namespace bindings, image-cache keys and bytes, and
+    /// reply rows all survive, for arbitrary workload payloads.
+    #[test]
+    fn restore_checkpoint_identity(
+        vals in proptest::collection::vec(1u8..200, NLIBS..=NLIBS),
+        warm in any::<bool>(),
+    ) {
+        let cost = CostModel::hpux();
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        let baseline = if warm {
+            Some(s.instantiate("/bin/app").unwrap())
+        } else {
+            None
+        };
+        let rep = s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+
+        let (r, rr) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+        prop_assert!(!rr.cold);
+        prop_assert_eq!(rr.dropped, 0);
+        prop_assert_eq!(rr.ns_entries, s.namespace.len());
+        prop_assert_eq!(rr.images, rep.images);
+
+        // Namespace: same paths, same kinds.
+        let paths = |o: &Omos| -> Vec<String> {
+            o.namespace.entries().into_iter().map(|(p, _)| p).collect()
+        };
+        prop_assert_eq!(paths(&r), paths(&s));
+
+        // Image cache: same keys, bit-identical bytes.
+        let mut orig: Vec<_> = s.images.entries();
+        let mut back: Vec<_> = r.images.entries();
+        orig.sort_by_key(|i| i.key.0);
+        back.sort_by_key(|i| i.key.0);
+        prop_assert_eq!(orig.len(), back.len());
+        for (a, b) in orig.iter().zip(&back) {
+            prop_assert_eq!(a.key, b.key);
+            prop_assert_eq!(encode_image(&a.image), encode_image(&b.image));
+            prop_assert_eq!(a.link_stats, b.link_stats);
+        }
+
+        // Reply rows: a checkpointed warm reply answers immediately.
+        if let Some(baseline) = baseline {
+            prop_assert_eq!(rr.replies, 1);
+            let again = r.instantiate("/bin/app").unwrap();
+            prop_assert!(again.cache_hit);
+            assert_images_identical(&again, &baseline);
+        }
+    }
+}
