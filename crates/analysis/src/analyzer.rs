@@ -16,7 +16,7 @@ use omos_link::make_partial_stubs;
 use omos_module::generate_initializers;
 use omos_obj::view::{apply_view_op, ViewOp};
 use omos_obj::{
-    ObjError, ObjectFile, Regex, Relocation, SectionKind, Symbol, SymbolBinding, SymbolDef,
+    ObjError, ObjectFile, Regex, Relocation, Section, SectionKind, Symbol, SymbolBinding, SymbolDef,
 };
 
 use crate::{Diagnostic, LintContext, LintResolved, Severity};
@@ -24,6 +24,27 @@ use crate::{Diagnostic, LintContext, LintResolved, Severity};
 /// Analyzes a blueprint without materializing any view, returning every
 /// finding sorted by source position.
 pub fn analyze_blueprint(bp: &Blueprint, ctx: &mut dyn LintContext) -> Vec<Diagnostic> {
+    analyze_blueprint_report(bp, ctx).diagnostics
+}
+
+/// What the symbolic walk learned beyond the findings: inputs the
+/// resolution-manifest derivation needs that only the analyzer can see
+/// without materializing anything.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Every finding, sorted by source position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Symbols replaced by an `override` conflict, in occurrence order
+    /// (the manifest canonicalizes by sorting and deduplicating).
+    pub interpositions: Vec<String>,
+    /// Names of the shared libraries the graph references, in
+    /// resolution order.
+    pub libraries: Vec<String>,
+}
+
+/// [`analyze_blueprint`] plus the walk's side products (interposition
+/// chain, library list) for manifest derivation.
+pub fn analyze_blueprint_report(bp: &Blueprint, ctx: &mut dyn LintContext) -> AnalysisReport {
     let mut a = Analyzer {
         ctx,
         bp,
@@ -31,6 +52,7 @@ pub fn analyze_blueprint(bp: &Blueprint, ctx: &mut dyn LintContext) -> Vec<Diagn
         libs: Vec::new(),
         interpositions: Vec::new(),
         ref_origins: HashMap::new(),
+        leaf_sites: Vec::new(),
         visiting: Vec::new(),
         meta_span: None,
         meta_depth: 0,
@@ -42,7 +64,11 @@ pub fn analyze_blueprint(bp: &Blueprint, ctx: &mut dyn LintContext) -> Vec<Diagn
     a.finish(root);
     let mut diags = a.diags;
     diags.sort_by_key(|d| (d.span.map_or(usize::MAX, |s| s.start), d.code));
-    diags
+    AnalysisReport {
+        diagnostics: diags,
+        interpositions: a.interpositions.into_iter().map(|(n, _)| n).collect(),
+        libraries: a.libs.into_iter().map(|l| l.name).collect(),
+    }
 }
 
 /// The symbol-flow summary of one m-graph subtree.
@@ -84,6 +110,10 @@ struct Analyzer<'a> {
     interpositions: Vec<(String, Option<Span>)>,
     /// First node that left each name as a free reference.
     ref_origins: HashMap<String, Option<Span>>,
+    /// Every namespace-path resolution the walk performed, one entry
+    /// per m-graph site (OM014: each site is a separate read of mutable
+    /// namespace state, so ≥2 sites form a generation-race window).
+    leaf_sites: Vec<(String, Option<Span>)>,
     /// Meta-object paths on the resolution stack (cycle detection).
     visiting: Vec<String>,
     /// Inside a referenced meta-object, all findings point at the leaf
@@ -137,22 +167,30 @@ impl Analyzer<'_> {
     fn node_inner(&mut self, n: &MNode, path: &mut Vec<u32>) -> NodeState {
         let span = self.span_at(path);
         match n {
-            MNode::Leaf(p) => match self.ctx.resolve(p) {
-                LintResolved::Object(o) => NodeState {
-                    obj: skeleton(&o),
-                    poisoned: false,
-                },
-                LintResolved::Meta(bp2) => self.meta(p, &bp2, span),
-                LintResolved::Missing => {
-                    self.emit(
-                        Severity::Error,
-                        "OM001",
-                        format!("namespace path `{p}` does not resolve"),
-                        span,
-                    );
-                    NodeState::empty(true)
+            MNode::Leaf(p) => {
+                // Only the request's own graph races a rebind directly;
+                // a referenced meta-object's internal leaves resolve
+                // under its single outer lookup.
+                if self.meta_depth == 0 {
+                    self.leaf_sites.push((p.clone(), span));
                 }
-            },
+                match self.ctx.resolve(p) {
+                    LintResolved::Object(o) => NodeState {
+                        obj: skeleton(&o),
+                        poisoned: false,
+                    },
+                    LintResolved::Meta(bp2) => self.meta(p, &bp2, span),
+                    LintResolved::Missing => {
+                        self.emit(
+                            Severity::Error,
+                            "OM001",
+                            format!("namespace path `{p}` does not resolve"),
+                            span,
+                        );
+                        NodeState::empty(true)
+                    }
+                }
+            }
             MNode::Merge(items) => self.merge(items, path, span),
             MNode::Override(a, b) => {
                 let sa = self.descend(a, path, 0);
@@ -373,6 +411,11 @@ impl Analyzer<'_> {
             }
             MNode::Leaf(p) => match self.ctx.resolve(p) {
                 LintResolved::Meta(bp2) if !bp2.constraints.is_empty() => {
+                    // This site never reaches `node_inner` (the merge
+                    // consumes it as a library), so record it here.
+                    if self.meta_depth == 0 {
+                        self.leaf_sites.push((p.clone(), span));
+                    }
                     let st = self.meta(p, &bp2, span);
                     Some(self.lib_info(p.clone(), &st, bp2.constraints.clone(), span))
                 }
@@ -647,8 +690,9 @@ impl Analyzer<'_> {
         }
 
         // OM006 — an override replaced a definition nobody references:
-        // the interposition cannot be observed.
-        let candidates = std::mem::take(&mut self.interpositions);
+        // the interposition cannot be observed. (The list itself is kept:
+        // it is the manifest's interposition chain.)
+        let candidates = self.interpositions.clone();
         for (name, span) in candidates {
             let referenced = root.obj.relocs.iter().any(|r| r.symbol == name);
             if !referenced {
@@ -719,6 +763,117 @@ impl Analyzer<'_> {
         for (msg, span) in overlaps {
             self.emit(Severity::Warning, "OM008", msg, span);
         }
+
+        // OM012 — the same symbol exported by more than one library:
+        // the first-definition-wins extern fold makes the binding
+        // depend on operand order, so the resolution is ambiguous.
+        let mut providers: Vec<(String, Vec<String>, Option<Span>)> = Vec::new();
+        for lib in &self.libs {
+            for e in &lib.exports {
+                match providers.iter_mut().find(|(s, _, _)| s == e) {
+                    Some((_, who, _)) => who.push(lib.name.clone()),
+                    None => providers.push((e.clone(), vec![lib.name.clone()], lib.span)),
+                }
+            }
+        }
+        providers.sort_by(|a, b| a.0.cmp(&b.0));
+        for (sym, who, span) in providers {
+            if who.len() >= 2 {
+                self.emit(
+                    Severity::Warning,
+                    "OM012",
+                    format!(
+                        "symbol `{sym}` is exported by {} libraries ({}); the binding follows operand order",
+                        who.len(),
+                        who.join(", ")
+                    ),
+                    span,
+                );
+            }
+        }
+
+        // OM013 — interposition-order sensitivity: a symbol interposed
+        // more than once, or interposed *and* exported by a library —
+        // either way the effective definition depends on the order the
+        // operations (or the extern fold) are applied in.
+        let mut findings: Vec<(String, Option<Span>)> = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for (name, span) in &self.interpositions {
+            if seen.contains(&name.as_str()) {
+                continue;
+            }
+            seen.push(name);
+            let times = self
+                .interpositions
+                .iter()
+                .filter(|(n, _)| n == name)
+                .count();
+            if times >= 2 {
+                findings.push((
+                    format!("`{name}` is interposed {times} times; the surviving definition depends on override order"),
+                    *span,
+                ));
+            }
+            if let Some(lib) = self.libs.iter().find(|l| l.exports.contains(name)) {
+                findings.push((
+                    format!(
+                        "`{name}` is interposed and also exported by library `{}`; the binding depends on interposition order",
+                        lib.name
+                    ),
+                    *span,
+                ));
+            }
+        }
+        for (msg, span) in findings {
+            self.emit(Severity::Warning, "OM013", msg, span);
+        }
+
+        // OM014 — a namespace path resolved at several m-graph sites:
+        // each site is an independent read of mutable namespace state,
+        // so a concurrent rebind between the reads yields a torn graph
+        // (one site sees the old generation, another the new).
+        let mut sites: Vec<(String, usize, Option<Span>)> = Vec::new();
+        for (path, span) in &self.leaf_sites {
+            match sites.iter_mut().find(|(p, _, _)| p == path) {
+                Some((_, n, _)) => *n += 1,
+                None => sites.push((path.clone(), 1, *span)),
+            }
+        }
+        sites.sort_by(|a, b| a.0.cmp(&b.0));
+        for (path, n, span) in sites {
+            if n >= 2 {
+                self.emit(
+                    Severity::Warning,
+                    "OM014",
+                    format!(
+                        "namespace path `{path}` is resolved at {n} sites; a rebind concurrent with instantiation can produce a torn graph"
+                    ),
+                    span,
+                );
+            }
+        }
+
+        // OM015 — a library without a pinned base for one of its
+        // segment classes: placement falls back to first-fit, which
+        // depends on the server's prior request history, so the layout
+        // (and every manifest hashing it) is unstable across runs.
+        let mut unpinned: Vec<(String, Option<Span>)> = Vec::new();
+        for lib in &self.libs {
+            for class in [RegionClass::Text, RegionClass::Data] {
+                if !lib.constraints.iter().any(|(c, _)| *c == class) {
+                    unpinned.push((
+                        format!(
+                            "library `{}` has no preferred {class:?} base; placement is first-fit and varies with request history",
+                            lib.name
+                        ),
+                        lib.span,
+                    ));
+                }
+            }
+        }
+        for (msg, span) in unpinned {
+            self.emit(Severity::Warning, "OM015", msg, span);
+        }
     }
 }
 
@@ -743,9 +898,15 @@ enum PatternRole {
 fn skeleton(obj: &ObjectFile) -> ObjectFile {
     let mut s = ObjectFile::new(&obj.name);
     for sec in &obj.sections {
-        let mut c = sec.clone();
-        c.bytes = Vec::new();
-        s.sections.push(c);
+        // Field-by-field, never `sec.clone()`: cloning would memcpy the
+        // section contents only to drop them, making lint pay O(bytes).
+        s.sections.push(Section {
+            name: sec.name.clone(),
+            kind: sec.kind,
+            bytes: Vec::new(),
+            size: sec.size,
+            align: sec.align,
+        });
     }
     s.symbols = obj.symbols.clone();
     s.relocs = obj.relocs.clone();
@@ -1048,6 +1209,83 @@ mod tests {
             before,
             "analysis must not materialize any view"
         );
+    }
+
+    #[test]
+    fn ambiguous_library_export_reports_om012() {
+        let mut ctx = ls_world();
+        ctx.add_meta(
+            "/lib/libd",
+            r#"
+            (constraint-list "T" 0x2000000 "D" 0x42000000)
+            (merge /libc/stdio2.o)
+            "#,
+        );
+        let diags = lint(&mut ctx, "(merge /obj/ls.o /lib/libc /lib/libd)");
+        assert_eq!(codes(&diags), ["OM012"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("_puts"), "{diags:?}");
+        assert!(diags[0].message.contains("/lib/libc"), "{diags:?}");
+        assert!(diags[0].message.contains("/lib/libd"), "{diags:?}");
+    }
+
+    #[test]
+    fn order_dependent_interposition_reports_om013() {
+        let mut ctx = ls_world();
+        // Interposed twice: the surviving definition depends on the
+        // order the overrides apply in.
+        ctx.add_asm(
+            "/libc/stdio3.o",
+            ".text\n.global _puts\n_puts: li r1, 2\n ret\n",
+        );
+        let diags = lint(
+            &mut ctx,
+            "(merge /obj/ls.o (override (override /libc/stdio.o /libc/stdio2.o) /libc/stdio3.o))",
+        );
+        assert_eq!(codes(&diags), ["OM013"], "{diags:?}");
+        assert!(diags[0].message.contains("2 times"), "{diags:?}");
+
+        // Interposed *and* exported by a library.
+        let diags = lint(
+            &mut ctx,
+            "(merge /obj/ls.o /lib/libc (override /libc/stdio.o /libc/stdio2.o))",
+        );
+        assert_eq!(codes(&diags), ["OM013"], "{diags:?}");
+        assert!(diags[0].message.contains("/lib/libc"), "{diags:?}");
+    }
+
+    #[test]
+    fn repeated_leaf_resolution_reports_om014() {
+        let mut ctx = ls_world();
+        let src = r#"(merge /obj/ls.o (rename "^_puts$" "_puts2" /libc/stdio.o) /libc/stdio.o)"#;
+        let diags = lint(&mut ctx, src);
+        assert_eq!(codes(&diags), ["OM014"], "{diags:?}");
+        assert!(diags[0].message.contains("/libc/stdio.o"), "{diags:?}");
+        assert!(diags[0].message.contains("2 sites"), "{diags:?}");
+    }
+
+    #[test]
+    fn meta_internal_leaves_do_not_count_as_om014_sites() {
+        // `/lib/libc` resolves `/libc/stdio.o` internally; the root
+        // resolving it once more is still a single *request-visible*
+        // site — the meta's leaves resolve under its one outer lookup.
+        let mut ctx = ls_world();
+        let diags = lint(&mut ctx, "(merge /obj/ls.o /lib/libc /libc/stdio.o)");
+        assert!(
+            !codes(&diags).contains(&"OM014"),
+            "meta-internal site leaked: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unpinned_library_base_reports_om015() {
+        let mut ctx = ls_world();
+        let src = r#"(merge /obj/ls.o (constrain "T" 0x3000000 /libc/stdio.o))"#;
+        let diags = lint(&mut ctx, src);
+        assert_eq!(codes(&diags), ["OM015"], "{diags:?}");
+        assert!(diags[0].message.contains("Data"), "{diags:?}");
+        // A fully pinned library is quiet (covered by
+        // `library_export_satisfies_client_reference`).
     }
 
     #[test]

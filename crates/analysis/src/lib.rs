@@ -34,6 +34,17 @@
 //! | OM009 | error | a merge of only shared libraries (empty client) |
 //! | OM010 | error | an unparseable symbol-selector regex |
 //! | OM011 | error | a `source` operand that does not compile |
+//! | OM012 | warning | a symbol exported by more than one library (ambiguous provider) |
+//! | OM013 | warning | an interposition whose effect depends on operator order |
+//! | OM014 | warning | a namespace path resolved at several sites (generation race window) |
+//! | OM015 | warning | a library without a pinned base (history-dependent placement) |
+//! | OM016 | error | the static manifest disagrees with what the linker did |
+//!
+//! OM016 is not produced by the blueprint walk: it is emitted by
+//! [`manifest::divergence`] when a statically derived
+//! [`manifest::ResolutionManifest`] is compared against one built from
+//! real link artifacts — the analyzer/linker contract the differential
+//! tests enforce.
 
 use std::fmt;
 use std::sync::Arc;
@@ -42,8 +53,9 @@ use omos_blueprint::{Blueprint, Span};
 use omos_obj::ObjectFile;
 
 mod analyzer;
+pub mod manifest;
 
-pub use analyzer::analyze_blueprint;
+pub use analyzer::{analyze_blueprint, analyze_blueprint_report, AnalysisReport};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

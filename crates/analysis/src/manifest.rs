@@ -1,0 +1,719 @@
+//! Static resolution manifests.
+//!
+//! A [`ResolutionManifest`] is the canonical record of every link-time
+//! decision an instantiation commits to — which library provides each
+//! symbol, where every segment lands, which interpositions are in
+//! effect, and the content keys of the images that would be produced —
+//! derived **without executing a link**: [`derive_manifest`] evaluates
+//! the m-graph (view algebra only), replays placement on an imported
+//! copy of the solver state, and plans export addresses with the
+//! linker's own layout pass ([`omos_link::layout_symbols`]). No image
+//! is linked and no relocation is applied.
+//!
+//! The server builds the same manifest from the artifacts it actually
+//! produced; [`divergence`] compares the two and reports any
+//! disagreement as an `OM016` error — the analyzer/linker contract the
+//! differential tests enforce (see DESIGN.md §4.12).
+//!
+//! # Canonicalization
+//!
+//! * libraries appear in resolution (left-to-right, downstream) order —
+//!   the order is semantic, so it is preserved, not sorted;
+//! * bindings are sorted by symbol name;
+//! * interpositions are sorted and deduplicated;
+//! * the encoding writes the canonical form with the shared
+//!   little-endian wire primitives inside a sealed
+//!   [`ContainerKind::Resolution`] frame, so two manifests that compare
+//!   equal encode byte-identically and [`ResolutionManifest::hash`] is
+//!   a pure function of the resolution.
+
+use std::collections::{BTreeMap, HashMap};
+
+use omos_blueprint::{eval_blueprint, Blueprint, EvalContext};
+use omos_constraint::{
+    PlacementRequest, PlacementSolver, RegionClass, SegmentRequest, SolverState,
+};
+use omos_link::{layout_symbols, LinkOptions};
+use omos_obj::encode::container::{self, ContainerKind};
+use omos_obj::encode::{Reader, Writer};
+use omos_obj::{fnv1a, ContentHash, ObjError, SectionKind};
+
+use crate::analyzer::analyze_blueprint_report;
+use crate::{Diagnostic, LintContext, Severity};
+
+/// Default client text base when no `constraint-list` pins it (programs
+/// overlap freely across tasks; only libraries need globally consistent
+/// placement). The server re-exports this — the value lives here so the
+/// static analyzer and the linker path cannot drift.
+pub const CLIENT_TEXT_BASE: u32 = 0x0001_0000;
+/// Default client data base, kept below the library data window.
+pub const CLIENT_DATA_BASE: u32 = 0x3000_0000;
+
+/// Provider name recorded for symbols the client module defines itself.
+pub const PROGRAM_PROVIDER: &str = "<program>";
+
+/// Client segment bases: constraint-pinned when present, defaults
+/// otherwise. Shared by the server's program link and the static
+/// derivation.
+#[must_use]
+pub fn client_bases(cs: &[(RegionClass, u64)]) -> (u32, u32) {
+    let pref = |class| cs.iter().find(|(c, _)| *c == class).map(|(_, a)| *a as u32);
+    (
+        pref(RegionClass::Text).unwrap_or(CLIENT_TEXT_BASE),
+        pref(RegionClass::Data).unwrap_or(CLIENT_DATA_BASE),
+    )
+}
+
+/// One symbol's committed resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Symbol name.
+    pub symbol: String,
+    /// Providing library name, or [`PROGRAM_PROVIDER`] for symbols the
+    /// client module defines itself.
+    pub provider: String,
+    /// Bound virtual address.
+    pub addr: u32,
+}
+
+/// One library's placement and identity decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryResolution {
+    /// Library name.
+    pub name: String,
+    /// Content key of the evaluated library module.
+    pub key: ContentHash,
+    /// Placed text-segment base.
+    pub text_base: u32,
+    /// Placed data-segment base.
+    pub data_base: u32,
+    /// Image-cache key the bound library image will carry (covers
+    /// content, placement, and the extern bindings it links against).
+    pub image_key: ContentHash,
+}
+
+/// The client program's placement and identity decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramResolution {
+    /// Client text base.
+    pub text_base: u32,
+    /// Client data base.
+    pub data_base: u32,
+    /// Image-cache key the program image will carry.
+    pub image_key: ContentHash,
+}
+
+/// The canonical record of one instantiation's link-time decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolutionManifest {
+    /// Hash of the blueprint this resolution is for.
+    pub root: ContentHash,
+    /// Referenced libraries in resolution order.
+    pub libraries: Vec<LibraryResolution>,
+    /// The client program.
+    pub program: ProgramResolution,
+    /// Symbol bindings, sorted by symbol name.
+    pub bindings: Vec<Binding>,
+    /// Interposed symbols (override conflicts), sorted and deduplicated.
+    pub interpositions: Vec<String>,
+}
+
+impl ResolutionManifest {
+    fn payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.root.0);
+        w.u32(self.libraries.len() as u32);
+        for l in &self.libraries {
+            w.str(&l.name);
+            w.u64(l.key.0);
+            w.u32(l.text_base);
+            w.u32(l.data_base);
+            w.u64(l.image_key.0);
+        }
+        w.u32(self.program.text_base);
+        w.u32(self.program.data_base);
+        w.u64(self.program.image_key.0);
+        w.u32(self.bindings.len() as u32);
+        for b in &self.bindings {
+            w.str(&b.symbol);
+            w.str(&b.provider);
+            w.u32(b.addr);
+        }
+        w.u32(self.interpositions.len() as u32);
+        for i in &self.interpositions {
+            w.str(i);
+        }
+        w.into_bytes()
+    }
+
+    /// Serializes into a sealed [`ContainerKind::Resolution`] frame.
+    /// Canonical: equal manifests encode byte-identically.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        container::seal(ContainerKind::Resolution, &self.payload())
+    }
+
+    /// Decodes a sealed frame back into a manifest.
+    pub fn decode(bytes: &[u8]) -> Result<ResolutionManifest, ObjError> {
+        let payload = container::open(ContainerKind::Resolution, bytes)?;
+        let mut r = Reader::new(payload);
+        let root = ContentHash(r.u64()?);
+        let nlibs = r.u32()?;
+        let mut libraries = Vec::new();
+        for _ in 0..nlibs {
+            libraries.push(LibraryResolution {
+                name: r.str()?,
+                key: ContentHash(r.u64()?),
+                text_base: r.u32()?,
+                data_base: r.u32()?,
+                image_key: ContentHash(r.u64()?),
+            });
+        }
+        let program = ProgramResolution {
+            text_base: r.u32()?,
+            data_base: r.u32()?,
+            image_key: ContentHash(r.u64()?),
+        };
+        let nbind = r.u32()?;
+        let mut bindings = Vec::new();
+        for _ in 0..nbind {
+            bindings.push(Binding {
+                symbol: r.str()?,
+                provider: r.str()?,
+                addr: r.u32()?,
+            });
+        }
+        let ninter = r.u32()?;
+        let mut interpositions = Vec::new();
+        for _ in 0..ninter {
+            interpositions.push(r.str()?);
+        }
+        if r.remaining() != 0 {
+            return Err(ObjError::Malformed(format!(
+                "resolution: {} trailing payload bytes",
+                r.remaining()
+            )));
+        }
+        Ok(ResolutionManifest {
+            root,
+            libraries,
+            program,
+            bindings,
+            interpositions,
+        })
+    }
+
+    /// Content hash of the canonical payload. Two requests resolved the
+    /// same way carry the same hash, regardless of jobs or thread
+    /// count.
+    #[must_use]
+    pub fn hash(&self) -> ContentHash {
+        fnv1a(&self.payload())
+    }
+
+    /// Human-readable rendering (for `ofe explain`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "manifest {:016x} (blueprint {:016x})",
+            self.hash().0,
+            self.root.0
+        );
+        for l in &self.libraries {
+            let _ = writeln!(
+                s,
+                "  library {} text={:#010x} data={:#010x} image={:016x}",
+                l.name, l.text_base, l.data_base, l.image_key.0
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  program text={:#010x} data={:#010x} image={:016x}",
+            self.program.text_base, self.program.data_base, self.program.image_key.0
+        );
+        for i in &self.interpositions {
+            let _ = writeln!(s, "  interpose {i}");
+        }
+        for b in &self.bindings {
+            let _ = writeln!(
+                s,
+                "  bind {} -> {} @ {:#010x}",
+                b.symbol, b.provider, b.addr
+            );
+        }
+        s
+    }
+}
+
+/// What changed between two manifests. `ofe explain a b` renders this;
+/// the changed-binding set is exactly the dep-precise invalidation set
+/// a rebind induces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManifestDiff {
+    /// Bindings present in both but resolved differently (provider or
+    /// address moved). `(before, after)` pairs, sorted by symbol.
+    pub changed: Vec<(Binding, Binding)>,
+    /// Bindings only the second manifest has.
+    pub added: Vec<Binding>,
+    /// Bindings only the first manifest has.
+    pub removed: Vec<Binding>,
+    /// Libraries whose placement or image key moved (or that appear in
+    /// only one manifest).
+    pub libraries_changed: Vec<String>,
+    /// True when the program's placement or image key moved.
+    pub program_changed: bool,
+    /// Interposition sets differ.
+    pub interpositions_changed: bool,
+}
+
+impl ManifestDiff {
+    /// True when the two manifests resolved identically.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && self.libraries_changed.is_empty()
+            && !self.program_changed
+            && !self.interpositions_changed
+    }
+
+    /// Names of every symbol whose binding changed in any way — the
+    /// minimal set a dependent must re-examine after the rebind.
+    #[must_use]
+    pub fn changed_symbols(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .changed
+            .iter()
+            .map(|(b, _)| b.symbol.clone())
+            .chain(self.added.iter().map(|b| b.symbol.clone()))
+            .chain(self.removed.iter().map(|b| b.symbol.clone()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Human-readable rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        if self.is_empty() {
+            return "manifests are identical\n".to_string();
+        }
+        let mut s = String::new();
+        for name in &self.libraries_changed {
+            let _ = writeln!(s, "  library {name} moved or was rebuilt");
+        }
+        if self.program_changed {
+            let _ = writeln!(s, "  program image changed");
+        }
+        if self.interpositions_changed {
+            let _ = writeln!(s, "  interposition set changed");
+        }
+        for (a, b) in &self.changed {
+            let _ = writeln!(
+                s,
+                "  ~ {}: {} @ {:#010x} -> {} @ {:#010x}",
+                a.symbol, a.provider, a.addr, b.provider, b.addr
+            );
+        }
+        for b in &self.added {
+            let _ = writeln!(s, "  + {}: {} @ {:#010x}", b.symbol, b.provider, b.addr);
+        }
+        for b in &self.removed {
+            let _ = writeln!(s, "  - {}: {} @ {:#010x}", b.symbol, b.provider, b.addr);
+        }
+        s
+    }
+}
+
+/// Diffs two manifests: the changed-binding set plus placement/identity
+/// movement.
+#[must_use]
+pub fn diff(before: &ResolutionManifest, after: &ResolutionManifest) -> ManifestDiff {
+    let mut d = ManifestDiff::default();
+    let b_map: BTreeMap<&str, &Binding> = before
+        .bindings
+        .iter()
+        .map(|b| (b.symbol.as_str(), b))
+        .collect();
+    let a_map: BTreeMap<&str, &Binding> = after
+        .bindings
+        .iter()
+        .map(|b| (b.symbol.as_str(), b))
+        .collect();
+    for (sym, b) in &b_map {
+        match a_map.get(sym) {
+            Some(a) if *a != *b => d.changed.push(((*b).clone(), (*a).clone())),
+            Some(_) => {}
+            None => d.removed.push((*b).clone()),
+        }
+    }
+    for (sym, a) in &a_map {
+        if !b_map.contains_key(sym) {
+            d.added.push((*a).clone());
+        }
+    }
+    let b_libs: BTreeMap<&str, &LibraryResolution> = before
+        .libraries
+        .iter()
+        .map(|l| (l.name.as_str(), l))
+        .collect();
+    let a_libs: BTreeMap<&str, &LibraryResolution> = after
+        .libraries
+        .iter()
+        .map(|l| (l.name.as_str(), l))
+        .collect();
+    for (name, l) in &b_libs {
+        if a_libs.get(name) != Some(l) {
+            d.libraries_changed.push((*name).to_string());
+        }
+    }
+    for name in a_libs.keys() {
+        if !b_libs.contains_key(name) {
+            d.libraries_changed.push((*name).to_string());
+        }
+    }
+    d.libraries_changed.sort();
+    d.libraries_changed.dedup();
+    d.program_changed = before.program != after.program;
+    d.interpositions_changed = before.interpositions != after.interpositions;
+    d
+}
+
+/// Compares a statically derived manifest against the one built from
+/// the artifacts a real instantiation produced. Any disagreement is an
+/// `OM016` error: the analyzer's model of the linker has drifted, and
+/// the differential tests treat that as a hard failure.
+#[must_use]
+pub fn divergence(derived: &ResolutionManifest, actual: &ResolutionManifest) -> Vec<Diagnostic> {
+    fn emit_into(diags: &mut Vec<Diagnostic>, message: String) {
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            code: "OM016",
+            message,
+            span: None,
+        });
+    }
+    let mut diags = Vec::new();
+    if derived == actual {
+        return diags;
+    }
+    let d = diff(derived, actual);
+    {
+        let mut emit = |message: String| emit_into(&mut diags, message);
+        for name in &d.libraries_changed {
+            emit(format!(
+                "manifest/link divergence: library `{name}` placement or image key disagrees"
+            ));
+        }
+        if d.program_changed {
+            emit(format!(
+                "manifest/link divergence: program image disagrees ({:?} vs {:?})",
+                derived.program, actual.program
+            ));
+        }
+        if d.interpositions_changed {
+            emit("manifest/link divergence: interposition sets disagree".to_string());
+        }
+        for (a, b) in &d.changed {
+            emit(format!(
+                "manifest/link divergence: `{}` bound to {} @ {:#010x} statically but {} @ {:#010x} by the linker",
+                a.symbol, a.provider, a.addr, b.provider, b.addr
+            ));
+        }
+        for b in d.added.iter().chain(d.removed.iter()) {
+            emit(format!(
+                "manifest/link divergence: binding for `{}` present on one side only",
+                b.symbol
+            ));
+        }
+    }
+    if diags.is_empty() {
+        // Equal diffs but unequal manifests can only mean the root or
+        // library *order* differs.
+        emit_into(
+            &mut diags,
+            "manifest/link divergence: root hash or library order disagrees".to_string(),
+        );
+    }
+    diags
+}
+
+fn round_page(v: u64) -> u64 {
+    (v + 4095) & !4095
+}
+
+/// Derives the resolution manifest for `bp` by symbolic traversal:
+/// evaluates the m-graph (view algebra, no linking), replays placement
+/// on a private copy of `solver`, and plans every export address with
+/// the linker's layout pass. The real link is never executed and no
+/// image bytes are produced.
+///
+/// `solver` is the exported state of the authoritative placement
+/// solver: replaying placement against a copy returns exactly the
+/// addresses the server would hand out (known libraries reuse their
+/// recorded ranges; unknown ones get the same deterministic first-fit
+/// the server's next cold build would commit).
+pub fn derive_manifest(
+    bp: &Blueprint,
+    eval_ctx: &dyn EvalContext,
+    lint_ctx: &mut dyn LintContext,
+    solver: &SolverState,
+) -> Result<ResolutionManifest, String> {
+    let out = eval_blueprint(bp, eval_ctx).map_err(|e| format!("eval failed: {e}"))?;
+    let mut sv = PlacementSolver::import_state(solver);
+
+    let mut externs: HashMap<String, u32> = HashMap::new();
+    let mut providers: HashMap<String, String> = HashMap::new();
+    let mut libraries = Vec::with_capacity(out.libraries.len());
+    for lib in &out.libraries {
+        let obj = lib
+            .module
+            .materialize()
+            .map_err(|e| format!("materialize `{}` failed: {e}", lib.name))?;
+        let text_size = obj.size_of_kind(SectionKind::Text) + obj.size_of_kind(SectionKind::RoData);
+        let data_size = obj.size_of_kind(SectionKind::Data) + obj.size_of_kind(SectionKind::Bss);
+        let pref = |class| {
+            lib.constraints
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|&(_, a)| a)
+        };
+        let segments = vec![
+            SegmentRequest {
+                class: RegionClass::Text,
+                size: round_page(text_size.max(1)),
+                align: 4096,
+                preferred: pref(RegionClass::Text),
+            },
+            SegmentRequest {
+                class: RegionClass::Data,
+                size: round_page(data_size.max(1)),
+                align: 4096,
+                preferred: pref(RegionClass::Data),
+            },
+        ];
+        let placement = sv
+            .place(
+                &PlacementRequest {
+                    name: lib.name.clone(),
+                    key: lib.key.0,
+                    segments,
+                },
+                &[],
+            )
+            .map_err(|e| format!("placement of `{}` failed: {e}", lib.name))?;
+        let text_base = placement.allocations[0].base as u32;
+        let data_base = placement.allocations[1].base as u32;
+
+        // The image key recipe must match the server's exactly: content,
+        // placement, and the extern bindings the library links against.
+        let mut image_key = lib
+            .key
+            .with_str("library")
+            .with_u64(u64::from(text_base))
+            .with_u64(u64::from(data_base));
+        {
+            let mut ext: Vec<(&String, &u32)> = externs.iter().collect();
+            ext.sort();
+            for (name, addr) in ext {
+                image_key = image_key.with_str(name).with_u64(u64::from(*addr));
+            }
+        }
+
+        let mut opts = LinkOptions::library(&lib.name, text_base, data_base);
+        opts.externs = externs.clone();
+        let symbols = layout_symbols(std::slice::from_ref(&obj), &opts)
+            .map_err(|e| format!("layout of `{}` failed: {e}", lib.name))?;
+        // Left-to-right, first-definition-wins extern fold ("all
+        // definitions of variables must be made in the library furthest
+        // downstream").
+        let mut syms: Vec<(String, u32)> = symbols.into_iter().collect();
+        syms.sort();
+        for (s, a) in syms {
+            if !externs.contains_key(&s) {
+                externs.insert(s.clone(), a);
+                providers.insert(s, lib.name.clone());
+            }
+        }
+        libraries.push(LibraryResolution {
+            name: lib.name.clone(),
+            key: lib.key,
+            text_base,
+            data_base,
+            image_key,
+        });
+    }
+
+    let (text_base, data_base) = client_bases(&out.constraints);
+    let program_key = {
+        let mut k = out.module.content_hash().with_str("program");
+        for l in &libraries {
+            k = k.combine(l.image_key);
+        }
+        k.with_u64(u64::from(text_base))
+            .with_u64(u64::from(data_base))
+    };
+    let prog_obj = out
+        .module
+        .materialize()
+        .map_err(|e| format!("materialize program failed: {e}"))?;
+    let mut opts = LinkOptions::program("program");
+    opts.text_base = text_base;
+    opts.data_base = data_base;
+    opts.externs = externs.clone();
+    let prog_syms = layout_symbols(std::slice::from_ref(&prog_obj), &opts)
+        .map_err(|e| format!("program layout failed: {e}"))?;
+
+    // The binding map: library exports first, then the client's own
+    // definitions (the program's internal definition wins over any
+    // extern for the client's references).
+    let mut map: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for (s, a) in &externs {
+        map.insert(s.clone(), (providers[s].clone(), *a));
+    }
+    for (s, a) in prog_syms {
+        map.insert(s, (PROGRAM_PROVIDER.to_string(), a));
+    }
+    let bindings = map
+        .into_iter()
+        .map(|(symbol, (provider, addr))| Binding {
+            symbol,
+            provider,
+            addr,
+        })
+        .collect();
+
+    let report = analyze_blueprint_report(bp, lint_ctx);
+    let mut interpositions = report.interpositions;
+    interpositions.sort();
+    interpositions.dedup();
+
+    Ok(ResolutionManifest {
+        root: bp.hash(),
+        libraries,
+        program: ProgramResolution {
+            text_base,
+            data_base,
+            image_key: program_key,
+        },
+        bindings,
+        interpositions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResolutionManifest {
+        ResolutionManifest {
+            root: ContentHash(0xdead),
+            libraries: vec![LibraryResolution {
+                name: "libc".into(),
+                key: ContentHash(7),
+                text_base: 0x0100_0000,
+                data_base: 0x4100_0000,
+                image_key: ContentHash(9),
+            }],
+            program: ProgramResolution {
+                text_base: CLIENT_TEXT_BASE,
+                data_base: CLIENT_DATA_BASE,
+                image_key: ContentHash(11),
+            },
+            bindings: vec![
+                Binding {
+                    symbol: "_printf".into(),
+                    provider: "libc".into(),
+                    addr: 0x0100_0010,
+                },
+                Binding {
+                    symbol: "_start".into(),
+                    provider: PROGRAM_PROVIDER.into(),
+                    addr: 0x0001_0000,
+                },
+            ],
+            interpositions: vec!["_malloc".into()],
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let m = sample();
+        let back = ResolutionManifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.hash(), m.hash());
+    }
+
+    #[test]
+    fn encoding_is_canonical_and_corruption_detected() {
+        let m = sample();
+        assert_eq!(m.encode(), m.encode());
+        let bytes = m.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                ResolutionManifest::decode(&bad).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_moves_with_any_field() {
+        let m = sample();
+        let mut moved = m.clone();
+        moved.bindings[0].addr += 4;
+        assert_ne!(m.hash(), moved.hash());
+        let mut moved = m.clone();
+        moved.libraries[0].text_base += 0x1000;
+        assert_ne!(m.hash(), moved.hash());
+        let mut moved = m.clone();
+        moved.interpositions.clear();
+        assert_ne!(m.hash(), moved.hash());
+    }
+
+    #[test]
+    fn diff_names_exactly_the_changed_bindings() {
+        let a = sample();
+        let mut b = sample();
+        b.bindings[0].addr = 0x0200_0010;
+        b.bindings.push(Binding {
+            symbol: "_new".into(),
+            provider: "libc".into(),
+            addr: 0x0200_0020,
+        });
+        let d = diff(&a, &b);
+        assert_eq!(d.changed_symbols(), ["_new", "_printf"]);
+        assert!(!d.is_empty());
+        assert!(diff(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn divergence_is_empty_only_on_equality() {
+        let a = sample();
+        assert!(divergence(&a, &a).is_empty());
+        let mut b = sample();
+        b.bindings[0].provider = "libm".into();
+        let diags = divergence(&a, &b);
+        assert!(!diags.is_empty());
+        assert!(diags
+            .iter()
+            .all(|d| d.code == "OM016" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let s = sample().render();
+        assert!(s.contains("library libc"));
+        assert!(s.contains("program "));
+        assert!(s.contains("interpose _malloc"));
+        assert!(s.contains("bind _printf -> libc"));
+    }
+}

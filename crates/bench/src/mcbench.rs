@@ -70,6 +70,11 @@ pub struct McResult {
     /// Durability: restored-server first-request latency against a cold
     /// relink (`None` when the sweep skipped it).
     pub warm_restart: Option<WarmRestart>,
+    /// Canonical resolution-manifest hash per scenario program, sorted
+    /// by program name. The determinism gate diffs this section across
+    /// `OMOS_EVAL_JOBS`/`RUST_TEST_THREADS` settings: the same request
+    /// history must yield byte-identical manifests.
+    pub manifests: Vec<(String, String)>,
 }
 
 /// One cold instantiation at a given `eval_jobs` setting.
@@ -260,6 +265,23 @@ pub fn run_warm_restart(cost: CostModel, transport: omos_os::ipc::Transport) -> 
     }
 }
 
+/// The encoded (canonical-bytes) resolution manifest of every scenario
+/// program on `server`, sorted by program name.
+#[must_use]
+pub fn scenario_manifests(server: &Omos) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = PROGRAMS
+        .iter()
+        .map(|p| {
+            let m = server
+                .explain(&format!("/bin/{p}"))
+                .expect("scenario programs explain");
+            (p.to_string(), m.encode())
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 impl McResult {
     /// Warm throughput ratio between the `a`-thread and `b`-thread runs.
     #[must_use]
@@ -370,12 +392,24 @@ pub fn run_multiclient(
     let mut stages: Vec<HistSnapshot> =
         Stage::ALL.iter().map(|&s| HistSnapshot::empty(s)).collect();
     let mut counters: Vec<(&'static str, u64)> = Vec::new();
+    let mut manifests: Vec<(String, Vec<u8>)> = Vec::new();
     for &threads in thread_counts {
         let scenario = Scenario::build(*sizes, cost, transport);
         let server = scenario.server;
         server.set_tracing(tracing);
         cold.push(run_phase(&server, threads, per_thread, &cost));
         warm.push(run_phase(&server, threads, per_thread, &cost));
+        // Every thread count replays the same request history on a
+        // fresh server; the canonical manifests must not notice.
+        let now = scenario_manifests(&server);
+        if manifests.is_empty() {
+            manifests = now;
+        } else {
+            assert_eq!(
+                manifests, now,
+                "resolution manifests diverged across thread counts"
+            );
+        }
         if tracing {
             let snap = server.trace_snapshot();
             for (acc, h) in stages.iter_mut().zip(&snap.stages) {
@@ -401,6 +435,10 @@ pub fn run_multiclient(
         counters,
         cold_link: Some(run_cold_link(cost, transport, 8)),
         warm_restart: Some(run_warm_restart(cost, transport)),
+        manifests: manifests
+            .into_iter()
+            .map(|(p, bytes)| (p, format!("{:016x}", omos_obj::fnv1a(&bytes).0)))
+            .collect(),
     }
 }
 
@@ -524,6 +562,14 @@ pub fn to_json(r: &McResult) -> String {
         let _ = writeln!(out, "    \"speedup\": {:.2}", wr.speedup());
         let _ = writeln!(out, "  }},");
     }
+    if !r.manifests.is_empty() {
+        let _ = writeln!(out, "  \"manifests\": {{");
+        for (i, (program, digest)) in r.manifests.iter().enumerate() {
+            let comma = if i + 1 < r.manifests.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{program}\": \"{digest}\"{comma}");
+        }
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(
         out,
         "  \"warm_scaling_1_to_4\": {:.2}",
@@ -615,6 +661,38 @@ mod tests {
     }
 
     #[test]
+    fn manifests_are_identical_across_eval_jobs_settings() {
+        // Same request history, sequential vs parallel evaluation: the
+        // canonical manifests must be byte-identical — this is the
+        // in-process face of the CI determinism gate.
+        let run = |jobs: usize| {
+            let scenario = Scenario::build(
+                WorkloadSizes::small(),
+                CostModel::hpux(),
+                Transport::SysVMsg,
+            );
+            let server = scenario.server;
+            server.set_eval_jobs(jobs);
+            for p in PROGRAMS {
+                server
+                    .instantiate(&format!("/bin/{p}"))
+                    .expect("scenario programs instantiate");
+            }
+            scenario_manifests(&server)
+        };
+        let sequential = run(1);
+        let parallel = run(8);
+        assert_eq!(sequential.len(), PROGRAMS.len());
+        for ((pa, ba), (pb, bb)) in sequential.iter().zip(&parallel) {
+            assert_eq!(pa, pb);
+            assert_eq!(
+                ba, bb,
+                "manifest for `{pa}` differs between eval_jobs=1 and eval_jobs=8"
+            );
+        }
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let r = run_multiclient(
             &WorkloadSizes::small(),
@@ -629,6 +707,8 @@ mod tests {
         assert!(j.contains("\"phase\": \"cold\""));
         assert!(j.contains("\"phase\": \"warm\""));
         assert!(j.contains("\"warm_restart\""));
+        assert!(j.contains("\"manifests\""));
+        assert_eq!(r.manifests.len(), PROGRAMS.len());
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -40,7 +40,7 @@ pub use client::{
 };
 pub use error::OmosError;
 pub use namespace::{Entry, Namespace};
-pub use persist::{CheckpointReport, RestoreReport};
+pub use persist::{stored_manifests, CheckpointReport, RestoreReport};
 pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};
 pub use sync::{Sharded, SingleFlight};
-pub use trace::{TraceSnapshot, Tracer};
+pub use trace::{RestoreDrops, TraceSnapshot, Tracer};

@@ -61,9 +61,12 @@ use omos_obj::{fnv1a, ContentHash, ObjError, ObjectFile};
 use omos_os::fs::FsError;
 use omos_os::{CostModel, ImageFrames, InMemFs, SimClock};
 
+use omos_analysis::manifest::ResolutionManifest;
+
 use crate::cache::CachedImage;
 use crate::namespace::Entry;
 use crate::server::{InstantiateReply, Omos, ReplyEntry};
+use crate::trace::RestoreDrops;
 
 type ObjResult<T> = std::result::Result<T, ObjError>;
 
@@ -99,9 +102,15 @@ pub struct RestoreReport {
     pub replies: usize,
     /// Journal records replayed on top of the manifest.
     pub journal_records: usize,
+    /// Reply rows whose stored resolution manifest matched a fresh
+    /// static re-derivation (subset of `replies`).
+    pub manifest_verified: usize,
     /// Persisted entries dropped (corrupt, truncated, version-skewed,
-    /// or referencing a dropped image); each relinks on demand.
+    /// divergent, or referencing a dropped image); each relinks on
+    /// demand. Always equals `drops.total()`.
     pub dropped: usize,
+    /// Per-reason breakdown of `dropped`.
+    pub drops: RestoreDrops,
 }
 
 fn img_path(dir: &str, key: ContentHash) -> String {
@@ -464,6 +473,11 @@ struct ReplyRow {
     program: ContentHash,
     libraries: Vec<ContentHash>,
     deps: Vec<String>,
+    /// The sealed Blueprint frame the reply answers — restore re-derives
+    /// the resolution from it rather than trusting the row.
+    blueprint: Vec<u8>,
+    /// The sealed canonical Resolution frame the reply committed to.
+    manifest: Vec<u8>,
 }
 
 #[derive(Debug)]
@@ -555,6 +569,10 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
         for d in &row.deps {
             w.str(d);
         }
+        w.u32(row.blueprint.len() as u32);
+        w.bytes(&row.blueprint);
+        w.u32(row.manifest.len() as u32);
+        w.bytes(&row.manifest);
     }
     container::seal(ContainerKind::Manifest, &w.into_bytes())
 }
@@ -659,11 +677,17 @@ fn decode_manifest(bytes: &[u8]) -> ObjResult<Manifest> {
         for _ in 0..nd {
             deps.push(r.str()?);
         }
+        let len = r.u32()? as usize;
+        let blueprint = r.bytes(len)?.to_vec();
+        let len = r.u32()? as usize;
+        let manifest = r.bytes(len)?.to_vec();
         replies.push(ReplyRow {
             key,
             program,
             libraries,
             deps,
+            blueprint,
+            manifest,
         });
     }
     if r.remaining() != 0 {
@@ -710,6 +734,27 @@ fn best_manifest(
         (Some(a), Some(b)) => Some(if a.1.seq >= b.1.seq { a } else { b }),
         (a, b) => a.or(b),
     }
+}
+
+/// Decodes every reply row's stored resolution manifest from the best
+/// checkpoint under `dir`. Rows whose manifest frame fails its checksum
+/// or decode are skipped — this is a read-only inspection, not a
+/// restore. `ofe explain <bp> <ckpt>` uses it to compare a live static
+/// derivation against what a checkpoint committed to.
+pub fn stored_manifests(
+    fs: &mut InMemFs,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    dir: &str,
+) -> Vec<ResolutionManifest> {
+    let Some((_, manifest)) = best_manifest(fs, clock, cost, dir) else {
+        return Vec::new();
+    };
+    manifest
+        .replies
+        .iter()
+        .filter_map(|row| ResolutionManifest::decode(&row.manifest).ok())
+        .collect()
 }
 
 // --- Journal -----------------------------------------------------------------
@@ -820,6 +865,8 @@ impl Omos {
                 program: entry.reply.program.key,
                 libraries: entry.reply.libraries.iter().map(|l| l.key).collect(),
                 deps: entry.deps.iter().cloned().collect(),
+                blueprint: encode_blueprint(&entry.blueprint),
+                manifest: entry.manifest.as_ref().clone(),
             });
         }
         reply_rows.sort_by_key(|r| r.key.0);
@@ -914,34 +961,44 @@ impl Omos {
                         server.namespace.bind_meta(path, (*bp).clone());
                         report.ns_entries += 1;
                     }
-                    None => report.dropped += 1,
+                    None => report.drops.ns_decode += 1,
                 }
             }
 
             *server.solver() = PlacementSolver::import_state(&manifest.solver);
 
-            // Images: decode, re-verify content hash, reinstall.
+            // Images: decode, re-verify content hash, reinstall. Each
+            // verification step failing is a distinct drop reason —
+            // a missing file, a flipped byte, a frame that no longer
+            // parses, and a version-skewed payload point at different
+            // failure modes on the disk.
             let mut by_key: HashMap<ContentHash, Arc<CachedImage>> = HashMap::new();
             for row in &manifest.images {
-                let ok = read_all(fs, clock, &cost, &img_path(dir, row.key))
-                    .ok()
-                    .filter(|bytes| fnv1a(bytes).0 == row.file_hash)
-                    .and_then(|bytes| decode_image(&bytes).ok())
-                    .filter(|img| img.content_hash() == row.content_hash);
-                match ok {
-                    Some(image) => {
-                        let frames = ImageFrames::from_image(&image);
-                        let arc = server.images.insert(CachedImage {
-                            key: row.key,
-                            image,
-                            frames,
-                            link_stats: row.stats,
-                        });
-                        by_key.insert(row.key, arc);
-                        report.images += 1;
-                    }
-                    None => report.dropped += 1,
+                let Ok(bytes) = read_all(fs, clock, &cost, &img_path(dir, row.key)) else {
+                    report.drops.image_read += 1;
+                    continue;
+                };
+                if fnv1a(&bytes).0 != row.file_hash {
+                    report.drops.image_checksum += 1;
+                    continue;
                 }
+                let Ok(image) = decode_image(&bytes) else {
+                    report.drops.image_decode += 1;
+                    continue;
+                };
+                if image.content_hash() != row.content_hash {
+                    report.drops.image_content += 1;
+                    continue;
+                }
+                let frames = ImageFrames::from_image(&image);
+                let arc = server.images.insert(CachedImage {
+                    key: row.key,
+                    image,
+                    frames,
+                    link_stats: row.stats,
+                });
+                by_key.insert(row.key, arc);
+                report.images += 1;
             }
 
             // Snapshot the generation the manifest's bindings rebuilt:
@@ -958,28 +1015,49 @@ impl Omos {
                     .iter()
                     .map(|k| by_key.get(k).map(Arc::clone))
                     .collect();
-                match (program, libraries) {
-                    (Some(program), Some(libraries)) => {
-                        let deps: BTreeSet<String> = row.deps.iter().cloned().collect();
-                        server.reply_cache.insert(
-                            row.key,
-                            ReplyEntry {
-                                reply: InstantiateReply {
-                                    program,
-                                    libraries,
-                                    server_ns: 0,
-                                    latency_ns: 0,
-                                    cache_hit: true,
-                                    req: 0,
-                                },
-                                deps: Arc::new(deps),
-                                gen: g0,
-                            },
-                        );
-                        report.replies += 1;
-                    }
-                    _ => report.dropped += 1,
-                }
+                let (Some(program), Some(libraries)) = (program, libraries) else {
+                    report.drops.reply_image += 1;
+                    continue;
+                };
+                // Verify the stored resolution against a fresh static
+                // derivation before trusting the row: decode both
+                // frames, re-derive from the restored namespace and
+                // solver state, and require an exact match. A reply
+                // whose resolution can no longer be reproduced (a
+                // journal record rebound a dependency, dynamic
+                // registration order drifted, bytes were damaged) is
+                // dropped and relinks on demand — the manifest check
+                // replaces a full re-link as the restore-time proof.
+                let verified = decode_blueprint(&row.blueprint).ok().and_then(|bp| {
+                    let stored = ResolutionManifest::decode(&row.manifest).ok()?;
+                    let derived = server.explain_blueprint(&bp).ok()?;
+                    (derived == stored).then_some((bp, stored))
+                });
+                let Some((bp, stored)) = verified else {
+                    report.drops.reply_manifest += 1;
+                    continue;
+                };
+                let deps: BTreeSet<String> = row.deps.iter().cloned().collect();
+                server.reply_cache.insert(
+                    row.key,
+                    ReplyEntry {
+                        reply: InstantiateReply {
+                            program,
+                            libraries,
+                            server_ns: 0,
+                            latency_ns: 0,
+                            cache_hit: true,
+                            req: 0,
+                            manifest: stored.hash(),
+                        },
+                        deps: Arc::new(deps),
+                        gen: g0,
+                        blueprint: bp,
+                        manifest: Arc::new(row.manifest.clone()),
+                    },
+                );
+                report.replies += 1;
+                report.manifest_verified += 1;
             }
         } else {
             // No manifest at all — still replay whatever the journal
@@ -987,12 +1065,14 @@ impl Omos {
             Omos::replay_journal(&server, fs, clock, &cost, dir, &mut report);
         }
 
+        report.dropped = report.drops.total() as usize;
         server.tracer().restore(
             report.ns_entries as u64,
             report.images as u64,
             report.replies as u64,
             report.journal_records as u64,
-            report.dropped as u64,
+            report.manifest_verified as u64,
+            &report.drops,
             report.cold,
         );
         (server, report)
@@ -1011,7 +1091,7 @@ impl Omos {
         };
         let (frames, damaged) = container::scan_frames(&bytes);
         if damaged {
-            report.dropped += 1;
+            report.drops.journal_torn += 1;
         }
         // Records are appended twice; adjacent duplicates collapse to
         // one apply (binds are last-write-wins, so a surviving single
@@ -1019,7 +1099,7 @@ impl Omos {
         let mut last: Option<&[u8]> = None;
         for (kind, payload) in frames {
             if kind != ContainerKind::JournalRecord {
-                report.dropped += 1;
+                report.drops.journal_kind += 1;
                 continue;
             }
             if last == Some(payload) {
@@ -1028,7 +1108,7 @@ impl Omos {
             last = Some(payload);
             match apply_journal_record(server, payload) {
                 Ok(()) => report.journal_records += 1,
-                Err(_) => report.dropped += 1,
+                Err(_) => report.drops.journal_apply += 1,
             }
         }
     }
@@ -1402,11 +1482,69 @@ mod tests {
             &mut clock,
             "/omos",
         );
-        assert_eq!(rr.replies, 1, "the row installs...");
+        assert_eq!(
+            rr.replies, 0,
+            "the rebind changes the resolution, so the stored manifest no longer verifies"
+        );
+        assert_eq!(
+            rr.drops.reply_manifest, 1,
+            "dropped for exactly that reason"
+        );
+        assert_eq!(rr.manifest_verified, 0);
         let reply = r.instantiate("/bin/hello").unwrap();
-        assert!(
-            !reply.cache_hit,
-            "...but the journal rebind invalidates it on first probe"
+        assert!(!reply.cache_hit, "relinks on demand under the new binding");
+    }
+
+    #[test]
+    fn swapped_reply_manifest_is_dropped_on_restore() {
+        let s = server_with_workload();
+        s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+
+        // Rewrite both manifest slots with the reply row's stored
+        // resolution replaced by a *valid* frame describing a different
+        // resolution — the kind of damage checksums cannot catch.
+        let cost = CostModel::hpux();
+        for slot in [0, 1] {
+            let path = slot_path("/omos", slot);
+            let bytes = fs.peek(&path).unwrap().to_vec();
+            let mut m = decode_manifest(&bytes).unwrap();
+            let row = &mut m.replies[0];
+            let mut stored = ResolutionManifest::decode(&row.manifest).unwrap();
+            stored.program.text_base ^= 0x1000;
+            row.manifest = stored.encode();
+            let sealed = encode_manifest(&m);
+            fs.unlink(&path, &mut clock, &cost);
+            fs.write(&path, &sealed, &mut clock, &cost).unwrap();
+        }
+
+        let (r, rr) = Omos::restore(
+            CostModel::hpux(),
+            Transport::SysVMsg,
+            &mut fs,
+            &mut clock,
+            "/omos",
+        );
+        assert_eq!(rr.replies, 0, "static re-derivation refuses the swap");
+        assert_eq!(rr.drops.reply_manifest, 1);
+        assert!(!r.instantiate("/bin/hello").unwrap().cache_hit);
+    }
+
+    #[test]
+    fn stored_manifests_reads_back_what_the_reply_committed_to() {
+        let s = server_with_workload();
+        let reply = s.instantiate("/bin/hello").unwrap();
+        let (mut fs, mut clock) = env();
+        s.checkpoint(&mut fs, &mut clock, "/omos").unwrap();
+        let cost = CostModel::hpux();
+        let manifests = stored_manifests(&mut fs, &mut clock, &cost, "/omos");
+        assert_eq!(manifests.len(), 1);
+        assert_eq!(manifests[0].hash(), reply.manifest);
+        assert_eq!(
+            stored_manifests(&mut fs, &mut clock, &cost, "/empty").len(),
+            0,
+            "no checkpoint, no manifests"
         );
     }
 
@@ -1434,6 +1572,11 @@ mod tests {
             "/omos",
         );
         assert!(rr.dropped >= 2, "the image and the reply row that needs it");
+        assert_eq!(rr.drops.image_checksum, 1, "flip caught by the file hash");
+        assert_eq!(
+            rr.drops.reply_image, 1,
+            "reply dropped for the missing image"
+        );
         let rebuilt = r.instantiate("/bin/hello").unwrap();
         assert!(!rebuilt.cache_hit, "relinked on demand");
         assert_eq!(
@@ -1460,6 +1603,16 @@ mod tests {
         assert_eq!(counters.restore_ns_entries, rr.ns_entries as u64);
         assert_eq!(counters.restore_images, rr.images as u64);
         assert_eq!(counters.restore_replies, rr.replies as u64);
+        assert_eq!(
+            counters.restore_manifest_verified,
+            rr.manifest_verified as u64
+        );
+        assert_eq!(
+            rr.manifest_verified, rr.replies,
+            "every restored reply re-verified its manifest"
+        );
+        assert!(rr.replies > 0);
+        assert_eq!(rr.dropped, 0);
         assert_eq!(counters.restore_cold, 0);
         let (_, rr2) = Omos::restore(
             CostModel::hpux(),

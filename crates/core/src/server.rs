@@ -39,7 +39,13 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
-use omos_analysis::{analyze_blueprint, Diagnostic, LintContext, LintResolved, Severity};
+use omos_analysis::manifest::{
+    derive_manifest, Binding, LibraryResolution, ProgramResolution, ResolutionManifest,
+    PROGRAM_PROVIDER,
+};
+use omos_analysis::{
+    analyze_blueprint, analyze_blueprint_report, Diagnostic, LintContext, LintResolved, Severity,
+};
 use omos_blueprint::eval::LibraryUse;
 use omos_blueprint::{
     eval_blueprint, eval_blueprint_parallel, Blueprint, CachedEval, EvalContext, EvalError,
@@ -61,10 +67,16 @@ use crate::trace::{
 };
 
 /// Default client text base (programs overlap freely across tasks; only
-/// libraries need globally consistent placement).
-pub const CLIENT_TEXT_BASE: u32 = 0x0001_0000;
+/// libraries need globally consistent placement). The value lives in
+/// the analysis crate so the static manifest derivation and the server
+/// cannot drift.
+pub const CLIENT_TEXT_BASE: u32 = omos_analysis::manifest::CLIENT_TEXT_BASE;
 /// Default client data base, kept below the library data window.
-pub const CLIENT_DATA_BASE: u32 = 0x3000_0000;
+pub const CLIENT_DATA_BASE: u32 = omos_analysis::manifest::CLIENT_DATA_BASE;
+
+/// A built shared library: the cached image, its simulated build cost
+/// in ns, and the (text, data) bases the solver placed it at.
+type LibraryBuild = (Arc<CachedImage>, u64, (u32, u32));
 
 /// Shards for the eval and reply caches.
 const CACHE_SHARDS: usize = 8;
@@ -128,6 +140,11 @@ pub struct InstantiateReply {
     /// Trace request id this reply was served under (0 when tracing is
     /// disabled). Spans in [`Omos::trace_snapshot`] attribute by it.
     pub req: u64,
+    /// Hash of the canonical [`ResolutionManifest`] this reply commits
+    /// to: which library provides each symbol, where everything is
+    /// placed, and the image keys. Zero only for replies built outside
+    /// the normal cache (monitored specializations).
+    pub manifest: ContentHash,
 }
 
 impl InstantiateReply {
@@ -160,6 +177,11 @@ pub(crate) struct ReplyEntry {
     pub(crate) reply: InstantiateReply,
     pub(crate) deps: Arc<BTreeSet<String>>,
     pub(crate) gen: u64,
+    /// The blueprint the reply answers — persisted so a restore can
+    /// re-derive the resolution statically and verify it.
+    pub(crate) blueprint: Blueprint,
+    /// The sealed canonical resolution-manifest frame.
+    pub(crate) manifest: Arc<Vec<u8>>,
 }
 
 /// One registered `lib-dynamic` implementation. The build slot doubles
@@ -516,13 +538,15 @@ impl Omos {
         // variables must be made in the library furthest downstream").
         let mut externs: HashMap<String, u32> = HashMap::new();
         let mut libraries = Vec::with_capacity(out.libraries.len());
+        let mut bases = Vec::with_capacity(out.libraries.len());
         for lib in &out.libraries {
-            let (img, ns) = self.instantiate_library(lib, &externs)?;
+            let (img, ns, placed) = self.instantiate_library(lib, &externs)?;
             server_ns += ns;
             for (s, a) in &img.image.symbols {
                 externs.entry(s.clone()).or_insert(*a);
             }
             libraries.push(img);
+            bases.push(placed);
         }
 
         // Link the client against the placed libraries.
@@ -552,6 +576,15 @@ impl Omos {
             }
         };
 
+        let manifest = self.manifest_from_actuals(
+            bp,
+            key,
+            &out.libraries,
+            &libraries,
+            &bases,
+            &program,
+            (text_base, data_base),
+        );
         self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         let reply = InstantiateReply {
             program,
@@ -560,9 +593,98 @@ impl Omos {
             latency_ns: server_ns, // sequential: latency is the work sum
             cache_hit: false,
             req: 0, // attributed by `request`
+            manifest: manifest.hash(),
         };
-        self.cache_reply(key, &reply, ctx.gen, out.deps, root);
+        self.cache_reply(key, &reply, ctx.gen, out.deps, root, bp, &manifest);
         Ok(reply)
+    }
+
+    /// Builds the resolution manifest from what the build *actually*
+    /// produced: placed bases from the solver, export addresses from
+    /// the bound images, image keys from the cache entries. The
+    /// statically derived manifest ([`derive_manifest`]) must agree
+    /// byte-for-byte — the differential tests compare the two with
+    /// [`divergence`].
+    #[allow(clippy::too_many_arguments)]
+    fn manifest_from_actuals(
+        &self,
+        bp: &Blueprint,
+        key: ContentHash,
+        uses: &[LibraryUse],
+        libraries: &[Arc<CachedImage>],
+        bases: &[(u32, u32)],
+        program: &Arc<CachedImage>,
+        client: (u32, u32),
+    ) -> ResolutionManifest {
+        let mut lib_res = Vec::with_capacity(libraries.len());
+        for ((u, img), &(text_base, data_base)) in uses.iter().zip(libraries).zip(bases) {
+            lib_res.push(LibraryResolution {
+                name: u.name.clone(),
+                key: u.key,
+                text_base,
+                data_base,
+                image_key: img.key,
+            });
+        }
+        // First-definition-wins fold in library order, then the
+        // client's own definitions override (its internal resolution
+        // beats any extern).
+        let mut map: std::collections::BTreeMap<String, (String, u32)> =
+            std::collections::BTreeMap::new();
+        for (u, img) in uses.iter().zip(libraries) {
+            for (s, a) in &img.image.symbols {
+                map.entry(s.clone()).or_insert((u.name.clone(), *a));
+            }
+        }
+        for (s, a) in &program.image.symbols {
+            map.insert(s.clone(), (PROGRAM_PROVIDER.to_string(), *a));
+        }
+        let bindings = map
+            .into_iter()
+            .map(|(symbol, (provider, addr))| Binding {
+                symbol,
+                provider,
+                addr,
+            })
+            .collect();
+        let report = analyze_blueprint_report(bp, &mut NamespaceLint(&self.namespace));
+        let mut interpositions = report.interpositions;
+        interpositions.sort();
+        interpositions.dedup();
+        ResolutionManifest {
+            root: key,
+            libraries: lib_res,
+            program: ProgramResolution {
+                text_base: client.0,
+                data_base: client.1,
+                image_key: program.key,
+            },
+            bindings,
+            interpositions,
+        }
+    }
+
+    /// The canonical resolution manifest for an arbitrary blueprint,
+    /// derived statically — the m-graph is evaluated (view algebra
+    /// only), placement is replayed against a copy of the solver state,
+    /// and export addresses come from the linker's layout pass. No link
+    /// is executed and no image bytes are produced.
+    pub fn explain_blueprint(&self, bp: &Blueprint) -> Result<ResolutionManifest, OmosError> {
+        let ctx = ReqCtx::new(self);
+        let state = self.solver().export_state();
+        let mut lint = NamespaceLint(&self.namespace);
+        derive_manifest(bp, &ctx, &mut lint, &state).map_err(OmosError::Client)
+    }
+
+    /// [`Omos::explain_blueprint`] for the meta-object (or bare
+    /// fragment) bound at `path`.
+    pub fn explain(&self, path: &str) -> Result<ResolutionManifest, OmosError> {
+        let bp = match self.namespace.lookup(path) {
+            Some(Entry::Meta(bp)) => (*bp).clone(),
+            Some(Entry::Object(_)) => Blueprint::from_root(MNode::Leaf(path.to_string())),
+            None => return Err(OmosError::NoSuchName(path.to_string())),
+        };
+        self.explain_blueprint(&bp)
     }
 
     /// The parallel cold-build path (`eval_jobs > 1`): plans the
@@ -719,6 +841,19 @@ impl Omos {
         };
         server_ns += prog_ns;
 
+        let bases: Vec<(u32, u32)> = prepared
+            .iter()
+            .map(|p| (p.text_base, p.data_base))
+            .collect();
+        let manifest = self.manifest_from_actuals(
+            bp,
+            key,
+            &out.libraries,
+            &libraries,
+            &bases,
+            &program,
+            (text_base, data_base),
+        );
         self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         let latency_ns =
             self.cost.server_cached_request_ns + plan_ns + eval_makespan + link_makespan + prog_ns;
@@ -729,14 +864,16 @@ impl Omos {
             latency_ns,
             cache_hit: false,
             req: 0, // attributed by `request`
+            manifest: manifest.hash(),
         };
-        self.cache_reply(key, &reply, ctx.gen, out.deps, root);
+        self.cache_reply(key, &reply, ctx.gen, out.deps, root, bp, &manifest);
         Ok(reply)
     }
 
     /// Caches a freshly built reply under its blueprint key. The
     /// dependency record is the evaluator's own (every path the
     /// evaluation resolved), plus the root path the request named.
+    #[allow(clippy::too_many_arguments)]
     fn cache_reply(
         &self,
         key: ContentHash,
@@ -744,6 +881,8 @@ impl Omos {
         gen: u64,
         mut deps: BTreeSet<String>,
         root: Option<&str>,
+        bp: &Blueprint,
+        manifest: &ResolutionManifest,
     ) {
         if let Some(p) = root {
             deps.insert(p.to_string());
@@ -754,6 +893,8 @@ impl Omos {
                 reply: reply.clone(),
                 gen,
                 deps: Arc::new(deps),
+                blueprint: bp.clone(),
+                manifest: Arc::new(manifest.encode()),
             },
         );
     }
@@ -817,11 +958,14 @@ impl Omos {
     /// the constraint solver, link at the chosen fixed addresses, frame,
     /// and cache. Concurrent builds of the same placed library coalesce
     /// on the image key.
+    ///
+    /// Returns the cached image, its simulated build cost in ns, and
+    /// the (text, data) bases it was placed at.
     fn instantiate_library(
         &self,
         lib: &LibraryUse,
         externs: &HashMap<String, u32>,
-    ) -> Result<(Arc<CachedImage>, u64), OmosError> {
+    ) -> Result<LibraryBuild, OmosError> {
         let span = self.tracer.open(SpanKind::LibraryBuild);
         let result = self.instantiate_library_inner(lib, externs);
         self.tracer.close(span);
@@ -832,7 +976,7 @@ impl Omos {
         &self,
         lib: &LibraryUse,
         externs: &HashMap<String, u32>,
-    ) -> Result<(Arc<CachedImage>, u64), OmosError> {
+    ) -> Result<LibraryBuild, OmosError> {
         let obj = lib.module.materialize().map_err(OmosError::Obj)?;
         let text_size = obj.size_of_kind(SectionKind::Text) + obj.size_of_kind(SectionKind::RoData);
         let data_size = obj.size_of_kind(SectionKind::Data) + obj.size_of_kind(SectionKind::Bss);
@@ -890,7 +1034,7 @@ impl Omos {
             }
         }
         if let Some(img) = self.images.get(image_key) {
-            return Ok((img, 0));
+            return Ok((img, 0, (text_base, data_base)));
         }
 
         let (result, _led) = self.image_flight.run(image_key, || {
@@ -917,7 +1061,7 @@ impl Omos {
             });
             Ok((img, server_ns))
         });
-        result
+        result.map(|(img, ns)| (img, ns, (text_base, data_base)))
     }
 
     /// Places one library and computes its planned export map
@@ -983,6 +1127,8 @@ impl Omos {
             let symbols = img.image.symbols.clone();
             return Ok(PreparedLib {
                 image_key,
+                text_base,
+                data_base,
                 symbols,
                 cached: Some(img),
                 work: None,
@@ -993,6 +1139,8 @@ impl Omos {
         let symbols = layout_symbols(std::slice::from_ref(&obj), &opts)?;
         Ok(PreparedLib {
             image_key,
+            text_base,
+            data_base,
             symbols,
             cached: None,
             work: Some((obj, opts)),
@@ -1076,7 +1224,7 @@ impl Omos {
                 module: lib.module.clone(),
                 constraints: Vec::new(),
             };
-            let (img, ns) = self.instantiate_library(&lib_use, &HashMap::new())?;
+            let (img, ns, _) = self.instantiate_library(&lib_use, &HashMap::new())?;
             server_ns += ns;
             let entries: Vec<(String, u32)> = img
                 .image
@@ -1105,8 +1253,9 @@ impl Omos {
 }
 
 /// [`LintContext`] over the server namespace: read-only resolution, a
-/// missing name is a finding rather than an abort.
-struct NamespaceLint<'a>(&'a Namespace);
+/// missing name is a finding rather than an abort. `pub(crate)` so the
+/// persistence layer can re-derive manifests at restore time.
+pub(crate) struct NamespaceLint<'a>(pub(crate) &'a Namespace);
 
 impl LintContext for NamespaceLint<'_> {
     fn resolve(&mut self, path: &str) -> LintResolved {
@@ -1128,14 +1277,14 @@ impl LintContext for NamespaceLint<'_> {
 /// program's private dependencies into the other's reply). That keeps
 /// this context `&self`-safe, so the parallel executor's worker
 /// threads can share one instance without locking.
-struct ReqCtx<'a> {
+pub(crate) struct ReqCtx<'a> {
     server: &'a Omos,
     /// Namespace generation when the request started.
     gen: u64,
 }
 
 impl<'a> ReqCtx<'a> {
-    fn new(server: &'a Omos) -> ReqCtx<'a> {
+    pub(crate) fn new(server: &'a Omos) -> ReqCtx<'a> {
         ReqCtx {
             server,
             gen: server.namespace.generation(),
@@ -1205,6 +1354,10 @@ impl EvalContext for ReqCtx<'_> {
 /// and with its planned export map already derived from layout.
 struct PreparedLib {
     image_key: ContentHash,
+    /// Placed text-segment base (for the reply's manifest).
+    text_base: u32,
+    /// Placed data-segment base.
+    data_base: u32,
     /// Export name → final address (from the cached image or from
     /// [`layout_symbols`]); folded into downstream externs.
     symbols: HashMap<String, u32>,
@@ -1614,7 +1767,7 @@ impl Omos {
         // bind the class against libraries + the client's own exports.
         let mut externs = client_exports.clone();
         for lib in &out.libraries {
-            let (img, ns) = self.instantiate_library(lib, &externs)?;
+            let (img, ns, _) = self.instantiate_library(lib, &externs)?;
             server_ns += ns;
             for (s, a) in &img.image.symbols {
                 externs.entry(s.clone()).or_insert(*a);
@@ -1626,7 +1779,7 @@ impl Omos {
             module: out.module,
             constraints: out.constraints.clone(),
         };
-        let (img, ns) = self.instantiate_library(&lib_use, &externs)?;
+        let (img, ns, _) = self.instantiate_library(&lib_use, &externs)?;
         server_ns += ns;
 
         let mut values = HashMap::new();
@@ -1732,7 +1885,7 @@ impl Omos {
         let mut externs: HashMap<String, u32> = HashMap::new();
         let mut libraries = Vec::with_capacity(out.libraries.len());
         for lib in &out.libraries {
-            let (img, ns) = self.instantiate_library(lib, &externs)?;
+            let (img, ns, _) = self.instantiate_library(lib, &externs)?;
             server_ns += ns;
             for (s, a) in &img.image.symbols {
                 externs.entry(s.clone()).or_insert(*a);
@@ -1776,6 +1929,9 @@ impl Omos {
                 latency_ns: server_ns,
                 cache_hit: false,
                 req: guard.req(),
+                // A monitored specialization is built outside the reply
+                // cache and carries no manifest.
+                manifest: ContentHash(0),
             },
             id_names,
         ))

@@ -492,10 +492,88 @@ counter_family! {
     restore_journal,
     /// Persisted entries dropped on restore (corrupt, truncated,
     /// version-skewed, or referencing a dropped image) — each will be
-    /// relinked on demand.
+    /// relinked on demand. Always the sum of the `restore_drop_*`
+    /// families below.
     restore_dropped,
+    /// Reply rows whose stored resolution manifest matched a fresh
+    /// static re-derivation at restore time (installed without a
+    /// relink).
+    restore_manifest_verified,
+    /// Restore drops: namespace frames that failed checksum or decode.
+    restore_drop_ns_decode,
+    /// Restore drops: image files missing or unreadable.
+    restore_drop_image_read,
+    /// Restore drops: image files whose bytes hash differently than
+    /// the manifest row recorded.
+    restore_drop_image_checksum,
+    /// Restore drops: image frames that failed to open or decode.
+    restore_drop_image_decode,
+    /// Restore drops: decoded images whose content hash disagrees with
+    /// the manifest row.
+    restore_drop_image_content,
+    /// Restore drops: torn journal tails (bytes skipped while
+    /// resynchronizing).
+    restore_drop_journal_torn,
+    /// Restore drops: journal frames of a non-journal container kind.
+    restore_drop_journal_kind,
+    /// Restore drops: journal records that decoded but failed to apply.
+    restore_drop_journal_apply,
+    /// Restore drops: reply rows referencing an image that was itself
+    /// dropped.
+    restore_drop_reply_image,
+    /// Restore drops: reply rows whose stored manifest failed static
+    /// re-derivation (decode failure, eval failure, or divergence).
+    restore_drop_reply_manifest,
     /// Restores that found no usable manifest and started cold.
     restore_cold,
+}
+
+/// Per-reason breakdown of artifacts dropped during a checkpoint
+/// restore. Every drop is safe — the artifact relinks on demand — but
+/// the reasons separate disk damage (`image_*`), journal damage
+/// (`journal_*`), and logical divergence (`reply_manifest`), which
+/// call for different operator responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreDrops {
+    /// Namespace frames that failed checksum or decode.
+    pub ns_decode: u64,
+    /// Image files missing or unreadable.
+    pub image_read: u64,
+    /// Image files whose bytes hash differently than the manifest row.
+    pub image_checksum: u64,
+    /// Image frames that failed to open or decode.
+    pub image_decode: u64,
+    /// Decoded images whose content hash disagrees with the row.
+    pub image_content: u64,
+    /// Torn journal tails (bytes skipped while resynchronizing).
+    pub journal_torn: u64,
+    /// Journal frames of a non-journal container kind.
+    pub journal_kind: u64,
+    /// Journal records that decoded but failed to apply.
+    pub journal_apply: u64,
+    /// Reply rows referencing an image that was itself dropped.
+    pub reply_image: u64,
+    /// Reply rows whose stored resolution manifest did not survive
+    /// static re-derivation (decode failure, eval failure, or a
+    /// manifest that no longer matches).
+    pub reply_manifest: u64,
+}
+
+impl RestoreDrops {
+    /// Total drops across every reason.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ns_decode
+            + self.image_read
+            + self.image_checksum
+            + self.image_decode
+            + self.image_content
+            + self.journal_torn
+            + self.journal_kind
+            + self.journal_apply
+            + self.reply_image
+            + self.reply_manifest
+    }
 }
 
 /// A full tracer snapshot: counters, per-stage histograms, and the
@@ -884,16 +962,18 @@ impl Tracer {
 
     /// Records the outcome of a checkpoint restore: how many namespace
     /// bindings, images, and replies came back, how many journal
-    /// records replayed, how many persisted entries were dropped (each
-    /// degrades to an on-demand relink), and whether the restore fell
-    /// back to a cold start.
+    /// records replayed, how many reply manifests re-verified, the
+    /// per-reason drop breakdown (each drop degrades to an on-demand
+    /// relink), and whether the restore fell back to a cold start.
+    #[allow(clippy::too_many_arguments)]
     pub fn restore(
         &self,
         ns: u64,
         images: u64,
         replies: u64,
         journal: u64,
-        dropped: u64,
+        verified: u64,
+        drops: &RestoreDrops,
         cold: bool,
     ) {
         if !self.enabled() {
@@ -903,7 +983,26 @@ impl Tracer {
         self.c.restore_images.fetch_add(images, Ordering::Relaxed);
         self.c.restore_replies.fetch_add(replies, Ordering::Relaxed);
         self.c.restore_journal.fetch_add(journal, Ordering::Relaxed);
-        self.c.restore_dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.c
+            .restore_manifest_verified
+            .fetch_add(verified, Ordering::Relaxed);
+        self.c
+            .restore_dropped
+            .fetch_add(drops.total(), Ordering::Relaxed);
+        for (cell, n) in [
+            (&self.c.restore_drop_ns_decode, drops.ns_decode),
+            (&self.c.restore_drop_image_read, drops.image_read),
+            (&self.c.restore_drop_image_checksum, drops.image_checksum),
+            (&self.c.restore_drop_image_decode, drops.image_decode),
+            (&self.c.restore_drop_image_content, drops.image_content),
+            (&self.c.restore_drop_journal_torn, drops.journal_torn),
+            (&self.c.restore_drop_journal_kind, drops.journal_kind),
+            (&self.c.restore_drop_journal_apply, drops.journal_apply),
+            (&self.c.restore_drop_reply_image, drops.reply_image),
+            (&self.c.restore_drop_reply_manifest, drops.reply_manifest),
+        ] {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
         if cold {
             self.c.restore_cold.fetch_add(1, Ordering::Relaxed);
         }

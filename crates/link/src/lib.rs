@@ -37,4 +37,4 @@ pub use linker::{
 };
 
 pub use stubs::{make_partial_stubs, FunctionHashTable, STUB_INSTS, STUB_TEXT_BYTES};
-pub use wire::{decode_image, encode_image};
+pub use wire::{decode_image, encode_image, read_symbol_table, write_symbol_table};

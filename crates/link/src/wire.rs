@@ -18,6 +18,34 @@ use omos_obj::SectionKind;
 use crate::error::{LinkError, LinkResult};
 use crate::image::{LinkedImage, Segment};
 
+/// Writes a symbol table (name → address) canonically: count, then
+/// entries in sorted name order. Shared between the image encoding and
+/// the resolution-manifest codec so "equal tables encode identically"
+/// holds everywhere by construction.
+pub fn write_symbol_table(w: &mut Writer, symbols: &std::collections::HashMap<String, u32>) {
+    let mut syms: Vec<(&String, &u32)> = symbols.iter().collect();
+    syms.sort();
+    w.u32(syms.len() as u32);
+    for (name, addr) in syms {
+        w.str(name);
+        w.u32(*addr);
+    }
+}
+
+/// Reads a symbol table written by [`write_symbol_table`].
+pub fn read_symbol_table(
+    r: &mut Reader<'_>,
+) -> omos_obj::Result<std::collections::HashMap<String, u32>> {
+    let nsyms = r.u32()?;
+    let mut symbols = std::collections::HashMap::new();
+    for _ in 0..nsyms {
+        let name = r.str()?;
+        let addr = r.u32()?;
+        symbols.insert(name, addr);
+    }
+    Ok(symbols)
+}
+
 /// Serializes an image into a sealed container frame.
 #[must_use]
 pub fn encode_image(img: &LinkedImage) -> Vec<u8> {
@@ -32,13 +60,7 @@ pub fn encode_image(img: &LinkedImage) -> Vec<u8> {
         w.u32(s.bytes.len() as u32);
         w.bytes(&s.bytes);
     }
-    let mut syms: Vec<(&String, &u32)> = img.symbols.iter().collect();
-    syms.sort();
-    w.u32(syms.len() as u32);
-    for (name, addr) in syms {
-        w.str(name);
-        w.u32(*addr);
-    }
+    write_symbol_table(&mut w, &img.symbols);
     match img.entry {
         Some(e) => {
             w.u8(1);
@@ -78,13 +100,7 @@ pub fn decode_image(bytes: &[u8]) -> LinkResult<LinkedImage> {
             zero,
         });
     }
-    let nsyms = r.u32()?;
-    let mut symbols = std::collections::HashMap::new();
-    for _ in 0..nsyms {
-        let name = r.str()?;
-        let addr = r.u32()?;
-        symbols.insert(name, addr);
-    }
+    let symbols = read_symbol_table(&mut r)?;
     let entry = match r.u8()? {
         0 => None,
         1 => Some(r.u32()?),

@@ -43,15 +43,18 @@ pub enum ContainerKind {
     Manifest,
     /// One binding-journal record.
     JournalRecord,
+    /// A canonical resolution manifest (symbol → provider bindings).
+    Resolution,
 }
 
 impl ContainerKind {
-    const ALL: [ContainerKind; 5] = [
+    const ALL: [ContainerKind; 6] = [
         ContainerKind::Object,
         ContainerKind::Blueprint,
         ContainerKind::Image,
         ContainerKind::Manifest,
         ContainerKind::JournalRecord,
+        ContainerKind::Resolution,
     ];
 
     fn tag(self) -> u8 {
@@ -61,6 +64,7 @@ impl ContainerKind {
             ContainerKind::Image => 3,
             ContainerKind::Manifest => 4,
             ContainerKind::JournalRecord => 5,
+            ContainerKind::Resolution => 6,
         }
     }
 
@@ -77,6 +81,7 @@ impl ContainerKind {
             ContainerKind::Image => "image",
             ContainerKind::Manifest => "manifest",
             ContainerKind::JournalRecord => "journal-record",
+            ContainerKind::Resolution => "resolution",
         }
     }
 }

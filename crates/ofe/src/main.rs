@@ -20,12 +20,25 @@
 //!                                  rename-defs)
 //! ofe hide RE IN OUT               and: show, restrict, project, freeze
 //! ofe copy-as RE REPL IN OUT       duplicate definitions
-//! ofe lint [--jobs N] BLUEPRINT...  static analysis, no linking; operand
+//! ofe lint [--jobs N] [--format json|text] BLUEPRINT...
+//!                                  static analysis, no linking; operand
 //!                                  paths resolve as files relative to
 //!                                  each blueprint's directory; with
 //!                                  several files, `--jobs N` lints them
 //!                                  on N worker threads (reports stay in
-//!                                  input order)
+//!                                  input order); `--format json` emits
+//!                                  one JSON array of findings. Exit 0:
+//!                                  clean, 1: findings reported (stdout),
+//!                                  2: operational error (stderr)
+//! ofe explain BLUEPRINT [BLUEPRINT2|CKPTDIR]
+//!                                  derive the blueprint's resolution
+//!                                  manifest statically (no link) and
+//!                                  render it; with a second blueprint,
+//!                                  diff the two resolutions (the
+//!                                  changed-binding set); with a
+//!                                  checkpoint directory, compare the
+//!                                  fresh derivation against the
+//!                                  manifest the checkpoint stored
 //! ofe trace [--eval-jobs N] BLUEPRINT [--chrome OUT.json]
 //!                                  instantiate the blueprint on an
 //!                                  in-process server and print the
@@ -52,7 +65,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use omos_analysis::{analyze_blueprint, LintContext, LintResolved, Severity};
+use omos_analysis::{analyze_blueprint, Diagnostic, LintContext, LintResolved};
 use omos_blueprint::Blueprint;
 use omos_isa::{assemble, Inst, INST_BYTES};
 use omos_module::Module;
@@ -69,20 +82,71 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("ofe: {e}");
-            ExitCode::FAILURE
+        Err(CmdError::Findings(report)) => {
+            // Lint findings are the command's *product*: they print to
+            // stdout, and exit 1 tells scripts findings exist without
+            // conflating them with a broken invocation (exit 2).
+            print!("{report}");
+            ExitCode::from(1)
+        }
+        Err(CmdError::Failure { message, code }) => {
+            eprintln!("ofe: {message}");
+            ExitCode::from(code)
         }
     }
 }
 
-const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|trace|stats|checkpoint|restore> ...";
+/// How a command failed. `Findings` is `lint`'s "analysis ran and
+/// reported findings" outcome — the report belongs on stdout and the
+/// process exits 1. `Failure` is an operational error (bad invocation,
+/// unreadable file): the message goes to stderr, and the exit code is
+/// 2 for `lint` (which reserves 1 for findings) and 1 elsewhere.
+#[derive(Debug)]
+pub enum CmdError {
+    Findings(String),
+    Failure { message: String, code: u8 },
+}
+
+impl CmdError {
+    fn failure(message: String) -> Self {
+        CmdError::Failure { message, code: 1 }
+    }
+
+    /// The report or message text.
+    pub fn text(&self) -> &str {
+        match self {
+            CmdError::Findings(t) => t,
+            CmdError::Failure { message, .. } => message,
+        }
+    }
+
+    /// The process exit code this failure maps to.
+    pub fn code(&self) -> u8 {
+        match self {
+            CmdError::Findings(_) => 1,
+            CmdError::Failure { code, .. } => *code,
+        }
+    }
+}
+
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|explain|trace|stats|checkpoint|restore> ...";
 
 /// Executes one OFE command; returns the text to print.
-pub fn run(args: &[String]) -> Result<String, String> {
-    let cmd = args.first().ok_or(USAGE)?;
+pub fn run(args: &[String]) -> Result<String, CmdError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| CmdError::failure(USAGE.to_string()))?;
     let rest = &args[1..];
     match cmd.as_str() {
+        "lint" => lint_cmd(rest),
+        _ => run_basic(cmd, rest).map_err(CmdError::failure),
+    }
+}
+
+/// Every command except `lint` (whose exit-code contract needs the
+/// richer [`CmdError`]).
+fn run_basic(cmd: &str, rest: &[String]) -> Result<String, String> {
+    match cmd {
         "info" => one_file(rest).map(|o| info(&o)),
         "nm" => one_file(rest).map(|o| nm(&o)),
         "size" => one_file(rest).map(|o| size(&o)),
@@ -134,7 +198,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
             let (pattern, replacement, input, output) = (&rest[0], &rest[1], &rest[2], &rest[3]);
             let m = Module::from_object(load(input)?);
-            let m = match cmd.as_str() {
+            let m = match cmd {
                 "copy-as" => m.copy_as(pattern, replacement),
                 "rename-refs" => m.rename(pattern, replacement, RenameTarget::Refs),
                 "rename-defs" => m.rename(pattern, replacement, RenameTarget::Defs),
@@ -154,7 +218,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
             let (pattern, input, output) = (&rest[0], &rest[1], &rest[2]);
             let m = Module::from_object(load(input)?);
-            let m = match cmd.as_str() {
+            let m = match cmd {
                 "hide" => m.hide(pattern),
                 "show" => m.show(pattern),
                 "restrict" => m.restrict(pattern),
@@ -169,14 +233,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
             )?;
             Ok(String::new())
         }
-        "lint" => {
-            let (jobs, files) = parse_jobs(rest)?;
-            match files {
-                [] => Err("lint [--jobs N] BLUEPRINT...".into()),
-                [file] => lint(file),
-                files => lint_batch(files, jobs),
-            }
-        }
+        "explain" => match rest {
+            [file] => explain_cmd(file, None),
+            [file, second] => explain_cmd(file, Some(second)),
+            _ => Err("explain BLUEPRINT [BLUEPRINT2|CKPTDIR]".into()),
+        },
         "trace" => {
             let (jobs, rest) = parse_flagged_jobs(rest, "--eval-jobs", "trace")?;
             match rest {
@@ -409,11 +470,12 @@ fn restore_dir(dir: &str, blueprint: Option<&String>) -> Result<String, String> 
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "restored {imported} files: {} bindings, {} images, {} replies, \
-         {} journal records, {} dropped{}",
+        "restored {imported} files: {} bindings, {} images, {} replies \
+         ({} manifest-verified), {} journal records, {} dropped{}",
         rr.ns_entries,
         rr.images,
         rr.replies,
+        rr.manifest_verified,
         rr.journal_records,
         rr.dropped,
         if rr.cold { " (cold start)" } else { "" },
@@ -538,10 +600,55 @@ fn stats_report(file: &str) -> Result<String, String> {
     Ok(report)
 }
 
-/// `ofe lint`: parses a blueprint file and runs the pre-link static
+/// `ofe lint`: parses each blueprint and runs the pre-link static
 /// analyzer over it, resolving operand paths in the Unix filesystem.
-/// Warnings go to stdout (exit 0); any error makes the command fail.
-fn lint(file: &str) -> Result<String, String> {
+/// Exit contract: 0 when every file is clean, 1 when findings were
+/// reported (the report prints to stdout), 2 when the invocation
+/// itself failed (bad flags, unreadable file, unparseable blueprint).
+fn lint_cmd(rest: &[String]) -> Result<String, CmdError> {
+    let oper = |message: String| CmdError::Failure { message, code: 2 };
+    let (jobs, json, files) = parse_lint_flags(rest).map_err(oper)?;
+    if files.is_empty() {
+        return Err(oper(
+            "lint [--jobs N] [--format json|text] BLUEPRINT...".into(),
+        ));
+    }
+    let mut report = String::new();
+    let mut findings = 0usize;
+    if json {
+        report.push('[');
+    }
+    for (file, result) in files.iter().zip(lint_files(files, jobs)) {
+        let (src, diags) = result.map_err(oper)?;
+        for d in &diags {
+            if json {
+                report.push_str(if findings == 0 { "\n" } else { ",\n" });
+                report.push_str(&json_finding(file, &src, d));
+            } else {
+                report.push_str(&text_finding(file, &src, d));
+            }
+            findings += 1;
+        }
+    }
+    if json {
+        report.push_str(if findings == 0 { "]\n" } else { "\n]\n" });
+    } else if findings > 0 {
+        let _ = writeln!(
+            report,
+            "{findings} finding{}",
+            if findings == 1 { "" } else { "s" }
+        );
+    }
+    if findings > 0 {
+        Err(CmdError::Findings(report))
+    } else {
+        Ok(report)
+    }
+}
+
+/// Lints one blueprint; `Err` is operational (unreadable file or
+/// unparseable source) — findings are data, not errors.
+fn lint_file(file: &str) -> Result<(String, Vec<Diagnostic>), String> {
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
     let base = std::path::Path::new(file)
@@ -550,41 +657,122 @@ fn lint(file: &str) -> Result<String, String> {
         .to_path_buf();
     let mut ctx = FsLintCtx { base };
     let diags = analyze_blueprint(&bp, &mut ctx);
-    let mut report = String::new();
-    let mut errors = 0usize;
-    for d in &diags {
-        if d.severity == Severity::Error {
-            errors += 1;
+    Ok((src, diags))
+}
+
+/// Lints the files on up to `jobs` worker threads. Files are claimed
+/// from a shared index (cheap work stealing), but results return in
+/// input order so reports stay deterministic.
+fn lint_files(files: &[String], jobs: usize) -> Vec<Result<(String, Vec<Diagnostic>), String>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    type Slot = Mutex<Option<Result<(String, Vec<Diagnostic>), String>>>;
+    let jobs = jobs.min(files.len());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Slot> = files.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                let r = lint_file(file);
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            });
         }
-        match d.span {
-            Some(s) => {
-                let (line, col) = s.line_col(&src);
-                let _ = writeln!(
-                    report,
-                    "{file}:{line}:{col}: {}[{}]: {}",
-                    d.severity, d.code, d.message
-                );
-            }
-            None => {
-                let _ = writeln!(report, "{file}: {}[{}]: {}", d.severity, d.code, d.message);
-            }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every file was linted")
+        })
+        .collect()
+}
+
+/// One finding as a `file:line:col: severity[CODE]: message` line.
+fn text_finding(file: &str, src: &str, d: &Diagnostic) -> String {
+    match d.span {
+        Some(s) => {
+            let (line, col) = s.line_col(src);
+            format!(
+                "{file}:{line}:{col}: {}[{}]: {}\n",
+                d.severity, d.code, d.message
+            )
         }
-    }
-    if errors > 0 {
-        let _ = write!(
-            report,
-            "{errors} error{} found",
-            if errors == 1 { "" } else { "s" }
-        );
-        Err(report)
-    } else {
-        Ok(report)
+        None => format!("{file}: {}[{}]: {}\n", d.severity, d.code, d.message),
     }
 }
 
-/// Splits a leading `--jobs N` off the argument list.
-fn parse_jobs(rest: &[String]) -> Result<(usize, &[String]), String> {
-    parse_flagged_jobs(rest, "--jobs", "lint")
+/// One finding as a JSON object (`line`/`col` only when the span is
+/// known).
+fn json_finding(file: &str, src: &str, d: &Diagnostic) -> String {
+    let mut s = String::from("  {");
+    let _ = write!(s, "\"file\": \"{}\"", json_escape(file));
+    if let Some(span) = d.span {
+        let (line, col) = span.line_col(src);
+        let _ = write!(s, ", \"line\": {line}, \"col\": {col}");
+    }
+    let _ = write!(
+        s,
+        ", \"severity\": \"{}\", \"code\": \"{}\", \"message\": \"{}\"}}",
+        d.severity,
+        d.code,
+        json_escape(&d.message)
+    );
+    s
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control bytes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits leading `--jobs N` / `--format json|text` flags off the lint
+/// argument list.
+fn parse_lint_flags(rest: &[String]) -> Result<(usize, bool, &[String]), String> {
+    let mut jobs = 1usize;
+    let mut json = false;
+    let mut rest = rest;
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("--jobs") => {
+                jobs = rest
+                    .get(1)
+                    .ok_or_else(|| "lint --jobs N ...".to_string())?
+                    .parse::<usize>()
+                    .map_err(|_| "lint --jobs N: N must be a positive number".to_string())?
+                    .max(1);
+                rest = &rest[2..];
+            }
+            Some("--format") => {
+                json = match rest.get(1).map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    _ => return Err("lint --format <json|text>".into()),
+                };
+                rest = &rest[2..];
+            }
+            _ => return Ok((jobs, json, rest)),
+        }
+    }
 }
 
 /// Splits a leading `FLAG N` worker count off the argument list;
@@ -606,54 +794,80 @@ fn parse_flagged_jobs<'a>(
     }
 }
 
-/// Lints several blueprints on up to `jobs` worker threads. Files are
-/// claimed from a shared index (cheap work stealing), but reports are
-/// stitched back in input order so the output is deterministic. A file
-/// whose lint finds errors fails the whole batch, after every file has
-/// been linted.
-fn lint_batch(files: &[String], jobs: usize) -> Result<String, String> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+/// `ofe explain`: derives the blueprint's canonical resolution
+/// manifest *statically* — the m-graph is evaluated through the view
+/// algebra, placement is replayed against solver state, and export
+/// addresses come from the linker's layout pass; no link executes and
+/// no image bytes are produced. With a second blueprint, each is
+/// derived on its own in-process server and the diff names the minimal
+/// set of changed bindings. With a checkpoint directory, the fresh
+/// derivation is compared against the manifest the checkpoint stored
+/// for the same blueprint.
+fn explain_cmd(file: &str, second: Option<&String>) -> Result<String, String> {
+    use omos_analysis::manifest::diff;
 
-    let jobs = jobs.min(files.len());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<String, String>>>> =
-        files.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(file) = files.get(i) else { break };
-                let r = lint(file);
-                *results[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
-            });
+    let first = derive_from_file(file)?;
+    let Some(second) = second else {
+        return Ok(first.render());
+    };
+    if std::path::Path::new(second.as_str()).is_dir() {
+        use omos_os::{CostModel, InMemFs, SimClock};
+        let cost = CostModel::hpux();
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        let imported = import_tree(
+            &mut fs,
+            &mut clock,
+            &cost,
+            CKPT_DIR,
+            std::path::Path::new(second.as_str()),
+        )?;
+        if imported == 0 {
+            return Err(format!("{second}: no checkpoint files"));
         }
-    });
-
-    let mut out = String::new();
-    let mut failed = 0usize;
-    for slot in results {
-        let r = slot
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .expect("every file was linted");
-        match r {
-            Ok(report) => out.push_str(&report),
-            Err(report) => {
-                failed += 1;
-                out.push_str(&report);
-                out.push('\n');
-            }
-        }
-    }
-    if failed > 0 {
-        let _ = write!(out, "lint: {failed} of {} blueprints failed", files.len());
-        Err(out)
+        let stored = omos_core::stored_manifests(&mut fs, &mut clock, &cost, CKPT_DIR)
+            .into_iter()
+            .find(|m| m.root == first.root)
+            .ok_or_else(|| format!("{second}: checkpoint stores no manifest for this blueprint"))?;
+        let mut out = format!(
+            "checkpoint {:016x} -> derived {:016x}\n",
+            stored.hash().0,
+            first.hash().0
+        );
+        out.push_str(&diff(&stored, &first).render());
+        Ok(out)
     } else {
+        let after = derive_from_file(second)?;
+        let mut out = format!(
+            "before {:016x} -> after {:016x}\n",
+            first.hash().0,
+            after.hash().0
+        );
+        out.push_str(&diff(&first, &after).render());
         Ok(out)
     }
+}
+
+/// Parses a blueprint file, binds its operand files into a fresh
+/// in-process server (exactly as `ofe trace` does), and derives its
+/// resolution manifest statically.
+fn derive_from_file(file: &str) -> Result<omos_analysis::manifest::ResolutionManifest, String> {
+    use omos_core::Omos;
+    use omos_os::ipc::Transport;
+    use omos_os::CostModel;
+
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
+    let base = std::path::Path::new(file)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf();
+    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let mut seen = std::collections::BTreeSet::new();
+    bind_operands(&server, &base, &bp.root, &mut seen)?;
+    server
+        .explain_blueprint(&bp)
+        .map_err(|e| format!("{file}: {e}"))
 }
 
 /// [`LintContext`] over the Unix filesystem: a leaf path is tried
@@ -896,35 +1110,42 @@ _msg:       .asciz "hello-world"
         std::fs::write(&caller, write(Format::Aout, &obj)).unwrap();
         let lib = write_sample("alloc.o");
 
-        // Clean: every reference binds.
+        // Clean: every reference binds. Exit 0, empty report.
         let good = tmp("good.bp");
         std::fs::write(&good, format!("(merge {caller} {lib})")).unwrap();
         assert_eq!(run(&args(&["lint", &good])).unwrap(), "");
 
-        // Dead pattern: warning on stdout, exit still success.
+        // Dead pattern: a warning is a finding — report on stdout,
+        // exit 1.
         let warn = tmp("warn.bp");
         std::fs::write(
             &warn,
             format!("(rename \"^_none$\" \"_x\" (merge {caller} {lib}))"),
         )
         .unwrap();
-        let out = run(&args(&["lint", &warn])).unwrap();
-        assert!(out.contains("warning[OM005]"), "{out}");
-        assert!(out.contains(":1:1:"), "{out}");
+        let err = run(&args(&["lint", &warn])).unwrap_err();
+        assert_eq!(err.code(), 1, "findings exit 1");
+        assert!(err.text().contains("warning[OM005]"), "{}", err.text());
+        assert!(err.text().contains(":1:1:"), "{}", err.text());
+        assert!(err.text().contains("1 finding"), "{}", err.text());
 
-        // Unresolved operand: error, command fails.
+        // Unresolved operand: an error finding — still exit 1.
         let bad = tmp("bad.bp");
         std::fs::write(&bad, format!("(merge {caller}\n       /no/such.o)")).unwrap();
         let err = run(&args(&["lint", &bad])).unwrap_err();
-        assert!(err.contains("error[OM001]"), "{err}");
-        assert!(err.contains(":2:8:"), "{err}");
-        assert!(err.contains("1 error found"), "{err}");
+        assert_eq!(err.code(), 1);
+        assert!(err.text().contains("error[OM001]"), "{}", err.text());
+        assert!(err.text().contains(":2:8:"), "{}", err.text());
+
+        // An unreadable file is an operational failure: exit 2.
+        let err = run(&args(&["lint", "/no/such.bp"])).unwrap_err();
+        assert_eq!(err.code(), 2, "operational errors exit 2");
 
         // A sibling blueprint file works as a meta-object operand.
         let meta = tmp("libm.bp");
         std::fs::write(
             &meta,
-            format!("(constraint-list \"T\" 0x1000000)\n(merge {lib})"),
+            format!("(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge {lib})"),
         )
         .unwrap();
         let uses_meta = tmp("uses-meta.bp");
@@ -954,27 +1175,91 @@ _msg:       .asciz "hello-world"
         let bad = tmp("bbad.bp");
         std::fs::write(&bad, format!("(merge {caller} /no/such.o)")).unwrap();
 
-        // All clean: concatenated reports (here empty + one warning),
-        // input order, exit success.
-        let out = run(&args(&["lint", "--jobs", "4", &good, &warn, &good])).unwrap();
-        let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 1, "only the warning prints: {out}");
-        assert!(lines[0].starts_with(&warn), "input order kept: {out}");
-        assert!(lines[0].contains("warning[OM005]"), "{out}");
+        // One warning across the batch: findings exit, input order.
+        let err = run(&args(&["lint", "--jobs", "4", &good, &warn, &good])).unwrap_err();
+        assert_eq!(err.code(), 1);
+        let lines: Vec<&str> = err.text().lines().collect();
+        assert_eq!(
+            lines.len(),
+            2,
+            "the warning plus the trailer: {}",
+            err.text()
+        );
+        assert!(
+            lines[0].starts_with(&warn),
+            "input order kept: {}",
+            err.text()
+        );
+        assert!(lines[0].contains("warning[OM005]"), "{}", err.text());
 
-        // One failing file fails the batch, but every file is linted
-        // and the failure is attributed.
+        // Error and warning findings interleave in input order; every
+        // file is linted.
         let err = run(&args(&["lint", "--jobs", "2", &good, &bad, &warn])).unwrap_err();
-        assert!(err.contains("error[OM001]"), "{err}");
-        assert!(err.contains("warning[OM005]"), "{err}");
-        assert!(err.contains("lint: 1 of 3 blueprints failed"), "{err}");
-        let bad_pos = err.find(&bad).unwrap();
-        let warn_pos = err.find(&warn).unwrap();
-        assert!(bad_pos < warn_pos, "reports stay in input order: {err}");
+        assert_eq!(err.code(), 1);
+        assert!(err.text().contains("error[OM001]"), "{}", err.text());
+        assert!(err.text().contains("warning[OM005]"), "{}", err.text());
+        let bad_pos = err.text().find(&bad).unwrap();
+        let warn_pos = err.text().find(&warn).unwrap();
+        assert!(bad_pos < warn_pos, "reports stay in input order");
 
-        // --jobs parsing errors.
-        assert!(run(&args(&["lint", "--jobs", "x", &good, &warn])).is_err());
-        assert!(run(&args(&["lint", "--jobs", "2"])).is_err());
+        // Flag parsing problems are operational: exit 2.
+        let err = run(&args(&["lint", "--jobs", "x", &good, &warn])).unwrap_err();
+        assert_eq!(err.code(), 2);
+        let err = run(&args(&["lint", "--jobs", "2"])).unwrap_err();
+        assert_eq!(err.code(), 2);
+        let err = run(&args(&["lint", "--format", "yaml", &good])).unwrap_err();
+        assert_eq!(err.code(), 2);
+    }
+
+    #[test]
+    fn lint_json_emits_a_parseable_findings_array() {
+        use omos_core::trace::json::{self, Json};
+
+        let caller = tmp("jcaller.o");
+        let obj = assemble(
+            "jcaller.o",
+            ".text\n.global _start\n_start: call _malloc\n sys 0\n",
+        )
+        .unwrap();
+        std::fs::write(&caller, write(Format::Aout, &obj)).unwrap();
+        let lib = write_sample("jalloc.o");
+
+        // Clean file: an empty array, exit 0.
+        let good = tmp("jgood.bp");
+        std::fs::write(&good, format!("(merge {caller} {lib})")).unwrap();
+        let out = run(&args(&["lint", "--format", "json", &good])).unwrap();
+        assert_eq!(out, "[]\n");
+
+        // Findings: exit 1 and a JSON array a consumer can parse.
+        let warn = tmp("jwarn.bp");
+        std::fs::write(
+            &warn,
+            format!("(rename \"^_none$\" \"_x\" (merge {caller} {lib}))"),
+        )
+        .unwrap();
+        let err = run(&args(&["lint", "--format", "json", &warn])).unwrap_err();
+        assert_eq!(err.code(), 1);
+        let doc = json::parse(err.text()).expect("valid JSON");
+        let arr = doc.as_arr().expect("an array");
+        assert_eq!(arr.len(), 1);
+        let f = &arr[0];
+        assert_eq!(f.get("severity").and_then(Json::as_str), Some("warning"));
+        assert_eq!(f.get("code").and_then(Json::as_str), Some("OM005"));
+        assert_eq!(f.get("line").and_then(Json::as_num), Some(1.0));
+        assert_eq!(f.get("col").and_then(Json::as_num), Some(1.0));
+        assert_eq!(f.get("file").and_then(Json::as_str), Some(warn.as_str()));
+        assert!(f
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| !m.is_empty()));
+
+        // Flags compose in either order.
+        let err = run(&args(&[
+            "lint", "--format", "json", "--jobs", "2", &warn, &good,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code(), 1);
+        assert!(json::parse(err.text()).is_ok(), "{}", err.text());
     }
 
     #[test]
@@ -1108,5 +1393,71 @@ _msg:       .asciz "hello-world"
         let missing = tmp("ckd-empty");
         std::fs::create_dir_all(&missing).unwrap();
         assert!(run(&args(&["restore", &missing])).is_err());
+    }
+
+    #[test]
+    fn explain_renders_and_diffs_manifests() {
+        let lib = write_sample("ex-lib.o");
+        let main = write_main("ex-main.o");
+        let bp = tmp("ex.bp");
+        std::fs::write(&bp, format!("(merge {main} {lib})")).unwrap();
+
+        let out = run(&args(&["explain", &bp])).unwrap();
+        assert!(out.starts_with("manifest "), "{out}");
+        assert!(out.contains("bind _malloc -> <program>"), "{out}");
+        assert!(out.contains("program text="), "{out}");
+
+        // The same blueprint on both sides resolves identically.
+        let out = run(&args(&["explain", &bp, &bp])).unwrap();
+        assert!(out.contains("manifests are identical"), "{out}");
+
+        // A rebind that grows `_malloc` shifts `_free`: the diff names
+        // exactly the moved binding, nothing else.
+        let lib2 = tmp("ex-lib2.o");
+        let obj = assemble(
+            "ex-lib2.o",
+            r#"
+            .text
+            .global _malloc, _free
+_malloc:    li r1, 0x100
+            li r2, 1
+            ret
+_free:      call _malloc
+            ret
+            .data
+_msg:       .asciz "hello-world"
+            "#,
+        )
+        .unwrap();
+        std::fs::write(&lib2, write(Format::Aout, &obj)).unwrap();
+        let bp2 = tmp("ex2.bp");
+        std::fs::write(&bp2, format!("(merge {main} {lib2})")).unwrap();
+        let out = run(&args(&["explain", &bp, &bp2])).unwrap();
+        assert!(out.contains("~ _free"), "{out}");
+        assert!(
+            !out.contains("~ _malloc"),
+            "unchanged binding stays out: {out}"
+        );
+        assert!(out.contains("program image changed"), "{out}");
+    }
+
+    #[test]
+    fn explain_compares_against_a_checkpoint() {
+        let lib = write_sample("exc-lib.o");
+        let main = write_main("exc-main.o");
+        let bp = tmp("exc.bp");
+        std::fs::write(&bp, format!("(merge {main} {lib})")).unwrap();
+        let out = tmp("exc-dir");
+        run(&args(&["checkpoint", &bp, &out])).unwrap();
+
+        let report = run(&args(&["explain", &bp, &out])).unwrap();
+        assert!(report.contains("manifests are identical"), "{report}");
+
+        // A blueprint the checkpoint never served has no stored
+        // manifest to compare against.
+        let other = tmp("exc-other.bp");
+        std::fs::write(&other, format!("(merge {lib} {main})")).unwrap();
+        let err = run(&args(&["explain", &other, &out])).unwrap_err();
+        assert!(err.text().contains("no manifest"), "{}", err.text());
     }
 }

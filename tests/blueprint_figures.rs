@@ -423,6 +423,52 @@ fn seeded_constraint_overlap_is_caught() {
     assert!(diags[0].message.contains("/lib/libc"), "{diags:?}");
 }
 
+// --- Golden resolution manifests -------------------------------------------
+//
+// The figure fixtures are fully deterministic worlds, so their
+// resolution manifests are stable down to the byte. The rendered
+// manifests are kept as golden files and compared exactly: any drift in
+// placement, symbol resolution, or image identity shows up as a diff
+// here before it shows up anywhere else.
+
+fn golden_check(name: &str, got: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("OMOS_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path:?} ({e}); run with OMOS_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        got, want,
+        "manifest for {name} drifted from its golden snapshot; if the \
+         change is intentional, regenerate with OMOS_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn figure_manifests_match_golden_snapshots() {
+    for (name, server, path) in [
+        ("figure1-use.manifest", figure1_world(), "/bin/use"),
+        (
+            "figure2-ls-traced.manifest",
+            figure2_world(),
+            "/bin/ls-traced",
+        ),
+        ("figure3-fixed.manifest", figure3_world(), "/bin/fixed"),
+    ] {
+        let m = server.explain(path).unwrap();
+        // The static derivation is also what the real build commits to.
+        let reply = server.instantiate(path).unwrap();
+        assert_eq!(m.hash(), reply.manifest, "{path}");
+        golden_check(name, &m.render());
+    }
+}
+
 #[test]
 fn figure_blueprints_hash_stably() {
     // The server's caches key on these hashes; they must be stable

@@ -192,6 +192,90 @@ proptest! {
     }
 }
 
+/// A random dynamic-load blueprint: a merge of 1–4 leaves where any
+/// subset is wrapped in `(specialize "lib-dynamic" ...)`. Returns the
+/// blueprint plus the indices of the dynamically specialized leaves.
+fn arb_dynamic_blueprint() -> impl Strategy<Value = (Blueprint, Vec<usize>)> {
+    proptest::collection::vec((0usize..LEAVES.len(), any::<bool>()), 1..5).prop_map(|items| {
+        let dynamic: Vec<usize> = items
+            .iter()
+            .filter(|(_, dynamic)| *dynamic)
+            .map(|(i, _)| *i)
+            .collect();
+        let src = format!(
+            "(merge {})",
+            items
+                .iter()
+                .map(|(i, dynamic)| if *dynamic {
+                    format!("(specialize \"lib-dynamic\" {})", LEAVES[*i])
+                } else {
+                    LEAVES[*i].to_string()
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        (
+            Blueprint::parse(&src).expect("generated blueprint parses"),
+            dynamic,
+        )
+    })
+}
+
+/// The dynamic-load path: the analyzer's verdict on a blueprint with
+/// `lib-dynamic` specializations must match what evaluation does,
+/// *including* the registration outcome — a clean blueprint evaluates
+/// and registers exactly one dynamic implementation per distinct
+/// specialized operand (re-specializing the same leaf coalesces), and
+/// the analyzer's error classes still correspond to the evaluator's
+/// failures.
+fn check_dynamic_verdicts(
+    bp: &Blueprint,
+    dynamic: &[usize],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut w = world();
+    let diags = analyze_blueprint(bp, &mut w);
+    let blocking: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error && d.code != "OM002")
+        .collect();
+    let out = eval_blueprint(bp, &w);
+    if blocking.is_empty() {
+        prop_assert!(
+            out.is_ok(),
+            "analyzer found no errors but dynamic eval failed: {:?}",
+            out.err()
+        );
+        let expected: BTreeSet<&str> = dynamic.iter().map(|&i| LEAVES[i]).collect();
+        prop_assert_eq!(
+            w.dynamic.lock().unwrap().len(),
+            expected.len(),
+            "one registration per distinct dynamic operand"
+        );
+        return Ok(());
+    }
+    match error_codes(&diags).as_slice() {
+        ["OM001"] => prop_assert!(
+            matches!(out, Err(EvalError::Resolve(_))),
+            "analyzer says unresolved path, eval says {out:?}"
+        ),
+        ["OM003"] => prop_assert!(
+            matches!(out, Err(EvalError::Obj(ObjError::DuplicateSymbol(_)))),
+            "analyzer says duplicate definition, eval says {out:?}"
+        ),
+        _ => {}
+    }
+    Ok(())
+}
+
+proptest! {
+    /// See [`check_dynamic_verdicts`].
+    #[test]
+    fn dynamic_load_verdicts_match_registration_outcomes(case in arb_dynamic_blueprint()) {
+        let (bp, dynamic) = case;
+        check_dynamic_verdicts(&bp, &dynamic)?;
+    }
+}
+
 /// The strategies above must actually exercise all three implications.
 #[test]
 fn differential_corpus_covers_every_class() {

@@ -457,6 +457,170 @@ fn single_byte_corruption_of_any_file_degrades_to_relink() {
     }
 }
 
+/// Every artifact a restore rejects lands in a per-reason
+/// `restore_drop_*` counter of the trace snapshot, and the totals
+/// always reconcile: `restore_dropped` is the sum of the reasons.
+#[test]
+fn restore_drop_reasons_land_in_the_trace_snapshot() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let s = Omos::new(cost, Transport::SysVMsg);
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+    let reply = s.instantiate("/bin/app").unwrap();
+    s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+    // One journal record after the checkpoint, so a torn tail is swept.
+    s.bind_object_durable("/obj/extra.o", lib_obj(9, 1), &mut fs, &mut clock, DIR)
+        .unwrap();
+
+    // Flip a byte in the program image (caught by the file checksum,
+    // which also orphans the reply row) and tear the journal's tail.
+    let img = format!("{DIR}/img/{:016x}", reply.program.key.0);
+    let mut bytes = fs.peek(&img).unwrap().to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs.unlink(&img, &mut clock, &cost);
+    fs.write(&img, &bytes, &mut clock, &cost).unwrap();
+    let journal = format!("{DIR}/journal");
+    let torn = fs.peek(&journal).unwrap().to_vec();
+    fs.unlink(&journal, &mut clock, &cost);
+    fs.write(&journal, &torn[..torn.len() - 1], &mut clock, &cost)
+        .unwrap();
+
+    let (r, rr) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+    assert_eq!(rr.drops.image_checksum, 1, "{rr:?}");
+    assert_eq!(rr.drops.reply_image, 1, "{rr:?}");
+    assert_eq!(rr.drops.journal_torn, 1, "{rr:?}");
+    assert_eq!(rr.dropped, rr.drops.total() as usize, "{rr:?}");
+
+    let c = r.trace_snapshot().counters;
+    assert_eq!(c.restore_drop_image_checksum, 1);
+    assert_eq!(c.restore_drop_reply_image, 1);
+    assert_eq!(c.restore_drop_journal_torn, 1);
+    let by_reason = c.restore_drop_ns_decode
+        + c.restore_drop_image_read
+        + c.restore_drop_image_checksum
+        + c.restore_drop_image_decode
+        + c.restore_drop_image_content
+        + c.restore_drop_journal_torn
+        + c.restore_drop_journal_kind
+        + c.restore_drop_journal_apply
+        + c.restore_drop_reply_image
+        + c.restore_drop_reply_manifest;
+    assert_eq!(c.restore_dropped, by_reason, "total reconciles by reason");
+    assert_eq!(c.restore_dropped, rr.dropped as u64);
+    // The tear hit one doubled copy; the record (and the bind) survive.
+    assert!(r.namespace.lookup("/obj/extra.o").is_some());
+}
+
+/// The restore-time proof, swept across the crash matrix: at every
+/// crash offset of the *second* checkpoint, recovery falls back to the
+/// first checkpoint and replays the journaled rebind — after which the
+/// surviving reply row (built against the old library) no longer
+/// matches a fresh manifest derivation. Verification must drop exactly
+/// that row (`reply_manifest`), never serve it, and the relink must
+/// reproduce the live reference bit-for-bit.
+#[test]
+fn manifest_verification_drops_the_stale_reply_at_every_crash_point() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let reference = cold_reference(Format::Aout, Transport::SysVMsg, &vals);
+    reference.instantiate("/bin/app").unwrap();
+    reference
+        .namespace
+        .bind_object("/obj/lib1.o", via(Format::Aout, &lib_obj(1, 42)));
+    let want = reference.instantiate("/bin/app").unwrap();
+
+    // Clean run to size the second checkpoint's byte stream.
+    let n = {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+        s.bind_object_durable(
+            "/obj/lib1.o",
+            via(Format::Aout, &lib_obj(1, 42)),
+            &mut fs,
+            &mut clock,
+            DIR,
+        )
+        .unwrap();
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR)
+            .unwrap()
+            .bytes_written
+    };
+
+    let mut stale_drops = 0usize;
+    for k in crash_points(n) {
+        let s = Omos::new(cost, Transport::SysVMsg);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+        s.bind_object_durable(
+            "/obj/lib1.o",
+            via(Format::Aout, &lib_obj(1, 42)),
+            &mut fs,
+            &mut clock,
+            DIR,
+        )
+        .unwrap();
+        s.instantiate("/bin/app").unwrap();
+
+        fs.set_write_fault(k);
+        assert!(s.checkpoint(&mut fs, &mut clock, DIR).is_err());
+        fs.clear_write_fault();
+
+        let (recovered, rr) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+        assert!(!rr.cold, "a committed checkpoint survives (crash at {k})");
+        // Two legitimate outcomes, decided by where the crash landed
+        // relative to the second checkpoint's commit record:
+        //   * before commit — recovery falls back to the *first*
+        //     checkpoint, whose reply row predates the rebind; the
+        //     replayed journal makes re-derivation diverge and
+        //     verification must drop the stale row;
+        //   * after commit (the fault hit post-commit cleanup) — the
+        //     second checkpoint's row is current and must verify.
+        // Either way every surviving row went through verification.
+        assert_eq!(
+            rr.manifest_verified + rr.drops.reply_manifest as usize,
+            rr.replies + rr.dropped,
+            "every row is either verified or dropped (crash at {k}): {rr:?}"
+        );
+        assert_eq!(rr.manifest_verified, rr.replies, "crash at {k}: {rr:?}");
+        let stale_dropped = rr.drops.reply_manifest == 1;
+        if stale_dropped {
+            assert_eq!(rr.replies, 0, "crash at {k}: {rr:?}");
+            assert_eq!(
+                recovered
+                    .trace_snapshot()
+                    .counters
+                    .restore_drop_reply_manifest,
+                1
+            );
+            stale_drops += 1;
+        }
+        let first = recovered.instantiate("/bin/app").unwrap();
+        if stale_dropped {
+            assert!(!first.cache_hit, "a dropped row relinks on demand");
+        }
+        // (A verified row may still relink: when the crash spared the
+        // commit but not the journal truncation, replaying the rebind
+        // re-bumps the dependency generation past the restored row's.
+        // Conservative, never wrong.)
+        assert_images_identical(&first, &want);
+    }
+    assert!(
+        stale_drops > 0,
+        "the sweep must exercise the stale-reply drop path at least once"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
