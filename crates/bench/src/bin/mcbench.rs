@@ -71,6 +71,20 @@ fn main() {
             wr.restore_dropped,
         );
     }
+    if let Some(p) = &result.pipelined {
+        eprintln!(
+            "transports ({} threads, window {}): mach {:.0} rps -> pipelined {:.0} rps \
+             ({:.2}x), shm-ring {:.0} rps ({:.2}x); replies bit-identical: {}",
+            p.threads,
+            p.window,
+            p.baseline.throughput_rps,
+            p.pipelined.throughput_rps,
+            p.speedup(),
+            p.shm_ring.throughput_rps,
+            p.shm_speedup(),
+            p.replies_bit_identical(),
+        );
+    }
     eprintln!(
         "{:>10} {:>9} {:>12} {:>12} {:>12}",
         "stage", "count", "p50_ns", "p95_ns", "p99_ns"

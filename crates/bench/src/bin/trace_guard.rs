@@ -16,7 +16,7 @@
 //! `latency_ns`, never the billed work), and at jobs=1 the sequential
 //! path runs verbatim, so any sim difference is a hard failure.
 
-use omos_bench::mcbench::{run_cold_link, run_multiclient};
+use omos_bench::mcbench::{run_cold_link, run_multiclient, run_transport_overhead};
 use omos_bench::workload::WorkloadSizes;
 use omos_os::ipc::Transport;
 use omos_os::CostModel;
@@ -104,8 +104,63 @@ fn guard_parallel_identity() {
     );
 }
 
+/// The batched and shared-memory transports must fit the same trace
+/// budget on their warm paths: tracing on vs off may move wall time at
+/// most 5% and the simulated makespan not at all. The legacy SysV
+/// transport runs through the same session harness as a control.
+fn guard_transport_overhead() {
+    for transport in [Transport::SysVMsg, Transport::Pipelined, Transport::ShmRing] {
+        let measure = |tracing: bool| {
+            run_transport_overhead(
+                &WorkloadSizes::small(),
+                CostModel::hpux(),
+                transport,
+                THREADS,
+                PER_THREAD,
+                tracing,
+            )
+        };
+        let _ = measure(true); // untimed warmup
+        let (mut off_wall, mut on_wall) = (f64::INFINITY, f64::INFINITY);
+        let (mut off_sim, mut on_sim) = (0u64, 0u64);
+        for _ in 0..REPS {
+            let (w, s) = measure(false);
+            off_wall = off_wall.min(w);
+            off_sim = s;
+            let (w, s) = measure(true);
+            on_wall = on_wall.min(w);
+            on_sim = s;
+        }
+        if on_sim != off_sim {
+            eprintln!(
+                "trace_guard: FAIL — {} sim makespan moved with tracing: {} vs {}",
+                transport.name(),
+                off_sim,
+                on_sim
+            );
+            std::process::exit(1);
+        }
+        let overhead = (on_wall - off_wall) / off_wall;
+        eprintln!(
+            "{} warm wall (best of {REPS}): off {off_wall:.3} ms, on {on_wall:.3} ms ({:.1}%)",
+            transport.name(),
+            overhead * 100.0
+        );
+        if overhead > MAX_OVERHEAD {
+            eprintln!(
+                "trace_guard: FAIL — {} tracing costs {:.1}% of warm wall time (budget {:.0}%)",
+                transport.name(),
+                overhead * 100.0,
+                MAX_OVERHEAD * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     guard_parallel_identity();
+    guard_transport_overhead();
     // Interleave the modes so CPU warmup, page-cache state, and
     // allocator pools bias neither side; one untimed warmup first.
     let _ = measure_once(true);

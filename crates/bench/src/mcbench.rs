@@ -24,7 +24,7 @@ use std::sync::Barrier;
 
 use omos_core::trace::{HistSnapshot, Stage};
 use omos_core::{Omos, ServerStats};
-use omos_os::ipc::{charge_roundtrip, IpcStats};
+use omos_os::ipc::{charge_roundtrip, ClientSession, IpcStats, Transport, DEFAULT_WINDOW};
 use omos_os::{CostModel, InMemFs, SimClock};
 
 use crate::workload::WorkloadSizes;
@@ -75,6 +75,73 @@ pub struct McResult {
     /// `OMOS_EVAL_JOBS`/`RUST_TEST_THREADS` settings: the same request
     /// history must yield byte-identical manifests.
     pub manifests: Vec<(String, String)>,
+    /// Batched/shared-memory transport comparison at 8 threads
+    /// (`None` when the sweep skipped it).
+    pub pipelined: Option<PipelinedResult>,
+}
+
+/// One warm transport run: every client issues the same request
+/// sequence over one transport, and the fold of every reply's bytes
+/// (`reply_digest`) proves the transport changed billing only.
+#[derive(Debug, Clone)]
+pub struct TransportPhase {
+    /// Transport under test.
+    pub transport: Transport,
+    /// Client threads.
+    pub threads: usize,
+    /// Total requests issued.
+    pub requests: u64,
+    /// Max per-thread simulated elapsed time.
+    pub makespan_ns: u64,
+    /// `requests / makespan` in requests per simulated second.
+    pub throughput_rps: f64,
+    /// IPC traffic summed over all clients.
+    pub ipc: IpcStats,
+    /// FNV-1a fold of every reply's content (program, `server_ns`,
+    /// manifest hash, image keys and pages) in per-thread request
+    /// order — transport-independent by construction, asserted so.
+    pub reply_digest: String,
+}
+
+/// The warm transport shoot-out: per-request Mach IPC (the cheapest
+/// copying baseline) vs the batched and shared-memory transports, same
+/// request history, bit-identical replies required.
+#[derive(Debug, Clone)]
+pub struct PipelinedResult {
+    /// Client threads per phase.
+    pub threads: usize,
+    /// Max-inflight window of the pipelined clients.
+    pub window: usize,
+    /// Requests per thread.
+    pub requests_per_thread: usize,
+    /// Per-request Mach IPC baseline.
+    pub baseline: TransportPhase,
+    /// Batched transport run.
+    pub pipelined: TransportPhase,
+    /// Shared-memory ring run.
+    pub shm_ring: TransportPhase,
+}
+
+impl PipelinedResult {
+    /// Warm throughput of the batched transport over the per-request
+    /// Mach baseline (the ≥5x acceptance gate).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.pipelined.throughput_rps / self.baseline.throughput_rps.max(f64::MIN_POSITIVE)
+    }
+
+    /// Warm throughput of the shared-memory ring over the baseline.
+    #[must_use]
+    pub fn shm_speedup(&self) -> f64 {
+        self.shm_ring.throughput_rps / self.baseline.throughput_rps.max(f64::MIN_POSITIVE)
+    }
+
+    /// True when all three transports folded byte-identical replies.
+    #[must_use]
+    pub fn replies_bit_identical(&self) -> bool {
+        self.baseline.reply_digest == self.pipelined.reply_digest
+            && self.baseline.reply_digest == self.shm_ring.reply_digest
+    }
 }
 
 /// One cold instantiation at a given `eval_jobs` setting.
@@ -373,6 +440,169 @@ fn run_phase(server: &Omos, threads: usize, per_thread: usize, cost: &CostModel)
     }
 }
 
+/// Runs one *warm* phase over an arbitrary transport: `threads`
+/// clients, each owning a [`ClientSession`], issuing `per_thread`
+/// requests round-robin over the scenario programs. The server must
+/// already be warm (every program instantiated once). Each thread
+/// folds the bytes of every reply it sees — program name, `server_ns`,
+/// manifest hash, image keys and page counts — into an FNV-1a digest;
+/// the per-thread request sequences are fixed, so the digest is a
+/// transport-independent function of the reply bytes alone.
+#[must_use]
+pub fn run_transport_warm(
+    server: &Omos,
+    transport: Transport,
+    threads: usize,
+    per_thread: usize,
+    cost: &CostModel,
+    window: usize,
+) -> TransportPhase {
+    let barrier = Barrier::new(threads);
+    let per_client: Vec<(u64, IpcStats, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut clock = SimClock::new();
+                    let mut session = ClientSession::with_window(transport, window);
+                    let mut digest = Vec::new();
+                    barrier.wait();
+                    for i in 0..per_thread {
+                        let program = PROGRAMS[(t + i) % PROGRAMS.len()];
+                        let reply = server
+                            .instantiate(&format!("/bin/{program}"))
+                            .expect("benchmark programs instantiate");
+                        let shape = reply.reply_shape();
+                        digest.extend_from_slice(program.as_bytes());
+                        digest.extend_from_slice(&reply.server_ns.to_le_bytes());
+                        digest.extend_from_slice(&reply.manifest.0.to_le_bytes());
+                        for img in &shape.images {
+                            digest.extend_from_slice(&img.key.to_le_bytes());
+                            digest.extend_from_slice(&img.pages.to_le_bytes());
+                        }
+                        session.request(&mut clock, cost, i as u64, 128, shape, reply.server_ns);
+                    }
+                    session.drain(&mut clock, cost);
+                    server.tracer().client_ipc(&session.stats);
+                    (clock.elapsed_ns, session.stats, digest)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let makespan_ns = per_client.iter().map(|(ns, _, _)| *ns).max().unwrap_or(0);
+    let mut ipc = IpcStats::default();
+    let mut all = Vec::new();
+    for (_, i, d) in &per_client {
+        ipc += *i;
+        all.extend_from_slice(d);
+    }
+    let requests = (threads * per_thread) as u64;
+    TransportPhase {
+        transport,
+        threads,
+        requests,
+        makespan_ns,
+        throughput_rps: if makespan_ns == 0 {
+            0.0
+        } else {
+            requests as f64 * 1e9 / makespan_ns as f64
+        },
+        ipc,
+        reply_digest: format!("{:016x}", omos_obj::fnv1a(&all).0),
+    }
+}
+
+/// Number of client threads in the transport shoot-out.
+pub const PIPELINED_THREADS: usize = 8;
+/// Requests each client issues in the transport shoot-out.
+pub const PIPELINED_PER_THREAD: usize = 64;
+
+/// Warm-path wall cost of one transport with tracing on or off: builds
+/// a fresh warmed scenario, then times the warm phase. Returns
+/// `(wall_ms, sim_makespan_ns)` — the sim makespan must not move with
+/// tracing (the overhead guard checks both).
+#[must_use]
+pub fn run_transport_overhead(
+    sizes: &WorkloadSizes,
+    cost: CostModel,
+    transport: Transport,
+    threads: usize,
+    per_thread: usize,
+    tracing: bool,
+) -> (f64, u64) {
+    let scenario = Scenario::build(*sizes, cost, transport);
+    let server = scenario.server;
+    for p in PROGRAMS {
+        server
+            .instantiate(&format!("/bin/{p}"))
+            .expect("warmup instantiates");
+    }
+    server.set_tracing(tracing);
+    let window = if transport.is_batched() {
+        DEFAULT_WINDOW
+    } else {
+        1
+    };
+    let wall = std::time::Instant::now();
+    let phase = run_transport_warm(&server, transport, threads, per_thread, &cost, window);
+    (wall.elapsed().as_secs_f64() * 1e3, phase.makespan_ns)
+}
+
+/// Runs the warm transport shoot-out: a fresh scenario server per
+/// transport (warmed by one pass over the programs), then the same
+/// 8-thread request history over per-request Mach IPC, the batched
+/// transport, and the shared-memory ring. Panics if any transport
+/// changes a reply byte — the transports are allowed to move billing
+/// only.
+#[must_use]
+pub fn run_pipelined(
+    sizes: &WorkloadSizes,
+    cost: CostModel,
+    per_thread: usize,
+    window: usize,
+) -> PipelinedResult {
+    let run = |transport: Transport, window: usize| {
+        let scenario = Scenario::build(*sizes, cost, transport);
+        let server = scenario.server;
+        for p in PROGRAMS {
+            server
+                .instantiate(&format!("/bin/{p}"))
+                .expect("warmup instantiates");
+        }
+        run_transport_warm(
+            &server,
+            transport,
+            PIPELINED_THREADS,
+            per_thread,
+            &cost,
+            window,
+        )
+    };
+    let baseline = run(Transport::MachIpc, 1);
+    let pipelined = run(Transport::Pipelined, window);
+    let shm_ring = run(Transport::ShmRing, 1);
+    let r = PipelinedResult {
+        threads: PIPELINED_THREADS,
+        window,
+        requests_per_thread: per_thread,
+        baseline,
+        pipelined,
+        shm_ring,
+    };
+    assert!(
+        r.replies_bit_identical(),
+        "transports must not change reply bytes: mach={} pipelined={} shm={}",
+        r.baseline.reply_digest,
+        r.pipelined.reply_digest,
+        r.shm_ring.reply_digest
+    );
+    r
+}
+
 /// Runs the full sweep. Each thread count gets a *fresh* server for its
 /// cold phase; the warm phase reuses that same (now fully cached)
 /// server. With `tracing` off every trace hook degenerates to one
@@ -439,6 +669,12 @@ pub fn run_multiclient(
             .into_iter()
             .map(|(p, bytes)| (p, format!("{:016x}", omos_obj::fnv1a(&bytes).0)))
             .collect(),
+        pipelined: Some(run_pipelined(
+            sizes,
+            cost,
+            PIPELINED_PER_THREAD,
+            DEFAULT_WINDOW,
+        )),
     }
 }
 
@@ -560,6 +796,49 @@ pub fn to_json(r: &McResult) -> String {
         let _ = writeln!(out, "    \"restored_images\": {},", wr.restored_images);
         let _ = writeln!(out, "    \"restore_dropped\": {},", wr.restore_dropped);
         let _ = writeln!(out, "    \"speedup\": {:.2}", wr.speedup());
+        let _ = writeln!(out, "  }},");
+    }
+    if let Some(p) = &r.pipelined {
+        let _ = writeln!(out, "  \"pipelined\": {{");
+        let _ = writeln!(out, "    \"threads\": {},", p.threads);
+        let _ = writeln!(out, "    \"window\": {},", p.window);
+        let _ = writeln!(
+            out,
+            "    \"requests_per_thread\": {},",
+            p.requests_per_thread
+        );
+        for (name, t) in [
+            ("baseline", &p.baseline),
+            ("pipelined", &p.pipelined),
+            ("shm_ring", &p.shm_ring),
+        ] {
+            let _ = writeln!(
+                out,
+                concat!(
+                    "    \"{}\": {{\"transport\": \"{}\", \"requests\": {}, ",
+                    "\"makespan_ns\": {}, \"throughput_rps\": {:.1}, ",
+                    "\"ipc_messages\": {}, \"ipc_bytes\": {}, \"batches\": {}, ",
+                    "\"mappings\": {}, \"reply_digest\": \"{}\"}},"
+                ),
+                name,
+                t.transport.name(),
+                t.requests,
+                t.makespan_ns,
+                t.throughput_rps,
+                t.ipc.messages,
+                t.ipc.bytes,
+                t.ipc.batches,
+                t.ipc.mappings,
+                t.reply_digest,
+            );
+        }
+        let _ = writeln!(out, "    \"speedup_vs_mach\": {:.2},", p.speedup());
+        let _ = writeln!(out, "    \"shm_speedup_vs_mach\": {:.2},", p.shm_speedup());
+        let _ = writeln!(
+            out,
+            "    \"replies_bit_identical\": {}",
+            p.replies_bit_identical()
+        );
         let _ = writeln!(out, "  }},");
     }
     if !r.manifests.is_empty() {
@@ -690,6 +969,35 @@ mod tests {
                 "manifest for `{pa}` differs between eval_jobs=1 and eval_jobs=8"
             );
         }
+    }
+
+    #[test]
+    fn pipelined_warm_throughput_is_5x_mach_at_8_threads() {
+        // The acceptance gate: batching kills the IPC tax. Same request
+        // history, bit-identical replies (run_pipelined panics
+        // otherwise), ≥5x the per-request Mach baseline.
+        let r = run_pipelined(
+            &WorkloadSizes::small(),
+            CostModel::hpux(),
+            32,
+            DEFAULT_WINDOW,
+        );
+        assert!(r.replies_bit_identical());
+        assert!(
+            r.speedup() >= 5.0,
+            "pipelined warm throughput must be >= 5x per-request Mach IPC \
+             at 8 threads, got {:.2}x ({:.0} vs {:.0} rps)",
+            r.speedup(),
+            r.pipelined.throughput_rps,
+            r.baseline.throughput_rps
+        );
+        // The ring moves descriptors, not handle bytes: strictly less
+        // traffic than the baseline, and faster too.
+        assert!(r.shm_ring.ipc.bytes < r.baseline.ipc.bytes);
+        assert!(r.shm_speedup() > 1.0);
+        // Conservation: every request crossed in a batch frame.
+        assert_eq!(r.pipelined.ipc.batched_requests, r.pipelined.requests);
+        assert!(r.pipelined.ipc.messages < r.baseline.ipc.messages / 4);
     }
 
     #[test]

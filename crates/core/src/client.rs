@@ -11,7 +11,7 @@
 use std::collections::HashSet;
 
 use omos_analysis::Diagnostic;
-use omos_os::ipc::{charge_roundtrip, IpcStats};
+use omos_os::ipc::{charge_request, charge_roundtrip, IpcStats, ReplyShape};
 use omos_os::process::{Binder, FirstLoad, OmosLookup, PltBind, Process};
 use omos_os::{CostModel, InMemFs, RunOutcome, SimClock};
 
@@ -54,6 +54,7 @@ impl Binder for OmosBinder<'_> {
                 server_ns: reply
                     .server_ns
                     .max(self.server.cost().server_cached_request_ns),
+                image_key: reply.key.0,
             })
         } else {
             None
@@ -79,14 +80,15 @@ pub fn lint_request(
     ipc_stats: &mut IpcStats,
 ) -> Result<Vec<Diagnostic>, OmosError> {
     let diags = server.lint(path)?;
-    // The reply marshals one fixed header plus each rendered finding.
+    // The reply marshals one fixed header plus each rendered finding —
+    // no mappable images, so every transport copies it.
     let reply_bytes: u64 = 64 + diags.iter().map(|d| d.render().len() as u64).sum::<u64>();
-    charge_roundtrip(
+    charge_request(
         clock,
         cost,
         server.transport,
         128,
-        reply_bytes,
+        &ReplyShape::opaque(reply_bytes),
         cost.server_cached_request_ns,
         ipc_stats,
     );
@@ -120,12 +122,14 @@ pub fn exec_bootstrap(
     clock.charge_system(cost.exec_overhead_ns);
     clock.charge_system(cost.bootstrap_load_ns);
     let reply = server.instantiate(path)?;
-    charge_roundtrip(
+    // Copying transports marshal handles, not contents; mapped
+    // transports grant one descriptor per image (see reply_shape).
+    charge_request(
         clock,
         cost,
         server.transport,
         128,
-        256 + 32 * reply.total_pages(), // handles, not contents
+        &reply.reply_shape(),
         reply.server_ns,
         ipc_stats,
     );

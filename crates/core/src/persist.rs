@@ -111,6 +111,11 @@ pub struct RestoreReport {
     pub dropped: usize,
     /// Per-reason breakdown of `dropped`.
     pub drops: RestoreDrops,
+    /// Transport the checkpointing server spoke, when the manifest
+    /// recorded a recognizable one (`None` on a cold start). Purely
+    /// informational — checkpoints carry no client transport state, so
+    /// a restored server may answer over any transport.
+    pub checkpoint_transport: Option<omos_os::Transport>,
 }
 
 fn img_path(dir: &str, key: ContentHash) -> String {
@@ -483,6 +488,14 @@ struct ReplyRow {
 #[derive(Debug)]
 struct Manifest {
     seq: u64,
+    /// Transport the checkpointing server spoke (`Transport::name`).
+    /// Client transport state never rides in a checkpoint — batch
+    /// queues are flushed and rings drained/retired before the server
+    /// quiesces, and shared-memory grants are reconstructible from the
+    /// content-addressed image keys below — but the name is recorded so
+    /// a restore can report when the restored server will answer over a
+    /// different transport than the checkpoint was taken under.
+    transport: String,
     /// Bindings with their sealed payload frames embedded: the
     /// namespace is source state nothing can rebuild, so it rides
     /// inside both manifest copies rather than in droppable files.
@@ -495,6 +508,7 @@ struct Manifest {
 fn encode_manifest(m: &Manifest) -> Vec<u8> {
     let mut w = Writer::new();
     w.u64(m.seq);
+    w.str(&m.transport);
     w.u32(m.ns.len() as u32);
     for (path, kind, frame) in &m.ns {
         w.str(path);
@@ -581,6 +595,7 @@ fn decode_manifest(bytes: &[u8]) -> ObjResult<Manifest> {
     let payload = container::open(ContainerKind::Manifest, bytes)?;
     let mut r = Reader::new(payload);
     let seq = r.u64()?;
+    let transport = r.str()?;
     let n = r.u32()?;
     let mut ns = Vec::new();
     for _ in 0..n {
@@ -698,6 +713,7 @@ fn decode_manifest(bytes: &[u8]) -> ObjResult<Manifest> {
     }
     Ok(Manifest {
         seq,
+        transport,
         ns,
         images,
         solver: SolverState {
@@ -907,6 +923,7 @@ impl Omos {
         };
         let manifest = Manifest {
             seq,
+            transport: self.transport.name().to_string(),
             ns: ns_rows,
             images: image_rows,
             solver: self.solver().export_state(),
@@ -948,6 +965,7 @@ impl Omos {
 
         if let Some((_, manifest)) = best_manifest(fs, clock, &cost, dir) {
             report.cold = false;
+            report.checkpoint_transport = omos_os::Transport::from_name(&manifest.transport);
 
             // Namespace bindings, embedded in the manifest; each frame
             // still carries (and is checked against) its own checksum.

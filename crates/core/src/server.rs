@@ -55,7 +55,7 @@ use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentReq
 use omos_link::{layout_symbols, link, FunctionHashTable, LinkOptions, LinkStats};
 use omos_module::Module;
 use omos_obj::{ContentHash, ObjectFile, SectionKind};
-use omos_os::ipc::Transport;
+use omos_os::ipc::{ImageDescriptor, ReplyShape, Transport};
 use omos_os::{CostModel, ImageFrames};
 
 use crate::cache::{CachedImage, ImageCache};
@@ -158,6 +158,21 @@ impl InstantiateReply {
                 .map(|l| l.frames.total_pages())
                 .sum::<u64>()
     }
+
+    /// The physical reply shape for transport billing: copying
+    /// transports marshal a fixed header plus per-page handles; mapped
+    /// transports grant one content-keyed descriptor per image instead.
+    #[must_use]
+    pub fn reply_shape(&self) -> ReplyShape {
+        let images = std::iter::once(&self.program)
+            .chain(self.libraries.iter())
+            .map(|img| ImageDescriptor {
+                key: img.key.0,
+                pages: img.frames.total_pages(),
+            })
+            .collect();
+        ReplyShape::with_images(256 + 32 * self.total_pages(), images)
+    }
 }
 
 /// A cached evaluated module plus the namespace paths it was derived
@@ -213,6 +228,9 @@ pub struct DynLookupReply {
     /// Server CPU consumed (nonzero only when the instance had to be
     /// built).
     pub server_ns: u64,
+    /// Content-addressed key of the built instance; mapped transports
+    /// grant the image on it instead of copying handles.
+    pub key: ContentHash,
 }
 
 /// The persistent linker/loader server.
@@ -1248,6 +1266,7 @@ impl Omos {
             probes: u64::from(probes),
             frames: b.instance.frames.clone(),
             server_ns,
+            key: b.instance.key,
         })
     }
 }

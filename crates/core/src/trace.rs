@@ -479,6 +479,15 @@ counter_family! {
     flight_coalesced,
     /// Client IPC round trips recorded.
     ipc_roundtrips,
+    /// Pipelined batch frames flushed by clients.
+    ipc_batches,
+    /// Requests delivered inside those batch frames.
+    ipc_batched_requests,
+    /// Shared-memory mappings granted to clients (first sighting of a
+    /// content key per session).
+    shm_mappings,
+    /// Bounded backpressure polls spent by ring writers.
+    shm_backpressure_spins,
     /// Spans written to the ring (monotone; `min(spans_recorded,
     /// RING_CAPACITY)` are retained).
     spans_recorded,
@@ -1050,6 +1059,29 @@ impl Tracer {
             dur_ns: ns,
             worker: 0,
         });
+    }
+
+    /// Folds a client session's transport statistics into the trace
+    /// counters (batch frames, grants, backpressure). Call once per
+    /// session or per delta — the stats are cumulative on the session
+    /// side, so pass the increment, not the running total, when folding
+    /// repeatedly.
+    pub fn client_ipc(&self, stats: &omos_os::ipc::IpcStats) {
+        if !self.enabled() {
+            return;
+        }
+        self.c
+            .ipc_batches
+            .fetch_add(stats.batches, Ordering::Relaxed);
+        self.c
+            .ipc_batched_requests
+            .fetch_add(stats.batched_requests, Ordering::Relaxed);
+        self.c
+            .shm_mappings
+            .fetch_add(stats.mappings, Ordering::Relaxed);
+        self.c
+            .shm_backpressure_spins
+            .fetch_add(stats.backpressure_spins, Ordering::Relaxed);
     }
 
     /// A consistent-enough snapshot of everything the tracer holds.

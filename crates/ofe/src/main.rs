@@ -239,11 +239,16 @@ fn run_basic(cmd: &str, rest: &[String]) -> Result<String, String> {
             _ => Err("explain BLUEPRINT [BLUEPRINT2|CKPTDIR]".into()),
         },
         "trace" => {
+            let (transport, rest) = parse_flagged_transport(rest, "trace")?;
             let (jobs, rest) = parse_flagged_jobs(rest, "--eval-jobs", "trace")?;
             match rest {
-                [file] => trace_blueprint(file, jobs, None),
-                [file, flag, out] if flag == "--chrome" => trace_blueprint(file, jobs, Some(out)),
-                _ => Err("trace [--eval-jobs N] BLUEPRINT [--chrome OUT.json]".into()),
+                [file] => trace_blueprint(file, jobs, None, transport),
+                [file, flag, out] if flag == "--chrome" => {
+                    trace_blueprint(file, jobs, Some(out), transport)
+                }
+                _ => Err(
+                    "trace [--transport NAME] [--eval-jobs N] BLUEPRINT [--chrome OUT.json]".into(),
+                ),
             }
         }
         "stats" => match rest {
@@ -251,15 +256,21 @@ fn run_basic(cmd: &str, rest: &[String]) -> Result<String, String> {
             [file] => stats_report(file),
             _ => Err("stats [FILE]".into()),
         },
-        "checkpoint" => match rest {
-            [file, outdir] => checkpoint_blueprint(file, outdir),
-            _ => Err("checkpoint BLUEPRINT OUTDIR".into()),
-        },
-        "restore" => match rest {
-            [dir] => restore_dir(dir, None),
-            [dir, file] => restore_dir(dir, Some(file)),
-            _ => Err("restore DIR [BLUEPRINT]".into()),
-        },
+        "checkpoint" => {
+            let (transport, rest) = parse_flagged_transport(rest, "checkpoint")?;
+            match rest {
+                [file, outdir] => checkpoint_blueprint(file, outdir, transport),
+                _ => Err("checkpoint [--transport NAME] BLUEPRINT OUTDIR".into()),
+            }
+        }
+        "restore" => {
+            let (transport, rest) = parse_flagged_transport(rest, "restore")?;
+            match rest {
+                [dir] => restore_dir(dir, None, transport),
+                [dir, file] => restore_dir(dir, Some(file), transport),
+                _ => Err("restore [--transport NAME] DIR [BLUEPRINT]".into()),
+            }
+        }
         _ => Err(USAGE.to_string()),
     }
 }
@@ -271,10 +282,14 @@ fn run_basic(cmd: &str, rest: &[String]) -> Result<String, String> {
 /// placement, framing, and map. With `jobs > 1` the server evaluates
 /// and links on that many workers; parallel work units render as
 /// sibling spans tagged with their worker lane.
-fn trace_blueprint(file: &str, jobs: usize, chrome_out: Option<&str>) -> Result<String, String> {
+fn trace_blueprint(
+    file: &str,
+    jobs: usize,
+    chrome_out: Option<&str>,
+    transport: omos_os::Transport,
+) -> Result<String, String> {
     use omos_core::trace::{chrome_json, render_tree, Stage};
     use omos_core::Omos;
-    use omos_os::ipc::Transport;
     use omos_os::CostModel;
 
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
@@ -285,7 +300,7 @@ fn trace_blueprint(file: &str, jobs: usize, chrome_out: Option<&str>) -> Result<
         .to_path_buf();
 
     let cost = CostModel::hpux();
-    let server = Omos::new(cost, Transport::SysVMsg);
+    let server = Omos::new(cost, transport);
     server.set_eval_jobs(jobs);
     let mut seen = std::collections::BTreeSet::new();
     bind_operands(&server, &base, &bp.root, &mut seen)?;
@@ -305,7 +320,7 @@ fn trace_blueprint(file: &str, jobs: usize, chrome_out: Option<&str>) -> Result<
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "request {} ({}, server {} ns{}, {} pages)",
+        "request {} ({}, server {} ns{}, {} pages, transport {})",
         reply.req,
         if reply.cache_hit {
             "cache hit"
@@ -318,7 +333,8 @@ fn trace_blueprint(file: &str, jobs: usize, chrome_out: Option<&str>) -> Result<
         } else {
             String::new()
         },
-        reply.total_pages()
+        reply.total_pages(),
+        transport.name(),
     );
     report.push_str(&render_tree(&spans));
     Ok(report)
@@ -396,9 +412,13 @@ const CKPT_DIR: &str = "/omos/ckpt";
 /// server's durable state onto a simulated disk, and exports the
 /// checkpoint files under `outdir` in the real filesystem. The
 /// directory round-trips through `ofe restore`.
-fn checkpoint_blueprint(file: &str, outdir: &str) -> Result<String, String> {
+fn checkpoint_blueprint(
+    file: &str,
+    outdir: &str,
+    transport: omos_os::Transport,
+) -> Result<String, String> {
     use omos_core::Omos;
-    use omos_os::{CostModel, InMemFs, SimClock, Transport};
+    use omos_os::{CostModel, InMemFs, SimClock};
 
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let bp = Blueprint::parse(&src).map_err(|e| format!("{file}: {e}"))?;
@@ -407,7 +427,7 @@ fn checkpoint_blueprint(file: &str, outdir: &str) -> Result<String, String> {
         .unwrap_or_else(|| std::path::Path::new("."))
         .to_path_buf();
 
-    let server = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let server = Omos::new(CostModel::hpux(), transport);
     let mut seen = std::collections::BTreeSet::new();
     bind_operands(&server, &base, &bp.root, &mut seen)?;
     let reply = server
@@ -448,9 +468,13 @@ fn checkpoint_blueprint(file: &str, outdir: &str) -> Result<String, String> {
 /// the restored server relinks them on demand. With a blueprint, one
 /// request is served so the caller can see whether the restored reply
 /// cache answered it.
-fn restore_dir(dir: &str, blueprint: Option<&String>) -> Result<String, String> {
+fn restore_dir(
+    dir: &str,
+    blueprint: Option<&String>,
+    transport: omos_os::Transport,
+) -> Result<String, String> {
     use omos_core::Omos;
-    use omos_os::{CostModel, InMemFs, SimClock, Transport};
+    use omos_os::{CostModel, InMemFs, SimClock};
 
     let cost = CostModel::hpux();
     let mut fs = InMemFs::new();
@@ -465,13 +489,13 @@ fn restore_dir(dir: &str, blueprint: Option<&String>) -> Result<String, String> 
     if imported == 0 {
         return Err(format!("{dir}: no checkpoint files"));
     }
-    let (server, rr) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, CKPT_DIR);
+    let (server, rr) = Omos::restore(cost, transport, &mut fs, &mut clock, CKPT_DIR);
 
     let mut report = String::new();
     let _ = writeln!(
         report,
         "restored {imported} files: {} bindings, {} images, {} replies \
-         ({} manifest-verified), {} journal records, {} dropped{}",
+         ({} manifest-verified), {} journal records, {} dropped{}{}",
         rr.ns_entries,
         rr.images,
         rr.replies,
@@ -479,6 +503,16 @@ fn restore_dir(dir: &str, blueprint: Option<&String>) -> Result<String, String> 
         rr.journal_records,
         rr.dropped,
         if rr.cold { " (cold start)" } else { "" },
+        match rr.checkpoint_transport {
+            Some(t) if t != transport => {
+                format!(
+                    " (checkpoint taken under {}, serving {})",
+                    t.name(),
+                    transport.name()
+                )
+            }
+            _ => String::new(),
+        },
     );
     if let Some(file) = blueprint {
         let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
@@ -772,6 +806,33 @@ fn parse_lint_flags(rest: &[String]) -> Result<(usize, bool, &[String]), String>
             }
             _ => return Ok((jobs, json, rest)),
         }
+    }
+}
+
+/// Splits a leading `--transport NAME` off the argument list; absent,
+/// the transport comes from `OMOS_TRANSPORT`, defaulting to the
+/// paper's SysV messages. Accepts all five names: `mach-ipc`,
+/// `sysv-msg`, `sun-rpc`, `pipelined`, `shm-ring`.
+fn parse_flagged_transport<'a>(
+    rest: &'a [String],
+    cmd: &str,
+) -> Result<(omos_os::Transport, &'a [String]), String> {
+    use omos_os::Transport;
+    if rest.first().map(String::as_str) == Some("--transport") {
+        let name = rest.get(1).ok_or(format!("{cmd} --transport NAME ..."))?;
+        let t = Transport::from_name(name).ok_or_else(|| {
+            format!(
+                "{cmd} --transport {name}: unknown transport (expected one of {})",
+                Transport::ALL
+                    .iter()
+                    .map(|t| t.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+        Ok((t, &rest[2..]))
+    } else {
+        Ok((Transport::from_env(Transport::SysVMsg), rest))
     }
 }
 

@@ -88,6 +88,21 @@ pub struct CostModel {
     pub sysv_msg_ns: u64,
     /// Sun RPC round-trip half.
     pub sunrpc_msg_ns: u64,
+    /// One batch frame on the pipelined transport (a Mach port message
+    /// carrying many requests or vectored replies).
+    pub pipelined_msg_ns: u64,
+    /// Ringing the shared-memory doorbell (futex wake / event count),
+    /// much cheaper than marshalling a full kernel message.
+    pub shm_doorbell_ns: u64,
+    /// Installing one published mapping from a shared-memory descriptor
+    /// (grant): validating the descriptor and entering the region in the
+    /// client's map, without copying the image bytes.
+    pub shm_grant_ns: u64,
+    /// Retiring one ring slot back to the server (an atomic release on
+    /// the shared ring header).
+    pub shm_retire_ns: u64,
+    /// One bounded poll by a writer spinning on a full ring.
+    pub shm_spin_ns: u64,
     /// Per-byte copy cost for any transport.
     pub ipc_byte_ns: u64,
 
@@ -96,6 +111,12 @@ pub struct CostModel {
     /// (namespace lookup + cache probe). Charged as the client's I/O
     /// wait — the server is another process.
     pub server_cached_request_ns: u64,
+    /// The fixed dispatch share of handling one request message
+    /// (receive, unmarshal, authenticate, queue) — the part a batched
+    /// transport pays once per *batch* instead of once per request.
+    /// Always at most `server_cached_request_ns`; the difference is the
+    /// marginal per-request work (the cache probe itself).
+    pub server_batch_dispatch_ns: u64,
     /// Server-side cost of copying one byte while linking (memcpy, not
     /// disk).
     pub link_byte_ns: u64,
@@ -135,8 +156,14 @@ impl CostModel {
             mach_msg_ns: 110_000,
             sysv_msg_ns: 480_000,
             sunrpc_msg_ns: 1_500_000,
+            pipelined_msg_ns: 110_000,
+            shm_doorbell_ns: 30_000,
+            shm_grant_ns: 15_000,
+            shm_retire_ns: 500,
+            shm_spin_ns: 2_000,
             ipc_byte_ns: 45,
             server_cached_request_ns: 350_000,
+            server_batch_dispatch_ns: 300_000,
             link_byte_ns: 1,
             server_merge_ns: 150_000,
             server_compile_ns: 2_000_000,
@@ -174,8 +201,14 @@ impl CostModel {
             mach_msg_ns: 140_000,
             sysv_msg_ns: 900_000,
             sunrpc_msg_ns: 1_700_000,
+            pipelined_msg_ns: 140_000,
+            shm_doorbell_ns: 45_000,
+            shm_grant_ns: 25_000,
+            shm_retire_ns: 800,
+            shm_spin_ns: 2_000,
             ipc_byte_ns: 45,
             server_cached_request_ns: 500_000,
+            server_batch_dispatch_ns: 430_000,
             link_byte_ns: 1,
             server_merge_ns: 150_000,
             server_compile_ns: 2_000_000,
@@ -189,6 +222,34 @@ impl CostModel {
             Transport::MachIpc => self.mach_msg_ns,
             Transport::SysVMsg => self.sysv_msg_ns,
             Transport::SunRpc => self.sunrpc_msg_ns,
+            Transport::Pipelined => self.pipelined_msg_ns,
+            Transport::ShmRing => self.shm_doorbell_ns,
+        }
+    }
+
+    /// The billing tariff of a transport: how this transport splits its
+    /// cost between per-message, per-byte, and per-mapping charges.
+    #[must_use]
+    pub fn tariff(&self, t: Transport) -> Tariff {
+        match t {
+            Transport::MachIpc | Transport::SysVMsg | Transport::SunRpc => {
+                Tariff::Copy(CopyTariff {
+                    msg_ns: self.ipc_msg_ns(t),
+                    byte_ns: self.ipc_byte_ns,
+                })
+            }
+            Transport::Pipelined => Tariff::Batched(BatchTariff {
+                msg_ns: self.pipelined_msg_ns,
+                byte_ns: self.ipc_byte_ns,
+                dispatch_ns: self.server_batch_dispatch_ns,
+            }),
+            Transport::ShmRing => Tariff::Mapped(MappedTariff {
+                doorbell_ns: self.shm_doorbell_ns,
+                byte_ns: self.ipc_byte_ns,
+                grant_ns: self.shm_grant_ns,
+                retire_ns: self.shm_retire_ns,
+                spin_ns: self.shm_spin_ns,
+            }),
         }
     }
 
@@ -202,6 +263,136 @@ impl CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel::hpux()
+    }
+}
+
+// --- Transport billing -------------------------------------------------------
+
+/// How a transport bills work, split into the three cost dimensions the
+/// transports differ on. Copying transports pay per message and per
+/// byte; the batched transport amortizes the per-message (and the
+/// server's fixed dispatch) across a whole batch; the shared-memory
+/// transport replaces reply bytes with descriptor grants billed per
+/// *mapping* instead of per byte.
+pub trait TransportBilling {
+    /// Fixed cost of moving one message frame (or ringing a doorbell).
+    fn per_message_ns(&self) -> u64;
+    /// Marginal cost of each payload byte copied through the transport.
+    fn per_byte_ns(&self) -> u64;
+    /// Cost of installing one published mapping from a descriptor.
+    /// Zero for transports that copy reply bytes instead of mapping.
+    fn per_mapping_ns(&self) -> u64;
+}
+
+/// Tariff of the per-request copying transports (Mach IPC, System V
+/// messages, Sun RPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyTariff {
+    /// Per-message kernel cost.
+    pub msg_ns: u64,
+    /// Per payload byte.
+    pub byte_ns: u64,
+}
+
+/// Tariff of the pipelined (batched) transport: one message frame per
+/// batch, bytes still copied, and the server's fixed dispatch paid once
+/// per batch instead of once per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTariff {
+    /// Per batch frame (one Mach message regardless of batch size).
+    pub msg_ns: u64,
+    /// Per payload byte.
+    pub byte_ns: u64,
+    /// The server's fixed per-message dispatch share, amortized across
+    /// the batch (see [`CostModel::server_batch_dispatch_ns`]).
+    pub dispatch_ns: u64,
+}
+
+/// Tariff of the shared-memory ring transport: doorbells instead of
+/// messages, descriptors instead of reply bytes, and a per-mapping
+/// grant charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedTariff {
+    /// Ringing the doorbell (both directions).
+    pub doorbell_ns: u64,
+    /// Per byte actually copied (requests and descriptors are tiny).
+    pub byte_ns: u64,
+    /// Installing one granted mapping.
+    pub grant_ns: u64,
+    /// Retiring one ring slot.
+    pub retire_ns: u64,
+    /// One bounded poll while the ring is full.
+    pub spin_ns: u64,
+}
+
+impl TransportBilling for CopyTariff {
+    fn per_message_ns(&self) -> u64 {
+        self.msg_ns
+    }
+    fn per_byte_ns(&self) -> u64 {
+        self.byte_ns
+    }
+    fn per_mapping_ns(&self) -> u64 {
+        0
+    }
+}
+
+impl TransportBilling for BatchTariff {
+    fn per_message_ns(&self) -> u64 {
+        self.msg_ns
+    }
+    fn per_byte_ns(&self) -> u64 {
+        self.byte_ns
+    }
+    fn per_mapping_ns(&self) -> u64 {
+        0
+    }
+}
+
+impl TransportBilling for MappedTariff {
+    fn per_message_ns(&self) -> u64 {
+        self.doorbell_ns
+    }
+    fn per_byte_ns(&self) -> u64 {
+        self.byte_ns
+    }
+    fn per_mapping_ns(&self) -> u64 {
+        self.grant_ns
+    }
+}
+
+/// A transport's resolved tariff (see [`CostModel::tariff`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tariff {
+    /// Per-request copying transport.
+    Copy(CopyTariff),
+    /// Batched transport with vectored replies.
+    Batched(BatchTariff),
+    /// Shared-memory descriptor transport.
+    Mapped(MappedTariff),
+}
+
+impl TransportBilling for Tariff {
+    fn per_message_ns(&self) -> u64 {
+        match self {
+            Tariff::Copy(t) => t.per_message_ns(),
+            Tariff::Batched(t) => t.per_message_ns(),
+            Tariff::Mapped(t) => t.per_message_ns(),
+        }
+    }
+    fn per_byte_ns(&self) -> u64 {
+        match self {
+            Tariff::Copy(t) => t.per_byte_ns(),
+            Tariff::Batched(t) => t.per_byte_ns(),
+            Tariff::Mapped(t) => t.per_byte_ns(),
+        }
+    }
+    fn per_mapping_ns(&self) -> u64 {
+        match self {
+            Tariff::Copy(t) => t.per_mapping_ns(),
+            Tariff::Batched(t) => t.per_mapping_ns(),
+            Tariff::Mapped(t) => t.per_mapping_ns(),
+        }
     }
 }
 
@@ -237,5 +428,36 @@ mod tests {
         assert_eq!(c.ipc_msg_ns(Transport::MachIpc), c.mach_msg_ns);
         assert_eq!(c.ipc_msg_ns(Transport::SysVMsg), c.sysv_msg_ns);
         assert_eq!(c.ipc_msg_ns(Transport::SunRpc), c.sunrpc_msg_ns);
+        assert_eq!(c.ipc_msg_ns(Transport::Pipelined), c.pipelined_msg_ns);
+        assert_eq!(c.ipc_msg_ns(Transport::ShmRing), c.shm_doorbell_ns);
+    }
+
+    #[test]
+    fn batch_dispatch_never_exceeds_the_cached_request() {
+        // The amortizable dispatch share is a *part* of the cached
+        // request handling; billing must never go negative.
+        for c in [CostModel::hpux(), CostModel::osf1()] {
+            assert!(c.server_batch_dispatch_ns <= c.server_cached_request_ns);
+        }
+    }
+
+    #[test]
+    fn tariffs_split_the_three_dimensions() {
+        let c = CostModel::hpux();
+        for t in [Transport::MachIpc, Transport::SysVMsg, Transport::SunRpc] {
+            let tariff = c.tariff(t);
+            assert_eq!(tariff.per_message_ns(), c.ipc_msg_ns(t));
+            assert_eq!(tariff.per_byte_ns(), c.ipc_byte_ns);
+            assert_eq!(tariff.per_mapping_ns(), 0, "copy transports never map");
+        }
+        let batched = c.tariff(Transport::Pipelined);
+        assert_eq!(batched.per_message_ns(), c.pipelined_msg_ns);
+        assert_eq!(batched.per_mapping_ns(), 0);
+        let mapped = c.tariff(Transport::ShmRing);
+        assert_eq!(mapped.per_message_ns(), c.shm_doorbell_ns);
+        assert_eq!(mapped.per_mapping_ns(), c.shm_grant_ns);
+        // The doorbell is cheaper than any real message: that is the
+        // whole point of publishing through shared memory.
+        assert!(c.shm_doorbell_ns < c.mach_msg_ns);
     }
 }

@@ -36,6 +36,6 @@ pub use clock::{SimClock, Times};
 pub use cost::CostModel;
 pub use exec::{exec_native, NativeBinder, NativeWorld};
 pub use fs::InMemFs;
-pub use ipc::Transport;
+pub use ipc::{ClientSession, ImageDescriptor, IpcStats, ReplyShape, ShmRing, Transport};
 pub use memory::{AddressSpace, ImageFrames, MemoryAccounting, PAGE_SIZE};
 pub use process::{run_process, Binder, Process, RunOutcome};

@@ -13,7 +13,7 @@ use omos_isa::{sysno, ExecStats, Memory, StopReason, SysResult, SyscallHandler, 
 use crate::clock::SimClock;
 use crate::cost::CostModel;
 use crate::fs::InMemFs;
-use crate::ipc::{charge_roundtrip, IpcStats, Transport};
+use crate::ipc::{charge_request, ImageDescriptor, IpcStats, ReplyShape, Transport};
 use crate::memory::{AddressSpace, ImageFrames, PAGE_SIZE};
 
 /// Result of a lazy PLT bind.
@@ -48,6 +48,9 @@ pub struct FirstLoad {
     pub transport: Transport,
     /// Server-side handling time (client waits).
     pub server_ns: u64,
+    /// Content-addressed key of the cached image (shared-memory
+    /// transports grant a mapping on it instead of copying handles).
+    pub image_key: u64,
 }
 
 /// Run-time binding services, supplied per shared-library scheme.
@@ -380,12 +383,21 @@ impl SyscallHandler for Runtime<'_> {
                     .omos_lookup(lib_id, &name)
                     .map_err(|msg| VmFault::BadSyscall { num, msg })?;
                 if let Some(load) = l.load {
-                    charge_roundtrip(
+                    // The copied reply is 128 flat; a mapped transport
+                    // grants the image by its content key instead.
+                    let shape = ReplyShape::with_images(
+                        128,
+                        vec![ImageDescriptor {
+                            key: load.image_key,
+                            pages: load.frames.total_pages(),
+                        }],
+                    );
+                    charge_request(
                         self.clock,
                         self.cost,
                         load.transport,
                         64 + name.len() as u64,
-                        128,
+                        &shape,
                         load.server_ns,
                         &mut self.ipc,
                     );

@@ -1,0 +1,123 @@
+//! Batch-window properties of the pipelined transport.
+//!
+//! For any max-inflight window W, a client session must deliver
+//! replies in request order, conserve its batch counters
+//! (`requests == Σ batch sizes`), and — at W=1 — bill *identically* to
+//! the per-request path: batching is an optimization, never a change
+//! of meaning.
+
+use proptest::prelude::*;
+
+use omos::os::ipc::{charge_roundtrip, ClientSession, IpcStats, ReplyShape, Transport};
+use omos::os::{CostModel, SimClock};
+
+const WINDOWS: [usize; 4] = [1, 2, 8, 64];
+
+/// One synthetic request: payload sizes and the server work its reply
+/// reports.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    request_bytes: u64,
+    reply_bytes: u64,
+    server_ns: u64,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (1u64..2048, 1u64..65536, 0u64..2_000_000).prop_map(
+        |(request_bytes, reply_bytes, server_ns)| Req {
+            request_bytes,
+            reply_bytes,
+            server_ns,
+        },
+    )
+}
+
+/// Replays `reqs` through a pipelined session with window `w`.
+fn run_window(reqs: &[Req], w: usize) -> (SimClock, IpcStats, Vec<u64>) {
+    let cost = CostModel::hpux();
+    let mut clock = SimClock::new();
+    let mut session = ClientSession::with_window(Transport::Pipelined, w);
+    for (tag, r) in reqs.iter().enumerate() {
+        session.request(
+            &mut clock,
+            &cost,
+            tag as u64,
+            r.request_bytes,
+            ReplyShape::opaque(r.reply_bytes),
+            r.server_ns,
+        );
+    }
+    session.drain(&mut clock, &cost);
+    let delivered = session.take_delivered();
+    (clock, session.stats, delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FIFO delivery, counter conservation, and the W=1 identity, for
+    /// every window and arbitrary request mixes.
+    #[test]
+    fn windows_preserve_order_conserve_counters_and_w1_is_identity(
+        reqs in proptest::collection::vec(req_strategy(), 1..96),
+    ) {
+        // The per-request reference bill.
+        let cost = CostModel::hpux();
+        let mut per_request = SimClock::new();
+        let mut per_stats = IpcStats::default();
+        for r in &reqs {
+            charge_roundtrip(
+                &mut per_request,
+                &cost,
+                Transport::Pipelined,
+                r.request_bytes,
+                r.reply_bytes,
+                r.server_ns,
+                &mut per_stats,
+            );
+        }
+
+        for w in WINDOWS {
+            let (clock, stats, delivered) = run_window(&reqs, w);
+            // Replies arrive in request order per client.
+            prop_assert_eq!(
+                &delivered,
+                &(0..reqs.len() as u64).collect::<Vec<_>>(),
+                "window {} reordered replies", w
+            );
+            // requests == Σ batch sizes, and bytes are never elided.
+            prop_assert_eq!(stats.batched_requests, reqs.len() as u64);
+            prop_assert_eq!(stats.bytes, per_stats.bytes);
+            // One frame each way per flush.
+            prop_assert_eq!(stats.messages, 2 * stats.batches);
+            let full_batches = reqs.len() / w;
+            let tail = u64::from(reqs.len() % w != 0);
+            prop_assert_eq!(stats.batches, full_batches as u64 + tail);
+            // Batching never makes the history dearer.
+            prop_assert!(clock.elapsed_ns <= per_request.elapsed_ns);
+            if w == 1 {
+                // A window of one IS the per-request path, to the ns.
+                prop_assert_eq!(clock, per_request);
+                prop_assert_eq!(stats.messages, per_stats.messages);
+            }
+        }
+    }
+
+    /// Wider windows never bill more than narrower ones on the same
+    /// history (amortization is monotone in the window).
+    #[test]
+    fn wider_windows_are_monotonically_cheaper(
+        reqs in proptest::collection::vec(req_strategy(), 1..64),
+    ) {
+        let mut prev = u64::MAX;
+        for w in WINDOWS {
+            let (clock, _, _) = run_window(&reqs, w);
+            prop_assert!(
+                clock.elapsed_ns <= prev,
+                "window {} billed {} > the narrower window's {}",
+                w, clock.elapsed_ns, prev
+            );
+            prev = clock.elapsed_ns;
+        }
+    }
+}

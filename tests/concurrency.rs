@@ -25,9 +25,11 @@ use omos::obj::ContentHash;
 use omos::os::ipc::Transport;
 use omos::os::{CostModel, ImageFrames};
 
-/// A server with `n` programs that all share one library.
+/// A server with `n` programs that all share one library. The IPC
+/// transport comes from `OMOS_TRANSPORT` (default SysV messages) so CI
+/// can sweep the whole suite across the transport matrix.
 fn world(n: usize) -> Omos {
-    let s = Omos::new(CostModel::hpux(), Transport::SysVMsg);
+    let s = Omos::new(CostModel::hpux(), Transport::from_env(Transport::SysVMsg));
     s.namespace.bind_object(
         "/libc/stdio.o",
         assemble("stdio.o", ".text\n.global _puts\n_puts: li r1, 7\n ret\n").unwrap(),

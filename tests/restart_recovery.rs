@@ -20,7 +20,7 @@ use omos::isa::assemble;
 use omos::link::encode_image;
 use omos::obj::encode::{read_any, write, Format};
 use omos::obj::ObjectFile;
-use omos::os::ipc::Transport;
+use omos::os::ipc::{ClientSession, IpcStats, ShmRing, Transport, MAX_PUBLISH_SPINS};
 use omos::os::{CostModel, InMemFs, SimClock};
 
 const DIR: &str = "/omos/ckpt";
@@ -619,6 +619,215 @@ fn manifest_verification_drops_the_stale_reply_at_every_crash_point() {
         stale_drops > 0,
         "the sweep must exercise the stale-reply drop path at least once"
     );
+}
+
+/// Fault injection for the batched transport: the server crashes
+/// mid-checkpoint while a pipelined client still holds an un-flushed
+/// in-flight batch. No client transport state needs recovering — the
+/// restored server answers the re-issued history with bit-identical
+/// images, the batch delivers in order, and once both sides are warm a
+/// fresh session bills the recovered server exactly like a never-crashed
+/// one.
+#[test]
+fn in_flight_batch_replays_identically_across_crash_restore() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    const HISTORY: [&str; 4] = ["/bin/app", "/bin/solo", "/bin/app", "/bin/solo"];
+
+    // The no-crash reference: a cold server answering the same history.
+    let cold = cold_reference(Format::Aout, Transport::Pipelined, &vals);
+    let want: Vec<InstantiateReply> = HISTORY
+        .iter()
+        .map(|path| cold.instantiate(path).unwrap())
+        .collect();
+
+    // Size the checkpoint stream on a clean run.
+    let n = {
+        let s = Omos::new(cost, Transport::Pipelined);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+        s.instantiate("/bin/app").unwrap();
+        s.checkpoint(&mut fs, &mut clock, DIR)
+            .unwrap()
+            .bytes_written
+    };
+
+    for k in crash_points(n) {
+        let s = Omos::new(cost, Transport::Pipelined);
+        let mut fs = InMemFs::new();
+        let mut clock = SimClock::new();
+        bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+
+        // Queue the whole history inside one open window (wider than
+        // the history, so nothing auto-flushes); the replies sit
+        // un-flushed client-side when the crash hits.
+        let mut session = ClientSession::with_window(Transport::Pipelined, 2 * HISTORY.len());
+        for (tag, path) in HISTORY.iter().enumerate() {
+            let reply = s.instantiate(path).unwrap();
+            session.request(
+                &mut clock,
+                &cost,
+                tag as u64,
+                128,
+                reply.reply_shape(),
+                reply.server_ns,
+            );
+        }
+        assert_eq!(
+            session.pending(),
+            HISTORY.len(),
+            "the whole batch must still be in flight at crash time"
+        );
+
+        fs.set_write_fault(k);
+        assert!(
+            s.checkpoint(&mut fs, &mut clock, DIR).is_err(),
+            "checkpoint must report the crash at byte {k}"
+        );
+        fs.clear_write_fault();
+        drop(s);
+        drop(session); // the crash: server and in-flight batch both gone
+
+        let (recovered, _) = Omos::restore(cost, Transport::Pipelined, &mut fs, &mut clock, DIR);
+
+        // The client re-issues its in-flight batch from scratch; the
+        // recovered server's answers are bit-identical and the batch
+        // still delivers in request order.
+        let mut replay_clock = SimClock::new();
+        let mut replay = ClientSession::with_window(Transport::Pipelined, 2 * HISTORY.len());
+        for (tag, path) in HISTORY.iter().enumerate() {
+            let reply = recovered.instantiate(path).unwrap();
+            assert_images_identical(&reply, &want[tag]);
+            replay.request(
+                &mut replay_clock,
+                &cost,
+                tag as u64,
+                128,
+                reply.reply_shape(),
+                reply.server_ns,
+            );
+        }
+        replay.drain(&mut replay_clock, &cost);
+        assert_eq!(
+            replay.take_delivered(),
+            (0..HISTORY.len() as u64).collect::<Vec<_>>(),
+            "crash at {k}: the re-issued batch must deliver in order"
+        );
+
+        // Warm steady state: a fresh session bills the recovered server
+        // exactly like one that never crashed, to the nanosecond.
+        let warm_bill = |server: &Omos| -> SimClock {
+            let mut clock = SimClock::new();
+            let mut session = ClientSession::with_window(Transport::Pipelined, 2 * HISTORY.len());
+            for (tag, path) in HISTORY.iter().enumerate() {
+                let reply = server.instantiate(path).unwrap();
+                assert!(reply.cache_hit, "both sides are warm by now");
+                session.request(
+                    &mut clock,
+                    &cost,
+                    tag as u64,
+                    128,
+                    reply.reply_shape(),
+                    reply.server_ns,
+                );
+            }
+            session.drain(&mut clock, &cost);
+            clock
+        };
+        assert_eq!(
+            warm_bill(&recovered),
+            warm_bill(&cold),
+            "crash at {k}: warm batched bills must match exactly"
+        );
+    }
+}
+
+/// Shared-memory fault injection: ring contents never persist — a
+/// session is drained between requests, a restored server records which
+/// transport the checkpoint was taken under, grants rebuild from
+/// content-addressed keys — and a writer publishing into a full ring
+/// whose reader never retires hits the *bounded*, billed backpressure
+/// path instead of deadlocking.
+#[test]
+fn full_ring_after_restore_backpressures_within_bounds() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let s = Omos::new(cost, Transport::ShmRing);
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+
+    // Serve one shm request; the ring drains synchronously, so the
+    // checkpoint has no transport state to persist.
+    let mut session = ClientSession::with_window(Transport::ShmRing, 1);
+    let reply = s.instantiate("/bin/app").unwrap();
+    session.request(
+        &mut clock,
+        &cost,
+        0,
+        128,
+        reply.reply_shape(),
+        reply.server_ns,
+    );
+    assert!(
+        session.ring().drained(),
+        "shm sessions drain between requests"
+    );
+    s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+
+    let (recovered, report) = Omos::restore(cost, Transport::ShmRing, &mut fs, &mut clock, DIR);
+    assert!(!report.cold);
+    assert_eq!(
+        report.checkpoint_transport,
+        Some(Transport::ShmRing),
+        "the manifest records the transport the checkpoint was taken under"
+    );
+
+    // A fresh post-restore session re-grants its mappings from the
+    // content-addressed keys and answers bit-identically.
+    let mut after = ClientSession::with_window(Transport::ShmRing, 1);
+    let again = recovered.instantiate("/bin/app").unwrap();
+    assert_images_identical(&again, &reply);
+    after.request(
+        &mut clock,
+        &cost,
+        0,
+        128,
+        again.reply_shape(),
+        again.server_ns,
+    );
+    assert!(after.ring().drained());
+    assert_eq!(
+        after.stats.mappings, session.stats.mappings,
+        "grants are reconstructible: the restored session re-maps the same keys"
+    );
+
+    // The adversarial reader: fill a ring and never retire. The writer
+    // spins a bounded, billed number of polls and then reports
+    // backpressure — it does not hang.
+    let mut ring = ShmRing::new(4);
+    let mut stats = IpcStats::default();
+    ring.try_publish(4, &mut clock, &cost, &mut stats)
+        .expect("an empty ring accepts a full publish");
+    let before = clock.elapsed_ns;
+    let err = ring
+        .try_publish(1, &mut clock, &cost, &mut stats)
+        .expect_err("a full ring with a dead reader must refuse, not block");
+    assert_eq!(err.spins, MAX_PUBLISH_SPINS);
+    assert_eq!(stats.backpressure_spins, MAX_PUBLISH_SPINS);
+    assert_eq!(
+        clock.elapsed_ns - before,
+        MAX_PUBLISH_SPINS * cost.shm_spin_ns,
+        "every backpressure poll is billed, and nothing else is"
+    );
+
+    // The moment the reader retires, the writer proceeds without a spin.
+    ring.retire(2, &mut clock, &cost, &mut stats);
+    let before = clock.elapsed_ns;
+    ring.try_publish(1, &mut clock, &cost, &mut stats)
+        .expect("retired slots unblock the writer");
+    assert_eq!(clock.elapsed_ns, before, "a free slot publishes spin-free");
 }
 
 proptest! {

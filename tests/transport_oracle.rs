@@ -1,0 +1,266 @@
+//! The transport-differential oracle.
+//!
+//! A transport is allowed to change exactly one thing: what the
+//! *client* is billed for moving messages. For any history of requests,
+//! all five transports — the paper's three per-request copying
+//! transports plus the batched (`pipelined`) and shared-memory
+//! (`shm-ring`) ones — must produce byte-identical replies, identical
+//! canonical resolution manifests, identical `server_ns`, and identical
+//! program behavior. Only the transport-billed nanoseconds and the
+//! [`IpcStats`] may differ between transports, and those must be a
+//! deterministic function of the history per transport.
+
+use proptest::prelude::*;
+
+use omos::core::client::run_under_omos;
+use omos::core::{lint_request, Omos};
+use omos::isa::{assemble, StopReason};
+use omos::link::encode_image;
+use omos::os::ipc::{ClientSession, IpcStats, Transport};
+use omos::os::{CostModel, InMemFs, SimClock};
+
+const NLIBS: usize = 3;
+
+/// Binds a small world: three constraint-placed libraries, four
+/// programs over different subsets of them, a blueprint that lints
+/// dirty, and one partial-image (dynamic) program.
+fn world(transport: Transport, vals: &[u8]) -> Omos {
+    let s = Omos::new(CostModel::hpux(), transport);
+    for (i, &val) in vals.iter().enumerate() {
+        s.namespace.bind_object(
+            &format!("/obj/lib{i}.o"),
+            assemble(
+                &format!("lib{i}.o"),
+                &format!(".text\n.global _f{i}\n_f{i}: li r1, {val}\n ret\n"),
+            )
+            .unwrap(),
+        );
+        s.namespace
+            .bind_blueprint(
+                &format!("/lib/l{i}"),
+                &format!(
+                    "(constraint-list \"T\" {:#x} \"D\" {:#x})\n(merge /obj/lib{i}.o)",
+                    0x0100_0000u64 + (i as u64) * 0x0010_0000,
+                    0x4100_0000u64 + (i as u64) * 0x0010_0000,
+                ),
+            )
+            .unwrap();
+    }
+    for (p, libs) in PROGRAMS {
+        let calls: String = libs.iter().map(|i| format!(" call _f{i}\n")).collect();
+        s.namespace.bind_object(
+            &format!("/obj/{p}.o"),
+            assemble(
+                &format!("{p}.o"),
+                &format!(".text\n.global _start\n_start:\n{calls} sys 0\n"),
+            )
+            .unwrap(),
+        );
+        let uses: String = libs.iter().map(|i| format!(" /lib/l{i}")).collect();
+        s.namespace
+            .bind_blueprint(&format!("/bin/{p}"), &format!("(merge /obj/{p}.o{uses})"))
+            .unwrap();
+    }
+    // A blueprint with a dangling reference, so lint histories carry
+    // nonzero findings (reply bytes depend on the rendered text).
+    s.namespace
+        .bind_blueprint("/bin/dirty", "(merge /obj/a.o)")
+        .unwrap();
+    // A partial-image program: first call into the library does the
+    // lazy OMOS_LOOKUP round trip through the process runtime.
+    s.namespace
+        .bind_blueprint(
+            "/bin/dyn",
+            r#"(merge /obj/a.o (specialize "lib-dynamic" /obj/lib0.o))"#,
+        )
+        .unwrap();
+    s
+}
+
+/// Programs and the libraries each uses.
+const PROGRAMS: [(&str, &[usize]); 4] =
+    [("a", &[0]), ("b", &[1, 2]), ("c", &[0, 1, 2]), ("d", &[2])];
+
+/// One step of a client history.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Instantiate `/bin/<i>` through a client session.
+    Instantiate(usize),
+    /// Lint a program (opaque reply: rendered findings).
+    Lint(usize),
+    /// Run the partial-image program end to end (exec + lazy lookup).
+    Run,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..PROGRAMS.len()).prop_map(Op::Instantiate),
+        // One past the end lints `/bin/dirty`, whose findings render
+        // nonzero reply bytes.
+        (0usize..PROGRAMS.len() + 1).prop_map(Op::Lint),
+        Just(Op::Run),
+    ]
+}
+
+/// The lint target for an `Op::Lint(i)` index.
+fn lint_target(i: usize) -> String {
+    if i < PROGRAMS.len() {
+        format!("/bin/{}", PROGRAMS[i].0)
+    } else {
+        "/bin/dirty".to_string()
+    }
+}
+
+/// Everything the server said during one history, transport-billing
+/// excluded: this is what the oracle requires to be identical across
+/// transports.
+#[derive(Debug, PartialEq, Eq)]
+struct ServerSide {
+    /// Per-instantiate: program index, `server_ns`, manifest hash, and
+    /// the concatenated image bytes.
+    replies: Vec<(usize, u64, u64, Vec<u8>)>,
+    /// Per-lint: program index and the rendered findings.
+    lints: Vec<(usize, Vec<String>)>,
+    /// Per-run: the stop reason (all must exit identically).
+    runs: Vec<StopReason>,
+}
+
+/// What only the transport may change — still required to be
+/// deterministic per transport.
+#[derive(Debug, PartialEq, Eq)]
+struct ClientBill {
+    elapsed_ns: u64,
+    system_ns: u64,
+    stats: IpcStats,
+}
+
+/// Replays `history` over `transport` on a fresh world.
+fn replay(
+    transport: Transport,
+    vals: &[u8],
+    history: &[Op],
+    window: usize,
+) -> (ServerSide, ClientBill) {
+    let server = world(transport, vals);
+    let cost = CostModel::hpux();
+    let mut clock = SimClock::new();
+    let mut session = ClientSession::with_window(transport, window);
+    let mut extra = IpcStats::default();
+    let mut fs = InMemFs::new();
+    let mut side = ServerSide {
+        replies: Vec::new(),
+        lints: Vec::new(),
+        runs: Vec::new(),
+    };
+    for (tag, op) in history.iter().enumerate() {
+        match *op {
+            Op::Instantiate(i) => {
+                let reply = server
+                    .instantiate(&format!("/bin/{}", PROGRAMS[i].0))
+                    .expect("programs instantiate");
+                let mut bytes = encode_image(&reply.program.image);
+                for lib in &reply.libraries {
+                    bytes.extend_from_slice(&encode_image(&lib.image));
+                }
+                side.replies
+                    .push((i, reply.server_ns, reply.manifest.0, bytes));
+                session.request(
+                    &mut clock,
+                    &cost,
+                    tag as u64,
+                    128,
+                    reply.reply_shape(),
+                    reply.server_ns,
+                );
+            }
+            Op::Lint(i) => {
+                let diags = lint_request(&server, &lint_target(i), &mut clock, &cost, &mut extra)
+                    .expect("lint answers");
+                side.lints
+                    .push((i, diags.iter().map(|d| d.render()).collect()));
+            }
+            Op::Run => {
+                let out = run_under_omos(
+                    &server, "/bin/dyn", false, &mut clock, &cost, &mut fs, 100_000,
+                )
+                .expect("dyn program runs");
+                side.runs.push(out.stop);
+                extra += out.ipc;
+            }
+        }
+    }
+    session.drain(&mut clock, &cost);
+    let mut stats = session.stats;
+    stats += extra;
+    let bill = ClientBill {
+        elapsed_ns: clock.elapsed_ns,
+        system_ns: clock.system_ns,
+        stats,
+    };
+    (side, bill)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The oracle: arbitrary histories produce byte-identical replies,
+    /// manifests, `server_ns`, findings, and program behavior over all
+    /// five transports; the per-transport bill is deterministic.
+    #[test]
+    fn all_transports_agree_on_everything_but_the_bill(
+        vals in proptest::collection::vec(1u8..200, NLIBS..=NLIBS),
+        history in proptest::collection::vec(op_strategy(), 1..16),
+        window in prop_oneof![Just(1usize), Just(4usize), Just(32usize)],
+    ) {
+        let (want, _) = replay(Transport::MachIpc, &vals, &history, window);
+        for transport in Transport::ALL {
+            let (side, bill) = replay(transport, &vals, &history, window);
+            prop_assert_eq!(
+                &side, &want,
+                "transport {} changed server-visible bytes", transport.name()
+            );
+            // Billing is a pure function of the history per transport.
+            let (side2, bill2) = replay(transport, &vals, &history, window);
+            prop_assert_eq!(&side2, &side);
+            prop_assert_eq!(
+                &bill2, &bill,
+                "transport {} bills nondeterministically", transport.name()
+            );
+        }
+    }
+}
+
+/// The five transports bill *differently* on a byte-heavy history —
+/// the oracle above would pass vacuously if every tariff were equal.
+#[test]
+fn transports_actually_differ_in_billing() {
+    let vals = [7u8, 11, 13];
+    let history: Vec<Op> = (0..8)
+        .map(|i| Op::Instantiate(i % PROGRAMS.len()))
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for transport in Transport::ALL {
+        let (_, bill) = replay(transport, &vals, &history, 8);
+        seen.insert(bill.elapsed_ns);
+    }
+    assert_eq!(
+        seen.len(),
+        Transport::ALL.len(),
+        "every transport should price this history distinctly: {seen:?}"
+    );
+}
+
+/// The shared-memory transport moves descriptors, not handle bytes,
+/// and grants each content key once per session.
+#[test]
+fn shm_ring_grants_once_and_moves_fewer_bytes() {
+    let vals = [7u8, 11, 13];
+    let history: Vec<Op> = (0..6).map(|_| Op::Instantiate(2)).collect();
+    let (_, mach) = replay(Transport::MachIpc, &vals, &history, 1);
+    let (_, shm) = replay(Transport::ShmRing, &vals, &history, 1);
+    assert!(shm.stats.bytes < mach.stats.bytes);
+    // Program image + 3 libraries, granted exactly once each.
+    assert_eq!(shm.stats.mappings, 4);
+    assert_eq!(shm.stats.descriptors, 6 * 4);
+    assert_eq!(shm.stats.retired, shm.stats.descriptors);
+}
