@@ -1,0 +1,788 @@
+//! Million-program catalog: the synthetic program universe and its
+//! Zipfian driver.
+//!
+//! The paper's OMOS is a *persistent* server: the image cache is the
+//! product, and its interesting regime is a catalog far larger than
+//! memory. This module grows the evaluation toward that regime with a
+//! seeded generator that emits a parameterized catalog of program
+//! blueprints over a shared long-tail library pool, plus a Zipfian
+//! request driver:
+//!
+//! * [`Catalog::generate`] — deterministic for a given
+//!   [`CatalogSpec`]: `libraries` constraint-placed libraries whose
+//!   text sizes follow a long tail (most small, a few large), and
+//!   `programs` blueprints that each merge a unique app object with a
+//!   popularity-skewed sample of the pool. Popular libraries appear in
+//!   thousands of programs; tail libraries in a handful.
+//! * [`drive`] — replays `requests` Zipfian-sampled instantiations
+//!   against a server, with periodic idempotent library rebinds
+//!   ("churn") that invalidate dependent reply rows without changing
+//!   any image bytes. Every churned program must re-probe the image
+//!   cache, so the measured hit rate is a property of the *eviction
+//!   policy* under the byte budget, not of the unbounded reply cache.
+//! * [`CachePlan`] — the cache configurations the curves compare:
+//!   generation-order eviction, cost-aware (GDSF) eviction, and
+//!   cost-aware plus the tier-2 spill store.
+//!
+//! The headline metric is the **relink-avoidance rate**: the fraction
+//! of image-cache probes answered without paying a relink, i.e.
+//! `(tier-1 hits + tier-2 fault-ins) / probes`. All counts are in the
+//! simulation domain and deterministic for a given seed when driven
+//! from one thread, which is what the golden smoke gate replays.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use omos_core::{EvictionPolicy, ImageCache, Omos, SpillTier};
+use omos_obj::{ObjectFile, Section, SectionKind, Symbol};
+use omos_os::ipc::Transport;
+use omos_os::CostModel;
+
+/// Zipf exponent for *library popularity inside the generator*: how
+/// skewed the per-program library samples are. The driver's request
+/// skew is a separate, per-run parameter ([`DriveCfg::s`]).
+const LIB_POPULARITY_S: f64 = 0.9;
+
+/// Shape of a generated catalog. Generation is a pure function of the
+/// spec — same spec, same catalog, bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogSpec {
+    /// Programs in the catalog.
+    pub programs: usize,
+    /// Libraries in the shared pool.
+    pub libraries: usize,
+    /// Libraries per program, sampled uniformly from this inclusive
+    /// range (then drawn from the pool with Zipfian popularity).
+    pub libs_per_program: (usize, usize),
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CatalogSpec {
+    /// The 1k-program catalog (the CI smoke size).
+    #[must_use]
+    pub fn small() -> CatalogSpec {
+        CatalogSpec {
+            programs: 1_000,
+            libraries: 192,
+            libs_per_program: (2, 6),
+            seed: 42,
+        }
+    }
+
+    /// The 10k-program catalog (the report size).
+    #[must_use]
+    pub fn large() -> CatalogSpec {
+        CatalogSpec {
+            programs: 10_000,
+            libraries: 512,
+            libs_per_program: (2, 6),
+            seed: 42,
+        }
+    }
+}
+
+/// A generated catalog: the library pool and each program's sample.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// The spec this catalog was generated from.
+    pub spec: CatalogSpec,
+    /// Library objects, index `i` bound at [`lib_obj_path`]`(i)`.
+    pub lib_objects: Vec<ObjectFile>,
+    /// Library text sizes in bytes (the long tail).
+    pub lib_sizes: Vec<usize>,
+    /// Program `j`'s library indices, in merge order.
+    pub program_libs: Vec<Vec<usize>>,
+}
+
+/// Namespace path of library object `i`.
+#[must_use]
+pub fn lib_obj_path(i: usize) -> String {
+    format!("/cat/obj/l{i}.o")
+}
+
+/// Namespace path of library blueprint `i`.
+#[must_use]
+pub fn lib_path(i: usize) -> String {
+    format!("/cat/lib/l{i}")
+}
+
+/// Namespace path of program `j`.
+#[must_use]
+pub fn program_path(j: usize) -> String {
+    format!("/cat/p{j}")
+}
+
+/// Inverse-CDF sampler over a Zipf(s) distribution on `0..n`: rank 0
+/// is the most popular item.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the cumulative distribution for `n` items at exponent
+    /// `s` (`s == 0` is uniform).
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "empty Zipf domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // 53 mantissa bits of uniformity, like `gen_bool`.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|&c| c < unit)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Draws a long-tail text size: mostly small modules, some mid-sized,
+/// a few large (the shape of a real library pool, where libc-like
+/// giants coexist with single-function utilities).
+fn long_tail_size(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..100u32) {
+        0..=69 => rng.gen_range(256..2_048usize),
+        70..=94 => rng.gen_range(2_048..16_384usize),
+        _ => rng.gen_range(16_384..65_536usize),
+    }
+}
+
+impl Catalog {
+    /// Generates the catalog for `spec`. Deterministic: the same spec
+    /// yields byte-identical objects and samples.
+    #[must_use]
+    pub fn generate(spec: CatalogSpec) -> Catalog {
+        assert!(spec.libraries > 0 && spec.programs > 0);
+        assert!(spec.libs_per_program.0 >= 1);
+        assert!(spec.libs_per_program.0 <= spec.libs_per_program.1);
+        assert!(
+            spec.libs_per_program.1 <= spec.libraries,
+            "programs cannot sample more libraries than the pool holds"
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut lib_objects = Vec::with_capacity(spec.libraries);
+        let mut lib_sizes = Vec::with_capacity(spec.libraries);
+        for i in 0..spec.libraries {
+            let size = long_tail_size(&mut rng);
+            let mut bytes = vec![0u8; size];
+            // Unique, index-derived content so every library has its
+            // own content hash (and the fill is not all-zero).
+            bytes[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            for (off, b) in bytes.iter_mut().enumerate().skip(8) {
+                *b = ((i * 131 + off * 31) % 251) as u8;
+            }
+            let mut o = ObjectFile::new(&format!("l{i}.o"));
+            let t = o.add_section(Section::with_bytes(".text", SectionKind::Text, bytes, 8));
+            o.define(Symbol::defined(&format!("_cl{i}"), t, 0))
+                .expect("unique library symbol");
+            lib_objects.push(o);
+            lib_sizes.push(size);
+        }
+
+        let popularity = ZipfSampler::new(spec.libraries, LIB_POPULARITY_S);
+        let (lo, hi) = spec.libs_per_program;
+        let mut program_libs = Vec::with_capacity(spec.programs);
+        for _ in 0..spec.programs {
+            let k = rng.gen_range(lo..hi + 1);
+            let mut libs: Vec<usize> = Vec::with_capacity(k);
+            while libs.len() < k {
+                let lib = popularity.sample(&mut rng);
+                if !libs.contains(&lib) {
+                    libs.push(lib);
+                }
+            }
+            program_libs.push(libs);
+        }
+        Catalog {
+            spec,
+            lib_objects,
+            lib_sizes,
+            program_libs,
+        }
+    }
+
+    /// The unique app object of program `j` (64 bytes of index-derived
+    /// text defining `_start`).
+    #[must_use]
+    pub fn app_object(&self, j: usize) -> ObjectFile {
+        let mut bytes = vec![0u8; 64];
+        bytes[..8].copy_from_slice(&(j as u64).to_le_bytes());
+        for (off, b) in bytes.iter_mut().enumerate().skip(8) {
+            *b = ((j * 257 + off * 17) % 249) as u8;
+        }
+        let mut o = ObjectFile::new(&format!("p{j}.o"));
+        let t = o.add_section(Section::with_bytes(".text", SectionKind::Text, bytes, 8));
+        o.define(Symbol::defined("_start", t, 0))
+            .expect("entry symbol");
+        o
+    }
+
+    /// Binds the whole catalog into `server`'s namespace: library
+    /// objects, constraint-placed library blueprints (1 MiB apart, so
+    /// every library image is position-fixed and shareable), app
+    /// objects, and program blueprints.
+    pub fn bind(&self, server: &Omos) {
+        for (i, obj) in self.lib_objects.iter().enumerate() {
+            server.namespace.bind_object(&lib_obj_path(i), obj.clone());
+            server
+                .namespace
+                .bind_blueprint(
+                    &lib_path(i),
+                    &format!(
+                        "(constraint-list \"T\" {:#x} \"D\" {:#x})\n(merge {})",
+                        0x0200_0000u64 + (i as u64) * 0x0010_0000,
+                        0x4200_0000u64 + (i as u64) * 0x0010_0000,
+                        lib_obj_path(i),
+                    ),
+                )
+                .expect("library blueprint parses");
+        }
+        for (j, libs) in self.program_libs.iter().enumerate() {
+            server
+                .namespace
+                .bind_object(&format!("/cat/obj/p{j}.o"), self.app_object(j));
+            let merged: String = libs.iter().map(|&i| format!(" {}", lib_path(i))).collect();
+            server
+                .namespace
+                .bind_blueprint(
+                    &program_path(j),
+                    &format!("(merge /cat/obj/p{j}.o{merged})"),
+                )
+                .expect("program blueprint parses");
+        }
+    }
+
+    /// Total text bytes across the library pool.
+    #[must_use]
+    pub fn pool_bytes(&self) -> u64 {
+        self.lib_sizes.iter().map(|&s| s as u64).sum()
+    }
+}
+
+/// One image-cache configuration on the hit-rate/byte-budget curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePlan {
+    /// No byte budget — the reference run (and the budget yardstick).
+    Unbounded,
+    /// Budgeted, generation-order (insertion/touch queue) eviction.
+    GenerationOrder {
+        /// Tier-1 byte budget.
+        budget: u64,
+    },
+    /// Budgeted, cost-aware (GDSF: size x rebuild cost x frequency)
+    /// eviction, no second tier.
+    CostAware {
+        /// Tier-1 byte budget.
+        budget: u64,
+    },
+    /// Cost-aware eviction with the tier-2 spill store behind it.
+    CostAwareTiered {
+        /// Tier-1 byte budget.
+        budget: u64,
+        /// Tier-2 (sealed-bytes) budget.
+        spill_budget: u64,
+    },
+}
+
+impl CachePlan {
+    /// Plan name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CachePlan::Unbounded => "unbounded",
+            CachePlan::GenerationOrder { .. } => "generation-order",
+            CachePlan::CostAware { .. } => "cost-aware",
+            CachePlan::CostAwareTiered { .. } => "cost-aware+tiered",
+        }
+    }
+
+    /// Tier-1 budget (`u64::MAX` for the unbounded reference).
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        match *self {
+            CachePlan::Unbounded => u64::MAX,
+            CachePlan::GenerationOrder { budget }
+            | CachePlan::CostAware { budget }
+            | CachePlan::CostAwareTiered { budget, .. } => budget,
+        }
+    }
+
+    /// Builds the image cache this plan describes.
+    #[must_use]
+    pub fn build(&self, cost: CostModel) -> ImageCache {
+        const SHARDS: usize = 8;
+        match *self {
+            CachePlan::Unbounded => ImageCache::with_shards(u64::MAX, SHARDS),
+            CachePlan::GenerationOrder { budget } => {
+                ImageCache::with_policy(budget, SHARDS, EvictionPolicy::GenerationOrder)
+            }
+            CachePlan::CostAware { budget } => {
+                ImageCache::with_policy(budget, SHARDS, EvictionPolicy::CostAware)
+            }
+            CachePlan::CostAwareTiered {
+                budget,
+                spill_budget,
+            } => ImageCache::with_policy(budget, SHARDS, EvictionPolicy::CostAware)
+                .with_spill(Arc::new(SpillTier::new(spill_budget, cost))),
+        }
+    }
+}
+
+/// One Zipfian replay's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveCfg {
+    /// Requests to issue.
+    pub requests: usize,
+    /// Driver seed (independent of the catalog seed).
+    pub seed: u64,
+    /// Zipf exponent of the program request distribution.
+    pub s: f64,
+    /// Every `churn_every`-th request first re-binds one
+    /// popularity-sampled library object with *identical bytes*: reply
+    /// rows over that library go stale (they re-probe the image cache)
+    /// but every image key is unchanged, so a retained image is a hit.
+    /// `0` disables churn.
+    pub churn_every: usize,
+}
+
+/// Counters from one replay. All simulation-domain, deterministic for
+/// a given seed under a single-threaded drive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriveResult {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests answered from the reply cache.
+    pub reply_hits: u64,
+    /// Distinct programs touched.
+    pub distinct_programs: u64,
+    /// Idempotent library rebinds injected.
+    pub rebinds: u64,
+    /// Image-cache probes (tier-1 hits + misses).
+    pub probes: u64,
+    /// Probes answered by tier 1.
+    pub tier1_hits: u64,
+    /// Misses answered by a verified tier-2 fault-in.
+    pub fault_ins: u64,
+    /// Misses that paid a relink (miss and no fault-in).
+    pub relinks: u64,
+    /// Images spilled to tier 2.
+    pub spills: u64,
+    /// Fault-in attempts dropped by verification.
+    pub verify_drops: u64,
+    /// Tier-1 budget evictions.
+    pub evictions: u64,
+    /// Total billed server work over the replay.
+    pub server_ns: u64,
+    /// Live tier-1 bytes when the replay ended.
+    pub live_bytes: u64,
+}
+
+impl DriveResult {
+    /// Fraction of image probes answered without a relink.
+    #[must_use]
+    pub fn avoidance(&self) -> f64 {
+        if self.probes == 0 {
+            return 0.0;
+        }
+        (self.tier1_hits + self.fault_ins) as f64 / self.probes as f64
+    }
+}
+
+/// Replays `cfg.requests` Zipfian-sampled instantiations against
+/// `server` (already bound with `catalog`) and returns the counter
+/// deltas. Single-threaded and deterministic per seed.
+#[must_use]
+pub fn drive(server: &Omos, catalog: &Catalog, cfg: &DriveCfg) -> DriveResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let programs = ZipfSampler::new(catalog.spec.programs, cfg.s);
+    let churn = ZipfSampler::new(catalog.spec.libraries, LIB_POPULARITY_S);
+    let cache0 = server.images.stats();
+    let spill0 = server.images.spill().map(|t| t.stats()).unwrap_or_default();
+    let mut seen = vec![false; catalog.spec.programs];
+    let mut r = DriveResult::default();
+
+    for i in 0..cfg.requests {
+        if cfg.churn_every > 0 && i > 0 && i % cfg.churn_every == 0 {
+            let lib = churn.sample(&mut rng);
+            server
+                .namespace
+                .bind_object(&lib_obj_path(lib), catalog.lib_objects[lib].clone());
+            r.rebinds += 1;
+        }
+        let p = programs.sample(&mut rng);
+        if !seen[p] {
+            seen[p] = true;
+            r.distinct_programs += 1;
+        }
+        let reply = server
+            .instantiate(&program_path(p))
+            .expect("catalog programs instantiate");
+        if reply.cache_hit {
+            r.reply_hits += 1;
+        }
+        r.server_ns += reply.server_ns;
+        r.requests += 1;
+    }
+
+    let cache = server.images.stats();
+    let spill = server.images.spill().map(|t| t.stats()).unwrap_or_default();
+    r.tier1_hits = cache.hits - cache0.hits;
+    let misses = cache.misses - cache0.misses;
+    r.probes = r.tier1_hits + misses;
+    r.fault_ins = spill.fault_ins - spill0.fault_ins;
+    r.relinks = misses - r.fault_ins;
+    r.spills = spill.spills - spill0.spills;
+    r.verify_drops = spill.verify_drops - spill0.verify_drops;
+    r.evictions = cache.evictions - cache0.evictions;
+    r.live_bytes = server.images.bytes();
+    r
+}
+
+/// Builds a fresh server over `plan`'s cache, binds the catalog, and
+/// replays `cfg`.
+#[must_use]
+pub fn run_plan(catalog: &Catalog, plan: CachePlan, cfg: &DriveCfg) -> DriveResult {
+    let cost = CostModel::hpux();
+    let server = Omos::with_image_cache(cost, Transport::SysVMsg, plan.build(cost));
+    catalog.bind(&server);
+    drive(&server, catalog, cfg)
+}
+
+/// One measured point on a hit-rate/byte-budget curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Plan name ([`CachePlan::name`]).
+    pub plan: &'static str,
+    /// Tier-1 byte budget (`u64::MAX` for the reference).
+    pub budget: u64,
+    /// Budget as a fraction of the reference run's live bytes
+    /// (1.0 for the reference itself).
+    pub budget_frac: f64,
+    /// The replay's counters.
+    pub result: DriveResult,
+}
+
+/// One request-skew setting: the reference plus every budgeted plan at
+/// every budget fraction.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Zipf exponent of the request stream.
+    pub s: f64,
+    /// Measured points, reference first.
+    pub points: Vec<CurvePoint>,
+}
+
+/// The full sweep for one catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogResult {
+    /// The generated catalog's spec.
+    pub spec: CatalogSpec,
+    /// Library-pool text bytes.
+    pub pool_bytes: u64,
+    /// Live image bytes after the unbounded reference replay (the
+    /// yardstick the budget fractions scale).
+    pub reference_bytes: u64,
+    /// Requests per replay.
+    pub requests: usize,
+    /// One curve per request-skew exponent.
+    pub curves: Vec<Curve>,
+}
+
+/// Budget fractions on every curve, as (numerator, denominator) of the
+/// reference bytes — rationals, so budgets are integer-exact.
+pub const BUDGET_FRACTIONS: [(u64, u64); 3] = [(1, 8), (1, 4), (1, 2)];
+
+/// Tier-2 budget multiple of the tier-1 budget on tiered points.
+pub const SPILL_BUDGET_MULTIPLE: u64 = 4;
+
+/// Runs the full sweep for one catalog: for each `s` in `skews`, an
+/// unbounded reference replay sizes the budgets, then every budgeted
+/// plan replays the *same seeded request stream* at every fraction of
+/// [`BUDGET_FRACTIONS`].
+#[must_use]
+pub fn run_catalog(spec: CatalogSpec, skews: &[f64], cfg: &DriveCfg) -> CatalogResult {
+    let catalog = Catalog::generate(spec);
+    let mut curves = Vec::with_capacity(skews.len());
+    let mut reference_bytes = 0u64;
+    for &s in skews {
+        let cfg = DriveCfg { s, ..*cfg };
+        let reference = run_plan(&catalog, CachePlan::Unbounded, &cfg);
+        let total = reference.live_bytes;
+        reference_bytes = reference_bytes.max(total);
+        let mut points = vec![CurvePoint {
+            plan: CachePlan::Unbounded.name(),
+            budget: u64::MAX,
+            budget_frac: 1.0,
+            result: reference,
+        }];
+        for &(num, den) in &BUDGET_FRACTIONS {
+            let budget = total * num / den;
+            for plan in [
+                CachePlan::GenerationOrder { budget },
+                CachePlan::CostAware { budget },
+                CachePlan::CostAwareTiered {
+                    budget,
+                    spill_budget: budget * SPILL_BUDGET_MULTIPLE,
+                },
+            ] {
+                points.push(CurvePoint {
+                    plan: plan.name(),
+                    budget,
+                    budget_frac: num as f64 / den as f64,
+                    result: run_plan(&catalog, plan, &cfg),
+                });
+            }
+        }
+        curves.push(Curve { s, points });
+    }
+    CatalogResult {
+        spec,
+        pool_bytes: catalog.pool_bytes(),
+        reference_bytes,
+        requests: cfg.requests,
+        curves,
+    }
+}
+
+/// Renders a sweep as JSON (hand-emitted; no serde in the workspace).
+/// Every value is either an integer counter or a fixed-precision
+/// fraction of integers, so the document is deterministic per seed.
+#[must_use]
+pub fn to_json(results: &[CatalogResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"catalog-zipf\",");
+    let _ = writeln!(out, "  \"metric\": \"relink_avoidance\",");
+    let _ = writeln!(out, "  \"catalogs\": [");
+    for (ci, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"programs\": {},", r.spec.programs);
+        let _ = writeln!(out, "      \"libraries\": {},", r.spec.libraries);
+        let _ = writeln!(out, "      \"seed\": {},", r.spec.seed);
+        let _ = writeln!(out, "      \"requests\": {},", r.requests);
+        let _ = writeln!(out, "      \"pool_bytes\": {},", r.pool_bytes);
+        let _ = writeln!(out, "      \"reference_bytes\": {},", r.reference_bytes);
+        let _ = writeln!(out, "      \"curves\": [");
+        for (si, c) in r.curves.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"s\": {:.2},", c.s);
+            let _ = writeln!(out, "          \"points\": [");
+            for (pi, p) in c.points.iter().enumerate() {
+                let d = &p.result;
+                let budget = if p.budget == u64::MAX {
+                    "null".to_string()
+                } else {
+                    p.budget.to_string()
+                };
+                let _ = write!(
+                    out,
+                    concat!(
+                        "            {{\"plan\": \"{}\", \"budget_bytes\": {}, ",
+                        "\"budget_frac\": {:.3}, \"probes\": {}, \"tier1_hits\": {}, ",
+                        "\"fault_ins\": {}, \"relinks\": {}, \"spills\": {}, ",
+                        "\"verify_drops\": {}, \"evictions\": {}, \"reply_hits\": {}, ",
+                        "\"rebinds\": {}, \"distinct_programs\": {}, \"server_ns\": {}, ",
+                        "\"avoidance\": {:.4}}}"
+                    ),
+                    p.plan,
+                    budget,
+                    p.budget_frac,
+                    d.probes,
+                    d.tier1_hits,
+                    d.fault_ins,
+                    d.relinks,
+                    d.spills,
+                    d.verify_drops,
+                    d.evictions,
+                    d.reply_hits,
+                    d.rebinds,
+                    d.distinct_programs,
+                    d.server_ns,
+                    d.avoidance(),
+                );
+                let _ = writeln!(out, "{}", if pi + 1 < c.points.len() { "," } else { "" });
+            }
+            let _ = writeln!(out, "          ]");
+            let _ = write!(out, "        }}");
+            let _ = writeln!(out, "{}", if si + 1 < r.curves.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = write!(out, "    }}");
+        let _ = writeln!(out, "{}", if ci + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The smoke view of one sweep: integer counters only, keyed by
+/// `(s, plan, budget_frac)` — the byte-compared golden document. Float
+/// *derived* values (avoidance) are excluded so the gate compares
+/// nothing but deterministic integer counts.
+#[must_use]
+pub fn to_smoke_json(r: &CatalogResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"catalog-smoke\",");
+    let _ = writeln!(out, "  \"programs\": {},", r.spec.programs);
+    let _ = writeln!(out, "  \"libraries\": {},", r.spec.libraries);
+    let _ = writeln!(out, "  \"seed\": {},", r.spec.seed);
+    let _ = writeln!(out, "  \"requests\": {},", r.requests);
+    let _ = writeln!(out, "  \"reference_bytes\": {},", r.reference_bytes);
+    let _ = writeln!(out, "  \"points\": [");
+    let total: usize = r.curves.iter().map(|c| c.points.len()).sum();
+    let mut emitted = 0usize;
+    for c in &r.curves {
+        for p in &c.points {
+            let d = &p.result;
+            emitted += 1;
+            let _ = write!(
+                out,
+                concat!(
+                    "    {{\"s\": \"{:.2}\", \"plan\": \"{}\", \"budget_frac\": \"{:.3}\", ",
+                    "\"probes\": {}, \"tier1_hits\": {}, \"fault_ins\": {}, ",
+                    "\"relinks\": {}, \"spills\": {}, \"verify_drops\": {}, ",
+                    "\"server_ns\": {}}}"
+                ),
+                c.s,
+                p.plan,
+                p.budget_frac,
+                d.probes,
+                d.tier1_hits,
+                d.fault_ins,
+                d.relinks,
+                d.spills,
+                d.verify_drops,
+                d.server_ns,
+            );
+            let _ = writeln!(out, "{}", if emitted < total { "," } else { "" });
+        }
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CatalogSpec {
+        CatalogSpec {
+            programs: 60,
+            libraries: 24,
+            libs_per_program: (2, 4),
+            seed: 7,
+        }
+    }
+
+    fn tiny_cfg() -> DriveCfg {
+        DriveCfg {
+            requests: 300,
+            seed: 11,
+            s: 1.1,
+            churn_every: 8,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Catalog::generate(tiny_spec());
+        let b = Catalog::generate(tiny_spec());
+        assert_eq!(a.lib_sizes, b.lib_sizes);
+        assert_eq!(a.program_libs, b.program_libs);
+        assert_eq!(a.lib_objects, b.lib_objects);
+        let c = Catalog::generate(CatalogSpec {
+            seed: 8,
+            ..tiny_spec()
+        });
+        assert_ne!(
+            a.program_libs, c.program_libs,
+            "different seeds draw different catalogs"
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_skews_toward_low_ranks() {
+        let z = ZipfSampler::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        const DRAWS: usize = 4_000;
+        for _ in 0..DRAWS {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(1.1) over 100 ranks puts well over a third of the mass
+        // on the top 10; uniform would put 10% there.
+        assert!(head > DRAWS / 3, "head draws = {head}");
+    }
+
+    #[test]
+    fn drive_is_deterministic_and_conserves_probes() {
+        let catalog = Catalog::generate(tiny_spec());
+        let plan = CachePlan::CostAwareTiered {
+            budget: 64 << 10,
+            spill_budget: 256 << 10,
+        };
+        let a = run_plan(&catalog, plan, &tiny_cfg());
+        let b = run_plan(&catalog, plan, &tiny_cfg());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same run");
+        assert_eq!(a.probes, a.tier1_hits + a.fault_ins + a.relinks);
+        assert!(a.rebinds > 0 && a.probes > 0);
+        assert_eq!(a.verify_drops, 0, "identical rebinds never corrupt images");
+    }
+
+    #[test]
+    fn cost_aware_tiered_beats_generation_order_on_the_tiny_catalog() {
+        let catalog = Catalog::generate(tiny_spec());
+        let cfg = tiny_cfg();
+        let reference = run_plan(&catalog, CachePlan::Unbounded, &cfg);
+        let budget = reference.live_bytes / 4;
+        let base = run_plan(&catalog, CachePlan::GenerationOrder { budget }, &cfg);
+        let tiered = run_plan(
+            &catalog,
+            CachePlan::CostAwareTiered {
+                budget,
+                spill_budget: budget * SPILL_BUDGET_MULTIPLE,
+            },
+            &cfg,
+        );
+        assert!(base.evictions > 0, "budget must actually bind");
+        assert!(
+            tiered.avoidance() > base.avoidance(),
+            "cost-aware+tiered ({:.4}) must beat generation-order ({:.4})",
+            tiered.avoidance(),
+            base.avoidance()
+        );
+    }
+
+    #[test]
+    fn smoke_json_is_balanced_and_integer_only() {
+        let r = run_catalog(tiny_spec(), &[1.1], &tiny_cfg());
+        let j = to_smoke_json(&r);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"plan\": \"cost-aware+tiered\""));
+        assert!(!j.contains("avoidance"), "no derived floats in the gate");
+        let full = to_json(&[r]);
+        assert_eq!(full.matches('{').count(), full.matches('}').count());
+        assert!(full.contains("\"avoidance\""));
+    }
+}

@@ -11,6 +11,7 @@
 //! so the harness binaries can produce Table 1, the reordering
 //! experiment, and the memory-use comparison.
 
+pub mod catalog;
 pub mod mcbench;
 pub mod memshare;
 pub mod reorder;
@@ -18,6 +19,10 @@ pub mod report;
 pub mod workload;
 pub mod world;
 
+pub use catalog::{
+    drive, run_catalog, run_plan, CachePlan, Catalog, CatalogResult, CatalogSpec, DriveCfg,
+    DriveResult, ZipfSampler,
+};
 pub use mcbench::{run_multiclient, run_warm_restart, McResult, PhaseResult, WarmRestart};
 pub use reorder::{run_reorder_experiment, ReorderConfig, ReorderResult};
 pub use workload::{

@@ -3,16 +3,37 @@
 //! "By treating executables as a cache, OMOS avoids unnecessary
 //! repetition of work." Bound, relocated, page-framed images are stored
 //! here keyed by content + placement; repeated instantiations are pure
-//! hits. A byte budget with LRU eviction models the paper's caveat that
+//! hits. A byte budget with eviction models the paper's caveat that
 //! "disk space for caching multiple versions of large libraries could be
 //! significant".
 //!
+//! Two eviction policies are available:
+//!
+//! * [`EvictionPolicy::GenerationOrder`] — classic LRU via last-touch
+//!   generations (the original policy, kept as the baseline the catalog
+//!   bench compares against).
+//! * [`EvictionPolicy::CostAware`] (the default) — GreedyDual-Size-
+//!   Frequency scoring: each entry's priority is
+//!   `L + rebuild_ns × frequency / size`, where `rebuild_ns` is the
+//!   simulated link work the trace layer billed when the image was
+//!   built and `L` is a per-shard inflation value raised to each
+//!   victim's priority on eviction (so long-idle entries age out no
+//!   matter how expensive they once were). With every rebuild cost zero
+//!   the score collapses to `L`, ties break on last-touch generation,
+//!   and the policy degrades to exact LRU — the legacy tests pin that.
+//!
+//! An optional second tier ([`SpillTier`]) receives budget-evicted
+//! images as sealed frames in the persist layer's content-addressed
+//! `img/{key}` format; a later miss faults the image back in through
+//! the restore verification chain (file hash, frame checksum, content
+//! hash) instead of relinking.
+//!
 //! The cache is internally synchronized and sharded by key so many
 //! server threads can hit it concurrently: each shard has its own lock
-//! and LRU list; the byte total and the hit/miss counters are atomics.
-//! Eviction only ever drops the cache's *reference* — images are held as
-//! `Arc<CachedImage>`, so a client that still maps an evicted image
-//! keeps its frames alive until it unmaps.
+//! and recency state; the byte total and the hit/miss counters are
+//! atomics. Eviction only ever drops the cache's *reference* — images
+//! are held as `Arc<CachedImage>`, so a client that still maps an
+//! evicted image keeps its frames alive until it unmaps.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +43,7 @@ use omos_link::{LinkStats, LinkedImage};
 use omos_obj::ContentHash;
 use omos_os::ImageFrames;
 
+use crate::spill::SpillTier;
 use crate::sync::lock;
 use crate::trace::{CacheKind, EvictReason, ProbeOutcome, Tracer};
 
@@ -36,6 +58,15 @@ pub struct CachedImage {
     pub frames: ImageFrames,
     /// Work that produced it (for server-time accounting).
     pub link_stats: LinkStats,
+    /// Simulated ns the link span billed to build this image — the
+    /// cost-aware policy's rebuild-cost input (0 = "free to rebuild",
+    /// which degrades scoring to LRU).
+    pub rebuild_ns: u64,
+    /// Monotone instance number stamped by [`ImageCache::insert`]: a
+    /// key re-inserted after an eviction carries a *new* epoch, so a
+    /// client holding a grant on the old instance can tell its mapping
+    /// is stale and must be re-billed.
+    pub epoch: u64,
 }
 
 impl CachedImage {
@@ -44,6 +75,19 @@ impl CachedImage {
     pub fn size_bytes(&self) -> u64 {
         self.image.loaded_bytes()
     }
+}
+
+/// How the byte budget picks victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used live key (last-touch generation
+    /// order) — the original policy, retained as the bench baseline.
+    GenerationOrder,
+    /// GreedyDual-Size-Frequency: evict the entry with the smallest
+    /// `L + rebuild_ns × frequency / size` score (ties on last-touch
+    /// generation), inflating `L` to each victim's score.
+    #[default]
+    CostAware,
 }
 
 /// Hit/miss counters (a snapshot; see [`ImageCache::stats`]).
@@ -59,41 +103,112 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// One shard: its own map and LRU bookkeeping under one lock.
+/// One shard: its own map and recency bookkeeping under one lock.
 ///
 /// Recency is tracked by a last-touch generation map instead of
-/// repositioning queue entries: every touch appends `(key, gen)` to the
-/// queue and records `gen` in `gens`, so a hit is O(1) — queue entries
-/// whose generation no longer matches are stale and get dropped lazily
-/// by the victim scan (and by periodic compaction, which bounds the
-/// queue at O(live entries)). Eviction order is identical to true LRU:
-/// the oldest *live* generation is the least recently used key.
+/// repositioning queue entries: every touch records `gen` in `gens`
+/// (and, under the generation-order policy, appends `(key, gen)` to the
+/// queue), so a hit is O(1) — queue entries whose generation no longer
+/// matches are stale and get dropped lazily by the victim scan and by
+/// compaction. Compaction runs on *both* touch and evict: an eviction
+/// sweep that shrinks the map must not leave the queue holding a
+/// touch-history's worth of stale pairs, or budget sweeps degrade to
+/// O(touches) under skew. The invariant is
+/// `lru.len() <= 2 * map.len() + COMPACT_SLACK` whenever the shard lock
+/// is released.
 #[derive(Debug, Default)]
 struct Shard {
     map: HashMap<ContentHash, Arc<CachedImage>>,
     lru: VecDeque<(ContentHash, u64)>,
     gens: HashMap<ContentHash, u64>,
+    /// Touches since admission (cost-aware frequency term).
+    freqs: HashMap<ContentHash, u64>,
+    /// Cost-aware priority at last touch.
+    prios: HashMap<ContentHash, u64>,
+    /// The GDSF inflation value `L`: raised to each victim's priority.
+    inflation: u64,
     clock: u64,
 }
 
+/// Fixed slack in the stale-queue bound (covers tiny shards).
+const COMPACT_SLACK: usize = 16;
+
+/// The cost-aware score: `rebuild_ns × freq` per size, fixed-point
+/// scaled by 4096 so sub-page-per-ns ratios survive integer division.
+fn cost_term(rebuild_ns: u64, freq: u64, size: u64) -> u64 {
+    rebuild_ns.saturating_mul(freq).saturating_mul(4096) / size.max(1)
+}
+
 impl Shard {
-    /// Marks `key` most-recently-used. O(1) amortized.
-    fn touch(&mut self, key: ContentHash) {
+    /// Marks `key` most-recently-used and refreshes its score. O(1)
+    /// amortized.
+    fn touch(&mut self, key: ContentHash, policy: EvictionPolicy) {
         self.clock += 1;
         self.gens.insert(key, self.clock);
-        self.lru.push_back((key, self.clock));
-        if self.lru.len() > 2 * self.map.len() + 16 {
+        match policy {
+            EvictionPolicy::GenerationOrder => {
+                self.lru.push_back((key, self.clock));
+                self.compact_if_oversized();
+            }
+            EvictionPolicy::CostAware => {
+                if let Some(img) = self.map.get(&key) {
+                    let freq = self.freqs.entry(key).or_insert(0);
+                    *freq += 1;
+                    let prio = self.inflation.saturating_add(cost_term(
+                        img.rebuild_ns,
+                        *freq,
+                        img.size_bytes(),
+                    ));
+                    self.prios.insert(key, prio);
+                }
+            }
+        }
+    }
+
+    /// Drops stale queue pairs once they outnumber live entries — the
+    /// bound both `touch` and `evict` restore.
+    fn compact_if_oversized(&mut self) {
+        if self.lru.len() > 2 * self.map.len() + COMPACT_SLACK {
             let gens = &self.gens;
             self.lru.retain(|&(k, g)| gens.get(&k) == Some(&g));
         }
     }
 
-    /// Removes `victim` from this shard, returning its size. Its queue
-    /// entries become stale and are dropped lazily.
-    fn evict(&mut self, victim: ContentHash) -> Option<u64> {
+    /// Removes `victim` from this shard, returning the dropped entry.
+    /// Stale queue pairs are compacted if the removal leaves them
+    /// dominating the queue.
+    fn evict(&mut self, victim: ContentHash) -> Option<Arc<CachedImage>> {
         let old = self.map.remove(&victim)?;
         self.gens.remove(&victim);
-        Some(old.size_bytes())
+        self.freqs.remove(&victim);
+        self.prios.remove(&victim);
+        self.compact_if_oversized();
+        Some(old)
+    }
+
+    /// The victim the policy would evict next (never `protect`).
+    fn victim(&mut self, protect: ContentHash, policy: EvictionPolicy) -> Option<ContentHash> {
+        match policy {
+            EvictionPolicy::GenerationOrder => self.lru_victim(protect),
+            EvictionPolicy::CostAware => self
+                .map
+                .keys()
+                .filter(|&&k| k != protect)
+                .map(|&k| {
+                    (
+                        self.prios.get(&k).copied().unwrap_or(0),
+                        self.gens.get(&k).copied().unwrap_or(0),
+                        k,
+                    )
+                })
+                .min()
+                .map(|(prio, _, k)| {
+                    // Inflate L to the victim's score: everything still
+                    // resident is now worth at least this much.
+                    self.inflation = self.inflation.max(prio);
+                    k
+                }),
+        }
     }
 
     /// Oldest live key that is not `protect`, if any. Pops stale queue
@@ -119,12 +234,17 @@ impl Shard {
     }
 }
 
-/// Sharded LRU image cache with a global byte budget.
+/// Sharded image cache with a global byte budget, a pluggable eviction
+/// policy, and an optional spill tier.
 #[derive(Debug)]
 pub struct ImageCache {
     shards: Vec<Mutex<Shard>>,
     bytes: AtomicU64,
     budget: u64,
+    policy: EvictionPolicy,
+    /// Monotone instance counter for [`CachedImage::epoch`].
+    epochs: AtomicU64,
+    spill: Option<Arc<SpillTier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -138,23 +258,33 @@ const DEFAULT_SHARDS: usize = 8;
 
 impl ImageCache {
     /// A cache with the given byte budget (use `u64::MAX` for unbounded)
-    /// and the default shard count.
+    /// and the default shard count and policy.
     #[must_use]
     pub fn new(budget: u64) -> ImageCache {
         ImageCache::with_shards(budget, DEFAULT_SHARDS)
     }
 
     /// A cache with an explicit shard count. One shard gives globally
-    /// exact LRU order (useful for deterministic tests); more shards
-    /// approximate LRU per shard but scale.
+    /// exact eviction order (useful for deterministic tests); more
+    /// shards approximate it per shard but scale.
     #[must_use]
     pub fn with_shards(budget: u64, shards: usize) -> ImageCache {
+        ImageCache::with_policy(budget, shards, EvictionPolicy::default())
+    }
+
+    /// A cache with an explicit eviction policy (the catalog bench runs
+    /// the generation-order baseline through this).
+    #[must_use]
+    pub fn with_policy(budget: u64, shards: usize, policy: EvictionPolicy) -> ImageCache {
         ImageCache {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             bytes: AtomicU64::new(0),
             budget,
+            policy,
+            epochs: AtomicU64::new(0),
+            spill: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -163,12 +293,33 @@ impl ImageCache {
         }
     }
 
-    /// Attaches a tracer: probes and evictions (with their reason) are
-    /// reported to it.
+    /// Attaches a tracer: probes, evictions (with their reason), and
+    /// tier-2 traffic are reported to it.
     #[must_use]
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ImageCache {
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Attaches a spill tier: budget evictions seal their image into
+    /// the tier, and misses try a verified fault-in before reporting
+    /// the miss to the caller.
+    #[must_use]
+    pub fn with_spill(mut self, spill: Arc<SpillTier>) -> ImageCache {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// The attached spill tier, if any.
+    #[must_use]
+    pub fn spill(&self) -> Option<&Arc<SpillTier>> {
+        self.spill.as_ref()
+    }
+
+    /// The eviction policy in force.
+    #[must_use]
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     fn trace(&self) -> Option<&Tracer> {
@@ -232,8 +383,9 @@ impl ImageCache {
             .collect()
     }
 
-    /// Looks up an image, refreshing its LRU position (O(1): a
-    /// generation bump, not a queue scan).
+    /// Looks up an image, refreshing its recency/score (O(1): a
+    /// generation bump, not a queue scan). A tier-1 miss with a spill
+    /// tier attached attempts a verified fault-in before giving up.
     pub fn get(&self, key: ContentHash) -> Option<Arc<CachedImage>> {
         let hit = {
             let mut shard = lock(&self.shards[self.shard_index(key)]);
@@ -241,7 +393,7 @@ impl ImageCache {
                 Some(img) => {
                     let img = Arc::clone(img);
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    shard.touch(key);
+                    shard.touch(key, self.policy);
                     Some(img)
                 }
                 None => {
@@ -260,26 +412,76 @@ impl ImageCache {
                 },
             );
         }
-        hit
+        if hit.is_some() {
+            return hit;
+        }
+        self.fault_in(key)
     }
 
-    /// Inserts an image, evicting least-recently-used entries while the
-    /// budget is exceeded (never the entry just inserted). Returns the
-    /// shared handle.
+    /// Tier-2 fault-in: read, verify (file hash, frame checksum,
+    /// content hash), reframe, reinstall. Costs the tier's private
+    /// (metered, unbilled) clock only — a faulted-in image answers the
+    /// caller exactly like a tier-1 hit with zero added `server_ns`,
+    /// which is what keeps replies byte-identical to a never-evicted
+    /// run.
+    fn fault_in(&self, key: ContentHash) -> Option<Arc<CachedImage>> {
+        let spill = self.spill.as_ref()?;
+        let before = spill.stats();
+        let faulted = spill.fetch(key);
+        if let Some(t) = self.trace() {
+            let after = spill.stats();
+            t.tier2(
+                0,
+                after.fault_ins - before.fault_ins,
+                after.verify_drops - before.verify_drops,
+            );
+        }
+        let faulted = faulted?;
+        let frames = ImageFrames::from_image(&faulted.image);
+        Some(self.install(
+            CachedImage {
+                key,
+                image: faulted.image,
+                frames,
+                link_stats: faulted.stats,
+                rebuild_ns: faulted.rebuild_ns,
+                epoch: 0,
+            },
+            true,
+        ))
+    }
+
+    /// Inserts an image, evicting entries while the budget is exceeded
+    /// (never the entry just inserted). Returns the shared handle.
+    ///
+    /// The entry's [`CachedImage::epoch`] is stamped here: every insert
+    /// — including a re-insert under a previously evicted key — gets a
+    /// fresh, monotonically increasing epoch.
     pub fn insert(&self, img: CachedImage) -> Arc<CachedImage> {
+        self.install(img, false)
+    }
+
+    fn install(&self, mut img: CachedImage, from_fault: bool) -> Arc<CachedImage> {
         let key = img.key;
         let size = img.size_bytes();
+        img.epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        if !from_fault {
+            // A fresh build supersedes whatever the spill tier held.
+            if let Some(spill) = &self.spill {
+                spill.forget(key);
+            }
+        }
         let arc = Arc::new(img);
         let replaced = {
             let mut shard = lock(&self.shards[self.shard_index(key)]);
             let replaced = shard.evict(key);
-            if let Some(old_size) = replaced {
+            if let Some(old) = &replaced {
                 // Replacing an existing entry under the same key is not
                 // a budget eviction.
-                self.bytes.fetch_sub(old_size, Ordering::Relaxed);
+                self.bytes.fetch_sub(old.size_bytes(), Ordering::Relaxed);
             }
             shard.map.insert(key, Arc::clone(&arc));
-            shard.touch(key);
+            shard.touch(key, self.policy);
             // Credit the bytes while the shard lock is held: a
             // concurrent `clear` draining this shard must never
             // subtract an entry whose addition is still pending, or the
@@ -287,7 +489,9 @@ impl ImageCache {
             self.bytes.fetch_add(size, Ordering::Relaxed);
             replaced
         };
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if !from_fault {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(t) = self.trace() {
             if replaced.is_some() {
                 t.evict(CacheKind::Image, EvictReason::Replace, 1);
@@ -297,13 +501,16 @@ impl ImageCache {
         arc
     }
 
-    /// Evicts LRU entries until the byte total is within budget,
-    /// sweeping shards round-robin from the protected key's shard.
-    /// Stops early if nothing but `protect` remains evictable.
+    /// Evicts entries until the byte total is within budget, sweeping
+    /// shards round-robin from the protected key's shard. Stops early
+    /// if nothing but `protect` remains evictable. With a spill tier
+    /// attached, every budget victim is sealed into the tier (outside
+    /// the shard locks).
     fn enforce_budget(&self, protect: ContentHash) {
         let n = self.shards.len();
         let start = self.shard_index(protect);
         let mut dropped = 0u64;
+        let mut spilled: Vec<Arc<CachedImage>> = Vec::new();
         while self.bytes.load(Ordering::Relaxed) > self.budget {
             let mut evicted = false;
             for i in 0..n {
@@ -312,12 +519,15 @@ impl ImageCache {
                     break;
                 }
                 let mut shard = lock(&self.shards[(start + i) % n]);
-                if let Some(victim) = shard.lru_victim(protect) {
-                    if let Some(size) = shard.evict(victim) {
-                        self.bytes.fetch_sub(size, Ordering::Relaxed);
+                if let Some(victim) = shard.victim(protect, self.policy) {
+                    if let Some(old) = shard.evict(victim) {
+                        self.bytes.fetch_sub(old.size_bytes(), Ordering::Relaxed);
                         self.evictions.fetch_add(1, Ordering::Relaxed);
                         dropped += 1;
                         evicted = true;
+                        if self.spill.is_some() {
+                            spilled.push(old);
+                        }
                     }
                 }
             }
@@ -325,16 +535,24 @@ impl ImageCache {
                 break; // within budget, or only the protected entry left
             }
         }
+        if let Some(spill) = &self.spill {
+            for old in &spilled {
+                spill.store(old.key, &old.image, old.link_stats, old.rebuild_ns);
+            }
+            if let Some(t) = self.trace() {
+                t.tier2(spilled.len() as u64, 0, 0);
+            }
+        }
         if let Some(t) = self.trace() {
             t.evict(CacheKind::Image, EvictReason::Budget, dropped);
         }
     }
 
-    /// Drops everything. The byte counter is decremented per shard
-    /// *while that shard's lock is held*: a single deferred `fetch_sub`
-    /// of the cross-shard sum races with concurrent inserts into
-    /// already-drained shards and underflows the counter, after which
-    /// every insert sweeps the "over-budget" cache forever.
+    /// Drops everything — both tiers. The byte counter is decremented
+    /// per shard *while that shard's lock is held*: a single deferred
+    /// `fetch_sub` of the cross-shard sum races with concurrent inserts
+    /// into already-drained shards and underflows the counter, after
+    /// which every insert sweeps the "over-budget" cache forever.
     pub fn clear(&self) {
         let mut dropped = 0u64;
         for s in &self.shards {
@@ -344,7 +562,12 @@ impl ImageCache {
             shard.map.clear();
             shard.lru.clear();
             shard.gens.clear();
+            shard.freqs.clear();
+            shard.prios.clear();
             self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        if let Some(spill) = &self.spill {
+            spill.clear();
         }
         if let Some(t) = self.trace() {
             t.evict(CacheKind::Image, EvictReason::Clear, dropped);
@@ -359,6 +582,10 @@ mod tests {
     use omos_obj::SectionKind;
 
     fn fake(key: u64, bytes: usize) -> CachedImage {
+        fake_costed(key, bytes, 0)
+    }
+
+    fn fake_costed(key: u64, bytes: usize, rebuild_ns: u64) -> CachedImage {
         let image = LinkedImage {
             name: format!("img{key}"),
             segments: vec![Segment {
@@ -377,6 +604,8 @@ mod tests {
             image,
             frames,
             link_stats: LinkStats::default(),
+            rebuild_ns,
+            epoch: 0,
         }
     }
 
@@ -393,6 +622,7 @@ mod tests {
     #[test]
     fn budget_evicts_lru() {
         // One shard: globally exact LRU, deterministic victim order.
+        // Zero rebuild cost, so the cost-aware default degrades to LRU.
         let c = ImageCache::with_shards(250, 1);
         c.insert(fake(1, 100));
         c.insert(fake(2, 100));
@@ -404,6 +634,65 @@ mod tests {
         assert!(c.get(ContentHash(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert!(c.bytes() <= 250);
+    }
+
+    #[test]
+    fn generation_order_policy_matches_lru() {
+        let c = ImageCache::with_policy(250, 1, EvictionPolicy::GenerationOrder);
+        c.insert(fake(1, 100));
+        c.insert(fake(2, 100));
+        c.get(ContentHash(1));
+        c.insert(fake(3, 100));
+        assert!(c.get(ContentHash(2)).is_none());
+        assert!(c.get(ContentHash(1)).is_some());
+    }
+
+    #[test]
+    fn cost_aware_keeps_expensive_entry() {
+        // Same size, same recency class, but key 1 is 1000x costlier to
+        // rebuild: under budget pressure LRU would evict key 1 (oldest),
+        // the cost-aware policy evicts cheap key 2 instead.
+        let c = ImageCache::with_shards(250, 1);
+        c.insert(fake_costed(1, 100, 1_000_000));
+        c.insert(fake_costed(2, 100, 1_000));
+        c.insert(fake_costed(3, 100, 1_000));
+        assert!(
+            c.get(ContentHash(1)).is_some(),
+            "expensive entry survives the sweep"
+        );
+        assert!(c.get(ContentHash(2)).is_none(), "cheap LRU victim goes");
+    }
+
+    #[test]
+    fn cost_aware_inflation_ages_out_idle_expensive_entries() {
+        // An expensive entry that is never touched again must still age
+        // out: each eviction inflates L, so fresh cheap entries
+        // eventually score above the idle one.
+        let c = ImageCache::with_shards(250, 1);
+        c.insert(fake_costed(1, 100, 20_000));
+        for k in 2..60u64 {
+            c.insert(fake_costed(k, 100, 1_000));
+        }
+        assert!(
+            c.get(ContentHash(1)).is_none(),
+            "idle expensive entry ages out under inflation"
+        );
+    }
+
+    #[test]
+    fn epochs_are_stamped_and_monotone() {
+        let c = ImageCache::with_shards(150, 1);
+        let a = c.insert(fake(1, 100));
+        assert!(a.epoch > 0);
+        c.insert(fake(2, 100)); // evicts 1
+        assert!(c.get(ContentHash(1)).is_none());
+        let a2 = c.insert(fake(1, 100)); // rebuild under the same key
+        assert!(
+            a2.epoch > a.epoch,
+            "re-inserted key gets a fresh epoch ({} vs {})",
+            a2.epoch,
+            a.epoch
+        );
     }
 
     #[test]
@@ -514,5 +803,111 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.bytes(), 0);
+    }
+
+    /// The queue-length invariant both `touch` and `evict` must
+    /// restore: stale pairs never outnumber live entries (plus fixed
+    /// slack). Touch-side compaction alone cannot hold it — its
+    /// threshold scales with the *current* map, so a budget sweep that
+    /// shrinks the map from under a queue legitimately sized for 100
+    /// entries leaves a touch-history's worth of stale pairs behind
+    /// (O(touches) state and protected-path scans instead of O(live)).
+    /// Before the eviction-side compaction landed, this test failed at
+    /// the post-sweep assertion with ~116 pairs queued for 6 live keys.
+    #[test]
+    fn eviction_compacts_stale_queue_pairs_under_zipfian_touches() {
+        let c = ImageCache::with_policy(10_000, 1, EvictionPolicy::GenerationOrder);
+        let n = 100u64;
+        for k in 0..n {
+            c.insert(fake(k, 100)); // 10_000 bytes: exactly at budget
+        }
+        // Zipfian-ish skew: five hot keys absorb all touches. 110
+        // touches leave the queue at 210 pairs — legitimately under the
+        // large-map threshold (2*100+16 = 216), so touch-side
+        // compaction never fires and 110 of those pairs are stale.
+        for round in 0..22u64 {
+            for hot in 95..100u64 {
+                c.get(ContentHash(hot));
+            }
+            let _ = round;
+        }
+        {
+            let shard = lock(&c.shards[0]);
+            assert_eq!(shard.map.len(), n as usize);
+            assert!(
+                shard.lru.len() <= 2 * shard.map.len() + COMPACT_SLACK,
+                "the queue is legitimately sized for the large map"
+            );
+        }
+        // One oversized insert now sweeps the 95 cold keys in a single
+        // enforce_budget pass with no interleaved touches. The sweep
+        // shrinks the map 100 -> 6; the eviction path must compact the
+        // queue down with it.
+        c.insert(fake(1_000, 9_500));
+        {
+            let shard = lock(&c.shards[0]);
+            assert_eq!(shard.map.len(), 6, "big insert plus the 5 hot keys");
+            assert!(
+                shard.lru.len() <= 2 * shard.map.len() + COMPACT_SLACK,
+                "eviction sweeps must compact stale pairs: {} queued for {} live",
+                shard.lru.len(),
+                shard.map.len()
+            );
+        }
+        // The survivors are exactly the recently-touched hot set.
+        for hot in 95..100u64 {
+            assert!(c.get(ContentHash(hot)).is_some());
+        }
+    }
+
+    #[test]
+    fn spill_tier_faults_evicted_images_back_in() {
+        use crate::spill::SpillTier;
+        use omos_os::CostModel;
+        let spill = Arc::new(SpillTier::new(u64::MAX, CostModel::hpux()));
+        let c = ImageCache::with_shards(150, 1).with_spill(Arc::clone(&spill));
+        let original = c.insert(fake_costed(1, 100, 5_000));
+        c.insert(fake_costed(2, 100, 5_000)); // evicts 1 into the tier
+        assert_eq!(spill.stats().spills, 1);
+        let revived = c.get(ContentHash(1)).expect("fault-in answers the miss");
+        assert_eq!(spill.stats().fault_ins, 1);
+        assert_eq!(
+            omos_link::encode_image(&revived.image),
+            omos_link::encode_image(&original.image),
+            "fault-in is byte-identical to the evicted image"
+        );
+        assert_eq!(revived.rebuild_ns, 5_000, "rebuild cost survives the tier");
+        assert!(
+            revived.epoch > original.epoch,
+            "a faulted-in instance is a new epoch"
+        );
+    }
+
+    #[test]
+    fn spill_tier_budget_drops_oldest() {
+        use crate::spill::SpillTier;
+        use omos_os::CostModel;
+        // A tiny tier-2 budget: spills succeed but older spills are
+        // dropped, and a dropped key is a genuine miss.
+        let spill = Arc::new(SpillTier::new(1, CostModel::hpux()));
+        let c = ImageCache::with_shards(150, 1).with_spill(Arc::clone(&spill));
+        c.insert(fake(1, 100));
+        c.insert(fake(2, 100)); // evicts+spills 1, tier immediately drops it
+        assert!(spill.stats().tier_evictions >= 1);
+        assert!(c.get(ContentHash(1)).is_none());
+    }
+
+    #[test]
+    fn clear_clears_both_tiers() {
+        use crate::spill::SpillTier;
+        use omos_os::CostModel;
+        let spill = Arc::new(SpillTier::new(u64::MAX, CostModel::hpux()));
+        let c = ImageCache::with_shards(150, 1).with_spill(Arc::clone(&spill));
+        c.insert(fake(1, 100));
+        c.insert(fake(2, 100)); // spills 1
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(spill.stats().resident, 0, "clear drops spilled images too");
+        assert!(c.get(ContentHash(1)).is_none());
     }
 }

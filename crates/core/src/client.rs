@@ -55,6 +55,7 @@ impl Binder for OmosBinder<'_> {
                     .server_ns
                     .max(self.server.cost().server_cached_request_ns),
                 image_key: reply.key.0,
+                image_epoch: reply.epoch,
             })
         } else {
             None

@@ -18,6 +18,9 @@
 //! * [`persist`] — crash-safe durability: checkpoint/restore of the
 //!   namespace, image cache, and placement state, plus the write-ahead
 //!   binding journal;
+//! * [`spill`] — the tier-2 image store: budget-evicted images sealed
+//!   in the persist layer's content-addressed format, faulted back in
+//!   through the restore verification chain instead of a relink;
 //! * [`sync`] — the concurrency primitives behind the `&self` request
 //!   paths: sharded maps and per-key single-flight coalescing;
 //! * [`trace`] — request-level structured tracing and metrics: per-stage
@@ -31,10 +34,11 @@ pub mod monitor;
 pub mod namespace;
 pub mod persist;
 pub mod server;
+pub mod spill;
 pub mod sync;
 pub mod trace;
 
-pub use cache::{CacheStats, CachedImage};
+pub use cache::{CacheStats, CachedImage, EvictionPolicy, ImageCache};
 pub use client::{
     exec_bootstrap, exec_file, exec_integrated, lint_request, run_under_omos, OmosBinder,
 };
@@ -42,5 +46,6 @@ pub use error::OmosError;
 pub use namespace::{Entry, Namespace};
 pub use persist::{stored_manifests, CheckpointReport, RestoreReport};
 pub use server::{DynamicLoadReply, InstantiateReply, Omos, ServerStats};
+pub use spill::{SpillStats, SpillTier};
 pub use sync::{Sharded, SingleFlight};
 pub use trace::{RestoreDrops, TraceSnapshot, Tracer};

@@ -65,7 +65,7 @@ use omos_analysis::manifest::ResolutionManifest;
 
 use crate::cache::CachedImage;
 use crate::namespace::Entry;
-use crate::server::{InstantiateReply, Omos, ReplyEntry};
+use crate::server::{link_work_ns, InstantiateReply, Omos, ReplyEntry};
 use crate::trace::RestoreDrops;
 
 type ObjResult<T> = std::result::Result<T, ObjError>;
@@ -118,7 +118,7 @@ pub struct RestoreReport {
     pub checkpoint_transport: Option<omos_os::Transport>,
 }
 
-fn img_path(dir: &str, key: ContentHash) -> String {
+pub(crate) fn img_path(dir: &str, key: ContentHash) -> String {
     format!("{dir}/img/{:016x}", key.0)
 }
 
@@ -133,7 +133,7 @@ fn journal_path(dir: &str) -> String {
 /// Reads a whole file with charged costs. The length comes from the
 /// stat, not `u64::MAX` (`read` takes an offset+len pair that must not
 /// overflow).
-fn read_all(
+pub(crate) fn read_all(
     fs: &mut InMemFs,
     clock: &mut SimClock,
     cost: &CostModel,
@@ -148,7 +148,7 @@ fn read_all(
 /// free). A leftover with different content — e.g. torn by an earlier
 /// crash — is unlinked and rewritten, because `write` *appends*.
 /// Returns true if bytes were written.
-fn write_fresh(
+pub(crate) fn write_fresh(
     fs: &mut InMemFs,
     clock: &mut SimClock,
     cost: &CostModel,
@@ -1009,22 +1009,34 @@ impl Omos {
                     continue;
                 }
                 let frames = ImageFrames::from_image(&image);
+                // A restored image is as expensive to lose as a fresh
+                // link of the same stats: re-derive its rebuild cost so
+                // the cost-aware policy scores it correctly.
                 let arc = server.images.insert(CachedImage {
                     key: row.key,
                     image,
                     frames,
                     link_stats: row.stats,
+                    rebuild_ns: link_work_ns(&row.stats, &cost),
+                    epoch: 0,
                 });
                 by_key.insert(row.key, arc);
                 report.images += 1;
             }
 
-            // Snapshot the generation the manifest's bindings rebuilt:
-            // replies install at this generation, so journal records
-            // replayed below invalidate exactly the rows whose
-            // dependencies they touch.
-            let g0 = server.namespace.generation();
             Omos::replay_journal(&server, fs, clock, &cost, dir, &mut report);
+
+            // Snapshot the generation AFTER journal replay: each reply
+            // row below is verified by re-deriving its resolution
+            // manifest against the post-replay namespace, so a row that
+            // survives verification is valid *now* — not merely at the
+            // pre-replay generation. Installing at the pre-replay
+            // generation made every journal bind (even an idempotent
+            // re-bind of identical bytes) look like a later touch, so a
+            // verified row was spuriously dropped as stale on its first
+            // probe and its eviction double-counted against the restore
+            // drop accounting.
+            let g0 = server.namespace.generation();
 
             for row in &manifest.replies {
                 let program = by_key.get(&row.program).map(Arc::clone);

@@ -168,6 +168,7 @@ impl InstantiateReply {
             .chain(self.libraries.iter())
             .map(|img| ImageDescriptor {
                 key: img.key.0,
+                epoch: img.epoch,
                 pages: img.frames.total_pages(),
             })
             .collect();
@@ -231,6 +232,9 @@ pub struct DynLookupReply {
     /// Content-addressed key of the built instance; mapped transports
     /// grant the image on it instead of copying handles.
     pub key: ContentHash,
+    /// Cache-instance epoch of the built instance (mapped transports
+    /// re-bill a grant whose epoch moved).
+    pub epoch: u64,
 }
 
 /// The persistent linker/loader server.
@@ -293,10 +297,19 @@ impl Omos {
     /// libraries could be significant" knob).
     #[must_use]
     pub fn with_image_budget(cost: CostModel, transport: Transport, budget: u64) -> Omos {
+        Omos::with_image_cache(cost, transport, ImageCache::new(budget))
+    }
+
+    /// Starts a server around a pre-configured image cache — the knob
+    /// for eviction policy, shard count, and a tier-2 spill store (the
+    /// catalog bench builds its servers through this). The cache's
+    /// tracer is replaced with the server's own.
+    #[must_use]
+    pub fn with_image_cache(cost: CostModel, transport: Transport, images: ImageCache) -> Omos {
         let tracer = Arc::new(Tracer::new());
         Omos {
             namespace: Namespace::new(),
-            images: ImageCache::new(budget).with_tracer(Arc::clone(&tracer)),
+            images: images.with_tracer(Arc::clone(&tracer)),
             transport,
             cost,
             solver: Mutex::new(PlacementSolver::new()),
@@ -951,6 +964,8 @@ impl Omos {
                 frames: self.framed(&linked.image),
                 image: linked.image,
                 link_stats: linked.stats,
+                rebuild_ns: ns,
+                epoch: 0,
             });
             Ok((img, ns))
         });
@@ -1076,6 +1091,8 @@ impl Omos {
                 frames: self.framed(&linked.image),
                 image: linked.image,
                 link_stats: linked.stats,
+                rebuild_ns: server_ns,
+                epoch: 0,
             });
             Ok((img, server_ns))
         });
@@ -1189,6 +1206,8 @@ impl Omos {
                 frames: self.framed(&linked.image),
                 image: linked.image,
                 link_stats: linked.stats,
+                rebuild_ns: ns,
+                epoch: 0,
             });
             Ok((img, ns))
         });
@@ -1267,6 +1286,7 @@ impl Omos {
             frames: b.instance.frames.clone(),
             server_ns,
             key: b.instance.key,
+            epoch: b.instance.epoch,
         })
     }
 }
@@ -1458,7 +1478,7 @@ fn client_bases(cs: &[(RegionClass, u64)]) -> (u32, u32) {
     )
 }
 
-fn link_work_ns(s: &LinkStats, cost: &CostModel) -> u64 {
+pub(crate) fn link_work_ns(s: &LinkStats, cost: &CostModel) -> u64 {
     s.symbols_resolved * cost.lookup_ns
         + s.relocs_applied * cost.reloc_ns
         + s.bytes_copied * cost.link_byte_ns
@@ -1938,6 +1958,8 @@ impl Omos {
             frames: self.framed(&linked.image),
             image: linked.image,
             link_stats: linked.stats,
+            rebuild_ns: link_ns,
+            epoch: 0,
         });
         self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
         Ok((

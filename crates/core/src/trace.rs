@@ -469,6 +469,14 @@ counter_family! {
     image_evict_replace,
     /// Image-cache entries dropped by `clear()`.
     image_evict_clear,
+    /// Budget-evicted images sealed into the tier-2 spill store.
+    tier2_spills,
+    /// Image-cache misses answered by a verified tier-2 fault-in
+    /// (subset of `image_misses`; no relink ran).
+    tier2_fault_ins,
+    /// Tier-2 fault-in attempts dropped by verification (file hash,
+    /// frame checksum, or content hash mismatch); the image relinks.
+    tier2_verify_drops,
     /// Reply/eval entries dropped because a dependency was touched.
     evict_invalidated,
     /// Requests that entered the reply single-flight.
@@ -967,6 +975,22 @@ impl Tracer {
         };
         cell.fetch_add(n, Ordering::Relaxed);
         self.instant(SpanKind::Evict(cache, reason));
+    }
+
+    /// Records tier-2 spill traffic: images sealed into the spill
+    /// store, misses answered by verified fault-in, and fault-in
+    /// attempts dropped by verification.
+    pub fn tier2(&self, spills: u64, fault_ins: u64, verify_drops: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.c.tier2_spills.fetch_add(spills, Ordering::Relaxed);
+        self.c
+            .tier2_fault_ins
+            .fetch_add(fault_ins, Ordering::Relaxed);
+        self.c
+            .tier2_verify_drops
+            .fetch_add(verify_drops, Ordering::Relaxed);
     }
 
     /// Records the outcome of a checkpoint restore: how many namespace

@@ -50,6 +50,13 @@
 //! ofe stats [FILE]                 per-stage latency percentiles and
 //!                                  trace counters from an mcbench
 //!                                  report (default BENCH_CONCURRENCY.json)
+//! ofe catalog [--programs N] [--libraries M] [--seed S] [--sample K]
+//!                                  generate the seeded synthetic
+//!                                  program catalog (the catalog_bench
+//!                                  universe) and print its shape:
+//!                                  pool size distribution, library
+//!                                  fan-in, and K sample program
+//!                                  blueprints
 //! ofe checkpoint BLUEPRINT OUTDIR  instantiate the blueprint on an
 //!                                  in-process server, checkpoint the
 //!                                  server's durable state, and export
@@ -129,7 +136,7 @@ impl CmdError {
     }
 }
 
-const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|explain|trace|stats|checkpoint|restore> ...";
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|explain|trace|stats|catalog|checkpoint|restore> ...";
 
 /// Executes one OFE command; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CmdError> {
@@ -256,6 +263,7 @@ fn run_basic(cmd: &str, rest: &[String]) -> Result<String, String> {
             [file] => stats_report(file),
             _ => Err("stats [FILE]".into()),
         },
+        "catalog" => catalog_cmd(rest),
         "checkpoint" => {
             let (transport, rest) = parse_flagged_transport(rest, "checkpoint")?;
             match rest {
@@ -632,6 +640,94 @@ fn stats_report(file: &str) -> Result<String, String> {
         }
     }
     Ok(report)
+}
+
+/// `ofe catalog`: generates the seeded synthetic program catalog that
+/// `catalog_bench` replays (same generator, same defaults) and renders
+/// its shape — the long-tail library pool, per-library fan-in, and a
+/// few sample program blueprints — so the benchmark universe can be
+/// inspected without running the benchmark.
+fn catalog_cmd(rest: &[String]) -> Result<String, String> {
+    use omos_bench::catalog::{lib_path, program_path, Catalog, CatalogSpec};
+
+    let mut spec = CatalogSpec::small();
+    let mut sample = 3usize;
+    let mut args = rest.iter();
+    while let Some(flag) = args.next() {
+        let value = |v: Option<&String>| -> Result<u64, String> {
+            v.ok_or(format!("catalog: {flag} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("catalog: {flag} needs a number"))
+        };
+        match flag.as_str() {
+            "--programs" => spec.programs = value(args.next())?.max(1) as usize,
+            "--libraries" => spec.libraries = value(args.next())?.max(1) as usize,
+            "--seed" => spec.seed = value(args.next())?,
+            "--sample" => sample = value(args.next())? as usize,
+            _ => {
+                return Err("catalog [--programs N] [--libraries M] [--seed S] [--sample K]".into())
+            }
+        }
+    }
+    spec.libs_per_program.1 = spec.libs_per_program.1.min(spec.libraries);
+    spec.libs_per_program.0 = spec.libs_per_program.0.min(spec.libs_per_program.1);
+    let catalog = Catalog::generate(spec);
+
+    let mut sizes = catalog.lib_sizes.clone();
+    sizes.sort_unstable();
+    let mut fan_in = vec![0usize; spec.libraries];
+    for libs in &catalog.program_libs {
+        for &i in libs {
+            fan_in[i] += 1;
+        }
+    }
+    let mut ranked: Vec<(usize, usize)> = fan_in.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "catalog: {} programs over {} libraries (seed {})",
+        spec.programs, spec.libraries, spec.seed
+    );
+    let _ = writeln!(
+        out,
+        "library pool: {} text bytes; sizes min/median/max = {}/{}/{}",
+        catalog.pool_bytes(),
+        sizes.first().copied().unwrap_or(0),
+        sizes.get(sizes.len() / 2).copied().unwrap_or(0),
+        sizes.last().copied().unwrap_or(0),
+    );
+    let _ = writeln!(
+        out,
+        "libs per program: {}..={}",
+        spec.libs_per_program.0, spec.libs_per_program.1
+    );
+    let _ = writeln!(out, "top libraries by fan-in:");
+    for &(i, n) in ranked.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>6} programs {:>8} bytes",
+            lib_path(i),
+            n,
+            catalog.lib_sizes[i]
+        );
+    }
+    if sample > 0 {
+        let _ = writeln!(out, "sample programs:");
+        for j in 0..sample.min(spec.programs) {
+            let merged: String = catalog.program_libs[j]
+                .iter()
+                .map(|&i| format!(" {}", lib_path(i)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {} = (merge /cat/obj/p{j}.o{merged})",
+                program_path(j)
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// `ofe lint`: parses each blueprint and runs the pre-link static
@@ -1158,6 +1254,37 @@ _msg:       .asciz "hello-world"
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn catalog_renders_the_benchmark_universe() {
+        let out = run(&args(&[
+            "catalog",
+            "--programs",
+            "50",
+            "--libraries",
+            "16",
+            "--sample",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("catalog: 50 programs over 16 libraries (seed 42)"));
+        assert!(out.contains("top libraries by fan-in:"));
+        assert!(out.contains("/cat/p0 = (merge /cat/obj/p0.o"));
+        assert!(out.contains("/cat/p1 = (merge /cat/obj/p1.o"));
+        // Same seed, same catalog: the render is reproducible.
+        let again = run(&args(&[
+            "catalog",
+            "--programs",
+            "50",
+            "--libraries",
+            "16",
+            "--sample",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(out, again);
+        assert!(run(&args(&["catalog", "--bogus"])).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! manifests, and `server_ns` stay bit-identical across all five
 //! transports (the transport-oracle suite enforces this).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use crate::clock::SimClock;
 use crate::cost::{CostModel, TransportBilling};
@@ -169,6 +169,11 @@ pub struct ImageDescriptor {
     /// Content-addressed key (the image cache key, truncated to 64
     /// bits) — grants are deduplicated on it.
     pub key: u64,
+    /// Cache-instance epoch of the image behind the key. A key rebuilt
+    /// after an eviction carries a new epoch, so a session holding a
+    /// grant from the old instance re-bills the mapping instead of
+    /// silently deduplicating against a stale grant.
+    pub epoch: u64,
     /// Pages the mapping covers.
     pub pages: u64,
 }
@@ -316,7 +321,11 @@ impl std::fmt::Display for RingFull {
 pub struct ShmRing {
     slots: usize,
     free: usize,
-    granted: HashSet<u64>,
+    /// Content key → epoch of the granted instance. Keyed (not a set)
+    /// so a re-granted key after an evict+rebuild *replaces* the stale
+    /// grant instead of growing without bound, and so the epoch
+    /// comparison can tell a stale grant from a live one.
+    granted: HashMap<u64, u64>,
 }
 
 impl ShmRing {
@@ -327,7 +336,7 @@ impl ShmRing {
         ShmRing {
             slots,
             free: slots,
-            granted: HashSet::new(),
+            granted: HashMap::new(),
         }
     }
 
@@ -398,10 +407,17 @@ impl ShmRing {
         stats.retired += n as u64;
     }
 
-    /// Records a grant of `key`; true when the key is new to this
-    /// client (the mapping must be installed and billed).
-    pub fn grant(&mut self, key: u64) -> bool {
-        self.granted.insert(key)
+    /// Records a grant of `key` at `epoch`; true when the mapping must
+    /// be installed and billed — either the key is new to this client,
+    /// or the client's grant is from an older cache instance (the image
+    /// was evicted and rebuilt since, so the old mapping is stale).
+    /// The grant is keyed, not appended: re-grants replace the stale
+    /// entry, so the table is bounded by distinct keys ever published.
+    pub fn grant(&mut self, key: u64, epoch: u64) -> bool {
+        match self.granted.insert(key, epoch) {
+            None => true,
+            Some(prev) => prev != epoch,
+        }
     }
 }
 
@@ -641,7 +657,7 @@ impl ClientSession {
                 .expect("chunked publish fits the ring");
             for d in now {
                 self.stats.descriptors += 1;
-                if self.ring.grant(d.key) {
+                if self.ring.grant(d.key, d.epoch) {
                     clock.charge_system(tariff.per_mapping_ns());
                     self.stats.mappings += 1;
                     self.stats.mapped_pages += d.pages;
@@ -844,8 +860,16 @@ mod tests {
         let reply = ReplyShape::with_images(
             256 + HANDLE_BYTES_PER_PAGE * 100,
             vec![
-                ImageDescriptor { key: 1, pages: 60 },
-                ImageDescriptor { key: 2, pages: 40 },
+                ImageDescriptor {
+                    key: 1,
+                    epoch: 1,
+                    pages: 60,
+                },
+                ImageDescriptor {
+                    key: 2,
+                    epoch: 1,
+                    pages: 40,
+                },
             ],
         );
         let mut session = ClientSession::with_window(Transport::ShmRing, 1);
@@ -877,7 +901,11 @@ mod tests {
         let pages = 200u64;
         let reply = ReplyShape::with_images(
             256 + HANDLE_BYTES_PER_PAGE * pages,
-            vec![ImageDescriptor { key: 9, pages }],
+            vec![ImageDescriptor {
+                key: 9,
+                epoch: 1,
+                pages,
+            }],
         );
         let mut mach = SimClock::new();
         let mut s = IpcStats::default();
@@ -939,7 +967,11 @@ mod tests {
     fn replies_wider_than_the_ring_chunk_through() {
         let cost = CostModel::hpux();
         let images: Vec<ImageDescriptor> = (0..10)
-            .map(|i| ImageDescriptor { key: i, pages: 1 })
+            .map(|i| ImageDescriptor {
+                key: i,
+                epoch: 1,
+                pages: 1,
+            })
             .collect();
         let reply = ReplyShape::with_images(256, images);
         let mut session = ClientSession::with_config(Transport::ShmRing, 1, 3);

@@ -51,6 +51,9 @@ pub struct FirstLoad {
     /// Content-addressed key of the cached image (shared-memory
     /// transports grant a mapping on it instead of copying handles).
     pub image_key: u64,
+    /// Cache-instance epoch of that image (see
+    /// [`crate::ipc::ImageDescriptor::epoch`]).
+    pub image_epoch: u64,
 }
 
 /// Run-time binding services, supplied per shared-library scheme.
@@ -389,6 +392,7 @@ impl SyscallHandler for Runtime<'_> {
                         128,
                         vec![ImageDescriptor {
                             key: load.image_key,
+                            epoch: load.image_epoch,
                             pages: load.frames.total_pages(),
                         }],
                     );

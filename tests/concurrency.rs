@@ -311,6 +311,8 @@ fn concurrent_clear_and_insert_keep_byte_counter_consistent() {
             frames: ImageFrames::from_image(&image),
             image,
             link_stats: LinkStats::default(),
+            rebuild_ns: 0,
+            epoch: 0,
         }
     };
 
@@ -444,6 +446,8 @@ fn image_cache_keeps_budget_and_mappings_under_concurrency() {
             frames: ImageFrames::from_image(&image),
             image,
             link_stats: LinkStats::default(),
+            rebuild_ns: 0,
+            epoch: 0,
         }
     };
 

@@ -176,6 +176,8 @@ fn image_cache_eviction_under_disk_pressure() {
             frames: ImageFrames::from_image(&image),
             image,
             link_stats: LinkStats::default(),
+            rebuild_ns: 0,
+            epoch: 0,
         }
     };
     let cache = ImageCache::new(10_000);

@@ -514,6 +514,57 @@ fn restore_drop_reasons_land_in_the_trace_snapshot() {
     assert!(r.namespace.lookup("/obj/extra.o").is_some());
 }
 
+/// Conservation audit for restore-era evictions: a journal record
+/// replayed *during* restore must not make verified reply rows look
+/// stale on their first probe. Reply rows are verified against the
+/// post-replay namespace (their manifests are re-derived there), so a
+/// post-checkpoint idempotent rebind of identical bytes leaves the
+/// restored reply servable — the first request is a warm hit, and the
+/// row is neither re-dropped as `reply_stale` nor double-counted under
+/// `evict_invalidated` after restore already accounted for it.
+#[test]
+fn idempotent_journal_rebind_does_not_double_count_restored_replies() {
+    let cost = CostModel::hpux();
+    let vals = [7u8, 11, 13];
+    let s = Omos::new(cost, Transport::SysVMsg);
+    let mut fs = InMemFs::new();
+    let mut clock = SimClock::new();
+    bind_durable(&s, Format::Aout, &vals, &mut fs, &mut clock);
+    s.instantiate("/bin/app").unwrap();
+    s.checkpoint(&mut fs, &mut clock, DIR).unwrap();
+    // An idempotent rebind lands in the journal *after* the checkpoint:
+    // replay re-touches /obj/app.o while restore rebuilds the cache.
+    s.bind_object_durable(
+        "/obj/app.o",
+        via(Format::Aout, &app_obj()),
+        &mut fs,
+        &mut clock,
+        DIR,
+    )
+    .unwrap();
+
+    let (recovered, report) = Omos::restore(cost, Transport::SysVMsg, &mut fs, &mut clock, DIR);
+    assert!(!report.cold && report.replies >= 1, "{report:?}");
+    assert_eq!(report.dropped, 0, "{report:?}");
+
+    let warm = recovered.instantiate("/bin/app").unwrap();
+    assert!(
+        warm.cache_hit,
+        "manifest-verified reply must survive the idempotent journal replay"
+    );
+
+    let c = recovered.trace_snapshot().counters;
+    assert_eq!(c.reply_stale, 0, "no spurious post-restore staleness drop");
+    assert_eq!(
+        c.evict_invalidated, 0,
+        "restore drops must not re-count as invalidations"
+    );
+    assert_eq!(
+        c.restore_dropped, report.dropped as u64,
+        "conservation: trace counters and restore report agree"
+    );
+}
+
 /// The restore-time proof, swept across the crash matrix: at every
 /// crash offset of the *second* checkpoint, recovery falls back to the
 /// first checkpoint and replays the journaled rebind — after which the

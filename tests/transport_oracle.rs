@@ -10,10 +10,13 @@
 //! [`IpcStats`] may differ between transports, and those must be a
 //! deterministic function of the history per transport.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use omos::core::client::run_under_omos;
-use omos::core::{lint_request, Omos};
+use omos::core::spill::{SpillStats, SpillTier};
+use omos::core::{lint_request, CachedImage, ImageCache, Omos};
 use omos::isa::{assemble, StopReason};
 use omos::link::encode_image;
 use omos::os::ipc::{ClientSession, IpcStats, Transport};
@@ -21,11 +24,42 @@ use omos::os::{CostModel, InMemFs, SimClock};
 
 const NLIBS: usize = 3;
 
+/// Image-cache shape a replay runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheCfg {
+    /// The default unbounded tier 1 (no evictions ever).
+    Unbounded,
+    /// A one-byte tier 1 over an unbounded spill tier: every insert
+    /// evicts everything else into tier 2, so any revisited image comes
+    /// back through a verified fault-in instead of a relink.
+    TieredTiny,
+}
+
+/// A server with the given transport and cache shape.
+fn make_server(transport: Transport, cfg: CacheCfg) -> Omos {
+    let cost = CostModel::hpux();
+    match cfg {
+        CacheCfg::Unbounded => Omos::new(cost, transport),
+        CacheCfg::TieredTiny => Omos::with_image_cache(
+            cost,
+            transport,
+            ImageCache::with_shards(1, 1)
+                .with_spill(Arc::new(SpillTier::new(u64::MAX, CostModel::hpux()))),
+        ),
+    }
+}
+
 /// Binds a small world: three constraint-placed libraries, four
 /// programs over different subsets of them, a blueprint that lints
 /// dirty, and one partial-image (dynamic) program.
-fn world(transport: Transport, vals: &[u8]) -> Omos {
-    let s = Omos::new(CostModel::hpux(), transport);
+fn world_cfg(transport: Transport, vals: &[u8], cfg: CacheCfg) -> Omos {
+    let s = make_server(transport, cfg);
+    populate(&s, vals);
+    s
+}
+
+/// Binds the world's objects and blueprints into an existing server.
+fn populate(s: &Omos, vals: &[u8]) {
     for (i, &val) in vals.iter().enumerate() {
         s.namespace.bind_object(
             &format!("/obj/lib{i}.o"),
@@ -74,7 +108,6 @@ fn world(transport: Transport, vals: &[u8]) -> Omos {
             r#"(merge /obj/a.o (specialize "lib-dynamic" /obj/lib0.o))"#,
         )
         .unwrap();
-    s
 }
 
 /// Programs and the libraries each uses.
@@ -141,7 +174,21 @@ fn replay(
     history: &[Op],
     window: usize,
 ) -> (ServerSide, ClientBill) {
-    let server = world(transport, vals);
+    let (side, bill, _) = replay_cfg(transport, vals, history, window, CacheCfg::Unbounded);
+    (side, bill)
+}
+
+/// Replays `history` over `transport` with the given cache shape,
+/// additionally reporting the spill tier's counters (zeroes when the
+/// shape has no spill tier).
+fn replay_cfg(
+    transport: Transport,
+    vals: &[u8],
+    history: &[Op],
+    window: usize,
+    cfg: CacheCfg,
+) -> (ServerSide, ClientBill, SpillStats) {
+    let server = world_cfg(transport, vals, cfg);
     let cost = CostModel::hpux();
     let mut clock = SimClock::new();
     let mut session = ClientSession::with_window(transport, window);
@@ -197,7 +244,8 @@ fn replay(
         system_ns: clock.system_ns,
         stats,
     };
-    (side, bill)
+    let spill = server.images.spill().map(|s| s.stats()).unwrap_or_default();
+    (side, bill, spill)
 }
 
 proptest! {
@@ -263,4 +311,164 @@ fn shm_ring_grants_once_and_moves_fewer_bytes() {
     assert_eq!(shm.stats.mappings, 4);
     assert_eq!(shm.stats.descriptors, 6 * 4);
     assert_eq!(shm.stats.retired, shm.stats.descriptors);
+}
+
+/// Regression (failing-first): a key that was evicted and *rebuilt*
+/// must re-bill its shared-memory mapping. The grant table used to
+/// deduplicate on the content key alone, so a session that mapped an
+/// image, lost it to eviction, and received the rebuilt instance under
+/// the same key silently reused the stale grant — the client was never
+/// billed for installing the new mapping. Descriptors now carry the
+/// cache-instance epoch and a moved epoch re-bills.
+#[test]
+fn evicted_and_rebuilt_image_rebills_the_mapping() {
+    let vals = [7u8, 11, 13];
+    let cost = CostModel::hpux();
+    // One-byte tier 1 with NO spill tier: every insert evicts everything
+    // else, and a revisited image must be relinked from scratch (a new
+    // cache instance under the same content key).
+    let server = Omos::with_image_cache(cost, Transport::ShmRing, ImageCache::with_shards(1, 1));
+    populate(&server, &vals);
+    let mut clock = SimClock::new();
+    let mut session = ClientSession::with_window(Transport::ShmRing, 1);
+    let r1 = server.instantiate("/bin/a").expect("a instantiates");
+    session.request(&mut clock, &cost, 0, 128, r1.reply_shape(), r1.server_ns);
+    assert_eq!(session.stats.mappings, 2, "program a + lib0 granted");
+
+    // Invalidate the cached reply with an idempotent re-bind of the
+    // same object bytes: the resolution (and every content key) is
+    // unchanged, but the images were evicted, so the server relinks
+    // them as new instances.
+    server.namespace.bind_object(
+        "/obj/a.o",
+        assemble("a.o", ".text\n.global _start\n_start:\n call _f0\n sys 0\n").unwrap(),
+    );
+    let r2 = server.instantiate("/bin/a").expect("a re-instantiates");
+    assert!(!r2.cache_hit, "the re-bind invalidated the cached reply");
+    assert_eq!(r1.manifest, r2.manifest, "identical resolution");
+    assert_eq!(r1.program.key, r2.program.key, "identical content keys");
+    session.request(&mut clock, &cost, 1, 128, r2.reply_shape(), r2.server_ns);
+    assert_eq!(
+        session.stats.mappings, 4,
+        "rebuilt instances under the same keys must re-bill both mappings"
+    );
+
+    // A true reply-cache hit hands back the *same* instances — that
+    // grant is still live and must NOT re-bill.
+    let r3 = server.instantiate("/bin/a").expect("a hits");
+    assert!(r3.cache_hit);
+    session.request(&mut clock, &cost, 2, 128, r3.reply_shape(), r3.server_ns);
+    assert_eq!(
+        session.stats.mappings, 4,
+        "an unchanged instance stays deduplicated"
+    );
+}
+
+/// Tier-2 oracle: a run whose tier 1 is one byte backed by a spill
+/// tier answers every history byte-identically (replies, manifests,
+/// `server_ns`, lint findings, program behavior) to a never-evicted
+/// run, on all five transports — fault-ins are hits, not rebuilds.
+#[test]
+fn tier2_fault_in_is_invisible_on_every_transport() {
+    let vals = [7u8, 11, 13];
+    // Revisit shared libraries after they were pushed out of tier 1:
+    // `c` needs lib0..2 after `a`, `b`, and `d` cycled them out; the
+    // trailing repeats re-probe everything once more.
+    let history = vec![
+        Op::Instantiate(0),
+        Op::Instantiate(1),
+        Op::Instantiate(3),
+        Op::Run,
+        Op::Instantiate(2),
+        Op::Lint(0),
+        Op::Instantiate(2),
+        Op::Instantiate(0),
+    ];
+    for transport in Transport::ALL {
+        let (want, _, _) = replay_cfg(transport, &vals, &history, 4, CacheCfg::Unbounded);
+        let (got, _, spill) = replay_cfg(transport, &vals, &history, 4, CacheCfg::TieredTiny);
+        assert_eq!(
+            got,
+            want,
+            "tier-2 fault-ins changed server-visible bytes on {}",
+            transport.name()
+        );
+        assert!(
+            spill.fault_ins > 0,
+            "the tiered run actually faulted images back in on {}",
+            transport.name()
+        );
+        assert_eq!(
+            spill.verify_drops,
+            0,
+            "no spilled image failed verification on {}",
+            transport.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// spill ∘ fault-in is an identity on image bytes: whatever tier 1
+    /// evicts into the spill store comes back byte-identical (sealed
+    /// encoding, and therefore frames, symbols, and segments).
+    #[test]
+    fn spill_then_fault_in_is_identity_on_image_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 1..1024),
+        zero in 0u64..512,
+        rebuild_ns in 0u64..1_000_000,
+    ) {
+        let image = omos::link::LinkedImage {
+            name: "spilled".into(),
+            segments: vec![omos::link::Segment {
+                name: ".text".into(),
+                kind: omos::obj::SectionKind::Text,
+                vaddr: 0x1000,
+                bytes,
+                zero,
+            }],
+            symbols: std::collections::HashMap::new(),
+            entry: None,
+        };
+        let original = encode_image(&image);
+        let spill = Arc::new(SpillTier::new(u64::MAX, CostModel::hpux()));
+        let cache = ImageCache::with_shards(1, 1).with_spill(Arc::clone(&spill));
+        cache.insert(CachedImage {
+            key: omos::obj::ContentHash(1),
+            frames: omos::os::ImageFrames::from_image(&image),
+            image,
+            link_stats: omos::link::LinkStats::default(),
+            rebuild_ns,
+            epoch: 0,
+        });
+        // A second insert pushes the first image out into the tier...
+        let evictor = omos::link::LinkedImage {
+            name: "evictor".into(),
+            segments: vec![omos::link::Segment {
+                name: ".text".into(),
+                kind: omos::obj::SectionKind::Text,
+                vaddr: 0x2000,
+                bytes: vec![0xEE; 8],
+                zero: 0,
+            }],
+            symbols: std::collections::HashMap::new(),
+            entry: None,
+        };
+        cache.insert(CachedImage {
+            key: omos::obj::ContentHash(2),
+            frames: omos::os::ImageFrames::from_image(&evictor),
+            image: evictor,
+            link_stats: omos::link::LinkStats::default(),
+            rebuild_ns: 0,
+            epoch: 0,
+        });
+        prop_assert_eq!(spill.stats().spills, 1);
+        // ...and the miss faults it back, byte-identical.
+        let back = cache.get(omos::obj::ContentHash(1)).expect("fault-in");
+        prop_assert_eq!(encode_image(&back.image), original);
+        prop_assert_eq!(back.rebuild_ns, rebuild_ns);
+        prop_assert_eq!(spill.stats().fault_ins, 1);
+        prop_assert_eq!(spill.stats().verify_drops, 0);
+    }
 }
