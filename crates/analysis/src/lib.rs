@@ -54,6 +54,7 @@ use omos_obj::ObjectFile;
 
 mod analyzer;
 pub mod manifest;
+pub mod relink;
 
 pub use analyzer::{analyze_blueprint, analyze_blueprint_report, AnalysisReport};
 

@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use omos_blueprint::{eval_blueprint, Blueprint, EvalContext};
+use omos_blueprint::{eval_blueprint, Blueprint, EvalContext, EvalOutput};
 use omos_constraint::{
     PlacementRequest, PlacementSolver, RegionClass, SegmentRequest, SolverState,
 };
@@ -315,11 +315,21 @@ impl ManifestDiff {
             let _ = writeln!(s, "  interposition set changed");
         }
         for (a, b) in &self.changed {
-            let _ = writeln!(
-                s,
-                "  ~ {}: {} @ {:#010x} -> {} @ {:#010x}",
-                a.symbol, a.provider, a.addr, b.provider, b.addr
-            );
+            if a.provider == b.provider {
+                // Placement-only: the same library still provides the
+                // symbol, its segments just landed elsewhere.
+                let _ = writeln!(
+                    s,
+                    "  ~ {}: {} moved {:#010x} -> {:#010x}",
+                    a.symbol, a.provider, a.addr, b.addr
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "  ~ {}: {} @ {:#010x} -> {} @ {:#010x}",
+                    a.symbol, a.provider, a.addr, b.provider, b.addr
+                );
+            }
         }
         for b in &self.added {
             let _ = writeln!(s, "  + {}: {} @ {:#010x}", b.symbol, b.provider, b.addr);
@@ -466,6 +476,19 @@ pub fn derive_manifest(
     solver: &SolverState,
 ) -> Result<ResolutionManifest, String> {
     let out = eval_blueprint(bp, eval_ctx).map_err(|e| format!("eval failed: {e}"))?;
+    derive_manifest_from_eval(bp, &out, lint_ctx, solver)
+}
+
+/// [`derive_manifest`] for a caller that already evaluated the
+/// blueprint (the server's incremental relink path evaluates once and
+/// feeds the same output to both the manifest derivation and the
+/// relink executor, so the two can never see different m-graphs).
+pub fn derive_manifest_from_eval(
+    bp: &Blueprint,
+    out: &EvalOutput,
+    lint_ctx: &mut dyn LintContext,
+    solver: &SolverState,
+) -> Result<ResolutionManifest, String> {
     let mut sv = PlacementSolver::import_state(solver);
 
     let mut externs: HashMap<String, u32> = HashMap::new();
@@ -706,6 +729,29 @@ mod tests {
         assert!(diags
             .iter()
             .all(|d| d.code == "OM016" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn diff_render_separates_placement_moves_from_provider_changes() {
+        let a = sample();
+        // Placement-only: same provider, moved address.
+        let mut moved = sample();
+        moved.bindings[0].addr = 0x0200_0010;
+        let s = diff(&a, &moved).render();
+        assert!(
+            s.contains("~ _printf: libc moved 0x01000010 -> 0x02000010"),
+            "placement-only change must render as a move: {s}"
+        );
+        assert!(!s.contains("libc @"), "no provider-change arrow: {s}");
+        // Provider change: keeps the explicit provider -> provider form.
+        let mut reprov = sample();
+        reprov.bindings[0].provider = "libm".into();
+        let s = diff(&a, &reprov).render();
+        assert!(
+            s.contains("~ _printf: libc @ 0x01000010 -> libm @ 0x01000010"),
+            "provider change must name both providers: {s}"
+        );
+        assert!(!s.contains("moved"), "provider change is not a move: {s}");
     }
 
     #[test]

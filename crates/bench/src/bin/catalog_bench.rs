@@ -35,11 +35,26 @@ fn drive_cfg(requests: usize) -> DriveCfg {
 
 /// Every budgeted curve point must show cost-aware+tiered beating
 /// generation-order at the same budget — the acceptance gate the
-/// report file is required to demonstrate.
+/// report file is required to demonstrate. Every point must also show
+/// rebind recovery costing no more incrementally than the cold full
+/// relinks it replaced would have billed.
 fn assert_tiered_wins(results: &[omos_bench::catalog::CatalogResult]) {
     for r in results {
         for c in &r.curves {
             for p in &c.points {
+                let d = &p.result;
+                assert!(d.recoveries > 0, "churn must trigger rebind recoveries");
+                assert!(
+                    d.recovery_incremental_ns <= d.recovery_full_ns,
+                    "{} programs, s={:.2}, {} budget {}: incremental recovery \
+                     {} > full-equivalent {}",
+                    r.spec.programs,
+                    c.s,
+                    p.plan,
+                    p.budget,
+                    d.recovery_incremental_ns,
+                    d.recovery_full_ns
+                );
                 if p.plan != "generation-order" {
                     continue;
                 }
@@ -69,14 +84,23 @@ fn print_summary(results: &[omos_bench::catalog::CatalogResult]) {
             r.spec.programs, r.spec.libraries, r.requests, r.reference_bytes
         );
         eprintln!(
-            "  {:>5} {:>18} {:>6} {:>9} {:>9} {:>9} {:>9} {:>10}",
-            "s", "plan", "frac", "probes", "t1 hits", "faults", "relinks", "avoidance"
+            "  {:>5} {:>18} {:>6} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>8}",
+            "s",
+            "plan",
+            "frac",
+            "probes",
+            "t1 hits",
+            "faults",
+            "relinks",
+            "avoidance",
+            "recover",
+            "rec spd"
         );
         for c in &r.curves {
             for p in &c.points {
                 let d = &p.result;
                 eprintln!(
-                    "  {:>5.2} {:>18} {:>6.3} {:>9} {:>9} {:>9} {:>9} {:>10.4}",
+                    "  {:>5.2} {:>18} {:>6.3} {:>9} {:>9} {:>9} {:>9} {:>10.4} {:>9} {:>7.2}x",
                     c.s,
                     p.plan,
                     p.budget_frac,
@@ -85,6 +109,8 @@ fn print_summary(results: &[omos_bench::catalog::CatalogResult]) {
                     d.fault_ins,
                     d.relinks,
                     d.avoidance(),
+                    d.recoveries,
+                    d.recovery_full_ns as f64 / d.recovery_incremental_ns.max(1) as f64,
                 );
             }
         }

@@ -390,6 +390,16 @@ pub struct DriveResult {
     pub server_ns: u64,
     /// Live tier-1 bytes when the replay ended.
     pub live_bytes: u64,
+    /// Requests that rebuilt a rebind-invalidated reply (a stale reply
+    /// was dropped on probe during the request).
+    pub recoveries: u64,
+    /// Billed cost of those recoveries as actually served (the
+    /// incremental relink path when it engaged).
+    pub recovery_incremental_ns: u64,
+    /// What the same recoveries would have billed as cold full relinks:
+    /// the served cost plus the link work the incremental path's image
+    /// reuses provably avoided.
+    pub recovery_full_ns: u64,
 }
 
 impl DriveResult {
@@ -429,11 +439,23 @@ pub fn drive(server: &Omos, catalog: &Catalog, cfg: &DriveCfg) -> DriveResult {
             seen[p] = true;
             r.distinct_programs += 1;
         }
+        let t0 = server.tracer().counters();
         let reply = server
             .instantiate(&program_path(p))
             .expect("catalog programs instantiate");
+        let t1 = server.tracer().counters();
         if reply.cache_hit {
             r.reply_hits += 1;
+        }
+        // A stale-reply drop during the request marks a rebind
+        // recovery: the reply existed before churn invalidated it.
+        // `relink_avoided_ns` records exactly the link work the
+        // incremental path's image reuses skipped, so adding it back
+        // reproduces what a cold full relink of the same state bills.
+        if t1.reply_stale > t0.reply_stale {
+            r.recoveries += 1;
+            r.recovery_incremental_ns += reply.server_ns;
+            r.recovery_full_ns += reply.server_ns + (t1.relink_avoided_ns - t0.relink_avoided_ns);
         }
         r.server_ns += reply.server_ns;
         r.requests += 1;
@@ -598,7 +620,8 @@ pub fn to_json(results: &[CatalogResult]) -> String {
                         "\"fault_ins\": {}, \"relinks\": {}, \"spills\": {}, ",
                         "\"verify_drops\": {}, \"evictions\": {}, \"reply_hits\": {}, ",
                         "\"rebinds\": {}, \"distinct_programs\": {}, \"server_ns\": {}, ",
-                        "\"avoidance\": {:.4}}}"
+                        "\"recoveries\": {}, \"recovery_incremental_ns\": {}, ",
+                        "\"recovery_full_ns\": {}, \"avoidance\": {:.4}}}"
                     ),
                     p.plan,
                     budget,
@@ -614,6 +637,9 @@ pub fn to_json(results: &[CatalogResult]) -> String {
                     d.rebinds,
                     d.distinct_programs,
                     d.server_ns,
+                    d.recoveries,
+                    d.recovery_incremental_ns,
+                    d.recovery_full_ns,
                     d.avoidance(),
                 );
                 let _ = writeln!(out, "{}", if pi + 1 < c.points.len() { "," } else { "" });
@@ -659,7 +685,8 @@ pub fn to_smoke_json(r: &CatalogResult) -> String {
                     "    {{\"s\": \"{:.2}\", \"plan\": \"{}\", \"budget_frac\": \"{:.3}\", ",
                     "\"probes\": {}, \"tier1_hits\": {}, \"fault_ins\": {}, ",
                     "\"relinks\": {}, \"spills\": {}, \"verify_drops\": {}, ",
-                    "\"server_ns\": {}}}"
+                    "\"server_ns\": {}, \"recoveries\": {}, ",
+                    "\"recovery_incremental_ns\": {}, \"recovery_full_ns\": {}}}"
                 ),
                 c.s,
                 p.plan,
@@ -671,6 +698,9 @@ pub fn to_smoke_json(r: &CatalogResult) -> String {
                 d.spills,
                 d.verify_drops,
                 d.server_ns,
+                d.recoveries,
+                d.recovery_incremental_ns,
+                d.recovery_full_ns,
             );
             let _ = writeln!(out, "{}", if emitted < total { "," } else { "" });
         }
@@ -772,6 +802,40 @@ mod tests {
             tiered.avoidance(),
             base.avoidance()
         );
+    }
+
+    #[test]
+    fn churn_recoveries_are_counted_and_never_dearer_than_full_relinks() {
+        let catalog = Catalog::generate(tiny_spec());
+        let r = run_plan(&catalog, CachePlan::Unbounded, &tiny_cfg());
+        assert!(r.rebinds > 0, "churn must fire");
+        assert!(r.recoveries > 0, "rebinds must invalidate some replies");
+        assert!(
+            r.recovery_incremental_ns <= r.recovery_full_ns,
+            "incremental recovery {} must not exceed the full-relink \
+             equivalent {}",
+            r.recovery_incremental_ns,
+            r.recovery_full_ns
+        );
+        // Idempotent rebinds leave every image key unchanged, so the
+        // incremental path reuses the whole subgraph: the avoided link
+        // work is real and the two costs must actually separate.
+        assert!(
+            r.recovery_incremental_ns < r.recovery_full_ns,
+            "identical-bytes churn must avoid link work incrementally"
+        );
+        // No churn, no recoveries.
+        let quiet = run_plan(
+            &catalog,
+            CachePlan::Unbounded,
+            &DriveCfg {
+                churn_every: 0,
+                ..tiny_cfg()
+            },
+        );
+        assert_eq!(quiet.recoveries, 0);
+        assert_eq!(quiet.recovery_incremental_ns, 0);
+        assert_eq!(quiet.recovery_full_ns, 0);
     }
 
     #[test]

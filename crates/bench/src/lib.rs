@@ -14,6 +14,7 @@
 pub mod catalog;
 pub mod mcbench;
 pub mod memshare;
+pub mod relink;
 pub mod reorder;
 pub mod report;
 pub mod workload;
@@ -24,6 +25,7 @@ pub use catalog::{
     DriveResult, ZipfSampler,
 };
 pub use mcbench::{run_multiclient, run_warm_restart, McResult, PhaseResult, WarmRestart};
+pub use relink::{run_relink_bench, RelinkPoint, RelinkResult};
 pub use reorder::{run_reorder_experiment, ReorderConfig, ReorderResult};
 pub use workload::{
     codegen_workload, libc_objects, ls_object, populate_fs, LsVariant, WorkloadSizes,

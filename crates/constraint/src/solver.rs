@@ -237,40 +237,73 @@ impl PlacementSolver {
             }
         }
 
-        // Strong: reuse a known version whose ranges are available.
+        // Strong: reuse a known version whose ranges are available. A
+        // version blocked only by this name's *own* stale bookings (a
+        // different content version is live — the library was rebound)
+        // is unblocked by takeover: one live placement per name, so the
+        // rebuilt version releases its predecessor's ranges and lands
+        // where a cold solve would have put it. Cross-name occupants
+        // are real conflicts and are logged.
         let key = (req.name.clone(), req.key);
-        if let Some(versions) = self.known.get(&key) {
-            for p in versions {
-                if avoid.contains(&p.version) {
-                    continue;
-                }
-                if self.ranges_available(&req.name, &p.allocations) {
-                    let mut reused = p.clone();
-                    reused.reused = true;
-                    // (Re)book in case the ranges were released.
-                    for a in &reused.allocations {
-                        self.booked.insert(
-                            a.base,
-                            Booked {
-                                name: req.name.clone(),
-                                alloc: *a,
-                            },
-                        );
+        let mut takeover_done = false;
+        loop {
+            if let Some(versions) = self.known.get(&key) {
+                for p in versions {
+                    if avoid.contains(&p.version) {
+                        continue;
                     }
-                    return Ok(reused);
+                    if self.ranges_available(&req.name, &p.allocations) {
+                        let mut reused = p.clone();
+                        reused.reused = true;
+                        // (Re)book in case the ranges were released.
+                        for a in &reused.allocations {
+                            self.booked.insert(
+                                a.base,
+                                Booked {
+                                    name: req.name.clone(),
+                                    alloc: *a,
+                                },
+                            );
+                        }
+                        return Ok(reused);
+                    }
+                    // Reuse blocked by a foreign occupant: log it. Own
+                    // stale bookings are handled by the takeover below.
+                    let occupant = p
+                        .allocations
+                        .iter()
+                        .find_map(|a| self.occupant_of(a.base, a.size))
+                        .map(str::to_string);
+                    if !takeover_done && occupant.as_deref() != Some(req.name.as_str()) {
+                        self.conflicts.push(ConflictRecord {
+                            name: req.name.clone(),
+                            preferred: Some(p.allocations[0].base),
+                            occupant,
+                        });
+                    }
                 }
-                // Reuse blocked: log who is in the way.
-                let occupant = p
-                    .allocations
-                    .iter()
-                    .find_map(|a| self.occupant_of(a.base, a.size))
-                    .map(str::to_string);
-                self.conflicts.push(ConflictRecord {
-                    name: req.name.clone(),
-                    preferred: Some(p.allocations[0].base),
-                    occupant,
-                });
             }
+            if takeover_done {
+                break;
+            }
+            // Only *stale* same-name bookings unblock takeover: a
+            // booking recorded for a known version of this exact
+            // content is a live placement of the same library (e.g. a
+            // version the caller merely avoided), and releasing it
+            // would unmap a live client. A booking outside this
+            // content's version set means the library was rebound —
+            // that predecessor yields its ranges.
+            let same_content = self.known.get(&key);
+            let stale = self.booked.values().any(|b| {
+                b.name == req.name
+                    && !same_content
+                        .is_some_and(|vs| vs.iter().any(|p| p.allocations.contains(&b.alloc)))
+            });
+            if !stale {
+                break;
+            }
+            self.release(&req.name);
+            takeover_done = true;
         }
 
         // Weak preferences, then first-fit.
@@ -326,6 +359,41 @@ impl PlacementSolver {
     /// stay in the reuse table and will be preferred next time).
     pub fn release(&mut self, name: &str) {
         self.booked.retain(|_, b| b.name != name);
+    }
+
+    /// Replays a *retained* placement: a manifest recorded `(name, key)`
+    /// at exactly `bases` (one per segment, in segment order), and the
+    /// incremental relinker wants those ranges re-booked without
+    /// solving. Succeeds only when a known version matches `bases` and
+    /// its ranges are free or already self-owned — anything else returns
+    /// `None` and the caller demotes the library to a fresh solve.
+    /// Never allocates new ranges and never creates a new version, so a
+    /// successful replay is state-equivalent to the `place()` reuse hit
+    /// that originally produced the placement.
+    pub fn replay_retained(&mut self, name: &str, key: u64, bases: &[u64]) -> Option<Placement> {
+        let versions = self.known.get(&(name.to_string(), key))?;
+        let p = versions
+            .iter()
+            .find(|p| {
+                p.allocations.len() == bases.len()
+                    && p.allocations.iter().zip(bases).all(|(a, b)| a.base == *b)
+            })?
+            .clone();
+        if !self.ranges_available(name, &p.allocations) {
+            return None;
+        }
+        for a in &p.allocations {
+            self.booked.insert(
+                a.base,
+                Booked {
+                    name: name.to_string(),
+                    alloc: *a,
+                },
+            );
+        }
+        let mut reused = p;
+        reused.reused = true;
+        Some(reused)
     }
 
     /// Exports the complete solver state for checkpointing.
@@ -504,7 +572,48 @@ mod tests {
     }
 
     #[test]
-    fn changed_content_gets_new_placement() {
+    fn replay_retained_rebooks_the_recorded_version_only() {
+        let mut s = PlacementSolver::new();
+        let r = req(
+            "libc",
+            1,
+            vec![
+                seg(RegionClass::Text, 0x4000, Some(0x0100_0000)),
+                seg(RegionClass::Data, 0x2000, Some(0x4100_0000)),
+            ],
+        );
+        let p = s.place(&r, &[]).unwrap();
+        let bases: Vec<u64> = p.allocations.iter().map(|a| a.base).collect();
+        s.release("libc");
+        // Replay from a manifest row: re-books without solving.
+        let replayed = s.replay_retained("libc", 1, &bases).unwrap();
+        assert!(replayed.reused);
+        assert_eq!(replayed.allocations, p.allocations);
+        // Replaying an already-booked placement is a no-op success.
+        assert!(s.replay_retained("libc", 1, &bases).is_some());
+        // Unknown key, wrong bases, or an occupied range all refuse.
+        assert!(s.replay_retained("libc", 2, &bases).is_none());
+        assert!(s
+            .replay_retained("libc", 1, &[0x0900_0000, bases[1]])
+            .is_none());
+        s.release("libc");
+        s.place(
+            &req(
+                "other",
+                9,
+                vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+            ),
+            &[],
+        )
+        .unwrap();
+        assert!(
+            s.replay_retained("libc", 1, &bases).is_none(),
+            "foreign occupant must block the replay"
+        );
+    }
+
+    #[test]
+    fn rebound_content_takes_over_its_own_range() {
         let mut s = PlacementSolver::new();
         let p1 = s
             .place(
@@ -516,8 +625,10 @@ mod tests {
                 &[],
             )
             .unwrap();
-        // Same name, new key (library was rebuilt): old version still
-        // booked, so the new one must land elsewhere.
+        // Same name, new key (library was rebuilt): the stale version's
+        // booking belongs to this name, so the new version takes the
+        // range over — exactly where a cold solve would place it. Not a
+        // conflict.
         let p2 = s
             .place(
                 &req(
@@ -529,8 +640,35 @@ mod tests {
             )
             .unwrap();
         assert!(!p2.reused);
-        assert_ne!(p1.allocations[0].base, p2.allocations[0].base);
-        // The unsatisfiable weak preference was logged.
+        assert_eq!(p1.allocations[0].base, p2.allocations[0].base);
+        assert!(s.conflicts().is_empty());
+
+        // Rebinding *back* strong-reuses the original version in place.
+        let p3 = s
+            .place(
+                &req(
+                    "libc",
+                    1,
+                    vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        assert!(p3.reused);
+        assert_eq!(p3.allocations, p1.allocations);
+
+        // A foreign occupant is still a real conflict.
+        let p4 = s
+            .place(
+                &req(
+                    "libm",
+                    9,
+                    vec![seg(RegionClass::Text, 0x4000, Some(0x0100_0000))],
+                ),
+                &[],
+            )
+            .unwrap();
+        assert_ne!(p4.allocations[0].base, 0x0100_0000);
         assert_eq!(s.conflicts().len(), 1);
         assert_eq!(s.conflicts()[0].occupant.as_deref(), Some("libc"));
     }

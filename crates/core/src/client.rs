@@ -68,6 +68,40 @@ impl Binder for OmosBinder<'_> {
     }
 }
 
+/// Live-patches a running partial-image process after a rebind: instead
+/// of rebuilding the process from the new reply, the old program text's
+/// stubs are retargeted to the new dynamic library ids and any
+/// already-bound branch-table slots are re-resolved and swapped in
+/// place (quiesce → patch → resume; see [`omos_os::live_patch_process`]).
+///
+/// `old` must be the reply the process was built from; `new` is the
+/// post-rebind reply for the same meta-object. Old library frames stay
+/// mapped (reclamation is lazy); new instances map on demand through
+/// the normal first-load path.
+pub fn live_update(
+    server: &Omos,
+    proc: &mut omos_os::Process,
+    old: &InstantiateReply,
+    new: &InstantiateReply,
+    clock: &mut SimClock,
+    cost: &CostModel,
+    ipc_stats: &mut IpcStats,
+) -> Result<omos_os::LiveUpdateReport, OmosError> {
+    let mut binder = OmosBinder::new(server);
+    let report = omos_os::live_patch_process(
+        proc,
+        &old.program.image,
+        &new.program.image,
+        &mut binder,
+        clock,
+        cost,
+        ipc_stats,
+    )
+    .map_err(OmosError::Client)?;
+    server.tracer().live_update(report.slots_swapped);
+    Ok(report)
+}
+
 /// Asks the server to lint the meta-object at `path` without
 /// instantiating it: one IPC round trip, no evaluation, no pages mapped.
 /// This is the client surface of the static analyzer (the other two are
@@ -344,6 +378,106 @@ _start:         li r1, 5
         assert_eq!(out.stop, StopReason::Exited(15), "stub resolved and jumped");
         // Two IPC messages for instantiation + two for the first lookup.
         assert_eq!(out.ipc.messages, 2);
+    }
+
+    #[test]
+    fn live_update_patches_running_process_to_match_cold_relink() {
+        let (s, mut clock, cost, mut fs) = world();
+        s.namespace
+            .bind_blueprint(
+                "/bin/dyn",
+                r#"(merge /obj/app.o (specialize "lib-dynamic" /libc/impl.o))"#,
+            )
+            .unwrap();
+        let mut ipc = IpcStats::default();
+
+        // Build and run once: the first call binds the branch-table slot
+        // against the old library (exit = _triple(5) = 15).
+        let old_reply = s.instantiate("/bin/dyn").unwrap();
+        let mut proc = build_process(&old_reply, &mut clock, &cost).unwrap();
+        let mut binder = OmosBinder::new(&s);
+        let out = omos_os::run_process(&mut proc, &mut clock, &cost, &mut fs, &mut binder, 100_000);
+        assert_eq!(out.stop, StopReason::Exited(15));
+
+        // Rebind the implementation: _triple now returns r1 + 10.
+        s.namespace.bind_object(
+            "/libc/impl.o",
+            assemble(
+                "impl.o",
+                ".text\n.global _triple\n_triple: li r2, 20\n add r1, r1, r2\n ret\n",
+            )
+            .unwrap(),
+        );
+        let new_reply = s.instantiate("/bin/dyn").unwrap();
+        assert_ne!(old_reply.manifest, new_reply.manifest);
+
+        // Live-patch the quiesced process instead of rebuilding it.
+        let report = live_update(
+            &s, &mut proc, &old_reply, &new_reply, &mut clock, &cost, &mut ipc,
+        )
+        .unwrap();
+        assert_eq!(report.stubs_retargeted, 1, "one dirtied stub");
+        assert_eq!(report.slots_swapped, 1, "bound slot swapped in place");
+        assert!(report.pages_mapped > 0, "new instance mapped alongside");
+
+        // Resume from the entry point: the patched process must answer
+        // exactly like a process cold-built from the new reply.
+        proc.vm = omos_isa::Vm::new(old_reply.program.frames.entry.unwrap());
+        proc.vm.regs[14] = omos_os::process::STACK_TOP - 64;
+        let mut binder = OmosBinder::new(&s);
+        let live =
+            omos_os::run_process(&mut proc, &mut clock, &cost, &mut fs, &mut binder, 100_000);
+
+        let mut cold = build_process(&new_reply, &mut clock, &cost).unwrap();
+        let mut binder = OmosBinder::new(&s);
+        let cold_out =
+            omos_os::run_process(&mut cold, &mut clock, &cost, &mut fs, &mut binder, 100_000);
+        assert_eq!(live.stop, cold_out.stop);
+        assert_eq!(live.stop, StopReason::Exited(25)); // 5 + 20, not 3*5
+        assert_eq!(live.console, cold_out.console);
+
+        // The patched slot is hot: resuming again does no lookup.
+        let snap = s.trace_snapshot();
+        assert_eq!(snap.counters.live_updates, 1);
+        assert_eq!(snap.counters.live_slots_swapped, 1);
+    }
+
+    #[test]
+    fn live_update_leaves_unbound_slots_lazy() {
+        let (s, mut clock, cost, mut fs) = world();
+        s.namespace
+            .bind_blueprint(
+                "/bin/dyn",
+                r#"(merge /obj/app.o (specialize "lib-dynamic" /libc/impl.o))"#,
+            )
+            .unwrap();
+        let mut ipc = IpcStats::default();
+
+        // Build but do NOT run: no slot is bound yet.
+        let old_reply = s.instantiate("/bin/dyn").unwrap();
+        let mut proc = build_process(&old_reply, &mut clock, &cost).unwrap();
+        s.namespace.bind_object(
+            "/libc/impl.o",
+            assemble(
+                "impl.o",
+                ".text\n.global _triple\n_triple: li r1, 42\n ret\n",
+            )
+            .unwrap(),
+        );
+        let new_reply = s.instantiate("/bin/dyn").unwrap();
+        let report = live_update(
+            &s, &mut proc, &old_reply, &new_reply, &mut clock, &cost, &mut ipc,
+        )
+        .unwrap();
+        assert_eq!(report.stubs_retargeted, 1);
+        assert_eq!(report.slots_swapped, 0);
+        assert_eq!(report.slots_lazy, 1);
+        assert_eq!(report.pages_mapped, 0, "nothing bound, nothing mapped");
+
+        // First call after the update binds lazily against the NEW id.
+        let mut binder = OmosBinder::new(&s);
+        let out = omos_os::run_process(&mut proc, &mut clock, &cost, &mut fs, &mut binder, 100_000);
+        assert_eq!(out.stop, StopReason::Exited(42));
     }
 
     #[test]

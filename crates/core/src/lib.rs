@@ -40,7 +40,8 @@ pub mod trace;
 
 pub use cache::{CacheStats, CachedImage, EvictionPolicy, ImageCache};
 pub use client::{
-    exec_bootstrap, exec_file, exec_integrated, lint_request, run_under_omos, OmosBinder,
+    exec_bootstrap, exec_file, exec_integrated, lint_request, live_update, run_under_omos,
+    OmosBinder,
 };
 pub use error::OmosError;
 pub use namespace::{Entry, Namespace};

@@ -1047,6 +1047,14 @@ impl Omos {
                     .collect();
                 let (Some(program), Some(libraries)) = (program, libraries) else {
                     report.drops.reply_image += 1;
+                    // The row's images are gone but its resolution
+                    // record may still decode: keep the manifest as a
+                    // relink seed so the on-demand rebuild goes through
+                    // the incremental engine (clean libraries reuse
+                    // whatever images *did* survive) instead of cold.
+                    if ResolutionManifest::decode(&row.manifest).is_ok() {
+                        server.seed_relink(row.key, Arc::new(row.manifest.clone()));
+                    }
                     continue;
                 };
                 // Verify the stored resolution against a fresh static
@@ -1065,6 +1073,14 @@ impl Omos {
                 });
                 let Some((bp, stored)) = verified else {
                     report.drops.reply_manifest += 1;
+                    // The stored resolution no longer reproduces, but
+                    // it is still a faithful record of the *old* link —
+                    // exactly what the incremental relinker diffs
+                    // against. Seed it; the relink derives the new
+                    // resolution fresh and verifies every reuse.
+                    if ResolutionManifest::decode(&row.manifest).is_ok() {
+                        server.seed_relink(row.key, Arc::new(row.manifest.clone()));
+                    }
                     continue;
                 };
                 let deps: BTreeSet<String> = row.deps.iter().cloned().collect();

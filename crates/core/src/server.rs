@@ -40,9 +40,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use omos_analysis::manifest::{
-    derive_manifest, Binding, LibraryResolution, ProgramResolution, ResolutionManifest,
-    PROGRAM_PROVIDER,
+    derive_manifest, derive_manifest_from_eval, Binding, LibraryResolution, ProgramResolution,
+    ResolutionManifest, PROGRAM_PROVIDER,
 };
+use omos_analysis::relink::{plan_relink, LibAction};
 use omos_analysis::{
     analyze_blueprint, analyze_blueprint_report, Diagnostic, LintContext, LintResolved, Severity,
 };
@@ -200,6 +201,19 @@ pub(crate) struct ReplyEntry {
     pub(crate) manifest: Arc<Vec<u8>>,
 }
 
+/// Outcome of a validated reply-cache probe. A stale entry is dropped
+/// from the cache but its sealed resolution manifest survives as the
+/// seed the incremental relinker diffs against.
+enum ReplyProbe {
+    /// Entry present and valid (revalidated, billed as a cache hit).
+    Hit(InstantiateReply),
+    /// Entry existed but a dependency was touched: dropped, manifest
+    /// kept as the relink seed.
+    Stale(Arc<Vec<u8>>),
+    /// No entry.
+    Miss,
+}
+
 /// One registered `lib-dynamic` implementation. The build slot doubles
 /// as the per-library single-flight: the first `dyn_lookup` holds it
 /// while placing and linking, concurrent lookups block and reuse.
@@ -281,6 +295,15 @@ pub struct Omos {
     dynamic_keys: Mutex<HashMap<ContentHash, u32>>,
     preflight: AtomicBool,
     eval_jobs: AtomicUsize,
+    /// Diff-driven incremental relinking of stale replies (on by
+    /// default; the relink oracle compares against the full path by
+    /// turning it off).
+    incremental: AtomicBool,
+    /// Relink seeds: old resolution manifests captured for reply keys
+    /// whose cached entry was dropped (checkpoint-restore rows that
+    /// failed image verification). The next request for the key relinks
+    /// incrementally from the seed instead of rebuilding cold.
+    relink_seeds: Mutex<HashMap<ContentHash, Arc<Vec<u8>>>>,
     tracer: Arc<Tracer>,
 }
 
@@ -321,6 +344,8 @@ impl Omos {
             dynamic: RwLock::new(Vec::new()),
             dynamic_keys: Mutex::new(HashMap::new()),
             preflight: AtomicBool::new(false),
+            incremental: AtomicBool::new(true),
+            relink_seeds: Mutex::new(HashMap::new()),
             eval_jobs: AtomicUsize::new(
                 std::env::var("OMOS_EVAL_JOBS")
                     .ok()
@@ -346,6 +371,38 @@ impl Omos {
     #[must_use]
     pub fn eval_jobs(&self) -> usize {
         self.eval_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Enables (or disables) diff-driven incremental relinking of stale
+    /// replies. On (the default), a rebind-invalidated reply is rebuilt
+    /// by relinking only the dirtied subgraph — clean library images
+    /// are reused by content key and retained placements are replayed
+    /// into the solver. Off, every stale reply pays the historical full
+    /// rebuild. Replies are byte-identical either way (the relink
+    /// oracle pins this); only the billed work changes.
+    pub fn set_incremental_relink(&self, enabled: bool) {
+        self.incremental.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether incremental relinking is enabled.
+    #[must_use]
+    pub fn incremental_relink(&self) -> bool {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
+    /// Records a relink seed: the old resolution manifest for a reply
+    /// key whose cached entry could not be revived (a restore dropped
+    /// it). The next request for `key` relinks incrementally from the
+    /// seed instead of rebuilding cold.
+    pub(crate) fn seed_relink(&self, key: ContentHash, manifest: Arc<Vec<u8>>) {
+        lock(&self.relink_seeds).insert(key, manifest);
+    }
+
+    /// Number of pending relink seeds (restore rows awaiting their
+    /// relink-on-demand).
+    #[must_use]
+    pub fn relink_seed_count(&self) -> usize {
+        lock(&self.relink_seeds).len()
     }
 
     /// The server's tracer: clients (and benchmarks) record their IPC
@@ -452,18 +509,32 @@ impl Omos {
         let guard = self.tracer.begin_request(SpanKind::Request);
         let req = guard.req();
         let key = bp.hash();
-        if let Some(mut hit) = self.cached_reply(key) {
-            hit.req = req;
-            return Ok(hit);
-        }
+        // The probe keeps a stale entry's manifest as a relink seed: the
+        // old resolution is exactly the "before" side of the manifest
+        // diff the incremental relinker plans from. A plain miss may
+        // still find a seed captured at restore time (relink-on-demand
+        // for dropped checkpoint rows).
+        let (outer_seed, seeded) = match self.probe_reply(key) {
+            ReplyProbe::Hit(mut hit) => {
+                hit.req = req;
+                return Ok(hit);
+            }
+            ReplyProbe::Stale(seed) => (Some(seed), false),
+            ReplyProbe::Miss => {
+                let seed = lock(&self.relink_seeds).remove(&key);
+                let seeded = seed.is_some();
+                (seed, seeded)
+            }
+        };
         // Double-check inside the flight: a leader elected just after a
         // previous flight completed finds the fresh entry instead of
         // rebuilding.
         let (result, led) = self.reply_flight.run(key, || {
             self.tracer.flight(FlightRole::Leader, 0);
-            match self.cached_reply(key) {
-                Some(hit) => Ok(hit),
-                None => self.build_reply(bp, root, key),
+            match self.probe_reply(key) {
+                ReplyProbe::Hit(hit) => Ok(hit),
+                ReplyProbe::Stale(seed) => self.rebuild_reply(bp, root, key, Some(seed), false),
+                ReplyProbe::Miss => self.rebuild_reply(bp, root, key, outer_seed.clone(), seeded),
             }
         });
         if led {
@@ -490,15 +561,16 @@ impl Omos {
         }
     }
 
-    /// Validated reply-cache lookup: entries whose dependency paths
-    /// were touched after their derivation generation are dropped
-    /// (lazy, key-selective invalidation).
-    fn cached_reply(&self, key: ContentHash) -> Option<InstantiateReply> {
+    /// Validated reply-cache probe: entries whose dependency paths were
+    /// touched after their derivation generation are dropped (lazy,
+    /// key-selective invalidation) — but their sealed resolution
+    /// manifest is kept as the relink seed.
+    fn probe_reply(&self, key: ContentHash) -> ReplyProbe {
         let entry = match self.reply_cache.get(&key) {
             Some(e) => e,
             None => {
                 self.tracer.probe(CacheKind::Reply, ProbeOutcome::Miss);
-                return None;
+                return ReplyProbe::Miss;
             }
         };
         if self
@@ -509,7 +581,7 @@ impl Omos {
             self.tracer.probe(CacheKind::Reply, ProbeOutcome::Stale);
             self.tracer
                 .evict(CacheKind::Reply, EvictReason::Invalidated, 1);
-            return None;
+            return ReplyProbe::Stale(Arc::clone(&entry.manifest));
         }
         self.tracer.probe(CacheKind::Reply, ProbeOutcome::Hit);
         self.counters
@@ -522,16 +594,20 @@ impl Omos {
         reply.server_ns = server_ns;
         reply.latency_ns = server_ns;
         reply.cache_hit = true;
-        Some(reply)
+        ReplyProbe::Hit(reply)
     }
 
-    /// Leader path: evaluate the blueprint, build libraries and the
-    /// program image, cache the reply with its dependency record.
-    fn build_reply(
+    /// Leader rebuild of a cache-missing reply: tries the incremental
+    /// relink engine when an old manifest seed is available, falling
+    /// back to the full build on any anomaly (a failed fallback never
+    /// loses correctness — the full path is authoritative).
+    fn rebuild_reply(
         &self,
         bp: &Blueprint,
         root: Option<&str>,
         key: ContentHash,
+        seed: Option<Arc<Vec<u8>>>,
+        seeded: bool,
     ) -> Result<InstantiateReply, OmosError> {
         self.counters.replies_built.fetch_add(1, Ordering::Relaxed);
         if self.preflight.load(Ordering::Relaxed) {
@@ -544,7 +620,25 @@ impl Omos {
                 return Err(OmosError::Preflight(errors));
             }
         }
+        if self.incremental_relink() {
+            if let Some(seed) = seed {
+                if let Some(reply) = self.relink_reply(bp, root, key, &seed, seeded) {
+                    return Ok(reply);
+                }
+                self.tracer.relink_fallback();
+            }
+        }
+        self.build_reply(bp, root, key)
+    }
 
+    /// Leader path: evaluate the blueprint, build libraries and the
+    /// program image, cache the reply with its dependency record.
+    fn build_reply(
+        &self,
+        bp: &Blueprint,
+        root: Option<&str>,
+        key: ContentHash,
+    ) -> Result<InstantiateReply, OmosError> {
         // Snapshot the generation *before* resolving anything: a bind
         // racing this build lands after the snapshot and invalidates
         // the entry on its next lookup.
@@ -693,6 +787,220 @@ impl Omos {
             bindings,
             interpositions,
         }
+    }
+
+    /// The incremental relink engine: rebuilds a stale reply by
+    /// relinking only the subgraph the old→new manifest diff dirties.
+    ///
+    /// The old (seed) manifest records the resolution the dropped reply
+    /// committed to; the new resolution is derived statically from a
+    /// fresh evaluation plus a placement replay on a copy of the solver
+    /// state ([`derive_manifest_from_eval`] — no link runs). The plan
+    /// ([`plan_relink`]) then classifies each library: an identical
+    /// resolution row means the cached image is byte-valid as-is (its
+    /// image key covers content, placement, and extern environment), so
+    /// it is reused at zero link cost with its retained placement
+    /// replayed into the solver; anything else places and links through
+    /// the ordinary library path. The program frame relinks whenever
+    /// its image key moved.
+    ///
+    /// Every reused artifact is *verified* against the derivation
+    /// (image key, placed bases), and the final manifest built from
+    /// actual artifacts must equal the derived one — any mismatch
+    /// returns `None` and the caller falls back to the authoritative
+    /// full build. Evaluation runs sequentially regardless of
+    /// `eval_jobs`: results are byte-identical either way, and the
+    /// incremental path's work is dominated by reuse.
+    fn relink_reply(
+        &self,
+        bp: &Blueprint,
+        root: Option<&str>,
+        key: ContentHash,
+        seed: &[u8],
+        seeded: bool,
+    ) -> Option<InstantiateReply> {
+        let before = ResolutionManifest::decode(seed).ok()?;
+        let ctx = ReqCtx::new(self);
+        let mut server_ns = self.cost.server_cached_request_ns; // baseline handling
+        self.tracer.advance(self.cost.server_cached_request_ns);
+
+        let span = self.tracer.open(SpanKind::Eval);
+        let out = eval_blueprint(bp, &ctx);
+        let eval_ns = out
+            .as_ref()
+            .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
+        self.tracer.close_leaf(span, Stage::Eval, eval_ns);
+        // An eval error falls back: the full path surfaces it with its
+        // exact error shape (and pays nothing extra — the eval cache
+        // holds every subtree this attempt resolved).
+        let out = out.ok()?;
+        server_ns += eval_ns;
+
+        let derived = {
+            let state = self.solver().export_state();
+            let mut lint = NamespaceLint(&self.namespace);
+            derive_manifest_from_eval(bp, &out, &mut lint, &state).ok()?
+        };
+        if derived.libraries.len() != out.libraries.len() {
+            return None;
+        }
+        let plan = plan_relink(&before, &derived);
+
+        // Execute the plan in resolution order: reuses fold their
+        // cached exports into the extern environment exactly as a
+        // rebuild would, so downstream relinks see identical inputs.
+        let relink_span = self.tracer.open(SpanKind::RelinkPartial);
+        let mut externs: HashMap<String, u32> = HashMap::new();
+        let mut libraries = Vec::with_capacity(out.libraries.len());
+        let mut bases = Vec::with_capacity(out.libraries.len());
+        let mut reused = 0u64;
+        let mut relinked = 0u64;
+        let mut relink_ns = 0u64;
+        let mut avoided_ns = 0u64;
+        let mut ok = true;
+        for ((lu, dr), row) in out
+            .libraries
+            .iter()
+            .zip(&derived.libraries)
+            .zip(&plan.libraries)
+        {
+            if lu.name != dr.name || lu.key != dr.key {
+                ok = false;
+                break;
+            }
+            let mut done = false;
+            if row.action == LibAction::Reuse {
+                // Replay the retained placement (re-books the manifest's
+                // exact ranges; no solving), then reuse the cached image
+                // by content key. Either failing demotes to a relink —
+                // which reproduces the identical image by construction.
+                let replayed = self
+                    .solver()
+                    .replay_retained(
+                        &lu.name,
+                        lu.key.0,
+                        &[u64::from(dr.text_base), u64::from(dr.data_base)],
+                    )
+                    .is_some();
+                if replayed {
+                    if let Some(img) = self.images.get(dr.image_key) {
+                        let span = self.tracer.open(SpanKind::Reuse);
+                        self.tracer.close_leaf(span, Stage::Reuse, 0);
+                        for (s, a) in &img.image.symbols {
+                            externs.entry(s.clone()).or_insert(*a);
+                        }
+                        // The link work this reuse skipped; a cold full
+                        // relink would re-pay exactly this (the
+                        // simulation is deterministic).
+                        avoided_ns += img.rebuild_ns;
+                        libraries.push(img);
+                        bases.push((dr.text_base, dr.data_base));
+                        reused += 1;
+                        done = true;
+                    }
+                }
+            }
+            if !done {
+                let Ok((img, ns, placed)) = self.instantiate_library(lu, &externs) else {
+                    ok = false;
+                    break;
+                };
+                // The derivation is the oracle of what this build must
+                // produce; disagreement means the plan was computed
+                // against a state that has since moved.
+                if img.key != dr.image_key || placed != (dr.text_base, dr.data_base) {
+                    ok = false;
+                    break;
+                }
+                server_ns += ns;
+                relink_ns += ns;
+                for (s, a) in &img.image.symbols {
+                    externs.entry(s.clone()).or_insert(*a);
+                }
+                libraries.push(img);
+                bases.push(placed);
+                relinked += 1;
+            }
+        }
+
+        let mut program = None;
+        if ok {
+            let (text_base, data_base) = client_bases(&out.constraints);
+            let image_key = {
+                let mut k = out.module.content_hash().with_str("program");
+                for l in &libraries {
+                    k = k.combine(l.key);
+                }
+                k.with_u64(u64::from(text_base))
+                    .with_u64(u64::from(data_base))
+            };
+            if image_key == derived.program.image_key
+                && (text_base, data_base) == (derived.program.text_base, derived.program.data_base)
+            {
+                match self.images.get(image_key) {
+                    Some(img) => {
+                        avoided_ns += img.rebuild_ns;
+                        program = Some((img, text_base, data_base));
+                    }
+                    None => {
+                        if let Ok((img, ns)) = self.build_program(
+                            &out.module,
+                            image_key,
+                            key,
+                            text_base,
+                            data_base,
+                            &externs,
+                        ) {
+                            server_ns += ns;
+                            relink_ns += ns;
+                            program = Some((img, text_base, data_base));
+                        }
+                    }
+                }
+            }
+        }
+        self.tracer.note(Stage::RelinkPartial, relink_ns);
+        self.tracer.close(relink_span);
+        let (program, text_base, data_base) = program?;
+
+        // Patching the cached reply's bindings for the dirtied symbols
+        // is real (cheap) work: one relocation-sized write per changed
+        // binding.
+        let patch_ns = plan.diff.changed_symbols().len() as u64 * self.cost.reloc_ns;
+        server_ns += patch_ns;
+        self.tracer.advance(patch_ns);
+
+        // Final guard: the manifest built from the artifacts actually
+        // assembled must equal the derived one bit-for-bit. This is the
+        // same contract the differential tests pin for the full path.
+        let manifest = self.manifest_from_actuals(
+            bp,
+            key,
+            &out.libraries,
+            &libraries,
+            &bases,
+            &program,
+            (text_base, data_base),
+        );
+        if manifest != derived {
+            return None;
+        }
+        self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
+        let reply = InstantiateReply {
+            program,
+            libraries,
+            server_ns,
+            latency_ns: server_ns, // sequential: latency is the work sum
+            cache_hit: false,
+            req: 0, // attributed by `request`
+            manifest: manifest.hash(),
+        };
+        // The patch lands as an in-place overwrite of the reply-cache
+        // slot (same key) rather than an evict-then-miss cycle.
+        self.cache_reply(key, &reply, ctx.gen, out.deps, root, bp, &manifest);
+        self.tracer
+            .relink(reused, relinked, !seeded, seeded, avoided_ns);
+        Some(reply)
     }
 
     /// The canonical resolution manifest for an arbitrary blueprint,

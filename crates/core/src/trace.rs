@@ -60,11 +60,17 @@ pub enum Stage {
     Map,
     /// Client↔server IPC round trip.
     Ipc,
+    /// A diff-driven incremental relink (the dirtied-subgraph rebuild,
+    /// eval excluded).
+    RelinkPartial,
+    /// Reuse of a retained artifact (cached image + replayed placement)
+    /// during an incremental relink.
+    Reuse,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Request,
         Stage::Eval,
         Stage::Placement,
@@ -72,6 +78,8 @@ impl Stage {
         Stage::Frame,
         Stage::Map,
         Stage::Ipc,
+        Stage::RelinkPartial,
+        Stage::Reuse,
     ];
 
     /// Stable display name (also the JSON key).
@@ -85,6 +93,8 @@ impl Stage {
             Stage::Frame => "frame",
             Stage::Map => "map",
             Stage::Ipc => "ipc",
+            Stage::RelinkPartial => "relink_partial",
+            Stage::Reuse => "reuse",
         }
     }
 
@@ -97,6 +107,8 @@ impl Stage {
             Stage::Frame => 4,
             Stage::Map => 5,
             Stage::Ipc => 6,
+            Stage::RelinkPartial => 7,
+            Stage::Reuse => 8,
         }
     }
 }
@@ -220,6 +232,11 @@ pub enum SpanKind {
     DynLookup,
     /// One work unit of a parallel evaluation (runs on a worker lane).
     EvalUnit,
+    /// A diff-driven incremental relink of the dirtied subgraph.
+    RelinkPartial,
+    /// One retained library reused (cached image + replayed placement)
+    /// during an incremental relink.
+    Reuse,
     /// A cache probe (instant).
     CacheProbe(CacheKind, ProbeOutcome),
     /// A cache eviction (instant).
@@ -243,6 +260,8 @@ impl SpanKind {
             SpanKind::Ipc => "ipc",
             SpanKind::DynLookup => "dyn-lookup",
             SpanKind::EvalUnit => "eval-unit",
+            SpanKind::RelinkPartial => "relink-partial",
+            SpanKind::Reuse => "reuse",
             SpanKind::CacheProbe(..) => "cache-probe",
             SpanKind::Evict(..) => "evict",
             SpanKind::Flight(..) => "flight",
@@ -543,6 +562,36 @@ counter_family! {
     restore_drop_reply_manifest,
     /// Restores that found no usable manifest and started cold.
     restore_cold,
+    /// Stale-reply rebuilds served by the incremental relink engine
+    /// (subset of `replies_built`; the rest went through the full path).
+    relink_partials,
+    /// Library images reused as-is during incremental relinks (cached
+    /// image by content key + replayed retained placement; no linker).
+    relink_reused_images,
+    /// Libraries actually relinked during incremental relinks (the
+    /// dirtied subgraph plus any reuse demoted by a cache miss).
+    relink_relinked_libraries,
+    /// Incremental relink attempts abandoned to the full rebuild path
+    /// (plan/derivation anomaly or a final verification mismatch).
+    relink_fallbacks,
+    /// Cached replies patched in place by an incremental relink instead
+    /// of being evicted wholesale.
+    relink_patched_replies,
+    /// Requests answered via a relink seed captured from a dropped
+    /// restore row (relink-on-demand after a checkpoint restore).
+    relink_seeded_restores,
+    /// Simulated ns of link work *avoided* by incremental relinks: the
+    /// recorded rebuild cost of every image reused as-is. Adding this
+    /// to a relinked reply's `server_ns` reproduces exactly what a cold
+    /// full relink of the same state would bill (the simulation is
+    /// deterministic), so `recovery + avoided` is the honest
+    /// full-relink comparison figure.
+    relink_avoided_ns,
+    /// Running processes live-patched after a rebind (quiesce, swap
+    /// dirtied indirect-table entries, resume).
+    live_updates,
+    /// Indirect-table slots swapped across all live updates.
+    live_slots_swapped,
 }
 
 /// Per-reason breakdown of artifacts dropped during a checkpoint
@@ -1041,6 +1090,54 @@ impl Tracer {
         }
     }
 
+    /// Records the outcome of one incremental relink: how many library
+    /// images were reused as-is, how many relinked, and whether the
+    /// reply-cache entry was patched in place.
+    pub fn relink(&self, reused: u64, relinked: u64, patched: bool, seeded: bool, avoided_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.c.relink_partials.fetch_add(1, Ordering::Relaxed);
+        self.c
+            .relink_reused_images
+            .fetch_add(reused, Ordering::Relaxed);
+        self.c
+            .relink_avoided_ns
+            .fetch_add(avoided_ns, Ordering::Relaxed);
+        self.c
+            .relink_relinked_libraries
+            .fetch_add(relinked, Ordering::Relaxed);
+        if patched {
+            self.c
+                .relink_patched_replies
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if seeded {
+            self.c
+                .relink_seeded_restores
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an incremental relink attempt that fell back to the full
+    /// rebuild path.
+    pub fn relink_fallback(&self) {
+        if self.enabled() {
+            self.c.relink_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one live process update and the slots it swapped.
+    pub fn live_update(&self, slots_swapped: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.c.live_updates.fetch_add(1, Ordering::Relaxed);
+        self.c
+            .live_slots_swapped
+            .fetch_add(slots_swapped, Ordering::Relaxed);
+    }
+
     /// Records this request's single-flight disposition. Followers pass
     /// the nanoseconds they waited for the leader (advances the cursor
     /// so the request span covers the wait).
@@ -1143,6 +1240,13 @@ impl Tracer {
             spans: self.ring.snapshot(),
             ring_capacity: self.ring.slots.len(),
         }
+    }
+
+    /// Counters only — no histogram or span-ring copies. Cheap enough
+    /// to sample around every request in a benchmark drive loop.
+    #[must_use]
+    pub fn counters(&self) -> TraceCounters {
+        self.c.snapshot()
     }
 }
 

@@ -17,6 +17,8 @@
 use omos_isa::{sysno, Inst, Opcode, INST_BYTES};
 use omos_obj::{ObjectFile, RelocKind, Relocation, Section, SectionKind, Symbol};
 
+use crate::image::LinkedImage;
+
 /// Instructions per generated stub.
 pub const STUB_INSTS: u64 = 7;
 
@@ -109,6 +111,116 @@ pub fn make_partial_stubs(lib_id: u32, entry_points: &[String]) -> ObjectFile {
         ));
     }
     obj
+}
+
+/// One partial-image stub found in a linked program image: the live
+/// indirect-branch-table machinery a running process calls through.
+///
+/// `f$slot`/`f$name` are local symbols — they do not survive into the
+/// image's export table — but the stub text itself carries everything:
+/// the slot and name addresses sit in the `ld`/`li`/`st` immediates and
+/// the library id is baked into the `li r5` immediate. Scanning the
+/// text for the exact 7-instruction sequence recovers all of it, the
+/// same way a debugger recognizes PLT entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StubSite {
+    /// Entry-point name (read from the image's `f$name` string).
+    pub name: String,
+    /// Library id baked into the stub.
+    pub lib_id: u32,
+    /// Address of the stub itself.
+    pub stub_addr: u32,
+    /// Address of the 4-byte indirect-branch-table slot.
+    pub slot_addr: u32,
+}
+
+/// Reads `len` bytes at `vaddr` out of an image's initialized segments.
+fn image_read(image: &LinkedImage, vaddr: u32, len: usize) -> Option<&[u8]> {
+    for seg in &image.segments {
+        let end = seg.vaddr as usize + seg.bytes.len();
+        let at = vaddr as usize;
+        if at >= seg.vaddr as usize && at + len <= end {
+            let off = at - seg.vaddr as usize;
+            return Some(&seg.bytes[off..off + len]);
+        }
+    }
+    None
+}
+
+/// Scans a linked image's text for partial-image stubs (the exact
+/// [`make_partial_stubs`] instruction sequence) and decodes each one's
+/// name, library id, and branch-table slot address.
+#[must_use]
+pub fn scan_stub_sites(image: &LinkedImage) -> Vec<StubSite> {
+    let mut sites = Vec::new();
+    let ib = INST_BYTES as usize;
+    for seg in &image.segments {
+        if seg.kind != SectionKind::Text {
+            continue;
+        }
+        let b = &seg.bytes;
+        let mut off = 0usize;
+        while off + STUB_TEXT_BYTES as usize <= b.len() {
+            let inst = |i: usize| -> Option<Inst> {
+                Inst::decode(b[off + i * ib..off + i * ib + ib].try_into().ok()?)
+            };
+            let site = (|| {
+                let ld = inst(0)?;
+                let bne = inst(1)?;
+                let li_lib = inst(2)?;
+                let li_name = inst(3)?;
+                let sys = inst(4)?;
+                let st = inst(5)?;
+                let jmpr = inst(6)?;
+                let is_stub = ld.op == Opcode::Ld
+                    && (ld.ra, ld.rb) == (5, 0)
+                    && bne.op == Opcode::Bne
+                    && (bne.ra, bne.rb, bne.imm) == (5, 0, 32)
+                    && li_lib.op == Opcode::Li
+                    && li_lib.ra == 5
+                    && li_name.op == Opcode::Li
+                    && li_name.ra == 6
+                    && sys.op == Opcode::Sys
+                    && sys.imm == sysno::OMOS_LOOKUP
+                    && st.op == Opcode::St
+                    && (st.ra, st.rb) == (5, 0)
+                    && st.imm == ld.imm
+                    && jmpr.op == Opcode::Jmpr
+                    && jmpr.rb == 5;
+                if !is_stub {
+                    return None;
+                }
+                // Resolve the name string out of the image itself.
+                let mut name = Vec::new();
+                let mut at = li_name.imm;
+                loop {
+                    let byte = *image_read(image, at, 1)?.first()?;
+                    if byte == 0 {
+                        break;
+                    }
+                    name.push(byte);
+                    at = at.checked_add(1)?;
+                    if name.len() > 4096 {
+                        return None; // unterminated: not a stub name
+                    }
+                }
+                Some(StubSite {
+                    name: String::from_utf8(name).ok()?,
+                    lib_id: li_lib.imm,
+                    stub_addr: seg.vaddr + off as u32,
+                    slot_addr: ld.imm,
+                })
+            })();
+            match site {
+                Some(s) => {
+                    sites.push(s);
+                    off += STUB_TEXT_BYTES as usize;
+                }
+                None => off += ib,
+            }
+        }
+    }
+    sites
 }
 
 /// The deterministic hash table OMOS returns on first library load: maps
@@ -218,5 +330,56 @@ mod tests {
     fn empty_table_lookup() {
         let t = FunctionHashTable::build(&[]);
         assert_eq!(t.lookup("_x"), None);
+    }
+
+    #[test]
+    fn scan_recovers_every_stub_from_linked_text() {
+        use crate::linker::{link, LinkOptions};
+
+        let obj = make_partial_stubs(9, &["_sin".into(), "_cos".into(), "_tan".into()]);
+        let opts = LinkOptions {
+            name: "stubs".into(),
+            entry: None,
+            ..LinkOptions::default()
+        };
+        let out = link(&[obj], &opts).unwrap();
+        let sites = scan_stub_sites(&out.image);
+        assert_eq!(
+            sites.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["_sin", "_cos", "_tan"]
+        );
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.lib_id, 9);
+            // Stubs are laid out back to back; slots are 4 bytes apiece.
+            assert_eq!(
+                u64::from(s.stub_addr),
+                u64::from(sites[0].stub_addr) + i as u64 * STUB_TEXT_BYTES
+            );
+            assert_eq!(s.slot_addr, sites[0].slot_addr + 4 * i as u32);
+            // The stub symbol the linker exported is the scanned address.
+            assert_eq!(out.image.symbols.get(&s.name).copied(), Some(s.stub_addr));
+            // Slot starts unbound.
+            assert_eq!(image_read(&out.image, s.slot_addr, 4), Some(&[0u8; 4][..]));
+        }
+    }
+
+    #[test]
+    fn scan_ignores_non_stub_text() {
+        use crate::linker::link_program;
+
+        let mut obj = ObjectFile::new("plain");
+        let text = obj.add_section(Section::with_bytes(
+            ".text",
+            SectionKind::Text,
+            Vec::new(),
+            8,
+        ));
+        for i in 0..32u32 {
+            obj.sections[text].append(&Inst::new(Opcode::Li).ra(1).imm(i).encode());
+        }
+        obj.sections[text].append(&Inst::new(Opcode::Halt).encode());
+        let _ = obj.define(Symbol::defined("_start", text, 0));
+        let image = link_program(&[obj], "plain").unwrap();
+        assert!(scan_stub_sites(&image).is_empty());
     }
 }

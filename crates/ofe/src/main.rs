@@ -136,7 +136,7 @@ impl CmdError {
     }
 }
 
-const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|explain|trace|stats|catalog|checkpoint|restore> ...";
+const USAGE: &str = "usage: ofe <info|nm|size|strings|dis|asm|convert|merge|override|rename|rename-refs|rename-defs|hide|show|restrict|project|freeze|copy-as|lint|explain|relink|trace|stats|catalog|checkpoint|restore> ...";
 
 /// Executes one OFE command; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CmdError> {
@@ -244,6 +244,11 @@ fn run_basic(cmd: &str, rest: &[String]) -> Result<String, String> {
             [file] => explain_cmd(file, None),
             [file, second] => explain_cmd(file, Some(second)),
             _ => Err("explain BLUEPRINT [BLUEPRINT2|CKPTDIR]".into()),
+        },
+        "relink" => match rest {
+            [before, after] => relink_cmd(before, after, false),
+            [before, after, flag] if flag == "--explain" => relink_cmd(before, after, true),
+            _ => Err("relink BLUEPRINT BLUEPRINT2 [--explain]".into()),
         },
         "trace" => {
             let (transport, rest) = parse_flagged_transport(rest, "trace")?;
@@ -1005,6 +1010,27 @@ fn explain_cmd(file: &str, second: Option<&String>) -> Result<String, String> {
     }
 }
 
+/// `ofe relink BEFORE AFTER [--explain]`: derives both blueprints'
+/// manifests statically, plans the incremental relink the server would
+/// perform on a rebind from BEFORE to AFTER, and prints which library
+/// images would be reused by content key versus relinked. `--explain`
+/// appends the underlying manifest diff (the dirty-symbol evidence).
+fn relink_cmd(before: &str, after: &str, explain: bool) -> Result<String, String> {
+    use omos_analysis::manifest::diff;
+    use omos_analysis::relink::plan_relink;
+
+    let b = derive_from_file(before)?;
+    let a = derive_from_file(after)?;
+    let plan = plan_relink(&b, &a);
+    let mut out = format!("before {:016x} -> after {:016x}\n", b.hash().0, a.hash().0);
+    out.push_str(&plan.render());
+    if explain {
+        out.push_str("\nmanifest diff:\n");
+        out.push_str(&diff(&b, &a).render());
+    }
+    Ok(out)
+}
+
 /// Parses a blueprint file, binds its operand files into a fresh
 /// in-process server (exactly as `ofe trace` does), and derives its
 /// resolution manifest statically.
@@ -1627,6 +1653,60 @@ _msg:       .asciz "hello-world"
             "unchanged binding stays out: {out}"
         );
         assert!(out.contains("program image changed"), "{out}");
+    }
+
+    #[test]
+    fn relink_plans_reuse_for_the_untouched_library() {
+        // Two directories with identically named operands; only libb.o
+        // differs. Leaf paths inside the blueprints are relative, so
+        // the two manifests line up row for row.
+        let write_world = |dir: &str, cos_body: &str| -> String {
+            let d = std::path::PathBuf::from(tmp(dir));
+            std::fs::create_dir_all(&d).unwrap();
+            let wobj = |name: &str, src: &str| {
+                let obj = assemble(name, src).unwrap();
+                std::fs::write(d.join(name), write(Format::Aout, &obj)).unwrap();
+            };
+            wobj(
+                "app.o",
+                ".text\n.global _start\n_start: call _sin\n call _cos\n sys 0\n",
+            );
+            wobj("liba.o", ".text\n.global _sin\n_sin: li r1, 1\n ret\n");
+            wobj("libb.o", cos_body);
+            std::fs::write(
+                d.join("liba.bp"),
+                "(constraint-list \"T\" 0x1000000 \"D\" 0x41000000)\n(merge liba.o)",
+            )
+            .unwrap();
+            std::fs::write(
+                d.join("libb.bp"),
+                "(constraint-list \"T\" 0x2000000 \"D\" 0x42000000)\n(merge libb.o)",
+            )
+            .unwrap();
+            std::fs::write(d.join("main.bp"), "(merge app.o liba.bp libb.bp)").unwrap();
+            d.join("main.bp").to_string_lossy().into_owned()
+        };
+        let before = write_world("rl-before", ".text\n.global _cos\n_cos: li r1, 2\n ret\n");
+        let after = write_world("rl-after", ".text\n.global _cos\n_cos: li r1, 3\n ret\n");
+
+        let out = run(&args(&["relink", &before, &after])).unwrap();
+        assert!(out.contains("relink plan: 1 reused, 1 relinked"), "{out}");
+        assert!(out.contains("reuse  liba.bp"), "{out}");
+        assert!(out.contains("relink libb.bp"), "{out}");
+        assert!(out.contains("program relinked"), "{out}");
+        assert!(!out.contains("manifest diff:"), "{out}");
+
+        let out = run(&args(&["relink", &before, &after, "--explain"])).unwrap();
+        assert!(out.contains("manifest diff:"), "{out}");
+        assert!(
+            out.contains("library libb.bp moved or was rebuilt"),
+            "{out}"
+        );
+
+        // Identical worlds: everything reused, nothing to relink.
+        let out = run(&args(&["relink", &before, &before])).unwrap();
+        assert!(out.contains("relink plan: 2 reused, 0 relinked"), "{out}");
+        assert!(out.contains("program reused"), "{out}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod cost;
 pub mod exec;
 pub mod fs;
 pub mod ipc;
+pub mod live;
 pub mod memory;
 pub mod process;
 
@@ -37,5 +38,6 @@ pub use cost::CostModel;
 pub use exec::{exec_native, NativeBinder, NativeWorld};
 pub use fs::InMemFs;
 pub use ipc::{ClientSession, ImageDescriptor, IpcStats, ReplyShape, ShmRing, Transport};
+pub use live::{live_patch_process, LiveUpdateReport};
 pub use memory::{AddressSpace, ImageFrames, MemoryAccounting, PAGE_SIZE};
 pub use process::{run_process, Binder, Process, RunOutcome};
