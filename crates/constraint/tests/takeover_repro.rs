@@ -1,0 +1,40 @@
+use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentRequest};
+
+fn req(name: &str, key: u64, pref: u64) -> PlacementRequest {
+    PlacementRequest {
+        name: name.into(),
+        key,
+        segments: vec![SegmentRequest {
+            class: RegionClass::Text,
+            size: 0x4000,
+            align: 0x1000,
+            preferred: Some(pref),
+        }],
+    }
+}
+
+#[test]
+fn takeover_releases_live_same_content_booking() {
+    let mut s = PlacementSolver::new();
+    // key=1 at R1.
+    let p1 = s.place(&req("libc", 1, 0x0100_0000), &[]).unwrap();
+    assert_eq!(p1.allocations[0].base, 0x0100_0000);
+    // Rebind to key=2, preferring R2: takeover releases R1, books R2.
+    let p2 = s.place(&req("libc", 2, 0x0200_0000), &[]).unwrap();
+    assert_eq!(p2.allocations[0].base, 0x0200_0000);
+    // Relink engine replays the retained key=1 placement: books R1.
+    // Now bookings: R1 (key1 content) and R2 (key2 content), same name.
+    assert!(s.replay_retained("libc", 1, &[0x0100_0000]).is_some());
+    // Place key=2 avoiding its live version v0: the stale key=1 booking
+    // triggers takeover, and release() drops the LIVE key=2 booking at
+    // R2 too, even though the invariant says same-content bookings
+    // (avoided versions) are left alone.
+    let _p3 = s.place(&req("libc", 2, 0x0300_0000), &[p2.version]).unwrap();
+    let still_booked = s
+        .allocations()
+        .any(|(_, a)| a.base == 0x0200_0000);
+    assert!(
+        still_booked,
+        "live avoided-version booking at R2 was released by takeover"
+    );
+}
