@@ -720,6 +720,9 @@ impl Analyzer<'_> {
                     root.obj.size_of_kind(SectionKind::Data)
                         + root.obj.size_of_kind(SectionKind::Bss)
                 }
+                // Audit counters occupy one page regardless of program
+                // shape; the `.max(1)` below rounds this up to it.
+                RegionClass::PolicyData => 0,
             };
             regions.push((
                 *class,
@@ -734,6 +737,7 @@ impl Analyzer<'_> {
                 let size = match class {
                     RegionClass::Text => lib.text,
                     RegionClass::Data => lib.data,
+                    RegionClass::PolicyData => 0,
                 };
                 regions.push((
                     *class,
@@ -873,6 +877,24 @@ impl Analyzer<'_> {
         }
         for (msg, span) in unpinned {
             self.emit(Severity::Warning, "OM015", msg, span);
+        }
+
+        // OM017 — a deny policy matches a symbol the program references.
+        // Same reachability evidence the server's enforcement point uses
+        // (the materialized program's relocation symbols), computed here
+        // over the skeleton so lint verdicts cannot drift from what
+        // linking would do.
+        match crate::policy::deny_diagnostics(
+            self.bp,
+            root.obj.relocs.iter().map(|r| r.symbol.as_str()),
+        ) {
+            Ok(diags) => self.diags.extend(diags),
+            Err(e) => self.emit(
+                Severity::Error,
+                "OM010",
+                format!("policy pattern does not compile: {e}"),
+                None,
+            ),
         }
     }
 }

@@ -39,6 +39,7 @@
 //! | OM014 | warning | a namespace path resolved at several sites (generation race window) |
 //! | OM015 | warning | a library without a pinned base (history-dependent placement) |
 //! | OM016 | error | the static manifest disagrees with what the linker did |
+//! | OM017 | error | a deny policy matches a symbol the program references |
 //!
 //! OM016 is not produced by the blueprint walk: it is emitted by
 //! [`manifest::divergence`] when a statically derived
@@ -54,9 +55,11 @@ use omos_obj::ObjectFile;
 
 mod analyzer;
 pub mod manifest;
+pub mod policy;
 pub mod relink;
 
 pub use analyzer::{analyze_blueprint, analyze_blueprint_report, AnalysisReport};
+pub use policy::{apply_link_policies, PolicyError, PolicyOutcome};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use omos_blueprint::{eval_blueprint, Blueprint, EvalContext, EvalOutput};
+use omos_blueprint::{eval_blueprint, Blueprint, EvalContext, EvalOutput, LinkPolicy, PolicyKind};
 use omos_constraint::{
     PlacementRequest, PlacementSolver, RegionClass, SegmentRequest, SolverState,
 };
@@ -116,6 +116,10 @@ pub struct ResolutionManifest {
     pub bindings: Vec<Binding>,
     /// Interposed symbols (override conflicts), sorted and deduplicated.
     pub interpositions: Vec<String>,
+    /// Applied link policies ([`Blueprint::canonical_policies`]): sorted
+    /// and deduplicated. Empty for policy-free blueprints, whose
+    /// manifests encode byte-identically to the pre-policy format.
+    pub policies: Vec<LinkPolicy>,
 }
 
 impl ResolutionManifest {
@@ -142,6 +146,16 @@ impl ResolutionManifest {
         w.u32(self.interpositions.len() as u32);
         for i in &self.interpositions {
             w.str(i);
+        }
+        // Trailing optional section, written only when policies exist:
+        // policy-free manifests keep their historical byte encoding (and
+        // hash), and pre-policy frames decode unchanged.
+        if !self.policies.is_empty() {
+            w.u32(self.policies.len() as u32);
+            for p in &self.policies {
+                w.str(p.kind.tag());
+                w.str(&p.pattern);
+            }
         }
         w.into_bytes()
     }
@@ -188,6 +202,20 @@ impl ResolutionManifest {
         for _ in 0..ninter {
             interpositions.push(r.str()?);
         }
+        let mut policies = Vec::new();
+        if r.remaining() > 0 {
+            let n = r.u32()?;
+            for _ in 0..n {
+                let tag = r.str()?;
+                let kind = PolicyKind::from_tag(&tag).ok_or_else(|| {
+                    ObjError::Malformed(format!("resolution: bad policy kind `{tag}`"))
+                })?;
+                policies.push(LinkPolicy {
+                    kind,
+                    pattern: r.str()?,
+                });
+            }
+        }
         if r.remaining() != 0 {
             return Err(ObjError::Malformed(format!(
                 "resolution: {} trailing payload bytes",
@@ -200,6 +228,7 @@ impl ResolutionManifest {
             program,
             bindings,
             interpositions,
+            policies,
         })
     }
 
@@ -234,6 +263,9 @@ impl ResolutionManifest {
             "  program text={:#010x} data={:#010x} image={:016x}",
             self.program.text_base, self.program.data_base, self.program.image_key.0
         );
+        for p in &self.policies {
+            let _ = writeln!(s, "  policy {} {}", p.kind.tag(), p.pattern);
+        }
         for i in &self.interpositions {
             let _ = writeln!(s, "  interpose {i}");
         }
@@ -267,6 +299,9 @@ pub struct ManifestDiff {
     pub program_changed: bool,
     /// Interposition sets differ.
     pub interpositions_changed: bool,
+    /// Applied policy sets differ. A policy change is a binding change:
+    /// the relink planner must rebuild the program image.
+    pub policies_changed: bool,
 }
 
 impl ManifestDiff {
@@ -279,6 +314,7 @@ impl ManifestDiff {
             && self.libraries_changed.is_empty()
             && !self.program_changed
             && !self.interpositions_changed
+            && !self.policies_changed
     }
 
     /// Names of every symbol whose binding changed in any way — the
@@ -313,6 +349,9 @@ impl ManifestDiff {
         }
         if self.interpositions_changed {
             let _ = writeln!(s, "  interposition set changed");
+        }
+        if self.policies_changed {
+            let _ = writeln!(s, "  policy set changed");
         }
         for (a, b) in &self.changed {
             if a.provider == b.provider {
@@ -392,6 +431,7 @@ pub fn diff(before: &ResolutionManifest, after: &ResolutionManifest) -> Manifest
     d.libraries_changed.dedup();
     d.program_changed = before.program != after.program;
     d.interpositions_changed = before.interpositions != after.interpositions;
+    d.policies_changed = before.policies != after.policies;
     d
 }
 
@@ -429,6 +469,9 @@ pub fn divergence(derived: &ResolutionManifest, actual: &ResolutionManifest) -> 
         }
         if d.interpositions_changed {
             emit("manifest/link divergence: interposition sets disagree".to_string());
+        }
+        if d.policies_changed {
+            emit("manifest/link divergence: applied policy sets disagree".to_string());
         }
         for (a, b) in &d.changed {
             emit(format!(
@@ -475,14 +518,17 @@ pub fn derive_manifest(
     lint_ctx: &mut dyn LintContext,
     solver: &SolverState,
 ) -> Result<ResolutionManifest, String> {
-    let out = eval_blueprint(bp, eval_ctx).map_err(|e| format!("eval failed: {e}"))?;
+    let mut out = eval_blueprint(bp, eval_ctx).map_err(|e| format!("eval failed: {e}"))?;
+    crate::policy::apply_link_policies(bp, &mut out).map_err(|e| format!("{e}"))?;
     derive_manifest_from_eval(bp, &out, lint_ctx, solver)
 }
 
 /// [`derive_manifest`] for a caller that already evaluated the
-/// blueprint (the server's incremental relink path evaluates once and
-/// feeds the same output to both the manifest derivation and the
-/// relink executor, so the two can never see different m-graphs).
+/// blueprint **and applied its link policies**
+/// ([`crate::policy::apply_link_policies`]) — the server's paths
+/// evaluate once, transform once, and feed the same output to both the
+/// manifest derivation and the link/relink executor, so the two can
+/// never see different modules.
 pub fn derive_manifest_from_eval(
     bp: &Blueprint,
     out: &EvalOutput,
@@ -627,6 +673,7 @@ pub fn derive_manifest_from_eval(
         },
         bindings,
         interpositions,
+        policies: bp.canonical_policies(),
     })
 }
 
@@ -662,6 +709,7 @@ mod tests {
                 },
             ],
             interpositions: vec!["_malloc".into()],
+            policies: Vec::new(),
         }
     }
 
@@ -671,6 +719,32 @@ mod tests {
         let back = ResolutionManifest::decode(&m.encode()).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.hash(), m.hash());
+    }
+
+    #[test]
+    fn policies_roundtrip_and_diff_flags_them() {
+        let mut m = sample();
+        m.policies = vec![
+            LinkPolicy {
+                kind: PolicyKind::Deny,
+                pattern: "^_exec".into(),
+            },
+            LinkPolicy {
+                kind: PolicyKind::Audit,
+                pattern: "^_malloc$".into(),
+            },
+        ];
+        let back = ResolutionManifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_ne!(m.hash(), sample().hash());
+        assert!(m.render().contains("policy deny ^_exec"));
+        let d = diff(&sample(), &m);
+        assert!(d.policies_changed);
+        assert!(!d.is_empty());
+        assert!(d.render().contains("policy set changed"));
+        assert!(divergence(&sample(), &m)
+            .iter()
+            .any(|dg| dg.message.contains("policy sets disagree")));
     }
 
     #[test]

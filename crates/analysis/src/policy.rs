@@ -1,0 +1,368 @@
+//! The programmable link-policy engine.
+//!
+//! The paper's §6 interposition figure is one hard-coded linking
+//! behavior: wrap every monitored routine behind a generated stub.
+//! Blueprints generalize it with declarative `(policy KIND "PATTERN")`
+//! forms, applied here as a module-to-module transform at the single
+//! point both the server's link path and the static manifest derivation
+//! share — right after m-graph evaluation, before any image key is
+//! computed or any byte is linked. One implementation, two consumers:
+//! the executed link and the symbolic derivation can never disagree
+//! about what a policy did.
+//!
+//! * **deny** — linking fails with a hard `OM017` error when the
+//!   program references a matching symbol;
+//! * **trampoline** — matching program-defined routines are wrapped
+//!   behind tail-jump interposition stubs (`f` → stub → `f$real`);
+//! * **audit** — like trampoline, but the stub also bumps a per-process
+//!   counter slot in the `PolicyData` window and logs the entry through
+//!   the monitor (`MONLOG`).
+//!
+//! A name matched by both a trampoline and an audit pattern is wrapped
+//! once, as an audit (the superset behavior) — double-wrapping would
+//! rename `f$real` to `f$real$real` and chain stubs for no benefit.
+
+use std::collections::BTreeSet;
+
+use omos_blueprint::{Blueprint, EvalOutput, LinkPolicy, PolicyKind};
+use omos_constraint::RegionClass;
+use omos_link::make_policy_stubs;
+use omos_module::Module;
+use omos_obj::view::RenameTarget;
+use omos_obj::Regex;
+
+use crate::{Diagnostic, Severity};
+
+/// What the policy transform did to a module — recorded in the
+/// resolution manifest consumer-side and billed by the server's trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyOutcome {
+    /// Names wrapped behind bare trampolines, sorted.
+    pub trampolines: Vec<String>,
+    /// Names wrapped behind call-audit stubs, sorted; the index of a
+    /// name is its audit id (the `MONLOG` payload) and its counter slot
+    /// is `counter_base + 4 * index`.
+    pub audits: Vec<String>,
+    /// Base address of the audit counter array (start of the
+    /// `PolicyData` window unless a `"P"` constraint pins it).
+    pub counter_base: u32,
+}
+
+impl PolicyOutcome {
+    /// Total number of wrapped entry points.
+    #[must_use]
+    pub fn wrapped(&self) -> usize {
+        self.trampolines.len() + self.audits.len()
+    }
+}
+
+/// Why policy application failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// A deny policy matched a referenced symbol: the hard `OM017`
+    /// diagnostics, one per (pattern, symbol) hit.
+    Denied(Vec<Diagnostic>),
+    /// The transform itself failed (bad pattern in a programmatic
+    /// blueprint, module operation error).
+    Internal(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Denied(diags) => {
+                write!(f, "link denied by policy")?;
+                for d in diags {
+                    write!(f, "\n  {}", d.render())?;
+                }
+                Ok(())
+            }
+            PolicyError::Internal(msg) => write!(f, "policy application failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Where the audit counter array lives: pinned by a `"P"` constraint
+/// when the blueprint has one, else the start of the [`RegionClass::PolicyData`]
+/// default window.
+#[must_use]
+pub fn policy_counter_base(constraints: &[(RegionClass, u64)]) -> u32 {
+    constraints
+        .iter()
+        .find(|(c, _)| *c == RegionClass::PolicyData)
+        .map_or(
+            RegionClass::PolicyData.default_window().0 as u32,
+            |&(_, a)| a as u32,
+        )
+}
+
+fn compile(p: &LinkPolicy) -> Result<Regex, String> {
+    Regex::new(&p.pattern).map_err(|e| format!("policy pattern `{}`: {e}", p.pattern))
+}
+
+/// Evaluates every deny policy against a reference set (symbol names the
+/// program's relocations target), in blueprint source order so the
+/// diagnostics carry the right spans. Each (policy, symbol) hit is one
+/// `OM017` error.
+pub fn deny_diagnostics<'a, I>(bp: &Blueprint, refs: I) -> Result<Vec<Diagnostic>, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let deduped: BTreeSet<&str> = refs.into_iter().collect();
+    let mut diags = Vec::new();
+    for (i, p) in bp.policies.iter().enumerate() {
+        if p.kind != PolicyKind::Deny {
+            continue;
+        }
+        let re = compile(p)?;
+        for sym in &deduped {
+            if re.is_match(sym) {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: "OM017",
+                    message: format!(
+                        "deny policy `{}` forbids symbol `{sym}`, which the program references",
+                        p.pattern
+                    ),
+                    span: bp.policy_spans.get(i).copied(),
+                });
+            }
+        }
+    }
+    Ok(diags)
+}
+
+/// Escapes a symbol name for use inside a regex pattern (the §6 monitor
+/// interposition move — braces included, they are legal symbol
+/// characters but regex metacharacters).
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for c in name.chars() {
+        if "\\^$.|?*+()[]{}".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Applies `bp`'s link policies to an evaluated output, in place.
+///
+/// This is the **only** policy-application point: the server calls it on
+/// the eval output it is about to link (sequential, parallel, and
+/// incremental-relink paths alike), and [`crate::manifest::derive_manifest`]
+/// calls it on its own eval before deriving — so the executed link and
+/// the static derivation always see the same transformed module.
+///
+/// Policy-free blueprints return immediately with a default outcome and
+/// an untouched output: the reply bytes of every existing blueprint are
+/// unchanged by this layer's existence.
+pub fn apply_link_policies(
+    bp: &Blueprint,
+    out: &mut EvalOutput,
+) -> Result<PolicyOutcome, PolicyError> {
+    let policies = bp.canonical_policies();
+    if policies.is_empty() {
+        return Ok(PolicyOutcome::default());
+    }
+
+    // Deny first: a forbidden reference fails the link before any
+    // wrapping work happens.
+    let obj = out
+        .module
+        .materialize()
+        .map_err(|e| PolicyError::Internal(format!("materialize program: {e}")))?;
+    let diags = deny_diagnostics(bp, obj.relocs.iter().map(|r| r.symbol.as_str()))
+        .map_err(PolicyError::Internal)?;
+    if !diags.is_empty() {
+        return Err(PolicyError::Denied(diags));
+    }
+
+    // Collect the wrap sets over the program module's exports. Library
+    // modules are left alone: their exports bind across the extern fold
+    // by address, where a merged-in stub object could not reach them —
+    // deny policies still see every reference, wrapping is for the
+    // names the program module itself defines.
+    let exports = out
+        .module
+        .exports()
+        .map_err(|e| PolicyError::Internal(format!("exports: {e}")))?;
+    let mut audits: BTreeSet<String> = BTreeSet::new();
+    let mut trampolines: BTreeSet<String> = BTreeSet::new();
+    for p in &policies {
+        let set = match p.kind {
+            PolicyKind::Audit => &mut audits,
+            PolicyKind::Trampoline => &mut trampolines,
+            PolicyKind::Deny => continue,
+        };
+        let re = compile(p).map_err(PolicyError::Internal)?;
+        for n in exports.iter().filter(|n| re.is_match(n)) {
+            set.insert(n.clone());
+        }
+    }
+    // Audit is the superset behavior: a doubly-matched name wraps once.
+    let trampolines: Vec<String> = trampolines.difference(&audits).cloned().collect();
+    let audits: Vec<String> = audits.into_iter().collect();
+    let counter_base = policy_counter_base(&bp.constraints);
+    if trampolines.is_empty() && audits.is_empty() {
+        return Ok(PolicyOutcome {
+            trampolines,
+            audits,
+            counter_base,
+        });
+    }
+
+    // The §6 interposition move: rename each definition aside, then
+    // merge the generated stub object in under the original names.
+    let mut m = out.module.clone();
+    for n in trampolines.iter().chain(audits.iter()) {
+        m = m
+            .rename(
+                &format!("^{}$", escape(n)),
+                &format!("{n}$real"),
+                RenameTarget::Defs,
+            )
+            .map_err(|e| PolicyError::Internal(format!("rename `{n}`: {e}")))?;
+    }
+    let stubs = make_policy_stubs(&trampolines, &audits, counter_base);
+    out.module = m
+        .merge_with(&Module::from_object(stubs))
+        .map_err(|e| PolicyError::Internal(format!("merge policy stubs: {e}")))?;
+    Ok(PolicyOutcome {
+        trampolines,
+        audits,
+        counter_base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omos_blueprint::eval::{CachedEval, EvalError, ResolvedNode};
+    use omos_blueprint::{eval_blueprint, EvalContext};
+    use omos_isa::assemble;
+    use omos_obj::ContentHash;
+    use std::collections::{BTreeSet, HashMap};
+    use std::sync::Arc;
+
+    struct Ctx {
+        objs: HashMap<String, Arc<omos_obj::ObjectFile>>,
+    }
+
+    impl EvalContext for Ctx {
+        fn resolve(&self, path: &str) -> Result<ResolvedNode, EvalError> {
+            self.objs
+                .get(path)
+                .map(|o| ResolvedNode::Object(Arc::clone(o)))
+                .ok_or_else(|| EvalError::Resolve(format!("`{path}` not bound")))
+        }
+
+        fn cache_get(&self, _key: ContentHash) -> Option<CachedEval> {
+            None
+        }
+
+        fn cache_put(&self, _key: ContentHash, _module: &Module, _deps: &Arc<BTreeSet<String>>) {}
+
+        fn register_dynamic_impl(
+            &self,
+            _key: ContentHash,
+            _module: &Module,
+        ) -> Result<u32, EvalError> {
+            Ok(0)
+        }
+    }
+
+    fn ctx() -> Ctx {
+        let mut objs = HashMap::new();
+        objs.insert(
+            "/obj/prog.o".to_string(),
+            Arc::new(
+                assemble(
+                    "prog.o",
+                    ".text\n.global _start, _work\n_start: call _work\n sys 0\n_work: li r1, 5\n ret\n",
+                )
+                .unwrap(),
+            ),
+        );
+        Ctx { objs }
+    }
+
+    fn eval(src: &str) -> (Blueprint, EvalOutput) {
+        let bp = Blueprint::parse(src).unwrap();
+        let out = eval_blueprint(&bp, &ctx()).unwrap();
+        (bp, out)
+    }
+
+    #[test]
+    fn policy_free_output_is_untouched() {
+        let (bp, mut out) = eval("(merge /obj/prog.o)");
+        let before = out.module.content_hash();
+        let o = apply_link_policies(&bp, &mut out).unwrap();
+        assert_eq!(o, PolicyOutcome::default());
+        assert_eq!(out.module.content_hash(), before);
+    }
+
+    #[test]
+    fn deny_policy_fails_on_referenced_symbol() {
+        let (bp, mut out) = eval("(policy deny \"^_work$\")\n(merge /obj/prog.o)");
+        let err = apply_link_policies(&bp, &mut out).unwrap_err();
+        let PolicyError::Denied(diags) = err else {
+            panic!("expected Denied");
+        };
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "OM017");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("_work"));
+        assert!(diags[0].span.is_some(), "span points at the policy form");
+    }
+
+    #[test]
+    fn deny_policy_passes_when_nothing_matches() {
+        let (bp, mut out) = eval("(policy deny \"^_exec\")\n(merge /obj/prog.o)");
+        let o = apply_link_policies(&bp, &mut out).unwrap();
+        assert_eq!(o.wrapped(), 0);
+    }
+
+    #[test]
+    fn audit_wins_over_trampoline_and_wraps_once() {
+        let (bp, mut out) = eval(
+            "(policy trampoline \"^_work$\")\n(policy audit \"^_work$\")\n(merge /obj/prog.o)",
+        );
+        let o = apply_link_policies(&bp, &mut out).unwrap();
+        assert_eq!(o.trampolines, Vec::<String>::new());
+        assert_eq!(o.audits, vec!["_work"]);
+        let exports = out.module.exports().unwrap();
+        assert!(exports.contains(&"_work".to_string()));
+        assert!(exports.contains(&"_work$real".to_string()));
+        assert!(!exports.contains(&"_work$real$real".to_string()));
+    }
+
+    #[test]
+    fn counter_base_follows_the_p_constraint() {
+        let (bp, mut out) = eval(
+            "(constraint-list \"P\" 0xd0040000)\n(policy audit \"^_work$\")\n(merge /obj/prog.o)",
+        );
+        let o = apply_link_policies(&bp, &mut out).unwrap();
+        assert_eq!(o.counter_base, 0xd004_0000);
+        let (bp, mut out) = eval("(policy audit \"^_work$\")\n(merge /obj/prog.o)");
+        let o = apply_link_policies(&bp, &mut out).unwrap();
+        assert_eq!(
+            o.counter_base,
+            RegionClass::PolicyData.default_window().0 as u32
+        );
+    }
+
+    #[test]
+    fn application_is_deterministic() {
+        let src = "(policy audit \"^_(work|start)$\")\n(merge /obj/prog.o)";
+        let (bp, mut a) = eval(src);
+        let (_, mut b) = eval(src);
+        let oa = apply_link_policies(&bp, &mut a).unwrap();
+        let ob = apply_link_policies(&bp, &mut b).unwrap();
+        assert_eq!(oa, ob);
+        assert_eq!(a.module.content_hash(), b.module.content_hash());
+        assert_eq!(oa.audits, vec!["_start", "_work"], "ids are sorted order");
+    }
+}

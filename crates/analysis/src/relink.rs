@@ -135,9 +135,14 @@ pub fn plan_relink(before: &ResolutionManifest, after: &ResolutionManifest) -> R
             },
         })
         .collect();
+    // A policy change is a binding change even when placement and image
+    // keys happen to coincide (e.g. a deny policy added to a program
+    // that never violates it changes no byte but must re-derive): the
+    // program frame rebuilds so the recorded policy set is honest.
+    let program_relink = before.program != after.program || d.policies_changed;
     RelinkPlan {
         libraries,
-        program_relink: before.program != after.program,
+        program_relink,
         diff: d,
     }
 }
@@ -175,6 +180,7 @@ mod tests {
                 addr: 0x0100_0000,
             }],
             interpositions: vec![],
+            policies: vec![],
         }
     }
 

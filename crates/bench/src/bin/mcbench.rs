@@ -85,6 +85,20 @@ fn main() {
             p.replies_bit_identical(),
         );
     }
+    if let Some(po) = &result.policy {
+        for ph in &po.phases {
+            eprintln!(
+                "policy {:>10} ({}, {} routines): {} ns ({:+} ns vs off; {} trampolines, {} audits)",
+                ph.policy,
+                po.program,
+                po.routines,
+                ph.server_ns,
+                po.overhead_ns(ph.policy).unwrap_or(0),
+                ph.trampolines,
+                ph.audits,
+            );
+        }
+    }
     eprintln!(
         "{:>10} {:>9} {:>12} {:>12} {:>12}",
         "stage", "count", "p50_ns", "p95_ns", "p99_ns"

@@ -24,7 +24,10 @@ pub use catalog::{
     drive, run_catalog, run_plan, CachePlan, Catalog, CatalogResult, CatalogSpec, DriveCfg,
     DriveResult, ZipfSampler,
 };
-pub use mcbench::{run_multiclient, run_warm_restart, McResult, PhaseResult, WarmRestart};
+pub use mcbench::{
+    run_multiclient, run_policy_overhead, run_warm_restart, McResult, PhaseResult, PolicyOverhead,
+    PolicyPhase, WarmRestart,
+};
 pub use relink::{run_relink_bench, RelinkPoint, RelinkResult};
 pub use reorder::{run_reorder_experiment, ReorderConfig, ReorderResult};
 pub use workload::{

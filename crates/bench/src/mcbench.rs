@@ -78,6 +78,8 @@ pub struct McResult {
     /// Batched/shared-memory transport comparison at 8 threads
     /// (`None` when the sweep skipped it).
     pub pipelined: Option<PipelinedResult>,
+    /// Link-policy overhead phase (`None` when the sweep skipped it).
+    pub policy: Option<PolicyOverhead>,
 }
 
 /// One warm transport run: every client issues the same request
@@ -329,6 +331,126 @@ pub fn run_warm_restart(cost: CostModel, transport: omos_os::ipc::Transport) -> 
         restore_ns,
         restored_images: rr.images,
         restore_dropped: rr.dropped,
+    }
+}
+
+/// One cold build of the policy workload under one policy
+/// configuration (a fresh traced server each).
+#[derive(Debug, Clone)]
+pub struct PolicyPhase {
+    /// Configuration name (`off`, `deny`, `trampoline`, `audit`).
+    pub policy: &'static str,
+    /// Billed server work for the cold build.
+    pub server_ns: u64,
+    /// Trampoline stubs the policy inserted (trace counter).
+    pub trampolines: u64,
+    /// Call-audit stubs the policy inserted (trace counter).
+    pub audits: u64,
+    /// Canonical resolution-manifest hash of the built program.
+    pub manifest: String,
+}
+
+/// The policy-overhead phase: the same monitored-routines program
+/// built cold under each link-policy configuration. The `off` row is
+/// the baseline; its manifest hash must match a policy-free build
+/// (the oracle tests pin byte identity), and the stub counts make the
+/// per-configuration overhead attributable.
+#[derive(Debug, Clone)]
+pub struct PolicyOverhead {
+    /// Workload name.
+    pub program: &'static str,
+    /// Monitored routines in the workload.
+    pub routines: usize,
+    /// One row per configuration, `off` first.
+    pub phases: Vec<PolicyPhase>,
+}
+
+impl PolicyOverhead {
+    /// The row for one configuration.
+    #[must_use]
+    pub fn phase(&self, policy: &str) -> Option<&PolicyPhase> {
+        self.phases.iter().find(|p| p.policy == policy)
+    }
+
+    /// Extra billed work of `policy` over the `off` baseline.
+    #[must_use]
+    pub fn overhead_ns(&self, policy: &str) -> Option<i64> {
+        let base = self.phase("off")?.server_ns as i64;
+        Some(self.phase(policy)?.server_ns as i64 - base)
+    }
+}
+
+/// Routines in the policy workload program.
+pub const POLICY_ROUTINES: usize = 8;
+
+/// Builds a server holding the policy workload: a program with
+/// [`POLICY_ROUTINES`] globally named routines, all called from
+/// `_start`, under the given `(policy ...)` forms.
+fn policy_server(policies: &str, cost: CostModel, transport: omos_os::ipc::Transport) -> Omos {
+    let s = Omos::new(cost, transport);
+    let mut src = String::from(".text\n.global _start");
+    for i in 0..POLICY_ROUTINES {
+        src.push_str(&format!(", _r{i}"));
+    }
+    src.push_str("\n_start:\n");
+    for i in 0..POLICY_ROUTINES {
+        src.push_str(&format!("  call _r{i}\n"));
+    }
+    src.push_str("  sys 0\n");
+    for i in 0..POLICY_ROUTINES {
+        src.push_str(&format!("_r{i}: li r1, {i}\n  ret\n"));
+    }
+    s.namespace.bind_object(
+        "/obj/polmain.o",
+        omos_isa::assemble("polmain.o", &src).expect("policy workload assembles"),
+    );
+    s.namespace
+        .bind_blueprint("/bin/policy", &format!("{policies}(merge /obj/polmain.o)"))
+        .expect("policy blueprint parses");
+    s
+}
+
+/// Runs the policy-overhead phase: each configuration builds the same
+/// workload cold on its own traced server, so `server_ns` deltas are
+/// exactly the policy stage's bill plus the stub link work.
+#[must_use]
+pub fn run_policy_overhead(cost: CostModel, transport: omos_os::ipc::Transport) -> PolicyOverhead {
+    let configs: [(&'static str, &'static str); 4] = [
+        ("off", ""),
+        // A deny that nothing violates: screening cost only.
+        ("deny", "(policy deny \"_forbidden.*\")\n"),
+        ("trampoline", "(policy trampoline \"_r[0-9]+\")\n"),
+        ("audit", "(policy audit \"_r[0-9]+\")\n"),
+    ];
+    let mut phases = Vec::with_capacity(configs.len());
+    for (name, forms) in configs {
+        let server = policy_server(forms, cost, transport);
+        server.set_tracing(true);
+        let r = server
+            .instantiate("/bin/policy")
+            .expect("policy workload instantiates");
+        let counters = server.trace_snapshot().counters.entries();
+        let counter = |key: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| *n == key)
+                .map_or(0, |(_, v)| *v)
+        };
+        let manifest = server
+            .explain("/bin/policy")
+            .expect("policy workload explains");
+        phases.push(PolicyPhase {
+            policy: name,
+            server_ns: r.server_ns,
+            trampolines: counter("policy_trampolines"),
+            audits: counter("policy_audits"),
+            manifest: format!("{:016x}", omos_obj::fnv1a(&manifest.encode()).0),
+        });
+    }
+    PolicyOverhead {
+        program: "policy-8",
+        routines: POLICY_ROUTINES,
+        phases,
     }
 }
 
@@ -675,6 +797,7 @@ pub fn run_multiclient(
             PIPELINED_PER_THREAD,
             DEFAULT_WINDOW,
         )),
+        policy: Some(run_policy_overhead(cost, transport)),
     }
 }
 
@@ -839,6 +962,31 @@ pub fn to_json(r: &McResult) -> String {
             "    \"replies_bit_identical\": {}",
             p.replies_bit_identical()
         );
+        let _ = writeln!(out, "  }},");
+    }
+    if let Some(po) = &r.policy {
+        let _ = writeln!(out, "  \"policy_overhead\": {{");
+        let _ = writeln!(out, "    \"program\": \"{}\",", po.program);
+        let _ = writeln!(out, "    \"routines\": {},", po.routines);
+        let _ = writeln!(out, "    \"phases\": [");
+        for (i, ph) in po.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                concat!(
+                    "      {{\"policy\": \"{}\", \"server_ns\": {}, ",
+                    "\"overhead_ns\": {}, \"trampolines\": {}, \"audits\": {}, ",
+                    "\"manifest\": \"{}\"}}"
+                ),
+                ph.policy,
+                ph.server_ns,
+                po.overhead_ns(ph.policy).unwrap_or(0),
+                ph.trampolines,
+                ph.audits,
+                ph.manifest,
+            );
+            let _ = writeln!(out, "{}", if i + 1 < po.phases.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "    ]");
         let _ = writeln!(out, "  }},");
     }
     if !r.manifests.is_empty() {
@@ -1016,7 +1164,39 @@ mod tests {
         assert!(j.contains("\"phase\": \"warm\""));
         assert!(j.contains("\"warm_restart\""));
         assert!(j.contains("\"manifests\""));
+        assert!(j.contains("\"policy_overhead\""));
         assert_eq!(r.manifests.len(), PROGRAMS.len());
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn policy_overhead_phase_attributes_its_costs() {
+        let po = run_policy_overhead(CostModel::hpux(), Transport::SysVMsg);
+        // The off and non-matching-deny rows insert nothing and bill
+        // identically — deny screening rides the evaluation the server
+        // already paid for, and their manifests carry the policy rows
+        // but identical placements.
+        let off = po.phase("off").expect("off row");
+        let deny = po.phase("deny").expect("deny row");
+        assert_eq!(off.trampolines + off.audits, 0);
+        assert_eq!(deny.trampolines + deny.audits, 0);
+        assert_eq!(off.server_ns, deny.server_ns);
+        // Wrapping rows wrap every routine and bill extra work.
+        let tramp = po.phase("trampoline").expect("trampoline row");
+        let audit = po.phase("audit").expect("audit row");
+        assert_eq!(tramp.trampolines, POLICY_ROUTINES as u64);
+        assert_eq!(tramp.audits, 0);
+        assert_eq!(audit.audits, POLICY_ROUTINES as u64);
+        assert_eq!(audit.trampolines, 0);
+        assert!(po.overhead_ns("trampoline").unwrap() > 0);
+        assert!(po.overhead_ns("audit").unwrap() > 0);
+        // Audit stubs are bigger than trampolines: more link work.
+        assert!(audit.server_ns > tramp.server_ns);
+        // Each configuration resolves to a distinct manifest (the
+        // policy set is part of the resolution).
+        let mut digests: Vec<&str> = po.phases.iter().map(|p| p.manifest.as_str()).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), po.phases.len());
     }
 }

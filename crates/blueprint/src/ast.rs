@@ -5,7 +5,7 @@ use std::fmt;
 
 use omos_constraint::RegionClass;
 use omos_obj::view::RenameTarget;
-use omos_obj::ContentHash;
+use omos_obj::{ContentHash, Regex};
 
 use crate::sexpr::{parse_sexprs, Sexpr, Span};
 
@@ -272,6 +272,7 @@ impl MNode {
                                 .with_str(match c {
                                     RegionClass::Text => "T",
                                     RegionClass::Data => "D",
+                                    RegionClass::PolicyData => "P",
                                 })
                                 .with_u64(*a);
                         }
@@ -545,6 +546,53 @@ fn parse_constraint_pairs(items: &[Sexpr]) -> Result<Vec<(RegionClass, u64)>, Bl
     Ok(out)
 }
 
+/// The kinds of per-link policy a blueprint can attach (`policy` forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PolicyKind {
+    /// Linking fails (hard error) when the program can reach a matching
+    /// symbol.
+    Deny,
+    /// Matching program-defined symbols are wrapped behind interposition
+    /// trampolines (the generalized §6 figure).
+    Trampoline,
+    /// Like `Trampoline`, but the stub also counts the entry in a
+    /// per-process counter slot and logs it through the monitor.
+    Audit,
+}
+
+impl PolicyKind {
+    /// The blueprint-syntax tag for this kind.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            PolicyKind::Deny => "deny",
+            PolicyKind::Trampoline => "trampoline",
+            PolicyKind::Audit => "audit",
+        }
+    }
+
+    /// Parses a blueprint-syntax tag.
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<PolicyKind> {
+        match tag {
+            "deny" => Some(PolicyKind::Deny),
+            "trampoline" => Some(PolicyKind::Trampoline),
+            "audit" => Some(PolicyKind::Audit),
+            _ => None,
+        }
+    }
+}
+
+/// One per-link policy: a kind plus the symbol-selecting regex it
+/// applies to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkPolicy {
+    /// What the policy does to matching symbols.
+    pub kind: PolicyKind,
+    /// Symbol selector (same regex dialect as the module operations).
+    pub pattern: String,
+}
+
 /// A parsed blueprint: optional default constraints plus the root m-graph.
 ///
 /// # Examples
@@ -573,6 +621,11 @@ pub struct Blueprint {
     /// Source spans of each `constraints` entry, parallel to it (empty
     /// when the blueprint was built programmatically).
     pub constraint_spans: Vec<Span>,
+    /// Per-link policies (`policy` forms), in source order.
+    pub policies: Vec<LinkPolicy>,
+    /// Source spans of each `policies` entry, parallel to it (empty when
+    /// the blueprint was built programmatically).
+    pub policy_spans: Vec<Span>,
 }
 
 impl Blueprint {
@@ -583,6 +636,8 @@ impl Blueprint {
             .map_err(|e| BlueprintError::new(e.msg).at(Span::new(e.offset, e.offset)))?;
         let mut constraints = Vec::new();
         let mut constraint_spans = Vec::new();
+        let mut policies = Vec::new();
+        let mut policy_spans = Vec::new();
         let mut spans = SpanMap::default();
         let mut root = None;
         for f in &forms {
@@ -598,6 +653,11 @@ impl Blueprint {
                     constraints.extend(pairs);
                     continue;
                 }
+                if l.first().and_then(Sexpr::as_sym) == Some("policy") {
+                    policies.push(parse_policy(f, &l[1..])?);
+                    policy_spans.push(f.span);
+                    continue;
+                }
             }
             if root.is_some() {
                 return berr_at("blueprint has more than one root expression", f.span);
@@ -610,6 +670,8 @@ impl Blueprint {
                 root,
                 spans,
                 constraint_spans,
+                policies,
+                policy_spans,
             }),
             None => berr("blueprint has no root expression"),
         }
@@ -623,10 +685,24 @@ impl Blueprint {
             root,
             spans: SpanMap::default(),
             constraint_spans: Vec::new(),
+            policies: Vec::new(),
+            policy_spans: Vec::new(),
         }
     }
 
-    /// Structural hash including constraints.
+    /// The policy set in canonical form: sorted and deduplicated. This
+    /// is what the resolution manifest records and what every consumer
+    /// (hashing, linking, diffing) iterates, so source order and
+    /// duplicate `policy` forms never change behavior.
+    #[must_use]
+    pub fn canonical_policies(&self) -> Vec<LinkPolicy> {
+        let mut ps = self.policies.clone();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// Structural hash including constraints and policies.
     #[must_use]
     pub fn hash(&self) -> ContentHash {
         let mut h = ContentHash::EMPTY.with_str("blueprint");
@@ -635,11 +711,49 @@ impl Blueprint {
                 .with_str(match c {
                     RegionClass::Text => "T",
                     RegionClass::Data => "D",
+                    RegionClass::PolicyData => "P",
                 })
                 .with_u64(*a);
         }
+        // Gated on non-empty so policy-free blueprints hash exactly as
+        // they always have (cache keys, manifests, and replies for the
+        // existing corpus are untouched by the policy layer's existence).
+        for p in self.canonical_policies() {
+            h = h
+                .with_str("policy")
+                .with_str(p.kind.tag())
+                .with_str(&p.pattern);
+        }
         self.root.hash_into(h)
     }
+}
+
+/// Parses one `(policy KIND "PATTERN")` form. The pattern is compiled
+/// eagerly so a bad regex is a parse error with a span, not a link-time
+/// surprise.
+fn parse_policy(form: &Sexpr, args: &[Sexpr]) -> Result<LinkPolicy, BlueprintError> {
+    if args.len() != 2 {
+        return berr_at("policy needs KIND \"PATTERN\"", form.span);
+    }
+    let tag = args[0]
+        .as_str()
+        .or_else(|| args[0].as_sym())
+        .ok_or_else(|| BlueprintError::new("policy kind must be a string").at(args[0].span))?;
+    let kind = PolicyKind::from_tag(tag).ok_or_else(|| {
+        BlueprintError::new(format!(
+            "unknown policy kind `{tag}` (expected deny, trampoline, or audit)"
+        ))
+        .at(args[0].span)
+    })?;
+    let pattern = args[1]
+        .as_str()
+        .ok_or_else(|| BlueprintError::new("policy pattern must be a string").at(args[1].span))?;
+    Regex::new(pattern)
+        .map_err(|e| BlueprintError::new(format!("policy pattern: {e}")).at(args[1].span))?;
+    Ok(LinkPolicy {
+        kind,
+        pattern: pattern.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -748,6 +862,72 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn policy_forms_parse() {
+        let bp = Blueprint::parse(
+            r#"
+            (policy deny "^_exec")
+            (policy trampoline "^_malloc$")
+            (policy audit "^_free$")
+            (merge /bin/ls.o /lib/libc)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            bp.policies,
+            vec![
+                LinkPolicy {
+                    kind: PolicyKind::Deny,
+                    pattern: "^_exec".into()
+                },
+                LinkPolicy {
+                    kind: PolicyKind::Trampoline,
+                    pattern: "^_malloc$".into()
+                },
+                LinkPolicy {
+                    kind: PolicyKind::Audit,
+                    pattern: "^_free$".into()
+                },
+            ]
+        );
+        assert_eq!(bp.policy_spans.len(), 3);
+        // String kinds work too, and the canonical set dedups.
+        let bp2 =
+            Blueprint::parse("(policy \"audit\" \"^_free$\")\n(policy \"audit\" \"^_free$\")\n/a")
+                .unwrap();
+        assert_eq!(bp2.canonical_policies().len(), 1);
+    }
+
+    #[test]
+    fn policy_shape_errors() {
+        assert!(Blueprint::parse("(policy deny)\n/a").is_err(), "no pattern");
+        assert!(
+            Blueprint::parse("(policy sandbox \"x\")\n/a").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            Blueprint::parse("(policy deny \"(unclosed\")\n/a").is_err(),
+            "bad regex is a parse error"
+        );
+    }
+
+    #[test]
+    fn policy_free_hash_is_unchanged_and_policies_distinguish() {
+        let plain = Blueprint::parse("(merge /a /b)").unwrap();
+        assert!(plain.policies.is_empty());
+        let denied = Blueprint::parse("(policy deny \"^_x$\")\n(merge /a /b)").unwrap();
+        assert_ne!(plain.hash(), denied.hash());
+        let audited = Blueprint::parse("(policy audit \"^_x$\")\n(merge /a /b)").unwrap();
+        assert_ne!(denied.hash(), audited.hash());
+        // Source order of policy forms does not matter: the hash runs
+        // over the canonical set.
+        let ab =
+            Blueprint::parse("(policy deny \"^a\")\n(policy audit \"^b\")\n(merge /a /b)").unwrap();
+        let ba =
+            Blueprint::parse("(policy audit \"^b\")\n(policy deny \"^a\")\n(merge /a /b)").unwrap();
+        assert_eq!(ab.hash(), ba.hash());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod plan;
 pub mod sexpr;
 pub mod source;
 
-pub use ast::{Blueprint, BlueprintError, MNode, NodePath, SpanMap, SpecKind};
+pub use ast::{
+    Blueprint, BlueprintError, LinkPolicy, MNode, NodePath, PolicyKind, SpanMap, SpecKind,
+};
 pub use eval::{
     eval_blueprint, CachedEval, EvalContext, EvalError, EvalOutput, EvalStats, LibraryUse,
     ResolvedNode,

@@ -16,14 +16,19 @@ pub enum Priority {
     Weak(u8),
 }
 
-/// The two address-region classes a segment can live in, named after the
+/// The address-region classes a segment can live in, named after the
 /// paper's constraint tags (`"T" 0x100000 "D" 0x40200000` in Figure 1).
+/// `PolicyData` extends the paper's two classes with a per-process
+/// policy-state window: pages there are never shared, so link policies
+/// (call-audit counters and the like) get TLS-like private storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionClass {
     /// Text (shareable, low addresses).
     Text,
     /// Data (private, high addresses).
     Data,
+    /// Per-process policy state (private zero-fill, above Data).
+    PolicyData,
 }
 
 impl RegionClass {
@@ -33,6 +38,7 @@ impl RegionClass {
         match tag {
             "T" => Some(RegionClass::Text),
             "D" => Some(RegionClass::Data),
+            "P" => Some(RegionClass::PolicyData),
             _ => None,
         }
     }
@@ -42,7 +48,8 @@ impl RegionClass {
     pub fn default_window(self) -> (u64, u64) {
         match self {
             RegionClass::Text => (0x0010_0000, 0x4000_0000),
-            RegionClass::Data => (0x4000_0000, 0xf000_0000),
+            RegionClass::Data => (0x4000_0000, 0xd000_0000),
+            RegionClass::PolicyData => (0xd000_0000, 0xe000_0000),
         }
     }
 }
@@ -294,15 +301,28 @@ impl PlacementSolver {
             // content's version set means the library was rebound —
             // that predecessor yields its ranges.
             let same_content = self.known.get(&key);
-            let stale = self.booked.values().any(|b| {
+            let is_stale = |b: &Booked| {
                 b.name == req.name
                     && !same_content
                         .is_some_and(|vs| vs.iter().any(|p| p.allocations.contains(&b.alloc)))
-            });
-            if !stale {
+            };
+            if !self.booked.values().any(is_stale) {
                 break;
             }
-            self.release(&req.name);
+            // Release only the *stale* same-name bookings. A live booking
+            // of a known same-content version (e.g. one the caller merely
+            // avoided) stays mapped — dropping it would unmap a live
+            // client. `release()` keeps its full-drop semantics for its
+            // other callers; takeover is the one site that must filter.
+            let live: Vec<Allocation> = same_content
+                .map(|vs| {
+                    vs.iter()
+                        .flat_map(|p| p.allocations.iter().copied())
+                        .collect()
+                })
+                .unwrap_or_default();
+            self.booked
+                .retain(|_, b| b.name != req.name || live.contains(&b.alloc));
             takeover_done = true;
         }
 
@@ -908,7 +928,11 @@ mod tests {
     fn region_tags_parse() {
         assert_eq!(RegionClass::from_tag("T"), Some(RegionClass::Text));
         assert_eq!(RegionClass::from_tag("D"), Some(RegionClass::Data));
+        assert_eq!(RegionClass::from_tag("P"), Some(RegionClass::PolicyData));
         assert_eq!(RegionClass::from_tag("Z"), None);
+        let (plo, phi) = RegionClass::PolicyData.default_window();
+        let (_, dhi) = RegionClass::Data.default_window();
+        assert!(dhi <= plo && plo < phi, "policy window sits above data");
     }
 
     #[test]

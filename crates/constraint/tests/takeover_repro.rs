@@ -14,6 +14,33 @@ fn req(name: &str, key: u64, pref: u64) -> PlacementRequest {
 }
 
 #[test]
+fn replayed_old_key_booking_yields_to_later_takeover() {
+    let mut s = PlacementSolver::new();
+    // key=1 at R1, then rebind to key=2 at R2 (takeover drops R1).
+    let p1 = s.place(&req("libc", 1, 0x0100_0000), &[]).unwrap();
+    assert_eq!(p1.allocations[0].base, 0x0100_0000);
+    let p2 = s.place(&req("libc", 2, 0x0200_0000), &[]).unwrap();
+    assert_eq!(p2.allocations[0].base, 0x0200_0000);
+    assert!(!s.allocations().any(|(_, a)| a.base == 0x0100_0000));
+    // The relink engine replays the retained key=1 row: R1 is booked
+    // again, but it is a booking of the *old* content.
+    assert!(s.replay_retained("libc", 1, &[0x0100_0000]).is_some());
+    // A later same-name takeover (rebind to key=3) must still treat the
+    // replayed old-key booking as stale and release it — only bookings
+    // in the *requesting* content's version set are protected.
+    let p3 = s.place(&req("libc", 3, 0x0100_0000), &[]).unwrap();
+    assert_eq!(
+        p3.allocations[0].base, 0x0100_0000,
+        "takeover must reclaim the replayed old-key range"
+    );
+    assert!(
+        !s.allocations().any(|(_, a)| a.base == 0x0200_0000),
+        "the key=2 booking is also stale from key=3's view and yields"
+    );
+    assert!(s.conflicts().is_empty());
+}
+
+#[test]
 fn takeover_releases_live_same_content_booking() {
     let mut s = PlacementSolver::new();
     // key=1 at R1.
@@ -29,10 +56,10 @@ fn takeover_releases_live_same_content_booking() {
     // triggers takeover, and release() drops the LIVE key=2 booking at
     // R2 too, even though the invariant says same-content bookings
     // (avoided versions) are left alone.
-    let _p3 = s.place(&req("libc", 2, 0x0300_0000), &[p2.version]).unwrap();
-    let still_booked = s
-        .allocations()
-        .any(|(_, a)| a.base == 0x0200_0000);
+    let _p3 = s
+        .place(&req("libc", 2, 0x0300_0000), &[p2.version])
+        .unwrap();
+    let still_booked = s.allocations().any(|(_, a)| a.base == 0x0200_0000);
     assert!(
         still_booked,
         "live avoided-version booking at R2 was released by takeover"

@@ -31,6 +31,9 @@ pub enum OmosError {
     /// Pre-flight static analysis found errors (only when the server's
     /// opt-in preflight mode is enabled); warnings are not included.
     Preflight(Vec<Diagnostic>),
+    /// A deny link policy matched a symbol the program references
+    /// (OM017); always enforced, independent of preflight mode.
+    Policy(Vec<Diagnostic>),
 }
 
 impl fmt::Display for OmosError {
@@ -46,6 +49,13 @@ impl fmt::Display for OmosError {
             OmosError::NoSuchLibrary(id) => write!(f, "no dynamic library with id {id}"),
             OmosError::Preflight(diags) => {
                 write!(f, "preflight analysis rejected the blueprint:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            OmosError::Policy(diags) => {
+                write!(f, "link policy denied the blueprint:")?;
                 for d in diags {
                     write!(f, "\n  {d}")?;
                 }

@@ -49,7 +49,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use omos_blueprint::{Blueprint, MNode, SpecKind};
+use omos_blueprint::{Blueprint, LinkPolicy, MNode, PolicyKind, SpecKind};
 use omos_constraint::{
     Allocation, ConflictRecord, Placement, PlacementSolver, RegionClass, SolverState,
 };
@@ -270,6 +270,7 @@ fn class_code(c: RegionClass) -> u8 {
     match c {
         RegionClass::Text => 0,
         RegionClass::Data => 1,
+        RegionClass::PolicyData => 2,
     }
 }
 
@@ -277,6 +278,7 @@ fn class_from_code(code: u8) -> ObjResult<RegionClass> {
     match code {
         0 => Ok(RegionClass::Text),
         1 => Ok(RegionClass::Data),
+        2 => Ok(RegionClass::PolicyData),
         other => Err(ObjError::Malformed(format!(
             "blueprint: bad region class code {other}"
         ))),
@@ -413,7 +415,37 @@ pub fn encode_blueprint(bp: &Blueprint) -> Vec<u8> {
         w.u64(*a);
     }
     enc_node(&mut w, &bp.root);
+    // Policies ride as a trailing optional section, written only when
+    // present: policy-free blueprints encode byte-identically to every
+    // frame ever written, and pre-policy frames decode unchanged.
+    let policies = bp.canonical_policies();
+    if !policies.is_empty() {
+        w.u32(policies.len() as u32);
+        for p in &policies {
+            w.u8(policy_kind_code(p.kind));
+            w.str(&p.pattern);
+        }
+    }
     container::seal(ContainerKind::Blueprint, &w.into_bytes())
+}
+
+fn policy_kind_code(k: PolicyKind) -> u8 {
+    match k {
+        PolicyKind::Deny => 0,
+        PolicyKind::Trampoline => 1,
+        PolicyKind::Audit => 2,
+    }
+}
+
+fn policy_kind_from_code(code: u8) -> ObjResult<PolicyKind> {
+    match code {
+        0 => Ok(PolicyKind::Deny),
+        1 => Ok(PolicyKind::Trampoline),
+        2 => Ok(PolicyKind::Audit),
+        other => Err(ObjError::Malformed(format!(
+            "blueprint: bad policy kind code {other}"
+        ))),
+    }
 }
 
 /// Decodes a sealed Blueprint frame. Any malformation is an error; the
@@ -428,6 +460,17 @@ pub fn decode_blueprint(bytes: &[u8]) -> ObjResult<Blueprint> {
         constraints.push((c, r.u64()?));
     }
     let root = dec_node(&mut r, 0)?;
+    let mut policies = Vec::new();
+    if r.remaining() > 0 {
+        let n = r.u32()?;
+        for _ in 0..n {
+            let kind = policy_kind_from_code(r.u8()?)?;
+            policies.push(LinkPolicy {
+                kind,
+                pattern: r.str()?,
+            });
+        }
+    }
     if r.remaining() != 0 {
         return Err(ObjError::Malformed(format!(
             "blueprint: {} trailing payload bytes",
@@ -436,6 +479,7 @@ pub fn decode_blueprint(bytes: &[u8]) -> ObjResult<Blueprint> {
     }
     let mut bp = Blueprint::from_root(root);
     bp.constraints = constraints;
+    bp.policies = policies;
     Ok(bp)
 }
 

@@ -45,12 +45,13 @@ use omos_analysis::manifest::{
 };
 use omos_analysis::relink::{plan_relink, LibAction};
 use omos_analysis::{
-    analyze_blueprint, analyze_blueprint_report, Diagnostic, LintContext, LintResolved, Severity,
+    analyze_blueprint, analyze_blueprint_report, apply_link_policies, Diagnostic, LintContext,
+    LintResolved, PolicyError, Severity,
 };
 use omos_blueprint::eval::LibraryUse;
 use omos_blueprint::{
     eval_blueprint, eval_blueprint_parallel, Blueprint, CachedEval, EvalContext, EvalError,
-    EvalStats, MNode, ResolvedNode, UnitReport,
+    EvalOutput, EvalStats, MNode, ResolvedNode, UnitReport,
 };
 use omos_constraint::{PlacementRequest, PlacementSolver, RegionClass, SegmentRequest};
 use omos_link::{layout_symbols, link, FunctionHashTable, LinkOptions, LinkStats};
@@ -631,6 +632,34 @@ impl Omos {
         self.build_reply(bp, root, key)
     }
 
+    /// Applies the blueprint's link policies to a fresh evaluation:
+    /// deny screening over the program's references, then stub
+    /// interposition (trampoline/audit) merged into the module — before
+    /// any image key is computed, so a wrapped module gets a distinct
+    /// key. Returns the simulated ns billed to the policy stage (one
+    /// relocation-sized unit per wrapped entry point).
+    fn apply_policies(&self, bp: &Blueprint, out: &mut EvalOutput) -> Result<u64, OmosError> {
+        if bp.policies.is_empty() {
+            return Ok(0);
+        }
+        let span = self.tracer.open(SpanKind::Policy);
+        let (ns, result) = match apply_link_policies(bp, out) {
+            Ok(o) => {
+                self.tracer
+                    .policy(o.trampolines.len() as u64, o.audits.len() as u64, false);
+                let ns = o.wrapped() as u64 * self.cost.reloc_ns;
+                (ns, Ok(ns))
+            }
+            Err(PolicyError::Denied(diags)) => {
+                self.tracer.policy(0, 0, true);
+                (0, Err(OmosError::Policy(diags)))
+            }
+            Err(PolicyError::Internal(e)) => (0, Err(OmosError::Client(e))),
+        };
+        self.tracer.close_leaf(span, Stage::Policy, ns);
+        result
+    }
+
     /// Leader path: evaluate the blueprint, build libraries and the
     /// program image, cache the reply with its dependency record.
     fn build_reply(
@@ -655,8 +684,9 @@ impl Omos {
             .as_ref()
             .map_or(0, |o| eval_work_ns(&o.stats, &self.cost));
         self.tracer.close_leaf(span, Stage::Eval, eval_ns);
-        let out = out?;
+        let mut out = out?;
         server_ns += eval_ns;
+        server_ns += self.apply_policies(bp, &mut out)?;
 
         // Build (or reuse) each referenced library, resolving
         // inter-library references left to right ("all definitions of
@@ -786,6 +816,7 @@ impl Omos {
             },
             bindings,
             interpositions,
+            policies: bp.canonical_policies(),
         }
     }
 
@@ -833,8 +864,11 @@ impl Omos {
         // An eval error falls back: the full path surfaces it with its
         // exact error shape (and pays nothing extra — the eval cache
         // holds every subtree this attempt resolved).
-        let out = out.ok()?;
+        let mut out = out.ok()?;
         server_ns += eval_ns;
+        // A policy rejection falls back too: the full path re-applies
+        // the policies and surfaces the deny with its exact error shape.
+        server_ns += self.apply_policies(bp, &mut out).ok()?;
 
         let derived = {
             let state = self.solver().export_state();
@@ -1068,8 +1102,12 @@ impl Omos {
         // The billed work (`server_ns`) is still the full sum.
         self.tracer
             .close_leaf(span, Stage::Eval, plan_ns + eval_makespan);
-        let out = par?.output;
+        let mut out = par?.output;
         server_ns += eval_ns;
+        // Policy application is serial (it rewrites the single program
+        // module), so it lands on the critical path as well.
+        let policy_ns = self.apply_policies(bp, &mut out)?;
+        server_ns += policy_ns;
 
         // Prepare every library serially: placement order and the
         // left-to-right extern fold are semantically ordered ("all
@@ -1194,8 +1232,12 @@ impl Omos {
             (text_base, data_base),
         );
         self.counters.cpu_ns.fetch_add(server_ns, Ordering::Relaxed);
-        let latency_ns =
-            self.cost.server_cached_request_ns + plan_ns + eval_makespan + link_makespan + prog_ns;
+        let latency_ns = self.cost.server_cached_request_ns
+            + plan_ns
+            + eval_makespan
+            + policy_ns
+            + link_makespan
+            + prog_ns;
         let reply = InstantiateReply {
             program,
             libraries,

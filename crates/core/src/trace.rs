@@ -66,11 +66,13 @@ pub enum Stage {
     /// Reuse of a retained artifact (cached image + replayed placement)
     /// during an incremental relink.
     Reuse,
+    /// Link-policy application (deny screening + stub interposition).
+    Policy,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Request,
         Stage::Eval,
         Stage::Placement,
@@ -80,6 +82,7 @@ impl Stage {
         Stage::Ipc,
         Stage::RelinkPartial,
         Stage::Reuse,
+        Stage::Policy,
     ];
 
     /// Stable display name (also the JSON key).
@@ -95,6 +98,7 @@ impl Stage {
             Stage::Ipc => "ipc",
             Stage::RelinkPartial => "relink_partial",
             Stage::Reuse => "reuse",
+            Stage::Policy => "policy",
         }
     }
 
@@ -109,6 +113,7 @@ impl Stage {
             Stage::Ipc => 6,
             Stage::RelinkPartial => 7,
             Stage::Reuse => 8,
+            Stage::Policy => 9,
         }
     }
 }
@@ -237,6 +242,8 @@ pub enum SpanKind {
     /// One retained library reused (cached image + replayed placement)
     /// during an incremental relink.
     Reuse,
+    /// Link-policy application (deny screening + stub interposition).
+    Policy,
     /// A cache probe (instant).
     CacheProbe(CacheKind, ProbeOutcome),
     /// A cache eviction (instant).
@@ -262,6 +269,7 @@ impl SpanKind {
             SpanKind::EvalUnit => "eval-unit",
             SpanKind::RelinkPartial => "relink-partial",
             SpanKind::Reuse => "reuse",
+            SpanKind::Policy => "policy",
             SpanKind::CacheProbe(..) => "cache-probe",
             SpanKind::Evict(..) => "evict",
             SpanKind::Flight(..) => "flight",
@@ -592,6 +600,12 @@ counter_family! {
     live_updates,
     /// Indirect-table slots swapped across all live updates.
     live_slots_swapped,
+    /// Blueprints rejected by a deny link policy (OM017).
+    policy_denials,
+    /// Trampoline interposition stubs inserted by link policies.
+    policy_trampolines,
+    /// Call-audit stubs inserted by link policies.
+    policy_audits,
 }
 
 /// Per-reason breakdown of artifacts dropped during a checkpoint
@@ -1116,6 +1130,21 @@ impl Tracer {
             self.c
                 .relink_seeded_restores
                 .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the outcome of one link-policy application: stubs
+    /// inserted (by kind) or a deny rejection.
+    pub fn policy(&self, trampolines: u64, audits: u64, denied: bool) {
+        if !self.enabled() {
+            return;
+        }
+        self.c
+            .policy_trampolines
+            .fetch_add(trampolines, Ordering::Relaxed);
+        self.c.policy_audits.fetch_add(audits, Ordering::Relaxed);
+        if denied {
+            self.c.policy_denials.fetch_add(1, Ordering::Relaxed);
         }
     }
 

@@ -36,5 +36,9 @@ pub use linker::{
     LinkStats, UnresolvedRef,
 };
 
-pub use stubs::{make_partial_stubs, FunctionHashTable, STUB_INSTS, STUB_TEXT_BYTES};
+pub use stubs::{
+    make_partial_stubs, make_policy_stubs, scan_audit_stubs, scan_stub_sites, AuditStubSite,
+    FunctionHashTable, StubSite, AUDIT_STUB_INSTS, AUDIT_STUB_TEXT_BYTES, STUB_INSTS,
+    STUB_TEXT_BYTES, TRAMPOLINE_INSTS,
+};
 pub use wire::{decode_image, encode_image, read_symbol_table, write_symbol_table};

@@ -223,6 +223,161 @@ pub fn scan_stub_sites(image: &LinkedImage) -> Vec<StubSite> {
     sites
 }
 
+/// Instructions per policy trampoline (a bare tail jump).
+pub const TRAMPOLINE_INSTS: u64 = 1;
+
+/// Instructions per call-audit stub.
+pub const AUDIT_STUB_INSTS: u64 = 6;
+
+/// Bytes of text per call-audit stub.
+pub const AUDIT_STUB_TEXT_BYTES: u64 = AUDIT_STUB_INSTS * INST_BYTES;
+
+/// Builds the interposition object for a link-policy set: a trampoline
+/// per name in `trampolines` and a call-audit stub per name in `audits`.
+///
+/// The caller has already renamed each wrapped definition `f` to
+/// `f$real` (defs-only, the §6 monitor interposition move), so every
+/// reference still binds to `f` — which this object now defines.
+///
+/// A trampoline is the minimal interposition point, generalizing the
+/// paper's §6 figure:
+///
+/// ```text
+/// f:  jmp f$real            ; tail jump preserves arguments and lr
+/// ```
+///
+/// A call-audit stub additionally bumps a per-process counter slot and
+/// logs the entry through the monitor:
+///
+/// ```text
+/// f:  ld   r6, [CTR]        ; CTR = counter_base + 4*id, private page
+///     addi r6, r6, 1
+///     st   r6, [CTR]
+///     li   r5, ID
+///     sys  MONLOG
+///     jmp  f$real
+/// ```
+///
+/// Counter slots are absolute addresses in the `PolicyData` window —
+/// no section backs them; the OS maps the pages as private zero-fill
+/// per process (TLS-like state), so audit counts never leak between
+/// processes through a shared image.
+#[must_use]
+pub fn make_policy_stubs(
+    trampolines: &[String],
+    audits: &[String],
+    counter_base: u32,
+) -> ObjectFile {
+    let mut obj = ObjectFile::new("<omos-policy-stubs>");
+    let text = obj.add_section(Section::with_bytes(
+        ".text",
+        SectionKind::Text,
+        Vec::new(),
+        8,
+    ));
+    let tail_jump = |obj: &mut ObjectFile, name: &str| {
+        let jmp_off = obj.sections[text].size;
+        obj.sections[text].append(&Inst::new(Opcode::Jmp).encode());
+        obj.relocate(Relocation::new(
+            text,
+            jmp_off + 4,
+            RelocKind::Abs32,
+            &format!("{name}$real"),
+        ));
+    };
+    for name in trampolines {
+        let off = obj.sections[text].size;
+        tail_jump(&mut obj, name);
+        // Fresh names in a fresh object: inserts cannot collide.
+        let _ = obj.define(Symbol::defined(name, text, off));
+    }
+    for (id, name) in audits.iter().enumerate() {
+        let off = obj.sections[text].size;
+        let ctr = counter_base + 4 * id as u32;
+        obj.sections[text].append(&Inst::new(Opcode::Ld).ra(6).rb(0).imm(ctr).encode());
+        obj.sections[text].append(&Inst::new(Opcode::Addi).ra(6).rb(6).imm(1).encode());
+        obj.sections[text].append(&Inst::new(Opcode::St).ra(6).rb(0).imm(ctr).encode());
+        obj.sections[text].append(&Inst::new(Opcode::Li).ra(5).imm(id as u32).encode());
+        obj.sections[text].append(&Inst::new(Opcode::Sys).imm(sysno::MONLOG).encode());
+        tail_jump(&mut obj, name);
+        let _ = obj.define(Symbol::defined(name, text, off));
+    }
+    obj
+}
+
+/// One call-audit stub found in a linked image, decoded back out of the
+/// text the same way [`scan_stub_sites`] recovers partial-image stubs.
+/// The OS layer uses the counter addresses to decide which private
+/// zero-fill pages a process needs; tooling uses the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditStubSite {
+    /// Audit id baked into the `li r5` (the monitor-event payload).
+    pub id: u32,
+    /// Address of the stub itself.
+    pub stub_addr: u32,
+    /// Absolute address of the 4-byte entry counter.
+    pub counter_addr: u32,
+    /// Address the stub tail-jumps to (the wrapped `f$real`).
+    pub target: u32,
+}
+
+/// Scans a linked image's text for call-audit stubs (the exact
+/// [`make_policy_stubs`] audit sequence) and decodes each one.
+#[must_use]
+pub fn scan_audit_stubs(image: &LinkedImage) -> Vec<AuditStubSite> {
+    let mut sites = Vec::new();
+    let ib = INST_BYTES as usize;
+    for seg in &image.segments {
+        if seg.kind != SectionKind::Text {
+            continue;
+        }
+        let b = &seg.bytes;
+        let mut off = 0usize;
+        while off + AUDIT_STUB_TEXT_BYTES as usize <= b.len() {
+            let inst = |i: usize| -> Option<Inst> {
+                Inst::decode(b[off + i * ib..off + i * ib + ib].try_into().ok()?)
+            };
+            let site = (|| {
+                let ld = inst(0)?;
+                let addi = inst(1)?;
+                let st = inst(2)?;
+                let li = inst(3)?;
+                let sys = inst(4)?;
+                let jmp = inst(5)?;
+                let is_stub = ld.op == Opcode::Ld
+                    && (ld.ra, ld.rb) == (6, 0)
+                    && addi.op == Opcode::Addi
+                    && (addi.ra, addi.rb, addi.imm) == (6, 6, 1)
+                    && st.op == Opcode::St
+                    && (st.ra, st.rb) == (6, 0)
+                    && st.imm == ld.imm
+                    && li.op == Opcode::Li
+                    && li.ra == 5
+                    && sys.op == Opcode::Sys
+                    && sys.imm == sysno::MONLOG
+                    && jmp.op == Opcode::Jmp;
+                if !is_stub {
+                    return None;
+                }
+                Some(AuditStubSite {
+                    id: li.imm,
+                    stub_addr: seg.vaddr + off as u32,
+                    counter_addr: ld.imm,
+                    target: jmp.imm,
+                })
+            })();
+            match site {
+                Some(s) => {
+                    sites.push(s);
+                    off += AUDIT_STUB_TEXT_BYTES as usize;
+                }
+                None => off += ib,
+            }
+        }
+    }
+    sites
+}
+
 /// The deterministic hash table OMOS returns on first library load: maps
 /// routine names to entry addresses with open addressing, mirroring "a
 /// hash table containing the addresses of all library routines".
@@ -361,6 +516,60 @@ mod tests {
             // Slot starts unbound.
             assert_eq!(image_read(&out.image, s.slot_addr, 4), Some(&[0u8; 4][..]));
         }
+    }
+
+    #[test]
+    fn policy_stub_object_validates_and_scans_back() {
+        use crate::linker::{link, LinkOptions};
+
+        let obj = make_policy_stubs(
+            &["_open".into()],
+            &["_free".into(), "_malloc".into()],
+            0xd000_0000,
+        );
+        obj.validate().unwrap();
+        // The wrapped definitions live elsewhere; provide them here so
+        // the image links closed.
+        let mut reals = ObjectFile::new("reals");
+        let text = reals.add_section(Section::with_bytes(
+            ".text",
+            SectionKind::Text,
+            Vec::new(),
+            8,
+        ));
+        for n in ["_open$real", "_free$real", "_malloc$real"] {
+            let off = reals.sections[text].size;
+            reals.sections[text].append(&Inst::new(Opcode::Ret).encode());
+            let _ = reals.define(Symbol::defined(n, text, off));
+        }
+        let out = link(
+            &[obj, reals],
+            &LinkOptions {
+                name: "policy".into(),
+                entry: None,
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap();
+        let sites = scan_audit_stubs(&out.image);
+        assert_eq!(sites.len(), 2, "one audit site per audited name");
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id, i as u32);
+            assert_eq!(s.counter_addr, 0xd000_0000 + 4 * i as u32);
+            let name = if i == 0 { "_free" } else { "_malloc" };
+            assert_eq!(
+                out.image.symbols.get(name).copied(),
+                Some(s.stub_addr),
+                "the stub took the wrapped name"
+            );
+            assert_eq!(
+                out.image.symbols.get(&format!("{name}$real")).copied(),
+                Some(s.target),
+                "the tail jump resolved to the real definition"
+            );
+        }
+        // The trampoline is invisible to the audit scan but bound.
+        assert!(out.image.symbols.contains_key("_open"));
     }
 
     #[test]

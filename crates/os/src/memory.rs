@@ -126,6 +126,9 @@ impl AddressSpace {
         for seg in &image.segments {
             work.absorb(self.map_segment(seg.vaddr, &seg.frames, seg.writable)?);
         }
+        for &(vaddr, pages) in &image.private_zero {
+            work.absorb(self.map_private_zero(vaddr, pages)?);
+        }
         Ok(work)
     }
 
@@ -288,6 +291,11 @@ pub struct ImageFrames {
     pub name: String,
     /// Page-framed segments, by ascending address.
     pub segments: Vec<FrameSegment>,
+    /// TLS-like `(vaddr, pages)` runs mapped as fresh private zero pages
+    /// per process: the audit-counter pages the image's call-audit stubs
+    /// increment. Never backed by shared frames — each process counts
+    /// its own calls.
+    pub private_zero: Vec<(u32, u32)>,
     /// Program entry point, copied from the image.
     pub entry: Option<u32>,
 }
@@ -328,6 +336,25 @@ impl ImageFrames {
                 covered += n as u64;
             }
         }
+        // Audit-counter pages: scanning the text for call-audit stubs
+        // (rather than plumbing policy metadata through every caller)
+        // recovers which addresses the image will increment; pages not
+        // covered by any segment become per-process private zero runs.
+        let mut counter_pages: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for site in omos_link::scan_audit_stubs(img) {
+            let pno = site.counter_addr / PAGE_SIZE;
+            if !pages.contains_key(&pno) {
+                counter_pages.insert(pno);
+            }
+        }
+        let mut private_zero: Vec<(u32, u32)> = Vec::new();
+        for pno in counter_pages {
+            match private_zero.last_mut() {
+                Some((base, n)) if *base / PAGE_SIZE + *n == pno => *n += 1,
+                _ => private_zero.push((pno * PAGE_SIZE, 1)),
+            }
+        }
+
         // Shareability: a page is shareable iff it is not writable.
         // Build contiguous runs with uniform attributes.
         let mut pnos: Vec<u32> = pages.keys().copied().collect();
@@ -355,6 +382,7 @@ impl ImageFrames {
         ImageFrames {
             name: img.name.clone(),
             segments,
+            private_zero,
             entry: img.entry,
         }
     }

@@ -130,6 +130,16 @@ impl Process {
         })
     }
 
+    /// Reads one little-endian audit counter from the process's private
+    /// policy-data pages (what a call-audit stub incremented). `None`
+    /// when the address is unmapped.
+    pub fn read_counter(&mut self, addr: u32) -> Option<u32> {
+        use omos_isa::Memory as _;
+        let mut b = [0u8; 4];
+        self.space.read(addr, &mut b).ok()?;
+        Some(u32::from_le_bytes(b))
+    }
+
     /// Maps additional pre-framed segments (e.g. a shared library),
     /// charging mapping costs.
     pub fn map_more(

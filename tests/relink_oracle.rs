@@ -260,6 +260,98 @@ fn rebind_heavy_history_actually_relinks_incrementally() {
     assert_eq!(fallbacks, 0);
 }
 
+/// The takeover/held-version oracle: a client process runs (and keeps
+/// running off) the partial image of lib0's original version while the
+/// library ping-pongs to new content and back. The version the client
+/// holds is exactly the placement a careless takeover would release
+/// (same name, content no longer current); the fixed solver keeps it
+/// booked, so the reuse lands back on the original ranges, every run
+/// observes the version live at its instant, and the incremental
+/// engine matches the cold path byte for byte on all five transports
+/// and both jobs settings.
+#[test]
+fn rebind_while_client_holds_avoided_version_incremental_equals_cold() {
+    let history = vec![
+        Op::Instantiate(0),
+        Op::Run, // binds lib0 v0 into a live client
+        Op::Rebind { lib: 0, ver: 2 },
+        Op::Instantiate(0),
+        Op::Run,                       // observes v2
+        Op::Rebind { lib: 0, ver: 0 }, // back to the held version
+        Op::Instantiate(0),
+        Op::Instantiate(2),
+        Op::Run, // observes v0 again — its ranges were never unmapped
+    ];
+    let (want, _, _) = replay(Transport::MachIpc, 1, false, &history);
+    // The runs pin liveness: _f0 returns 10 + version.
+    assert_eq!(
+        want.runs,
+        vec![
+            StopReason::Exited(10),
+            StopReason::Exited(12),
+            StopReason::Exited(10)
+        ]
+    );
+    for transport in Transport::ALL {
+        for jobs in [1usize, 8] {
+            let (full, _, _) = replay(transport, jobs, false, &history);
+            assert_eq!(
+                full,
+                want,
+                "full path diverged on {} jobs={jobs}",
+                transport.name()
+            );
+            let (incr, _, fallbacks) = replay(transport, jobs, true, &history);
+            assert_eq!(
+                incr,
+                want,
+                "incremental relink changed server-visible bytes on {} jobs={jobs}",
+                transport.name()
+            );
+            assert_eq!(
+                fallbacks,
+                0,
+                "incremental relink abandoned a plan on {} jobs={jobs}",
+                transport.name()
+            );
+        }
+    }
+}
+
+/// No unmapped-live-range regression: after the ping-pong above, every
+/// base the final manifests record is still a live solver booking owned
+/// by its library — the takeover sequence never left a mapped client
+/// range unbooked (which is exactly what releasing a live
+/// avoided-version booking used to do).
+#[test]
+fn held_version_ranges_stay_booked_across_takeover() {
+    let server = Omos::new(CostModel::hpux(), Transport::MachIpc);
+    populate(&server);
+    server.instantiate("/bin/a").unwrap();
+    rebind_lib(&server, 0, 2);
+    server.instantiate("/bin/a").unwrap();
+    rebind_lib(&server, 0, 0);
+    server.instantiate("/bin/a").unwrap();
+    let m = server.explain("/bin/a").unwrap();
+    // The v0 reuse landed back on its original constraint bases.
+    assert_eq!(m.libraries[0].text_base, 0x0100_0000);
+    assert_eq!(m.libraries[0].data_base, 0x4100_0000);
+    let booked: Vec<(String, u64, u64)> = server
+        .solver()
+        .allocations()
+        .map(|(n, a)| (n.to_string(), a.base, a.size))
+        .collect();
+    for lib in &m.libraries {
+        for base in [u64::from(lib.text_base), u64::from(lib.data_base)] {
+            assert!(
+                booked.iter().any(|(n, b, _)| n == &lib.name && *b == base),
+                "manifest base {base:#x} of `{}` is not a live booking: {booked:?}",
+                lib.name
+            );
+        }
+    }
+}
+
 /// Live-update oracle: a running partial-image process that is
 /// live-patched after a rebind (quiesce, retarget stubs, swap bound
 /// slots, resume) answers exactly like a process cold-built from the
